@@ -1,0 +1,134 @@
+"""X3 — ablations of the design choices DESIGN.md calls out.
+
+1. **Chained derivation** (the derived-ILFD I9 mechanism): single-pass
+   algebraic construction loses the It'sGreek match; the fixpoint (and
+   the recursive FIRST_MATCH engine) recover it.
+2. **Cut semantics vs exhaustive chase**: FIRST_MATCH and ALL_CONSISTENT
+   agree on conflict-free ILFD sets; on a conflicting set the cut
+   silently picks the first rule while the chase surfaces the conflict.
+3. **non_null_eq matching**: letting NULL = NULL join (SQL-style
+   ``null_joins=True``) destroys soundness — tuples with underivable
+   extended-key attributes all glue together.
+"""
+
+import pytest
+
+from repro.core.algebra_construction import algebraic_matching_table
+from repro.core.identifier import EntityIdentifier
+from repro.core.matching_table import build_matching_table
+from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
+from repro.ilfd.errors import DerivationConflictError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.ilfd.tables import partition_into_tables
+from repro.relational.algebra import natural_join
+from repro.relational.nulls import is_null
+
+
+def test_ablation_chained_derivation(benchmark, example3):
+    tables = partition_into_tables(example3.ilfds)
+
+    def run():
+        single = algebraic_matching_table(
+            example3.r, example3.s, example3.extended_key, tables, max_rounds=1
+        )
+        full = algebraic_matching_table(
+            example3.r, example3.s, example3.extended_key, tables
+        )
+        return single, full
+
+    single, full = benchmark(run)
+    assert len(full) == 3
+    assert len(single) == 2  # It'sGreek needs I7-then-I8 chaining
+    lost = full.pairs() - single.pairs()
+    assert {dict(r)["name"] for r, _ in lost} == {"It'sGreek"}
+
+
+def test_ablation_cut_vs_chase_on_clean_sets(benchmark, example3):
+    def run():
+        cut = EntityIdentifier(
+            example3.r,
+            example3.s,
+            example3.extended_key,
+            ilfds=list(example3.ilfds),
+            policy=DerivationPolicy.FIRST_MATCH,
+        ).matching_table()
+        chase = EntityIdentifier(
+            example3.r,
+            example3.s,
+            example3.extended_key,
+            ilfds=list(example3.ilfds),
+            policy=DerivationPolicy.ALL_CONSISTENT,
+        ).matching_table()
+        return cut, chase
+
+    cut, chase = benchmark(run)
+    assert cut.pairs() == chase.pairs()
+
+
+def test_ablation_cut_hides_conflicts_chase_surfaces_them(benchmark):
+    conflicted = ILFDSet(
+        [
+            ILFD({"a": "1"}, {"b": "x"}, name="first"),
+            ILFD({"c": "2"}, {"b": "y"}, name="second"),
+        ]
+    )
+    row = {"a": "1", "c": "2"}
+
+    def run():
+        cut_engine = DerivationEngine(conflicted)
+        cut_value = cut_engine.extend_row(row, ["b"]).row["b"]
+        chase_engine = DerivationEngine(
+            conflicted, policy=DerivationPolicy.ALL_CONSISTENT
+        )
+        try:
+            chase_engine.extend_row(row, ["b"])
+            surfaced = False
+        except DerivationConflictError:
+            surfaced = True
+        return cut_value, surfaced
+
+    cut_value, surfaced = benchmark(run)
+    assert cut_value == "x"  # the cut silently commits to rule order
+    assert surfaced  # the chase reports the specification error
+
+
+def test_ablation_null_joins_destroy_soundness(benchmark):
+    """Two *distinct* Chinese TwinCities branches, speciality unknown in
+    both databases.  The paper's non_null_eq matching leaves the pair
+    undetermined (sound); a SQL-style NULL=NULL join glues them."""
+    from repro.relational.attribute import string_attribute
+    from repro.relational.nulls import NULL
+    from repro.relational.relation import Relation
+    from repro.relational.schema import Schema
+
+    schema_r = Schema(
+        [string_attribute("name"), string_attribute("speciality"),
+         string_attribute("street")],
+        keys=[("name", "street")],
+    )
+    schema_s = Schema(
+        [string_attribute("name"), string_attribute("speciality"),
+         string_attribute("county")],
+        keys=[("name", "county")],
+    )
+    r = Relation(
+        schema_r,
+        [{"name": "TwinCities", "speciality": NULL, "street": "Co.B2"}],
+        name="R",
+    )
+    s = Relation(
+        schema_s,
+        [{"name": "TwinCities", "speciality": NULL, "county": "Hennepin"}],
+        name="S",
+    )
+    key = ["name", "speciality"]
+
+    def run():
+        strict = build_matching_table(r, s, key, ("name", "street"), ("name", "county"))
+        sloppy = natural_join(r, s, on=key, null_joins=True)
+        return strict, sloppy
+
+    strict, sloppy = benchmark(run)
+    assert len(strict) == 0  # undetermined, never wrongly matched
+    assert len(sloppy) == 1  # NULL=NULL join invents the match
+    assert is_null(sloppy.rows[0]["speciality"])

@@ -1,0 +1,141 @@
+"""X2 — the Section-2.2 comparison, measured.
+
+Validates the paper's qualitative claims on a homonym-laden synthetic
+workload with known ground truth:
+
+- key equivalence: inapplicable here (no common candidate key);
+- probabilistic attribute equivalence: applicable but unsound under
+  instance-level homonyms (precision < 1);
+- probabilistic key equivalence: admits erroneous matches (precision < 1);
+- heuristic rules at confidence 1 degenerate to the paper's technique;
+- the ILFD extended-key technique: precision 1.0 (sound) with recall set
+  by ILFD coverage; user-specified equivalence is perfect but costs one
+  manual assertion per match.
+"""
+
+import pytest
+
+from repro.baselines import (
+    InapplicableError,
+    KeyEquivalenceMatcher,
+    ProbabilisticAttributeMatcher,
+    ProbabilisticKeyMatcher,
+    UserSpecifiedMatcher,
+    evaluate,
+    evaluate_pairs,
+)
+from repro.core.identifier import EntityIdentifier
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return restaurant_workload(
+        RestaurantWorkloadSpec(
+            n_entities=120,
+            name_pool=30,  # heavy name reuse → many instance-level homonyms
+            derivable_fraction=1.0,
+            seed=17,
+        )
+    )
+
+
+def test_key_equivalence_inapplicable(benchmark, workload):
+    def run():
+        try:
+            KeyEquivalenceMatcher().match(workload.r, workload.s)
+        except InapplicableError:
+            return "inapplicable"
+        return "applicable"
+
+    assert benchmark(run) == "inapplicable"
+
+
+def test_probabilistic_attribute_unsound_under_homonyms(benchmark, workload):
+    matcher = ProbabilisticAttributeMatcher(threshold=0.9, one_to_one=True)
+
+    def run():
+        return matcher.match(workload.r, workload.s)
+
+    quality = evaluate(benchmark(run), workload.truth)
+    assert quality.false_positives > 0  # homonyms mis-matched
+    assert quality.precision < 1.0
+
+
+def test_probabilistic_key_admits_errors(benchmark, workload):
+    matcher = ProbabilisticKeyMatcher(threshold=0.5, common_attributes=["name"])
+
+    def run():
+        return matcher.match(workload.r, workload.s)
+
+    result = benchmark(run)
+    quality = evaluate(result, workload.truth)
+    assert quality.precision < 1.0  # "may also admit erroneous matching"
+    assert not result.is_sound_output()
+
+
+def test_ilfd_technique_sound_and_complete(benchmark, workload):
+    def run():
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        return identifier.matching_table(), identifier.verify()
+
+    matching, report = benchmark(run)
+    quality = evaluate_pairs("ilfd", matching.pairs(), workload.truth)
+    assert quality.precision == 1.0 and quality.recall == 1.0
+    assert report.is_sound
+
+
+def test_ilfd_recall_tracks_knowledge_coverage(benchmark):
+    """Who wins and by how much, versus ILFD coverage: precision stays
+    1.0 at every coverage level while recall ≈ coverage (the paper's
+    completeness-needs-knowledge claim, quantified)."""
+
+    def run():
+        series = []
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            wl = restaurant_workload(
+                RestaurantWorkloadSpec(
+                    n_entities=80,
+                    name_pool=30,
+                    derivable_fraction=fraction,
+                    seed=23,
+                )
+            )
+            identifier = EntityIdentifier(
+                wl.r,
+                wl.s,
+                wl.extended_key,
+                ilfds=list(wl.ilfds),
+                derive_ilfd_distinctness=False,
+            )
+            quality = evaluate_pairs(
+                f"ilfd@{fraction}",
+                identifier.matching_table().pairs(),
+                wl.truth,
+            )
+            series.append((fraction, quality.precision, quality.recall))
+        return series
+
+    series = benchmark(run)
+    assert all(precision == 1.0 for _, precision, _ in series)
+    recalls = [recall for _, _, recall in series]
+    assert recalls == sorted(recalls)  # recall grows with coverage
+    assert recalls[-1] == 1.0
+
+
+def test_user_specified_cost(benchmark, workload):
+    assertions = [(dict(r_key), dict(s_key)) for r_key, s_key in workload.truth]
+    matcher = UserSpecifiedMatcher(assertions)
+
+    def run():
+        return matcher.match(workload.r, workload.s)
+
+    quality = evaluate(benchmark(run), workload.truth)
+    assert quality.precision == 1.0 and quality.recall == 1.0
+    assert matcher.effort() == len(workload.truth)  # the "cumbersome" axis

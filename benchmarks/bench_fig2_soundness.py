@@ -1,0 +1,63 @@
+"""F2 — Figure 2: identical attribute values, distinct entities.
+
+Two databases each hold a ("VillageWok", "Chinese") tuple that models a
+*different* real-world restaurant.  Value-equivalence matching declares
+them equal — violating soundness — while the paper's fix (a domain
+attribute in the extended key) keeps the pair correctly undetermined.
+"""
+
+from repro.baselines import KeyEquivalenceMatcher, ProbabilisticAttributeMatcher, evaluate
+from repro.core.identifier import EntityIdentifier
+from repro.relational.attribute import string_attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.rules.engine import MatchStatus
+from repro.workloads.generator import with_domain_attribute
+
+
+def _figure2_relations():
+    schema = Schema(
+        [string_attribute("name"), string_attribute("cuisine")],
+        keys=[("name",)],
+    )
+    r = Relation(schema, [("VillageWok", "Chinese")], name="R")
+    s = Relation(schema, [("VillageWok", "Chinese")], name="S")
+    return r, s
+
+
+def test_value_equivalence_violates_soundness(benchmark):
+    r, s = _figure2_relations()
+
+    def run():
+        return KeyEquivalenceMatcher().match(r, s)
+
+    result = benchmark(run)
+    quality = evaluate(result, frozenset())  # ground truth: distinct entities
+    assert quality.false_positives == 1  # the Figure-2 failure
+
+
+def test_attribute_equivalence_also_fails(benchmark):
+    r, s = _figure2_relations()
+
+    def run():
+        return ProbabilisticAttributeMatcher(threshold=0.9).match(r, s)
+
+    result = benchmark(run)
+    assert evaluate(result, frozenset()).false_positives == 1
+
+
+def test_domain_attribute_restores_soundness(benchmark):
+    r, s = _figure2_relations()
+    r = with_domain_attribute(r, "DB1")
+    s = with_domain_attribute(s, "DB2")
+
+    def run():
+        identifier = EntityIdentifier(r, s, ["name", "cuisine", "domain"])
+        return (
+            identifier.matching_table(),
+            identifier.classify_pair(r.rows[0], s.rows[0]),
+        )
+
+    matching, status = benchmark(run)
+    assert len(matching) == 0
+    assert status is MatchStatus.UNKNOWN

@@ -1,0 +1,147 @@
+"""P1, P2, TH1 — the paper's formal results, checked exhaustively.
+
+- **Proposition 1** (ILFD ⇔ distinctness rule): over an exhaustive small
+  domain, the converted rule fires exactly on the pairs whose merge would
+  violate the ILFD, and the round-trip is the identity.
+- **Proposition 2** (complete ILFD family ⇒ FD): the bridge finds the FD
+  exactly when the family covers the domain, and the FD then holds in
+  every family-satisfying relation instance.
+- **Theorem 1 / Lemma 2** (Armstrong axioms sound and complete): closure-
+  based implication agrees with explicit proof construction on random
+  ILFD sets; derived rules (union/pseudo-transitivity/decomposition)
+  produce implied ILFDs.
+"""
+
+import random
+from itertools import product
+
+from repro.ilfd.axioms import (
+    decompose,
+    implies,
+    prove,
+    pseudo_transitivity,
+    union_rule,
+)
+from repro.ilfd.closure import closure
+from repro.ilfd.conditions import Condition
+from repro.ilfd.fd_bridge import FD, fd_holds_in, ilfd_family_implies_fd
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.attribute import string_attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.rules.conversion import (
+    distinctness_rule_to_ilfd,
+    ilfd_to_distinctness_rules,
+)
+from repro.relational.nulls import Maybe
+
+SPECIALITIES = ["Mughalai", "Gyros", "Hunan"]
+CUISINES = ["Indian", "Greek", "Chinese"]
+
+
+def test_proposition1_exhaustive(benchmark):
+    ilfd = ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"})
+
+    def run():
+        (rule,) = ilfd_to_distinctness_rules(ilfd)
+        outcomes = []
+        for s1, c1, s2, c2 in product(SPECIALITIES, CUISINES, SPECIALITIES, CUISINES):
+            e1 = {"speciality": s1, "cuisine": c1}
+            e2 = {"speciality": s2, "cuisine": c2}
+            fired = rule.applies(e1, e2) is Maybe.TRUE
+            violates = s1 == "Mughalai" and c2 != "Indian"
+            outcomes.append(fired == violates)
+        return rule, outcomes
+
+    rule, outcomes = benchmark(run)
+    assert all(outcomes)
+    assert distinctness_rule_to_ilfd(rule) == ilfd  # round-trip identity
+
+
+def test_proposition2_bridge(benchmark):
+    family = ILFDSet(
+        [
+            ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"}),
+            ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"}),
+            ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}),
+        ]
+    )
+    domains = {"speciality": SPECIALITIES}
+
+    def run():
+        return ilfd_family_implies_fd(family, ["speciality"], ["cuisine"], domains)
+
+    fd = benchmark(run)
+    assert fd == FD({"speciality"}, {"cuisine"})
+    # semantic confirmation: the FD holds in every satisfying instance
+    schema = Schema([string_attribute("speciality"), string_attribute("cuisine")])
+    for rows in product(
+        [("Mughalai", "Indian"), ("Gyros", "Greek"), ("Hunan", "Chinese")],
+        repeat=2,
+    ):
+        instance = Relation(schema, set(rows), enforce_keys=False)
+        assert fd_holds_in(instance, fd)
+    # incomplete family → no FD claim
+    partial = ILFDSet(list(family)[:2])
+    assert ilfd_family_implies_fd(partial, ["speciality"], ["cuisine"], domains) is None
+
+
+def _random_ilfd_set(rng, size=8):
+    attrs = ["a", "b", "c", "d", "e"]
+    values = ["0", "1"]
+    out = []
+    for _ in range(size):
+        ante_attrs = rng.sample(attrs, rng.randint(1, 2))
+        antecedent = {attr: rng.choice(values) for attr in ante_attrs}
+        cons_attr = rng.choice(attrs)
+        cons_value = antecedent.get(cons_attr, rng.choice(values))
+        out.append(ILFD(antecedent, {cons_attr: cons_value}))
+    return ILFDSet(out)
+
+
+def test_theorem1_implication_equals_provability(benchmark):
+    rng = random.Random(42)
+    sets = [_random_ilfd_set(rng) for _ in range(20)]
+    candidates = [_random_ilfd_set(rng, size=1)[0] for _ in range(20)]
+
+    def run():
+        agreements = []
+        for f, candidate in zip(sets, candidates):
+            implied = implies(f, candidate)
+            proof = prove(f, candidate)
+            agreements.append(implied == (proof is not None))
+        return agreements
+
+    assert all(benchmark(run))
+
+
+def test_lemma2_derived_rules_are_implied(benchmark):
+    f1 = ILFD({"a": "1"}, {"b": "1"})
+    f2 = ILFD({"a": "1"}, {"c": "0"})
+    f3 = ILFD({"b": "1", "d": "1"}, {"e": "0"})
+    f = ILFDSet([f1, f2, f3])
+
+    def run():
+        union = union_rule(f1, f2)
+        pseudo = pseudo_transitivity(f1, f3)
+        parts = decompose(union)
+        return union, pseudo, parts
+
+    union, pseudo, parts = benchmark(run)
+    assert implies(f, union)
+    assert implies(f, pseudo)
+    assert all(implies(f, part) for part in parts)
+
+
+def test_theorem1_closure_scaling(benchmark):
+    """The linear closure on a 1000-ILFD chain a0 → a1 → … → a1000."""
+    chain = ILFDSet(
+        ILFD({f"a{i}": "v"}, {f"a{i+1}": "v"}) for i in range(1000)
+    )
+
+    def run():
+        return closure({"a0": "v"}, chain)
+
+    result = benchmark(run)
+    assert len(result.symbols) == 1001
+    assert Condition("a1000", "v") in result

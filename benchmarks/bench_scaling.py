@@ -1,0 +1,105 @@
+"""X1 — scaling of the matching-table construction (our measurements).
+
+The paper reports no timings (its prototype ran on SB-Prolog 3.0), so
+these benches characterise *this* implementation: the Figure-4 pipeline
+and the Section-4.2 algebraic path at increasing relation sizes, and the
+Prolog port on a small instance for a like-for-like comparison of the
+three execution strategies.
+"""
+
+import pytest
+
+from repro.core.algebra_construction import algebraic_matching_table
+from repro.core.identifier import EntityIdentifier
+from repro.ilfd.tables import partition_into_tables
+from repro.prolog.prototype import PrototypeSystem
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+
+def _workload(n):
+    return restaurant_workload(
+        RestaurantWorkloadSpec(
+            n_entities=n,
+            name_pool=max(25, n // 2),
+            derivable_fraction=1.0,
+            seed=31,
+        )
+    )
+
+
+@pytest.mark.parametrize("n_entities", [50, 200, 800])
+def test_pipeline_scaling(benchmark, n_entities):
+    workload = _workload(n_entities)
+
+    def run():
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        return identifier.matching_table()
+
+    matching = benchmark(run)
+    assert matching.pairs() == workload.truth
+
+
+@pytest.mark.parametrize("n_entities", [50, 200])
+def test_algebraic_scaling(benchmark, n_entities):
+    workload = _workload(n_entities)
+    tables = partition_into_tables(workload.ilfds)
+
+    def run():
+        return algebraic_matching_table(
+            workload.r, workload.s, workload.extended_key, tables
+        )
+
+    matching = benchmark(run)
+    assert matching.pairs() == workload.truth
+
+
+def test_prolog_port_small_instance(benchmark):
+    """The Prolog path on 12 entities (tuple-pair enumeration is O(n²)
+    with per-pair derivations — the reason the paper's successors moved
+    to set-oriented evaluation; see EXPERIMENTS.md)."""
+    workload = _workload(12)
+
+    def run():
+        system = PrototypeSystem(
+            workload.r,
+            workload.s,
+            workload.ilfds,
+            candidates=list(workload.extended_key),
+        )
+        system.setup_extkey(list(workload.extended_key))
+        return system.matchtable_rows()
+
+    rows = benchmark(run)
+    assert len(rows) == len(workload.truth)
+
+
+@pytest.mark.parametrize("n_ilfds", [40, 400])
+def test_ilfd_count_scaling(benchmark, n_ilfds):
+    """Derivation cost versus the size of the ILFD set: pad the workload
+    ILFDs with inapplicable rules and re-run the pipeline."""
+    from repro.ilfd.ilfd import ILFD
+
+    workload = _workload(100)
+    padding = [
+        ILFD({"name": f"NoSuchPlace{i}"}, {"cuisine": "Nowhere"})
+        for i in range(n_ilfds)
+    ]
+
+    def run():
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds) + padding,
+            derive_ilfd_distinctness=False,
+        )
+        return identifier.matching_table()
+
+    matching = benchmark(run)
+    assert matching.pairs() == workload.truth

@@ -1,0 +1,95 @@
+"""S6 — the Section-6 prototype session, replayed on the Prolog port.
+
+Asserts the session's observable behaviour verbatim: the sound key
+{Name, Spec, Cui} is verified; {Name} alone triggers the unsound-key
+warning; the matching table holds exactly the three Section-6 rows; the
+integrated table holds the six rows with the paper's NULL pattern and
+column layout.
+"""
+
+from repro.prolog.prototype import (
+    UNSOUND_MESSAGE,
+    VERIFIED_MESSAGE,
+    restaurant_prototype,
+)
+
+SECTION6_MATCHTABLE = [
+    {"r_name": "anjuman", "r_cui": "indian", "s_name": "anjuman", "s_spec": "mughalai"},
+    {"r_name": "itsgreek", "r_cui": "greek", "s_name": "itsgreek", "s_spec": "gyros"},
+    {"r_name": "twincities", "r_cui": "chinese", "s_name": "twincities", "s_spec": "hunan"},
+]
+
+
+def test_section6_sound_key_session(benchmark):
+    def run():
+        prototype = restaurant_prototype()
+        message = prototype.setup_extkey(["name", "speciality", "cuisine"])
+        return message, prototype.matchtable_rows(), prototype.integrated_rows()
+
+    message, matchtable, integrated = benchmark(run)
+    assert message == VERIFIED_MESSAGE
+    assert matchtable == SECTION6_MATCHTABLE
+    assert len(integrated) == 6
+    names = [row["r_name"] for row in integrated]
+    assert names == [
+        "anjuman", "itsgreek", "null", "twincities", "twincities", "villagewok",
+    ]
+    # the Sichuan tuple survives unmatched, cuisine derived to chinese
+    sichuan = next(r for r in integrated if r["s_spec"] == "sichuan")
+    assert sichuan["s_cui"] == "chinese" and sichuan["r_name"] == "null"
+
+
+def test_section6_unsound_key_warning(benchmark):
+    def run():
+        prototype = restaurant_prototype()
+        return prototype.setup_extkey(["name"])
+
+    assert benchmark(run) == UNSOUND_MESSAGE
+
+
+def test_section6_literal_appendix_program(benchmark):
+    """The Appendix listing itself, consulted as program text."""
+    from repro.prolog.appendix import (
+        SOUND_MATCHTABLE_RULE,
+        appendix_engine,
+        integrated_rows,
+        matchtable_rows,
+        setup_extkey,
+    )
+
+    def run():
+        engine = appendix_engine()
+        message = setup_extkey(engine, SOUND_MATCHTABLE_RULE)
+        return message, matchtable_rows(engine), integrated_rows(engine)
+
+    message, matchtable, integrated = benchmark(run)
+    assert message == VERIFIED_MESSAGE
+    assert matchtable == [
+        ("anjuman", "indian", "anjuman", "mughalai"),
+        ("itsgreek", "greek", "itsgreek", "gyros"),
+        ("twincities", "chinese", "twincities", "hunan"),
+    ]
+    assert len(integrated) == 6
+    assert (
+        "null", "null", "null", "twincities", "chinese", "sichuan",
+        "null", "hennepin",
+    ) in integrated
+
+
+def test_section6_printout_layout(benchmark):
+    prototype = restaurant_prototype()
+    prototype.setup_extkey(["name", "speciality", "cuisine"])
+
+    def run():
+        return prototype.print_matchtable(), prototype.print_integ_table()
+
+    match_text, integ_text = benchmark(run)
+    assert match_text.splitlines()[2].split() == [
+        "r_name", "r_cui", "s_name", "s_spec",
+    ]
+    assert integ_text.splitlines()[2].split() == [
+        "r_name", "r_cui", "r_spec",
+        "s_name", "s_cui", "s_spec",
+        "r_str", "s_cty",
+    ]
+    assert "le_salle_ave" in integ_text and "minneapolis" in integ_text

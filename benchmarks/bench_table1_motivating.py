@@ -1,0 +1,60 @@
+"""T1 — Table 1: the motivating example (Section 2.1).
+
+Reproduces the paper's argument in code:
+
+1. R and S share no common candidate key → key equivalence inapplicable;
+2. matching on the shared ``name`` attribute alone *seems* to work on the
+   original instance but becomes unsound the moment the paper's
+   (VillageWok, Penn.Ave.) tuple is inserted;
+3. with the Section-2.1 semantic facts (Wash.Ave. → Mpls, Hwang →
+   Wash.Ave.) the extended key {name, street, city} matches soundly.
+"""
+
+import pytest
+
+from repro.baselines import InapplicableError, KeyEquivalenceMatcher
+from repro.core.identifier import EntityIdentifier
+
+
+def test_key_equivalence_inapplicable(benchmark, example1):
+    def attempt():
+        try:
+            KeyEquivalenceMatcher().match(example1.r, example1.s)
+        except InapplicableError as exc:
+            return str(exc)
+        return None
+
+    message = benchmark(attempt)
+    assert message is not None and "no common candidate key" in message
+
+
+def test_name_matching_unsound_after_insertion(benchmark, example1):
+    grown = example1.r.insert(
+        {"name": "VillageWok", "street": "Penn.Ave.", "cuisine": "Chinese"}
+    )
+
+    def run():
+        identifier = EntityIdentifier(grown, example1.s, ["name"])
+        return identifier.verify()
+
+    report = benchmark(run)
+    assert not report.is_sound  # one S tuple ↔ two R tuples
+
+
+def test_extended_key_with_knowledge_is_sound(benchmark, example1):
+    grown = example1.r.insert(
+        {"name": "VillageWok", "street": "Penn.Ave.", "cuisine": "Chinese"}
+    )
+
+    def run():
+        identifier = EntityIdentifier(
+            grown,
+            example1.s,
+            example1.extended_key,
+            ilfds=list(example1.ilfds),
+        )
+        return identifier.matching_table(), identifier.verify()
+
+    matching, report = benchmark(run)
+    assert report.is_sound
+    assert matching.pairs() == example1.truth  # exactly the VillageWok pair

@@ -1,0 +1,42 @@
+"""T2–T3 — Tables 2 and 3: extended-key matching via one ILFD.
+
+The extended key {name, cuisine} is not directly applicable (S lacks
+cuisine); the Mughalai → Indian ILFD derives it, and exactly the
+second R tuple matches the single S tuple (Table 3's MT_RS).
+"""
+
+from repro.core.identifier import EntityIdentifier
+
+
+def test_table3_matching_table(benchmark, example2):
+    def run():
+        identifier = EntityIdentifier(
+            example2.r,
+            example2.s,
+            example2.extended_key,
+            ilfds=list(example2.ilfds),
+        )
+        return identifier.matching_table()
+
+    matching = benchmark(run)
+    assert matching.pairs() == example2.truth
+    view = matching.to_relation()
+    assert len(view) == 1
+    row = view.rows[0]
+    # Table 3 columns and content
+    assert row["R.name"] == "TwinCities"
+    assert row["R.cuisine"] == "Indian"
+    assert row["S.name"] == "TwinCities"
+
+
+def test_extended_key_rule_not_directly_applicable(benchmark, example2):
+    """Without the ILFD, the rule cannot fire (S has no cuisine value)."""
+
+    def run():
+        identifier = EntityIdentifier(
+            example2.r, example2.s, example2.extended_key, ilfds=[]
+        )
+        return identifier.matching_table()
+
+    matching = benchmark(run)
+    assert len(matching) == 0

@@ -1,0 +1,41 @@
+"""T4 — Table 4: the negative matching table from Proposition 1.
+
+The Mughalai → Indian ILFD corresponds to the distinctness rule
+"e1.speciality = Mughalai ∧ e2.cuisine ≠ Indian → e1 ≢ e2"; applying it
+to Example 2 puts exactly the (TwinCities-Chinese, TwinCities-Mughalai)
+pair in NMT_RS.
+"""
+
+from repro.core.identifier import EntityIdentifier
+from repro.rules.conversion import ilfd_to_distinctness_rules
+
+
+def test_table4_negative_matching_table(benchmark, example2):
+    def run():
+        identifier = EntityIdentifier(
+            example2.r,
+            example2.s,
+            example2.extended_key,
+            ilfds=list(example2.ilfds),
+        )
+        return identifier.negative_matching_table()
+
+    negative = benchmark(run)
+    assert len(negative) == 1
+    view = negative.to_relation()
+    row = view.rows[0]
+    assert row["R.name"] == "TwinCities"
+    assert row["R.cuisine"] == "Chinese"
+    assert row["S.name"] == "TwinCities"
+    assert row["S.speciality"] == "Mughalai"
+
+
+def test_proposition1_rule_generation(benchmark, example2):
+    ilfd = next(iter(example2.ilfds))
+
+    def run():
+        return ilfd_to_distinctness_rules(ilfd)
+
+    rules = benchmark(run)
+    assert len(rules) == 1
+    assert "speciality" in repr(rules[0]) and "≢" in repr(rules[0])

@@ -1,0 +1,47 @@
+"""T8 — Table 8: the uniform ILFD family stored as relation IM(speciality, cuisine)."""
+
+from repro.ilfd.tables import ILFDTable, partition_into_tables
+
+EXPECTED_ROWS = {
+    ("Hunan", "Chinese"),
+    ("Sichuan", "Chinese"),
+    ("Gyros", "Greek"),
+    ("Mughalai", "Indian"),
+}
+
+
+def test_table8_round_trip(benchmark, example3):
+    family = [f for f in example3.ilfds if f.name in ("I1", "I2", "I3", "I4")]
+
+    def run():
+        table = ILFDTable.from_ilfds(family)
+        return table, table.to_ilfds()
+
+    table, ilfds = benchmark(run)
+    assert table.antecedent_attributes == ("speciality",)
+    assert table.derived_attribute == "cuisine"
+    rows = {(row["speciality"], row["cuisine"]) for row in table.relation}
+    assert rows == EXPECTED_ROWS
+    assert set(ilfds) == set(family)
+
+
+def test_table8_lookup(benchmark, example3):
+    family = [f for f in example3.ilfds if f.name in ("I1", "I2", "I3", "I4")]
+    table = ILFDTable.from_ilfds(family)
+
+    def run():
+        return [
+            table.derive({"speciality": s})
+            for s in ("Hunan", "Sichuan", "Gyros", "Mughalai", "Sushi")
+        ]
+
+    derived = benchmark(run)
+    assert derived == ["Chinese", "Chinese", "Greek", "Indian", None]
+
+
+def test_partitioning_example3_ilfds(benchmark, example3):
+    def run():
+        return partition_into_tables(example3.ilfds)
+
+    tables = benchmark(run)
+    assert len(tables) == 4  # Table 8 + the (name,street), street, (county,name) families

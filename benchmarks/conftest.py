@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every bench reproduces one table, figure, proposition, or session of the
+paper (see the experiment index in DESIGN.md): it *asserts* the paper's
+expected content and *times* the computation via pytest-benchmark.
+Paper-vs-measured notes live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.workloads import (
+    restaurant_example_1,
+    restaurant_example_2,
+    restaurant_example_3,
+)
+
+
+@pytest.fixture(scope="session")
+def example1():
+    return restaurant_example_1()
+
+
+@pytest.fixture(scope="session")
+def example2():
+    return restaurant_example_2()
+
+
+@pytest.fixture(scope="session")
+def example3():
+    return restaurant_example_3()
+
+
+def pair_names(matching):
+    """Render matching-table pairs as {(r_name, s_name)} for assertions."""
+    return {
+        (dict(e.r_key).get("name"), dict(e.s_key).get("name"))
+        for e in matching
+    }

@@ -1,0 +1,78 @@
+"""Why soundness matters: the paper's dismissal scenario.
+
+"A company wanting to dismiss employees with sales performance below
+expectation requires matching between the employee records in one
+database and their performance records in another database.  It is
+crucial that the set of matched records be correct; otherwise, some
+people may be wrongly fired." (Section 4.)
+
+Employee(name, dept, title) and Performance(name, division, rating)
+share no common candidate key — names repeat across departments.  The
+example contrasts:
+
+- naive matching on the common attribute ``name`` (a Section-2.1-style
+  mistake), which fires the wrong people, with
+- the paper's technique: derive ``division`` from ``dept`` through the
+  dept → division ILFD family and match on the extended key
+  {name, division}, which is provably sound on this workload.
+
+Run:  python examples/employee_dismissal.py
+"""
+
+from repro import EntityIdentifier
+from repro.baselines import ProbabilisticAttributeMatcher, evaluate, evaluate_pairs
+from repro.workloads import EmployeeWorkloadSpec, employee_workload
+
+
+def main() -> None:
+    workload = employee_workload(EmployeeWorkloadSpec(n_entities=200, seed=7))
+    print(
+        f"Employee: {len(workload.r)} tuples; Performance: "
+        f"{len(workload.s)} tuples; true matches: {len(workload.truth)}"
+    )
+
+    # Who should be dismissed, per ground truth: employees whose matched
+    # performance record says "below".
+    below_keys = {
+        s_key
+        for (_, s_key) in workload.truth
+    }
+
+    # --- the naive approach: match on the shared 'name' attribute ----
+    naive = ProbabilisticAttributeMatcher(threshold=1.0, one_to_one=False)
+    naive_result = naive.match(workload.r, workload.s)
+    naive_quality = evaluate(naive_result, workload.truth)
+    print(f"\nnaive common-attribute matching:\n  {naive_quality}")
+    wrong = naive_quality.false_positives
+    print(
+        f"  → {wrong} incorrect matches; with dismissals riding on them, "
+        f"{wrong} employees could be wrongly fired"
+    )
+
+    # --- the paper's technique ---------------------------------------
+    identifier = EntityIdentifier(
+        workload.r,
+        workload.s,
+        workload.extended_key,
+        ilfds=list(workload.ilfds),
+        derive_ilfd_distinctness=False,
+    )
+    matching = identifier.matching_table()
+    report = identifier.verify()
+    quality = evaluate_pairs("ilfd-extended-key", matching.pairs(), workload.truth)
+    print(f"\nextended key {{name, division}} via dept→division ILFDs:\n  {quality}")
+    print(f"  {report.message}")
+
+    dismissed = [
+        entry
+        for entry in matching
+        if entry.s_row["rating"] == "below"
+    ]
+    print(
+        f"  → {len(dismissed)} dismissal candidates, every one matched "
+        "soundly (precision 1.0): nobody is wrongly fired"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Replay the Section-6 prototype session.
+
+Drives the mini-Prolog port of the Appendix program through the same
+interaction the paper shows: select the extended key {Name, Spec, Cui}
+(verified), print the matching and integrated tables, then select {Name}
+alone and get the unsound-matching warning.
+
+Run:  python examples/prolog_prototype.py
+"""
+
+from repro.prolog import restaurant_prototype
+
+
+def main() -> None:
+    prototype = restaurant_prototype()
+
+    print("| ?- setup_extkey.")
+    for index, candidate in enumerate(prototype.candidate_attributes()):
+        print(f"[{index}] {candidate.capitalize()}: (r_..., s_...)")
+    print("Please input the keys: 0, 2, 1  (Name, Spec, Cui)\n")
+    print(prototype.setup_extkey(["name", "speciality", "cuisine"]))
+    print()
+
+    print("| ?- print_matchtable.")
+    print(prototype.print_matchtable())
+    print()
+
+    print("| ?- print_integ_table.")
+    print(prototype.print_integ_table())
+    print()
+
+    print("| ?- setup_extkey.   % now with key 0 (Name) only")
+    print(prototype.setup_extkey(["name"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: match two relations that share no common candidate key.
+
+The smallest end-to-end use of the library — the paper's Example 2:
+R(name, cuisine, street) with key (name, cuisine) against
+S(name, speciality, city) with key (name, city-ish speciality).  Key
+equivalence is inapplicable (no common key), but one ILFD — "every
+restaurant specialising in Mughalai food is an Indian restaurant" —
+lets extended-key equivalence over {name, cuisine} find the match.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Attribute,
+    EntityIdentifier,
+    ILFD,
+    Relation,
+    Schema,
+    format_relation,
+)
+
+
+def main() -> None:
+    r = Relation(
+        Schema(
+            [Attribute("name"), Attribute("cuisine"), Attribute("street")],
+            keys=[("name", "cuisine")],
+        ),
+        [
+            ("TwinCities", "Chinese", "Wash.Ave."),
+            ("TwinCities", "Indian", "Univ.Ave."),
+        ],
+        name="R",
+    )
+    s = Relation(
+        Schema(
+            [Attribute("name"), Attribute("speciality"), Attribute("city")],
+            keys=[("name", "speciality")],
+        ),
+        [("TwinCities", "Mughalai", "St.Paul")],
+        name="S",
+    )
+
+    identifier = EntityIdentifier(
+        r,
+        s,
+        ["name", "cuisine"],  # the extended key K_Ext
+        ilfds=[ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"})],
+    )
+
+    result = identifier.run()
+    print(format_relation(result.matching.to_relation(), title="matching table (Table 3)"))
+    print()
+    print(result.report.message)
+    print()
+    print(format_relation(result.negative.to_relation(), title="negative matching table (Table 4)"))
+    print()
+    integrated = identifier.integrate()
+    print(format_relation(integrated.relation, title="integrated table T_RS"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Offline installer fallback.
+
+``pip install -e .`` needs the `wheel` package (PEP 660 editable builds);
+fully offline environments may lack it.  This script achieves the same
+effect with stdlib only: it writes a ``.pth`` file pointing at ``src/``
+into the active interpreter's site-packages.
+
+Usage:  python install_offline.py  [--uninstall]
+"""
+
+import site
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    src = Path(__file__).resolve().parent / "src"
+    target = Path(site.getsitepackages()[0]) / "repro-editable.pth"
+    if "--uninstall" in sys.argv:
+        if target.exists():
+            target.unlink()
+            print(f"removed {target}")
+        return 0
+    target.write_text(str(src) + "\n")
+    print(f"wrote {target} -> {src}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

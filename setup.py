@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The PEP 660 editable-install path needs the `wheel` package; fully
+offline environments may not have it.  With this shim (and no
+[build-system] table in pyproject.toml) `pip install -e .` falls back to
+`setup.py develop`, which works with setuptools alone.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,150 @@
+"""repro — Entity Identification in Database Integration.
+
+A from-scratch reproduction of Lim, Srivastava, Prabhakar & Richardson,
+"Entity Identification in Database Integration" (ICDE 1993; extended in
+Information Sciences 89, 1996): sound entity identification across
+relations that share **no common candidate key**, via extended-key
+equivalence and instance-level functional dependencies (ILFDs).
+
+Quickstart::
+
+    from repro import EntityIdentifier, ILFD, Relation, Schema, Attribute
+
+    R = Relation(Schema([Attribute("name"), Attribute("cuisine"),
+                         Attribute("street")], keys=[("name", "cuisine")]),
+                 [("TwinCities", "Indian", "Univ.Ave.")], name="R")
+    S = Relation(Schema([Attribute("name"), Attribute("speciality")],
+                        keys=[("name", "speciality")]),
+                 [("TwinCities", "Mughalai")], name="S")
+    ident = EntityIdentifier(
+        R, S, ["name", "cuisine"],
+        ilfds=[ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"})],
+    )
+    result = ident.run()            # matching table + soundness report
+    integrated = ident.integrate()  # T_RS
+
+Subpackages: :mod:`repro.relational` (algebra substrate),
+:mod:`repro.ilfd` (ILFD theory), :mod:`repro.rules` (identity and
+distinctness rules), :mod:`repro.core` (the identification pipeline),
+:mod:`repro.prolog` (mini-Prolog engine + the paper's prototype),
+:mod:`repro.baselines` (the Section-2.2 approaches),
+:mod:`repro.workloads` (seeded synthetic workloads with ground truth).
+"""
+
+from repro.relational import (
+    NULL,
+    Attribute,
+    Domain,
+    Relation,
+    Schema,
+    format_relation,
+    full_outer_join,
+    natural_join,
+    non_null_eq,
+    project,
+    read_csv,
+    rename,
+    select,
+    union,
+    write_csv,
+)
+from repro.ilfd import (
+    Condition,
+    DerivationEngine,
+    DerivationPolicy,
+    ILFD,
+    ILFDSet,
+    ILFDTable,
+    closure,
+    implies,
+    minimal_cover,
+    prove,
+    saturate,
+)
+from repro.discovery import (
+    mine_from_relations,
+    mine_ilfds,
+    suggest_extended_keys,
+)
+from repro.federation import IncrementalIdentifier, VirtualIntegratedView
+from repro.rules import (
+    DistinctnessRule,
+    IdentityRule,
+    MatchStatus,
+    RuleEngine,
+    extended_key_rule,
+    ilfd_to_distinctness_rules,
+    key_equivalence_rule,
+)
+from repro.core import (
+    AttributeCorrespondence,
+    EntityIdentifier,
+    ExtendedKey,
+    IdentificationResult,
+    IntegratedTable,
+    MatchingTable,
+    MonotonicityTracker,
+    NegativeMatchingTable,
+    SoundnessError,
+    SoundnessReport,
+    algebraic_matching_table,
+    integrate,
+    verify_soundness,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "AttributeCorrespondence",
+    "Condition",
+    "DerivationEngine",
+    "DerivationPolicy",
+    "DistinctnessRule",
+    "Domain",
+    "EntityIdentifier",
+    "ExtendedKey",
+    "ILFD",
+    "ILFDSet",
+    "ILFDTable",
+    "IdentificationResult",
+    "IdentityRule",
+    "IncrementalIdentifier",
+    "IntegratedTable",
+    "MatchStatus",
+    "MatchingTable",
+    "MonotonicityTracker",
+    "NULL",
+    "NegativeMatchingTable",
+    "Relation",
+    "RuleEngine",
+    "Schema",
+    "SoundnessError",
+    "SoundnessReport",
+    "VirtualIntegratedView",
+    "algebraic_matching_table",
+    "closure",
+    "extended_key_rule",
+    "format_relation",
+    "full_outer_join",
+    "ilfd_to_distinctness_rules",
+    "implies",
+    "integrate",
+    "key_equivalence_rule",
+    "mine_from_relations",
+    "mine_ilfds",
+    "minimal_cover",
+    "natural_join",
+    "non_null_eq",
+    "project",
+    "prove",
+    "read_csv",
+    "rename",
+    "saturate",
+    "select",
+    "suggest_extended_keys",
+    "union",
+    "verify_soundness",
+    "write_csv",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""The five existing approaches surveyed in Section 2.2.
+
+The paper positions its technique against five families of prior work;
+each is implemented here behind a common interface so the comparison
+benches can measure the qualitative claims (who is applicable when, who
+stays sound under instance-level homonyms, who needs a common key):
+
+1. **Key equivalence** (Multibase) — match on a shared candidate key;
+   inapplicable without one and unsound when the key is not a key of the
+   integrated world (:mod:`repro.baselines.key_equivalence`).
+2. **User-specified equivalence** (Pegasus) — the user supplies the
+   matching table (:mod:`repro.baselines.user_specified`).
+3. **Probabilistic key equivalence** (Pu) — subfield matching over the
+   common key; tolerant but can err
+   (:mod:`repro.baselines.probabilistic_key`).
+4. **Probabilistic attribute equivalence** (Chatterjee & Segev) —
+   a comparison value over all common attributes
+   (:mod:`repro.baselines.probabilistic_attr`).
+5. **Heuristic rules** (Wang & Madnick) — knowledge-based inference of
+   extra attribute values without a soundness guarantee
+   (:mod:`repro.baselines.heuristic`).
+
+:mod:`repro.baselines.evaluation` scores any matcher's output against a
+ground-truth pairing (precision/recall/F1 plus uniqueness-violation
+counts), which is how bench X2 validates the paper's Section-2 arguments.
+"""
+
+from repro.baselines.base import (
+    BaselineMatcher,
+    BaselineResult,
+    InapplicableError,
+    ScoredPair,
+)
+from repro.baselines.key_equivalence import KeyEquivalenceMatcher
+from repro.baselines.user_specified import UserSpecifiedMatcher
+from repro.baselines.probabilistic_key import ProbabilisticKeyMatcher
+from repro.baselines.probabilistic_attr import ProbabilisticAttributeMatcher
+from repro.baselines.heuristic import HeuristicRule, HeuristicRuleMatcher
+from repro.baselines.evaluation import MatchQuality, evaluate, evaluate_pairs
+
+__all__ = [
+    "BaselineMatcher",
+    "BaselineResult",
+    "HeuristicRule",
+    "HeuristicRuleMatcher",
+    "InapplicableError",
+    "KeyEquivalenceMatcher",
+    "MatchQuality",
+    "ProbabilisticAttributeMatcher",
+    "ProbabilisticKeyMatcher",
+    "ScoredPair",
+    "UserSpecifiedMatcher",
+    "evaluate",
+    "evaluate_pairs",
+]

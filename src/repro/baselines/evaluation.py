@@ -1,0 +1,109 @@
+"""Scoring matcher output against ground truth.
+
+The synthetic workloads know which tuple pairs really co-refer, so every
+matcher (the paper's technique included) can be scored on:
+
+- **precision** — the paper's soundness axis: the fraction of declared
+  matches that are real (a sound technique scores 1.0 by construction);
+- **recall** — the completeness axis: the fraction of real matches found;
+- **uniqueness violations** — outputs breaking the Section-3.2
+  constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.baselines.base import BaselineResult
+from repro.core.matching_table import KeyValues
+
+Pair = Tuple[KeyValues, KeyValues]
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Precision/recall of one matcher run against ground truth."""
+
+    matcher_name: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    uniqueness_violations: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 for an empty output (nothing wrong said)."""
+        declared = self.true_positives + self.false_positives
+        if declared == 0:
+            return 1.0
+        return self.true_positives / declared
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there was nothing to find."""
+        actual = self.true_positives + self.false_negatives
+        if actual == 0:
+            return 1.0
+        return self.true_positives / actual
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def is_sound(self) -> bool:
+        """The paper's soundness: no false positives declared."""
+        return self.false_positives == 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.matcher_name}: precision={self.precision:.3f} "
+            f"recall={self.recall:.3f} f1={self.f1:.3f} "
+            f"uniqueness_violations={self.uniqueness_violations}"
+        )
+
+
+def evaluate(
+    result: BaselineResult,
+    truth: Iterable[Pair],
+) -> MatchQuality:
+    """Score *result* against the ground-truth pair set."""
+    truth_set: FrozenSet[Pair] = frozenset(truth)
+    declared = result.pair_set()
+    tp = len(declared & truth_set)
+    return MatchQuality(
+        matcher_name=result.matcher_name,
+        true_positives=tp,
+        false_positives=len(declared) - tp,
+        false_negatives=len(truth_set) - tp,
+        uniqueness_violations=result.uniqueness_violations(),
+    )
+
+
+def evaluate_pairs(
+    matcher_name: str,
+    declared: Iterable[Pair],
+    truth: Iterable[Pair],
+) -> MatchQuality:
+    """Score a bare pair set (e.g. the core technique's matching table)."""
+    truth_set: FrozenSet[Pair] = frozenset(truth)
+    declared_set: FrozenSet[Pair] = frozenset(declared)
+    tp = len(declared_set & truth_set)
+    from collections import Counter
+
+    r_counts = Counter(pair[0] for pair in declared_set)
+    s_counts = Counter(pair[1] for pair in declared_set)
+    violations = sum(1 for c in r_counts.values() if c > 1) + sum(
+        1 for c in s_counts.values() if c > 1
+    )
+    return MatchQuality(
+        matcher_name=matcher_name,
+        true_positives=tp,
+        false_positives=len(declared_set) - tp,
+        false_negatives=len(truth_set) - tp,
+        uniqueness_violations=violations,
+    )

@@ -1,0 +1,133 @@
+"""Baseline 5: heuristic rules (Wang & Madnick).
+
+"Wang and Madnick attacked the problem using a knowledge-based approach.
+A set of heuristic rules is used to infer additional information about
+the object instances to be matched.  Because the knowledge used is
+heuristic in nature, the matching result produced may not be correct."
+(Section 2.2.)
+
+A :class:`HeuristicRule` is syntactically an ILFD with a confidence in
+(0, 1]; unlike ILFDs, it is *not* assumed valid in the integrated world.
+The matcher derives attribute values with the rules (first-match-wins,
+like the prototype) and then matches on an extended key, propagating a
+pair confidence = product of the confidences of the rules used on either
+side.  With all-confidence-1 rules this degenerates to the paper's sound
+technique — which is exactly the paper's point: ILFDs are the sound
+special case of knowledge-based inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.baselines.base import BaselineMatcher, BaselineResult, ScoredPair
+from repro.core.matching_table import key_values
+from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+
+
+@dataclass(frozen=True)
+class HeuristicRule:
+    """An ILFD-shaped inference with a confidence < certainty allowed."""
+
+    ilfd: ILFD
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1], got {self.confidence}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        antecedent: Mapping[str, Any],
+        consequent: Mapping[str, Any],
+        confidence: float = 1.0,
+        *,
+        name: str = "",
+    ) -> "HeuristicRule":
+        """Build from assignment dicts, like :meth:`ILFD.of`."""
+        return cls(ILFD(antecedent, consequent, name=name), confidence)
+
+
+class HeuristicRuleMatcher(BaselineMatcher):
+    """Extended-key matching over heuristically derived values.
+
+    Parameters
+    ----------
+    rules:
+        The heuristic rules, in priority order (first match wins).
+    extended_key:
+        The attributes to match on once values are derived.
+    min_confidence:
+        Drop matches whose combined confidence falls below this bound.
+    """
+
+    name = "heuristic-rules"
+    guarantees_soundness = False
+
+    def __init__(
+        self,
+        rules: Iterable[HeuristicRule],
+        extended_key: Sequence[str],
+        *,
+        min_confidence: float = 0.0,
+    ) -> None:
+        self._rules = list(rules)
+        self._key = list(extended_key)
+        self._min_confidence = min_confidence
+        self._engine = DerivationEngine(
+            ILFDSet(rule.ilfd for rule in self._rules),
+            policy=DerivationPolicy.FIRST_MATCH,
+        )
+        self._confidence_by_ilfd: Dict[ILFD, float] = {}
+        for rule in self._rules:
+            for part in rule.ilfd.split():
+                self._confidence_by_ilfd[part] = rule.confidence
+
+    def _extend(self, row: Row) -> Tuple[Row, float]:
+        result = self._engine.extend_row(row, self._key)
+        confidence = 1.0
+        for fired in result.fired:
+            confidence *= self._confidence_by_ilfd.get(fired, 1.0)
+        return result.row, confidence
+
+    def match(self, r: Relation, s: Relation) -> BaselineResult:
+        """Derive, then match on fully non-NULL equal extended keys."""
+        r_key_attrs = self._r_key_attrs(r)
+        s_key_attrs = self._s_key_attrs(s)
+        extended_s: List[Tuple[Row, float]] = [self._extend(row) for row in s]
+        pairs: List[ScoredPair] = []
+        for r_row in r:
+            r_ext, r_conf = self._extend(r_row)
+            r_values = r_ext.values_for(self._key)
+            if any(is_null(v) for v in r_values):
+                continue
+            for s_ext, s_conf in extended_s:
+                s_values = s_ext.values_for(self._key)
+                if any(is_null(v) for v in s_values):
+                    continue
+                if r_values != s_values:
+                    continue
+                confidence = r_conf * s_conf
+                if confidence >= self._min_confidence:
+                    pairs.append(
+                        ScoredPair(
+                            key_values(r_ext, r_key_attrs),
+                            key_values(s_ext, s_key_attrs),
+                            score=confidence,
+                        )
+                    )
+        return self._result(
+            pairs,
+            notes=(
+                f"{len(self._rules)} heuristic rules, key {self._key}, "
+                f"min confidence {self._min_confidence}"
+            ),
+        )

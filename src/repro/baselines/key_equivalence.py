@@ -1,0 +1,85 @@
+"""Baseline 1: entity identification by key equivalence (Multibase).
+
+"Many approaches assume some common key exists between relations from
+different databases modeling the same entity type. … This approach,
+however, is limited because the relations may have no common key, even
+though they might share some common key attributes, as shown in
+Example 1." (Section 2.2.)
+
+The matcher requires a common candidate key (an attribute set that is a
+candidate key of *both* unified relations) and equates tuples with equal
+key values.  Its soundness additionally rests on the unstated assumption
+Section 4.1 spells out — "the (common) candidate key continues to remain
+a key for the unionized set of real-world entities" — which instance
+data cannot certify, so ``guarantees_soundness`` is False and the
+Figure-2 bench shows it mis-matching homonyms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.baselines.base import BaselineMatcher, BaselineResult, InapplicableError, ScoredPair
+from repro.core.matching_table import key_values
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+
+
+class KeyEquivalenceMatcher(BaselineMatcher):
+    """Match tuples whose common candidate-key values are equal.
+
+    Parameters
+    ----------
+    key:
+        The common key to use; defaults to any candidate key declared by
+        both relations (raises :class:`InapplicableError` when none
+        exists — the Example-1 situation).
+    """
+
+    name = "key-equivalence"
+    guarantees_soundness = False
+
+    def __init__(self, key: Optional[Tuple[str, ...]] = None) -> None:
+        self._key = tuple(key) if key is not None else None
+
+    def common_key(self, r: Relation, s: Relation) -> FrozenSet[str]:
+        """The common candidate key used for matching."""
+        if self._key is not None:
+            wanted = frozenset(self._key)
+            if wanted not in r.schema.keys or wanted not in s.schema.keys:
+                raise InapplicableError(
+                    f"{sorted(wanted)} is not a candidate key of both relations"
+                )
+            return wanted
+        shared = set(r.schema.keys) & set(s.schema.keys)
+        if not shared:
+            raise InapplicableError(
+                "relations share no common candidate key (the paper's "
+                "Example-1 situation); key equivalence is inapplicable"
+            )
+        return min(shared, key=lambda k: (len(k), sorted(k)))
+
+    def match(self, r: Relation, s: Relation) -> BaselineResult:
+        """Equate tuples with identical non-NULL common-key values."""
+        key = sorted(self.common_key(r, s))
+        index: Dict[Tuple, List] = {}
+        for s_row in s:
+            values = s_row.values_for(key)
+            if any(is_null(v) for v in values):
+                continue
+            index.setdefault(values, []).append(s_row)
+        pairs: List[ScoredPair] = []
+        r_key_attrs = self._r_key_attrs(r)
+        s_key_attrs = self._s_key_attrs(s)
+        for r_row in r:
+            values = r_row.values_for(key)
+            if any(is_null(v) for v in values):
+                continue
+            for s_row in index.get(values, ()):  # all equal-key partners
+                pairs.append(
+                    ScoredPair(
+                        key_values(r_row, r_key_attrs),
+                        key_values(s_row, s_key_attrs),
+                    )
+                )
+        return self._result(pairs, notes=f"common key {key}")

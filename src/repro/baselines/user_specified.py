@@ -1,0 +1,67 @@
+"""Baseline 2: user-specified equivalence (Pegasus).
+
+"This approach requires the user to specify equivalence between object
+instances, e.g., as a table that maps local object ids to global object
+ids. … Because the matching table can be very large, this approach can
+potentially be extremely cumbersome.  Nevertheless, it is a general
+approach and can handle synonym and homonym problems." (Section 2.2.)
+
+The matcher is a thin adapter around a user-supplied pairing; it is sound
+exactly as sound as its input (we take the user at their word, matching
+the paper's framing), and :meth:`UserSpecifiedMatcher.effort` exposes the
+"cumbersome" axis — the number of assertions the user had to make.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Tuple
+
+from repro.baselines.base import BaselineMatcher, BaselineResult, InapplicableError, ScoredPair
+from repro.core.matching_table import key_values
+from repro.relational.relation import Relation
+
+
+class UserSpecifiedMatcher(BaselineMatcher):
+    """Match exactly the user-asserted pairs.
+
+    Parameters
+    ----------
+    assertions:
+        Iterable of ``(r_key_mapping, s_key_mapping)`` pairs, each
+        identifying one tuple of each relation by (a superset of) its key
+        attributes.
+    """
+
+    name = "user-specified"
+    guarantees_soundness = True  # trusted input, per the paper's framing
+
+    def __init__(
+        self,
+        assertions: Iterable[Tuple[Mapping[str, Any], Mapping[str, Any]]],
+    ) -> None:
+        self._assertions = list(assertions)
+
+    def effort(self) -> int:
+        """How many manual assertions this matching required."""
+        return len(self._assertions)
+
+    def match(self, r: Relation, s: Relation) -> BaselineResult:
+        """Resolve each assertion against the relations."""
+        pairs: List[ScoredPair] = []
+        r_key_attrs = self._r_key_attrs(r)
+        s_key_attrs = self._s_key_attrs(s)
+        for r_keys, s_keys in self._assertions:
+            r_row = r.lookup(dict(r_keys))
+            s_row = s.lookup(dict(s_keys))
+            if r_row is None or s_row is None:
+                raise InapplicableError(
+                    f"assertion references unknown tuples: {dict(r_keys)!r} / "
+                    f"{dict(s_keys)!r}"
+                )
+            pairs.append(
+                ScoredPair(
+                    key_values(r_row, r_key_attrs),
+                    key_values(s_row, s_key_attrs),
+                )
+            )
+        return self._result(pairs, notes=f"{len(pairs)} manual assertions")

@@ -1,0 +1,113 @@
+"""Attribute correspondences between the two source relations.
+
+The paper assumes "semantically equivalent attributes can usually be
+determined at the schema integration stage" (Section 3.1) and its
+prototype is told a priori which attribute pairs correspond —
+``(r_name, s_name)``, ``(r_spec, s_spec)``, ``(r_cui, s_cui)`` in the
+``setup_extkey`` listing.  An :class:`AttributeCorrespondence` captures
+exactly that information: a renaming of each source relation into one
+*unified* namespace in which equal names mean semantic equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.core.errors import CoreError
+from repro.relational.relation import Relation
+
+
+class AttributeCorrespondence:
+    """Renamings of R and S attributes into the unified namespace.
+
+    Parameters
+    ----------
+    r_map / s_map:
+        Partial mappings from source-local attribute names to unified
+        names.  Unmapped attributes keep their local name.  After mapping,
+        a name shared by both relations asserts semantic equivalence — if
+        two same-named attributes are *not* equivalent (an attribute-level
+        homonym), the caller must rename one of them apart.
+    """
+
+    def __init__(
+        self,
+        r_map: Optional[Mapping[str, str]] = None,
+        s_map: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._r_map: Dict[str, str] = dict(r_map or {})
+        self._s_map: Dict[str, str] = dict(s_map or {})
+        for label, mapping in (("r_map", self._r_map), ("s_map", self._s_map)):
+            targets = list(mapping.values())
+            if len(set(targets)) != len(targets):
+                raise CoreError(f"{label} maps two attributes to the same unified name")
+
+    @classmethod
+    def identity(cls) -> "AttributeCorrespondence":
+        """No renaming: the sources already share the unified namespace."""
+        return cls()
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, str, str]]) -> "AttributeCorrespondence":
+        """Build from (r_attr, s_attr, unified_name) triples.
+
+        Mirrors the prototype's candidate list, e.g.
+        ``("r_name", "s_name", "name")``.
+        """
+        r_map: Dict[str, str] = {}
+        s_map: Dict[str, str] = {}
+        for r_attr, s_attr, unified in pairs:
+            r_map[r_attr] = unified
+            s_map[s_attr] = unified
+        return cls(r_map, s_map)
+
+    # ------------------------------------------------------------------
+    @property
+    def r_map(self) -> Mapping[str, str]:
+        """The R-side renaming."""
+        return dict(self._r_map)
+
+    @property
+    def s_map(self) -> Mapping[str, str]:
+        """The S-side renaming."""
+        return dict(self._s_map)
+
+    def unify_r(self, relation: Relation) -> Relation:
+        """R renamed into the unified namespace."""
+        return self._unify(relation, self._r_map, "R")
+
+    def unify_s(self, relation: Relation) -> Relation:
+        """S renamed into the unified namespace."""
+        return self._unify(relation, self._s_map, "S")
+
+    def _unify(self, relation: Relation, mapping: Dict[str, str], side: str) -> Relation:
+        from repro.relational.algebra import rename
+
+        applicable = {
+            src: dst for src, dst in mapping.items() if src in relation.schema
+        }
+        missing = mapping.keys() - set(relation.schema.names)
+        if missing:
+            raise CoreError(
+                f"{side}-side correspondence references unknown attributes "
+                f"{sorted(missing)}"
+            )
+        if not applicable:
+            return relation
+        return rename(relation, applicable, name=relation.name)
+
+    def common_attributes(self, r: Relation, s: Relation) -> FrozenSet[str]:
+        """Unified names present in both relations.
+
+        These are the prototype's "candidate attributes" offered for the
+        extended key.
+        """
+        r_names = {self._r_map.get(name, name) for name in r.schema.names}
+        s_names = {self._s_map.get(name, name) for name in s.schema.names}
+        return frozenset(r_names & s_names)
+
+    def __repr__(self) -> str:
+        return (
+            f"AttributeCorrespondence(r_map={self._r_map!r}, "
+            f"s_map={self._s_map!r})"
+        )

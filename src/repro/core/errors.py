@@ -1,0 +1,26 @@
+"""Exceptions for the entity-identification core."""
+
+
+class CoreError(Exception):
+    """Base class for core entity-identification errors."""
+
+
+class ExtendedKeyError(CoreError):
+    """The extended key is malformed or incompatible with the sources."""
+
+
+class SoundnessError(CoreError):
+    """The uniqueness constraint is violated.
+
+    "No tuple in either relation can be matched to more than one tuple in
+    the other relation" (Section 3.2) — the prototype reports this as
+    "The extended key causes unsound matching result."
+    """
+
+
+class ConsistencyError(CoreError):
+    """The consistency constraint is violated.
+
+    "No tuple pair can appear in both the matching and negative matching
+    tables" (Section 3.2).
+    """

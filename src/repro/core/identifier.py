@@ -1,0 +1,319 @@
+"""The entity identifier: Figure 4's pipeline.
+
+"The entity-identification process reads in R and S relations, derives
+their extended key, and generates the integrated table T_RS."
+
+:class:`EntityIdentifier` wires the pieces together:
+
+1. rename both sources into the unified namespace (the attribute
+   correspondences established at schema-integration time),
+2. extend each relation with its missing extended-key attributes, NULL by
+   default, then derive values by chasing the ILFDs (R → R', S → S'),
+3. join R' and S' over *identical non-NULL* extended-key values
+   (``non_null_eq`` on every K_Ext attribute) to build the matching table,
+4. verify the soundness criteria (uniqueness constraint) like the
+   prototype's ``verify`` command,
+5. evaluate distinctness rules (explicit ones plus the Proposition-1
+   duals of the ILFDs) to populate the negative matching table,
+6. emit the integrated table ``T_RS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.correspondence import AttributeCorrespondence
+from repro.core.errors import ConsistencyError, CoreError
+from repro.core.extended_key import ExtendedKey
+from repro.core.matching_table import (
+    MatchEntry,
+    MatchingTable,
+    NegativeMatchingTable,
+    build_matching_table,
+    check_consistency,
+    key_values,
+)
+from repro.core.soundness import SoundnessReport, verify_soundness
+from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+from repro.rules.conversion import ilfd_to_distinctness_rules
+from repro.rules.distinctness import DistinctnessRule
+from repro.rules.engine import MatchStatus, RuleEngine
+from repro.rules.identity import IdentityRule
+
+
+@dataclass
+class IdentificationResult:
+    """Everything one identification run produces.
+
+    Attributes
+    ----------
+    matching:
+        The matching table MT_RS.
+    negative:
+        The negative matching table NMT_RS (explicitly materialised).
+    extended_r / extended_s:
+        The extended relations R' and S' (unified namespace, derived
+        extended-key values filled in).
+    report:
+        The soundness report for the matching table.
+    pair_count:
+        Total number of R'×S' tuple pairs considered.
+    """
+
+    matching: MatchingTable
+    negative: NegativeMatchingTable
+    extended_r: Relation
+    extended_s: Relation
+    report: SoundnessReport
+    pair_count: int
+
+    @property
+    def undetermined_count(self) -> int:
+        """Pairs neither matched nor declared distinct (Figure 3's middle)."""
+        return self.pair_count - len(self.matching) - len(self.negative)
+
+    def is_complete(self) -> bool:
+        """Completeness (Section 3.2): no undetermined pair remains."""
+        return self.undetermined_count == 0
+
+
+class EntityIdentifier:
+    """Identify entities across two relations sharing no common key.
+
+    Parameters
+    ----------
+    r, s:
+        The source relations (in their local namespaces).
+    extended_key:
+        The DBA-asserted extended key (unified attribute names), or a
+        plain sequence of names.
+    ilfds:
+        ILFDs over unified attribute names.
+    correspondence:
+        Attribute correspondences; defaults to the identity mapping.
+    policy:
+        ILFD derivation policy (default: the prototype's FIRST_MATCH).
+    identity_rules / distinctness_rules:
+        Extra DBA rules beyond the extended-key rule and the ILFD duals.
+    asserted_matches:
+        User-specified matching pairs, each ``(r_key_mapping,
+        s_key_mapping)`` — the paper's "knowledgeable user [may] add
+        entries directly to the matching table".
+    derive_ilfd_distinctness:
+        Whether to auto-derive distinctness rules from the ILFDs via
+        Proposition 1 (on by default).
+    """
+
+    def __init__(
+        self,
+        r: Relation,
+        s: Relation,
+        extended_key: ExtendedKey | Sequence[str],
+        *,
+        ilfds: ILFDSet | Iterable[ILFD] = (),
+        correspondence: Optional[AttributeCorrespondence] = None,
+        policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
+        identity_rules: Iterable[IdentityRule] = (),
+        distinctness_rules: Iterable[DistinctnessRule] = (),
+        asserted_matches: Iterable[Tuple[Mapping[str, Any], Mapping[str, Any]]] = (),
+        derive_ilfd_distinctness: bool = True,
+    ) -> None:
+        self._correspondence = correspondence or AttributeCorrespondence.identity()
+        self._r = self._correspondence.unify_r(r)
+        self._s = self._correspondence.unify_s(s)
+        if not isinstance(extended_key, ExtendedKey):
+            extended_key = ExtendedKey(list(extended_key))
+        extended_key.check_against(self._r, self._s)
+        self._key = extended_key
+        self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
+        self._engine = DerivationEngine(self._ilfds, policy=policy)
+        self._policy = policy
+        self._asserted = list(asserted_matches)
+
+        derived_rules: List[DistinctnessRule] = []
+        if derive_ilfd_distinctness:
+            for ilfd in self._ilfds:
+                derived_rules.extend(ilfd_to_distinctness_rules(ilfd))
+        self._rules = RuleEngine(
+            [extended_key.identity_rule(), *identity_rules],
+            list(distinctness_rules) + derived_rules,
+        )
+
+        self._extended_r: Optional[Relation] = None
+        self._extended_s: Optional[Relation] = None
+        self._matching: Optional[MatchingTable] = None
+        self._negative: Optional[NegativeMatchingTable] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def extended_key(self) -> ExtendedKey:
+        """The extended key in use."""
+        return self._key
+
+    @property
+    def ilfds(self) -> ILFDSet:
+        """The ILFD set in use."""
+        return self._ilfds
+
+    @property
+    def rules(self) -> RuleEngine:
+        """The rule engine (extended-key rule, extra rules, ILFD duals)."""
+        return self._rules
+
+    @property
+    def unified_r(self) -> Relation:
+        """R in the unified namespace."""
+        return self._r
+
+    @property
+    def unified_s(self) -> Relation:
+        """S in the unified namespace."""
+        return self._s
+
+    @property
+    def r_key_attributes(self) -> Tuple[str, ...]:
+        """R's primary-key attributes (unified names, schema order)."""
+        key = self._r.schema.primary_key
+        return tuple(n for n in self._r.schema.names if n in key)
+
+    @property
+    def s_key_attributes(self) -> Tuple[str, ...]:
+        """S's primary-key attributes (unified names, schema order)."""
+        key = self._s.schema.primary_key
+        return tuple(n for n in self._s.schema.names if n in key)
+
+    # ------------------------------------------------------------------
+    # Pipeline steps
+    # ------------------------------------------------------------------
+    def extended_relations(self) -> Tuple[Relation, Relation]:
+        """R' and S': sources extended with derived K_Ext values."""
+        if self._extended_r is None or self._extended_s is None:
+            targets = list(self._key.attributes)
+            self._extended_r = self._engine.extend_relation(self._r, targets)
+            self._extended_s = self._engine.extend_relation(self._s, targets)
+        return self._extended_r, self._extended_s
+
+    def matching_table(self) -> MatchingTable:
+        """MT_RS: pairs with identical non-NULL extended-key values."""
+        if self._matching is not None:
+            return self._matching
+        extended_r, extended_s = self.extended_relations()
+        table = build_matching_table(
+            extended_r,
+            extended_s,
+            list(self._key.attributes),
+            self.r_key_attributes,
+            self.s_key_attributes,
+        )
+        for r_keys, s_keys in self._asserted:
+            table.add(self._asserted_entry(r_keys, s_keys))
+        self._matching = table
+        return table
+
+    def _asserted_entry(
+        self, r_keys: Mapping[str, Any], s_keys: Mapping[str, Any]
+    ) -> MatchEntry:
+        extended_r, extended_s = self.extended_relations()
+        r_row = extended_r.lookup(dict(r_keys))
+        s_row = extended_s.lookup(dict(s_keys))
+        if r_row is None or s_row is None:
+            raise CoreError(
+                f"asserted match references unknown tuples: R{dict(r_keys)!r} "
+                f"/ S{dict(s_keys)!r}"
+            )
+        return MatchEntry(
+            r_row,
+            s_row,
+            key_values(r_row, self.r_key_attributes),
+            key_values(s_row, self.s_key_attributes),
+        )
+
+    def negative_matching_table(self) -> NegativeMatchingTable:
+        """NMT_RS: pairs some distinctness rule declares distinct.
+
+        Materialises the full table (O(|R'|·|S'|) rule evaluations); the
+        paper notes real systems would keep it implicit, but the worked
+        examples (Table 4) and the completeness accounting need it.
+        """
+        if self._negative is not None:
+            return self._negative
+        extended_r, extended_s = self.extended_relations()
+        table = NegativeMatchingTable(
+            r_key_attributes=self.r_key_attributes,
+            s_key_attributes=self.s_key_attributes,
+        )
+        for r_row in extended_r:
+            for s_row in extended_s:
+                if self._rules.firing_distinctness_rules(r_row, s_row):
+                    table.add(
+                        MatchEntry(
+                            r_row,
+                            s_row,
+                            key_values(r_row, self.r_key_attributes),
+                            key_values(s_row, self.s_key_attributes),
+                        )
+                    )
+        self._negative = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Classification and results
+    # ------------------------------------------------------------------
+    def classify_pair(self, r_row: Mapping[str, Any], s_row: Mapping[str, Any]) -> MatchStatus:
+        """Three-valued classification of one (R tuple, S tuple) pair.
+
+        Accepts rows from the *source* relations (local or unified names);
+        they are unified and ILFD-extended before rule evaluation.
+        """
+        r_unified = Row(dict(r_row)).rename(dict(self._correspondence.r_map))
+        s_unified = Row(dict(s_row)).rename(dict(self._correspondence.s_map))
+        targets = list(self._key.attributes)
+        r_ext = self._engine.extend_row(r_unified, targets).row
+        s_ext = self._engine.extend_row(s_unified, targets).row
+        # The extended-key rule is part of the engine's identity rules, and
+        # its predicates evaluate UNKNOWN (not TRUE) on NULLs, so "all K_Ext
+        # values non-NULL and equal" is exactly "some identity rule fires".
+        matched = bool(self._rules.firing_identity_rules(r_ext, s_ext))
+        distinct = bool(self._rules.firing_distinctness_rules(r_ext, s_ext))
+        if matched and distinct:
+            raise ConsistencyError(
+                f"pair classifies as both matching and distinct: "
+                f"{dict(r_row)!r} / {dict(s_row)!r}"
+            )
+        if matched:
+            return MatchStatus.MATCH
+        if distinct:
+            return MatchStatus.NON_MATCH
+        return MatchStatus.UNKNOWN
+
+    def verify(self) -> SoundnessReport:
+        """Verify the soundness criteria (the prototype's ``verify``)."""
+        return verify_soundness(self.matching_table())
+
+    def run(self) -> IdentificationResult:
+        """Execute the full pipeline and bundle the outcome."""
+        matching = self.matching_table()
+        negative = self.negative_matching_table()
+        check_consistency(matching, negative)
+        extended_r, extended_s = self.extended_relations()
+        return IdentificationResult(
+            matching=matching,
+            negative=negative,
+            extended_r=extended_r,
+            extended_s=extended_s,
+            report=verify_soundness(matching),
+            pair_count=len(extended_r) * len(extended_s),
+        )
+
+    def integrate(self):
+        """The integrated table T_RS (see :mod:`repro.core.integration`)."""
+        from repro.core.integration import integrate
+
+        extended_r, extended_s = self.extended_relations()
+        return integrate(extended_r, extended_s, self.matching_table())

@@ -1,0 +1,190 @@
+"""Monotonicity of entity identification (Section 3.3, Figure 3).
+
+    "An entity-identification technique is monotonic if every pair of
+    tuples determined by the technique to be matching/not matching
+    remains so when additional information is supplied. … the sets of
+    matching pairs and non-matching pairs will expand, whereas the set of
+    undetermined pairs shrinks as more semantic information becomes
+    available.  Completeness is achieved only when the undetermined set
+    is empty."
+
+:class:`MonotonicityTracker` replays a growing knowledge base (ILFDs and
+rules revealed incrementally) through the identifier and records the
+three Figure-3 regions after each increment, so callers can both verify
+monotonicity and chart the undetermined set shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.correspondence import AttributeCorrespondence
+from repro.core.extended_key import ExtendedKey
+from repro.core.identifier import EntityIdentifier
+from repro.core.matching_table import KeyValues
+from repro.ilfd.derivation import DerivationPolicy
+from repro.ilfd.ilfd import ILFD
+from repro.relational.relation import Relation
+from repro.rules.distinctness import DistinctnessRule
+from repro.rules.identity import IdentityRule
+
+Pair = Tuple[KeyValues, KeyValues]
+
+
+@dataclass(frozen=True)
+class KnowledgeIncrement:
+    """One batch of newly supplied semantic information."""
+
+    label: str
+    ilfds: Tuple[ILFD, ...] = ()
+    identity_rules: Tuple[IdentityRule, ...] = ()
+    distinctness_rules: Tuple[DistinctnessRule, ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        label: str,
+        ilfds: Iterable[ILFD] = (),
+        identity_rules: Iterable[IdentityRule] = (),
+        distinctness_rules: Iterable[DistinctnessRule] = (),
+    ) -> "KnowledgeIncrement":
+        """Convenience constructor accepting any iterables."""
+        return cls(
+            label,
+            tuple(ilfds),
+            tuple(identity_rules),
+            tuple(distinctness_rules),
+        )
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """The Figure-3 regions after one increment."""
+
+    label: str
+    matching: FrozenSet[Pair]
+    non_matching: FrozenSet[Pair]
+    undetermined_count: int
+
+    @property
+    def matching_count(self) -> int:
+        """|matching pairs|."""
+        return len(self.matching)
+
+    @property
+    def non_matching_count(self) -> int:
+        """|non-matching pairs|."""
+        return len(self.non_matching)
+
+    def is_complete(self) -> bool:
+        """True iff no pair remains undetermined."""
+        return self.undetermined_count == 0
+
+
+class MonotonicityTracker:
+    """Replays incremental knowledge through the identifier.
+
+    Parameters mirror :class:`~repro.core.identifier.EntityIdentifier`;
+    each call to :meth:`run` starts from the base knowledge and adds the
+    increments cumulatively, recording a :class:`Snapshot` per step
+    (including a step 0 for the base alone).
+    """
+
+    def __init__(
+        self,
+        r: Relation,
+        s: Relation,
+        extended_key: ExtendedKey | Sequence[str],
+        *,
+        base_ilfds: Iterable[ILFD] = (),
+        base_identity_rules: Iterable[IdentityRule] = (),
+        base_distinctness_rules: Iterable[DistinctnessRule] = (),
+        correspondence: Optional[AttributeCorrespondence] = None,
+        policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
+    ) -> None:
+        self._r = r
+        self._s = s
+        self._key = extended_key
+        self._base_ilfds = tuple(base_ilfds)
+        self._base_identity = tuple(base_identity_rules)
+        self._base_distinctness = tuple(base_distinctness_rules)
+        self._correspondence = correspondence
+        self._policy = policy
+
+    def _identifier(
+        self,
+        ilfds: Sequence[ILFD],
+        identity_rules: Sequence[IdentityRule],
+        distinctness_rules: Sequence[DistinctnessRule],
+    ) -> EntityIdentifier:
+        return EntityIdentifier(
+            self._r,
+            self._s,
+            self._key,
+            ilfds=list(ilfds),
+            identity_rules=list(identity_rules),
+            distinctness_rules=list(distinctness_rules),
+            correspondence=self._correspondence,
+            policy=self._policy,
+        )
+
+    def run(self, increments: Iterable[KnowledgeIncrement]) -> List[Snapshot]:
+        """Snapshots for the base knowledge then each cumulative increment."""
+        ilfds: List[ILFD] = list(self._base_ilfds)
+        identity: List[IdentityRule] = list(self._base_identity)
+        distinctness: List[DistinctnessRule] = list(self._base_distinctness)
+        snapshots = [self._snapshot("base", ilfds, identity, distinctness)]
+        for increment in increments:
+            ilfds.extend(increment.ilfds)
+            identity.extend(increment.identity_rules)
+            distinctness.extend(increment.distinctness_rules)
+            snapshots.append(
+                self._snapshot(increment.label, ilfds, identity, distinctness)
+            )
+        return snapshots
+
+    def _snapshot(
+        self,
+        label: str,
+        ilfds: Sequence[ILFD],
+        identity: Sequence[IdentityRule],
+        distinctness: Sequence[DistinctnessRule],
+    ) -> Snapshot:
+        identifier = self._identifier(ilfds, identity, distinctness)
+        result = identifier.run()
+        return Snapshot(
+            label=label,
+            matching=frozenset(entry.pair for entry in result.matching),
+            non_matching=frozenset(entry.pair for entry in result.negative),
+            undetermined_count=result.undetermined_count,
+        )
+
+    @staticmethod
+    def is_monotonic(snapshots: Sequence[Snapshot]) -> bool:
+        """True iff matched and non-matched sets only ever grow."""
+        for before, after in zip(snapshots, snapshots[1:]):
+            if not before.matching <= after.matching:
+                return False
+            if not before.non_matching <= after.non_matching:
+                return False
+        return True
+
+    @staticmethod
+    def violations(snapshots: Sequence[Snapshot]) -> List[str]:
+        """Human-readable description of any monotonicity violations."""
+        out: List[str] = []
+        for before, after in zip(snapshots, snapshots[1:]):
+            lost_matches = before.matching - after.matching
+            lost_distinct = before.non_matching - after.non_matching
+            if lost_matches:
+                out.append(
+                    f"{before.label} → {after.label}: lost matching pairs "
+                    f"{sorted(map(str, lost_matches))}"
+                )
+            if lost_distinct:
+                out.append(
+                    f"{before.label} → {after.label}: lost non-matching "
+                    f"pairs {sorted(map(str, lost_distinct))}"
+                )
+        return out

@@ -1,0 +1,116 @@
+"""Full-text identification reports.
+
+A production integration run ends with a human decision: which key to
+adopt, which homonym candidates need distinctness rules, which conflicts
+need resolution.  :func:`identification_report` gathers everything one
+run produced — the Figure-3 accounting, the soundness verdict with its
+witnesses, the matching table, the homonym candidates, and the
+attribute-value conflicts — into one readable document, in the prototype's
+fixed-width style.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.diagnostics import homonym_candidates
+from repro.core.identifier import EntityIdentifier, IdentificationResult
+from repro.relational.formatting import format_relation
+
+
+def identification_report(
+    identifier: EntityIdentifier,
+    *,
+    result: Optional[IdentificationResult] = None,
+    max_homonyms: int = 10,
+    title: str = "entity identification report",
+) -> str:
+    """Render one identification run as a text report.
+
+    Unlike :meth:`EntityIdentifier.run`, the report never raises on an
+    inconsistent configuration — pairs in both the matching and the
+    negative matching table are *listed*, because that is precisely when
+    the DBA needs the report.
+    """
+    if result is None:
+        from repro.core.soundness import verify_soundness
+
+        matching = identifier.matching_table()
+        negative = identifier.negative_matching_table()
+        extended_r, extended_s = identifier.extended_relations()
+        result = IdentificationResult(
+            matching=matching,
+            negative=negative,
+            extended_r=extended_r,
+            extended_s=extended_s,
+            report=verify_soundness(matching),
+            pair_count=len(extended_r) * len(extended_s),
+        )
+    lines: List[str] = []
+    rule = "=" * max(60, len(title))
+    lines.append(title.center(len(rule)).rstrip())
+    lines.append(rule)
+
+    lines.append("")
+    lines.append(
+        f"sources: R ({len(identifier.unified_r)} tuples, key "
+        f"{{{', '.join(identifier.r_key_attributes)}}}) / "
+        f"S ({len(identifier.unified_s)} tuples, key "
+        f"{{{', '.join(identifier.s_key_attributes)}}})"
+    )
+    lines.append(
+        f"extended key: {{{', '.join(identifier.extended_key.attributes)}}}"
+        f"   ILFDs available: {len(identifier.ilfds)}"
+    )
+
+    lines.append("")
+    lines.append("pair accounting (Figure 3):")
+    lines.append(f"  matching pairs:      {len(result.matching):>6}")
+    lines.append(f"  non-matching pairs:  {len(result.negative):>6}")
+    lines.append(f"  undetermined pairs:  {result.undetermined_count:>6}")
+    lines.append(f"  complete:            {str(result.is_complete()).lower()}")
+
+    lines.append("")
+    lines.append(f"soundness: {result.report.message}")
+    for side, violations in (
+        ("R", result.report.r_violations),
+        ("S", result.report.s_violations),
+    ):
+        for key in violations:
+            lines.append(
+                f"  {side} tuple {dict(key)!r} matched to multiple tuples"
+            )
+    overlap = result.matching.pairs() & result.negative.pairs()
+    if overlap:
+        lines.append(
+            f"  CONSISTENCY VIOLATION: {len(overlap)} pair(s) are in both "
+            "the matching and the negative matching table:"
+        )
+        for r_key, s_key in sorted(overlap):
+            lines.append(f"    R{dict(r_key)!r} / S{dict(s_key)!r}")
+
+    lines.append("")
+    lines.append(format_relation(result.matching.to_relation(), title="matching table"))
+
+    candidates = homonym_candidates(
+        identifier.unified_r, identifier.unified_s, result.matching
+    )
+    lines.append("")
+    lines.append(
+        f"potential instance-level homonyms (unmatched same-value pairs): "
+        f"{len(candidates)}"
+    )
+    for candidate in candidates[:max_homonyms]:
+        lines.append(f"  {candidate}")
+    if len(candidates) > max_homonyms:
+        lines.append(f"  … and {len(candidates) - max_homonyms} more")
+
+    integrated = identifier.integrate()
+    conflicts = integrated.conflicts()
+    lines.append("")
+    lines.append(f"attribute-value conflicts among matched pairs: {len(conflicts)}")
+    for conflict in conflicts[:max_homonyms]:
+        lines.append(f"  {conflict}")
+    lines.append("")
+    lines.append(f"integrated table T_RS: {len(integrated)} rows")
+    return "\n".join(lines)

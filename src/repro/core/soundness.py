@@ -1,0 +1,69 @@
+"""Soundness verification (the prototype's ``verify`` command).
+
+The prototype checks, after every ``setup_extkey``, "that no tuple from a
+source relation is matched with more than one tuple from another relation
+in the new matching table" by comparing ``bagof`` and ``setof``
+cardinalities of the matched keys, and prints either
+
+    ``Message: The extended key is verified.``
+
+or
+
+    ``Message: The extended key causes unsound matching result.``
+
+:func:`verify_soundness` performs the same check (keeping the offending
+keys as witnesses) and :class:`SoundnessReport` carries the verdict,
+including the prototype's message strings so the Section-6 bench can
+compare output verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.errors import SoundnessError
+from repro.core.matching_table import KeyValues, MatchingTable
+
+VERIFIED_MESSAGE = "Message: The extended key is verified."
+UNSOUND_MESSAGE = "Message: The extended key causes unsound matching result."
+
+
+@dataclass(frozen=True)
+class SoundnessReport:
+    """Outcome of the uniqueness-constraint check on a matching table."""
+
+    is_sound: bool
+    r_violations: Tuple[KeyValues, ...]
+    s_violations: Tuple[KeyValues, ...]
+
+    @property
+    def message(self) -> str:
+        """The prototype's verification message."""
+        return VERIFIED_MESSAGE if self.is_sound else UNSOUND_MESSAGE
+
+    def raise_if_unsound(self) -> None:
+        """Raise :class:`SoundnessError` when the check failed."""
+        if not self.is_sound:
+            raise SoundnessError(
+                f"{UNSOUND_MESSAGE} R-side: {list(self.r_violations)}; "
+                f"S-side: {list(self.s_violations)}"
+            )
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def verify_soundness(matching: MatchingTable) -> SoundnessReport:
+    """Check the uniqueness constraint on *matching*.
+
+    Equivalent to the prototype's ``correct`` predicate: the bag and the
+    set of matched R keys must have the same cardinality, and likewise for
+    the S keys.
+    """
+    violations = matching.uniqueness_violations()
+    return SoundnessReport(
+        is_sound=not violations["R"] and not violations["S"],
+        r_violations=tuple(violations["R"]),
+        s_violations=tuple(violations["S"]),
+    )

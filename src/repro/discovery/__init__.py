@@ -1,0 +1,42 @@
+"""Knowledge acquisition for entity identification.
+
+The paper leaves the *supply* of semantic knowledge to people and tools:
+
+    "Advanced techniques in knowledge discovery may also suggest some
+    identity or distinctness rules that have been overlooked by the
+    database administrator."  (Section 3.2)
+
+    "Such semantic information can be supplied either by database
+    administrators during schema integration or through some knowledge
+    acquisition tools."  (Section 7)
+
+This subpackage is that knowledge-acquisition tool:
+
+- :mod:`repro.discovery.ilfd_miner` -- mine candidate ILFDs from relation
+  instances (value-level association patterns with support/confidence;
+  only exceptionless candidates are *sound* suggestions, and every
+  suggestion remains subject to DBA confirmation — an instance-level
+  regularity is necessary, not sufficient, for an integrated-world
+  constraint),
+- :mod:`repro.discovery.key_suggester` -- search for minimal extended keys
+  that pass the prototype's soundness verification on the given
+  instances (automating the setup_extkey/verify loop of Section 6).
+"""
+
+from repro.discovery.ilfd_miner import (
+    MinedILFD,
+    mine_ilfds,
+    mine_from_relations,
+)
+from repro.discovery.key_suggester import (
+    KeySuggestion,
+    suggest_extended_keys,
+)
+
+__all__ = [
+    "KeySuggestion",
+    "MinedILFD",
+    "mine_from_relations",
+    "mine_ilfds",
+    "suggest_extended_keys",
+]

@@ -1,0 +1,224 @@
+"""Mining candidate ILFDs from relation instances.
+
+An ILFD ``(A1=a1) ∧ … ∧ (An=an) → (B=b)`` holds in an instance when every
+tuple matching the antecedent has ``B = b``.  The miner enumerates
+antecedent value patterns up to a size bound, measures each candidate's
+
+- **support** — how many tuples match the antecedent (non-NULL), and
+- **confidence** — the largest fraction of those agreeing on one
+  consequent value,
+
+and emits candidates above the thresholds.  Confidence-1.0 candidates are
+consistent with the given instances (exceptionless); anything below 1.0
+is only a *heuristic* suggestion in the paper's Section-2.2 sense and is
+clearly marked.  All suggestions need DBA confirmation: an instance-level
+regularity is a necessary but not sufficient condition for a constraint
+on the integrated world.
+
+Pruning keeps the search tractable and the output non-redundant:
+
+- antecedent patterns below ``min_support`` are skipped along with all
+  their extensions (support is antitone in the pattern),
+- a candidate implied by an already-accepted exceptionless candidate
+  (same consequent, antecedent superset) is suppressed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class MinedILFD:
+    """One mined candidate with its instance statistics."""
+
+    ilfd: ILFD
+    support: int
+    confidence: float
+
+    @property
+    def is_exceptionless(self) -> bool:
+        """True iff no tuple of the mined instances contradicts it."""
+        return self.confidence == 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.ilfd!r}  [support={self.support}, "
+            f"confidence={self.confidence:.3f}]"
+        )
+
+
+def _pattern_groups(
+    rows: Sequence[Dict[str, Any]],
+    antecedent_attrs: Tuple[str, ...],
+) -> Dict[Tuple[Any, ...], List[Dict[str, Any]]]:
+    groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = defaultdict(list)
+    for row in rows:
+        values = tuple(row.get(attr) for attr in antecedent_attrs)
+        if any(value is None or is_null(value) for value in values):
+            continue
+        groups[values].append(row)
+    return groups
+
+
+def mine_ilfds(
+    relation: Relation,
+    *,
+    max_antecedent: int = 2,
+    min_support: int = 2,
+    min_confidence: float = 1.0,
+    targets: Optional[Iterable[str]] = None,
+) -> List[MinedILFD]:
+    """Mine candidate ILFDs from one relation instance.
+
+    Parameters
+    ----------
+    relation:
+        The instance to mine.
+    max_antecedent:
+        Largest antecedent pattern size to enumerate.
+    min_support:
+        Minimum matching tuples for a pattern to be considered.
+    min_confidence:
+        Minimum confidence to emit (1.0 = only exceptionless candidates).
+    targets:
+        Restrict consequent attributes (default: all attributes).
+
+    Returns candidates sorted by (antecedent size, -support, repr) so
+    more general, better-supported rules come first.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    if min_support < 1:
+        raise ValueError("min_support must be ≥ 1")
+    names = list(relation.schema.names)
+    wanted = set(targets) if targets is not None else set(names)
+    rows = [dict(row) for row in relation]
+
+    found: List[MinedILFD] = []
+    exceptionless: Dict[Tuple[str, Any], List[ILFD]] = defaultdict(list)
+    blocked_patterns: set = set()
+
+    for size in range(1, max_antecedent + 1):
+        for antecedent_attrs in combinations(names, size):
+            if any(
+                frozenset(sub) in blocked_patterns
+                for sub in combinations(antecedent_attrs, size - 1)
+                if size > 1
+            ):
+                continue
+            groups = _pattern_groups(rows, antecedent_attrs)
+            all_below = bool(groups)
+            for values, matched in groups.items():
+                if len(matched) < min_support:
+                    continue
+                all_below = False
+                antecedent = dict(zip(antecedent_attrs, values))
+                for consequent_attr in names:
+                    if consequent_attr in antecedent_attrs:
+                        continue
+                    if consequent_attr not in wanted:
+                        continue
+                    tally = Counter(
+                        row[consequent_attr]
+                        for row in matched
+                        if not is_null(row.get(consequent_attr))
+                    )
+                    if not tally:
+                        continue
+                    value, count = tally.most_common(1)[0]
+                    confidence = count / sum(tally.values())
+                    if confidence < min_confidence:
+                        continue
+                    candidate = ILFD(antecedent, {consequent_attr: value})
+                    if _is_subsumed(candidate, exceptionless):
+                        continue
+                    mined = MinedILFD(candidate, len(matched), confidence)
+                    found.append(mined)
+                    if mined.is_exceptionless:
+                        key = (consequent_attr, value)
+                        exceptionless[key].append(candidate)
+            if all_below and groups:
+                # every group is under-supported; extensions can only shrink
+                blocked_patterns.add(frozenset(antecedent_attrs))
+    found.sort(
+        key=lambda m: (len(m.ilfd.antecedent), -m.support, repr(m.ilfd))
+    )
+    return found
+
+
+def _is_subsumed(
+    candidate: ILFD,
+    exceptionless: Dict[Tuple[str, Any], List[ILFD]],
+) -> bool:
+    """True iff an accepted exceptionless rule implies *candidate*."""
+    (consequent,) = candidate.consequent
+    for accepted in exceptionless.get((consequent.attribute, consequent.value), ()):
+        if accepted.antecedent < candidate.antecedent:
+            return True
+    return False
+
+
+def mine_from_relations(
+    relations: Sequence[Relation],
+    *,
+    max_antecedent: int = 2,
+    min_support: int = 2,
+    min_confidence: float = 1.0,
+    targets: Optional[Iterable[str]] = None,
+) -> List[MinedILFD]:
+    """Mine across several instances, keeping cross-instance consistency.
+
+    A candidate mined from one relation is dropped when any *other*
+    relation (that stores the relevant attributes) contains a
+    counter-example — the paper's setting has several databases modelling
+    one world, so a sound suggestion must hold in all of them.  Support
+    is summed over the instances that can evaluate the rule.
+    """
+    merged: Dict[ILFD, MinedILFD] = {}
+    for relation in relations:
+        for mined in mine_ilfds(
+            relation,
+            max_antecedent=max_antecedent,
+            min_support=1,
+            min_confidence=min_confidence,
+            targets=targets,
+        ):
+            existing = merged.get(mined.ilfd)
+            if existing is None:
+                merged[mined.ilfd] = mined
+            else:
+                merged[mined.ilfd] = MinedILFD(
+                    mined.ilfd,
+                    existing.support + mined.support,
+                    min(existing.confidence, mined.confidence),
+                )
+    out: List[MinedILFD] = []
+    for mined in merged.values():
+        attrs = mined.ilfd.antecedent_attributes | mined.ilfd.consequent_attributes
+        violated = any(
+            attrs <= set(relation.schema.names)
+            and any(mined.ilfd.violated_by(row) for row in relation)
+            for relation in relations
+        )
+        if violated or mined.support < min_support:
+            continue
+        out.append(mined)
+    out.sort(key=lambda m: (len(m.ilfd.antecedent), -m.support, repr(m.ilfd)))
+    return out
+
+
+def as_ilfd_set(mined: Iterable[MinedILFD], *, exceptionless_only: bool = True) -> ILFDSet:
+    """Collect mined candidates into an ILFDSet for the identifier."""
+    return ILFDSet(
+        m.ilfd
+        for m in mined
+        if m.is_exceptionless or not exceptionless_only
+    )

@@ -1,0 +1,104 @@
+"""Searching for sound extended keys.
+
+The prototype makes the user propose an extended key and then verifies it
+("Message: The extended key causes unsound matching result." on failure).
+This module automates that propose-verify loop: it enumerates candidate
+attribute subsets (smallest first), runs the full identification for
+each, and reports the minimal ones whose matching table satisfies the
+uniqueness constraint — together with how many matches each finds, since
+among sound keys the DBA usually wants the most productive one.
+
+The suggestions are instance-level: a key that verifies on today's data
+may still be wrong for the integrated world (the paper's Figure-2
+lesson), so the DBA confirms, exactly as with mined ILFDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.extended_key import ExtendedKey
+from repro.core.identifier import EntityIdentifier
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class KeySuggestion:
+    """One verified extended-key candidate."""
+
+    key: Tuple[str, ...]
+    match_count: int
+    is_sound: bool
+
+    def __str__(self) -> str:
+        verdict = "sound" if self.is_sound else "UNSOUND"
+        return f"{{{', '.join(self.key)}}}: {self.match_count} matches, {verdict}"
+
+
+def suggest_extended_keys(
+    r: Relation,
+    s: Relation,
+    candidates: Sequence[str],
+    *,
+    ilfds: ILFDSet | Iterable[ILFD] = (),
+    max_size: Optional[int] = None,
+    require_covering: bool = False,
+    include_unsound: bool = False,
+) -> List[KeySuggestion]:
+    """Enumerate candidate extended keys and verify each.
+
+    Parameters
+    ----------
+    r, s:
+        The (unified) source relations.
+    candidates:
+        The semantically equivalent attributes eligible for the key
+        (the prototype's Name/Spec/Cui menu).
+    ilfds:
+        Available ILFDs for deriving missing values.
+    max_size:
+        Largest subset size to try (default: all of *candidates*).
+    require_covering:
+        Only report keys of the paper's ``K1 ∪ K2 ∪ Ā`` shape, i.e.
+        containing both relations' primary keys.
+    include_unsound:
+        Also report failing candidates (with ``is_sound=False``) so the
+        DBA sees *why* smaller keys were rejected.
+
+    Sound suggestions are *minimal*: a sound key suppresses all its
+    supersets (matching on a superset can only find fewer or equal
+    matches while costing more knowledge).
+    """
+    limit = len(candidates) if max_size is None else min(max_size, len(candidates))
+    ilfd_list = list(ilfds)
+    suggestions: List[KeySuggestion] = []
+    sound_keys: List[frozenset] = []
+    for size in range(1, limit + 1):
+        for combo in combinations(candidates, size):
+            key_set = frozenset(combo)
+            if any(existing <= key_set for existing in sound_keys):
+                continue  # a sound subset already suffices
+            extended = ExtendedKey(list(combo))
+            if require_covering and not extended.covers_keys(r, s):
+                continue
+            identifier = EntityIdentifier(
+                r, s, extended, ilfds=ilfd_list, derive_ilfd_distinctness=False
+            )
+            matching = identifier.matching_table()
+            report = identifier.verify()
+            if report.is_sound:
+                sound_keys.append(key_set)
+                suggestions.append(
+                    KeySuggestion(tuple(combo), len(matching), True)
+                )
+            elif include_unsound:
+                suggestions.append(
+                    KeySuggestion(tuple(combo), len(matching), False)
+                )
+    suggestions.sort(
+        key=lambda sug: (not sug.is_sound, len(sug.key), -sug.match_count, sug.key)
+    )
+    return suggestions

@@ -1,0 +1,31 @@
+"""Federated operation: incremental identification and virtual views.
+
+The paper's conclusion: "In processing a federated database query, entity
+identification has to be performed whenever the information about
+real-world entities exists in different databases.  Our ongoing research
+is developing mechanisms to do so."  And earlier (Section 2): "Instance
+integration may have to be performed whenever updating is done on the
+participating databases."
+
+This subpackage builds those mechanisms:
+
+- :mod:`repro.federation.incremental` -- :class:`IncrementalIdentifier`
+  maintains the matching table under tuple insertions/deletions on either
+  source and under newly supplied ILFDs, touching only the affected
+  tuples; its state is always equal to a from-scratch batch run (a
+  property the test suite enforces), and knowledge additions are
+  monotone per Section 3.3.
+- :mod:`repro.federation.view` -- :class:`VirtualIntegratedView`, the
+  virtual-integration surface: a lazily materialised, cache-invalidated
+  T_RS supporting select/project without the sources being discarded
+  (the paper's "virtual integration" mode).
+"""
+
+from repro.federation.incremental import Delta, IncrementalIdentifier
+from repro.federation.view import VirtualIntegratedView
+
+__all__ = [
+    "Delta",
+    "IncrementalIdentifier",
+    "VirtualIntegratedView",
+]

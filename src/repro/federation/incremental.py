@@ -1,0 +1,291 @@
+"""Incremental entity identification under source updates.
+
+Because ILFD derivation is *row-local* (an ILFD fires on one tuple's
+values; checking violations "involves only one tuple"), inserting or
+deleting a tuple can only add or remove matches involving that tuple, and
+supplying new ILFDs can only fill attribute values that were NULL.  The
+:class:`IncrementalIdentifier` exploits exactly this:
+
+- it keeps each source tuple's *extended* row plus a hash index from
+  complete (fully non-NULL) extended-key values to tuple keys,
+- an insert derives one row and probes the opposite index,
+- a delete removes the row's index entries and its matches,
+- `add_ilfds` re-derives only the rows that still have NULL extended-key
+  attributes (appending to the ILFD order, so FIRST_MATCH commitments
+  already made are never revised — which is what makes knowledge addition
+  monotone, Section 3.3).
+
+The state after any operation sequence equals a from-scratch batch run
+over the current sources — enforced by property-based tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import CoreError
+from repro.core.extended_key import ExtendedKey
+from repro.core.matching_table import (
+    KeyValues,
+    MatchEntry,
+    MatchingTable,
+    key_values,
+)
+from repro.core.soundness import SoundnessReport, verify_soundness
+from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+
+Pair = Tuple[KeyValues, KeyValues]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """The matching-table change produced by one update."""
+
+    added: Tuple[Pair, ...] = ()
+    removed: Tuple[Pair, ...] = ()
+
+    def is_empty(self) -> bool:
+        """True iff the update changed no matches."""
+        return not self.added and not self.removed
+
+
+class _Side:
+    """Per-relation incremental state."""
+
+    __slots__ = ("schema", "key_attrs", "raw", "extended", "index")
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        key = schema.primary_key
+        self.key_attrs: Tuple[str, ...] = tuple(
+            n for n in schema.names if n in key
+        )
+        self.raw: Dict[KeyValues, Row] = {}
+        self.extended: Dict[KeyValues, Row] = {}
+        self.index: Dict[Tuple[Any, ...], Set[KeyValues]] = defaultdict(set)
+
+
+class IncrementalIdentifier:
+    """Maintains MT_RS under inserts, deletes, and new ILFDs.
+
+    Parameters mirror :class:`~repro.core.identifier.EntityIdentifier`,
+    except the sources start out empty (seed them with
+    :meth:`insert_r` / :meth:`insert_s` or :meth:`load`).
+    """
+
+    def __init__(
+        self,
+        r_schema: Schema,
+        s_schema: Schema,
+        extended_key: ExtendedKey | Sequence[str],
+        *,
+        ilfds: ILFDSet | Iterable[ILFD] = (),
+        policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
+    ) -> None:
+        if not isinstance(extended_key, ExtendedKey):
+            extended_key = ExtendedKey(list(extended_key))
+        self._key = extended_key
+        self._policy = policy
+        self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
+        self._engine = DerivationEngine(self._ilfds, policy=policy)
+        self._r = _Side(r_schema)
+        self._s = _Side(s_schema)
+        self._matches: Set[Pair] = set()
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def extended_key(self) -> ExtendedKey:
+        """The extended key in use."""
+        return self._key
+
+    @property
+    def ilfds(self) -> ILFDSet:
+        """The current (growing) ILFD set."""
+        return self._ilfds
+
+    def match_pairs(self) -> Set[Pair]:
+        """A copy of the current matched-pair set."""
+        return set(self._matches)
+
+    def matching_table(self) -> MatchingTable:
+        """The current MT_RS (rows carry the extended values)."""
+        table = MatchingTable(
+            r_key_attributes=self._r.key_attrs,
+            s_key_attributes=self._s.key_attrs,
+        )
+        for r_key, s_key in sorted(self._matches):
+            table.add(
+                MatchEntry(
+                    self._r.extended[r_key],
+                    self._s.extended[s_key],
+                    r_key,
+                    s_key,
+                )
+            )
+        return table
+
+    def verify(self) -> SoundnessReport:
+        """Soundness (uniqueness-constraint) check on the current state."""
+        return verify_soundness(self.matching_table())
+
+    def relations(self) -> Tuple[Relation, Relation]:
+        """The current raw sources, as relations (for batch cross-checks)."""
+        r = Relation(
+            self._r.schema,
+            [dict(row) for row in self._r.raw.values()],
+            name="R",
+            enforce_keys=False,
+        )
+        s = Relation(
+            self._s.schema,
+            [dict(row) for row in self._s.raw.values()],
+            name="S",
+            enforce_keys=False,
+        )
+        return r, s
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def load(self, r: Relation, s: Relation) -> Delta:
+        """Bulk-insert both sources; returns the combined delta."""
+        added: List[Pair] = []
+        for row in r:
+            added.extend(self.insert_r(row).added)
+        for row in s:
+            added.extend(self.insert_s(row).added)
+        return Delta(added=tuple(added))
+
+    def insert_r(self, row: Mapping[str, Any]) -> Delta:
+        """Insert one R tuple; returns the new matches it created."""
+        return self._insert(self._r, self._s, row, r_side=True)
+
+    def insert_s(self, row: Mapping[str, Any]) -> Delta:
+        """Insert one S tuple; returns the new matches it created."""
+        return self._insert(self._s, self._r, row, r_side=False)
+
+    def delete_r(self, key: Mapping[str, Any] | KeyValues) -> Delta:
+        """Delete an R tuple by key; returns the matches removed."""
+        return self._delete(self._r, key, r_side=True)
+
+    def delete_s(self, key: Mapping[str, Any] | KeyValues) -> Delta:
+        """Delete an S tuple by key; returns the matches removed."""
+        return self._delete(self._s, key, r_side=False)
+
+    def add_ilfds(self, ilfds: Iterable[ILFD]) -> Delta:
+        """Supply new knowledge; only NULL-bearing rows are re-derived.
+
+        New ILFDs are appended *after* the existing ones, so FIRST_MATCH
+        derivations already committed never change — additions are
+        monotone: the returned delta contains no removals.
+        """
+        new = [f for f in ilfds if f not in self._ilfds]
+        if not new:
+            return Delta()
+        self._ilfds = self._ilfds.extend(new)
+        self._engine = DerivationEngine(self._ilfds, policy=self._policy)
+        self.version += 1
+        targets = list(self._key.attributes)
+        added: List[Pair] = []
+        for side, other, r_side in (
+            (self._r, self._s, True),
+            (self._s, self._r, False),
+        ):
+            for key in list(side.extended):
+                row = side.extended[key]
+                if not row.has_nulls(targets):
+                    continue  # complete rows cannot gain values
+                rederived = self._engine.extend_row(side.raw[key], targets).row
+                if rederived == row:
+                    continue
+                side.extended[key] = rederived
+                complete = self._complete_values(rederived)
+                if complete is None:
+                    continue
+                side.index[complete].add(key)
+                added.extend(
+                    self._record_matches(key, complete, other, r_side)
+                )
+        return Delta(added=tuple(added))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _complete_values(self, row: Row) -> Optional[Tuple[Any, ...]]:
+        values = row.values_for(self._key.attributes)
+        if any(is_null(v) for v in values):
+            return None
+        return values
+
+    def _insert(
+        self, side: _Side, other: _Side, raw: Mapping[str, Any], *, r_side: bool
+    ) -> Delta:
+        values: Dict[str, Any] = {}
+        for name in side.schema.names:
+            value = raw[name] if name in raw else NULL
+            values[name] = NULL if value is None else value
+        normalised = Row(values)
+        key = key_values(normalised, side.key_attrs)
+        if key in side.raw:
+            raise CoreError(f"duplicate key {key!r} on insert")
+        extended = self._engine.extend_row(
+            normalised, list(self._key.attributes)
+        ).row
+        side.raw[key] = normalised
+        side.extended[key] = extended
+        self.version += 1
+        complete = self._complete_values(extended)
+        if complete is None:
+            return Delta()
+        side.index[complete].add(key)
+        added = self._record_matches(key, complete, other, r_side)
+        return Delta(added=tuple(added))
+
+    def _record_matches(
+        self,
+        key: KeyValues,
+        complete: Tuple[Any, ...],
+        other: _Side,
+        r_side: bool,
+    ) -> List[Pair]:
+        added: List[Pair] = []
+        for partner in sorted(other.index.get(complete, ())):
+            pair = (key, partner) if r_side else (partner, key)
+            if pair not in self._matches:
+                self._matches.add(pair)
+                added.append(pair)
+        return added
+
+    def _delete(
+        self, side: _Side, key: Mapping[str, Any] | KeyValues, *, r_side: bool
+    ) -> Delta:
+        if isinstance(key, Mapping):
+            key = tuple(sorted(key.items()))
+        if key not in side.raw:
+            raise CoreError(f"no tuple with key {key!r}")
+        extended = side.extended.pop(key)
+        side.raw.pop(key)
+        self.version += 1
+        complete = self._complete_values(extended)
+        if complete is not None:
+            side.index[complete].discard(key)
+            if not side.index[complete]:
+                del side.index[complete]
+        removed = [
+            pair
+            for pair in self._matches
+            if (pair[0] if r_side else pair[1]) == key
+        ]
+        for pair in removed:
+            self._matches.discard(pair)
+        return Delta(removed=tuple(sorted(removed)))

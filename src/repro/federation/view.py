@@ -1,0 +1,99 @@
+"""The virtual integration surface.
+
+"A virtually integrated database is created on top of the component
+databases … while the components retain their identities and usage"
+(Section 1), and "the actual processing only takes place during the query
+time" (Section 2).  :class:`VirtualIntegratedView` is that surface: it
+holds an :class:`~repro.federation.incremental.IncrementalIdentifier`,
+materialises T_RS lazily, invalidates the materialisation whenever the
+underlying sources or knowledge change, and answers select/project
+queries against the (merged or prefixed) integrated table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.integration import IntegratedTable, integrate
+from repro.federation.incremental import IncrementalIdentifier
+from repro.relational.algebra import project as project_op
+from repro.relational.algebra import select as select_op
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+
+
+class VirtualIntegratedView:
+    """Query-time integration over live sources.
+
+    Parameters
+    ----------
+    identifier:
+        The incremental identifier owning the sources and the knowledge.
+    """
+
+    def __init__(self, identifier: IncrementalIdentifier) -> None:
+        self._identifier = identifier
+        self._cached: Optional[IntegratedTable] = None
+        self._cached_version = -1
+
+    @property
+    def identifier(self) -> IncrementalIdentifier:
+        """The underlying incremental identifier."""
+        return self._identifier
+
+    def is_fresh(self) -> bool:
+        """True iff the cached T_RS reflects the current source state."""
+        return (
+            self._cached is not None
+            and self._cached_version == self._identifier.version
+        )
+
+    def table(self) -> IntegratedTable:
+        """T_RS, materialised on demand and cached until the next update."""
+        if not self.is_fresh():
+            matching = self._identifier.matching_table()
+            r, s = self._extended_relations()
+            self._cached = integrate(r, s, matching)
+            self._cached_version = self._identifier.version
+        assert self._cached is not None
+        return self._cached
+
+    def _extended_relations(self):
+        from repro.ilfd.derivation import DerivationEngine
+
+        r, s = self._identifier.relations()
+        engine = DerivationEngine(self._identifier.ilfds)
+        targets = list(self._identifier.extended_key.attributes)
+        return (
+            engine.extend_relation(r, targets),
+            engine.extend_relation(s, targets),
+        )
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[Row], bool], *, merged: bool = True) -> Relation:
+        """Rows of T_RS satisfying *predicate*.
+
+        With ``merged=True`` (default) the predicate sees the coalesced
+        single-column-per-attribute view; otherwise the prefixed
+        ``r_…``/``s_…`` layout.
+        """
+        base = self.table().merged_view() if merged else self.table().relation
+        return select_op(base, predicate, name="σ(T_RS)")
+
+    def project(self, attributes: Sequence[str], *, merged: bool = True) -> Relation:
+        """Projection of T_RS onto *attributes*."""
+        base = self.table().merged_view() if merged else self.table().relation
+        return project_op(base, list(attributes), name="Π(T_RS)")
+
+    def where(self, *, merged: bool = True, **equalities: Any) -> Relation:
+        """Convenience equality filter: ``view.where(cuisine="Indian")``."""
+
+        def predicate(row: Row) -> bool:
+            return all(row[attr] == value for attr, value in equalities.items())
+
+        return self.select(predicate, merged=merged)
+
+    def __len__(self) -> int:
+        return len(self.table())

@@ -1,0 +1,124 @@
+"""Instance-level functional dependencies (ILFDs).
+
+ILFDs are the paper's central piece of semantic knowledge (Section 4.1):
+constraints of the form ``(A1=a1) ∧ … ∧ (An=an) → (B=b)`` on the tuples of
+a relation modelling a real-world entity set.  They are used to *derive*
+missing extended-key attribute values so that extended-key equivalence can
+match tuples from relations sharing no common candidate key.
+
+This subpackage implements the full ILFD theory of Section 5:
+
+- :mod:`repro.ilfd.conditions` -- the propositional symbols ``(A = a)``,
+- :mod:`repro.ilfd.ilfd` -- ILFDs and ILFD sets, satisfaction / violation,
+- :mod:`repro.ilfd.closure` -- the closure ``X+_F`` of a symbol set with
+  provenance (the FD-style linear closure algorithm of Section 5.2),
+- :mod:`repro.ilfd.axioms` -- Armstrong's axioms for ILFDs (reflexivity,
+  augmentation, transitivity), the derived union / pseudo-transitivity /
+  decomposition rules (Lemma 2), implication ``F ⊨ f`` and proof extraction
+  (Theorem 1),
+- :mod:`repro.ilfd.tables` -- ILFD tables ``IM(x̄, y)`` stored as relations
+  (Table 8),
+- :mod:`repro.ilfd.derivation` -- the derivation engine applying ILFDs to
+  tuples, with the prototype's first-match-wins ("cut") policy and an
+  exhaustive fixpoint-chase policy,
+- :mod:`repro.ilfd.violations` -- checking relations against ILFD sets,
+- :mod:`repro.ilfd.fd_bridge` -- classical FDs and Proposition 2
+  (a complete ILFD family implies an FD),
+- :mod:`repro.ilfd.mincover` -- minimal covers of ILFD sets.
+"""
+
+from repro.ilfd.conditions import Condition, conjunction, parse_condition
+from repro.ilfd.errors import (
+    DerivationConflictError,
+    ILFDError,
+    MalformedILFDError,
+)
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.ilfd.closure import ClosureResult, closure, is_attribute_consistent
+from repro.ilfd.axioms import (
+    ProofStep,
+    Sequent,
+    augmentation,
+    decompose,
+    equivalent,
+    implies,
+    is_trivial,
+    prove,
+    pseudo_transitivity,
+    reflexivity,
+    transitivity,
+    union_rule,
+)
+from repro.ilfd.tables import ILFDTable
+from repro.ilfd.derivation import (
+    DerivationPolicy,
+    DerivationResult,
+    DerivationEngine,
+)
+from repro.ilfd.violations import Violation, check_relation, satisfies
+from repro.ilfd.fd_bridge import (
+    FD,
+    FDSet,
+    attribute_closure,
+    fd_holds_in,
+    ilfd_family_implies_fd,
+    ilfds_complete_for_fd,
+)
+from repro.ilfd.mincover import minimal_cover, reduce_antecedent, remove_redundant
+from repro.ilfd.saturation import derived_only, saturate
+from repro.ilfd.io import (
+    dumps_ilfds,
+    loads_ilfds,
+    parse_ilfd_line,
+    read_ilfds,
+    write_ilfds,
+)
+
+__all__ = [
+    "Condition",
+    "ClosureResult",
+    "DerivationConflictError",
+    "DerivationEngine",
+    "DerivationPolicy",
+    "DerivationResult",
+    "FD",
+    "FDSet",
+    "ILFD",
+    "ILFDError",
+    "ILFDSet",
+    "ILFDTable",
+    "MalformedILFDError",
+    "ProofStep",
+    "Sequent",
+    "Violation",
+    "attribute_closure",
+    "augmentation",
+    "check_relation",
+    "closure",
+    "conjunction",
+    "decompose",
+    "derived_only",
+    "dumps_ilfds",
+    "equivalent",
+    "fd_holds_in",
+    "ilfd_family_implies_fd",
+    "ilfds_complete_for_fd",
+    "implies",
+    "is_attribute_consistent",
+    "is_trivial",
+    "loads_ilfds",
+    "minimal_cover",
+    "parse_condition",
+    "parse_ilfd_line",
+    "prove",
+    "pseudo_transitivity",
+    "read_ilfds",
+    "reduce_antecedent",
+    "reflexivity",
+    "saturate",
+    "remove_redundant",
+    "satisfies",
+    "transitivity",
+    "union_rule",
+    "write_ilfds",
+]

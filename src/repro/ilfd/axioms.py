@@ -1,0 +1,242 @@
+"""Armstrong's axioms for ILFDs (Section 5.2).
+
+The paper proves that reflexivity, augmentation, and transitivity are a
+sound and complete inference system for ILFDs (Lemma 1, Theorem 1), and
+derives the union, pseudo-transitivity, and decomposition rules (Lemma 2).
+
+This module provides:
+
+- the individual inference rules as functions producing new ILFDs
+  (:func:`augmentation`, :func:`transitivity`, :func:`union_rule`,
+  :func:`pseudo_transitivity`, :func:`decompose`),
+- :func:`is_trivial` (reflexivity: ILFDs that hold in any entity set),
+- :func:`implies` -- decide ``F ⊨ X → Y`` via the closure algorithm, which
+  Theorem 1 guarantees coincides with derivability from the axioms,
+- :func:`prove` -- reconstruct an explicit axiom-level proof of an implied
+  ILFD, in the style of the textbook FD proof, from closure provenance.
+
+Inference *statements* are represented as ILFD objects themselves: an
+ILFD is syntactically a pair of conjunctions, which is exactly what a
+sequent ``X → Y`` is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.ilfd.closure import closure
+from repro.ilfd.conditions import Condition, conjunction
+from repro.ilfd.errors import MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+
+
+# ----------------------------------------------------------------------
+# Individual inference rules
+# ----------------------------------------------------------------------
+def is_trivial(ilfd: ILFD) -> bool:
+    """Reflexivity test: ``X → Y`` is trivial iff ``Y ⊆ X``.
+
+    "ILFDs of this form are known as trivial ILFDs because they hold in
+    any entity set and do not depend on F."
+    """
+    return ilfd.consequent <= ilfd.antecedent
+
+
+def reflexivity(symbols: Iterable[Condition], subset: Iterable[Condition]) -> ILFD:
+    """Build the trivial ILFD ``X → X'`` for ``X' ⊆ X``."""
+    x = conjunction(symbols)
+    sub = conjunction(subset)
+    if not sub <= x:
+        raise MalformedILFDError("reflexivity requires the consequent to be a subset")
+    return ILFD(x, sub)
+
+
+def augmentation(ilfd: ILFD, extra: Iterable[Condition]) -> ILFD:
+    """Augmentation: from ``X → Y`` infer ``(X ∧ Z) → (Y ∧ Z)``."""
+    z = conjunction(extra)
+    return ILFD(ilfd.antecedent | z, ilfd.consequent | z)
+
+
+def transitivity(first: ILFD, second: ILFD) -> ILFD:
+    """Transitivity: from ``X → Y`` and ``Y' → Z`` with ``Y' ⊆ Y``, infer ``X → Z``.
+
+    The subset allowance is the usual harmless strengthening (formally it
+    is reflexivity + transitivity, both axioms).
+    """
+    if not second.antecedent <= first.consequent:
+        raise MalformedILFDError(
+            f"transitivity requires {second!r}'s antecedent to be contained "
+            f"in {first!r}'s consequent"
+        )
+    return ILFD(first.antecedent, second.consequent)
+
+
+def union_rule(first: ILFD, second: ILFD) -> ILFD:
+    """Union (Lemma 2.1): from ``X → Y`` and ``X → Z`` infer ``X → (Y ∧ Z)``."""
+    if first.antecedent != second.antecedent:
+        raise MalformedILFDError("union rule requires identical antecedents")
+    return ILFD(first.antecedent, first.consequent | second.consequent)
+
+
+def pseudo_transitivity(first: ILFD, second: ILFD) -> ILFD:
+    """Pseudo-transitivity (Lemma 2.2).
+
+    From ``X → Y`` and ``(W ∧ Y) → Z`` infer ``(W ∧ X) → Z``.  The paper's
+    Example-3 ILFD I9 is exactly such a derivation (I7 then I8).
+    """
+    if not first.consequent <= second.antecedent:
+        raise MalformedILFDError(
+            "pseudo-transitivity requires the first consequent to appear in "
+            "the second antecedent"
+        )
+    w = second.antecedent - first.consequent
+    return ILFD(w | first.antecedent, second.consequent)
+
+
+def decompose(ilfd: ILFD) -> List[ILFD]:
+    """Decomposition (Lemma 2.3): ``X → (Y ∧ Z)`` yields ``X → Z`` for each part."""
+    return ilfd.split()
+
+
+# ----------------------------------------------------------------------
+# Implication and proof extraction
+# ----------------------------------------------------------------------
+def implies(ilfds: ILFDSet | Iterable[ILFD], candidate: ILFD) -> bool:
+    """Decide ``F ⊨ candidate`` (equivalently ``F ⊢ candidate``, Theorem 1).
+
+    True iff the candidate's consequent is contained in the closure of its
+    antecedent under F.
+    """
+    result = closure(candidate.antecedent, ilfds)
+    return candidate.consequent <= result.symbols
+
+
+@dataclass(frozen=True)
+class Sequent:
+    """An unvalidated inference statement ``X → Y``.
+
+    Proof lines use Sequent rather than ILFD because the paper's
+    propositional semantics lets intermediate statements mention two values
+    of one attribute (its completeness proof happily sets all symbols of a
+    closure true), which the tuple-realizability validation in
+    :class:`~repro.ilfd.ilfd.ILFD` would reject.
+    """
+
+    antecedent: FrozenSet[Condition]
+    consequent: FrozenSet[Condition]
+
+    @classmethod
+    def of(cls, ilfd: ILFD) -> "Sequent":
+        """View an ILFD as a sequent."""
+        return cls(ilfd.antecedent, ilfd.consequent)
+
+    def __repr__(self) -> str:
+        ante = " ∧ ".join(str(c) for c in sorted(self.antecedent))
+        cons = " ∧ ".join(str(c) for c in sorted(self.consequent))
+        return f"{ante} → {cons}"
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One line of an axiom-level proof.
+
+    Attributes
+    ----------
+    rule:
+        One of ``"given"``, ``"reflexivity"``, ``"augmentation"``,
+        ``"transitivity"``.
+    statement:
+        The sequent established by this step.
+    premises:
+        Indices (into the proof) of the statements this step uses.
+    """
+
+    rule: str
+    statement: Sequent
+    premises: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        src = f" [{', '.join(map(str, self.premises))}]" if self.premises else ""
+        return f"{self.rule}{src}: {self.statement!r}"
+
+
+def prove(ilfds: ILFDSet | Iterable[ILFD], candidate: ILFD) -> Optional[List[ProofStep]]:
+    """Produce an explicit proof of *candidate* from F, or None.
+
+    Follows the standard completeness argument: replay the closure's ILFD
+    firings, maintaining the invariant that ``X → Z_i`` is proved where
+    ``Z_i`` is the symbol set after *i* firings:
+
+    1. reflexivity gives ``X → X``;
+    2. for a fired ILFD ``W → Q`` with ``W ⊆ Z``: augmentation by ``Z``
+       gives ``(W ∧ Z) → (Q ∧ Z)``, i.e. ``Z → (Z ∧ Q)`` since ``W ⊆ Z``,
+       and transitivity with ``X → Z`` yields ``X → (Z ∧ Q)``;
+    3. a final reflexivity + transitivity projects onto the candidate's
+       consequent.
+    """
+    if not isinstance(ilfds, ILFDSet):
+        ilfds = ILFDSet(ilfds)
+    x = candidate.antecedent
+    result = closure(x, ilfds)
+    if not candidate.consequent <= result.symbols:
+        return None
+
+    steps: List[ProofStep] = []
+
+    def emit(rule: str, statement: Sequent, *premises: int) -> int:
+        steps.append(ProofStep(rule, statement, tuple(premises)))
+        return len(steps) - 1
+
+    current = emit("reflexivity", Sequent(x, x))
+    known: FrozenSet[Condition] = frozenset(x)
+
+    # Replay firings in an order compatible with the closure: fire any
+    # not-yet-fired ILFD whose antecedent is satisfied, until the
+    # consequent is covered.
+    pending = [f for f in ilfds if f.consequent & result.symbols]
+    progress = True
+    while not candidate.consequent <= known and progress:
+        progress = False
+        for ilfd in list(pending):
+            if ilfd.antecedent <= known:
+                pending.remove(ilfd)
+                if ilfd.consequent <= known:
+                    continue
+                given = emit("given", Sequent.of(ilfd))
+                augmented = emit(
+                    "augmentation",
+                    Sequent(ilfd.antecedent | known, ilfd.consequent | known),
+                    given,
+                )
+                new_known = known | ilfd.consequent
+                combined = emit(
+                    "transitivity",
+                    Sequent(x, new_known),
+                    current,
+                    augmented,
+                )
+                known = new_known
+                current = combined
+                progress = True
+    if not candidate.consequent <= known:  # pragma: no cover - guarded by closure
+        return None
+
+    if candidate.consequent != known:
+        projection = emit("reflexivity", Sequent(known, candidate.consequent))
+        current = emit(
+            "transitivity", Sequent.of(candidate), current, projection
+        )
+    return steps
+
+
+def equivalent(first: ILFDSet | Iterable[ILFD], second: ILFDSet | Iterable[ILFD]) -> bool:
+    """True iff the two ILFD sets have the same closure (F ≡ G).
+
+    Each ILFD of one set must be implied by the other set, both ways.
+    """
+    first_set = first if isinstance(first, ILFDSet) else ILFDSet(first)
+    second_set = second if isinstance(second, ILFDSet) else ILFDSet(second)
+    return all(implies(second_set, f) for f in first_set) and all(
+        implies(first_set, g) for g in second_set
+    )

@@ -1,0 +1,119 @@
+"""Propositional symbols ``(A = a)``.
+
+Section 5 reduces ILFD reasoning to propositional logic: "Each ``(Ai=ai)``
+or ``(B=b)`` can be treated as a propositional symbol."  A
+:class:`Condition` is such a symbol — an attribute/value equality — and a
+*conjunction* is a frozenset of conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Mapping
+
+from repro.ilfd.errors import MalformedILFDError
+from repro.relational.nulls import is_null
+
+
+@dataclass(frozen=True, order=True)
+class Condition:
+    """The propositional symbol ``attribute = value``.
+
+    Conditions are totally ordered (by attribute then rendered value) so
+    rule output is deterministic.
+    """
+
+    attribute: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.attribute or not isinstance(self.attribute, str):
+            raise MalformedILFDError(
+                f"condition attribute must be a non-empty string, got {self.attribute!r}"
+            )
+        if is_null(self.value):
+            raise MalformedILFDError(
+                f"condition on {self.attribute!r} cannot assert NULL; "
+                "ILFDs range over real-world attribute values"
+            )
+
+    def holds_in(self, row: Mapping[str, Any]) -> bool:
+        """True iff *row* binds this attribute to exactly this value.
+
+        A NULL (or absent) attribute does not satisfy any condition.
+        """
+        try:
+            actual = row[self.attribute]
+        except Exception:
+            return False
+        return not is_null(actual) and actual == self.value
+
+    def contradicts(self, row: Mapping[str, Any]) -> bool:
+        """True iff *row* binds this attribute to a different non-NULL value."""
+        try:
+            actual = row[self.attribute]
+        except Exception:
+            return False
+        return not is_null(actual) and actual != self.value
+
+    def __str__(self) -> str:
+        return f"({self.attribute}={self.value!r})"
+
+
+def conjunction(conditions: Iterable[Condition] | Mapping[str, Any]) -> FrozenSet[Condition]:
+    """Normalise *conditions* into a frozenset, rejecting contradictions.
+
+    Accepts either an iterable of :class:`Condition` or a mapping
+    ``{attribute: value}``.  Two different values for the same attribute in
+    one conjunction make it unsatisfiable, which is always a specification
+    mistake — we reject it.
+    """
+    if isinstance(conditions, Mapping):
+        conditions = [Condition(attr, value) for attr, value in conditions.items()]
+    result = frozenset(conditions)
+    by_attr: Dict[str, Any] = {}
+    for cond in sorted(result):
+        if cond.attribute in by_attr and by_attr[cond.attribute] != cond.value:
+            raise MalformedILFDError(
+                f"contradictory conjunction: {cond.attribute} = "
+                f"{by_attr[cond.attribute]!r} and {cond.value!r}"
+            )
+        by_attr[cond.attribute] = cond.value
+    return result
+
+
+def conditions_hold_in(conditions: FrozenSet[Condition], row: Mapping[str, Any]) -> bool:
+    """True iff every condition in the conjunction holds in *row*."""
+    return all(cond.holds_in(row) for cond in conditions)
+
+
+def attributes_of(conditions: Iterable[Condition]) -> FrozenSet[str]:
+    """The set of attributes a conjunction mentions."""
+    return frozenset(cond.attribute for cond in conditions)
+
+
+def as_assignment(conditions: Iterable[Condition]) -> Dict[str, Any]:
+    """Render a (consistent) conjunction as an {attribute: value} dict."""
+    out: Dict[str, Any] = {}
+    for cond in conditions:
+        if cond.attribute in out and out[cond.attribute] != cond.value:
+            raise MalformedILFDError(
+                f"conjunction is contradictory on {cond.attribute!r}"
+            )
+        out[cond.attribute] = cond.value
+    return out
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse ``"attribute=value"`` into a string-valued Condition.
+
+    A convenience for tests, examples, and the CLI; values stay strings.
+    """
+    if "=" not in text:
+        raise MalformedILFDError(f"cannot parse condition {text!r}; expected 'attr=value'")
+    attribute, _, value = text.partition("=")
+    attribute = attribute.strip()
+    value = value.strip()
+    if not attribute or not value:
+        raise MalformedILFDError(f"cannot parse condition {text!r}; empty side")
+    return Condition(attribute, value)

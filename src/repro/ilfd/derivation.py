@@ -1,0 +1,340 @@
+"""Applying ILFDs to derive missing attribute values.
+
+"ILFDs can be used to derive the missing key attribute values that are
+required for using extended key equivalence" (Section 4.1).  The paper's
+prototype realises this with Prolog rules ending in a cut, giving a
+*first-match-wins*, top-down, recursive semantics; the Section-4.2
+algebraic formulation instead joins all ILFD tables and unions the
+results.  Both are implemented here:
+
+- :attr:`DerivationPolicy.FIRST_MATCH` — the prototype's semantics: to
+  value attribute *B* of a tuple, try the ILFDs deriving *B* in
+  declaration order; antecedent conditions are checked recursively (a
+  missing antecedent value may itself be derived, which is how Example 3
+  derives ``speciality=Gyros`` via ``county=Ramsey`` without ever
+  materialising the "derived ILFD" I9); the first ILFD that fires wins
+  (the cut) and remaining ILFDs for *B* are not consulted.
+- :attr:`DerivationPolicy.ALL_CONSISTENT` — an exhaustive fixpoint chase:
+  every applicable ILFD fires; two ILFDs deriving different values for
+  one attribute raise :class:`~repro.ilfd.errors.DerivationConflictError`
+  (the paper assumes data and ILFDs are mutually consistent, so a
+  conflict is a specification error worth surfacing, not a tie to break).
+
+Values already present in the tuple are never overwritten — the paper
+assumes "the attribute values of tuples are accurate with respect to that
+of the corresponding real-world entities" (Section 3.1) — but a derived
+value *contradicting* a present value is reported.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.ilfd.errors import DerivationConflictError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.attribute import Attribute
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+
+
+class DerivationPolicy(enum.Enum):
+    """How to resolve multiple applicable ILFDs for one attribute."""
+
+    FIRST_MATCH = "first_match"
+    ALL_CONSISTENT = "all_consistent"
+
+
+@dataclass(frozen=True)
+class DerivationResult:
+    """Outcome of extending one tuple.
+
+    Attributes
+    ----------
+    row:
+        The extended row; requested target attributes are present, NULL
+        where underivable.
+    derived:
+        Attribute → value mapping of newly derived (previously NULL or
+        absent) values.
+    fired:
+        The ILFDs that fired, in firing order.
+    contradictions:
+        Attribute → (existing, derived) pairs where an ILFD would have
+        contradicted a present non-NULL value.  Non-empty means the tuple
+        violates the ILFD set (Section 4.1's consistency assumption).
+    """
+
+    row: Row
+    derived: Mapping[str, Any]
+    fired: Tuple[ILFD, ...]
+    contradictions: Mapping[str, Tuple[Any, Any]]
+
+    def is_clean(self) -> bool:
+        """True iff no contradiction was observed."""
+        return not self.contradictions
+
+
+class DerivationEngine:
+    """Derives missing attribute values of tuples from an ILFD set.
+
+    Parameters
+    ----------
+    ilfds:
+        The available ILFDs, in declaration order (order is semantic for
+        ``FIRST_MATCH``, mirroring the prototype's rule order and cuts).
+    policy:
+        The resolution policy; defaults to the prototype's
+        ``FIRST_MATCH``.
+    """
+
+    def __init__(
+        self,
+        ilfds: ILFDSet | Iterable[ILFD],
+        *,
+        policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
+    ) -> None:
+        self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
+        self._policy = policy
+        # Split to single-consequent form and index by derived attribute,
+        # preserving declaration order within each attribute.
+        self._by_attribute: Dict[str, List[ILFD]] = {}
+        for ilfd in self._ilfds:
+            for part in ilfd.split():
+                attr = next(iter(part.consequent_attributes))
+                self._by_attribute.setdefault(attr, []).append(part)
+        # For FIRST_MATCH, additionally hash-index each attribute's rules
+        # by (antecedent attribute set → antecedent value tuple).  Uniform
+        # ILFD families (the paper's Table-8 kind) then cost one lookup
+        # per family instead of one check per rule, while the recorded
+        # declaration index preserves the exact first-match (cut) order.
+        self._groups_by_attribute: Dict[
+            str, List[Tuple[Tuple[str, ...], Dict[Tuple[Any, ...], Tuple[int, ILFD]]]]
+        ] = {}
+        for attr, parts in self._by_attribute.items():
+            groups: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], Tuple[int, ILFD]]] = {}
+            order: List[Tuple[str, ...]] = []
+            for index, part in enumerate(parts):
+                signature = tuple(sorted(part.antecedent_attributes))
+                if signature not in groups:
+                    groups[signature] = {}
+                    order.append(signature)
+                values = tuple(
+                    cond.value for cond in sorted(part.antecedent)
+                )
+                groups[signature].setdefault(values, (index, part))
+            self._groups_by_attribute[attr] = [
+                (signature, groups[signature]) for signature in order
+            ]
+
+    @property
+    def ilfds(self) -> ILFDSet:
+        """The engine's ILFD set."""
+        return self._ilfds
+
+    @property
+    def policy(self) -> DerivationPolicy:
+        """The active derivation policy."""
+        return self._policy
+
+    def derivable_attributes(self) -> FrozenSet[str]:
+        """Attributes some ILFD can derive."""
+        return frozenset(self._by_attribute)
+
+    # ------------------------------------------------------------------
+    # Single-row derivation
+    # ------------------------------------------------------------------
+    def extend_row(
+        self,
+        row: Mapping[str, Any],
+        targets: Optional[Iterable[str]] = None,
+    ) -> DerivationResult:
+        """Extend *row* with derived values for *targets*.
+
+        *targets* defaults to every derivable attribute.  The input row is
+        not modified; absent target attributes are added (NULL if
+        underivable).
+        """
+        wanted = list(targets) if targets is not None else sorted(self._by_attribute)
+        if self._policy is DerivationPolicy.FIRST_MATCH:
+            return self._extend_first_match(row, wanted)
+        return self._extend_all_consistent(row, wanted)
+
+    def extend_relation(
+        self,
+        relation: Relation,
+        targets: Sequence[str],
+        *,
+        strict: bool = False,
+    ) -> Relation:
+        """The paper's R → R' step: add *targets*, derive values per row.
+
+        With ``strict=True`` a contradiction anywhere raises
+        :class:`DerivationConflictError`; otherwise present values win and
+        the contradiction is dropped (the prototype's behaviour — facts
+        shadow rules).
+        """
+        new_attrs = [
+            Attribute(name)
+            for name in targets
+            if name not in relation.schema
+        ]
+        schema = relation.schema.extend(new_attrs) if new_attrs else relation.schema
+        rows: List[Row] = []
+        for row in relation:
+            result = self.extend_row(row, targets)
+            if strict and result.contradictions:
+                raise DerivationConflictError(
+                    f"row {row!r} contradicts ILFDs on "
+                    f"{sorted(result.contradictions)}"
+                )
+            rows.append(result.row)
+        extended = Relation(schema, (), name=f"{relation.name}'", enforce_keys=False)
+        extended._rows = tuple(rows)
+        extended._row_set = frozenset(rows)
+        return extended
+
+    # ------------------------------------------------------------------
+    # FIRST_MATCH (prototype / Prolog cut semantics)
+    # ------------------------------------------------------------------
+    def _extend_first_match(
+        self, row: Mapping[str, Any], targets: List[str]
+    ) -> DerivationResult:
+        cache: Dict[str, Any] = {}
+        fired: List[ILFD] = []
+        contradictions: Dict[str, Tuple[Any, Any]] = {}
+        in_progress: Set[str] = set()
+
+        def value_of(attribute: str) -> Any:
+            """Top-down evaluation mirroring the Prolog rules.
+
+            Facts (non-NULL stored values) shadow rules; otherwise the
+            lowest-declaration-index ILFD for the attribute whose
+            antecedent holds fires and cuts (looked up per antecedent
+            signature via the value index, so uniform families cost one
+            dict probe).  ``in_progress`` breaks recursive cycles the way
+            Prolog's depth-first search would loop (we fail instead).
+            """
+            if attribute in cache:
+                return cache[attribute]
+            try:
+                stored = row[attribute]
+            except Exception:
+                stored = NULL
+            if not is_null(stored):
+                cache[attribute] = stored
+                return stored
+            if attribute in in_progress:
+                return NULL
+            in_progress.add(attribute)
+            try:
+                best: Optional[Tuple[int, ILFD]] = None
+                for signature, index in self._groups_by_attribute.get(attribute, ()):
+                    resolved = tuple(value_of(a) for a in signature)
+                    if any(is_null(v) for v in resolved):
+                        continue
+                    candidate = index.get(resolved)
+                    if candidate is not None and (
+                        best is None or candidate[0] < best[0]
+                    ):
+                        best = candidate
+                if best is None:
+                    cache[attribute] = NULL
+                    return NULL
+                ilfd = best[1]
+                (consequent,) = ilfd.consequent
+                cache[attribute] = consequent.value
+                fired.append(ilfd)
+                return consequent.value  # the cut
+            finally:
+                in_progress.discard(attribute)
+
+        derived: Dict[str, Any] = {}
+        out = dict(row)
+        for target in targets:
+            value = value_of(target)
+            existing = out.get(target, NULL)
+            if not is_null(existing):
+                continue
+            out[target] = value
+            if not is_null(value):
+                derived[target] = value
+        # Detect contradictions: an ILFD whose antecedent holds entirely on
+        # *stored* values but whose consequent clashes with a stored value.
+        # The value index makes this one dict probe per antecedent
+        # signature instead of one scan per ILFD.
+        def stored_value(attribute: str) -> Any:
+            try:
+                value = row[attribute]
+            except Exception:
+                return NULL
+            return value
+
+        for groups in self._groups_by_attribute.values():
+            for signature, index in groups:
+                resolved = tuple(stored_value(a) for a in signature)
+                if any(is_null(v) for v in resolved):
+                    continue
+                candidate = index.get(resolved)
+                if candidate is None:
+                    continue
+                (cond,) = candidate[1].consequent
+                if cond.contradicts(row):
+                    contradictions[cond.attribute] = (
+                        row[cond.attribute],
+                        cond.value,
+                    )
+        return DerivationResult(
+            row=Row(out),
+            derived=derived,
+            fired=tuple(fired),
+            contradictions=contradictions,
+        )
+
+    # ------------------------------------------------------------------
+    # ALL_CONSISTENT (exhaustive fixpoint chase)
+    # ------------------------------------------------------------------
+    def _extend_all_consistent(
+        self, row: Mapping[str, Any], targets: List[str]
+    ) -> DerivationResult:
+        current: Dict[str, Any] = dict(row)
+        fired: List[ILFD] = []
+        derived: Dict[str, Any] = {}
+        contradictions: Dict[str, Tuple[Any, Any]] = {}
+        remaining = [part for parts in self._by_attribute.values() for part in parts]
+        changed = True
+        while changed:
+            changed = False
+            still: List[ILFD] = []
+            for ilfd in remaining:
+                if not ilfd.antecedent_holds_in(current):
+                    still.append(ilfd)
+                    continue
+                (consequent,) = ilfd.consequent
+                attr, value = consequent.attribute, consequent.value
+                existing = current.get(attr, NULL)
+                fired.append(ilfd)
+                if is_null(existing):
+                    current[attr] = value
+                    derived[attr] = value
+                    changed = True
+                elif existing != value:
+                    if attr in derived:
+                        # Two ILFDs disagree about a value we derived.
+                        raise DerivationConflictError(
+                            f"ILFDs derive both {derived[attr]!r} and "
+                            f"{value!r} for attribute {attr!r} of row {row!r}"
+                        )
+                    contradictions[attr] = (existing, value)
+            remaining = still
+        out = dict(current)
+        for target in targets:
+            out.setdefault(target, NULL)
+        return DerivationResult(
+            row=Row(out),
+            derived=derived,
+            fired=tuple(fired),
+            contradictions=contradictions,
+        )

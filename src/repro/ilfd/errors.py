@@ -1,0 +1,24 @@
+"""Exceptions for the ILFD subpackage."""
+
+
+class ILFDError(Exception):
+    """Base class for ILFD-related errors."""
+
+
+class MalformedILFDError(ILFDError):
+    """An ILFD (or condition set) is syntactically ill-formed.
+
+    Raised for empty antecedents/consequents and for internally
+    contradictory sides (two different values asserted for one attribute
+    within the same conjunction).
+    """
+
+
+class DerivationConflictError(ILFDError):
+    """Exhaustive derivation produced two different values for an attribute.
+
+    The paper assumes "all tuples modeling the real world are consistent
+    with the ILFDs" (Section 4.1); a conflict means either the data or the
+    ILFD set violates that assumption, so we surface it rather than pick a
+    winner.
+    """

@@ -1,0 +1,199 @@
+"""Classical functional dependencies and Proposition 2.
+
+Section 5.1 relates ILFDs to textbook FDs:
+
+    **Proposition 2.** If for each combination of values a1..am in the
+    domains of A1..Am there is an ILFD ``(A1=a1) ∧ … ∧ (Am=am) →
+    (B1=b1) ∧ … ∧ (Bn=bn)`` that holds in the relation R, then the FD
+    ``{A1..Am} → {B1..Bn}`` also holds in R.  (The converse fails: FDs do
+    not suggest particular values.)
+
+This module provides a small classical-FD theory (enough to state and test
+the proposition) and the bridge functions:
+
+- :func:`ilfds_complete_for_fd` -- is there an implied ILFD for *every*
+  value combination over given finite domains?
+- :func:`ilfd_family_implies_fd` -- apply Proposition 2, returning the FD.
+- :func:`fd_holds_in` -- instance-level FD check (the two-tuple test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.ilfd.closure import closure
+from repro.ilfd.conditions import Condition
+from repro.ilfd.errors import MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class FD:
+    """A classical functional dependency ``lhs → rhs`` over attribute sets."""
+
+    lhs: FrozenSet[str]
+    rhs: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.lhs or not self.rhs:
+            raise MalformedILFDError("FD sides cannot be empty")
+        object.__setattr__(self, "lhs", frozenset(self.lhs))
+        object.__setattr__(self, "rhs", frozenset(self.rhs))
+
+    def __repr__(self) -> str:
+        return (
+            "{" + ",".join(sorted(self.lhs)) + "} → {"
+            + ",".join(sorted(self.rhs)) + "}"
+        )
+
+    def is_trivial(self) -> bool:
+        """True iff rhs ⊆ lhs."""
+        return self.rhs <= self.lhs
+
+
+class FDSet:
+    """An unordered set of FDs with closure-based implication."""
+
+    def __init__(self, fds: Iterable[FD] = ()) -> None:
+        self._fds: Tuple[FD, ...] = tuple(dict.fromkeys(fds))
+
+    def __iter__(self) -> Iterator[FD]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, fd: object) -> bool:
+        return fd in self._fds
+
+    def __repr__(self) -> str:
+        return "FDSet[" + "; ".join(map(repr, self._fds)) + "]"
+
+    def implies(self, fd: FD) -> bool:
+        """True iff this set logically implies *fd*."""
+        return fd.rhs <= attribute_closure(fd.lhs, self)
+
+
+def attribute_closure(attributes: Iterable[str], fds: FDSet | Iterable[FD]) -> FrozenSet[str]:
+    """The attribute-set closure X+ under classical FDs."""
+    result = set(attributes)
+    items = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        for fd in items:
+            if fd.lhs <= result and not fd.rhs <= result:
+                result |= fd.rhs
+                changed = True
+    return frozenset(result)
+
+
+def fd_holds_in(relation: Relation, fd: FD) -> bool:
+    """Instance check: no two rows agree on lhs but differ on rhs.
+
+    Rows with NULL in any lhs attribute are skipped (their grouping is
+    undefined); NULL rhs values only violate when both rows are non-NULL
+    and different.
+    """
+    groups: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    lhs = sorted(fd.lhs)
+    rhs = sorted(fd.rhs)
+    for row in relation:
+        key = row.values_for(lhs)
+        if any(is_null(v) for v in key):
+            continue
+        witness = groups.get(key)
+        if witness is None:
+            groups[key] = {attr: row[attr] for attr in rhs}
+            continue
+        for attr in rhs:
+            seen, now = witness[attr], row[attr]
+            if not is_null(seen) and not is_null(now) and seen != now:
+                return False
+            if is_null(seen) and not is_null(now):
+                witness[attr] = now
+    return True
+
+
+def ilfds_complete_for_fd(
+    ilfds: ILFDSet | Iterable[ILFD],
+    lhs: Sequence[str],
+    rhs: Sequence[str],
+    domains: Mapping[str, Iterable[Any]],
+) -> bool:
+    """Check Proposition 2's hypothesis over finite domains.
+
+    True iff for *every* combination of values of *lhs* drawn from
+    *domains*, the ILFD set implies some value for each attribute of
+    *rhs* (i.e. an ILFD of the required shape is in F+).
+    """
+    if not isinstance(ilfds, ILFDSet):
+        ilfds = ILFDSet(ilfds)
+    lhs = list(lhs)
+    rhs = list(rhs)
+    missing = [attr for attr in lhs if attr not in domains]
+    if missing:
+        raise MalformedILFDError(f"no domain given for lhs attributes {missing}")
+    value_lists = [list(domains[attr]) for attr in lhs]
+    for combo in iter_product(*value_lists):
+        start = [Condition(attr, value) for attr, value in zip(lhs, combo)]
+        implied = closure(start, ilfds).symbols
+        implied_attrs = {cond.attribute for cond in implied}
+        if not set(rhs) <= implied_attrs:
+            return False
+    return True
+
+
+def ilfd_family_implies_fd(
+    ilfds: ILFDSet | Iterable[ILFD],
+    lhs: Sequence[str],
+    rhs: Sequence[str],
+    domains: Mapping[str, Iterable[Any]],
+) -> Optional[FD]:
+    """Proposition 2: return the implied FD, or None if the family is
+    incomplete for some value combination."""
+    if ilfds_complete_for_fd(ilfds, lhs, rhs, domains):
+        return FD(frozenset(lhs), frozenset(rhs))
+    return None
+
+
+def fds_from_ilfd_tables(
+    ilfds: ILFDSet | Iterable[ILFD],
+    domains: Mapping[str, Iterable[Any]],
+) -> List[FD]:
+    """All FDs obtainable from uniform ILFD families via Proposition 2.
+
+    Groups the (split) ILFDs by antecedent-attribute-set/consequent
+    attribute and applies the completeness test to each group.
+    """
+    if not isinstance(ilfds, ILFDSet):
+        ilfds = ILFDSet(ilfds)
+    shapes: Dict[Tuple[Tuple[str, ...], str], None] = {}
+    for ilfd in ilfds:
+        for part in ilfd.split():
+            ante = tuple(sorted(part.antecedent_attributes))
+            cons = next(iter(part.consequent_attributes))
+            shapes[(ante, cons)] = None
+    found: List[FD] = []
+    for ante, cons in shapes:
+        if not all(attr in domains for attr in ante):
+            continue
+        fd = ilfd_family_implies_fd(ilfds, list(ante), [cons], domains)
+        if fd is not None and fd not in found:
+            found.append(fd)
+    return found

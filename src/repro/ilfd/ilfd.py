@@ -1,0 +1,276 @@
+"""ILFDs and ordered ILFD sets.
+
+An ILFD (Section 4.1) is a semantic constraint
+
+    ∀e ∈ E, (e.A1=a1) ∧ … ∧ (e.An=an) → (e.B=b)
+
+on the real-world entities modelled by a relation.  Following Section 5 we
+allow a conjunctive consequent (several ILFDs with identical antecedents
+combine into one formula) and treat each ``(A=a)`` as a propositional
+symbol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple, Union
+
+from repro.ilfd.conditions import (
+    Condition,
+    as_assignment,
+    attributes_of,
+    conditions_hold_in,
+    conjunction,
+)
+from repro.ilfd.errors import MalformedILFDError
+
+ConditionsLike = Union[Iterable[Condition], Mapping[str, Any]]
+
+
+class ILFD:
+    """One instance-level functional dependency.
+
+    Parameters
+    ----------
+    antecedent:
+        Non-empty conjunction of conditions (iterable of
+        :class:`~repro.ilfd.conditions.Condition` or an
+        ``{attribute: value}`` mapping).
+    consequent:
+        Non-empty conjunction of derived conditions.
+    name:
+        Optional label ("I1", "I4", ...) used in proofs and provenance.
+
+    The paper's well-formedness is enforced: both sides must be
+    internally consistent, and a consequent condition may not contradict an
+    antecedent condition on the same attribute (such an ILFD could never be
+    satisfied by any tuple satisfying its antecedent).
+    """
+
+    __slots__ = ("_antecedent", "_consequent", "name")
+
+    def __init__(
+        self,
+        antecedent: ConditionsLike,
+        consequent: ConditionsLike,
+        *,
+        name: str = "",
+    ) -> None:
+        ante = conjunction(antecedent)
+        cons = conjunction(consequent)
+        if not ante:
+            raise MalformedILFDError("ILFD antecedent cannot be empty")
+        if not cons:
+            raise MalformedILFDError("ILFD consequent cannot be empty")
+        merged: Dict[str, Any] = as_assignment(ante)
+        for cond in cons:
+            if cond.attribute in merged and merged[cond.attribute] != cond.value:
+                raise MalformedILFDError(
+                    f"ILFD consequent {cond} contradicts its antecedent on "
+                    f"{cond.attribute!r}"
+                )
+        self._antecedent = ante
+        self._consequent = cons
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def antecedent(self) -> FrozenSet[Condition]:
+        """The antecedent conjunction."""
+        return self._antecedent
+
+    @property
+    def consequent(self) -> FrozenSet[Condition]:
+        """The consequent conjunction."""
+        return self._consequent
+
+    @property
+    def antecedent_attributes(self) -> FrozenSet[str]:
+        """Attributes mentioned by the antecedent."""
+        return attributes_of(self._antecedent)
+
+    @property
+    def consequent_attributes(self) -> FrozenSet[str]:
+        """Attributes mentioned by the consequent."""
+        return attributes_of(self._consequent)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ILFD):
+            return NotImplemented
+        return (
+            self._antecedent == other._antecedent
+            and self._consequent == other._consequent
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._antecedent, self._consequent))
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        ante = " ∧ ".join(str(c) for c in sorted(self._antecedent))
+        cons = " ∧ ".join(str(c) for c in sorted(self._consequent))
+        return f"{label}{ante} → {cons}"
+
+    # ------------------------------------------------------------------
+    # Semantics over tuples
+    # ------------------------------------------------------------------
+    def antecedent_holds_in(self, row: Mapping[str, Any]) -> bool:
+        """True iff the row satisfies every antecedent condition."""
+        return conditions_hold_in(self._antecedent, row)
+
+    def satisfied_by(self, row: Mapping[str, Any]) -> bool:
+        """Material implication: antecedent fails, or consequent holds.
+
+        Mirrors the paper: "checking for violation of ILFDs involves only
+        one tuple".  A NULL consequent attribute neither satisfies nor
+        contradicts a condition; the paper treats such a tuple as not
+        violating the ILFD (the value is merely unknown), so we require the
+        consequent to be *non-contradicted* rather than bound.
+        """
+        if not self.antecedent_holds_in(row):
+            return True
+        return not any(cond.contradicts(row) for cond in self._consequent)
+
+    def violated_by(self, row: Mapping[str, Any]) -> bool:
+        """True iff the antecedent holds but some consequent is contradicted."""
+        return not self.satisfied_by(row)
+
+    def derivable_values(self, row: Mapping[str, Any]) -> Dict[str, Any]:
+        """Consequent assignment derived for *row*, or {} if antecedent fails."""
+        if not self.antecedent_holds_in(row):
+            return {}
+        return as_assignment(self._consequent)
+
+    # ------------------------------------------------------------------
+    # Structural helpers
+    # ------------------------------------------------------------------
+    def split(self) -> List["ILFD"]:
+        """Decomposition rule: one ILFD per consequent condition."""
+        return [
+            ILFD(self._antecedent, [cond], name=self.name)
+            for cond in sorted(self._consequent)
+        ]
+
+    def renamed_attributes(self, mapping: Mapping[str, str]) -> "ILFD":
+        """ILFD with attributes renamed (aligning source-local names)."""
+
+        def rename(conds: FrozenSet[Condition]) -> List[Condition]:
+            return [
+                Condition(mapping.get(c.attribute, c.attribute), c.value)
+                for c in conds
+            ]
+
+        return ILFD(rename(self._antecedent), rename(self._consequent), name=self.name)
+
+    @classmethod
+    def of(cls, antecedent: Mapping[str, Any], consequent: Mapping[str, Any], *, name: str = "") -> "ILFD":
+        """Shorthand constructor from two assignment dicts."""
+        return cls(antecedent, consequent, name=name)
+
+
+class ILFDSet:
+    """An *ordered* collection of distinct ILFDs.
+
+    Order matters operationally: the Prolog prototype commits to the first
+    ILFD whose antecedent matches (the cut at the end of each rule), so the
+    ``FIRST_MATCH`` derivation policy consults ILFDs in this order.
+    Logically the set is unordered, and the closure/implication machinery
+    ignores order.
+    """
+
+    __slots__ = ("_ilfds",)
+
+    def __init__(self, ilfds: Iterable[ILFD] = ()) -> None:
+        seen: List[ILFD] = []
+        for ilfd in ilfds:
+            if not isinstance(ilfd, ILFD):
+                raise MalformedILFDError(f"expected ILFD, got {ilfd!r}")
+            if ilfd not in seen:
+                seen.append(ilfd)
+        self._ilfds: Tuple[ILFD, ...] = tuple(seen)
+
+    def __iter__(self) -> Iterator[ILFD]:
+        return iter(self._ilfds)
+
+    def __len__(self) -> int:
+        return len(self._ilfds)
+
+    def __contains__(self, ilfd: object) -> bool:
+        return ilfd in self._ilfds
+
+    def __getitem__(self, index: int) -> ILFD:
+        return self._ilfds[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ILFDSet):
+            return NotImplemented
+        return frozenset(self._ilfds) == frozenset(other._ilfds)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._ilfds))
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(f) for f in self._ilfds)
+        return f"ILFDSet[{inner}]"
+
+    def add(self, ilfd: ILFD) -> "ILFDSet":
+        """New set with *ilfd* appended (no-op if already present)."""
+        if ilfd in self._ilfds:
+            return self
+        return ILFDSet(self._ilfds + (ilfd,))
+
+    def extend(self, ilfds: Iterable[ILFD]) -> "ILFDSet":
+        """New set with *ilfds* appended in order."""
+        return ILFDSet(list(self._ilfds) + list(ilfds))
+
+    def without(self, ilfd: ILFD) -> "ILFDSet":
+        """New set with *ilfd* removed."""
+        return ILFDSet(f for f in self._ilfds if f != ilfd)
+
+    def split_all(self) -> "ILFDSet":
+        """Set with every ILFD decomposed to single-condition consequents."""
+        out: List[ILFD] = []
+        for ilfd in self._ilfds:
+            out.extend(ilfd.split())
+        return ILFDSet(out)
+
+    def combined(self) -> "ILFDSet":
+        """Set with identical-antecedent ILFDs merged (Section 5 combination).
+
+        ``(X→Q1) ∧ (X→Q2) ≡ X→(Q1∧Q2)``.  Order follows first occurrence
+        of each antecedent.
+        """
+        grouped: Dict[FrozenSet[Condition], List[Condition]] = {}
+        order: List[FrozenSet[Condition]] = []
+        names: Dict[FrozenSet[Condition], List[str]] = {}
+        for ilfd in self._ilfds:
+            if ilfd.antecedent not in grouped:
+                grouped[ilfd.antecedent] = []
+                names[ilfd.antecedent] = []
+                order.append(ilfd.antecedent)
+            grouped[ilfd.antecedent].extend(ilfd.consequent)
+            if ilfd.name:
+                names[ilfd.antecedent].append(ilfd.name)
+        return ILFDSet(
+            ILFD(ante, grouped[ante], name="+".join(names[ante]))
+            for ante in order
+        )
+
+    def mentioning(self, attribute: str) -> "ILFDSet":
+        """ILFDs whose consequent can derive *attribute*."""
+        return ILFDSet(
+            f for f in self._ilfds if attribute in f.consequent_attributes
+        )
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes mentioned anywhere in the set."""
+        out: set = set()
+        for ilfd in self._ilfds:
+            out |= ilfd.antecedent_attributes | ilfd.consequent_attributes
+        return frozenset(out)
+
+    def symbols(self) -> FrozenSet[Condition]:
+        """All propositional symbols mentioned anywhere in the set."""
+        out: set = set()
+        for ilfd in self._ilfds:
+            out |= ilfd.antecedent | ilfd.consequent
+        return frozenset(out)

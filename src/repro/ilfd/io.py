@@ -1,0 +1,87 @@
+"""Reading and writing ILFD knowledge bases as text.
+
+The DBA-facing surface: ILFDs live in plain text files, one rule per
+line, in the same syntax the CLI accepts inline::
+
+    # speciality determines cuisine
+    speciality=Mughalai -> cuisine=Indian
+    name=TwinCities & street=Co.B2 -> speciality=Hunan
+
+``#``-comments and blank lines are ignored; conjunctions use ``&`` (or
+``∧``); values are strings.  A named rule can be given as
+``I4: speciality=Mughalai -> cuisine=Indian``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.ilfd.conditions import parse_condition
+from repro.ilfd.errors import MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+
+PathLike = Union[str, Path]
+
+
+def parse_ilfd_line(text: str) -> ILFD:
+    """Parse one ``[name:] a=x & b=y -> c=z`` line."""
+    body = text.strip()
+    name = ""
+    if ":" in body.split("->")[0] and "=" not in body.split(":", 1)[0]:
+        name, _, body = body.partition(":")
+        name = name.strip()
+        body = body.strip()
+    if "->" not in body:
+        raise MalformedILFDError(f"ILFD line {text!r} must contain '->'")
+    left, _, right = body.partition("->")
+    antecedent = [
+        parse_condition(part)
+        for part in left.replace("∧", "&").split("&")
+        if part.strip()
+    ]
+    consequent = [
+        parse_condition(part)
+        for part in right.replace("∧", "&").split("&")
+        if part.strip()
+    ]
+    return ILFD(antecedent, consequent, name=name)
+
+
+def loads_ilfds(text: str) -> ILFDSet:
+    """Parse a knowledge-base document into an ILFDSet."""
+    out: List[ILFD] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            out.append(parse_ilfd_line(line))
+        except MalformedILFDError as exc:
+            raise MalformedILFDError(f"line {lineno}: {exc}") from exc
+    return ILFDSet(out)
+
+
+def dumps_ilfds(ilfds: ILFDSet | Iterable[ILFD]) -> str:
+    """Serialise an ILFD set to the knowledge-base text format."""
+    lines: List[str] = []
+    for ilfd in ilfds:
+        antecedent = " & ".join(
+            f"{c.attribute}={c.value}" for c in sorted(ilfd.antecedent)
+        )
+        consequent = " & ".join(
+            f"{c.attribute}={c.value}" for c in sorted(ilfd.consequent)
+        )
+        prefix = f"{ilfd.name}: " if ilfd.name else ""
+        lines.append(f"{prefix}{antecedent} -> {consequent}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def read_ilfds(path: PathLike) -> ILFDSet:
+    """Load a knowledge base from a file."""
+    return loads_ilfds(Path(path).read_text())
+
+
+def write_ilfds(ilfds: ILFDSet | Iterable[ILFD], path: PathLike) -> None:
+    """Write a knowledge base to a file."""
+    Path(path).write_text(dumps_ilfds(ilfds))

@@ -1,0 +1,212 @@
+"""ILFD tables: uniform ILFD families stored as relations.
+
+Section 4.2: "For the second category of useful ILFDs, it may be storage
+efficient to store the ILFDs as relations.  ILFDs of the form
+``(E.A1=a1) ∧ … ∧ (E.An=an) → (E.B=b)`` can be stored in the relation
+schema ``ILFD(A1, A2, …, An, B)``" — Table 8 shows
+``IM(speciality, cuisine)`` holding I1–I4.
+
+An :class:`ILFDTable` wraps such a relation: the first *n* attributes are
+the antecedent pattern ``x̄`` and the last attribute is the derived
+attribute *y*.  The matching-table construction joins source relations
+with these tables (the ``R ⋈ IM(r̄;j, yi)`` expressions of Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ilfd.conditions import Condition
+from repro.ilfd.errors import ILFDError, MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.attribute import Attribute
+from repro.relational.errors import KeyViolationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class ILFDTable:
+    """A uniform family of ILFDs ``x̄ → y`` materialised as a relation.
+
+    Parameters
+    ----------
+    antecedent_attributes:
+        The attributes ``A1..An`` of the antecedent pattern.
+    derived_attribute:
+        The consequent attribute ``B``.
+    rows:
+        Value tuples ``(a1, .., an, b)`` or mappings; each row is one ILFD.
+
+    The antecedent attributes form the table's key: two rows with the same
+    antecedent values but different derived values would be contradictory
+    ILFDs, and the Relation key machinery rejects them.
+    """
+
+    def __init__(
+        self,
+        antecedent_attributes: Sequence[str],
+        derived_attribute: str,
+        rows: Iterable[Mapping[str, Any] | Sequence[Any]] = (),
+        *,
+        name: str = "",
+    ) -> None:
+        ante = list(antecedent_attributes)
+        if not ante:
+            raise MalformedILFDError("ILFD table needs at least one antecedent attribute")
+        if derived_attribute in ante:
+            raise MalformedILFDError(
+                f"derived attribute {derived_attribute!r} cannot also be an "
+                "antecedent attribute"
+            )
+        if len(set(ante)) != len(ante):
+            raise MalformedILFDError(f"duplicate antecedent attributes in {ante}")
+        self._antecedent_attributes: Tuple[str, ...] = tuple(ante)
+        self._derived_attribute = derived_attribute
+        schema = Schema(
+            [Attribute(a) for a in ante] + [Attribute(derived_attribute)],
+            keys=[tuple(ante)],
+        )
+        display = name or "IM(" + ",".join(ante) + ";" + derived_attribute + ")"
+        try:
+            self._relation = Relation(schema, rows, name=display)
+        except KeyViolationError as exc:
+            raise ILFDError(
+                f"contradictory ILFD rows in table {display}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    @property
+    def antecedent_attributes(self) -> Tuple[str, ...]:
+        """The antecedent pattern attributes x̄."""
+        return self._antecedent_attributes
+
+    @property
+    def derived_attribute(self) -> str:
+        """The consequent attribute y."""
+        return self._derived_attribute
+
+    @property
+    def relation(self) -> Relation:
+        """The backing relation (Table-8 layout)."""
+        return self._relation
+
+    def __len__(self) -> int:
+        return len(self._relation)
+
+    def __repr__(self) -> str:
+        return (
+            f"ILFDTable({','.join(self._antecedent_attributes)} → "
+            f"{self._derived_attribute}; {len(self)} rows)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ILFDTable):
+            return NotImplemented
+        return (
+            self._antecedent_attributes == other._antecedent_attributes
+            and self._derived_attribute == other._derived_attribute
+            and self._relation == other._relation
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._antecedent_attributes, self._derived_attribute, self._relation)
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_ilfds(self) -> ILFDSet:
+        """Expand the table into individual ILFD objects."""
+        out: List[ILFD] = []
+        for index, row in enumerate(self._relation, start=1):
+            antecedent = {a: row[a] for a in self._antecedent_attributes}
+            consequent = {self._derived_attribute: row[self._derived_attribute]}
+            label = f"{self._relation.name}[{index}]"
+            out.append(ILFD(antecedent, consequent, name=label))
+        return ILFDSet(out)
+
+    @classmethod
+    def from_ilfds(
+        cls,
+        ilfds: ILFDSet | Iterable[ILFD],
+        *,
+        name: str = "",
+    ) -> "ILFDTable":
+        """Materialise a *uniform* ILFD family as a table.
+
+        All ILFDs must share the same antecedent attribute set and the
+        same single consequent attribute; otherwise the family is not
+        tabular and :class:`~repro.ilfd.errors.MalformedILFDError` is
+        raised (store it as a plain ILFDSet instead).
+        """
+        items = list(ilfds)
+        if not items:
+            raise MalformedILFDError("cannot build an ILFD table from no ILFDs")
+        ante_attrs = sorted(items[0].antecedent_attributes)
+        cons_attrs = sorted(items[0].consequent_attributes)
+        if len(cons_attrs) != 1:
+            raise MalformedILFDError(
+                "ILFD tables require single-attribute consequents; "
+                "split() the ILFDs first"
+            )
+        rows: List[Mapping[str, Any]] = []
+        for ilfd in items:
+            if sorted(ilfd.antecedent_attributes) != ante_attrs or sorted(
+                ilfd.consequent_attributes
+            ) != cons_attrs:
+                raise MalformedILFDError(
+                    f"non-uniform ILFD {ilfd!r}; expected antecedent over "
+                    f"{ante_attrs} deriving {cons_attrs[0]}"
+                )
+            values = {c.attribute: c.value for c in ilfd.antecedent}
+            values.update({c.attribute: c.value for c in ilfd.consequent})
+            rows.append(values)
+        return cls(ante_attrs, cons_attrs[0], rows, name=name)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def derive(self, row: Mapping[str, Any]) -> Optional[Any]:
+        """Value of the derived attribute for *row*, or None.
+
+        Fires iff the row binds every antecedent attribute to a value that
+        matches some table row (NULLs never match, per ``non_null_eq``).
+        """
+        conditions = []
+        for attr in self._antecedent_attributes:
+            try:
+                value = row[attr]
+            except Exception:
+                return None
+            conditions.append((attr, value))
+        for table_row in self._relation:
+            if all(
+                Condition(attr, table_row[attr]).holds_in(row)
+                for attr in self._antecedent_attributes
+            ):
+                return table_row[self._derived_attribute]
+        return None
+
+
+def partition_into_tables(ilfds: ILFDSet | Iterable[ILFD]) -> List[ILFDTable]:
+    """Group a (split) ILFD set into the fewest uniform ILFD tables.
+
+    ILFDs are grouped by (antecedent attribute set, consequent attribute);
+    each group becomes one table.  This is how the Section-4.2 algebraic
+    construction obtains its ``IM(r̄;j, yi)`` inputs from a flat ILFD set.
+    """
+    groups: dict = {}
+    order: List[Tuple[Tuple[str, ...], str]] = []
+    items = list(ilfds)
+    for ilfd in items:
+        for part in ilfd.split():
+            ante = tuple(sorted(part.antecedent_attributes))
+            cons = next(iter(part.consequent_attributes))
+            key = (ante, cons)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            if part not in groups[key]:
+                groups[key].append(part)
+    return [ILFDTable.from_ilfds(groups[key]) for key in order]

@@ -1,0 +1,64 @@
+"""Checking relations against ILFD sets.
+
+"We say that a relation R satisfies ILFD X → Y if for every possible tuple
+r ∈ R, such that X holds, it is also true that Y holds in r.  We say that
+a relation R violates ILFD X → Y iff R does not satisfy the ILFD."
+(Section 5.)  Unlike FD checking, "checking for violation of ILFDs
+involves only one tuple".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One (row, ILFD) pair where the ILFD's consequent is contradicted."""
+
+    row: Row
+    ilfd: ILFD
+
+    def __str__(self) -> str:
+        return f"row {dict(self.row)!r} violates {self.ilfd!r}"
+
+
+def satisfies(relation: Relation, ilfds: ILFDSet | Iterable[ILFD]) -> bool:
+    """True iff every row satisfies every ILFD."""
+    items = list(ilfds)
+    return all(ilfd.satisfied_by(row) for row in relation for ilfd in items)
+
+
+def check_relation(
+    relation: Relation, ilfds: ILFDSet | Iterable[ILFD]
+) -> List[Violation]:
+    """All (row, ILFD) violations, in row order then ILFD order."""
+    items = list(ilfds)
+    return [
+        Violation(row, ilfd)
+        for row in relation
+        for ilfd in items
+        if ilfd.violated_by(row)
+    ]
+
+
+def consistent_subset(
+    relation: Relation, ilfds: ILFDSet | Iterable[ILFD]
+) -> Tuple[Relation, List[Violation]]:
+    """Split a relation into (clean rows, violations).
+
+    "Only the attribute values that are consistent with properties of the
+    real-world entities can participate in the entity-identification
+    process" (Section 3.1, footnote 3): callers can identify on the clean
+    part and surface the rest to the DBA.
+    """
+    items = list(ilfds)
+    violations = check_relation(relation, items)
+    dirty = {violation.row for violation in violations}
+    clean = relation.without(lambda row: row in dirty)
+    return clean, violations

@@ -1,0 +1,61 @@
+"""A mini-Prolog engine and the paper's prototype, ported faithfully.
+
+Section 6 describes a Prolog implementation (SB-Prolog 3.0) of the
+entity-identification technique; the Appendix lists the full program.
+SB-Prolog is 1988 software we cannot run, so — per the substitution rule —
+this subpackage implements a small Prolog engine from scratch covering
+exactly the constructs the Appendix uses:
+
+- facts and rules with conjunctive bodies,
+- the cut (``!``) with standard commit semantics (each ILFD rule ends in
+  a cut so the first applicable ILFD wins),
+- negation as failure (``not``),
+- unification-based ``=``, ``setof/3``, ``bagof/3``,
+- dynamic assertion of clauses (the prototype's ``setup_extkey``
+  regenerates the ``matchtable`` rule at run time).
+
+:mod:`repro.prolog.prototype` then embeds the Appendix program (modulo
+OCR repair) and exposes the prototype's commands — ``setup_extkey``,
+``verify``, ``print_matchtable``, ``print_integ_table`` — as Python
+methods, plus a generic loader that builds the same fact/rule encoding
+for *any* pair of relations and ILFD set.
+"""
+
+from repro.prolog.terms import (
+    Atom,
+    Struct,
+    Term,
+    Var,
+    atom,
+    from_prolog_list,
+    make_list,
+)
+from repro.prolog.errors import PrologError, PrologParseError
+from repro.prolog.parser import parse_program, parse_query, parse_term
+from repro.prolog.engine import Clause, Database, PrologEngine
+from repro.prolog.prototype import (
+    PrototypeSystem,
+    restaurant_prototype,
+)
+from repro.prolog.repl import PrototypeRepl
+
+__all__ = [
+    "Atom",
+    "Clause",
+    "Database",
+    "PrologEngine",
+    "PrologError",
+    "PrologParseError",
+    "PrototypeRepl",
+    "PrototypeSystem",
+    "Struct",
+    "Term",
+    "Var",
+    "atom",
+    "from_prolog_list",
+    "make_list",
+    "parse_program",
+    "parse_query",
+    "parse_term",
+    "restaurant_prototype",
+]

@@ -1,0 +1,209 @@
+"""The Appendix program, as program text.
+
+This is a cleaned transcription of "APPENDIX A: A PROLOG IMPLEMENTATION
+OF THE PROPOSED ENTITY-IDENTIFICATION TECHNIQUE" — the complete listing
+the paper prints (facts for Tables 5's R and S, the ILFD rules I1–I8
+with cuts, NULL defaults asserted after the rules, the extended-relation
+views rr/ss, the integrated relation rs, ``non_null_eq``, the structural
+``length/2``, ``if_then_else/3``, the ``correct`` soundness check, and
+the acknowledge/warning messages).  OCR damage in the source scan
+(``non A-null`` for ``not A=null``, broken variable names, missing
+commas) is repaired; the printing utilities (``print_al``/``print_ar``
+column formatters) are intentionally *not* transcribed — formatting is
+done host-side exactly as the paper's own ``getkey`` helper lived outside
+Prolog — and the dynamically generated ``matchtable`` rule is installed
+by :func:`consult_appendix_program` for the Section-6 extended key.
+
+:func:`appendix_engine` returns a ready engine; the test suite checks it
+agrees with both the generated prototype and the native pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.prolog.engine import Database, PrologEngine
+
+APPENDIX_PROGRAM = r"""
+/*
+   Entity Identification Example -- (Restaurant)
+*/
+
+/* Table R(name, cuisine, street) */
+
+r_name(r1, twincities).
+r_cui(r1, chinese).
+r_str(r1, co_B2).
+
+r_name(r2, twincities).
+r_cui(r2, indian).
+r_str(r2, co_B3).
+
+r_name(r3, itsgreek).
+r_cui(r3, greek).
+r_str(r3, front_ave).
+
+r_name(r4, anjuman).
+r_cui(r4, indian).
+r_str(r4, le_salle_ave).
+
+r_name(r5, villagewok).
+r_cui(r5, chinese).
+r_str(r5, wash_ave).
+
+/* Table S(name, speciality, county) */
+
+s_name(s1, twincities).
+s_spec(s1, hunan).
+s_cty(s1, roseville).
+
+s_name(s2, twincities).
+s_spec(s2, sichuan).
+s_cty(s2, hennepin).
+
+s_name(s3, itsgreek).
+s_spec(s3, gyros).
+s_cty(s3, ramsey).
+
+s_name(s4, anjuman).
+s_spec(s4, mughalai).
+s_cty(s4, minneapolis).
+
+/* ILFDs */
+
+s_cui(Sid, chinese) :- s_spec(Sid, hunan), !.
+s_cui(Sid, chinese) :- s_spec(Sid, sichuan), !.
+s_cui(Sid, greek) :- s_spec(Sid, gyros), !.
+s_cui(Sid, indian) :- s_spec(Sid, mughalai), !.
+
+r_spec(Rid, hunan) :-
+    r_name(Rid, twincities), r_str(Rid, co_B2), !.
+r_spec(Rid, mughalai) :-
+    r_name(Rid, anjuman), r_str(Rid, le_salle_ave), !.
+r_cty(Rid, ramsey) :- r_str(Rid, front_ave), !.
+r_spec(Rid, gyros) :-
+    r_name(Rid, itsgreek), r_cty(Rid, ramsey), !.
+
+r_spec(_Rid, null).
+s_cui(_Sid, null).
+
+/* Extended Relations */
+
+rr(Name, Cui, Spec, Str) :- r_name(Rid, Name), r_cui(Rid, Cui),
+                            r_spec(Rid, Spec),
+                            r_str(Rid, Str).
+ss(Name, Cui, Spec, Cty) :- s_name(Sid, Name),
+                            s_spec(Sid, Spec),
+                            s_cty(Sid, Cty),
+                            s_cui(Sid, Cui).
+
+/* Integrated Relation */
+
+rs(RName, RCui, RSpec, SName, SCui, SSpec, RStr, SCty) :-
+    matchtable(RName, RCui, SName, SSpec),
+    rr(RName, RCui, RSpec, RStr),
+    ss(SName, SCui, SSpec, SCty).
+rs(RName, RCui, RSpec, null, null, null, RStr, null) :-
+    rr(RName, RCui, RSpec, RStr),
+    not matchtable(RName, RCui, _, _).
+rs(null, null, null, SName, SCui, SSpec, null, SCty) :-
+    ss(SName, SCui, SSpec, SCty),
+    not matchtable(_, _, SName, SSpec).
+
+/* Verification of Extended Key */
+
+length([], 0).
+length([_X|Xs], N+1) :- length(Xs, N).
+
+if_then_else(P, Q, _R) :- P, !, Q.
+if_then_else(_P, _Q, R) :- R.
+
+non_null_eq(A, B) :- not A=null, not B=null, A=B.
+
+matched_R_keys(A, B) :- matchtable(A, B, _C, _D).
+matched_S_keys(C, D) :- matchtable(_A, _B, C, D).
+
+correct :- bagof([A,B], matched_R_keys(A,B), M1),
+           setof([C,D], matched_R_keys(C,D), M2),
+           bagof([E,F], matched_S_keys(E,F), M3),
+           setof([G,H], matched_S_keys(G,H), M4),
+           length(M1, N1), length(M2, N2),
+           length(M3, N3), length(M4, N4),
+           N1=N2, N3=N4.
+
+acknowledge :- name(X, 'Message: The extended key is verified.'),
+               print(X), nl.
+warning :- name(X, 'Message: The extended key causes unsound matching result.'),
+           print(X), nl.
+
+verify :- if_then_else(correct, acknowledge, warning).
+"""
+
+SOUND_MATCHTABLE_RULE = """
+matchtable(R_name, R_cui, S_name, S_spec) :-
+    r_name(R, R_name), s_name(S, S_name),
+    r_spec(R, R_spec), s_spec(S, S_spec),
+    r_cui(R, R_cui), s_cui(S, S_cui),
+    non_null_eq(R_name, S_name),
+    non_null_eq(R_spec, S_spec),
+    non_null_eq(R_cui, S_cui).
+"""
+"""The rule the prototype generates for the extended key {Name, Spec, Cui}."""
+
+NAME_ONLY_MATCHTABLE_RULE = """
+matchtable(R_name, R_cui, S_name, S_spec) :-
+    r_name(R, R_name), s_name(S, S_name),
+    r_spec(R, R_spec), s_spec(S, S_spec),
+    r_cui(R, R_cui), s_cui(S, S_cui),
+    non_null_eq(R_name, S_name).
+"""
+"""The rule for the unsound extended key {Name} (the Section-6 warning case)."""
+
+
+def consult_appendix_program(
+    matchtable_rule: str = SOUND_MATCHTABLE_RULE,
+) -> Database:
+    """Build the Appendix database with the given matchtable rule."""
+    database = Database()
+    database.consult(APPENDIX_PROGRAM)
+    database.consult(matchtable_rule)
+    return database
+
+
+def appendix_engine(
+    matchtable_rule: str = SOUND_MATCHTABLE_RULE,
+) -> PrologEngine:
+    """A ready engine over the Appendix program."""
+    return PrologEngine(consult_appendix_program(matchtable_rule))
+
+
+def setup_extkey(engine: PrologEngine, matchtable_rule: str) -> str:
+    """Swap the matchtable rule and run ``verify`` (the Section-6 loop).
+
+    Returns the message ``verify`` printed.
+    """
+    engine.database.retract_all("matchtable", 4)
+    engine.database.consult(matchtable_rule)
+    assert engine.succeeds("verify")
+    return engine.take_output().strip()
+
+
+def matchtable_rows(engine: PrologEngine) -> List[Tuple[str, str, str, str]]:
+    """All matchtable solutions, sorted (the prototype's setof order)."""
+    rows = {
+        (str(b["A"]), str(b["B"]), str(b["C"]), str(b["D"]))
+        for b in engine.query("matchtable(A, B, C, D)")
+    }
+    return sorted(rows)
+
+
+def integrated_rows(engine: PrologEngine) -> List[Tuple[str, ...]]:
+    """All rs/8 solutions, sorted — the Section-6 integrated table."""
+    names = ["RName", "RCui", "RSpec", "SName", "SCui", "SSpec", "RStr", "SCty"]
+    rows = {
+        tuple(str(b[n]) for n in names)
+        for b in engine.query(
+            "rs(RName, RCui, RSpec, SName, SCui, SSpec, RStr, SCty)"
+        )
+    }
+    return sorted(rows)

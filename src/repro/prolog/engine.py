@@ -1,0 +1,380 @@
+"""SLD resolution with cut and negation as failure.
+
+The engine implements the operational semantics the paper relies on
+(Section 6): top-down, depth-first search over clauses in program order,
+with the cut committing to the current clause — which is what makes the
+prototype's ILFD rules "prevent other ILFDs from being used once the
+former ILFD has successfully derived the attribute value".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.prolog.errors import PrologError
+from repro.prolog.parser import parse_program, parse_query
+from repro.prolog.terms import (
+    Atom,
+    Struct,
+    Term,
+    Var,
+    make_list,
+    term_key,
+    variables_in,
+)
+
+Subst = Dict[Var, Term]
+
+_CUT = Atom("!")
+_TRUE = Atom("true")
+_FAIL = Atom("fail")
+
+
+def walk(term: Term, subst: Subst) -> Term:
+    """Resolve the top-level binding of *term*."""
+    while isinstance(term, Var) and term in subst:
+        term = subst[term]
+    return term
+
+
+def resolve(term: Term, subst: Subst) -> Term:
+    """Fully substitute bindings throughout *term*."""
+    term = walk(term, subst)
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(resolve(arg, subst) for arg in term.args))
+    return term
+
+
+def unify(left: Term, right: Term, subst: Subst) -> Optional[Subst]:
+    """Unify two terms, returning an extended substitution or None."""
+    stack = [(left, right)]
+    out = subst
+    copied = False
+    while stack:
+        a, b = stack.pop()
+        a = walk(a, out)
+        b = walk(b, out)
+        if a == b:
+            continue
+        if isinstance(a, Var):
+            if not copied:
+                out = dict(out)
+                copied = True
+            out[a] = b
+        elif isinstance(b, Var):
+            if not copied:
+                out = dict(out)
+                copied = True
+            out[b] = a
+        elif isinstance(a, Struct) and isinstance(b, Struct):
+            if a.functor != b.functor or len(a.args) != len(b.args):
+                return None
+            stack.extend(zip(a.args, b.args))
+        else:
+            return None
+    return out
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A program clause ``head :- body``. Facts have an empty body."""
+
+    head: Term
+    body: Tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- " + ", ".join(map(str, self.body)) + "."
+
+
+class Database:
+    """Clauses indexed by predicate indicator, in assertion order."""
+
+    def __init__(self) -> None:
+        self._clauses: Dict[Tuple[str, int], List[Clause]] = {}
+
+    @staticmethod
+    def _indicator(head: Term) -> Tuple[str, int]:
+        if isinstance(head, Atom):
+            return (head.name, 0)
+        if isinstance(head, Struct):
+            return head.indicator
+        raise PrologError(f"invalid clause head {head!r}")
+
+    def assertz(self, clause: Clause) -> None:
+        """Append a clause (end of its predicate's clause list)."""
+        self._clauses.setdefault(self._indicator(clause.head), []).append(clause)
+
+    def retract_all(self, functor: str, arity: int) -> None:
+        """Remove every clause of the predicate (``abolish``)."""
+        self._clauses.pop((functor, arity), None)
+
+    def consult(self, text: str) -> None:
+        """Parse program text and assert its clauses in order."""
+        for head, body in parse_program(text):
+            self.assertz(Clause(head, tuple(body)))
+
+    def clauses(self, functor: str, arity: int) -> Sequence[Clause]:
+        """Clauses of the predicate, in program order."""
+        return self._clauses.get((functor, arity), ())
+
+    def defined(self, functor: str, arity: int) -> bool:
+        """True iff the predicate has at least one clause."""
+        return (functor, arity) in self._clauses
+
+    def predicates(self) -> List[Tuple[str, int]]:
+        """All defined predicate indicators."""
+        return list(self._clauses)
+
+
+class _Frame:
+    """Cut barrier for one predicate invocation."""
+
+    __slots__ = ("cut",)
+
+    def __init__(self) -> None:
+        self.cut = False
+
+
+class PrologEngine:
+    """Query evaluator over a :class:`Database`.
+
+    Parameters
+    ----------
+    database:
+        The program.
+    max_steps:
+        Reduction budget; exceeded means a runaway query (likely left
+        recursion) and raises :class:`~repro.prolog.errors.PrologError`.
+    """
+
+    def __init__(self, database: Database, *, max_steps: int = 5_000_000) -> None:
+        self.database = database
+        self.max_steps = max_steps
+        self._rename_counter = 0
+        self._steps = 0
+        self.output: List[str] = []
+
+    def take_output(self) -> str:
+        """Drain the text emitted by ``print``/``nl`` since the last call."""
+        text = "".join(self.output)
+        self.output.clear()
+        return text
+
+    # ------------------------------------------------------------------
+    # Public querying API
+    # ------------------------------------------------------------------
+    def solve(self, goals: Sequence[Term], subst: Optional[Subst] = None) -> Iterator[Subst]:
+        """All solutions of the conjunction, as substitutions."""
+        self._steps = 0
+        frame = _Frame()
+        try:
+            yield from self._solve_goals(tuple(goals), dict(subst or {}), frame)
+        except RecursionError as exc:
+            raise PrologError(
+                "recursion limit exceeded; query appears to diverge "
+                "(left-recursive program?)"
+            ) from exc
+
+    def query(self, text: str) -> List[Dict[str, Term]]:
+        """Solve a textual query; returns bindings for its named variables."""
+        goals = parse_query(text)
+        names: List[Var] = []
+        for goal in goals:
+            for var in variables_in(goal):
+                if not var.name.startswith("_") and var not in names:
+                    names.append(var)
+        out: List[Dict[str, Term]] = []
+        for subst in self.solve(goals):
+            out.append({var.name: resolve(var, subst) for var in names})
+        return out
+
+    def succeeds(self, text: str) -> bool:
+        """True iff the textual query has at least one solution."""
+        for _ in self.solve(parse_query(text)):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise PrologError(
+                f"step budget exceeded ({self.max_steps}); "
+                "query appears to diverge"
+            )
+
+    def _rename(self, clause: Clause) -> Clause:
+        # Every variable gets a globally fresh index: two source variables
+        # that share a name but differ in index (e.g. the parser's
+        # anonymous _G variables) must stay distinct after renaming.
+        mapping: Dict[Var, Var] = {}
+
+        def ren(term: Term) -> Term:
+            if isinstance(term, Var):
+                fresh = mapping.get(term)
+                if fresh is None:
+                    self._rename_counter += 1
+                    fresh = Var(term.name, self._rename_counter)
+                    mapping[term] = fresh
+                return fresh
+            if isinstance(term, Struct):
+                return Struct(term.functor, tuple(ren(arg) for arg in term.args))
+            return term
+
+        return Clause(ren(clause.head), tuple(ren(goal) for goal in clause.body))
+
+    def _solve_goals(
+        self, goals: Tuple[Term, ...], subst: Subst, frame: _Frame
+    ) -> Iterator[Subst]:
+        if not goals:
+            yield subst
+            return
+        first, rest = goals[0], goals[1:]
+        first = walk(first, subst)
+        self._tick()
+        if isinstance(first, Struct) and first.functor == "," and len(first.args) == 2:
+            yield from self._solve_goals(
+                (first.args[0], first.args[1]) + rest, subst, frame
+            )
+            return
+        if first == _CUT:
+            yield from self._solve_goals(rest, subst, frame)
+            frame.cut = True
+            return
+        for solution in self._solve_call(first, subst):
+            yield from self._solve_goals(rest, solution, frame)
+            if frame.cut:
+                return
+
+    def _solve_call(self, goal: Term, subst: Subst) -> Iterator[Subst]:
+        if isinstance(goal, Var):
+            raise PrologError("unbound goal (call/1 of a variable)")
+        if goal == _TRUE:
+            yield subst
+            return
+        if goal == _FAIL:
+            return
+        if goal == Atom("nl"):
+            self.output.append("\n")
+            yield subst
+            return
+        if isinstance(goal, Struct):
+            handler = self._BUILTINS.get(goal.indicator)
+            if handler is not None:
+                yield from handler(self, goal, subst)
+                return
+        functor, arity = (
+            (goal.name, 0) if isinstance(goal, Atom) else goal.indicator
+        )
+        clauses = self.database.clauses(functor, arity)
+        frame = _Frame()
+        for clause in clauses:
+            renamed = self._rename(clause)
+            unified = unify(goal, renamed.head, subst)
+            if unified is None:
+                continue
+            yield from self._solve_goals(renamed.body, unified, frame)
+            if frame.cut:
+                return
+
+    # ------------------------------------------------------------------
+    # Builtins
+    # ------------------------------------------------------------------
+    def _builtin_unify(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        unified = unify(goal.args[0], goal.args[1], subst)
+        if unified is not None:
+            yield unified
+
+    def _builtin_not(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        inner = goal.args[0]
+        frame = _Frame()
+        for _ in self._solve_goals((inner,), subst, frame):
+            return
+        yield subst
+
+    def _collect(self, template: Term, inner: Term, subst: Subst) -> List[Term]:
+        frame = _Frame()
+        return [
+            resolve(template, solution)
+            for solution in self._solve_goals((inner,), subst, frame)
+        ]
+
+    def _builtin_bagof(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        template, inner, target = goal.args
+        items = self._collect(template, inner, subst)
+        if not items:
+            return
+        unified = unify(target, make_list(items), subst)
+        if unified is not None:
+            yield unified
+
+    def _builtin_setof(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        template, inner, target = goal.args
+        items = self._collect(template, inner, subst)
+        if not items:
+            return
+        unique: Dict[str, Term] = {}
+        for item in items:
+            unique.setdefault(term_key(item), item)
+        ordered = [unique[key] for key in sorted(unique)]
+        unified = unify(target, make_list(ordered), subst)
+        if unified is not None:
+            yield unified
+
+    def _builtin_print(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        term = resolve(goal.args[0], subst)
+        if isinstance(term, Atom):
+            self.output.append(term.name)
+        else:
+            self.output.append(str(term))
+        yield subst
+
+    def _builtin_nl(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        self.output.append("\n")
+        yield subst
+
+    def _builtin_name(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        """SB-Prolog's name/2, reduced to the Appendix's usage.
+
+        The prototype only ever calls ``name(X, 'some message')`` to bind
+        X to a message atom before printing it, so name/2 here unifies
+        its first argument with the second when the second is an atom.
+        """
+        target = resolve(goal.args[1], subst)
+        if not isinstance(target, Atom):
+            return
+        unified = unify(goal.args[0], target, subst)
+        if unified is not None:
+            yield unified
+
+    def _builtin_findall(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        """Standard findall/3: like bagof but yields [] when no solution."""
+        template, inner, target = goal.args
+        items = self._collect(template, inner, subst)
+        unified = unify(target, make_list(items), subst)
+        if unified is not None:
+            yield unified
+
+    def _builtin_assertz(self, goal: Struct, subst: Subst) -> Iterator[Subst]:
+        """assertz/1 for ground facts (the prototype's dynamic assertions)."""
+        fact = resolve(goal.args[0], subst)
+        if isinstance(fact, Var):
+            raise PrologError("assertz/1 of an unbound variable")
+        self.database.assertz(Clause(fact))
+        yield subst
+
+    _BUILTINS = {
+        ("=", 2): _builtin_unify,
+        ("not", 1): _builtin_not,
+        ("bagof", 3): _builtin_bagof,
+        ("setof", 3): _builtin_setof,
+        ("findall", 3): _builtin_findall,
+        ("assertz", 1): _builtin_assertz,
+        ("print", 1): _builtin_print,
+        ("name", 2): _builtin_name,
+    }

@@ -1,0 +1,9 @@
+"""Exceptions for the mini-Prolog engine."""
+
+
+class PrologError(Exception):
+    """Base class for engine errors (unknown builtins, bad calls, ...)."""
+
+
+class PrologParseError(PrologError):
+    """The program text could not be parsed."""

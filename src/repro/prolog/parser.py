@@ -1,0 +1,208 @@
+"""A small Prolog reader covering the Appendix program's syntax.
+
+Supported: facts and rules (``:-``), conjunctive bodies (``,``), atoms
+(lowercase identifiers and ``'quoted'`` atoms), variables (Uppercase or
+``_``), integers (read as numeric atoms), compound terms, lists
+(``[a,b|T]``), the cut ``!``, prefix ``not``, parenthesised goals, and the
+infix operators ``=`` and ``+`` (both right-associative, ``+`` binding
+tighter, matching the ``N+1`` usage in the Appendix's ``length/2``).
+Comments: ``% line`` and ``/* block */``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.prolog.errors import PrologParseError
+from repro.prolog.terms import Atom, Struct, Term, Var, make_list
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<line_comment>%[^\n]*)
+  | (?P<neck>:-)
+  | (?P<quoted>'(?:[^'\\]|\\.)*')
+  | (?P<name>[a-z][A-Za-z0-9_]*)
+  | (?P<var>[_A-Z][A-Za-z0-9_]*)
+  | (?P<number>\d+)
+  | (?P<punct>[()\[\],.|!=+])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ANON_COUNTER = [0]
+
+
+class _Tokens:
+    """Token cursor over program text."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise PrologParseError(
+                    f"unexpected character {text[pos]!r} at offset {pos}"
+                )
+            pos = match.end()
+            kind = match.lastgroup or ""
+            if kind in ("ws", "block_comment", "line_comment"):
+                continue
+            self._tokens.append((kind, match.group()))
+        self._index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise PrologParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, text = self.next()
+        if text != value:
+            raise PrologParseError(f"expected {value!r}, got {text!r}")
+
+    def at(self, value: str) -> bool:
+        token = self.peek()
+        return token is not None and token[1] == value
+
+    def exhausted(self) -> bool:
+        return self.peek() is None
+
+
+def _fresh_anon() -> Var:
+    _ANON_COUNTER[0] += 1
+    return Var("_G", _ANON_COUNTER[0])
+
+
+def _parse_primary(tokens: _Tokens) -> Term:
+    kind, text = tokens.next()
+    if kind == "quoted":
+        body = text[1:-1].replace("\\'", "'").replace("\\\\", "\\")
+        return Atom(body)
+    if kind == "number":
+        return Atom(text)
+    if kind == "var":
+        if text == "_":
+            return _fresh_anon()
+        return Var(text)
+    if kind == "name":
+        if text == "not":
+            operand = _parse_term(tokens)
+            return Struct("not", (operand,))
+        if tokens.at("("):
+            tokens.expect("(")
+            args = [_parse_term(tokens)]
+            while tokens.at(","):
+                tokens.expect(",")
+                args.append(_parse_term(tokens))
+            tokens.expect(")")
+            return Struct(text, tuple(args))
+        return Atom(text)
+    if text == "!":
+        return Atom("!")
+    if text == "(":
+        inner = _parse_conjunction(tokens)
+        tokens.expect(")")
+        return inner
+    if text == "[":
+        if tokens.at("]"):
+            tokens.expect("]")
+            return Atom("[]")
+        items = [_parse_term(tokens)]
+        while tokens.at(","):
+            tokens.expect(",")
+            items.append(_parse_term(tokens))
+        tail: Term = Atom("[]")
+        if tokens.at("|"):
+            tokens.expect("|")
+            tail = _parse_term(tokens)
+        tokens.expect("]")
+        return make_list(items, tail)
+    raise PrologParseError(f"unexpected token {text!r}")
+
+
+def _parse_sum(tokens: _Tokens) -> Term:
+    left = _parse_primary(tokens)
+    while tokens.at("+"):
+        tokens.expect("+")
+        right = _parse_primary(tokens)
+        left = Struct("+", (left, right))
+    return left
+
+
+def _parse_term(tokens: _Tokens) -> Term:
+    left = _parse_sum(tokens)
+    if tokens.at("="):
+        tokens.expect("=")
+        right = _parse_sum(tokens)
+        return Struct("=", (left, right))
+    return left
+
+
+def _parse_conjunction(tokens: _Tokens) -> Term:
+    goals = [_parse_term(tokens)]
+    while tokens.at(","):
+        tokens.expect(",")
+        goals.append(_parse_term(tokens))
+    if len(goals) == 1:
+        return goals[0]
+    result = goals[-1]
+    for goal in reversed(goals[:-1]):
+        result = Struct(",", (goal, result))
+    return result
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (no trailing period)."""
+    tokens = _Tokens(text)
+    term = _parse_term(tokens)
+    if not tokens.exhausted():
+        raise PrologParseError(f"trailing input after term in {text!r}")
+    return term
+
+
+def parse_query(text: str) -> List[Term]:
+    """Parse a comma-separated goal list (optionally period-terminated)."""
+    text = text.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    tokens = _Tokens(text)
+    goals = [_parse_term(tokens)]
+    while tokens.at(","):
+        tokens.expect(",")
+        goals.append(_parse_term(tokens))
+    if not tokens.exhausted():
+        raise PrologParseError(f"trailing input after query in {text!r}")
+    return goals
+
+
+def parse_program(text: str) -> List[Tuple[Term, List[Term]]]:
+    """Parse a program into (head, body-goals) clauses."""
+    tokens = _Tokens(text)
+    clauses: List[Tuple[Term, List[Term]]] = []
+    while not tokens.exhausted():
+        head = _parse_term(tokens)
+        body: List[Term] = []
+        if tokens.at(":-"):
+            tokens.expect(":-")
+            goal = _parse_conjunction(tokens)
+            body = _flatten_conjunction(goal)
+        tokens.expect(".")
+        clauses.append((head, body))
+    return clauses
+
+
+def _flatten_conjunction(goal: Term) -> List[Term]:
+    if isinstance(goal, Struct) and goal.functor == "," and len(goal.args) == 2:
+        return _flatten_conjunction(goal.args[0]) + _flatten_conjunction(goal.args[1])
+    return [goal]

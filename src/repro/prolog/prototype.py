@@ -1,0 +1,623 @@
+"""The paper's prototype system, ported onto the mini-Prolog engine.
+
+Two entry points:
+
+- :func:`restaurant_prototype` consults (a cleaned-up transcription of)
+  the Appendix program verbatim — same facts, same ILFD rules with cuts,
+  same NULL-default assertions, same ``non_null_eq`` and verification
+  predicates — and reproduces the Section-6 session: sound extended key
+  ``{Name, Spec, Cui}`` accepted, unsound key ``{Name}`` warned about,
+  and the matching/integrated table printouts.
+
+- :class:`PrototypeSystem` generates the same encoding for *any* pair of
+  relations plus ILFD set (the role the paper's little C helper
+  ``getkey`` played for the matching-table rule), which lets the scaling
+  benches run the Prolog path against the native pipeline on synthetic
+  workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.prolog.engine import Clause, Database, PrologEngine
+from repro.prolog.errors import PrologError
+from repro.prolog.terms import Atom, Struct, Term, Var
+from repro.relational.formatting import format_rows
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+
+VERIFIED_MESSAGE = "Message: The extended key is verified."
+UNSOUND_MESSAGE = "Message: The extended key causes unsound matching result."
+
+_NULL_ATOM = Atom("null")
+
+
+def _render(term: Term) -> str:
+    """Atom values render as their bare name (no quoting)."""
+    if isinstance(term, Atom):
+        return term.name
+    return str(term)
+
+
+def _default_mangle(value: Any) -> str:
+    """Default value-to-atom conversion: the raw text, quoted if needed."""
+    return str(value)
+
+
+class PrototypeSystem:
+    """A Prolog-encoded entity-identification system for two relations.
+
+    Parameters
+    ----------
+    r, s:
+        Source relations in the *unified* namespace.
+    ilfds:
+        ILFDs over unified attribute names (encoded as rules with cuts on
+        both the R and the S side).
+    aliases:
+        Optional attribute abbreviations for predicate names (the
+        Appendix writes ``r_cui`` for R.cuisine); unified name → alias.
+    mangle:
+        Value-to-atom conversion (the Appendix lowercases and rewrites
+        punctuation by hand; pass a mapping-backed function for verbatim
+        output).
+    """
+
+    def __init__(
+        self,
+        r: Relation,
+        s: Relation,
+        ilfds: ILFDSet | Iterable[ILFD] = (),
+        *,
+        candidates: Optional[Sequence[str]] = None,
+        aliases: Optional[Mapping[str, str]] = None,
+        mangle: Callable[[Any], str] = _default_mangle,
+    ) -> None:
+        self._r = r
+        self._s = s
+        self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
+        self._aliases = dict(aliases or {})
+        self._mangle = mangle
+        self._candidates = list(candidates) if candidates is not None else None
+        self.database = Database()
+        self.engine = PrologEngine(self.database)
+        self._extkey: Tuple[str, ...] = ()
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Naming helpers
+    # ------------------------------------------------------------------
+    def _alias(self, attribute: str) -> str:
+        return self._aliases.get(attribute, attribute)
+
+    def _pred(self, side: str, attribute: str) -> str:
+        return f"{side}_{self._alias(attribute)}"
+
+    def _value_atom(self, value: Any) -> Term:
+        if is_null(value):
+            return _NULL_ATOM
+        return Atom(self._mangle(value))
+
+    # ------------------------------------------------------------------
+    # Program generation
+    # ------------------------------------------------------------------
+    @property
+    def r_attributes(self) -> Tuple[str, ...]:
+        """R's unified attribute names, in schema order."""
+        return self._r.schema.names
+
+    @property
+    def s_attributes(self) -> Tuple[str, ...]:
+        """S's unified attribute names, in schema order."""
+        return self._s.schema.names
+
+    @property
+    def r_key(self) -> Tuple[str, ...]:
+        """R's primary-key attributes, in schema order."""
+        key = self._r.schema.primary_key
+        return tuple(a for a in self._r.schema.names if a in key)
+
+    @property
+    def s_key(self) -> Tuple[str, ...]:
+        """S's primary-key attributes, in schema order."""
+        key = self._s.schema.primary_key
+        return tuple(a for a in self._s.schema.names if a in key)
+
+    def candidate_attributes(self) -> List[str]:
+        """Attributes available for the extended key.
+
+        The paper assumes this list "has been supplied a priori" (the
+        Name/Spec/Cui menu of the ``setup_extkey`` listing); pass
+        ``candidates=`` to supply it.  Without one, every attribute each
+        side either stores or can ILFD-derive qualifies.
+        """
+        if self._candidates is not None:
+            return list(self._candidates)
+        derivable = {
+            cond.attribute for f in self._ilfds for cond in f.consequent
+        }
+        out: List[str] = []
+        for attribute in dict.fromkeys(
+            list(self.r_attributes) + list(self.s_attributes)
+        ):
+            r_ok = attribute in self._r.schema or attribute in derivable
+            s_ok = attribute in self._s.schema or attribute in derivable
+            if r_ok and s_ok:
+                out.append(attribute)
+        return out
+
+    def _load(self) -> None:
+        self._assert_facts("r", self._r)
+        self._assert_facts("s", self._s)
+        self._assert_ilfd_rules()
+        self._assert_null_defaults()
+        self._assert_views()
+        self.database.consult(
+            """
+            non_null_eq(A, B) :- not A=null, not B=null, A=B.
+            length([], 0).
+            length([_X|Xs], N+1) :- length(Xs, N).
+            if_then_else(P, Q, _R) :- P, !, Q.
+            if_then_else(_P, _Q, R) :- R.
+            """
+        )
+
+    def _assert_facts(self, side: str, relation: Relation) -> None:
+        for index, row in enumerate(relation, start=1):
+            tuple_id = Atom(f"{side}{index}")
+            self.database.assertz(
+                Clause(Struct(f"{side}_id", (tuple_id,)))
+            )
+            for attribute in relation.schema.names:
+                value = row[attribute]
+                if is_null(value):
+                    continue
+                self.database.assertz(
+                    Clause(
+                        Struct(
+                            self._pred(side, attribute),
+                            (tuple_id, self._value_atom(value)),
+                        )
+                    )
+                )
+
+    def _always_stored(self, side: str, attribute: str) -> bool:
+        relation = self._r if side == "r" else self._s
+        return attribute in relation.schema and not any(
+            is_null(row[attribute]) for row in relation
+        )
+
+    def _assert_ilfd_rules(self) -> None:
+        """One rule per ILFD and side, each ending in a cut.
+
+        ``s_cui(Sid, chinese) :- s_spec(Sid, hunan), !.``
+
+        Following the Appendix, rules are only generated for attributes
+        the side does not already store in full: a rule alongside complete
+        facts would re-derive stored values on backtracking and inflate
+        the ``bagof`` count the soundness check relies on.
+        """
+        for side in ("r", "s"):
+            identifier = Var("Id")
+            for ilfd in self._ilfds:
+                for part in ilfd.split():
+                    (consequent,) = part.consequent
+                    if self._always_stored(side, consequent.attribute):
+                        continue
+                    head = Struct(
+                        self._pred(side, consequent.attribute),
+                        (identifier, self._value_atom(consequent.value)),
+                    )
+                    body: List[Term] = [
+                        Struct(
+                            self._pred(side, cond.attribute),
+                            (identifier, self._value_atom(cond.value)),
+                        )
+                        for cond in sorted(part.antecedent)
+                    ]
+                    body.append(Atom("!"))
+                    self.database.assertz(Clause(head, tuple(body)))
+
+    def _assert_null_defaults(self) -> None:
+        """NULL defaults, asserted after all facts and ILFD rules.
+
+        Exactly the prototype's trick: "we implemented the default NULL
+        values by asserting them only after all ILFDs have failed to
+        assign the non-NULL values."  A default is only generated for
+        attributes that can be missing on that side (absent from the
+        schema, or present with NULLs) so that always-stored attributes
+        ground the tuple id.
+        """
+        derivable = {
+            cond.attribute for f in self._ilfds for cond in f.consequent
+        }
+        for side, relation in (("r", self._r), ("s", self._s)):
+            present = set(relation.schema.names)
+            relevant = sorted(present | derivable)
+            for attribute in relevant:
+                always_stored = attribute in present and not any(
+                    is_null(row[attribute]) for row in relation
+                )
+                if always_stored:
+                    continue
+                self.database.assertz(
+                    Clause(
+                        Struct(
+                            self._pred(side, attribute),
+                            (Var("_Id"), _NULL_ATOM),
+                        ),
+                        (Struct(f"{side}_id", (Var("_Id"),)),),
+                    )
+                )
+
+    def _view_attributes(self, side: str) -> List[str]:
+        """The rr/ss view columns: stored attributes plus derivable
+        *candidate* attributes (the Appendix's rr has no r_cty column even
+        though r_cty is derivable — county was not a candidate)."""
+        relation = self._r if side == "r" else self._s
+        candidates = self.candidate_attributes()
+        derivable = {
+            cond.attribute for f in self._ilfds for cond in f.consequent
+        }
+        ordered = list(relation.schema.names)
+        ordered.extend(
+            a
+            for a in candidates
+            if a in derivable and a not in relation.schema
+        )
+        return ordered
+
+    def _assert_views(self) -> None:
+        """The extended-relation views rr/ss over all fetchable attributes."""
+        for side in ("r", "s"):
+            attributes = self._view_attributes(side)
+            identifier = Var("Id")
+            args: List[Term] = [identifier]
+            body: List[Term] = [Struct(f"{side}_id", (identifier,))]
+            for attribute in attributes:
+                variable = Var("V_" + self._alias(attribute))
+                args.append(variable)
+                body.append(
+                    Struct(self._pred(side, attribute), (identifier, variable))
+                )
+            head = Struct(f"{side}{side}", tuple(args))
+            self.database.assertz(Clause(head, tuple(body)))
+
+    # ------------------------------------------------------------------
+    # setup_extkey (the getkey substitute) and verification
+    # ------------------------------------------------------------------
+    def setup_extkey(self, attributes: Sequence[str]) -> str:
+        """Install the matching-table rule for the chosen extended key.
+
+        Regenerates ``matchtable/(|K_R|+|K_S|)`` — head variables are the
+        two keys' values, body fetches every candidate attribute of both
+        tuples and requires ``non_null_eq`` on each selected attribute —
+        then verifies soundness and returns the prototype's message.
+        """
+        selection = list(attributes)
+        candidates = self.candidate_attributes()
+        unknown = [a for a in selection if a not in candidates]
+        if unknown:
+            raise PrologError(
+                f"extended key attributes {unknown} are not candidates "
+                f"(candidates: {candidates})"
+            )
+        arity = len(self.r_key) + len(self.s_key)
+        self.database.retract_all("matchtable", arity)
+        self.database.retract_all("matched_R_keys", len(self.r_key))
+        self.database.retract_all("matched_S_keys", len(self.s_key))
+        self.database.retract_all("correct", 0)
+
+        r_id, s_id = Var("R"), Var("S")
+        fetch: List[Term] = [
+            Struct("r_id", (r_id,)),
+            Struct("s_id", (s_id,)),
+        ]
+        r_vals: Dict[str, Var] = {}
+        s_vals: Dict[str, Var] = {}
+        for attribute in dict.fromkeys(list(self.r_key) + list(selection)):
+            if attribute in self._r.schema or attribute in candidates:
+                var = Var("R_" + self._alias(attribute))
+                r_vals[attribute] = var
+                fetch.append(
+                    Struct(self._pred("r", attribute), (r_id, var))
+                )
+        for attribute in dict.fromkeys(list(self.s_key) + list(selection)):
+            if attribute in self._s.schema or attribute in candidates:
+                var = Var("S_" + self._alias(attribute))
+                s_vals[attribute] = var
+                fetch.append(
+                    Struct(self._pred("s", attribute), (s_id, var))
+                )
+        conditions: List[Term] = [
+            Struct("non_null_eq", (r_vals[a], s_vals[a])) for a in selection
+        ]
+        head_args = [r_vals[a] for a in self.r_key] + [
+            s_vals[a] for a in self.s_key
+        ]
+        head = Struct("matchtable", tuple(head_args))
+        self.database.assertz(Clause(head, tuple(fetch + conditions)))
+
+        self._assert_verification(arity)
+        self._extkey = tuple(selection)
+        return self.verify()
+
+    def _assert_verification(self, arity: int) -> None:
+        """The ``correct`` predicate: bagof vs setof cardinalities."""
+        r_vars = [Var(f"K{i}") for i in range(len(self.r_key))]
+        s_vars = [Var(f"L{i}") for i in range(len(self.s_key))]
+        all_vars = r_vars + s_vars
+        self.database.assertz(
+            Clause(
+                Struct("matched_R_keys", tuple(r_vars)),
+                (Struct("matchtable", tuple(all_vars)),),
+            )
+        )
+        self.database.assertz(
+            Clause(
+                Struct("matched_S_keys", tuple(s_vars)),
+                (Struct("matchtable", tuple(all_vars)),),
+            )
+        )
+        self.database.consult(
+            """
+            correct :- bagof(Ks, matched_R_keys_list(Ks), M1),
+                       setof(Ks2, matched_R_keys_list(Ks2), M2),
+                       bagof(Ls, matched_S_keys_list(Ls), M3),
+                       setof(Ls2, matched_S_keys_list(Ls2), M4),
+                       length(M1, N1), length(M2, N2),
+                       length(M3, N3), length(M4, N4),
+                       N1 = N2, N3 = N4.
+            """
+        )
+        from repro.prolog.terms import make_list
+
+        r_vars2 = [Var(f"K{i}") for i in range(len(self.r_key))]
+        s_vars2 = [Var(f"L{i}") for i in range(len(self.s_key))]
+        self.database.retract_all("matched_R_keys_list", 1)
+        self.database.retract_all("matched_S_keys_list", 1)
+        self.database.assertz(
+            Clause(
+                Struct("matched_R_keys_list", (make_list(r_vars2),)),
+                (Struct("matched_R_keys", tuple(r_vars2)),),
+            )
+        )
+        self.database.assertz(
+            Clause(
+                Struct("matched_S_keys_list", (make_list(s_vars2),)),
+                (Struct("matched_S_keys", tuple(s_vars2)),),
+            )
+        )
+
+    def verify(self) -> str:
+        """Run the soundness check; returns the prototype's message."""
+        if not self._extkey:
+            raise PrologError("setup_extkey has not been run")
+        if not self.matchtable_rows():
+            # bagof fails on an empty matchtable; an empty table trivially
+            # satisfies uniqueness, so report it verified.
+            return VERIFIED_MESSAGE
+        return VERIFIED_MESSAGE if self.engine.succeeds("correct") else UNSOUND_MESSAGE
+
+    # ------------------------------------------------------------------
+    # Result extraction and printing
+    # ------------------------------------------------------------------
+    def matchtable_rows(self) -> List[Dict[str, str]]:
+        """Matching-table rows as dicts keyed ``r_<attr>`` / ``s_<attr>``."""
+        if not self._extkey:
+            raise PrologError("setup_extkey has not been run")
+        r_cols = [f"r_{self._alias(a)}" for a in self.r_key]
+        s_cols = [f"s_{self._alias(a)}" for a in self.s_key]
+        variables = [Var(f"C{i}") for i in range(len(r_cols) + len(s_cols))]
+        goal = Struct("matchtable", tuple(variables))
+        out: List[Dict[str, str]] = []
+        seen: set = set()
+        for subst in self.engine.solve([goal]):
+            from repro.prolog.engine import resolve
+
+            values = tuple(_render(resolve(v, subst)) for v in variables)
+            if values in seen:
+                continue
+            seen.add(values)
+            out.append(dict(zip(r_cols + s_cols, values)))
+        out.sort(key=lambda row: tuple(row.values()))
+        return out
+
+    def integrated_rows(self) -> List[Dict[str, str]]:
+        """Integrated-table rows (matched ∪ unmatched-R ∪ unmatched-S)."""
+        if not self._extkey:
+            raise PrologError("setup_extkey has not been run")
+        r_attrs = self._view_attributes("r")
+        s_attrs = self._view_attributes("s")
+        r_cols = [f"r_{self._alias(a)}" for a in r_attrs]
+        s_cols = [f"s_{self._alias(a)}" for a in s_attrs]
+
+        rr_rows = self._view_rows("r", r_attrs)
+        ss_rows = self._view_rows("s", s_attrs)
+        match_rows = self.matchtable_rows()
+
+        def r_key_of(view_row: Dict[str, str]) -> Tuple[str, ...]:
+            return tuple(view_row[f"r_{self._alias(a)}"] for a in self.r_key)
+
+        def s_key_of(view_row: Dict[str, str]) -> Tuple[str, ...]:
+            return tuple(view_row[f"s_{self._alias(a)}"] for a in self.s_key)
+
+        matched_r = {
+            tuple(m[f"r_{self._alias(a)}"] for a in self.r_key) for m in match_rows
+        }
+        matched_s = {
+            tuple(m[f"s_{self._alias(a)}"] for a in self.s_key) for m in match_rows
+        }
+        out: List[Dict[str, str]] = []
+        for m in match_rows:
+            r_side = next(
+                row
+                for row in rr_rows
+                if r_key_of(row) == tuple(m[f"r_{self._alias(a)}"] for a in self.r_key)
+            )
+            s_side = next(
+                row
+                for row in ss_rows
+                if s_key_of(row) == tuple(m[f"s_{self._alias(a)}"] for a in self.s_key)
+            )
+            combined = dict(r_side)
+            combined.update(s_side)
+            out.append(combined)
+        for row in rr_rows:
+            if r_key_of(row) not in matched_r:
+                combined = dict(row)
+                combined.update({c: "null" for c in s_cols})
+                out.append(combined)
+        for row in ss_rows:
+            if s_key_of(row) not in matched_s:
+                combined = {c: "null" for c in r_cols}
+                combined.update(row)
+                out.append(combined)
+        out.sort(key=lambda r: tuple(r[c] for c in r_cols + s_cols))
+        return out
+
+    def _view_rows(self, side: str, attributes: List[str]) -> List[Dict[str, str]]:
+        identifier = Var("Id")
+        variables = [Var(f"A{i}") for i in range(len(attributes))]
+        goal = Struct(f"{side}{side}", tuple([identifier] + variables))
+        from repro.prolog.engine import resolve
+
+        out: List[Dict[str, str]] = []
+        seen: set = set()
+        for subst in self.engine.solve([goal]):
+            key = _render(resolve(identifier, subst))
+            if key in seen:
+                continue  # cut-free views may re-derive the same tuple
+            seen.add(key)
+            out.append(
+                {
+                    f"{side}_{self._alias(a)}": _render(resolve(v, subst))
+                    for a, v in zip(attributes, variables)
+                }
+            )
+        return out
+
+    def print_matchtable(self) -> str:
+        """The Section-6 ``print_matchtable`` output."""
+        rows = self.matchtable_rows()
+        header = [f"r_{self._alias(a)}" for a in self.r_key] + [
+            f"s_{self._alias(a)}" for a in self.s_key
+        ]
+        return format_rows(header, rows, title="matching table")
+
+    def print_integ_table(self) -> str:
+        """The Section-6 ``print_integ_table`` output."""
+        rows = self.integrated_rows()
+        header = self.integrated_header()
+        return format_rows(header, rows, title="integrated table")
+
+    def integrated_header(self) -> List[str]:
+        """Column order of the integrated printout.
+
+        Follows the Section-6 layout (``r_name r_cui r_spec s_name s_cui
+        s_spec r_str s_cty``): each side's candidate attributes first, in
+        candidate-list order, then each side's leftovers in schema order.
+        """
+        candidates = self.candidate_attributes()
+        r_attrs = self._view_attributes("r")
+        s_attrs = self._view_attributes("s")
+        r_first = [f"r_{self._alias(a)}" for a in candidates if a in r_attrs]
+        s_first = [f"s_{self._alias(a)}" for a in candidates if a in s_attrs]
+        r_rest = [f"r_{self._alias(a)}" for a in r_attrs if a not in candidates]
+        s_rest = [f"s_{self._alias(a)}" for a in s_attrs if a not in candidates]
+        return r_first + s_first + r_rest + s_rest
+
+
+def restaurant_prototype() -> PrototypeSystem:
+    """The Appendix program: Example 3's restaurants, atoms and all."""
+    from repro.relational.attribute import string_attribute as _sa
+    from repro.relational.schema import Schema
+
+    mangling = {
+        "TwinCities": "twincities",
+        "It'sGreek": "itsgreek",
+        "Anjuman": "anjuman",
+        "VillageWok": "villagewok",
+        "Chinese": "chinese",
+        "Indian": "indian",
+        "Greek": "greek",
+        "Co.B2": "co_B2",
+        "Co.B3": "co_B3",
+        "FrontAve.": "front_ave",
+        "LeSalleAve.": "le_salle_ave",
+        "Wash.Ave.": "wash_ave",
+        "Hunan": "hunan",
+        "Sichuan": "sichuan",
+        "Gyros": "gyros",
+        "Mughalai": "mughalai",
+        "Roseville": "roseville",
+        "Hennepin": "hennepin",
+        "Ramsey": "ramsey",
+        "Mpls.": "minneapolis",
+    }
+
+    r = Relation(
+        Schema(
+            [_sa("name"), _sa("cuisine"), _sa("street")],
+            keys=[("name", "cuisine")],
+        ),
+        [
+            ("TwinCities", "Chinese", "Co.B2"),
+            ("TwinCities", "Indian", "Co.B3"),
+            ("It'sGreek", "Greek", "FrontAve."),
+            ("Anjuman", "Indian", "LeSalleAve."),
+            ("VillageWok", "Chinese", "Wash.Ave."),
+        ],
+        name="R",
+    )
+    s = Relation(
+        Schema(
+            [_sa("name"), _sa("speciality"), _sa("county")],
+            keys=[("name", "speciality")],
+        ),
+        [
+            ("TwinCities", "Hunan", "Roseville"),
+            ("TwinCities", "Sichuan", "Hennepin"),
+            ("It'sGreek", "Gyros", "Ramsey"),
+            ("Anjuman", "Mughalai", "Mpls."),
+        ],
+        name="S",
+    )
+    ilfds = [
+        ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}, name="I1"),
+        ILFD({"speciality": "Sichuan"}, {"cuisine": "Chinese"}, name="I2"),
+        ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"}, name="I3"),
+        ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"}, name="I4"),
+        ILFD(
+            {"name": "TwinCities", "street": "Co.B2"},
+            {"speciality": "Hunan"},
+            name="I5",
+        ),
+        ILFD(
+            {"name": "Anjuman", "street": "LeSalleAve."},
+            {"speciality": "Mughalai"},
+            name="I6",
+        ),
+        ILFD({"street": "FrontAve."}, {"county": "Ramsey"}, name="I7"),
+        ILFD(
+            {"name": "It'sGreek", "county": "Ramsey"},
+            {"speciality": "Gyros"},
+            name="I8",
+        ),
+    ]
+    aliases = {
+        "cuisine": "cui",
+        "street": "str",
+        "speciality": "spec",
+        "county": "cty",
+    }
+    return PrototypeSystem(
+        r,
+        s,
+        ilfds,
+        candidates=["name", "cuisine", "speciality"],
+        aliases=aliases,
+        mangle=lambda value: mangling.get(str(value), str(value)),
+    )

@@ -1,0 +1,104 @@
+"""A Section-6-style interactive session driver.
+
+The paper shows its prototype being driven from the SB-Prolog top level
+(``| ?- setup_extkey.`` …).  :class:`PrototypeRepl` provides that
+interaction surface over the ported prototype: commands are read from a
+string or stream, responses accumulate as the transcript the paper
+prints.  Used by the prototype example and testable without a TTY.
+
+Commands::
+
+    setup_extkey a, b, c     choose the extended key (then auto-verify)
+    candidates               list the candidate attributes
+    print_matchtable         the matching table
+    print_integ_table        the integrated table
+    verify                   re-run the soundness check
+    query <goal>.            any Prolog goal against the knowledge base
+    help                     this text
+    halt                     end the session
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.prolog.errors import PrologError
+from repro.prolog.prototype import PrototypeSystem
+
+_HELP = """commands:
+  setup_extkey <attr, attr, ...>
+  candidates
+  print_matchtable
+  print_integ_table
+  verify
+  query <goal>.
+  help
+  halt"""
+
+
+class PrototypeRepl:
+    """Drive a :class:`~repro.prolog.prototype.PrototypeSystem` by text."""
+
+    def __init__(self, system: PrototypeSystem) -> None:
+        self.system = system
+        self.halted = False
+
+    def execute(self, line: str) -> str:
+        """Execute one command line; returns the printed response."""
+        text = line.strip().rstrip(".")
+        if not text:
+            return ""
+        command, _, argument = text.partition(" ")
+        command = command.lower()
+        try:
+            if command == "halt":
+                self.halted = True
+                return "yes"
+            if command == "help":
+                return _HELP
+            if command == "candidates":
+                pairs = ", ".join(
+                    f"[{i}] {name}"
+                    for i, name in enumerate(self.system.candidate_attributes())
+                )
+                return pairs
+            if command == "setup_extkey":
+                keys = [part.strip() for part in argument.split(",") if part.strip()]
+                if not keys:
+                    return "Please input the keys: (none given)"
+                return self.system.setup_extkey(keys)
+            if command == "verify":
+                return self.system.verify()
+            if command == "print_matchtable":
+                return self.system.print_matchtable()
+            if command == "print_integ_table":
+                return self.system.print_integ_table()
+            if command == "query":
+                goal = argument.strip()
+                if not goal:
+                    return "query what?"
+                results = self.system.engine.query(goal)
+                if not results:
+                    return "no"
+                lines: List[str] = []
+                for binding in results:
+                    if binding:
+                        lines.append(
+                            ", ".join(f"{k} = {v}" for k, v in binding.items())
+                        )
+                return "\n".join(lines) if lines else "yes"
+            return f"unknown command {command!r}; try 'help'"
+        except PrologError as exc:
+            return f"error: {exc}"
+
+    def run(self, commands: Iterable[str]) -> str:
+        """Execute commands until ``halt``; returns the full transcript."""
+        transcript: List[str] = []
+        for line in commands:
+            if self.halted:
+                break
+            transcript.append(f"| ?- {line.strip()}")
+            response = self.execute(line)
+            if response:
+                transcript.append(response)
+        return "\n".join(transcript)

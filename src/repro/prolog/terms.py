@@ -1,0 +1,139 @@
+"""Prolog terms: atoms, variables, and compound structures.
+
+Lists use the conventional encoding ``'.'(Head, Tail)`` terminated by the
+atom ``[]``.  Integers are represented as atoms of their decimal text —
+the Appendix program never does arithmetic (its ``length/2`` builds
+``0+1+1…`` structures and compares them by unification), so numeric atoms
+suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+NIL_NAME = "[]"
+CONS_NAME = "."
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A constant symbol."""
+
+    name: str
+
+    def __str__(self) -> str:
+        if self.name == NIL_NAME:
+            return self.name
+        plain = self.name and all(
+            ch.isalnum() or ch == "_" for ch in self.name
+        ) and (self.name[0].islower() or self.name.isdigit())
+        if plain:
+            return self.name
+        return f"'{self.name}'"
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable.  ``index`` disambiguates renamed instances."""
+
+    name: str
+    index: int = 0
+
+    def __str__(self) -> str:
+        if self.index:
+            return f"{self.name}_{self.index}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Struct:
+    """A compound term ``functor(arg1, …, argn)``."""
+
+    functor: str
+    args: Tuple["Term", ...]
+
+    def __str__(self) -> str:
+        if self.functor == CONS_NAME and len(self.args) == 2:
+            return _render_list(self)
+        if self.functor in ("+", "-", "=") and len(self.args) == 2:
+            return f"{self.args[0]}{self.functor}{self.args[1]}"
+        inner = ",".join(str(arg) for arg in self.args)
+        return f"{self.functor}({inner})"
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """The predicate indicator (functor, arity)."""
+        return (self.functor, len(self.args))
+
+
+Term = Union[Atom, Var, Struct]
+
+NIL = Atom(NIL_NAME)
+CUT = Atom("!")
+TRUE = Atom("true")
+
+
+def atom(name: str) -> Atom:
+    """Build an atom."""
+    return Atom(name)
+
+
+def struct(functor: str, *args: Term) -> Struct:
+    """Build a compound term."""
+    return Struct(functor, tuple(args))
+
+
+def make_list(items: Iterable[Term], tail: Term = NIL) -> Term:
+    """Build a Prolog list term from Python items."""
+    result: Term = tail
+    for item in reversed(list(items)):
+        result = Struct(CONS_NAME, (item, result))
+    return result
+
+
+def from_prolog_list(term: Term) -> Optional[List[Term]]:
+    """Decode a proper Prolog list into a Python list, else None."""
+    items: List[Term] = []
+    while True:
+        if term == NIL:
+            return items
+        if isinstance(term, Struct) and term.functor == CONS_NAME and len(term.args) == 2:
+            items.append(term.args[0])
+            term = term.args[1]
+            continue
+        return None
+
+
+def _render_list(term: Struct) -> str:
+    items: List[str] = []
+    current: Term = term
+    while isinstance(current, Struct) and current.functor == CONS_NAME and len(current.args) == 2:
+        items.append(str(current.args[0]))
+        current = current.args[1]
+    if current == NIL:
+        return "[" + ",".join(items) + "]"
+    return "[" + ",".join(items) + "|" + str(current) + "]"
+
+
+def term_key(term: Term) -> str:
+    """A total-order key for terms (used by ``setof`` sorting)."""
+    return str(term)
+
+
+def variables_in(term: Term) -> List[Var]:
+    """All variables of a term, in first-occurrence order."""
+    out: List[Var] = []
+    seen: set = set()
+
+    def walk(t: Term) -> None:
+        if isinstance(t, Var):
+            if t not in seen:
+                seen.add(t)
+                out.append(t)
+        elif isinstance(t, Struct):
+            for arg in t.args:
+                walk(arg)
+
+    walk(term)
+    return out

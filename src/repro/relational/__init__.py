@@ -1,0 +1,113 @@
+"""Relational algebra substrate.
+
+The paper expresses both its data model (relations with candidate keys,
+tuples modelling real-world entities) and its matching-table construction
+(Section 4.2) in relational algebra, including projections, natural joins,
+unions, and full outer joins over extended relations that contain NULLs.
+This subpackage is a small, self-contained in-memory relational engine that
+executes those expressions verbatim:
+
+- :mod:`repro.relational.nulls` -- the ``NULL`` marker and the paper's
+  ``non_null_eq`` three-valued comparison semantics,
+- :mod:`repro.relational.attribute` / :mod:`repro.relational.schema` --
+  typed attributes, ordered schemas, candidate keys,
+- :mod:`repro.relational.row` / :mod:`repro.relational.relation` --
+  immutable tuples and relations with key enforcement,
+- :mod:`repro.relational.algebra` -- select / project / rename / union /
+  difference / natural, theta, left-outer and full-outer joins,
+- :mod:`repro.relational.keys` -- key validation and candidate-key discovery,
+- :mod:`repro.relational.csvio` -- CSV import/export,
+- :mod:`repro.relational.formatting` -- the fixed-width table printer used to
+  reproduce the prototype's output (Section 6).
+"""
+
+from repro.relational.attribute import Attribute, Domain
+from repro.relational.errors import (
+    AttributeError_,
+    DuplicateRowError,
+    KeyViolationError,
+    RelationalError,
+    SchemaError,
+    SchemaMismatchError,
+)
+from repro.relational.nulls import (
+    NULL,
+    Maybe,
+    is_null,
+    non_null_eq,
+    null_eq,
+    three_valued_and,
+    three_valued_not,
+    three_valued_or,
+)
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+from repro.relational.relation import Relation
+from repro.relational.algebra import (
+    antijoin,
+    difference,
+    full_outer_join,
+    intersection,
+    left_outer_join,
+    natural_join,
+    product,
+    project,
+    rename,
+    right_outer_join,
+    select,
+    semijoin,
+    theta_join,
+    union,
+)
+from repro.relational.keys import (
+    candidate_keys,
+    is_superkey,
+    satisfies_key,
+    violating_groups,
+)
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.formatting import format_relation, format_rows
+
+__all__ = [
+    "Attribute",
+    "AttributeError_",
+    "Domain",
+    "DuplicateRowError",
+    "KeyViolationError",
+    "Maybe",
+    "NULL",
+    "RelationalError",
+    "Relation",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "SchemaMismatchError",
+    "antijoin",
+    "candidate_keys",
+    "difference",
+    "format_relation",
+    "format_rows",
+    "full_outer_join",
+    "intersection",
+    "is_null",
+    "is_superkey",
+    "left_outer_join",
+    "natural_join",
+    "non_null_eq",
+    "null_eq",
+    "product",
+    "project",
+    "read_csv",
+    "rename",
+    "right_outer_join",
+    "satisfies_key",
+    "select",
+    "semijoin",
+    "theta_join",
+    "three_valued_and",
+    "three_valued_not",
+    "three_valued_or",
+    "union",
+    "violating_groups",
+    "write_csv",
+]

@@ -1,0 +1,380 @@
+"""Relational algebra operators.
+
+These are the operators the paper uses in Section 4.2 to construct the
+matching table and the integrated table:
+
+- projection (``Π``) over key and missing-extended-key attributes,
+- natural join (``⋈``) of source relations with ILFD tables,
+- union of per-ILFD-table derivation results,
+- left outer join to extend R/S with derived attributes, and
+- full outer join (``⟗``) to build the integrated table
+  ``T_RS = MT_RS ⋈ R ⟗ S``.
+
+Join comparisons follow the prototype's ``non_null_eq`` semantics by
+default: NULL never joins with NULL.  Operators return new
+:class:`~repro.relational.relation.Relation` objects; inputs are never
+mutated.  Result relations use set semantics (duplicates are removed) and
+carry the whole attribute set as key unless a tighter key is provable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.errors import SchemaMismatchError
+from repro.relational.nulls import is_null
+from repro.relational.row import Row
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+Predicate = Callable[[Row], bool]
+
+
+def _dedup(rows: Iterable[Row]) -> List[Row]:
+    seen: set = set()
+    out: List[Row] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+def _result(schema: Schema, rows: Iterable[Row], name: str) -> Relation:
+    relation = Relation(schema, (), name=name, enforce_keys=False)
+    deduped = _dedup(rows)
+    relation._rows = tuple(deduped)
+    relation._row_set = frozenset(deduped)
+    return relation
+
+
+# ----------------------------------------------------------------------
+# Unary operators
+# ----------------------------------------------------------------------
+def select(relation: Relation, predicate: Predicate, *, name: str = "") -> Relation:
+    """σ_predicate(relation): keep rows where *predicate* returns True."""
+    rows = [row for row in relation if predicate(row)]
+    return _result(relation.schema, rows, name or f"σ({relation.name})")
+
+
+def project(relation: Relation, names: Sequence[str], *, name: str = "") -> Relation:
+    """Π_names(relation): projection with duplicate elimination."""
+    schema = relation.schema.project(names)
+    rows = (row.project(names) for row in relation)
+    return _result(schema, rows, name or f"Π({relation.name})")
+
+
+def rename(relation: Relation, mapping: Mapping[str, str], *, name: str = "") -> Relation:
+    """ρ_mapping(relation): rename attributes (keys follow)."""
+    schema = relation.schema.rename(mapping)
+    rows = (row.rename(mapping) for row in relation)
+    return _result(schema, rows, name or f"ρ({relation.name})")
+
+
+# ----------------------------------------------------------------------
+# Set operators
+# ----------------------------------------------------------------------
+def _require_union_compatible(left: Relation, right: Relation, op: str) -> None:
+    if not left.schema.is_union_compatible(right.schema):
+        raise SchemaMismatchError(
+            f"{op} requires union-compatible schemas; "
+            f"got {list(left.schema.names)} vs {list(right.schema.names)}"
+        )
+
+
+def union(left: Relation, right: Relation, *, name: str = "") -> Relation:
+    """left ∪ right (set semantics)."""
+    _require_union_compatible(left, right, "union")
+    rows = list(left) + [row for row in right if row not in left.row_set]
+    return _result(left.schema, rows, name or f"({left.name} ∪ {right.name})")
+
+
+def difference(left: Relation, right: Relation, *, name: str = "") -> Relation:
+    """left − right."""
+    _require_union_compatible(left, right, "difference")
+    rows = [row for row in left if row not in right.row_set]
+    return _result(left.schema, rows, name or f"({left.name} − {right.name})")
+
+
+def intersection(left: Relation, right: Relation, *, name: str = "") -> Relation:
+    """left ∩ right."""
+    _require_union_compatible(left, right, "intersection")
+    rows = [row for row in left if row in right.row_set]
+    return _result(left.schema, rows, name or f"({left.name} ∩ {right.name})")
+
+
+def semijoin(
+    left: Relation,
+    right: Relation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    null_joins: bool = False,
+    name: str = "",
+) -> Relation:
+    """left ⋉ right: left rows with at least one join partner.
+
+    The matched-R part of the integrated table is ``R ⋉ MT_RS``.
+    """
+    common = list(on) if on is not None else list(left.schema.common_names(right.schema))
+    if not common:
+        raise SchemaMismatchError("semijoin with no common attributes")
+    keys: set = set()
+    for rrow in right:
+        values = rrow.values_for(common)
+        if not null_joins and any(is_null(v) for v in values):
+            continue
+        keys.add(values)
+    rows = []
+    for lrow in left:
+        values = lrow.values_for(common)
+        if not null_joins and any(is_null(v) for v in values):
+            continue
+        if values in keys:
+            rows.append(lrow)
+    return _result(left.schema, rows, name or f"({left.name} ⋉ {right.name})")
+
+
+def antijoin(
+    left: Relation,
+    right: Relation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    null_joins: bool = False,
+    name: str = "",
+) -> Relation:
+    """left ▷ right: left rows with no join partner.
+
+    The unmatched-R part of the integrated table is ``R ▷ MT_RS``; rows
+    whose join attributes contain NULL count as unmatched (they cannot
+    join under ``non_null_eq``).
+    """
+    common = list(on) if on is not None else list(left.schema.common_names(right.schema))
+    if not common:
+        raise SchemaMismatchError("antijoin with no common attributes")
+    keys: set = set()
+    for rrow in right:
+        values = rrow.values_for(common)
+        if not null_joins and any(is_null(v) for v in values):
+            continue
+        keys.add(values)
+    rows = []
+    for lrow in left:
+        values = lrow.values_for(common)
+        has_null = any(is_null(v) for v in values)
+        if (not null_joins and has_null) or values not in keys:
+            rows.append(lrow)
+    return _result(left.schema, rows, name or f"({left.name} ▷ {right.name})")
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+def product(left: Relation, right: Relation, *, name: str = "") -> Relation:
+    """Cartesian product; attribute names must be disjoint."""
+    overlap = set(left.schema.names) & set(right.schema.names)
+    if overlap:
+        raise SchemaMismatchError(
+            f"product requires disjoint attributes; shared: {sorted(overlap)}"
+        )
+    schema = left.schema.join_schema(right.schema, None)
+    rows = (
+        Row({**dict(lrow), **dict(rrow)})
+        for lrow in left
+        for rrow in right
+    )
+    return _result(schema, rows, name or f"({left.name} × {right.name})")
+
+
+def _merge_rows(lrow: Row, rrow: Row, right_only: Sequence[str]) -> Row:
+    merged = dict(lrow)
+    for attr in right_only:
+        merged[attr] = rrow[attr]
+    return Row(merged)
+
+
+def _hash_join_pairs(
+    left: Relation,
+    right: Relation,
+    on: Sequence[str],
+    *,
+    null_joins: bool,
+) -> Iterable[Tuple[Row, Row]]:
+    """Yield (left_row, right_row) pairs agreeing on *on*.
+
+    With ``null_joins=False`` (the paper's ``non_null_eq``), a row whose
+    join attributes contain NULL never joins.
+    """
+    index: Dict[Tuple[Any, ...], List[Row]] = defaultdict(list)
+    for rrow in right:
+        values = rrow.values_for(on)
+        if not null_joins and any(is_null(v) for v in values):
+            continue
+        index[values].append(rrow)
+    for lrow in left:
+        values = lrow.values_for(on)
+        if not null_joins and any(is_null(v) for v in values):
+            continue
+        for rrow in index.get(values, ()):
+            yield lrow, rrow
+
+
+def natural_join(
+    left: Relation,
+    right: Relation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    null_joins: bool = False,
+    name: str = "",
+) -> Relation:
+    """left ⋈ right over common attributes (or an explicit *on* list).
+
+    The default ``null_joins=False`` implements the prototype's
+    ``non_null_eq``: tuples with NULL in a join attribute do not match.
+    """
+    common = list(on) if on is not None else list(left.schema.common_names(right.schema))
+    if not common:
+        raise SchemaMismatchError(
+            "natural join with no common attributes; use product() if a "
+            "cross product is really intended"
+        )
+    for attr in common:
+        left.schema.attribute(attr)
+        right.schema.attribute(attr)
+    right_only = [n for n in right.schema.names if n not in set(left.schema.names)]
+    schema = left.schema.join_schema(right.schema, None)
+    rows = (
+        _merge_rows(lrow, rrow, right_only)
+        for lrow, rrow in _hash_join_pairs(left, right, common, null_joins=null_joins)
+    )
+    return _result(schema, rows, name or f"({left.name} ⋈ {right.name})")
+
+
+def theta_join(
+    left: Relation,
+    right: Relation,
+    condition: Callable[[Row, Row], bool],
+    *,
+    name: str = "",
+) -> Relation:
+    """Join on an arbitrary condition; attribute names must be disjoint."""
+    overlap = set(left.schema.names) & set(right.schema.names)
+    if overlap:
+        raise SchemaMismatchError(
+            f"theta_join requires disjoint attributes; shared: {sorted(overlap)}; "
+            "rename() one side first"
+        )
+    schema = left.schema.join_schema(right.schema, None)
+    rows = (
+        Row({**dict(lrow), **dict(rrow)})
+        for lrow in left
+        for rrow in right
+        if condition(lrow, rrow)
+    )
+    return _result(schema, rows, name or f"({left.name} ⋈θ {right.name})")
+
+
+def left_outer_join(
+    left: Relation,
+    right: Relation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    null_joins: bool = False,
+    name: str = "",
+) -> Relation:
+    """left ⟕ right: unmatched left rows padded with NULLs.
+
+    Used by the Section-4.2 construction to extend R with derived
+    extended-key values (rows with no derivable value keep NULL).
+    """
+    common = list(on) if on is not None else list(left.schema.common_names(right.schema))
+    if not common:
+        raise SchemaMismatchError("left outer join with no common attributes")
+    right_only = [n for n in right.schema.names if n not in set(left.schema.names)]
+    schema = left.schema.join_schema(right.schema, None)
+
+    index: Dict[Tuple[Any, ...], List[Row]] = defaultdict(list)
+    for rrow in right:
+        values = rrow.values_for(common)
+        if not null_joins and any(is_null(v) for v in values):
+            continue
+        index[values].append(rrow)
+
+    rows: List[Row] = []
+    for lrow in left:
+        values = lrow.values_for(common)
+        matches = (
+            index.get(values, [])
+            if null_joins or not any(is_null(v) for v in values)
+            else []
+        )
+        if matches:
+            rows.extend(_merge_rows(lrow, rrow, right_only) for rrow in matches)
+        else:
+            rows.append(lrow.null_padded(right_only))
+    return _result(schema, rows, name or f"({left.name} ⟕ {right.name})")
+
+
+def right_outer_join(
+    left: Relation,
+    right: Relation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    null_joins: bool = False,
+    name: str = "",
+) -> Relation:
+    """left ⟖ right, by symmetry with :func:`left_outer_join`."""
+    common = list(on) if on is not None else list(left.schema.common_names(right.schema))
+    flipped = left_outer_join(right, left, common, null_joins=null_joins)
+    schema = left.schema.join_schema(right.schema, None)
+    rows = (row.project(schema.names) for row in flipped)
+    return _result(schema, rows, name or f"({left.name} ⟖ {right.name})")
+
+
+def full_outer_join(
+    left: Relation,
+    right: Relation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    null_joins: bool = False,
+    name: str = "",
+) -> Relation:
+    """left ⟗ right: the operator building the integrated table T_RS.
+
+    Matched pairs merge into one row; unmatched rows from either side
+    survive padded with NULLs (the prototype's "separate tuples in the
+    integrated table", Section 4.1).
+    """
+    common = list(on) if on is not None else list(left.schema.common_names(right.schema))
+    if not common:
+        raise SchemaMismatchError("full outer join with no common attributes")
+    right_only = [n for n in right.schema.names if n not in set(left.schema.names)]
+    left_names = list(left.schema.names)
+    schema = left.schema.join_schema(right.schema, None)
+
+    index: Dict[Tuple[Any, ...], List[Row]] = defaultdict(list)
+    for rrow in right:
+        values = rrow.values_for(common)
+        if not null_joins and any(is_null(v) for v in values):
+            continue
+        index[values].append(rrow)
+
+    rows: List[Row] = []
+    matched_right: set = set()
+    for lrow in left:
+        values = lrow.values_for(common)
+        matches = (
+            index.get(values, [])
+            if null_joins or not any(is_null(v) for v in values)
+            else []
+        )
+        if matches:
+            for rrow in matches:
+                matched_right.add(rrow)
+                rows.append(_merge_rows(lrow, rrow, right_only))
+        else:
+            rows.append(lrow.null_padded(right_only))
+    for rrow in right:
+        if rrow not in matched_right:
+            rows.append(rrow.null_padded(left_names))
+    return _result(schema, rows, name or f"({left.name} ⟗ {right.name})")

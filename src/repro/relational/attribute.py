@@ -1,0 +1,116 @@
+"""Attributes and their domains.
+
+An :class:`Attribute` is a named, typed column of a relation schema.  The
+paper assumes schema-level heterogeneity has been resolved a priori, so
+semantically equivalent attributes in the two source relations share a
+*domain* even when their local names differ; :class:`Domain` captures the
+value type and optional enumeration of admissible values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple, Type
+
+from repro.relational.errors import SchemaError
+from repro.relational.nulls import is_null
+
+_VALID_DTYPES: Tuple[Type, ...] = (str, int, float, bool)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The set of admissible values for an attribute.
+
+    Parameters
+    ----------
+    dtype:
+        Python type of the values (one of ``str``, ``int``, ``float``,
+        ``bool``).
+    values:
+        Optional finite enumeration.  When given, :meth:`contains` admits
+        only the enumerated values; this is how the exhaustive Prop-2
+        benchmarks enumerate "each combination of values in the domains".
+    """
+
+    dtype: Type = str
+    values: Optional[FrozenSet[Any]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _VALID_DTYPES:
+            raise SchemaError(
+                f"unsupported domain dtype {self.dtype!r}; "
+                f"expected one of {_VALID_DTYPES}"
+            )
+        if self.values is not None:
+            frozen = frozenset(self.values)
+            object.__setattr__(self, "values", frozen)
+            for value in frozen:
+                if not isinstance(value, self.dtype):
+                    raise SchemaError(
+                        f"enumerated value {value!r} is not of dtype "
+                        f"{self.dtype.__name__}"
+                    )
+
+    def contains(self, value: Any) -> bool:
+        """Return True iff *value* (or NULL) is admissible in this domain."""
+        if is_null(value):
+            return True
+        if self.dtype is float and isinstance(value, int) and not isinstance(value, bool):
+            value_ok = True
+        elif self.dtype is not bool and isinstance(value, bool):
+            value_ok = False
+        else:
+            value_ok = isinstance(value, self.dtype)
+        if not value_ok:
+            return False
+        if self.values is not None:
+            return value in self.values
+        return True
+
+    def is_finite(self) -> bool:
+        """Return True iff the domain enumerates its values."""
+        return self.values is not None
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation schema.
+
+    Attributes are value objects: two attributes are interchangeable iff
+    they have the same name and domain.  Renaming (e.g. unifying ``r_name``
+    and ``s_name`` after schema integration) produces a new instance.
+    """
+
+    name: str
+    domain: Domain = field(default_factory=Domain)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+        if not all(ch.isalnum() or ch in "_." for ch in self.name):
+            raise SchemaError(
+                f"attribute name {self.name!r} contains characters outside [A-Za-z0-9_.]"
+            )
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute under a new name."""
+        return Attribute(new_name, self.domain)
+
+    def admits(self, value: Any) -> bool:
+        """Return True iff *value* is admissible (NULL always is)."""
+        return self.domain.contains(value)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def string_attribute(name: str, *enumerated: str) -> Attribute:
+    """Convenience constructor for string attributes.
+
+    With enumerated values, builds a finite string domain; otherwise an
+    unbounded one.  The paper's running examples use only string domains.
+    """
+    if enumerated:
+        return Attribute(name, Domain(str, frozenset(enumerated)))
+    return Attribute(name, Domain(str))

@@ -1,0 +1,96 @@
+"""CSV import/export for relations.
+
+Keeps the substrate usable on real exported data: the examples ship CSVs,
+and the CLI reads source relations from disk.  NULLs round-trip as empty
+fields.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, List, Optional, Union
+
+from repro.relational.attribute import Attribute
+from repro.relational.errors import SchemaError
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation, RelationBuilder
+from repro.relational.schema import Schema
+
+PathLike = Union[str, Path]
+
+
+def _parse(value: str, dtype: type) -> Any:
+    if value == "":
+        return NULL
+    if dtype is str:
+        return value
+    if dtype is int:
+        return int(value)
+    if dtype is float:
+        return float(value)
+    if dtype is bool:
+        lowered = value.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise SchemaError(f"cannot parse {value!r} as bool")
+    raise SchemaError(f"unsupported dtype {dtype!r}")
+
+
+def read_csv(
+    path: PathLike,
+    schema: Optional[Schema] = None,
+    *,
+    keys: Optional[Iterable[Iterable[str]]] = None,
+    name: str = "",
+    enforce_keys: bool = True,
+) -> Relation:
+    """Load a relation from a CSV file with a header row.
+
+    Without an explicit *schema*, all columns become string attributes and
+    *keys* (default: all columns) defines the candidate keys.  Empty fields
+    load as NULL.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty") from None
+        if schema is None:
+            schema = Schema([Attribute(col) for col in header], keys)
+        elif list(header) != list(schema.names):
+            raise SchemaError(
+                f"CSV header {header} does not match schema {list(schema.names)}"
+            )
+        builder = RelationBuilder(
+            schema, name=name or path.stem, enforce_keys=enforce_keys
+        )
+        for lineno, record in enumerate(reader, start=2):
+            if len(record) != len(schema.names):
+                raise SchemaError(
+                    f"{path}:{lineno}: expected {len(schema.names)} fields, "
+                    f"got {len(record)}"
+                )
+            values = {
+                attr.name: _parse(field, attr.domain.dtype)
+                for attr, field in zip(schema.attributes, record)
+            }
+            builder.add(values)
+    return builder.build()
+
+
+def write_csv(relation: Relation, path: PathLike) -> None:
+    """Write a relation to CSV; NULLs become empty fields."""
+    path = Path(path)
+    names: List[str] = list(relation.schema.names)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in relation:
+            writer.writerow(
+                ["" if is_null(row[name]) else row[name] for name in names]
+            )

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the relational substrate.
+
+All errors raised by :mod:`repro.relational` derive from
+:class:`RelationalError`, so callers can catch substrate failures with a
+single ``except`` clause while still distinguishing schema problems from
+constraint violations.
+"""
+
+
+class RelationalError(Exception):
+    """Base class for all relational substrate errors."""
+
+
+class SchemaError(RelationalError):
+    """A schema is malformed (duplicate attributes, bad key, empty, ...)."""
+
+
+class SchemaMismatchError(RelationalError):
+    """Two relations are schema-incompatible for the requested operation."""
+
+
+class AttributeError_(RelationalError):
+    """A referenced attribute does not exist in the schema.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`AttributeError`.
+    """
+
+
+class KeyViolationError(RelationalError):
+    """Inserting a row would violate a candidate key of the relation."""
+
+
+class DuplicateRowError(RelationalError):
+    """Inserting a row would duplicate an existing row exactly."""

@@ -1,0 +1,79 @@
+"""Fixed-width table formatting.
+
+Reproduces the look of the prototype's ``print_matchtable`` /
+``print_integ_table`` output in Section 6: a centred title, a dashed rule,
+left-aligned column headers, dashed underlines, and one fixed-width row per
+tuple with NULLs printed literally as ``null``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+
+
+def _render(value: Any) -> str:
+    if is_null(value):
+        return "null"
+    return str(value)
+
+
+def format_rows(
+    header: Sequence[str],
+    rows: Iterable[Mapping[str, Any]],
+    *,
+    title: str = "",
+    column_width: int = 15,
+) -> str:
+    """Format mappings as a fixed-width table (prototype style).
+
+    Columns wider than *column_width* grow to fit their widest value.
+    """
+    materialised: List[Mapping[str, Any]] = list(rows)
+    widths = []
+    for name in header:
+        longest = max(
+            [len(name)] + [len(_render(row[name])) for row in materialised]
+        )
+        widths.append(max(column_width, longest + 1))
+
+    lines: List[str] = []
+    if title:
+        total = sum(widths)
+        lines.append(title.center(max(total, len(title))).rstrip())
+        lines.append("-" * max(total, len(title)))
+    lines.append("".join(name.ljust(width) for name, width in zip(header, widths)).rstrip())
+    lines.append(
+        "".join(("-" * len(name)).ljust(width) for name, width in zip(header, widths)).rstrip()
+    )
+    for row in materialised:
+        lines.append(
+            "".join(
+                _render(row[name]).ljust(width)
+                for name, width in zip(header, widths)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_relation(
+    relation: Relation,
+    *,
+    title: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+    sort: bool = True,
+    column_width: int = 15,
+) -> str:
+    """Format a relation as a fixed-width table.
+
+    With ``sort=True`` rows are ordered lexicographically by their rendered
+    values, matching the prototype's ``setof``-sorted output.
+    """
+    header = list(columns) if columns is not None else list(relation.schema.names)
+    rows = list(relation)
+    if sort:
+        rows.sort(key=lambda row: tuple(_render(row[name]) for name in header))
+    shown_title = relation.name if title is None else title
+    return format_rows(header, rows, title=shown_title, column_width=column_width)

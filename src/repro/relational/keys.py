@@ -1,0 +1,77 @@
+"""Key validation and candidate-key discovery.
+
+The paper's data model requires every relation to have candidate keys, and
+the extended-key definition (Section 4.1) requires a *minimal* attribute
+set that uniquely identifies entities in the integrated world.  This module
+provides the instance-level checks used by those definitions:
+
+- :func:`satisfies_key` -- does an attribute set uniquely identify the rows
+  of a relation instance?
+- :func:`violating_groups` -- the groups of rows that share key values
+  (used by soundness diagnostics),
+- :func:`is_superkey` / :func:`candidate_keys` -- superkey test and
+  exhaustive minimal-key discovery for small schemas.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+from typing import Any, Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+
+
+def _key_tuples(relation: Relation, names: Tuple[str, ...]) -> Dict[Tuple[Any, ...], List[Row]]:
+    groups: Dict[Tuple[Any, ...], List[Row]] = defaultdict(list)
+    for row in relation:
+        values = row.values_for(names)
+        if any(is_null(v) for v in values):
+            # NULL-bearing key values cannot participate in uniqueness.
+            continue
+        groups[values].append(row)
+    return groups
+
+
+def satisfies_key(relation: Relation, key: Iterable[str]) -> bool:
+    """True iff non-NULL *key* values are unique in *relation*."""
+    names = tuple(sorted(set(key)))
+    for name in names:
+        relation.schema.attribute(name)
+    return all(len(group) == 1 for group in _key_tuples(relation, names).values())
+
+
+def violating_groups(relation: Relation, key: Iterable[str]) -> List[List[Row]]:
+    """Groups of ≥2 rows sharing the same non-NULL *key* values."""
+    names = tuple(sorted(set(key)))
+    for name in names:
+        relation.schema.attribute(name)
+    return [group for group in _key_tuples(relation, names).values() if len(group) > 1]
+
+
+def is_superkey(relation: Relation, attributes: Iterable[str]) -> bool:
+    """Instance-level superkey test (identical to satisfies_key)."""
+    return satisfies_key(relation, attributes)
+
+
+def candidate_keys(relation: Relation, *, max_size: int | None = None) -> List[FrozenSet[str]]:
+    """All minimal attribute sets that are keys of this *instance*.
+
+    Exhaustive over subsets, so intended for the small schemas of the
+    paper's examples (≤ ~15 attributes).  An instance-level key is a
+    necessary condition for a schema-level key; the DBA still has to
+    confirm the semantics (Section 3.2).
+    """
+    names = relation.schema.names
+    limit = len(names) if max_size is None else min(max_size, len(names))
+    found: List[FrozenSet[str]] = []
+    for size in range(1, limit + 1):
+        for combo in combinations(names, size):
+            candidate = frozenset(combo)
+            if any(existing <= candidate for existing in found):
+                continue
+            if satisfies_key(relation, candidate):
+                found.append(candidate)
+    return found

@@ -1,0 +1,141 @@
+"""NULL values and three-valued logic.
+
+Section 6.2 of the paper is explicit about how missing information is
+handled: NULL is an ordinary marker assigned when no fact and no ILFD can
+produce a value, and *"we do not want a NULL value to be equated with
+another NULL value"* -- hence the prototype's ``non_null_eq`` predicate,
+which holds only for comparisons between two non-NULL, equal values.
+
+This module provides:
+
+- :data:`NULL`, a singleton marker distinct from every domain value
+  (including ``None``, so user data containing ``None`` is representable),
+- :func:`non_null_eq`, the paper's matching comparison,
+- :class:`Maybe` and the ``three_valued_*`` connectives implementing SQL-style
+  Kleene logic, used by selection predicates over extended relations.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class _NullType:
+    """Singleton type of the NULL marker.
+
+    NULL compares equal only to itself under Python ``==`` (so rows are
+    hashable and relations deduplicate correctly), but *relational*
+    comparisons must go through :func:`null_eq` / :func:`non_null_eq`,
+    which treat NULL as unknown / never-equal respectively.
+    """
+
+    _instance: "_NullType | None" = None
+
+    def __new__(cls) -> "_NullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __hash__(self) -> int:
+        return hash("repro.relational.NULL")
+
+    def __copy__(self) -> "_NullType":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "_NullType":
+        return self
+
+    def __reduce__(self):
+        return (_NullType, ())
+
+
+NULL = _NullType()
+"""The unique NULL marker used for missing extended-key attribute values."""
+
+
+def is_null(value: Any) -> bool:
+    """Return True iff *value* is the NULL marker."""
+    return value is NULL
+
+
+class Maybe(enum.Enum):
+    """Kleene three-valued truth value: TRUE, FALSE, or UNKNOWN."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    @classmethod
+    def from_bool(cls, flag: bool) -> "Maybe":
+        """Lift a Python bool into the three-valued domain."""
+        return cls.TRUE if flag else cls.FALSE
+
+    def is_true(self) -> bool:
+        """Return True iff this value is definitely TRUE."""
+        return self is Maybe.TRUE
+
+    def is_false(self) -> bool:
+        """Return True iff this value is definitely FALSE."""
+        return self is Maybe.FALSE
+
+    def is_unknown(self) -> bool:
+        """Return True iff this value is UNKNOWN."""
+        return self is Maybe.UNKNOWN
+
+
+def null_eq(left: Any, right: Any) -> Maybe:
+    """Three-valued equality: UNKNOWN when either side is NULL.
+
+    This is the SQL-style comparison used by generic selection predicates.
+    """
+    if is_null(left) or is_null(right):
+        return Maybe.UNKNOWN
+    return Maybe.from_bool(left == right)
+
+
+def non_null_eq(left: Any, right: Any) -> bool:
+    """The paper's matching comparison (Section 6.2).
+
+    Holds only when both operands are non-NULL and equal; in particular
+    ``non_null_eq(NULL, NULL)`` is False, so two tuples with a missing
+    extended-key attribute are never matched on that attribute.
+    """
+    return not is_null(left) and not is_null(right) and left == right
+
+
+def three_valued_and(*values: Maybe) -> Maybe:
+    """Kleene conjunction: FALSE dominates, then UNKNOWN, else TRUE."""
+    result = Maybe.TRUE
+    for value in values:
+        if value is Maybe.FALSE:
+            return Maybe.FALSE
+        if value is Maybe.UNKNOWN:
+            result = Maybe.UNKNOWN
+    return result
+
+
+def three_valued_or(*values: Maybe) -> Maybe:
+    """Kleene disjunction: TRUE dominates, then UNKNOWN, else FALSE."""
+    result = Maybe.FALSE
+    for value in values:
+        if value is Maybe.TRUE:
+            return Maybe.TRUE
+        if value is Maybe.UNKNOWN:
+            result = Maybe.UNKNOWN
+    return result
+
+
+def three_valued_not(value: Maybe) -> Maybe:
+    """Kleene negation: UNKNOWN stays UNKNOWN."""
+    if value is Maybe.TRUE:
+        return Maybe.FALSE
+    if value is Maybe.FALSE:
+        return Maybe.TRUE
+    return Maybe.UNKNOWN

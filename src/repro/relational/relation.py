@@ -1,0 +1,283 @@
+"""Relations: schemas plus sets of rows, with key enforcement.
+
+A :class:`Relation` is an immutable value: operations return new relations.
+Bulk construction goes through :class:`RelationBuilder` to stay linear.
+
+Key enforcement follows the paper's data model (Section 3.1): every
+relation has candidate keys that uniquely identify its tuples, and each
+real-world entity is modelled by at most one tuple per relation.  Rows
+whose key attributes contain NULL are exempt from uniqueness (entity
+integrity is *not* assumed for the extended relations R'/S', whose added
+attributes may be NULL, but those attributes are never part of the
+relation's own key).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.relational.errors import (
+    DuplicateRowError,
+    KeyViolationError,
+    SchemaError,
+)
+from repro.relational.nulls import NULL, is_null
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+
+
+def _coerce_row(schema: Schema, values: Mapping[str, Any] | Sequence[Any]) -> Row:
+    """Build a Row for *schema* from a mapping or positional sequence."""
+    if isinstance(values, (Row, Mapping)):
+        mapping = dict(values)
+    else:
+        names = schema.names
+        seq = list(values)
+        if len(seq) != len(names):
+            raise SchemaError(
+                f"positional row has {len(seq)} values, schema has {len(names)} attributes"
+            )
+        mapping = dict(zip(names, seq))
+    extra = mapping.keys() - set(schema.names)
+    if extra:
+        raise SchemaError(f"row has attributes {sorted(extra)} not in schema")
+    full = {name: mapping.get(name, NULL) for name in schema.names}
+    for name, value in full.items():
+        attr = schema.attribute(name)
+        if not attr.admits(value):
+            raise SchemaError(
+                f"value {value!r} is not admissible for attribute {name!r} "
+                f"(dtype {attr.domain.dtype.__name__})"
+            )
+    return Row(full)
+
+
+class Relation:
+    """An immutable relation instance over a :class:`Schema`.
+
+    Rows are kept in insertion order (deterministic output matters for the
+    prototype's printers) but compare as sets: two relations are equal iff
+    they have equal schemas and equal row sets.
+    """
+
+    __slots__ = ("_schema", "_rows", "_row_set", "name")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Mapping[str, Any] | Sequence[Any]] = (),
+        *,
+        name: str = "",
+        enforce_keys: bool = True,
+    ) -> None:
+        self._schema = schema
+        self.name = name
+        ordered: List[Row] = []
+        seen: set = set()
+        key_indexes: Dict[FrozenSet[str], Dict[Tuple[Any, ...], Row]] = {
+            key: {} for key in schema.keys
+        }
+        for raw in rows:
+            row = _coerce_row(schema, raw)
+            if row in seen:
+                raise DuplicateRowError(f"duplicate row {row!r} in relation {name or '?'}")
+            if enforce_keys:
+                for key, index in key_indexes.items():
+                    values = row.values_for(sorted(key))
+                    if any(is_null(v) for v in values):
+                        continue
+                    clash = index.get(values)
+                    if clash is not None:
+                        raise KeyViolationError(
+                            f"key {sorted(key)} violated in relation "
+                            f"{name or '?'}: {clash!r} vs {row!r}"
+                        )
+                    index[values] = row
+            seen.add(row)
+            ordered.append(row)
+        self._rows: Tuple[Row, ...] = tuple(ordered)
+        self._row_set: FrozenSet[Row] = frozenset(seen)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """The relation's schema."""
+        return self._schema
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """Rows in insertion order."""
+        return self._rows
+
+    @property
+    def row_set(self) -> FrozenSet[Row]:
+        """Rows as a frozenset (for set-semantics comparisons)."""
+        return self._row_set
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        if isinstance(row, Mapping) and not isinstance(row, Row):
+            row = Row(dict(row))
+        return row in self._row_set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._row_set == other._row_set
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._row_set))
+
+    def __repr__(self) -> str:
+        label = self.name or "Relation"
+        return f"<{label}({', '.join(self._schema.names)}) with {len(self)} rows>"
+
+    def is_empty(self) -> bool:
+        """True iff the relation has no rows."""
+        return not self._rows
+
+    # ------------------------------------------------------------------
+    # Row access helpers
+    # ------------------------------------------------------------------
+    def lookup(self, key_values: Mapping[str, Any]) -> Optional[Row]:
+        """First row whose attributes equal *key_values*, or None."""
+        items = list(key_values.items())
+        for row in self._rows:
+            if all(row[name] == value for name, value in items):
+                return row
+        return None
+
+    def key_of(self, row: Row) -> Tuple[Any, ...]:
+        """Primary-key values of *row*, in sorted attribute-name order."""
+        return row.values_for(sorted(self._schema.primary_key))
+
+    def column(self, name: str) -> Tuple[Any, ...]:
+        """All values of attribute *name*, in row order."""
+        self._schema.attribute(name)
+        return tuple(row[name] for row in self._rows)
+
+    def distinct_values(self, name: str) -> FrozenSet[Any]:
+        """Distinct non-NULL values of attribute *name*."""
+        return frozenset(v for v in self.column(name) if not is_null(v))
+
+    # ------------------------------------------------------------------
+    # Immutable updates
+    # ------------------------------------------------------------------
+    def with_rows(
+        self,
+        extra: Iterable[Mapping[str, Any] | Sequence[Any]],
+        *,
+        enforce_keys: bool = True,
+    ) -> "Relation":
+        """New relation with *extra* rows appended."""
+        return Relation(
+            self._schema,
+            list(self._rows) + list(extra),
+            name=self.name,
+            enforce_keys=enforce_keys,
+        )
+
+    def insert(self, row: Mapping[str, Any] | Sequence[Any]) -> "Relation":
+        """New relation with one extra row (checked against all keys)."""
+        return self.with_rows([row])
+
+    def without(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """New relation dropping rows where *predicate* holds."""
+        return Relation(
+            self._schema,
+            [row for row in self._rows if not predicate(row)],
+            name=self.name,
+            enforce_keys=False,
+        )
+
+    def renamed(self, new_name: str) -> "Relation":
+        """Same relation under a different display name."""
+        clone = Relation(self._schema, (), name=new_name, enforce_keys=False)
+        clone._rows = self._rows
+        clone._row_set = self._row_set
+        return clone
+
+    def map_rows(self, transform: Callable[[Row], Row], schema: Optional[Schema] = None) -> "Relation":
+        """New relation with every row transformed (deduplicated)."""
+        target = schema or self._schema
+        seen: set = set()
+        out: List[Row] = []
+        for row in self._rows:
+            new = transform(row)
+            if new not in seen:
+                seen.add(new)
+                out.append(new)
+        return Relation(target, out, name=self.name, enforce_keys=False)
+
+
+class RelationBuilder:
+    """Linear-time accumulator for building large relations.
+
+    Keeps the same key indexes a Relation builds, so violations surface at
+    :meth:`add` time, then hands the validated rows to the Relation
+    constructor once via a fast path.
+    """
+
+    def __init__(self, schema: Schema, *, name: str = "", enforce_keys: bool = True) -> None:
+        self._schema = schema
+        self._name = name
+        self._enforce_keys = enforce_keys
+        self._rows: List[Row] = []
+        self._seen: set = set()
+        self._key_indexes: Dict[FrozenSet[str], set] = {key: set() for key in schema.keys}
+
+    def add(self, values: Mapping[str, Any] | Sequence[Any]) -> Row:
+        """Validate and append one row; returns the canonical Row."""
+        row = _coerce_row(self._schema, values)
+        if row in self._seen:
+            raise DuplicateRowError(f"duplicate row {row!r}")
+        if self._enforce_keys:
+            for key, index in self._key_indexes.items():
+                key_values = row.values_for(sorted(key))
+                if any(is_null(v) for v in key_values):
+                    continue
+                if key_values in index:
+                    raise KeyViolationError(
+                        f"key {sorted(key)} violated by row {row!r}"
+                    )
+                index.add(key_values)
+        self._seen.add(row)
+        self._rows.append(row)
+        return row
+
+    def try_add(self, values: Mapping[str, Any] | Sequence[Any]) -> bool:
+        """Add a row, returning False instead of raising on dup/violation."""
+        try:
+            self.add(values)
+        except (DuplicateRowError, KeyViolationError):
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def build(self) -> Relation:
+        """Produce the immutable Relation (rows already validated)."""
+        relation = Relation(self._schema, (), name=self._name, enforce_keys=False)
+        relation._rows = tuple(self._rows)
+        relation._row_set = frozenset(self._seen)
+        return relation

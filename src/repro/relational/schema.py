@@ -1,0 +1,216 @@
+"""Relation schemas with candidate keys.
+
+The paper expects each relation to carry one or more candidate keys
+("If no key is defined, the entire attribute set of the relation can be
+treated as the key", Section 3.1, footnote 1).  :class:`Schema` stores an
+ordered attribute list plus a non-empty set of candidate keys and offers
+the projections/renamings the Section-4.2 construction needs.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.relational.attribute import Attribute
+from repro.relational.errors import AttributeError_, SchemaError
+
+
+def _normalise_key(key: Iterable[str]) -> FrozenSet[str]:
+    names = frozenset(key)
+    if not names:
+        raise SchemaError("a candidate key cannot be empty")
+    return names
+
+
+class Schema:
+    """An ordered attribute list plus candidate keys.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered sequence of :class:`Attribute`; names must be unique.
+    keys:
+        Iterable of candidate keys, each an iterable of attribute names.
+        Defaults to the whole attribute set (footnote 1 of the paper).
+
+    The first key in ``keys`` is the *primary* key used when a single
+    identifying key is needed (e.g. matching-table entries store "the key
+    values of the pair of tuples").
+    """
+
+    __slots__ = ("_attributes", "_by_name", "_keys")
+
+    def __init__(
+        self,
+        attributes: Sequence[Attribute],
+        keys: Optional[Iterable[Iterable[str]]] = None,
+    ) -> None:
+        attrs = list(attributes)
+        if not attrs:
+            raise SchemaError("a schema must have at least one attribute")
+        by_name: Dict[str, Attribute] = {}
+        for attr in attrs:
+            if not isinstance(attr, Attribute):
+                raise SchemaError(f"expected Attribute, got {attr!r}")
+            if attr.name in by_name:
+                raise SchemaError(f"duplicate attribute name {attr.name!r}")
+            by_name[attr.name] = attr
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._by_name = by_name
+
+        if keys is None:
+            normalised = [frozenset(by_name)]
+        else:
+            normalised = [_normalise_key(key) for key in keys]
+            if not normalised:
+                raise SchemaError("at least one candidate key is required")
+        seen: List[FrozenSet[str]] = []
+        for key in normalised:
+            missing = key - by_name.keys()
+            if missing:
+                raise SchemaError(
+                    f"key {sorted(key)} references unknown attributes {sorted(missing)}"
+                )
+            if key in seen:
+                raise SchemaError(f"duplicate candidate key {sorted(key)}")
+            seen.append(key)
+        self._keys: Tuple[FrozenSet[str], ...] = tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The ordered attributes of the schema."""
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Attribute names, in schema order."""
+        return tuple(attr.name for attr in self._attributes)
+
+    @property
+    def keys(self) -> Tuple[FrozenSet[str], ...]:
+        """All candidate keys, primary key first."""
+        return self._keys
+
+    @property
+    def primary_key(self) -> FrozenSet[str]:
+        """The first declared candidate key."""
+        return self._keys[0]
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name, raising AttributeError_ if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AttributeError_(
+                f"schema has no attribute {name!r}; available: {list(self.names)}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and set(self._keys) == set(other._keys)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, frozenset(self._keys)))
+
+    def __repr__(self) -> str:
+        keys = ", ".join("{" + ",".join(sorted(key)) + "}" for key in self._keys)
+        return f"Schema({', '.join(self.names)}; keys: {keys})"
+
+    # ------------------------------------------------------------------
+    # Derivation of new schemas
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema of a projection onto *names* (in the given order).
+
+        Candidate keys fully contained in the projection survive; if none
+        survives, the whole projected attribute set becomes the key.
+        """
+        ordered = list(names)
+        if len(set(ordered)) != len(ordered):
+            raise SchemaError(f"duplicate names in projection list {ordered}")
+        attrs = [self.attribute(name) for name in ordered]
+        kept = set(ordered)
+        keys = [key for key in self._keys if key <= kept]
+        return Schema(attrs, keys or None)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Schema with attributes renamed according to *mapping*.
+
+        Keys are renamed along.  Unknown source names raise; collisions
+        among target names raise via the Schema constructor.
+        """
+        for source in mapping:
+            self.attribute(source)
+        attrs = [
+            attr.renamed(mapping.get(attr.name, attr.name))
+            for attr in self._attributes
+        ]
+        keys = [
+            frozenset(mapping.get(name, name) for name in key)
+            for key in self._keys
+        ]
+        return Schema(attrs, keys)
+
+    def extend(
+        self,
+        new_attributes: Sequence[Attribute],
+        extra_keys: Optional[Iterable[Iterable[str]]] = None,
+    ) -> "Schema":
+        """Schema with *new_attributes* appended (paper's R -> R' step).
+
+        Existing candidate keys are preserved; *extra_keys* may add keys
+        over the widened attribute set.
+        """
+        attrs = list(self._attributes) + list(new_attributes)
+        keys: List[Iterable[str]] = [set(key) for key in self._keys]
+        if extra_keys is not None:
+            keys.extend(set(key) for key in extra_keys)
+        return Schema(attrs, keys)
+
+    def join_schema(self, other: "Schema", keys: Optional[Iterable[Iterable[str]]]) -> "Schema":
+        """Schema of a join: self's attributes then other's new ones."""
+        attrs = list(self._attributes)
+        for attr in other.attributes:
+            if attr.name in self._by_name:
+                mine = self._by_name[attr.name]
+                if mine.domain != attr.domain:
+                    raise SchemaError(
+                        f"common attribute {attr.name!r} has conflicting domains"
+                    )
+            else:
+                attrs.append(attr)
+        return Schema(attrs, keys)
+
+    def common_names(self, other: "Schema") -> Tuple[str, ...]:
+        """Names shared with *other*, in this schema's order."""
+        return tuple(name for name in self.names if name in other)
+
+    def is_union_compatible(self, other: "Schema") -> bool:
+        """True iff both schemas have identical ordered attributes."""
+        return self._attributes == other._attributes

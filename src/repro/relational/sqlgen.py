@@ -1,0 +1,75 @@
+"""Exporting relations to SQL (SQLite dialect).
+
+The Section-4.2 construction is relational algebra, so it should run on
+any SQL engine.  This module loads :class:`~repro.relational.relation.Relation`
+objects into SQLite tables (stdlib ``sqlite3``), quoting identifiers and
+passing values as parameters; :mod:`repro.core.sql_construction` then
+generates and executes the matching-table construction as SQL, giving an
+independent cross-check of the in-memory engine's semantics (notably:
+SQL's ``a = b`` is NULL-rejecting, which is exactly the paper's
+``non_null_eq``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, List, Tuple
+
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an SQL identifier (doubling embedded quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def create_table_sql(relation: Relation, table_name: str) -> str:
+    """``CREATE TABLE`` DDL for a relation (all columns TEXT-affinity)."""
+    columns = ", ".join(
+        f"{quote_identifier(name)} TEXT" for name in relation.schema.names
+    )
+    return f"CREATE TABLE {quote_identifier(table_name)} ({columns})"
+
+
+def insert_statement(relation: Relation, table_name: str) -> str:
+    """Parameterised ``INSERT`` statement for a relation's rows."""
+    names = relation.schema.names
+    columns = ", ".join(quote_identifier(n) for n in names)
+    placeholders = ", ".join("?" for _ in names)
+    return (
+        f"INSERT INTO {quote_identifier(table_name)} ({columns}) "
+        f"VALUES ({placeholders})"
+    )
+
+
+def row_parameters(relation: Relation) -> List[Tuple[Any, ...]]:
+    """Rows as parameter tuples; NULL becomes SQL NULL."""
+    names = relation.schema.names
+    out: List[Tuple[Any, ...]] = []
+    for row in relation:
+        out.append(
+            tuple(None if is_null(row[name]) else row[name] for name in names)
+        )
+    return out
+
+
+def load_relation(
+    connection: sqlite3.Connection, relation: Relation, table_name: str
+) -> None:
+    """Create and populate *table_name* from *relation*."""
+    connection.execute(create_table_sql(relation, table_name))
+    connection.executemany(
+        insert_statement(relation, table_name), row_parameters(relation)
+    )
+
+
+def fetch_rows(
+    connection: sqlite3.Connection, query: str
+) -> List[Tuple[Any, ...]]:
+    """Run a query, mapping SQL NULL back to the NULL marker."""
+    cursor = connection.execute(query)
+    return [
+        tuple(NULL if value is None else value for value in record)
+        for record in cursor.fetchall()
+    ]

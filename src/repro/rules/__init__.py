@@ -1,0 +1,59 @@
+"""Identity and distinctness rules (Section 3.2).
+
+To achieve a *sound* entity-identification result, the paper requires a
+set of **identity rules** (sufficient conditions for two entities to be
+the same) and **distinctness rules** (sufficient conditions for them to
+differ), asserted by the DBA about the integrated world:
+
+- identity rule:     ``∀e1,e2 ∈ E,  P(...) → (e1 ≡ e2)``,
+  where P must imply ``e1.Ai = e2.Ai`` for every attribute it mentions;
+- distinctness rule: ``∀e1,e2 ∈ E,  P(...) → (e1 ≢ e2)``,
+  where P must involve attributes of both entities.
+
+This subpackage provides the predicate language (``=,≠,<,>,≤,≥`` over
+``ei.attribute`` and constants), the two rule classes with the paper's
+well-formedness validation, the Proposition-1 conversion between ILFDs
+and distinctness rules, and a three-valued rule-evaluation engine.
+"""
+
+from repro.rules.errors import MalformedRuleError, RuleConflictError
+from repro.rules.predicates import (
+    Comparator,
+    EntityRef,
+    Literal,
+    Predicate,
+    attr1,
+    attr2,
+    lit,
+)
+from repro.rules.identity import (
+    IdentityRule,
+    extended_key_rule,
+    key_equivalence_rule,
+)
+from repro.rules.distinctness import DistinctnessRule
+from repro.rules.conversion import (
+    distinctness_rule_to_ilfd,
+    ilfd_to_distinctness_rules,
+)
+from repro.rules.engine import MatchStatus, RuleEngine
+
+__all__ = [
+    "Comparator",
+    "DistinctnessRule",
+    "EntityRef",
+    "IdentityRule",
+    "Literal",
+    "MalformedRuleError",
+    "MatchStatus",
+    "Predicate",
+    "RuleConflictError",
+    "RuleEngine",
+    "attr1",
+    "attr2",
+    "distinctness_rule_to_ilfd",
+    "extended_key_rule",
+    "ilfd_to_distinctness_rules",
+    "key_equivalence_rule",
+    "lit",
+]

@@ -1,0 +1,86 @@
+"""Proposition 1: ILFDs ↔ distinctness rules.
+
+    **Proposition 1.**  ``(E.A1=a1) ∧ … ∧ (E.An=an) → (E.B=b)`` is an
+    ILFD iff ``∀e1,e2∈E, (e1.A1=a1) ∧ … ∧ (e1.An=an) ∧ (e2.B≠b) →
+    (e1 ≢ e2)`` is a distinctness rule.
+
+The paper's example: from the Mughalai→Indian ILFD one obtains the rule
+"a restaurant with speciality Mughalai is distinct from any restaurant
+with non-Indian cuisine", which populates the negative matching table
+(Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ilfd.ilfd import ILFD
+from repro.rules.distinctness import DistinctnessRule
+from repro.rules.predicates import (
+    Comparator,
+    EntityRef,
+    Literal,
+    Predicate,
+    attr1,
+    attr2,
+    lit,
+)
+
+
+def ilfd_to_distinctness_rules(ilfd: ILFD) -> List[DistinctnessRule]:
+    """The "only if" direction of Proposition 1.
+
+    A multi-condition consequent yields one rule per consequent condition
+    (decompose first: ``X → (B=b) ∧ (C=c)`` violates exactly when either
+    part is contradicted).
+    """
+    rules: List[DistinctnessRule] = []
+    antecedent_preds = [
+        Predicate(attr1(cond.attribute), Comparator.EQ, lit(cond.value))
+        for cond in sorted(ilfd.antecedent)
+    ]
+    for index, cond in enumerate(sorted(ilfd.consequent), start=1):
+        negated = Predicate(attr2(cond.attribute), Comparator.NE, lit(cond.value))
+        suffix = f".{index}" if len(ilfd.consequent) > 1 else ""
+        rules.append(
+            DistinctnessRule(
+                antecedent_preds + [negated],
+                name=(ilfd.name + suffix) if ilfd.name else "",
+            )
+        )
+    return rules
+
+
+def distinctness_rule_to_ilfd(rule: DistinctnessRule) -> Optional[ILFD]:
+    """The "if" direction of Proposition 1, by pattern matching.
+
+    Recognises rules of the exact shape
+    ``(e1.A1=a1) ∧ … ∧ (e1.An=an) ∧ (e2.B≠b) → (e1 ≢ e2)`` (also with the
+    entities swapped) and returns the corresponding ILFD; returns None for
+    rules of any other shape, which carry no ILFD content.
+    """
+    for first, second in ((1, 2), (2, 1)):
+        antecedent = {}
+        consequent = {}
+        matched = True
+        for pred in rule.predicates:
+            left, right = pred.left, pred.right
+            if not isinstance(left, EntityRef) or not isinstance(right, Literal):
+                matched = False
+                break
+            if pred.op is Comparator.EQ and left.entity == first:
+                if left.attribute in antecedent and antecedent[left.attribute] != right.value:
+                    matched = False
+                    break
+                antecedent[left.attribute] = right.value
+            elif pred.op is Comparator.NE and left.entity == second:
+                if left.attribute in consequent and consequent[left.attribute] != right.value:
+                    matched = False
+                    break
+                consequent[left.attribute] = right.value
+            else:
+                matched = False
+                break
+        if matched and antecedent and consequent:
+            return ILFD(antecedent, consequent, name=rule.name)
+    return None

@@ -1,0 +1,130 @@
+"""Three-valued rule evaluation over tuple pairs.
+
+Section 3.2: "The entity-identification process can be expressed as a
+three-valued function that takes a pair of tuples and returns 'true' only
+if they refer to the same real-world entity, 'false' only if they do not,
+and 'unknown' otherwise."
+
+:class:`RuleEngine` evaluates a pair against the DBA's identity and
+distinctness rules and returns a :class:`MatchStatus`.  A pair satisfying
+rules of both kinds means the rule set itself is unsound for the data and
+raises :class:`~repro.rules.errors.RuleConflictError` (silently choosing
+either answer would violate the consistency constraint).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Mapping, Tuple
+
+from repro.relational.nulls import Maybe
+from repro.rules.distinctness import DistinctnessRule
+from repro.rules.errors import RuleConflictError
+from repro.rules.identity import IdentityRule
+
+
+class MatchStatus(enum.Enum):
+    """The three-valued outcome of entity identification for a pair."""
+
+    MATCH = "match"
+    NON_MATCH = "non_match"
+    UNKNOWN = "unknown"
+
+
+class RuleEngine:
+    """Evaluates identity and distinctness rules over tuple pairs.
+
+    Distinctness rules are evaluated in both orientations (distinctness is
+    symmetric; the rule text is not).  Identity rules are symmetric by
+    construction — their well-formedness forces ``e1.A = e2.A`` for every
+    mentioned attribute — so one orientation suffices.
+    """
+
+    def __init__(
+        self,
+        identity_rules: Iterable[IdentityRule] = (),
+        distinctness_rules: Iterable[DistinctnessRule] = (),
+    ) -> None:
+        self._identity: Tuple[IdentityRule, ...] = tuple(identity_rules)
+        self._distinctness: Tuple[DistinctnessRule, ...] = tuple(distinctness_rules)
+
+    @property
+    def identity_rules(self) -> Tuple[IdentityRule, ...]:
+        """The identity rules, in declaration order."""
+        return self._identity
+
+    @property
+    def distinctness_rules(self) -> Tuple[DistinctnessRule, ...]:
+        """The distinctness rules, in declaration order."""
+        return self._distinctness
+
+    def with_rules(
+        self,
+        identity_rules: Iterable[IdentityRule] = (),
+        distinctness_rules: Iterable[DistinctnessRule] = (),
+    ) -> "RuleEngine":
+        """A new engine with extra rules appended (monotone growth)."""
+        return RuleEngine(
+            list(self._identity) + list(identity_rules),
+            list(self._distinctness) + list(distinctness_rules),
+        )
+
+    # ------------------------------------------------------------------
+    def firing_identity_rules(self, row1: Mapping, row2: Mapping) -> List[IdentityRule]:
+        """Identity rules whose antecedent is TRUE for the pair."""
+        return [
+            rule
+            for rule in self._identity
+            if rule.applies(row1, row2) is Maybe.TRUE
+        ]
+
+    def firing_distinctness_rules(
+        self, row1: Mapping, row2: Mapping
+    ) -> List[DistinctnessRule]:
+        """Distinctness rules TRUE for the pair, in either orientation."""
+        fired: List[DistinctnessRule] = []
+        for rule in self._distinctness:
+            if (
+                rule.applies(row1, row2) is Maybe.TRUE
+                or rule.applies(row2, row1) is Maybe.TRUE
+            ):
+                fired.append(rule)
+        return fired
+
+    def classify(self, row1: Mapping, row2: Mapping) -> MatchStatus:
+        """Three-valued classification of the pair.
+
+        Raises :class:`RuleConflictError` when both an identity and a
+        distinctness rule fire — the DBA's rule set is inconsistent for
+        this pair and soundness cannot be guaranteed either way.
+        """
+        matches = self.firing_identity_rules(row1, row2)
+        distinct = self.firing_distinctness_rules(row1, row2)
+        if matches and distinct:
+            raise RuleConflictError(
+                f"pair satisfies identity rule(s) "
+                f"{[r.name or repr(r) for r in matches]} and distinctness "
+                f"rule(s) {[r.name or repr(r) for r in distinct]}"
+            )
+        if matches:
+            return MatchStatus.MATCH
+        if distinct:
+            return MatchStatus.NON_MATCH
+        return MatchStatus.UNKNOWN
+
+    def explain(self, row1: Mapping, row2: Mapping) -> str:
+        """Human-readable account of why the pair classifies as it does."""
+        try:
+            status = self.classify(row1, row2)
+        except RuleConflictError as exc:
+            return f"CONFLICT: {exc}"
+        if status is MatchStatus.MATCH:
+            names = [r.name or repr(r) for r in self.firing_identity_rules(row1, row2)]
+            return f"MATCH by identity rule(s): {', '.join(names)}"
+        if status is MatchStatus.NON_MATCH:
+            names = [
+                r.name or repr(r)
+                for r in self.firing_distinctness_rules(row1, row2)
+            ]
+            return f"NON-MATCH by distinctness rule(s): {', '.join(names)}"
+        return "UNKNOWN: no rule fires for this pair"

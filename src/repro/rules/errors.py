@@ -1,0 +1,20 @@
+"""Exceptions for the rules subpackage."""
+
+
+class MalformedRuleError(Exception):
+    """A rule fails the paper's well-formedness conditions.
+
+    For identity rules: the antecedent does not imply value-equality of
+    every attribute it mentions (the paper's r2 counterexample).  For
+    distinctness rules: the antecedent fails to involve attributes from
+    both entities.
+    """
+
+
+class RuleConflictError(Exception):
+    """A tuple pair satisfies both an identity and a distinctness rule.
+
+    That means the DBA-supplied rule set is inconsistent with respect to
+    the data — declaring the pair matching *and* non-matching would break
+    the consistency constraint of Section 3.2 — so we refuse to classify.
+    """

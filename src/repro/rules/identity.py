@@ -1,0 +1,171 @@
+"""Identity rules.
+
+    **Definition (Identity rule).**  ``∀e1,e2 ∈ E,
+    P(e1.A1,…,e1.Am, e2.B1,…,e2.Bn) → (e1 ≡ e2)`` where P is a
+    conjunction of predicates and, for each ``e1.Ai`` or ``e2.Ai``
+    appearing in the predicates, P must imply ``e1.Ai = e2.Ai``.
+
+The well-formedness condition is what separates the paper's sound rule r1
+(``e1.cuisine="Chinese" ∧ e2.cuisine="Chinese"``, which forces the two
+cuisines equal through the shared constant) from the unsound r2 (only
+``e1.cuisine="Chinese"``).  We decide the implication for conjunctions of
+equality predicates by congruence closure (union-find over terms), also
+recognising ``≤``/``≥`` pairs over the same operands as equalities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Set, Tuple
+
+from repro.relational.nulls import Maybe, three_valued_and
+from repro.rules.errors import MalformedRuleError
+from repro.rules.predicates import (
+    Comparator,
+    EntityRef,
+    Predicate,
+    Term,
+    equality_predicate,
+)
+
+
+class _UnionFind:
+    """Union-find over hashable terms, for the equality implication check."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        parent = self._parent.setdefault(term, term)
+        if parent is term:
+            return term
+        root = self.find(parent)
+        self._parent[term] = root
+        return root
+
+    def union(self, left: Term, right: Term) -> None:
+        self._parent[self.find(left)] = self.find(right)
+
+    def connected(self, left: Term, right: Term) -> bool:
+        return self.find(left) == self.find(right)
+
+
+def _implied_equalities(predicates: Sequence[Predicate]) -> _UnionFind:
+    """Congruence classes of terms implied by the conjunction.
+
+    EQ predicates union their operands; an ``a ≤ b`` matched by a
+    ``b ≤ a`` (in either orientation) also forces equality.
+    """
+    uf = _UnionFind()
+    le_pairs: Set[Tuple[Term, Term]] = set()
+    for pred in predicates:
+        if pred.op is Comparator.EQ:
+            uf.union(pred.left, pred.right)
+        elif pred.op is Comparator.LE:
+            le_pairs.add((pred.left, pred.right))
+        elif pred.op is Comparator.GE:
+            le_pairs.add((pred.right, pred.left))
+    for left, right in le_pairs:
+        if (right, left) in le_pairs:
+            uf.union(left, right)
+    return uf
+
+
+def _mentioned_attributes(predicates: Sequence[Predicate]) -> FrozenSet[str]:
+    """All attributes referenced by either entity in the conjunction."""
+    out: Set[str] = set()
+    for pred in predicates:
+        out.update(pred.mentioned_attributes(1))
+        out.update(pred.mentioned_attributes(2))
+    return frozenset(out)
+
+
+class IdentityRule:
+    """A validated identity rule ``P → (e1 ≡ e2)``.
+
+    Raises :class:`~repro.rules.errors.MalformedRuleError` at construction
+    when P fails to imply ``e1.A = e2.A`` for some mentioned attribute A
+    (the paper's r2 case).
+    """
+
+    __slots__ = ("_predicates", "name")
+
+    def __init__(self, predicates: Iterable[Predicate], *, name: str = "") -> None:
+        preds = tuple(predicates)
+        if not preds:
+            raise MalformedRuleError("identity rule needs at least one predicate")
+        uf = _implied_equalities(preds)
+        for attribute in sorted(_mentioned_attributes(preds)):
+            left = EntityRef(1, attribute)
+            right = EntityRef(2, attribute)
+            if not uf.connected(left, right):
+                raise MalformedRuleError(
+                    f"identity rule antecedent does not imply "
+                    f"e1.{attribute} = e2.{attribute}; the rule would not "
+                    "be a valid identity rule (cf. the paper's r2)"
+                )
+        self._predicates = preds
+        self.name = name
+
+    @property
+    def predicates(self) -> Tuple[Predicate, ...]:
+        """The conjunction P."""
+        return self._predicates
+
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes the rule mentions."""
+        return _mentioned_attributes(self._predicates)
+
+    def applies(self, row1: Mapping, row2: Mapping) -> Maybe:
+        """Three-valued evaluation of P over the pair.
+
+        TRUE means the pair is *matching* (the rule asserts e1 ≡ e2);
+        FALSE and UNKNOWN both mean the rule is silent about the pair —
+        an identity rule never asserts distinctness.
+        """
+        return three_valued_and(
+            *(pred.evaluate(row1, row2) for pred in self._predicates)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IdentityRule):
+            return NotImplemented
+        return frozenset(self._predicates) == frozenset(other._predicates)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._predicates))
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        body = " ∧ ".join(str(p) for p in self._predicates)
+        return f"{label}∀e1,e2∈E, {body} → (e1 ≡ e2)"
+
+
+def extended_key_rule(attributes: Sequence[str], *, name: str = "") -> IdentityRule:
+    """The extended-key equivalence rule (Section 4.1).
+
+    ``(e1.A1=e2.A1) ∧ … ∧ (e1.Ak=e2.Ak) → (e1 ≡ e2)`` for
+    ``K_Ext = {A1..Ak}``.
+    """
+    attrs = list(attributes)
+    if not attrs:
+        raise MalformedRuleError("extended key cannot be empty")
+    if len(set(attrs)) != len(attrs):
+        raise MalformedRuleError(f"duplicate attributes in extended key {attrs}")
+    return IdentityRule(
+        [equality_predicate(attr) for attr in attrs],
+        name=name or "extended-key{" + ",".join(attrs) + "}",
+    )
+
+
+def key_equivalence_rule(key_attributes: Sequence[str], *, name: str = "") -> IdentityRule:
+    """Key equivalence as an identity rule (Section 3.2).
+
+    Identical in form to :func:`extended_key_rule`; kept separate because
+    its applicability assumption differs (the common candidate key must
+    remain a key of the integrated world).
+    """
+    return extended_key_rule(
+        key_attributes,
+        name=name or "key-equivalence{" + ",".join(key_attributes) + "}",
+    )

@@ -1,0 +1,66 @@
+"""Synthetic workload generators.
+
+The paper evaluates with a worked example; the benches additionally need
+laptop-scale synthetic workloads with *known ground truth* to measure
+soundness/completeness of the technique and the baselines, and to size
+the scaling experiments.  Generators are deterministic (seeded) and
+produce data **consistent with their ILFD sets by construction** — the
+paper's standing assumption (Section 4.1).
+
+- :mod:`repro.workloads.generator` -- the :class:`Workload` container and
+  the universe-splitting machinery (overlap, missing attributes,
+  instance-level homonyms, optional domain attributes à la Figure 2),
+- :mod:`repro.workloads.restaurants` -- the paper's running domain,
+  scaled: names reused across entities (homonym pressure), speciality →
+  cuisine and street → county ILFD families, per-entity (name, street) →
+  speciality ILFDs,
+- :mod:`repro.workloads.employees` -- the Section-4 motivation (matching
+  employee records to performance records before dismissals), with a
+  dept → division ILFD family.
+"""
+
+from repro.workloads.generator import (
+    SideSpec,
+    SplitSpec,
+    Workload,
+    split_universe,
+    split_universe_many,
+    with_domain_attribute,
+)
+from repro.workloads.restaurants import (
+    RestaurantWorkloadSpec,
+    restaurant_example_1,
+    restaurant_example_2,
+    restaurant_example_3,
+    restaurant_workload,
+)
+from repro.workloads.employees import (
+    EmployeeWorkloadSpec,
+    employee_workload,
+)
+from repro.workloads.noise import Corruption, corrupt_values, drop_values
+from repro.workloads.publications import (
+    PublicationWorkloadSpec,
+    publication_workload,
+)
+
+__all__ = [
+    "Corruption",
+    "EmployeeWorkloadSpec",
+    "PublicationWorkloadSpec",
+    "RestaurantWorkloadSpec",
+    "SideSpec",
+    "SplitSpec",
+    "Workload",
+    "corrupt_values",
+    "drop_values",
+    "employee_workload",
+    "publication_workload",
+    "restaurant_example_1",
+    "restaurant_example_2",
+    "restaurant_example_3",
+    "restaurant_workload",
+    "split_universe",
+    "split_universe_many",
+    "with_domain_attribute",
+]

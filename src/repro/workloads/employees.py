@@ -1,0 +1,144 @@
+"""The employee/performance domain (the paper's Section-4 motivation).
+
+"A company wanting to dismiss employees with sales performance below
+expectation requires matching between the employee records in one
+database and their performance records in another database.  It is
+crucial that the set of matched records be correct; otherwise, some
+people may be wrongly fired."
+
+Employee(name, dept, title) with key (name, dept) is matched against
+Performance(name, division, rating) with key (name, division) — no
+common candidate key, since the same person name appears in several
+departments (homonyms).  The dept → division ILFD family (each
+department belongs to exactly one division) lets the identifier derive
+division for employee tuples, enabling the extended key
+``{name, division}`` … except where two departments of one division
+employ a same-named person, in which case ``{name, division}`` is not
+unique and the soundness verifier flags the key — the workload
+generator avoids such collisions so the shipped workloads are sound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.workloads.generator import Entity, SplitSpec, Workload, split_universe
+
+DIVISIONS: Dict[str, Tuple[str, ...]] = {
+    "Sales": ("InsideSales", "FieldSales", "Accounts"),
+    "Engineering": ("Systems", "Avionics", "Controls", "Software"),
+    "Operations": ("Assembly", "Logistics", "Quality"),
+    "Corporate": ("Finance", "Legal", "HR"),
+}
+
+DEPT_DIVISION: Dict[str, str] = {
+    dept: division
+    for division, depts in DIVISIONS.items()
+    for dept in depts
+}
+
+TITLES: Tuple[str, ...] = (
+    "Associate", "Senior", "Principal", "Manager", "Director",
+)
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "Avery", "Blake", "Casey", "Drew", "Emery", "Flynn", "Gray",
+    "Harper", "Indigo", "Jordan", "Kendall", "Logan", "Morgan",
+    "Noel", "Oakley", "Parker", "Quinn", "Riley", "Sage", "Taylor",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "Anderson", "Brooks", "Chen", "Davis", "Erikson", "Flores",
+    "Gupta", "Hansen", "Ibrahim", "Jensen", "Kim", "Larson",
+    "Nguyen", "Olson", "Patel", "Quist", "Ramirez", "Schmidt",
+)
+
+RATINGS: Tuple[str, ...] = ("exceeds", "meets", "below")
+
+
+@dataclass(frozen=True)
+class EmployeeWorkloadSpec:
+    """Parameters of an employee/performance workload."""
+
+    n_entities: int = 200
+    name_pool: int = 120
+    overlap: float = 0.6
+    r_only: float = 0.2
+    s_only: float = 0.2
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_entities <= 0:
+            raise ValueError("n_entities must be positive")
+
+
+def _generate_universe(spec: EmployeeWorkloadSpec) -> List[Entity]:
+    rng = random.Random(spec.seed)
+    pool = [
+        f"{FIRST_NAMES[i % len(FIRST_NAMES)]} "
+        f"{LAST_NAMES[(i // len(FIRST_NAMES)) % len(LAST_NAMES)]}"
+        + ("" if i < len(FIRST_NAMES) * len(LAST_NAMES) else f" {i}")
+        for i in range(spec.name_pool)
+    ]
+    depts = sorted(DEPT_DIVISION)
+    used_dept: Dict[str, Set[str]] = {name: set() for name in pool}
+    used_division: Dict[str, Set[str]] = {name: set() for name in pool}
+    universe: List[Entity] = []
+    attempts = 0
+    while len(universe) < spec.n_entities and attempts < spec.n_entities * 50:
+        attempts += 1
+        name = rng.choice(pool)
+        dept = rng.choice(depts)
+        division = DEPT_DIVISION[dept]
+        # Keep (name, dept) and (name, division) both unique so the
+        # extended key {name, division} stays a key of the universe.
+        if dept in used_dept[name] or division in used_division[name]:
+            continue
+        used_dept[name].add(dept)
+        used_division[name].add(division)
+        universe.append(
+            {
+                "name": name,
+                "dept": dept,
+                "division": division,
+                "title": rng.choice(TITLES),
+                "rating": rng.choice(RATINGS),
+            }
+        )
+    if len(universe) < spec.n_entities:
+        raise ValueError(
+            f"could not place {spec.n_entities} employees with a name pool "
+            f"of {spec.name_pool}; enlarge name_pool"
+        )
+    return universe
+
+
+def employee_workload(spec: EmployeeWorkloadSpec) -> Workload:
+    """Employee/Performance relations plus the dept → division family."""
+    universe = _generate_universe(spec)
+    ilfds = ILFDSet(
+        ILFD({"dept": dept}, {"division": division}, name=f"dd:{dept}")
+        for dept, division in sorted(DEPT_DIVISION.items())
+    )
+    split = SplitSpec(
+        r_attributes=("name", "dept", "title"),
+        s_attributes=("name", "division", "rating"),
+        r_key=("name", "dept"),
+        s_key=("name", "division"),
+        overlap=spec.overlap,
+        r_only=spec.r_only,
+        s_only=spec.s_only,
+        seed=spec.seed,
+    )
+    r, s, truth = split_universe(universe, split, r_name="Employee", s_name="Performance")
+    return Workload(
+        r=r,
+        s=s,
+        ilfds=ilfds,
+        extended_key=("name", "division"),
+        truth=truth,
+        universe=universe,
+    )

@@ -1,0 +1,238 @@
+"""Workload containers and universe splitting.
+
+A *universe* is a list of real-world entities (attribute dicts) whose
+extended key is unique by construction.  :func:`split_universe` projects
+two overlapping subsets onto two different schemas — the Figure-1
+situation: some entities modelled in both relations, some in only one —
+and records the ground-truth matching pairs in the same ``KeyValues``
+format the core's matching table uses, so results compare directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.matching_table import KeyValues
+from repro.ilfd.ilfd import ILFDSet
+from repro.relational.attribute import Attribute
+from repro.relational.relation import Relation, RelationBuilder
+from repro.relational.schema import Schema
+
+Entity = Dict[str, Any]
+Pair = Tuple[KeyValues, KeyValues]
+
+
+@dataclass
+class Workload:
+    """A ready-to-identify synthetic workload.
+
+    Attributes
+    ----------
+    r, s:
+        The two source relations (unified namespace).
+    ilfds:
+        ILFDs valid for the generating universe.
+    extended_key:
+        The attribute set unique over the universe.
+    truth:
+        Ground-truth matching pairs, as (R-key, S-key) ``KeyValues``.
+    universe:
+        The generating entities (for diagnostics and Figure-1 counts).
+    """
+
+    r: Relation
+    s: Relation
+    ilfds: ILFDSet
+    extended_key: Tuple[str, ...]
+    truth: FrozenSet[Pair]
+    universe: List[Entity] = field(default_factory=list)
+
+    @property
+    def integrated_world_size(self) -> int:
+        """Entities modelled by at least one relation (Figure 1)."""
+        return len(self.r) + len(self.s) - len(self.truth)
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """How to split a universe into R and S.
+
+    Attributes
+    ----------
+    r_attributes / s_attributes:
+        Schema of each side (projection of the entity attributes).
+    r_key / s_key:
+        Candidate key of each side — must be unique over the universe's
+        projection for the split to be well-formed.
+    overlap:
+        Fraction of entities modelled in *both* relations.
+    r_only / s_only:
+        Fractions modelled in exactly one relation (with overlap they
+        need not sum to 1; leftovers go unmodelled, like e4 in Figure 1).
+    seed:
+        PRNG seed for the assignment.
+    """
+
+    r_attributes: Tuple[str, ...]
+    s_attributes: Tuple[str, ...]
+    r_key: Tuple[str, ...]
+    s_key: Tuple[str, ...]
+    overlap: float = 0.5
+    r_only: float = 0.25
+    s_only: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = self.overlap + self.r_only + self.s_only
+        if not 0.0 <= total <= 1.0 + 1e-9:
+            raise ValueError(
+                f"overlap + r_only + s_only must be ≤ 1, got {total}"
+            )
+        if not set(self.r_key) <= set(self.r_attributes):
+            raise ValueError("r_key must be within r_attributes")
+        if not set(self.s_key) <= set(self.s_attributes):
+            raise ValueError("s_key must be within s_attributes")
+
+
+def _key_values_of(entity: Entity, attributes: Sequence[str]) -> KeyValues:
+    return tuple((attr, entity[attr]) for attr in sorted(attributes))
+
+
+def split_universe(
+    universe: Sequence[Entity],
+    spec: SplitSpec,
+    *,
+    r_name: str = "R",
+    s_name: str = "S",
+) -> Tuple[Relation, Relation, FrozenSet[Pair]]:
+    """Split *universe* into two relations plus ground-truth pairs.
+
+    Entities are shuffled deterministically and assigned to
+    both/R-only/S-only/neither buckets per the spec's fractions.
+    Duplicate projections (two entities projecting onto identical R rows)
+    are skipped on that side — they would violate its key.
+    """
+    rng = random.Random(spec.seed)
+    order = list(universe)
+    rng.shuffle(order)
+
+    n = len(order)
+    n_both = int(n * spec.overlap)
+    n_r_only = int(n * spec.r_only)
+    n_s_only = int(n * spec.s_only)
+    both = order[:n_both]
+    r_only = order[n_both : n_both + n_r_only]
+    s_only = order[n_both + n_r_only : n_both + n_r_only + n_s_only]
+
+    r_schema = Schema(
+        [Attribute(a) for a in spec.r_attributes], keys=[spec.r_key]
+    )
+    s_schema = Schema(
+        [Attribute(a) for a in spec.s_attributes], keys=[spec.s_key]
+    )
+    r_builder = RelationBuilder(r_schema, name=r_name)
+    s_builder = RelationBuilder(s_schema, name=s_name)
+
+    truth: Set[Pair] = set()
+    for entity in both:
+        r_row = {a: entity[a] for a in spec.r_attributes}
+        s_row = {a: entity[a] for a in spec.s_attributes}
+        if r_builder.try_add(r_row) and s_builder.try_add(s_row):
+            truth.add(
+                (
+                    _key_values_of(entity, spec.r_key),
+                    _key_values_of(entity, spec.s_key),
+                )
+            )
+    for entity in r_only:
+        r_builder.try_add({a: entity[a] for a in spec.r_attributes})
+    for entity in s_only:
+        s_builder.try_add({a: entity[a] for a in spec.s_attributes})
+    return r_builder.build(), s_builder.build(), frozenset(truth)
+
+
+@dataclass(frozen=True)
+class SideSpec:
+    """One source of an n-way split: schema, key, membership probability."""
+
+    name: str
+    attributes: Tuple[str, ...]
+    key: Tuple[str, ...]
+    membership: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.membership <= 1.0:
+            raise ValueError("membership must be in [0, 1]")
+        if not set(self.key) <= set(self.attributes):
+            raise ValueError("key must be within attributes")
+
+
+def split_universe_many(
+    universe: Sequence[Entity],
+    sides: Sequence[SideSpec],
+    *,
+    seed: int = 0,
+) -> Tuple[Dict[str, Relation], Dict[Tuple[str, str], FrozenSet[Pair]]]:
+    """Split a universe into any number of overlapping sources.
+
+    Each entity independently joins each side with that side's
+    ``membership`` probability.  Returns the relations plus per-source-
+    pair ground truth: for sides (a, b) in declaration order, the set of
+    (a-key, b-key) pairs of entities modelled in both.
+    """
+    if len(sides) < 2:
+        raise ValueError("need at least two sides")
+    rng = random.Random(seed)
+    builders = {
+        side.name: RelationBuilder(
+            Schema([Attribute(a) for a in side.attributes], keys=[side.key]),
+            name=side.name,
+        )
+        for side in sides
+    }
+    placed: Dict[str, List[Entity]] = {side.name: [] for side in sides}
+    for entity in universe:
+        for side in sides:
+            if rng.random() >= side.membership:
+                continue
+            row = {a: entity[a] for a in side.attributes}
+            if builders[side.name].try_add(row):
+                placed[side.name].append(entity)
+    relations = {name: builder.build() for name, builder in builders.items()}
+
+    truth: Dict[Tuple[str, str], FrozenSet[Pair]] = {}
+    for i, first in enumerate(sides):
+        first_ids = {id(e) for e in placed[first.name]}
+        for second in sides[i + 1 :]:
+            pairs: Set[Pair] = set()
+            for entity in placed[second.name]:
+                if id(entity) in first_ids:
+                    pairs.add(
+                        (
+                            _key_values_of(entity, first.key),
+                            _key_values_of(entity, second.key),
+                        )
+                    )
+            truth[(first.name, second.name)] = frozenset(pairs)
+    return relations, truth
+
+
+def with_domain_attribute(
+    relation: Relation, value: str, *, attribute: str = "domain"
+) -> Relation:
+    """Add the Figure-2 domain attribute with a constant value.
+
+    "To differentiate between the two tuples, we include an extra
+    attribute in each relation to indicate the domain attribute of value
+    'DB1'."  The attribute also joins every candidate key, since tuples
+    from different source databases are a priori distinct under it.
+    """
+    schema = relation.schema
+    new_schema = Schema(
+        list(schema.attributes) + [Attribute(attribute)],
+        keys=[set(key) | {attribute} for key in schema.keys],
+    )
+    rows = [dict(row, **{attribute: value}) for row in relation]
+    return Relation(new_schema, rows, name=relation.name, enforce_keys=False)

@@ -1,0 +1,116 @@
+"""Noise injection: attribute-value conflicts and missing data.
+
+Section 2 lists the instance-level problems that remain *after* entity
+identification: "Attribute value conflict … may be caused by data scaling
+conflict, inconsistent data, or missing data."  The clean generators
+produce perfectly consistent splits; these corruptors manufacture the
+messy versions so the conflict-detection and resolution machinery
+(:mod:`repro.core.diagnostics`) has something real to chew on:
+
+- :func:`corrupt_values` rewrites a fraction of non-key values
+  (inconsistent data),
+- :func:`drop_values` NULLs out a fraction of non-key values (missing
+  data).
+
+Key attributes are never touched — corrupting a key would change *which*
+entity a tuple models, not just a property value, and the paper assumes
+identification inputs are accurate (footnote 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """One injected change: (row index, attribute, old value, new value)."""
+
+    row_index: int
+    attribute: str
+    old_value: Any
+    new_value: Any
+
+
+def _corruptible_attributes(relation: Relation, attributes: Sequence[str] | None) -> List[str]:
+    key = relation.schema.primary_key
+    eligible = [
+        name
+        for name in (attributes or relation.schema.names)
+        if name not in key
+    ]
+    if not eligible:
+        raise ValueError("no non-key attributes available to corrupt")
+    return eligible
+
+
+def corrupt_values(
+    relation: Relation,
+    rate: float,
+    *,
+    seed: int = 0,
+    attributes: Sequence[str] | None = None,
+    marker: str = "~corrupted~",
+) -> Tuple[Relation, List[Corruption]]:
+    """Rewrite a fraction of non-key values (inconsistent data).
+
+    Each (row, eligible attribute) cell is independently corrupted with
+    probability *rate*; corrupted values get the old value prefixed by
+    *marker*, so tests can recognise them.  Returns the corrupted relation
+    plus the change log.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    rng = random.Random(seed)
+    eligible = _corruptible_attributes(relation, attributes)
+    rows: List[Row] = []
+    log: List[Corruption] = []
+    for index, row in enumerate(relation):
+        values: Dict[str, Any] = dict(row)
+        for attribute in eligible:
+            old = values[attribute]
+            if is_null(old) or rng.random() >= rate:
+                continue
+            new = f"{marker}{old}"
+            values[attribute] = new
+            log.append(Corruption(index, attribute, old, new))
+        rows.append(Row(values))
+    corrupted = Relation(relation.schema, (), name=relation.name, enforce_keys=False)
+    corrupted._rows = tuple(rows)
+    corrupted._row_set = frozenset(rows)
+    return corrupted, log
+
+
+def drop_values(
+    relation: Relation,
+    rate: float,
+    *,
+    seed: int = 0,
+    attributes: Sequence[str] | None = None,
+) -> Tuple[Relation, List[Corruption]]:
+    """NULL out a fraction of non-key values (missing data)."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    rng = random.Random(seed)
+    eligible = _corruptible_attributes(relation, attributes)
+    rows: List[Row] = []
+    log: List[Corruption] = []
+    for index, row in enumerate(relation):
+        values: Dict[str, Any] = dict(row)
+        for attribute in eligible:
+            old = values[attribute]
+            if is_null(old) or rng.random() >= rate:
+                continue
+            values[attribute] = NULL
+            log.append(Corruption(index, attribute, old, NULL))
+        rows.append(Row(values))
+    sparse = Relation(relation.schema, (), name=relation.name, enforce_keys=False)
+    sparse._rows = tuple(rows)
+    sparse._row_set = frozenset(rows)
+    return sparse, log

@@ -1,0 +1,185 @@
+"""The bibliography domain: publications across two citation databases.
+
+A fitting domain for this paper — which itself exists as an ICDE 1993
+conference paper *and* an extended 1996 Information Sciences article with
+the same title and authors.  Those are **distinct publication entities**
+that naive title matching would merge; venue and year separate them.
+
+- CiteDB stores (title, venue, pages) with key (title, venue);
+- LibDB stores (title, year, publisher) with key (title, year);
+- no common candidate key, and titles repeat across venues/years (the
+  conference-vs-journal homonym).
+
+ILFDs: the venue → publisher family (every venue has one publisher), the
+venue → field family, and per-entity (title, pages) → venue and
+(title, publisher) → year knowledge at a configurable coverage — the
+recall knob, as in the restaurant domain.  The extended key is
+``{title, venue, year}``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.workloads.generator import Entity, SplitSpec, Workload, split_universe
+
+VENUE_PUBLISHER: Dict[str, str] = {
+    "ICDE": "IEEE",
+    "VLDB": "VLDB-Endowment",
+    "SIGMOD": "ACM",
+    "PODS": "ACM",
+    "InfSci": "Elsevier",
+    "TKDE": "IEEE",
+    "TODS": "ACM",
+    "CACM": "ACM",
+    "InfSys": "Elsevier",
+    "DKE": "Elsevier",
+}
+
+VENUE_FIELD: Dict[str, str] = {
+    "ICDE": "databases",
+    "VLDB": "databases",
+    "SIGMOD": "databases",
+    "PODS": "theory",
+    "InfSci": "information-systems",
+    "TKDE": "databases",
+    "TODS": "databases",
+    "CACM": "general",
+    "InfSys": "information-systems",
+    "DKE": "databases",
+}
+
+TITLE_STEMS: Tuple[str, ...] = (
+    "Entity Identification in Database Integration",
+    "Schema Integration in Federated Systems",
+    "Query Processing over Heterogeneous Sources",
+    "A Theory of Attribute Equivalence",
+    "Resolving Instance Level Conflicts",
+    "Probabilistic Record Matching",
+    "Key Equivalence in Multidatabases",
+    "Semantic Constraints for Integration",
+    "Outer Joins and Missing Information",
+    "Functional Dependencies Revisited",
+    "Object Identification in Interoperable Systems",
+    "The Breakdown of the Information Model",
+    "Knowledge Discovery for Data Cleaning",
+    "Sound and Complete Matching Rules",
+    "Incremental View Maintenance",
+)
+
+YEARS: Tuple[str, ...] = tuple(str(year) for year in range(1988, 1997))
+
+
+@dataclass(frozen=True)
+class PublicationWorkloadSpec:
+    """Parameters of a bibliography workload."""
+
+    n_entities: int = 120
+    title_pool: int = 15
+    derivable_fraction: float = 1.0
+    overlap: float = 0.5
+    r_only: float = 0.25
+    s_only: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_entities <= 0:
+            raise ValueError("n_entities must be positive")
+        if not 0.0 <= self.derivable_fraction <= 1.0:
+            raise ValueError("derivable_fraction must be in [0, 1]")
+
+
+def _generate_universe(
+    spec: PublicationWorkloadSpec,
+) -> Tuple[List[Entity], List[ILFD]]:
+    rng = random.Random(spec.seed)
+    titles = [
+        TITLE_STEMS[i % len(TITLE_STEMS)]
+        + ("" if i < len(TITLE_STEMS) else f" ({i // len(TITLE_STEMS)})")
+        for i in range(spec.title_pool)
+    ]
+    venues = sorted(VENUE_PUBLISHER)
+    used_venue: Dict[str, Set[str]] = {t: set() for t in titles}
+    used_year: Dict[str, Set[str]] = {t: set() for t in titles}
+    universe: List[Entity] = []
+    ilfds: List[ILFD] = []
+    attempts = 0
+    while len(universe) < spec.n_entities and attempts < spec.n_entities * 60:
+        attempts += 1
+        title = rng.choice(titles)
+        venue = rng.choice(venues)
+        year = rng.choice(YEARS)
+        # (title, venue) and (title, year) are the sources' keys, and
+        # {title, venue, year} must be unique over the universe.
+        if venue in used_venue[title] or year in used_year[title]:
+            continue
+        used_venue[title].add(venue)
+        used_year[title].add(year)
+        pages = f"{rng.randint(1, 400)}-{rng.randint(401, 800)}"
+        entity: Entity = {
+            "title": title,
+            "venue": venue,
+            "year": year,
+            "publisher": VENUE_PUBLISHER[venue],
+            "field": VENUE_FIELD[venue],
+            "pages": pages,
+        }
+        universe.append(entity)
+        if rng.random() < spec.derivable_fraction:
+            # CiteDB side: complete the missing year from citation detail
+            ilfds.append(
+                ILFD(
+                    {"title": title, "pages": pages},
+                    {"year": year},
+                    name=f"py{len(universe)}",
+                )
+            )
+            # LibDB side: recover the venue from publisher-level knowledge
+            ilfds.append(
+                ILFD(
+                    {"title": title, "publisher": VENUE_PUBLISHER[venue], "year": year},
+                    {"venue": venue},
+                    name=f"pv{len(universe)}",
+                )
+            )
+    if len(universe) < spec.n_entities:
+        raise ValueError(
+            f"could not place {spec.n_entities} publications with a title "
+            f"pool of {spec.title_pool}; enlarge title_pool"
+        )
+    families = [
+        ILFD({"venue": venue}, {"publisher": publisher}, name=f"vp:{venue}")
+        for venue, publisher in sorted(VENUE_PUBLISHER.items())
+    ]
+    families.extend(
+        ILFD({"venue": venue}, {"field": field}, name=f"vf:{venue}")
+        for venue, field in sorted(VENUE_FIELD.items())
+    )
+    return universe, families + ilfds
+
+
+def publication_workload(spec: PublicationWorkloadSpec) -> Workload:
+    """CiteDB/LibDB relations plus ground truth and ILFDs."""
+    universe, ilfds = _generate_universe(spec)
+    split = SplitSpec(
+        r_attributes=("title", "venue", "pages"),
+        s_attributes=("title", "year", "publisher"),
+        r_key=("title", "venue"),
+        s_key=("title", "year"),
+        overlap=spec.overlap,
+        r_only=spec.r_only,
+        s_only=spec.s_only,
+        seed=spec.seed,
+    )
+    r, s, truth = split_universe(universe, split, r_name="CiteDB", s_name="LibDB")
+    return Workload(
+        r=r,
+        s=s,
+        ilfds=ILFDSet(ilfds),
+        extended_key=("title", "venue", "year"),
+        truth=truth,
+        universe=universe,
+    )

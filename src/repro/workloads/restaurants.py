@@ -1,0 +1,324 @@
+"""The restaurant domain: the paper's examples, exact and scaled.
+
+Provides the three worked examples as ready-made workloads (Tables 1, 2,
+and 5, with their keys, ILFDs, and ground truth), plus a seeded generator
+producing arbitrarily large universes with the same structure:
+
+- restaurant names are drawn from a bounded pool, so names repeat across
+  entities — the instance-level homonym pressure of Section 2.1;
+- ``(name, cuisine)`` and ``(name, speciality)`` are unique by
+  construction (they are the two sides' candidate keys);
+- speciality functionally determines cuisine (the I1–I4 family), street
+  determines county (the I7 family), and a configurable fraction of
+  entities gets an I5/I6-style ``(name, street) → speciality`` ILFD —
+  the knob controlling how many R tuples can be completed, i.e. the
+  technique's recall.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.attribute import Attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.generator import Entity, SplitSpec, Workload, split_universe
+
+CUISINE_SPECIALITIES: Dict[str, Tuple[str, ...]] = {
+    "Chinese": ("Hunan", "Sichuan", "Cantonese", "DimSum"),
+    "Indian": ("Mughalai", "Tandoori", "Dosa"),
+    "Greek": ("Gyros", "Souvlaki"),
+    "Italian": ("Pasta", "Pizza", "Risotto"),
+    "Mexican": ("Tacos", "Mole"),
+    "American": ("Burgers", "BBQ", "Diner"),
+    "Thai": ("PadThai", "GreenCurry"),
+    "French": ("Crepes", "Bistro"),
+}
+
+SPECIALITY_CUISINE: Dict[str, str] = {
+    speciality: cuisine
+    for cuisine, specialities in CUISINE_SPECIALITIES.items()
+    for speciality in specialities
+}
+
+NAME_STEMS: Tuple[str, ...] = (
+    "TwinCities", "VillageWok", "OldCountry", "ExpressCafe", "Anjuman",
+    "ItsGreek", "GoldenDragon", "SilverSpoon", "RiverView", "LakeSide",
+    "UptownGrill", "CornerBistro", "RedLantern", "BlueOrchid", "GreenLeaf",
+    "SunriseDiner", "MoonPalace", "StarOfIndia", "CapitolCafe", "ParkAvenue",
+    "GrandCentral", "LittleItaly", "CasaBonita", "ThaiOrchid", "LeBistro",
+)
+
+COUNTIES: Tuple[str, ...] = (
+    "Ramsey", "Hennepin", "Dakota", "Anoka", "Washington", "Scott",
+)
+
+ROAD_NAMES: Tuple[str, ...] = (
+    "Wash.Ave.", "Univ.Ave.", "FrontAve.", "LeSalleAve.", "Penn.Ave.",
+    "Co.B2", "Co.B3", "GrandAve.", "SnellingAve.", "LakeSt.",
+)
+
+
+@dataclass(frozen=True)
+class RestaurantWorkloadSpec:
+    """Parameters of a scaled restaurant workload."""
+
+    n_entities: int = 100
+    name_pool: int = 25
+    derivable_fraction: float = 1.0
+    overlap: float = 0.5
+    r_only: float = 0.25
+    s_only: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_entities <= 0:
+            raise ValueError("n_entities must be positive")
+        if not 0.0 <= self.derivable_fraction <= 1.0:
+            raise ValueError("derivable_fraction must be in [0, 1]")
+
+
+def _generate_universe(spec: RestaurantWorkloadSpec) -> Tuple[List[Entity], List[ILFD]]:
+    rng = random.Random(spec.seed)
+    names = [
+        NAME_STEMS[i % len(NAME_STEMS)]
+        + ("" if i < len(NAME_STEMS) else str(i // len(NAME_STEMS)))
+        for i in range(spec.name_pool)
+    ]
+    used_by_name: Dict[str, Set[Tuple[str, str]]] = {name: set() for name in names}
+    universe: List[Entity] = []
+    per_entity_ilfds: List[ILFD] = []
+    specialities = sorted(SPECIALITY_CUISINE)
+    attempts = 0
+    while len(universe) < spec.n_entities and attempts < spec.n_entities * 50:
+        attempts += 1
+        name = rng.choice(names)
+        speciality = rng.choice(specialities)
+        cuisine = SPECIALITY_CUISINE[speciality]
+        taken = used_by_name[name]
+        if any(c == cuisine or s == speciality for (c, s) in taken):
+            continue  # would break a candidate key for this name
+        taken.add((cuisine, speciality))
+        county = rng.choice(COUNTIES)
+        street = f"{len(universe) + 1} {rng.choice(ROAD_NAMES)}"
+        entity: Entity = {
+            "name": name,
+            "cuisine": cuisine,
+            "speciality": speciality,
+            "street": street,
+            "county": county,
+        }
+        universe.append(entity)
+        per_entity_ilfds.append(
+            ILFD({"street": street}, {"county": county}, name=f"street{len(universe)}")
+        )
+        if rng.random() < spec.derivable_fraction:
+            per_entity_ilfds.append(
+                ILFD(
+                    {"name": name, "street": street},
+                    {"speciality": speciality},
+                    name=f"loc{len(universe)}",
+                )
+            )
+    if len(universe) < spec.n_entities:
+        raise ValueError(
+            f"could not place {spec.n_entities} entities with a name pool "
+            f"of {spec.name_pool}; enlarge name_pool"
+        )
+    family = [
+        ILFD({"speciality": speciality}, {"cuisine": cuisine}, name=f"sc:{speciality}")
+        for speciality, cuisine in sorted(SPECIALITY_CUISINE.items())
+    ]
+    return universe, family + per_entity_ilfds
+
+
+def restaurant_workload(spec: RestaurantWorkloadSpec) -> Workload:
+    """A scaled Example-3-shaped workload with ground truth."""
+    universe, ilfds = _generate_universe(spec)
+    split = SplitSpec(
+        r_attributes=("name", "cuisine", "street"),
+        s_attributes=("name", "speciality", "county"),
+        r_key=("name", "cuisine"),
+        s_key=("name", "speciality"),
+        overlap=spec.overlap,
+        r_only=spec.r_only,
+        s_only=spec.s_only,
+        seed=spec.seed,
+    )
+    r, s, truth = split_universe(universe, split)
+    return Workload(
+        r=r,
+        s=s,
+        ilfds=ILFDSet(ilfds),
+        extended_key=("name", "cuisine", "speciality"),
+        truth=truth,
+        universe=universe,
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's exact examples
+# ----------------------------------------------------------------------
+def _string_schema(names: Tuple[str, ...], key: Tuple[str, ...]) -> Schema:
+    return Schema([Attribute(n) for n in names], keys=[key])
+
+
+def restaurant_example_1() -> Workload:
+    """Table 1: R(name, street, cuisine) / S(name, city, manager).
+
+    No common candidate key; the one true match (the two VillageWok
+    tuples) is only establishable with the extra semantic knowledge the
+    paper describes, so the baseline benches use this to show common-key
+    matching going wrong.
+    """
+    r = Relation(
+        _string_schema(("name", "street", "cuisine"), ("name", "street")),
+        [
+            ("VillageWok", "Wash.Ave.", "Chinese"),
+            ("Ching", "Co.B Rd.", "Chinese"),
+            ("OldCountry", "Co.B2 Rd.", "American"),
+        ],
+        name="R",
+    )
+    s = Relation(
+        _string_schema(("name", "city", "manager"), ("name", "city")),
+        [
+            ("VillageWok", "Mpls", "Hwang"),
+            ("OldCountry", "Roseville", "Libby"),
+            ("ExpressCafe", "Burnsville", "Tom"),
+        ],
+        name="S",
+    )
+    ilfds = ILFDSet(
+        [
+            # "Wash.Ave. is only in city Mpls" and "the restaurant owned
+            # by Hwang is only on Wash.Ave." (Section 2.1).
+            ILFD({"street": "Wash.Ave."}, {"city": "Mpls"}, name="W1"),
+            ILFD({"manager": "Hwang"}, {"street": "Wash.Ave."}, name="W2"),
+        ]
+    )
+    truth = frozenset(
+        {
+            (
+                (("name", "VillageWok"), ("street", "Wash.Ave.")),
+                (("city", "Mpls"), ("name", "VillageWok")),
+            )
+        }
+    )
+    return Workload(
+        r=r,
+        s=s,
+        ilfds=ilfds,
+        extended_key=("name", "street", "city"),
+        truth=truth,
+    )
+
+
+def restaurant_example_2() -> Workload:
+    """Table 2: the Mughalai → Indian derivation (one match)."""
+    r = Relation(
+        _string_schema(("name", "cuisine", "street"), ("name", "cuisine")),
+        [
+            ("TwinCities", "Chinese", "Wash.Ave."),
+            ("TwinCities", "Indian", "Univ.Ave."),
+        ],
+        name="R",
+    )
+    s = Relation(
+        _string_schema(("name", "speciality", "city"), ("name", "speciality")),
+        [("TwinCities", "Mughalai", "St.Paul")],
+        name="S",
+    )
+    ilfds = ILFDSet(
+        [ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"}, name="I4")]
+    )
+    truth = frozenset(
+        {
+            (
+                (("cuisine", "Indian"), ("name", "TwinCities")),
+                (("name", "TwinCities"), ("speciality", "Mughalai")),
+            )
+        }
+    )
+    return Workload(
+        r=r,
+        s=s,
+        ilfds=ilfds,
+        extended_key=("name", "cuisine"),
+        truth=truth,
+    )
+
+
+def restaurant_example_3() -> Workload:
+    """Table 5 with ILFDs I1–I8 (three matches, Table 7)."""
+    r = Relation(
+        _string_schema(("name", "cuisine", "street"), ("name", "cuisine")),
+        [
+            ("TwinCities", "Chinese", "Co.B2"),
+            ("TwinCities", "Indian", "Co.B3"),
+            ("It'sGreek", "Greek", "FrontAve."),
+            ("Anjuman", "Indian", "LeSalleAve."),
+            ("VillageWok", "Chinese", "Wash.Ave."),
+        ],
+        name="R",
+    )
+    s = Relation(
+        _string_schema(("name", "speciality", "county"), ("name", "speciality")),
+        [
+            ("TwinCities", "Hunan", "Roseville"),
+            ("TwinCities", "Sichuan", "Hennepin"),
+            ("It'sGreek", "Gyros", "Ramsey"),
+            ("Anjuman", "Mughalai", "Mpls."),
+        ],
+        name="S",
+    )
+    ilfds = ILFDSet(
+        [
+            ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}, name="I1"),
+            ILFD({"speciality": "Sichuan"}, {"cuisine": "Chinese"}, name="I2"),
+            ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"}, name="I3"),
+            ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"}, name="I4"),
+            ILFD(
+                {"name": "TwinCities", "street": "Co.B2"},
+                {"speciality": "Hunan"},
+                name="I5",
+            ),
+            ILFD(
+                {"name": "Anjuman", "street": "LeSalleAve."},
+                {"speciality": "Mughalai"},
+                name="I6",
+            ),
+            ILFD({"street": "FrontAve."}, {"county": "Ramsey"}, name="I7"),
+            ILFD(
+                {"name": "It'sGreek", "county": "Ramsey"},
+                {"speciality": "Gyros"},
+                name="I8",
+            ),
+        ]
+    )
+    truth = frozenset(
+        {
+            (
+                (("cuisine", "Chinese"), ("name", "TwinCities")),
+                (("name", "TwinCities"), ("speciality", "Hunan")),
+            ),
+            (
+                (("cuisine", "Greek"), ("name", "It'sGreek")),
+                (("name", "It'sGreek"), ("speciality", "Gyros")),
+            ),
+            (
+                (("cuisine", "Indian"), ("name", "Anjuman")),
+                (("name", "Anjuman"), ("speciality", "Mughalai")),
+            ),
+        }
+    )
+    return Workload(
+        r=r,
+        s=s,
+        ilfds=ilfds,
+        extended_key=("name", "cuisine", "speciality"),
+        truth=truth,
+    )

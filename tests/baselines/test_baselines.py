@@ -1,0 +1,227 @@
+"""Tests for the five Section-2.2 baselines and the evaluation harness."""
+
+import pytest
+
+from repro.baselines import (
+    HeuristicRule,
+    HeuristicRuleMatcher,
+    InapplicableError,
+    KeyEquivalenceMatcher,
+    ProbabilisticAttributeMatcher,
+    ProbabilisticKeyMatcher,
+    UserSpecifiedMatcher,
+    evaluate,
+    evaluate_pairs,
+)
+from repro.baselines.probabilistic_key import default_tokenizer
+from repro.relational.attribute import string_attribute
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+from repro.workloads import restaurant_example_1, restaurant_example_3
+from repro.workloads.generator import with_domain_attribute
+
+
+def rel(names, rows, key, name="T"):
+    schema = Schema([string_attribute(n) for n in names], keys=[key])
+    return Relation(schema, rows, name=name)
+
+
+class TestKeyEquivalence:
+    def test_inapplicable_without_common_key(self, example1):
+        matcher = KeyEquivalenceMatcher()
+        with pytest.raises(InapplicableError):
+            matcher.match(example1.r, example1.s)
+
+    def test_matches_on_shared_key(self):
+        r = rel(["id", "x"], [("1", "a"), ("2", "b")], ("id",), "R")
+        s = rel(["id", "y"], [("1", "p"), ("3", "q")], ("id",), "S")
+        result = KeyEquivalenceMatcher().match(r, s)
+        assert len(result.pairs) == 1
+        assert result.is_sound_output()
+
+    def test_explicit_key_must_be_candidate_of_both(self):
+        r = rel(["id", "x"], [("1", "a")], ("id",), "R")
+        s = rel(["id", "y"], [("1", "p")], ("id", "y"), "S")
+        with pytest.raises(InapplicableError):
+            KeyEquivalenceMatcher(key=("id",)).match(r, s)
+
+    def test_homonym_failure_mode_figure2(self):
+        """Same key values, different entities: key equivalence errs."""
+        r = rel(["name", "cuisine"], [("VillageWok", "Chinese")], ("name",), "R")
+        s = rel(["name", "cuisine"], [("VillageWok", "Chinese")], ("name",), "S")
+        result = KeyEquivalenceMatcher().match(r, s)
+        truth = frozenset()  # they model DIFFERENT real-world entities
+        quality = evaluate(result, truth)
+        assert quality.false_positives == 1
+        assert not quality.is_sound()
+
+    def test_domain_attribute_restores_soundness(self):
+        r = with_domain_attribute(
+            rel(["name", "cuisine"], [("VillageWok", "Chinese")], ("name",), "R"),
+            "DB1",
+        )
+        s = with_domain_attribute(
+            rel(["name", "cuisine"], [("VillageWok", "Chinese")], ("name",), "S"),
+            "DB2",
+        )
+        result = KeyEquivalenceMatcher().match(r, s)
+        assert len(result.pairs) == 0  # domains differ → no match
+
+
+class TestUserSpecified:
+    def test_asserted_pairs_returned(self, example3):
+        matcher = UserSpecifiedMatcher(
+            [
+                (
+                    {"name": "Anjuman", "cuisine": "Indian"},
+                    {"name": "Anjuman", "speciality": "Mughalai"},
+                )
+            ]
+        )
+        result = matcher.match(example3.r, example3.s)
+        assert len(result.pairs) == 1
+        assert matcher.effort() == 1
+
+    def test_unknown_tuple_rejected(self, example3):
+        matcher = UserSpecifiedMatcher([({"name": "Ghost"}, {"name": "Ghost"})])
+        with pytest.raises(InapplicableError):
+            matcher.match(example3.r, example3.s)
+
+    def test_full_truth_requires_effort_proportional_to_matches(self, example3):
+        assertions = [
+            (dict(r_key), dict(s_key)) for (r_key, s_key) in example3.truth
+        ]
+        matcher = UserSpecifiedMatcher(assertions)
+        result = matcher.match(example3.r, example3.s)
+        quality = evaluate(result, example3.truth)
+        assert quality.precision == 1.0 and quality.recall == 1.0
+        assert matcher.effort() == len(example3.truth)
+
+
+class TestProbabilisticKey:
+    def test_tokenizer(self):
+        assert default_tokenizer("Village Wok No.2") == ("village", "wok", "no", "2")
+
+    def test_subfield_matching(self):
+        r = rel(["name"], [("Village Wok Restaurant",)], ("name",), "R")
+        s = rel(["name"], [("Village Wok",)], ("name",), "S")
+        result = ProbabilisticKeyMatcher(threshold=0.5).match(r, s)
+        assert len(result.pairs) == 1
+        assert 0.5 <= result.pairs[0].score < 1.0
+
+    def test_threshold_rejects_weak_overlap(self):
+        r = rel(["name"], [("Village Wok Restaurant Cafe",)], ("name",), "R")
+        s = rel(["name"], [("Village Diner",)], ("name",), "S")
+        result = ProbabilisticKeyMatcher(threshold=0.5).match(r, s)
+        assert len(result.pairs) == 0
+
+    def test_erroneous_match_admitted(self):
+        """The paper: 'may also admit erroneous matching'."""
+        r = rel(["name"], [("Twin Cities Grill",)], ("name",), "R")
+        s = rel(["name"], [("Twin Cities Diner",)], ("name",), "S")
+        result = ProbabilisticKeyMatcher(threshold=0.5).match(r, s)
+        assert len(result.pairs) == 1  # 2/4 overlap ≥ 0.5, yet likely wrong
+
+    def test_requires_common_key_attributes(self):
+        r = rel(["a"], [("x",)], ("a",), "R")
+        s = rel(["b"], [("x",)], ("b",), "S")
+        with pytest.raises(InapplicableError):
+            ProbabilisticKeyMatcher().match(r, s)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticKeyMatcher(threshold=0.0)
+
+
+class TestProbabilisticAttribute:
+    def test_comparison_value(self):
+        matcher = ProbabilisticAttributeMatcher(threshold=0.5)
+        value = matcher.comparison_value(
+            Row({"a": "x", "b": "y"}), Row({"a": "x", "b": "z"}), ["a", "b"]
+        )
+        assert value == 0.5
+
+    def test_weights(self):
+        matcher = ProbabilisticAttributeMatcher(weights={"a": 3.0, "b": 1.0})
+        value = matcher.comparison_value(
+            Row({"a": "x", "b": "y"}), Row({"a": "x", "b": "z"}), ["a", "b"]
+        )
+        assert value == 0.75
+
+    def test_one_to_one_assignment(self):
+        r = rel(["name", "v"], [("x", "1"), ("y", "2")], ("name",), "R")
+        s = rel(["name", "v"], [("x", "1")], ("name",), "S")
+        result = ProbabilisticAttributeMatcher(threshold=0.4).match(r, s)
+        assert result.is_sound_output()
+
+    def test_without_assignment_can_violate_uniqueness(self, example3):
+        matcher = ProbabilisticAttributeMatcher(threshold=0.4, one_to_one=False)
+        result = matcher.match(example3.r, example3.s)
+        # name agreement alone links TwinCities tuples many-to-many
+        assert not result.is_sound_output()
+
+    def test_requires_common_attributes(self):
+        r = rel(["a"], [("x",)], ("a",), "R")
+        s = rel(["b"], [("x",)], ("b",), "S")
+        with pytest.raises(InapplicableError):
+            ProbabilisticAttributeMatcher().match(r, s)
+
+
+class TestHeuristicRules:
+    def test_certain_rules_recover_ilfd_behaviour(self, example3):
+        rules = [HeuristicRule(ilfd, 1.0) for ilfd in example3.ilfds]
+        matcher = HeuristicRuleMatcher(rules, list(example3.extended_key))
+        result = matcher.match(example3.r, example3.s)
+        quality = evaluate(result, example3.truth)
+        assert quality.precision == 1.0 and quality.recall == 1.0
+        assert all(pair.score == 1.0 for pair in result.pairs)
+
+    def test_confidence_propagates(self, example3):
+        rules = [HeuristicRule(ilfd, 0.9) for ilfd in example3.ilfds]
+        matcher = HeuristicRuleMatcher(rules, list(example3.extended_key))
+        result = matcher.match(example3.r, example3.s)
+        assert all(pair.score < 1.0 for pair in result.pairs)
+
+    def test_min_confidence_filters(self, example3):
+        rules = [HeuristicRule(ilfd, 0.5) for ilfd in example3.ilfds]
+        matcher = HeuristicRuleMatcher(
+            rules, list(example3.extended_key), min_confidence=0.9
+        )
+        result = matcher.match(example3.r, example3.s)
+        assert len(result.pairs) == 0
+
+    def test_bad_confidence_rejected(self, example3):
+        with pytest.raises(ValueError):
+            HeuristicRule(next(iter(example3.ilfds)), 0.0)
+
+
+class TestEvaluation:
+    def test_perfect_scores(self):
+        quality = evaluate_pairs("x", {("a", "b")}, {("a", "b")})
+        assert quality.precision == 1.0 and quality.recall == 1.0
+        assert quality.f1 == 1.0 and quality.is_sound()
+
+    def test_false_positive(self):
+        quality = evaluate_pairs("x", {("a", "b"), ("c", "d")}, {("a", "b")})
+        assert quality.false_positives == 1
+        assert not quality.is_sound()
+
+    def test_false_negative(self):
+        quality = evaluate_pairs("x", set(), {("a", "b")})
+        assert quality.recall == 0.0
+        assert quality.precision == 1.0  # said nothing wrong
+
+    def test_empty_truth(self):
+        quality = evaluate_pairs("x", set(), set())
+        assert quality.recall == 1.0 and quality.f1 == 1.0
+
+    def test_uniqueness_violation_counted(self):
+        quality = evaluate_pairs(
+            "x", {("a", "b"), ("a", "c")}, {("a", "b")}
+        )
+        assert quality.uniqueness_violations == 1
+
+    def test_str_rendering(self):
+        quality = evaluate_pairs("matcher", {("a", "b")}, {("a", "b")})
+        assert "matcher" in str(quality) and "precision=1.000" in str(quality)

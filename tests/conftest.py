@@ -1,0 +1,44 @@
+"""Shared fixtures: the paper's worked examples and small relations."""
+
+import pytest
+
+from repro.relational.attribute import string_attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads import (
+    restaurant_example_1,
+    restaurant_example_2,
+    restaurant_example_3,
+)
+
+
+@pytest.fixture
+def example1():
+    """Table 1: the motivating example."""
+    return restaurant_example_1()
+
+
+@pytest.fixture
+def example2():
+    """Table 2: the Mughalai → Indian example."""
+    return restaurant_example_2()
+
+
+@pytest.fixture
+def example3():
+    """Table 5 plus ILFDs I1–I8: the full construction example."""
+    return restaurant_example_3()
+
+
+@pytest.fixture
+def small_relation():
+    """A 3-row relation with a 2-attribute key."""
+    schema = Schema(
+        [string_attribute("a"), string_attribute("b"), string_attribute("c")],
+        keys=[("a", "b")],
+    )
+    return Relation(
+        schema,
+        [("x", "1", "p"), ("x", "2", "q"), ("y", "1", "p")],
+        name="T",
+    )

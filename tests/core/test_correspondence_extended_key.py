@@ -1,0 +1,99 @@
+"""Tests for attribute correspondences and the extended key."""
+
+import pytest
+
+from repro.core.correspondence import AttributeCorrespondence
+from repro.core.errors import CoreError, ExtendedKeyError
+from repro.core.extended_key import ExtendedKey
+from repro.relational.attribute import string_attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def rel(names, rows, key, name="T"):
+    schema = Schema([string_attribute(n) for n in names], keys=[key])
+    return Relation(schema, rows, name=name)
+
+
+class TestAttributeCorrespondence:
+    def test_identity_is_noop(self):
+        table = rel(["a"], [("1",)], ("a",))
+        assert AttributeCorrespondence.identity().unify_r(table) is table
+
+    def test_renaming(self):
+        table = rel(["r_name"], [("x",)], ("r_name",))
+        corr = AttributeCorrespondence(r_map={"r_name": "name"})
+        unified = corr.unify_r(table)
+        assert unified.schema.names == ("name",)
+        assert unified.schema.primary_key == frozenset({"name"})
+
+    def test_from_pairs(self):
+        corr = AttributeCorrespondence.from_pairs(
+            [("r_name", "s_name", "name"), ("r_cui", "s_cui", "cuisine")]
+        )
+        assert corr.r_map == {"r_name": "name", "r_cui": "cuisine"}
+        assert corr.s_map == {"s_name": "name", "s_cui": "cuisine"}
+
+    def test_unknown_source_attribute_rejected(self):
+        table = rel(["a"], [("1",)], ("a",))
+        corr = AttributeCorrespondence(r_map={"zz": "name"})
+        with pytest.raises(CoreError):
+            corr.unify_r(table)
+
+    def test_colliding_targets_rejected(self):
+        with pytest.raises(CoreError):
+            AttributeCorrespondence(r_map={"a": "x", "b": "x"})
+
+    def test_common_attributes(self):
+        r = rel(["r_name", "street"], [("x", "s")], ("r_name",))
+        s = rel(["s_name", "city"], [("x", "c")], ("s_name",))
+        corr = AttributeCorrespondence(
+            r_map={"r_name": "name"}, s_map={"s_name": "name"}
+        )
+        assert corr.common_attributes(r, s) == frozenset({"name"})
+
+
+class TestExtendedKey:
+    def test_ordered_but_set_equal(self):
+        assert ExtendedKey(["a", "b"]) == ExtendedKey(["b", "a"])
+        assert ExtendedKey(["a", "b"]).attributes == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExtendedKeyError):
+            ExtendedKey([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ExtendedKeyError):
+            ExtendedKey(["a", "a"])
+
+    def test_identity_rule(self):
+        rule = ExtendedKey(["name", "cuisine"]).identity_rule()
+        assert rule.attributes == {"name", "cuisine"}
+
+    def test_missing_in(self):
+        key = ExtendedKey(["name", "cuisine", "speciality"])
+        r = rel(["name", "cuisine"], [("x", "c")], ("name",))
+        assert key.missing_in(r) == ("speciality",)
+
+    def test_covers_keys(self):
+        r = rel(["name", "cuisine"], [("x", "c")], ("name", "cuisine"))
+        s = rel(["name", "speciality"], [("x", "s")], ("name", "speciality"))
+        assert ExtendedKey(["name", "cuisine", "speciality"]).covers_keys(r, s)
+        assert not ExtendedKey(["name"]).covers_keys(r, s)
+
+    def test_check_against(self):
+        r = rel(["name"], [("x",)], ("name",))
+        s = rel(["city"], [("y",)], ("city",))
+        ExtendedKey(["name", "city"]).check_against(r, s)
+        with pytest.raises(ExtendedKeyError):
+            ExtendedKey(["name", "zz"]).check_against(r, s)
+
+    def test_proper_subsets(self):
+        subsets = list(ExtendedKey(["a", "b"]).proper_subsets())
+        assert ExtendedKey(["a"]) in subsets
+        assert ExtendedKey(["b"]) in subsets
+        assert len(subsets) == 2
+
+    def test_membership_and_len(self):
+        key = ExtendedKey(["a", "b"])
+        assert "a" in key and len(key) == 2 and list(key) == ["a", "b"]

@@ -1,0 +1,125 @@
+"""Tests for homonym diagnostics and conflict resolution."""
+
+import pytest
+
+from repro.core.diagnostics import (
+    ConflictPolicy,
+    UnresolvedConflictError,
+    homonym_candidates,
+    resolve_conflicts,
+)
+from repro.core.identifier import EntityIdentifier
+from repro.core.integration import integrate
+from repro.relational.attribute import string_attribute
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def rel(names, rows, key, name="T"):
+    schema = Schema([string_attribute(n) for n in names], keys=[key])
+    return Relation(schema, rows, name=name)
+
+
+class TestHomonymCandidates:
+    def test_example3_homonyms(self, example3):
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        matching = identifier.matching_table()
+        candidates = homonym_candidates(
+            example3.r, example3.s, matching, attributes=["name"]
+        )
+        # TwinCities appears 2× in R and 2× in S; 4 pairs agree on name,
+        # 1 is the true match, so 3 homonym candidates remain for it.
+        twincities = [
+            c for c in candidates if dict(c.r_key)["name"] == "TwinCities"
+        ]
+        assert len(twincities) == 3
+        for candidate in candidates:
+            assert "name" in candidate.agreeing_attributes
+
+    def test_no_common_attributes_no_candidates(self):
+        r = rel(["a"], [("1",)], ("a",), "R")
+        s = rel(["b"], [("1",)], ("b",), "S")
+        identifier = EntityIdentifier(r, s, ["a", "b"])
+        assert homonym_candidates(r, s, identifier.matching_table()) == []
+
+    def test_min_agreeing_threshold(self, example3):
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        matching = identifier.matching_table()
+        loose = homonym_candidates(
+            example3.r, example3.s, matching, attributes=["name"], min_agreeing=1
+        )
+        tight = homonym_candidates(
+            example3.r, example3.s, matching, attributes=["name"], min_agreeing=2
+        )
+        assert len(tight) == 0 < len(loose)
+
+
+class TestConflictResolution:
+    def _integrated(self, r_value="x", s_value="y"):
+        r = rel(["k", "v"], [("1", r_value)], ("k",), "R")
+        s = rel(["k", "v"], [("1", s_value)], ("k",), "S")
+        identifier = EntityIdentifier(r, s, ["k"])
+        ext_r, ext_s = identifier.extended_relations()
+        return integrate(ext_r, ext_s, identifier.matching_table())
+
+    def test_prefer_r(self):
+        integrated = self._integrated()
+        resolved = integrated.resolved_view(ConflictPolicy.PREFER_R)
+        assert resolved.rows[0]["v"] == "x"
+
+    def test_prefer_s(self):
+        integrated = self._integrated()
+        resolved = integrated.resolved_view(ConflictPolicy.PREFER_S)
+        assert resolved.rows[0]["v"] == "y"
+
+    def test_null_out(self):
+        integrated = self._integrated()
+        resolved = integrated.resolved_view(ConflictPolicy.NULL_OUT)
+        assert is_null(resolved.rows[0]["v"])
+
+    def test_strict_raises(self):
+        integrated = self._integrated()
+        with pytest.raises(UnresolvedConflictError):
+            integrated.resolved_view(ConflictPolicy.STRICT)
+
+    def test_strict_passes_without_conflicts(self):
+        integrated = self._integrated(r_value="same", s_value="same")
+        resolved = integrated.resolved_view(ConflictPolicy.STRICT)
+        assert resolved.rows[0]["v"] == "same"
+
+    def test_null_sides_are_not_conflicts(self):
+        r = rel(["k", "v"], [("1", "x")], ("k",), "R")
+        s_schema = Schema(
+            [string_attribute("k"), string_attribute("v")], keys=[("k",)]
+        )
+        s = Relation(s_schema, [{"k": "1", "v": NULL}], name="S")
+        identifier = EntityIdentifier(r, s, ["k"])
+        ext_r, ext_s = identifier.extended_relations()
+        integrated = integrate(ext_r, ext_s, identifier.matching_table())
+        resolved = integrated.resolved_view(ConflictPolicy.STRICT)
+        assert resolved.rows[0]["v"] == "x"
+
+    def test_conflict_log(self):
+        integrated = self._integrated()
+        shared = ["k", "v"]
+        _, log = resolve_conflicts(
+            integrated.relation, shared, policy=ConflictPolicy.PREFER_R
+        )
+        assert len(log) == 1 and "'v'" in log[0]
+
+    def test_default_policy_matches_merged_view(self, example3):
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        integrated = identifier.integrate()
+        resolved = integrated.resolved_view()
+        merged = integrated.merged_view()
+        # conflict-free data: the two views carry the same name column
+        assert {row["name"] for row in resolved} == {
+            row["name"] for row in merged
+        }

@@ -1,0 +1,73 @@
+"""Tests for match explanations."""
+
+import pytest
+
+from repro.core.errors import CoreError
+from repro.core.explain import explain_match
+from repro.core.identifier import EntityIdentifier
+
+
+@pytest.fixture
+def identifier(example3):
+    return EntityIdentifier(
+        example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+    )
+
+
+class TestExplainMatch:
+    def test_stored_values_marked(self, identifier):
+        explanation = explain_match(
+            identifier,
+            {"name": "Anjuman", "cuisine": "Indian"},
+            {"name": "Anjuman", "speciality": "Mughalai"},
+        )
+        r_by_attr = {p.attribute: p for p in explanation.r_provenance}
+        assert r_by_attr["name"].stored
+        assert r_by_attr["cuisine"].stored
+        assert not r_by_attr["speciality"].stored
+        assert "I6" in r_by_attr["speciality"].fired
+
+    def test_chained_derivation_explained(self, identifier):
+        explanation = explain_match(
+            identifier,
+            {"name": "It'sGreek", "cuisine": "Greek"},
+            {"name": "It'sGreek", "speciality": "Gyros"},
+        )
+        r_by_attr = {p.attribute: p for p in explanation.r_provenance}
+        speciality = r_by_attr["speciality"]
+        assert not speciality.stored
+        assert "I8" in speciality.fired  # the firing that set the value
+
+    def test_s_side_derivation(self, identifier):
+        explanation = explain_match(
+            identifier,
+            {"name": "TwinCities", "cuisine": "Chinese"},
+            {"name": "TwinCities", "speciality": "Hunan"},
+        )
+        s_by_attr = {p.attribute: p for p in explanation.s_provenance}
+        assert "I1" in s_by_attr["cuisine"].fired
+
+    def test_render_is_readable(self, identifier):
+        explanation = explain_match(
+            identifier,
+            {"name": "Anjuman", "cuisine": "Indian"},
+            {"name": "Anjuman", "speciality": "Mughalai"},
+        )
+        text = explanation.render()
+        assert "match" in text
+        assert "(stored)" in text
+        assert "derived via" in text
+        assert "extended-key equivalence" in text
+
+    def test_non_match_refused(self, identifier):
+        with pytest.raises(CoreError):
+            explain_match(
+                identifier,
+                {"name": "VillageWok", "cuisine": "Chinese"},
+                {"name": "TwinCities", "speciality": "Hunan"},
+            )
+
+    def test_keyvalues_form_accepted(self, identifier):
+        entry = next(iter(identifier.matching_table()))
+        explanation = explain_match(identifier, entry.r_key, entry.s_key)
+        assert explanation.r_key == entry.r_key

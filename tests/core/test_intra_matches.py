@@ -1,0 +1,55 @@
+"""Tests for Section 4.1's intra-T_RS possible-match interpretation."""
+
+import pytest
+
+from repro.core.identifier import EntityIdentifier
+from repro.ilfd.ilfd import ILFD
+
+
+class TestPossibleIntraMatches:
+    def test_example3_fully_resolved(self, example3):
+        """With all of I1–I8 every residual pair conflicts on some
+        extended-key value: T_RS carries no possible intra matches."""
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        integrated = identifier.integrate()
+        assert integrated.possible_intra_matches(example3.extended_key) == []
+
+    def test_missing_ilfd_leaves_possible_match(self, example3):
+        """Drop I2 (Sichuan → Chinese): the unmatched Sichuan tuple's
+        cuisine stays NULL, so it *possibly* matches the TwinCities-Indian
+        tuple (names agree, cuisine/speciality unknown on one side)."""
+        ilfds = [f for f in example3.ilfds if f.name != "I2"]
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=ilfds
+        )
+        integrated = identifier.integrate()
+        possible = integrated.possible_intra_matches(example3.extended_key)
+        assert possible, "expected residual uncertainty without I2"
+        for candidate in possible:
+            assert "name" in candidate.agreeing
+            names = {candidate.first["name"], candidate.second["name"]}
+            assert names == {"TwinCities"}
+
+    def test_supplying_the_ilfd_removes_the_uncertainty(self, example3):
+        ilfds = [f for f in example3.ilfds if f.name != "I2"]
+        without = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=ilfds
+        ).integrate()
+        with_all = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        ).integrate()
+        assert len(
+            without.possible_intra_matches(example3.extended_key)
+        ) > len(with_all.possible_intra_matches(example3.extended_key))
+
+    def test_all_unknown_pairs_do_not_qualify(self, example2):
+        """Two rows sharing no non-NULL extended-key value assert nothing
+        and are not reported."""
+        identifier = EntityIdentifier(
+            example2.r, example2.s, example2.extended_key, ilfds=[]
+        )
+        integrated = identifier.integrate()
+        for candidate in integrated.possible_intra_matches(example2.extended_key):
+            assert candidate.agreeing

@@ -1,0 +1,148 @@
+"""Tests for identification across more than two databases."""
+
+import pytest
+
+from repro.core.errors import CoreError
+from repro.core.identifier import EntityIdentifier
+from repro.core.multiway import MultiwayIdentifier
+from repro.relational.attribute import string_attribute
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def rel(names, rows, key, name):
+    schema = Schema([string_attribute(n) for n in names], keys=[key])
+    return Relation(schema, rows, name=name)
+
+
+@pytest.fixture
+def three_sources(example3):
+    """Example 3's R and S plus a third database T(name, speciality, phone)."""
+    t = rel(
+        ["name", "speciality", "phone"],
+        [
+            ("TwinCities", "Hunan", "555-0101"),
+            ("Anjuman", "Mughalai", "555-0202"),
+            ("VillageWok", "Cantonese", "555-0303"),
+        ],
+        ("name", "speciality"),
+        "T",
+    )
+    return {"R": example3.r, "S": example3.s, "T": t}
+
+
+@pytest.fixture
+def multiway(three_sources, example3):
+    return MultiwayIdentifier(
+        three_sources,
+        example3.extended_key,
+        ilfds=list(example3.ilfds),
+    )
+
+
+class TestClusters:
+    def test_cluster_contents(self, multiway):
+        clusters = multiway.clusters()
+        by_name = {dict(zip(("name",), c.key[:1]))["name"]: c for c in clusters}
+        # keys are (name, cuisine, speciality) value tuples in K_Ext order
+        spans = {c.key[0]: set(c.sources) for c in clusters}
+        assert spans["TwinCities"] == {"R", "S", "T"}
+        assert spans["Anjuman"] == {"R", "S", "T"}
+        assert spans["It'sGreek"] == {"R", "S"}
+
+    def test_three_way_cluster_size(self, multiway):
+        three_way = [c for c in multiway.clusters() if len(c) == 3]
+        assert len(three_way) == 2  # TwinCities-Hunan and Anjuman-Mughalai
+
+    def test_member_lookup(self, multiway):
+        cluster = next(c for c in multiway.clusters() if c.key[0] == "Anjuman")
+        t_row = cluster.member_of("T")
+        assert t_row is not None and t_row["phone"] == "555-0202"
+        assert cluster.member_of("nope") is None
+
+    def test_soundness(self, multiway):
+        report = multiway.verify()
+        assert report.is_sound
+        report.raise_if_unsound()
+
+    def test_unsound_source_detected(self, example3):
+        # a source with two tuples deriving the same complete K_Ext
+        bad = rel(
+            ["name", "speciality", "cuisine", "note"],
+            [
+                ("TwinCities", "Hunan", "Chinese", "a"),
+                ("TwinCities", "Hunan", "Chinese", "b"),
+            ],
+            ("name", "speciality", "note"),
+            "Bad",
+        )
+        multiway = MultiwayIdentifier(
+            {"R": example3.r, "Bad": bad},
+            example3.extended_key,
+            ilfds=list(example3.ilfds),
+        )
+        report = multiway.verify()
+        assert not report.is_sound
+        assert report.violations["Bad"]
+
+    def test_needs_two_sources(self, example3):
+        with pytest.raises(CoreError):
+            MultiwayIdentifier({"R": example3.r}, example3.extended_key)
+
+
+class TestPairwiseConsistency:
+    def test_rs_projection_matches_entity_identifier(self, multiway, example3):
+        pairwise = multiway.pairwise_pairs("R", "S")
+        two_way = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        ).matching_table()
+        assert pairwise == two_way.pairs()
+
+    def test_transitivity_within_clusters(self, multiway):
+        """If R~S and S~T within a cluster then R~T (equality of K_Ext)."""
+        rs = multiway.pairwise_pairs("R", "S")
+        st = multiway.pairwise_pairs("S", "T")
+        rt = multiway.pairwise_pairs("R", "T")
+        s_to_r = {s_key: r_key for r_key, s_key in rs}
+        for s_key, t_key in st:
+            if s_key in s_to_r:
+                assert (s_to_r[s_key], t_key) in rt
+
+    def test_unknown_source_rejected(self, multiway):
+        with pytest.raises(CoreError):
+            multiway.pairwise_pairs("R", "nope")
+
+
+class TestMultiwayIntegration:
+    def test_row_count(self, multiway, three_sources):
+        integrated = multiway.integrate()
+        total = sum(len(rel) for rel in three_sources.values())
+        in_clusters = sum(len(c) for c in multiway.clusters())
+        expected = len(multiway.clusters()) + (total - in_clusters)
+        assert len(integrated) == expected
+
+    def test_cluster_rows_coalesce(self, multiway):
+        integrated = multiway.integrate()
+        anjuman = [
+            row for row in integrated
+            if row["name"] == "Anjuman" and row["sources"] == "R,S,T"
+        ]
+        assert len(anjuman) == 1
+        row = anjuman[0]
+        assert row["street"] == "LeSalleAve."   # from R
+        assert row["county"] == "Mpls."          # from S
+        assert row["phone"] == "555-0202"        # from T
+
+    def test_unmatched_rows_padded(self, multiway):
+        integrated = multiway.integrate()
+        cantonese = [
+            row for row in integrated if row["speciality"] == "Cantonese"
+        ]
+        assert len(cantonese) == 1
+        assert cantonese[0]["sources"] == "T"
+        assert is_null(cantonese[0]["street"])
+
+    def test_source_column_collision_rejected(self, multiway):
+        with pytest.raises(CoreError):
+            multiway.integrate(source_column="name")

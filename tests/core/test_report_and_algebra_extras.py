@@ -1,0 +1,109 @@
+"""Tests for the identification report and the semijoin/antijoin operators."""
+
+import pytest
+
+from repro.core.identifier import EntityIdentifier
+from repro.core.report import identification_report
+from repro.relational.algebra import antijoin, semijoin
+from repro.relational.attribute import string_attribute
+from repro.relational.errors import SchemaMismatchError
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class TestIdentificationReport:
+    def test_example3_report(self, example3):
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        report = identification_report(identifier)
+        assert "matching pairs:           3" in report
+        assert "Message: The extended key is verified." in report
+        assert "matching table" in report
+        assert "TwinCities" in report
+        assert "potential instance-level homonyms" in report
+        assert "attribute-value conflicts among matched pairs: 0" in report
+        assert "integrated table T_RS: 6 rows" in report
+
+    def test_unsound_report_shows_witnesses(self, example3):
+        identifier = EntityIdentifier(
+            example3.r, example3.s, ["name"], ilfds=list(example3.ilfds)
+        )
+        report = identification_report(identifier)
+        assert "causes unsound matching result" in report
+        assert "matched to multiple tuples" in report
+        # name-only matching + ILFD distinctness rules also break the
+        # consistency constraint; the report lists the offending pairs
+        assert "CONSISTENCY VIOLATION" in report
+
+    def test_homonym_truncation(self, example3):
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        report = identification_report(identifier, max_homonyms=1)
+        assert "more" in report
+
+
+def rel(names, rows, name="T"):
+    schema = Schema([string_attribute(n) for n in names])
+    return Relation(schema, rows, name=name, enforce_keys=False)
+
+
+class TestSemijoinAntijoin:
+    LEFT = [("1", "a"), ("2", "b"), ("3", "c")]
+    RIGHT = [("1", "p"), ("3", "q")]
+
+    def _pair(self):
+        return rel(["k", "x"], self.LEFT, "L"), rel(["k", "y"], self.RIGHT, "R")
+
+    def test_semijoin_keeps_matching(self):
+        left, right = self._pair()
+        result = semijoin(left, right, on=["k"])
+        assert {row["k"] for row in result} == {"1", "3"}
+        assert result.schema == left.schema
+
+    def test_antijoin_keeps_non_matching(self):
+        left, right = self._pair()
+        result = antijoin(left, right, on=["k"])
+        assert {row["k"] for row in result} == {"2"}
+
+    def test_semijoin_antijoin_partition(self):
+        left, right = self._pair()
+        semi = semijoin(left, right, on=["k"])
+        anti = antijoin(left, right, on=["k"])
+        assert semi.row_set | anti.row_set == left.row_set
+        assert not semi.row_set & anti.row_set
+
+    def test_null_keys_are_unmatched(self):
+        left = rel(["k", "x"], [{"k": NULL, "x": "a"}, ("1", "b")], "L")
+        right = rel(["k", "y"], [("1", "p"), {"k": NULL, "y": "q"}], "R")
+        assert len(semijoin(left, right, on=["k"])) == 1
+        anti = antijoin(left, right, on=["k"])
+        assert len(anti) == 1  # the NULL-keyed left row cannot join
+
+    def test_requires_common_attributes(self):
+        left = rel(["a"], [("1",)], "L")
+        right = rel(["b"], [("1",)], "R")
+        with pytest.raises(SchemaMismatchError):
+            semijoin(left, right)
+        with pytest.raises(SchemaMismatchError):
+            antijoin(left, right)
+
+    def test_integrated_table_via_antijoin(self, example3):
+        """Cross-check: unmatched R of T_RS equals R' ▷ MT_RS."""
+        from repro.relational.algebra import project, rename
+
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        extended_r, _ = identifier.extended_relations()
+        matching = identifier.matching_table()
+        mt_view = matching.to_relation()
+        mt_r = rename(
+            project(mt_view, ["R.name", "R.cuisine"]),
+            {"R.name": "name", "R.cuisine": "cuisine"},
+        )
+        unmatched = antijoin(extended_r, mt_r, on=["name", "cuisine"])
+        assert {row["name"] for row in unmatched} == {"TwinCities", "VillageWok"}
+        assert len(unmatched) == 2

@@ -1,0 +1,204 @@
+"""Tests for the ILFD miner and the extended-key suggester."""
+
+import pytest
+
+from repro.discovery import (
+    mine_from_relations,
+    mine_ilfds,
+    suggest_extended_keys,
+)
+from repro.discovery.ilfd_miner import as_ilfd_set
+from repro.ilfd.ilfd import ILFD
+from repro.ilfd.violations import satisfies
+from repro.relational.attribute import string_attribute
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def rel(names, rows, name="T"):
+    schema = Schema([string_attribute(n) for n in names])
+    return Relation(schema, rows, name=name, enforce_keys=False)
+
+
+@pytest.fixture
+def menu():
+    """A (speciality, cuisine, city) instance with a clean ILFD family."""
+    return rel(
+        ["speciality", "cuisine", "city"],
+        [
+            ("Hunan", "Chinese", "Mpls"),
+            ("Sichuan", "Chinese", "St.Paul"),
+            ("Hunan", "Chinese", "St.Paul"),
+            ("Gyros", "Greek", "Mpls"),
+            ("Gyros", "Greek", "St.Paul"),
+            ("Mughalai", "Indian", "Mpls"),
+            ("Mughalai", "Indian", "Edina"),
+        ],
+    )
+
+
+class TestMineIlfds:
+    def test_finds_the_table8_family(self, menu):
+        mined = mine_ilfds(menu, max_antecedent=1, min_support=2, targets=["cuisine"])
+        found = {m.ilfd for m in mined}
+        assert ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}) in found
+        assert ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"}) in found
+        assert ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"}) in found
+
+    def test_statistics(self, menu):
+        mined = mine_ilfds(menu, max_antecedent=1, min_support=2, targets=["cuisine"])
+        hunan = next(
+            m for m in mined
+            if m.ilfd == ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"})
+        )
+        assert hunan.support == 2 and hunan.confidence == 1.0
+        assert hunan.is_exceptionless
+
+    def test_all_exceptionless_candidates_hold(self, menu):
+        mined = mine_ilfds(menu, max_antecedent=2, min_support=1)
+        ilfds = as_ilfd_set(mined)
+        assert satisfies(menu, ilfds)
+
+    def test_min_support_filters(self, menu):
+        mined = mine_ilfds(menu, max_antecedent=1, min_support=3, targets=["cuisine"])
+        supports = [m.support for m in mined]
+        assert all(s >= 3 for s in supports)
+
+    def test_sub_confidence_candidates(self):
+        noisy = rel(
+            ["speciality", "cuisine", "id"],
+            [
+                ("Hunan", "Chinese", "1"),
+                ("Hunan", "Chinese", "2"),
+                ("Hunan", "Fusion", "3"),  # one exception
+            ],
+        )
+        strict = mine_ilfds(noisy, max_antecedent=1, min_support=2)
+        assert all(m.ilfd.antecedent_attributes != {"speciality"} or False
+                   for m in strict
+                   if m.ilfd == ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}))
+        lenient = mine_ilfds(
+            noisy, max_antecedent=1, min_support=2, min_confidence=0.6
+        )
+        hunan = [
+            m for m in lenient
+            if m.ilfd == ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"})
+        ]
+        assert hunan and not hunan[0].is_exceptionless
+        assert hunan[0].confidence == pytest.approx(2 / 3)
+
+    def test_redundant_specialisations_suppressed(self, menu):
+        mined = mine_ilfds(menu, max_antecedent=2, min_support=1, targets=["cuisine"])
+        # (speciality=Hunan ∧ city=Mpls) → Chinese is subsumed by
+        # (speciality=Hunan) → Chinese and must not be emitted
+        assert ILFD(
+            {"speciality": "Hunan", "city": "Mpls"}, {"cuisine": "Chinese"}
+        ) not in {m.ilfd for m in mined}
+
+    def test_nulls_never_in_patterns(self):
+        sparse = rel(
+            ["a", "b", "id"],
+            [
+                {"a": NULL, "b": "x", "id": "1"},
+                {"a": NULL, "b": "x", "id": "2"},
+                ("1", "x", "3"),
+            ],
+        )
+        mined = mine_ilfds(sparse, max_antecedent=1, min_support=2)
+        for m in mined:
+            for cond in m.ilfd.antecedent | m.ilfd.consequent:
+                assert cond.value is not NULL
+
+    def test_bad_parameters(self, menu):
+        with pytest.raises(ValueError):
+            mine_ilfds(menu, min_confidence=0.0)
+        with pytest.raises(ValueError):
+            mine_ilfds(menu, min_support=0)
+
+
+class TestMineFromRelations:
+    def test_cross_instance_counterexample_kills_candidate(self):
+        first = rel(
+            ["speciality", "cuisine", "id"],
+            [("Hunan", "Chinese", "1"), ("Hunan", "Chinese", "2")],
+        )
+        second = rel(["speciality", "cuisine"], [("Hunan", "Fusion")])
+        mined = mine_from_relations([first, second], min_support=2)
+        assert ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}) not in {
+            m.ilfd for m in mined
+        }
+
+    def test_support_sums_across_instances(self):
+        first = rel(["speciality", "cuisine"], [("Gyros", "Greek")])
+        second = rel(["speciality", "cuisine"], [("Gyros", "Greek")])
+        mined = mine_from_relations([first, second], min_support=2)
+        gyros = [
+            m for m in mined
+            if m.ilfd == ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"})
+        ]
+        assert gyros and gyros[0].support == 2
+
+    def test_attribute_disjoint_relations_ok(self):
+        first = rel(
+            ["speciality", "cuisine", "id"],
+            [("Gyros", "Greek", "1"), ("Gyros", "Greek", "2")],
+        )
+        second = rel(["name", "city"], [("X", "Mpls")])
+        mined = mine_from_relations([first, second], min_support=2)
+        assert any(
+            m.ilfd == ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"})
+            for m in mined
+        )
+
+
+class TestKeySuggester:
+    def test_minimal_sound_keys_on_example3(self, example3):
+        suggestions = suggest_extended_keys(
+            example3.r,
+            example3.s,
+            ["name", "cuisine", "speciality"],
+            ilfds=example3.ilfds,
+        )
+        sound = [s for s in suggestions if s.is_sound]
+        assert sound
+        # instance-minimal: speciality alone already verifies here
+        assert ("speciality",) in {s.key for s in sound}
+        # supersets of sound keys are suppressed
+        keys = [frozenset(s.key) for s in sound]
+        for key in keys:
+            assert not any(other < key for other in keys)
+
+    def test_covering_mode_finds_the_papers_key(self, example3):
+        suggestions = suggest_extended_keys(
+            example3.r,
+            example3.s,
+            ["name", "cuisine", "speciality"],
+            ilfds=example3.ilfds,
+            require_covering=True,
+        )
+        sound = [s for s in suggestions if s.is_sound]
+        assert [set(s.key) for s in sound] == [{"name", "cuisine", "speciality"}]
+        assert sound[0].match_count == 3
+
+    def test_unsound_candidates_reported_when_asked(self, example3):
+        suggestions = suggest_extended_keys(
+            example3.r,
+            example3.s,
+            ["name", "cuisine", "speciality"],
+            ilfds=example3.ilfds,
+            include_unsound=True,
+        )
+        unsound = [s for s in suggestions if not s.is_sound]
+        assert ("name",) in {s.key for s in unsound}
+
+    def test_sound_sorted_before_unsound(self, example3):
+        suggestions = suggest_extended_keys(
+            example3.r,
+            example3.s,
+            ["name", "cuisine", "speciality"],
+            ilfds=example3.ilfds,
+            include_unsound=True,
+        )
+        flags = [s.is_sound for s in suggestions]
+        assert flags == sorted(flags, reverse=True)

@@ -1,0 +1,199 @@
+"""Tests for the closure algorithm and Armstrong's axioms for ILFDs."""
+
+import pytest
+
+from repro.ilfd.axioms import (
+    Sequent,
+    augmentation,
+    decompose,
+    equivalent,
+    implies,
+    is_trivial,
+    prove,
+    pseudo_transitivity,
+    reflexivity,
+    transitivity,
+    union_rule,
+)
+from repro.ilfd.closure import (
+    closure,
+    conflicting_attributes,
+    is_attribute_consistent,
+)
+from repro.ilfd.conditions import Condition, conjunction
+from repro.ilfd.errors import MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+
+
+@pytest.fixture
+def chain():
+    """F = {A=a → B=b, B=b → C=c} (the Section-5 worked example)."""
+    return ILFDSet(
+        [
+            ILFD({"A": "a"}, {"B": "b"}, name="f1"),
+            ILFD({"B": "b"}, {"C": "c"}, name="f2"),
+        ]
+    )
+
+
+class TestClosure:
+    def test_transitive_chain(self, chain):
+        result = closure({"A": "a"}, chain)
+        assert Condition("C", "c") in result
+        assert Condition("B", "b") in result
+
+    def test_start_set_included(self, chain):
+        result = closure({"A": "a"}, chain)
+        assert Condition("A", "a") in result
+        assert result.derived() == frozenset(
+            {Condition("B", "b"), Condition("C", "c")}
+        )
+
+    def test_unrelated_start(self, chain):
+        result = closure({"Z": "z"}, chain)
+        assert result.symbols == frozenset({Condition("Z", "z")})
+
+    def test_value_sensitivity(self, chain):
+        # A=WRONG does not fire A=a → B=b.
+        result = closure({"A": "WRONG"}, chain)
+        assert Condition("B", "b") not in result
+
+    def test_provenance(self, chain):
+        result = closure({"A": "a"}, chain)
+        assert result.provenance[Condition("C", "c")].name == "f2"
+
+    def test_explain_chain_order(self, chain):
+        result = closure({"A": "a"}, chain)
+        names = [f.name for f in result.explain(Condition("C", "c"))]
+        assert names == ["f1", "f2"]
+
+    def test_explain_start_symbol_is_empty(self, chain):
+        result = closure({"A": "a"}, chain)
+        assert result.explain(Condition("A", "a")) == []
+
+    def test_explain_outside_closure_raises(self, chain):
+        result = closure({"A": "a"}, chain)
+        with pytest.raises(KeyError):
+            result.explain(Condition("Z", "z"))
+
+    def test_multi_condition_antecedent_waits_for_all(self):
+        ilfds = ILFDSet([ILFD({"A": "a", "B": "b"}, {"C": "c"})])
+        assert Condition("C", "c") not in closure({"A": "a"}, ilfds)
+        assert Condition("C", "c") in closure({"A": "a", "B": "b"}, ilfds)
+
+    def test_contradictory_start_rejected(self, chain):
+        with pytest.raises(MalformedILFDError):
+            closure([Condition("A", "1"), Condition("A", "2")], chain)
+
+    def test_closure_can_be_attribute_inconsistent(self):
+        # The paper's propositional semantics: (B=b1) and (B=b2) may both
+        # appear in a closure; we detect rather than forbid it.
+        ilfds = ILFDSet(
+            [
+                ILFD({"A": "a"}, {"B": "b1"}),
+                ILFD({"C": "c"}, {"B": "b2"}),
+            ]
+        )
+        result = closure({"A": "a", "C": "c"}, ilfds)
+        assert not is_attribute_consistent(result.symbols)
+        assert "B" in conflicting_attributes(result.symbols)
+
+    def test_attribute_consistency_positive(self, chain):
+        result = closure({"A": "a"}, chain)
+        assert is_attribute_consistent(result.symbols)
+
+
+class TestAxioms:
+    def test_reflexivity_trivial(self):
+        assert is_trivial(ILFD({"A": "a", "B": "b"}, {"A": "a"}))
+        assert not is_trivial(ILFD({"A": "a"}, {"B": "b"}))
+
+    def test_reflexivity_constructor(self):
+        ilfd = reflexivity(conjunction({"A": "a", "B": "b"}), conjunction({"A": "a"}))
+        assert is_trivial(ilfd)
+
+    def test_reflexivity_requires_subset(self):
+        with pytest.raises(MalformedILFDError):
+            reflexivity(conjunction({"A": "a"}), conjunction({"B": "b"}))
+
+    def test_augmentation(self):
+        base = ILFD({"A": "a"}, {"B": "b"})
+        augmented = augmentation(base, conjunction({"Z": "z"}))
+        assert augmented == ILFD({"A": "a", "Z": "z"}, {"B": "b", "Z": "z"})
+
+    def test_transitivity(self, chain):
+        result = transitivity(chain[0], chain[1])
+        assert result == ILFD({"A": "a"}, {"C": "c"})
+
+    def test_transitivity_requires_containment(self):
+        with pytest.raises(MalformedILFDError):
+            transitivity(ILFD({"A": "a"}, {"B": "b"}), ILFD({"X": "x"}, {"C": "c"}))
+
+    def test_union_rule(self):
+        result = union_rule(
+            ILFD({"A": "a"}, {"B": "b"}), ILFD({"A": "a"}, {"C": "c"})
+        )
+        assert result == ILFD({"A": "a"}, {"B": "b", "C": "c"})
+
+    def test_union_rule_requires_same_antecedent(self):
+        with pytest.raises(MalformedILFDError):
+            union_rule(ILFD({"A": "a"}, {"B": "b"}), ILFD({"X": "x"}, {"C": "c"}))
+
+    def test_pseudo_transitivity_is_papers_i9(self):
+        i7 = ILFD({"street": "FrontAve."}, {"county": "Ramsey"})
+        i8 = ILFD({"name": "It'sGreek", "county": "Ramsey"}, {"speciality": "Gyros"})
+        i9 = pseudo_transitivity(i7, i8)
+        assert i9 == ILFD(
+            {"name": "It'sGreek", "street": "FrontAve."},
+            {"speciality": "Gyros"},
+        )
+
+    def test_pseudo_transitivity_requires_overlap(self):
+        with pytest.raises(MalformedILFDError):
+            pseudo_transitivity(
+                ILFD({"A": "a"}, {"B": "b"}), ILFD({"X": "x"}, {"C": "c"})
+            )
+
+    def test_decompose(self):
+        parts = decompose(ILFD({"A": "a"}, {"B": "b", "C": "c"}))
+        assert ILFD({"A": "a"}, {"B": "b"}) in parts
+        assert ILFD({"A": "a"}, {"C": "c"}) in parts
+
+
+class TestImplicationAndProof:
+    def test_implies_transitive(self, chain):
+        assert implies(chain, ILFD({"A": "a"}, {"C": "c"}))
+
+    def test_implies_rejects_unsupported(self, chain):
+        assert not implies(chain, ILFD({"C": "c"}, {"A": "a"}))
+
+    def test_implies_trivial(self, chain):
+        assert implies(chain, ILFD({"A": "a"}, {"A": "a"}))
+
+    def test_prove_returns_none_when_not_implied(self, chain):
+        assert prove(chain, ILFD({"C": "c"}, {"A": "a"})) is None
+
+    def test_proof_ends_with_candidate(self, chain):
+        candidate = ILFD({"A": "a"}, {"C": "c"})
+        proof = prove(chain, candidate)
+        assert proof is not None
+        assert proof[-1].statement == Sequent.of(candidate)
+
+    def test_proof_uses_only_known_rules(self, chain):
+        proof = prove(chain, ILFD({"A": "a"}, {"C": "c"}))
+        rules = {step.rule for step in proof}
+        assert rules <= {"given", "reflexivity", "augmentation", "transitivity"}
+
+    def test_proof_premise_indices_are_backward(self, chain):
+        proof = prove(chain, ILFD({"A": "a"}, {"C": "c"}))
+        for index, step in enumerate(proof):
+            assert all(premise < index for premise in step.premises)
+
+    def test_proof_of_trivial(self, chain):
+        proof = prove(chain, ILFD({"A": "a"}, {"A": "a"}))
+        assert proof is not None and len(proof) >= 1
+
+    def test_equivalent_sets(self, chain):
+        with_derived = chain.add(ILFD({"A": "a"}, {"C": "c"}))
+        assert equivalent(chain, with_derived)
+        assert not equivalent(chain, ILFDSet([chain[0]]))

@@ -1,0 +1,191 @@
+"""Tests for propositional conditions, ILFDs, and ILFD sets."""
+
+import pytest
+
+from repro.ilfd.conditions import (
+    Condition,
+    as_assignment,
+    attributes_of,
+    conditions_hold_in,
+    conjunction,
+    parse_condition,
+)
+from repro.ilfd.errors import MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.relational.nulls import NULL
+
+
+class TestCondition:
+    def test_holds_in(self):
+        cond = Condition("cuisine", "Chinese")
+        assert cond.holds_in({"cuisine": "Chinese"})
+        assert not cond.holds_in({"cuisine": "Greek"})
+
+    def test_null_satisfies_nothing(self):
+        cond = Condition("cuisine", "Chinese")
+        assert not cond.holds_in({"cuisine": NULL})
+        assert not cond.holds_in({})
+
+    def test_contradicts(self):
+        cond = Condition("cuisine", "Chinese")
+        assert cond.contradicts({"cuisine": "Greek"})
+        assert not cond.contradicts({"cuisine": "Chinese"})
+        assert not cond.contradicts({"cuisine": NULL})
+        assert not cond.contradicts({})
+
+    def test_null_valued_condition_rejected(self):
+        with pytest.raises(MalformedILFDError):
+            Condition("a", NULL)
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(MalformedILFDError):
+            Condition("", "x")
+
+    def test_ordering_is_total(self):
+        conds = [Condition("b", "1"), Condition("a", "2"), Condition("a", "1")]
+        assert sorted(conds)[0] == Condition("a", "1")
+
+    def test_parse_condition(self):
+        assert parse_condition("a = x") == Condition("a", "x")
+
+    def test_parse_condition_rejects_garbage(self):
+        with pytest.raises(MalformedILFDError):
+            parse_condition("nonsense")
+        with pytest.raises(MalformedILFDError):
+            parse_condition("=x")
+
+
+class TestConjunction:
+    def test_from_mapping(self):
+        conj = conjunction({"a": "1", "b": "2"})
+        assert Condition("a", "1") in conj and len(conj) == 2
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(MalformedILFDError):
+            conjunction([Condition("a", "1"), Condition("a", "2")])
+
+    def test_conditions_hold_in(self):
+        conj = conjunction({"a": "1", "b": "2"})
+        assert conditions_hold_in(conj, {"a": "1", "b": "2", "c": "9"})
+        assert not conditions_hold_in(conj, {"a": "1", "b": "9"})
+
+    def test_attributes_of(self):
+        assert attributes_of(conjunction({"a": "1", "b": "2"})) == {"a", "b"}
+
+    def test_as_assignment(self):
+        assert as_assignment(conjunction({"a": "1"})) == {"a": "1"}
+
+
+class TestILFD:
+    def test_repr_contains_arrow(self):
+        ilfd = ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}, name="I1")
+        assert "→" in repr(ilfd) and "I1" in repr(ilfd)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(MalformedILFDError):
+            ILFD({}, {"a": "1"})
+        with pytest.raises(MalformedILFDError):
+            ILFD({"a": "1"}, {})
+
+    def test_consequent_contradicting_antecedent_rejected(self):
+        with pytest.raises(MalformedILFDError):
+            ILFD({"a": "1"}, {"a": "2"})
+
+    def test_consequent_repeating_antecedent_allowed(self):
+        ilfd = ILFD({"a": "1"}, {"a": "1"})
+        assert ilfd.satisfied_by({"a": "1"})
+
+    def test_satisfaction_vacuous(self):
+        ilfd = ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"})
+        assert ilfd.satisfied_by({"speciality": "Gyros", "cuisine": "Greek"})
+
+    def test_satisfaction_direct(self):
+        ilfd = ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"})
+        assert ilfd.satisfied_by({"speciality": "Hunan", "cuisine": "Chinese"})
+
+    def test_violation(self):
+        ilfd = ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"})
+        assert ilfd.violated_by({"speciality": "Hunan", "cuisine": "Greek"})
+
+    def test_null_consequent_not_a_violation(self):
+        ilfd = ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"})
+        assert ilfd.satisfied_by({"speciality": "Hunan", "cuisine": NULL})
+
+    def test_derivable_values(self):
+        ilfd = ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"})
+        assert ilfd.derivable_values({"speciality": "Hunan"}) == {"cuisine": "Chinese"}
+        assert ilfd.derivable_values({"speciality": "Gyros"}) == {}
+
+    def test_split(self):
+        ilfd = ILFD({"a": "1"}, {"b": "2", "c": "3"})
+        parts = ilfd.split()
+        assert len(parts) == 2
+        assert all(len(part.consequent) == 1 for part in parts)
+
+    def test_renamed_attributes(self):
+        ilfd = ILFD({"spec": "Hunan"}, {"cui": "Chinese"})
+        renamed = ilfd.renamed_attributes({"spec": "speciality", "cui": "cuisine"})
+        assert renamed == ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"})
+
+    def test_equality_ignores_name(self):
+        assert ILFD({"a": "1"}, {"b": "2"}, name="x") == ILFD(
+            {"a": "1"}, {"b": "2"}, name="y"
+        )
+
+
+class TestILFDSet:
+    def _set(self):
+        return ILFDSet(
+            [
+                ILFD({"a": "1"}, {"b": "2"}, name="f1"),
+                ILFD({"b": "2"}, {"c": "3"}, name="f2"),
+            ]
+        )
+
+    def test_order_preserved(self):
+        assert [f.name for f in self._set()] == ["f1", "f2"]
+
+    def test_deduplication(self):
+        f = ILFD({"a": "1"}, {"b": "2"})
+        assert len(ILFDSet([f, f])) == 1
+
+    def test_add_and_without(self):
+        base = self._set()
+        extra = ILFD({"c": "3"}, {"d": "4"})
+        grown = base.add(extra)
+        assert len(grown) == 3 and len(base) == 2
+        assert len(grown.without(extra)) == 2
+
+    def test_add_existing_is_noop(self):
+        base = self._set()
+        assert base.add(base[0]) is base
+
+    def test_equality_is_order_insensitive(self):
+        reversed_set = ILFDSet(list(self._set())[::-1])
+        assert reversed_set == self._set()
+
+    def test_combined(self):
+        ilfds = ILFDSet(
+            [
+                ILFD({"a": "1"}, {"b": "2"}),
+                ILFD({"a": "1"}, {"c": "3"}),
+            ]
+        )
+        combined = ilfds.combined()
+        assert len(combined) == 1
+        assert combined[0].consequent == conjunction({"b": "2", "c": "3"})
+
+    def test_split_all(self):
+        ilfds = ILFDSet([ILFD({"a": "1"}, {"b": "2", "c": "3"})])
+        assert len(ilfds.split_all()) == 2
+
+    def test_mentioning(self):
+        assert [f.name for f in self._set().mentioning("c")] == ["f2"]
+
+    def test_attributes_and_symbols(self):
+        assert self._set().attributes() == {"a", "b", "c"}
+        assert Condition("c", "3") in self._set().symbols()
+
+    def test_non_ilfd_rejected(self):
+        with pytest.raises(MalformedILFDError):
+            ILFDSet(["not an ilfd"])  # type: ignore[list-item]

@@ -1,0 +1,76 @@
+"""Tests for the ILFD knowledge-base text format."""
+
+import pytest
+
+from repro.ilfd.errors import MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.ilfd.io import (
+    dumps_ilfds,
+    loads_ilfds,
+    parse_ilfd_line,
+    read_ilfds,
+    write_ilfds,
+)
+
+
+class TestParseLine:
+    def test_single_condition(self):
+        ilfd = parse_ilfd_line("speciality=Mughalai -> cuisine=Indian")
+        assert ilfd == ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"})
+
+    def test_conjunction(self):
+        ilfd = parse_ilfd_line("name=TwinCities & street=Co.B2 -> speciality=Hunan")
+        assert ilfd == ILFD(
+            {"name": "TwinCities", "street": "Co.B2"}, {"speciality": "Hunan"}
+        )
+
+    def test_unicode_conjunction(self):
+        ilfd = parse_ilfd_line("a=1 ∧ b=2 -> c=3")
+        assert ilfd == ILFD({"a": "1", "b": "2"}, {"c": "3"})
+
+    def test_named_rule(self):
+        ilfd = parse_ilfd_line("I4: speciality=Mughalai -> cuisine=Indian")
+        assert ilfd.name == "I4"
+
+    def test_multi_consequent(self):
+        ilfd = parse_ilfd_line("a=1 -> b=2 & c=3")
+        assert len(ilfd.consequent) == 2
+
+    def test_missing_arrow(self):
+        with pytest.raises(MalformedILFDError):
+            parse_ilfd_line("a=1, b=2")
+
+
+class TestDocument:
+    DOC = """
+    # the Table-8 family
+    I1: speciality=Hunan -> cuisine=Chinese
+    I4: speciality=Mughalai -> cuisine=Indian
+
+    I7: street=FrontAve. -> county=Ramsey
+    """
+
+    def test_loads(self):
+        ilfds = loads_ilfds(self.DOC)
+        assert len(ilfds) == 3
+        assert [f.name for f in ilfds] == ["I1", "I4", "I7"]
+
+    def test_line_number_in_errors(self):
+        with pytest.raises(MalformedILFDError) as excinfo:
+            loads_ilfds("a=1 -> b=2\nbroken line\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_round_trip(self, example3):
+        text = dumps_ilfds(example3.ilfds)
+        reloaded = loads_ilfds(text)
+        assert reloaded == example3.ilfds
+        assert [f.name for f in reloaded] == [f.name for f in example3.ilfds]
+
+    def test_file_round_trip(self, tmp_path, example3):
+        path = tmp_path / "kb.ilfd"
+        write_ilfds(example3.ilfds, path)
+        assert read_ilfds(path) == example3.ilfds
+
+    def test_empty_document(self):
+        assert len(loads_ilfds("# nothing here\n\n")) == 0
+        assert dumps_ilfds(ILFDSet()) == ""

@@ -1,0 +1,86 @@
+"""Tests for derived-ILFD saturation."""
+
+import pytest
+
+from repro.core.algebra_construction import algebraic_matching_table
+from repro.core.identifier import EntityIdentifier
+from repro.ilfd.axioms import equivalent, implies
+from repro.ilfd.errors import MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.ilfd.saturation import derived_only, saturate
+from repro.ilfd.tables import partition_into_tables
+
+
+class TestSaturate:
+    def test_derives_the_papers_i9(self, example3):
+        saturated = saturate(
+            example3.ilfds, base_attributes=["name", "cuisine", "street"]
+        )
+        i9 = ILFD(
+            {"name": "It'sGreek", "street": "FrontAve."},
+            {"speciality": "Gyros"},
+        )
+        assert i9 in saturated
+        derived = derived_only(example3.ilfds, saturated)
+        assert i9 in derived
+        names = {f.name for f in derived}
+        assert "I7*I8" in names
+
+    def test_saturation_is_equivalent_to_original(self, example3):
+        saturated = saturate(
+            example3.ilfds, base_attributes=["name", "cuisine", "street"]
+        )
+        assert equivalent(example3.ilfds, saturated)
+
+    def test_every_derived_ilfd_is_implied(self, example3):
+        saturated = saturate(example3.ilfds)
+        for ilfd in saturated:
+            assert implies(example3.ilfds, ilfd)
+
+    def test_single_pass_with_saturation_is_complete(self, example3):
+        saturated = saturate(
+            example3.ilfds, base_attributes=["name", "cuisine", "street"]
+        )
+        tables = partition_into_tables(saturated)
+        single = algebraic_matching_table(
+            example3.r, example3.s, example3.extended_key, tables, max_rounds=1
+        )
+        pipeline = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        ).matching_table()
+        assert single.pairs() == pipeline.pairs()
+
+    def test_goal_directed_is_finite_on_cycles(self):
+        cyclic = ILFDSet(
+            [
+                ILFD({"a": "1"}, {"b": "1"}),
+                ILFD({"b": "1"}, {"a": "1"}),
+            ]
+        )
+        saturated = saturate(cyclic, base_attributes=["a"])
+        assert len(saturated) >= 2  # terminates; nothing explosive
+
+    def test_explosion_guard(self):
+        # a chain with base=∅ composes transitively; the guard caps it
+        chain = ILFDSet(
+            ILFD({f"a{i}": "v"}, {f"a{i+1}": "v"}) for i in range(40)
+        )
+        with pytest.raises(MalformedILFDError):
+            saturate(chain, max_new=50)
+
+    def test_no_base_full_closure_small(self):
+        chain = ILFDSet(
+            [
+                ILFD({"a": "1"}, {"b": "1"}),
+                ILFD({"b": "1"}, {"c": "1"}),
+            ]
+        )
+        saturated = saturate(chain)
+        assert ILFD({"a": "1"}, {"c": "1"}) in saturated
+
+    def test_derived_names_record_provenance(self, example3):
+        saturated = saturate(
+            example3.ilfds, base_attributes=["name", "cuisine", "street"]
+        )
+        derived = derived_only(example3.ilfds, saturated)
+        assert all("*" in f.name for f in derived)

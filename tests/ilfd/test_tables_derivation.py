@@ -1,0 +1,261 @@
+"""Tests for ILFD tables and the derivation engine."""
+
+import pytest
+
+from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
+from repro.ilfd.errors import DerivationConflictError, ILFDError, MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.ilfd.tables import ILFDTable, partition_into_tables
+from repro.relational.attribute import string_attribute
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def speciality_table():
+    """Table 8: IM(speciality, cuisine)."""
+    return ILFDTable(
+        ["speciality"],
+        "cuisine",
+        [
+            ("Hunan", "Chinese"),
+            ("Sichuan", "Chinese"),
+            ("Gyros", "Greek"),
+            ("Mughalai", "Indian"),
+        ],
+        name="IM(speciality;cuisine)",
+    )
+
+
+class TestILFDTable:
+    def test_table8_layout(self, speciality_table):
+        assert speciality_table.antecedent_attributes == ("speciality",)
+        assert speciality_table.derived_attribute == "cuisine"
+        assert len(speciality_table) == 4
+
+    def test_derive(self, speciality_table):
+        assert speciality_table.derive({"speciality": "Gyros"}) == "Greek"
+        assert speciality_table.derive({"speciality": "Sushi"}) is None
+        assert speciality_table.derive({"speciality": NULL}) is None
+        assert speciality_table.derive({}) is None
+
+    def test_to_ilfds(self, speciality_table):
+        ilfds = speciality_table.to_ilfds()
+        assert ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}) in ilfds
+        assert len(ilfds) == 4
+
+    def test_from_ilfds_round_trip(self, speciality_table):
+        rebuilt = ILFDTable.from_ilfds(speciality_table.to_ilfds())
+        assert rebuilt.relation.row_set == speciality_table.relation.row_set
+
+    def test_from_ilfds_rejects_nonuniform(self):
+        with pytest.raises(MalformedILFDError):
+            ILFDTable.from_ilfds(
+                [
+                    ILFD({"a": "1"}, {"b": "2"}),
+                    ILFD({"x": "1"}, {"b": "2"}),
+                ]
+            )
+
+    def test_from_ilfds_rejects_multi_consequent(self):
+        with pytest.raises(MalformedILFDError):
+            ILFDTable.from_ilfds([ILFD({"a": "1"}, {"b": "2", "c": "3"})])
+
+    def test_contradictory_rows_rejected(self):
+        with pytest.raises(ILFDError):
+            ILFDTable(
+                ["speciality"],
+                "cuisine",
+                [("Hunan", "Chinese"), ("Hunan", "Greek")],
+            )
+
+    def test_derived_cannot_be_antecedent(self):
+        with pytest.raises(MalformedILFDError):
+            ILFDTable(["a"], "a", [])
+
+    def test_partition_into_tables(self):
+        ilfds = ILFDSet(
+            [
+                ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}),
+                ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"}),
+                ILFD({"street": "FrontAve."}, {"county": "Ramsey"}),
+            ]
+        )
+        tables = partition_into_tables(ilfds)
+        assert len(tables) == 2
+        sizes = sorted(len(t) for t in tables)
+        assert sizes == [1, 2]
+
+
+@pytest.fixture
+def example3_ilfds():
+    return ILFDSet(
+        [
+            ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}, name="I1"),
+            ILFD({"speciality": "Sichuan"}, {"cuisine": "Chinese"}, name="I2"),
+            ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"}, name="I3"),
+            ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"}, name="I4"),
+            ILFD({"name": "TwinCities", "street": "Co.B2"}, {"speciality": "Hunan"}, name="I5"),
+            ILFD({"street": "FrontAve."}, {"county": "Ramsey"}, name="I7"),
+            ILFD({"name": "It'sGreek", "county": "Ramsey"}, {"speciality": "Gyros"}, name="I8"),
+        ]
+    )
+
+
+class TestDerivationEngineFirstMatch:
+    def test_simple_derivation(self, example3_ilfds):
+        engine = DerivationEngine(example3_ilfds)
+        result = engine.extend_row({"speciality": "Hunan"}, ["cuisine"])
+        assert result.row["cuisine"] == "Chinese"
+        assert result.derived == {"cuisine": "Chinese"}
+
+    def test_recursive_chaining_replaces_derived_ilfd_i9(self, example3_ilfds):
+        engine = DerivationEngine(example3_ilfds)
+        result = engine.extend_row(
+            {"name": "It'sGreek", "street": "FrontAve."}, ["speciality"]
+        )
+        assert result.row["speciality"] == "Gyros"
+        assert [f.name for f in result.fired] == ["I7", "I8"]
+
+    def test_underivable_stays_null(self, example3_ilfds):
+        engine = DerivationEngine(example3_ilfds)
+        result = engine.extend_row({"name": "VillageWok"}, ["speciality"])
+        assert is_null(result.row["speciality"])
+        assert result.derived == {}
+
+    def test_stored_value_shadows_rules(self, example3_ilfds):
+        engine = DerivationEngine(example3_ilfds)
+        result = engine.extend_row(
+            {"speciality": "Hunan", "cuisine": "AlreadySet"}, ["cuisine"]
+        )
+        assert result.row["cuisine"] == "AlreadySet"
+        assert result.contradictions == {"cuisine": ("AlreadySet", "Chinese")}
+
+    def test_first_match_order_is_the_cut(self):
+        first = ILFD({"a": "1"}, {"b": "first"})
+        second = ILFD({"a": "1"}, {"b": "second"})
+        engine = DerivationEngine(ILFDSet([first, second]))
+        result = engine.extend_row({"a": "1"}, ["b"])
+        assert result.row["b"] == "first"
+        engine2 = DerivationEngine(ILFDSet([second, first]))
+        assert engine2.extend_row({"a": "1"}, ["b"]).row["b"] == "second"
+
+    def test_first_match_order_across_signatures(self):
+        """Rules with different antecedent shapes still fire in strict
+        declaration order (the value index must not reorder them)."""
+        by_pair = ILFD({"a": "1", "b": "2"}, {"t": "from-pair"})
+        by_single = ILFD({"a": "1"}, {"t": "from-single"})
+        row = {"a": "1", "b": "2"}
+        first = DerivationEngine(ILFDSet([by_pair, by_single]))
+        assert first.extend_row(row, ["t"]).row["t"] == "from-pair"
+        second = DerivationEngine(ILFDSet([by_single, by_pair]))
+        assert second.extend_row(row, ["t"]).row["t"] == "from-single"
+
+    def test_large_uniform_family_is_indexed(self):
+        """A 1000-rule family behaves like Table 8: one lookup, right value."""
+        family = ILFDSet(
+            ILFD({"code": str(i)}, {"label": f"L{i}"}) for i in range(1000)
+        )
+        engine = DerivationEngine(family)
+        result = engine.extend_row({"code": "777"}, ["label"])
+        assert result.row["label"] == "L777"
+        assert len(result.fired) == 1
+
+    def test_contradiction_detection_uses_index(self):
+        """Stored-value contradictions are still reported post-indexing."""
+        family = ILFDSet(
+            ILFD({"code": str(i)}, {"label": f"L{i}"}) for i in range(50)
+        )
+        engine = DerivationEngine(family)
+        result = engine.extend_row({"code": "7", "label": "WRONG"}, ["label"])
+        assert result.contradictions == {"label": ("WRONG", "L7")}
+
+    def test_cycle_terminates(self):
+        ilfds = ILFDSet(
+            [
+                ILFD({"a": "1"}, {"b": "1"}),
+                ILFD({"b": "1"}, {"a": "1"}),
+            ]
+        )
+        engine = DerivationEngine(ilfds)
+        result = engine.extend_row({"c": "x"}, ["a", "b"])
+        assert is_null(result.row["a"]) and is_null(result.row["b"])
+
+    def test_derivable_attributes(self, example3_ilfds):
+        engine = DerivationEngine(example3_ilfds)
+        assert engine.derivable_attributes() == {"cuisine", "speciality", "county"}
+
+
+class TestDerivationEngineAllConsistent:
+    def test_fixpoint_chase(self, example3_ilfds):
+        engine = DerivationEngine(
+            example3_ilfds, policy=DerivationPolicy.ALL_CONSISTENT
+        )
+        result = engine.extend_row(
+            {"name": "It'sGreek", "street": "FrontAve."},
+            ["speciality", "cuisine", "county"],
+        )
+        assert result.row["speciality"] == "Gyros"
+        assert result.row["cuisine"] == "Greek"
+        assert result.row["county"] == "Ramsey"
+
+    def test_conflict_raises(self):
+        ilfds = ILFDSet(
+            [
+                ILFD({"a": "1"}, {"b": "x"}),
+                ILFD({"c": "2"}, {"b": "y"}),
+            ]
+        )
+        engine = DerivationEngine(ilfds, policy=DerivationPolicy.ALL_CONSISTENT)
+        with pytest.raises(DerivationConflictError):
+            engine.extend_row({"a": "1", "c": "2"}, ["b"])
+
+    def test_agreeing_ilfds_no_conflict(self):
+        ilfds = ILFDSet(
+            [
+                ILFD({"a": "1"}, {"b": "x"}),
+                ILFD({"c": "2"}, {"b": "x"}),
+            ]
+        )
+        engine = DerivationEngine(ilfds, policy=DerivationPolicy.ALL_CONSISTENT)
+        result = engine.extend_row({"a": "1", "c": "2"}, ["b"])
+        assert result.row["b"] == "x"
+
+    def test_contradiction_against_stored_value(self):
+        ilfds = ILFDSet([ILFD({"a": "1"}, {"b": "x"})])
+        engine = DerivationEngine(ilfds, policy=DerivationPolicy.ALL_CONSISTENT)
+        result = engine.extend_row({"a": "1", "b": "stored"}, ["b"])
+        assert result.row["b"] == "stored"
+        assert result.contradictions == {"b": ("stored", "x")}
+
+
+class TestExtendRelation:
+    def test_extends_schema_and_rows(self, example3_ilfds):
+        schema = Schema(
+            [string_attribute("name"), string_attribute("street")],
+            keys=[("name",)],
+        )
+        relation = Relation(
+            schema,
+            [("It'sGreek", "FrontAve."), ("VillageWok", "Wash.Ave.")],
+            name="R",
+        )
+        engine = DerivationEngine(example3_ilfds)
+        extended = engine.extend_relation(relation, ["speciality", "cuisine"])
+        assert "speciality" in extended.schema
+        rows = {row["name"]: row for row in extended}
+        assert rows["It'sGreek"]["speciality"] == "Gyros"
+        assert is_null(rows["VillageWok"]["speciality"])
+        assert extended.name == "R'"
+
+    def test_strict_raises_on_contradiction(self):
+        schema = Schema(
+            [string_attribute("a"), string_attribute("b")], keys=[("a",)]
+        )
+        relation = Relation(schema, [("1", "stored")], name="R")
+        engine = DerivationEngine(ILFDSet([ILFD({"a": "1"}, {"b": "x"})]))
+        with pytest.raises(DerivationConflictError):
+            engine.extend_relation(relation, ["b"], strict=True)
+        relaxed = engine.extend_relation(relation, ["b"])
+        assert relaxed.rows[0]["b"] == "stored"

@@ -1,0 +1,193 @@
+"""Tests for violation checking, the FD bridge (Prop. 2), and min covers."""
+
+import pytest
+
+from repro.ilfd.fd_bridge import (
+    FD,
+    FDSet,
+    attribute_closure,
+    fd_holds_in,
+    fds_from_ilfd_tables,
+    ilfd_family_implies_fd,
+    ilfds_complete_for_fd,
+)
+from repro.ilfd.axioms import equivalent, implies
+from repro.ilfd.errors import MalformedILFDError
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.ilfd.mincover import minimal_cover, reduce_antecedent, remove_redundant
+from repro.ilfd.violations import check_relation, consistent_subset, satisfies
+from repro.relational.attribute import string_attribute
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def restaurant_relation(rows):
+    schema = Schema(
+        [string_attribute("speciality"), string_attribute("cuisine")],
+    )
+    return Relation(schema, rows, name="T", enforce_keys=False)
+
+
+MUGHALAI = ILFD({"speciality": "Mughalai"}, {"cuisine": "Indian"})
+
+
+class TestViolations:
+    def test_satisfies(self):
+        table = restaurant_relation([("Mughalai", "Indian"), ("Gyros", "Greek")])
+        assert satisfies(table, [MUGHALAI])
+
+    def test_violation_detected(self):
+        table = restaurant_relation([("Mughalai", "Greek")])
+        assert not satisfies(table, [MUGHALAI])
+        violations = check_relation(table, [MUGHALAI])
+        assert len(violations) == 1
+        assert violations[0].ilfd == MUGHALAI
+
+    def test_null_consequent_is_not_a_violation(self):
+        table = restaurant_relation([{"speciality": "Mughalai", "cuisine": NULL}])
+        assert satisfies(table, [MUGHALAI])
+
+    def test_consistent_subset(self):
+        table = restaurant_relation(
+            [("Mughalai", "Indian"), ("Mughalai2", "Greek"), ("Mughalai", "Greek")]
+        )
+        clean, violations = consistent_subset(table, [MUGHALAI])
+        assert len(clean) == 2 and len(violations) == 1
+
+
+class TestClassicalFDs:
+    def test_fd_shape(self):
+        fd = FD(frozenset({"a"}), frozenset({"b"}))
+        assert not fd.is_trivial()
+        assert FD(frozenset({"a", "b"}), frozenset({"a"})).is_trivial()
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(MalformedILFDError):
+            FD(frozenset(), frozenset({"b"}))
+
+    def test_attribute_closure(self):
+        fds = FDSet([FD({"a"}, {"b"}), FD({"b"}, {"c"})])
+        assert attribute_closure({"a"}, fds) == {"a", "b", "c"}
+
+    def test_fdset_implies(self):
+        fds = FDSet([FD({"a"}, {"b"}), FD({"b"}, {"c"})])
+        assert fds.implies(FD({"a"}, {"c"}))
+        assert not fds.implies(FD({"c"}, {"a"}))
+
+    def test_fd_holds_in(self):
+        table = restaurant_relation([("Mughalai", "Indian"), ("Gyros", "Greek")])
+        assert fd_holds_in(table, FD({"speciality"}, {"cuisine"}))
+        bad = restaurant_relation([("Mughalai", "Indian"), ("Mughalai", "Greek")])
+        assert not fd_holds_in(bad, FD({"speciality"}, {"cuisine"}))
+
+    def test_fd_holds_in_skips_null_lhs(self):
+        table = restaurant_relation(
+            [
+                {"speciality": NULL, "cuisine": "Indian"},
+                {"speciality": NULL, "cuisine": "Greek"},
+            ]
+        )
+        assert fd_holds_in(table, FD({"speciality"}, {"cuisine"}))
+
+
+class TestProposition2:
+    DOMAIN = {"speciality": ["Hunan", "Gyros"]}
+    FAMILY = ILFDSet(
+        [
+            ILFD({"speciality": "Hunan"}, {"cuisine": "Chinese"}),
+            ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"}),
+        ]
+    )
+
+    def test_complete_family_implies_fd(self):
+        fd = ilfd_family_implies_fd(self.FAMILY, ["speciality"], ["cuisine"], self.DOMAIN)
+        assert fd == FD({"speciality"}, {"cuisine"})
+
+    def test_incomplete_family_does_not(self):
+        domains = {"speciality": ["Hunan", "Gyros", "Sushi"]}
+        assert not ilfds_complete_for_fd(self.FAMILY, ["speciality"], ["cuisine"], domains)
+        assert ilfd_family_implies_fd(self.FAMILY, ["speciality"], ["cuisine"], domains) is None
+
+    def test_implied_fd_really_holds(self):
+        # semantic check: every relation satisfying the family satisfies the FD
+        table = restaurant_relation([("Hunan", "Chinese"), ("Gyros", "Greek")])
+        assert satisfies(table, self.FAMILY)
+        assert fd_holds_in(table, FD({"speciality"}, {"cuisine"}))
+
+    def test_completeness_via_closure_not_just_raw_ilfds(self):
+        # the required ILFD may be *implied* rather than present verbatim
+        family = ILFDSet(
+            [
+                ILFD({"speciality": "Hunan"}, {"region": "Asia"}),
+                ILFD({"region": "Asia"}, {"cuisine": "Chinese"}),
+                ILFD({"speciality": "Gyros"}, {"cuisine": "Greek"}),
+            ]
+        )
+        assert ilfds_complete_for_fd(family, ["speciality"], ["cuisine"], self.DOMAIN)
+
+    def test_missing_domain_rejected(self):
+        with pytest.raises(MalformedILFDError):
+            ilfds_complete_for_fd(self.FAMILY, ["speciality"], ["cuisine"], {})
+
+    def test_fds_from_ilfd_tables(self):
+        fds = fds_from_ilfd_tables(self.FAMILY, self.DOMAIN)
+        assert FD({"speciality"}, {"cuisine"}) in fds
+
+
+class TestMinimalCover:
+    def test_redundant_ilfd_removed(self):
+        chain = ILFDSet(
+            [
+                ILFD({"A": "a"}, {"B": "b"}),
+                ILFD({"B": "b"}, {"C": "c"}),
+                ILFD({"A": "a"}, {"C": "c"}),  # implied by the other two
+            ]
+        )
+        cover = minimal_cover(chain)
+        assert len(cover) == 2
+        assert equivalent(cover, chain)
+
+    def test_trivial_removed(self):
+        ilfds = ILFDSet(
+            [ILFD({"A": "a"}, {"A": "a"}), ILFD({"A": "a"}, {"B": "b"})]
+        )
+        assert len(remove_redundant(ilfds)) == 1
+
+    def test_extraneous_antecedent_reduced(self):
+        ilfds = ILFDSet(
+            [
+                ILFD({"A": "a"}, {"B": "b"}),
+                ILFD({"A": "a", "Z": "z"}, {"B": "b"}),  # Z is extraneous
+            ]
+        )
+        reduced = reduce_antecedent(ilfds[1], ilfds)
+        assert reduced == ILFD({"A": "a"}, {"B": "b"})
+
+    def test_cover_splits_consequents(self):
+        ilfds = ILFDSet([ILFD({"A": "a"}, {"B": "b", "C": "c"})])
+        cover = minimal_cover(ilfds)
+        assert all(len(f.consequent) == 1 for f in cover)
+        assert equivalent(cover, ilfds)
+
+    def test_cover_preserves_closure(self):
+        ilfds = ILFDSet(
+            [
+                ILFD({"A": "a"}, {"B": "b"}),
+                ILFD({"B": "b"}, {"C": "c", "D": "d"}),
+                ILFD({"A": "a", "B": "b"}, {"C": "c"}),
+            ]
+        )
+        cover = minimal_cover(ilfds)
+        assert equivalent(cover, ilfds)
+
+    def test_cover_is_minimal(self):
+        ilfds = ILFDSet(
+            [
+                ILFD({"A": "a"}, {"B": "b"}),
+                ILFD({"B": "b"}, {"C": "c"}),
+            ]
+        )
+        cover = minimal_cover(ilfds)
+        for ilfd in cover:
+            assert not implies(cover.without(ilfd), ilfd)

@@ -1,0 +1,91 @@
+"""Tests for the literal Appendix program (transcribed text, consulted)."""
+
+import pytest
+
+from repro.prolog.appendix import (
+    NAME_ONLY_MATCHTABLE_RULE,
+    SOUND_MATCHTABLE_RULE,
+    appendix_engine,
+    integrated_rows,
+    matchtable_rows,
+    setup_extkey,
+)
+from repro.prolog.prototype import restaurant_prototype
+
+SECTION6_INTEGRATED = [
+    ("anjuman", "indian", "mughalai", "anjuman", "indian", "mughalai",
+     "le_salle_ave", "minneapolis"),
+    ("itsgreek", "greek", "gyros", "itsgreek", "greek", "gyros",
+     "front_ave", "ramsey"),
+    ("null", "null", "null", "twincities", "chinese", "sichuan",
+     "null", "hennepin"),
+    ("twincities", "chinese", "hunan", "twincities", "chinese", "hunan",
+     "co_B2", "roseville"),
+    ("twincities", "indian", "null", "null", "null", "null",
+     "co_B3", "null"),
+    ("villagewok", "chinese", "null", "null", "null", "null",
+     "wash_ave", "null"),
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return appendix_engine()
+
+
+class TestAppendixProgram:
+    def test_sound_key_verified(self, engine):
+        message = setup_extkey(engine, SOUND_MATCHTABLE_RULE)
+        assert message == "Message: The extended key is verified."
+
+    def test_matchtable_is_section6(self, engine):
+        setup_extkey(engine, SOUND_MATCHTABLE_RULE)
+        assert matchtable_rows(engine) == [
+            ("anjuman", "indian", "anjuman", "mughalai"),
+            ("itsgreek", "greek", "itsgreek", "gyros"),
+            ("twincities", "chinese", "twincities", "hunan"),
+        ]
+
+    def test_integrated_table_is_section6(self, engine):
+        setup_extkey(engine, SOUND_MATCHTABLE_RULE)
+        assert integrated_rows(engine) == sorted(SECTION6_INTEGRATED)
+
+    def test_name_only_key_warns(self, engine):
+        message = setup_extkey(engine, NAME_ONLY_MATCHTABLE_RULE)
+        assert message == (
+            "Message: The extended key causes unsound matching result."
+        )
+        # restore for other tests in the module
+        setup_extkey(engine, SOUND_MATCHTABLE_RULE)
+
+    def test_derived_values_through_cuts(self, engine):
+        # the ILFD chain: r3's speciality via r_cty (I7 then I8)
+        assert engine.succeeds("r_spec(r3, gyros)")
+        # the cut prevents the NULL default once an ILFD fires
+        rows = engine.query("r_spec(r1, X)")
+        assert [str(b["X"]) for b in rows] == ["hunan"]
+        # underivable speciality falls through to null
+        rows = engine.query("r_spec(r5, X)")
+        assert [str(b["X"]) for b in rows] == ["null"]
+
+    def test_non_null_eq_in_program(self, engine):
+        assert engine.succeeds("non_null_eq(a, a)")
+        assert not engine.succeeds("non_null_eq(null, null)")
+
+    def test_agrees_with_generated_prototype(self, engine):
+        setup_extkey(engine, SOUND_MATCHTABLE_RULE)
+        generated = restaurant_prototype()
+        generated.setup_extkey(["name", "speciality", "cuisine"])
+        generated_rows = [
+            (row["r_name"], row["r_cui"], row["s_name"], row["s_spec"])
+            for row in generated.matchtable_rows()
+        ]
+        assert matchtable_rows(engine) == generated_rows
+
+    def test_print_and_name_builtins(self, engine):
+        engine.take_output()
+        assert engine.succeeds("acknowledge")
+        assert engine.take_output() == "Message: The extended key is verified.\n"
+
+    def test_appendix_length(self, engine):
+        assert engine.succeeds("length([a,b,c], 0+1+1+1)")

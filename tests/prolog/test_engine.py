@@ -1,0 +1,226 @@
+"""Tests for SLD resolution: cut, negation, setof/bagof, renaming."""
+
+import pytest
+
+from repro.prolog.engine import Clause, Database, PrologEngine, resolve, unify, walk
+from repro.prolog.errors import PrologError
+from repro.prolog.parser import parse_query, parse_term
+from repro.prolog.terms import Atom, Struct, Var
+
+
+def engine_for(program: str, max_steps: int = 200_000) -> PrologEngine:
+    db = Database()
+    db.consult(program)
+    return PrologEngine(db, max_steps=max_steps)
+
+
+class TestUnification:
+    def test_atom_unification(self):
+        assert unify(Atom("a"), Atom("a"), {}) == {}
+        assert unify(Atom("a"), Atom("b"), {}) is None
+
+    def test_variable_binding(self):
+        subst = unify(Var("X"), Atom("a"), {})
+        assert walk(Var("X"), subst) == Atom("a")
+
+    def test_struct_unification(self):
+        left = Struct("f", (Var("X"), Atom("b")))
+        right = Struct("f", (Atom("a"), Var("Y")))
+        subst = unify(left, right, {})
+        assert walk(Var("X"), subst) == Atom("a")
+        assert walk(Var("Y"), subst) == Atom("b")
+
+    def test_arity_mismatch(self):
+        assert unify(Struct("f", (Atom("a"),)), Struct("f", (Atom("a"), Atom("b"))), {}) is None
+
+    def test_resolve_deep(self):
+        subst = {Var("X"): Struct("f", (Var("Y"),)), Var("Y"): Atom("a")}
+        assert resolve(Var("X"), subst) == Struct("f", (Atom("a"),))
+
+
+class TestResolution:
+    def test_facts(self):
+        engine = engine_for("p(a). p(b).")
+        results = engine.query("p(X)")
+        assert [str(r["X"]) for r in results] == ["a", "b"]
+
+    def test_conjunction(self):
+        engine = engine_for("p(a). p(b). q(b).")
+        results = engine.query("p(X), q(X)")
+        assert [str(r["X"]) for r in results] == ["b"]
+
+    def test_rules_and_recursion(self):
+        engine = engine_for(
+            """
+            edge(a, b). edge(b, c). edge(c, d).
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            """
+        )
+        assert engine.succeeds("path(a, d)")
+        assert not engine.succeeds("path(d, a)")
+
+    def test_clause_order_respected(self):
+        engine = engine_for("pick(first). pick(second).")
+        results = engine.query("pick(X)")
+        assert str(results[0]["X"]) == "first"
+
+    def test_variable_renaming_between_calls(self):
+        engine = engine_for("id(X, X). test(A, B) :- id(A, a), id(B, b).")
+        results = engine.query("test(A, B)")
+        assert str(results[0]["A"]) == "a" and str(results[0]["B"]) == "b"
+
+    def test_unbound_goal_raises(self):
+        engine = engine_for("p(a).")
+        with pytest.raises(PrologError):
+            list(engine.solve([Var("G")]))
+
+    def test_step_budget(self):
+        engine = engine_for("loop :- loop.", max_steps=1000)
+        with pytest.raises(PrologError):
+            engine.succeeds("loop")
+
+
+class TestCut:
+    def test_cut_commits_to_first_clause(self):
+        engine = engine_for(
+            """
+            pick(X) :- first(X), !.
+            pick(fallback).
+            first(one).
+            """
+        )
+        results = engine.query("pick(X)")
+        assert [str(r["X"]) for r in results] == ["one"]
+
+    def test_fallback_used_when_cut_clause_fails(self):
+        engine = engine_for(
+            """
+            pick(X) :- first(X), !.
+            pick(fallback).
+            """
+        )
+        results = engine.query("pick(X)")
+        assert [str(r["X"]) for r in results] == ["fallback"]
+
+    def test_cut_prunes_left_alternatives(self):
+        engine = engine_for(
+            """
+            num(one). num(two).
+            f(X) :- num(X), !.
+            """
+        )
+        assert [str(r["X"]) for r in engine.query("f(X)")] == ["one"]
+
+    def test_cut_is_local_to_predicate(self):
+        engine = engine_for(
+            """
+            inner(X) :- num(X), !.
+            num(one). num(two).
+            outer(X, Y) :- choice(Y), inner(X).
+            choice(a). choice(b).
+            """
+        )
+        results = engine.query("outer(X, Y)")
+        assert [(str(r["X"]), str(r["Y"])) for r in results] == [
+            ("one", "a"),
+            ("one", "b"),
+        ]
+
+
+class TestNegationAndBuiltins:
+    def test_negation_as_failure(self):
+        engine = engine_for("p(a).")
+        assert engine.succeeds("not p(b)")
+        assert not engine.succeeds("not p(a)")
+
+    def test_unify_builtin(self):
+        engine = engine_for("p(a).")
+        results = engine.query("p(X), Y = X")
+        assert str(results[0]["Y"]) == "a"
+
+    def test_non_null_eq_idiom(self):
+        engine = engine_for(
+            "non_null_eq(A, B) :- not A = null, not B = null, A = B."
+        )
+        assert engine.succeeds("non_null_eq(x, x)")
+        assert not engine.succeeds("non_null_eq(null, null)")
+        assert not engine.succeeds("non_null_eq(x, y)")
+
+    def test_bagof_collects_duplicates(self):
+        engine = engine_for("p(a). p(b). p(a) :- fail. q(a). q(a) :- true.")
+        results = engine.query("bagof(X, q(X), L)")
+        assert str(results[0]["L"]) == "[a,a]"
+
+    def test_bagof_fails_on_empty(self):
+        engine = engine_for("p(a).")
+        assert not engine.succeeds("bagof(X, zz(X), L)")
+
+    def test_setof_sorts_and_dedups(self):
+        engine = engine_for("p(b). p(a). p(b).", max_steps=10000)
+        # duplicate fact is rejected by consult? (no – Database allows it)
+        results = engine.query("setof(X, p(X), L)")
+        assert str(results[0]["L"]) == "[a,b]"
+
+    def test_appendix_length_definition(self):
+        engine = engine_for(
+            """
+            length([], 0).
+            length([_X|Xs], N+1) :- length(Xs, N).
+            """
+        )
+        results = engine.query("length([a,b,c], N)")
+        assert str(results[0]["N"]) == "0+1+1+1"
+        # structural equality of lengths, as used by `correct`
+        assert engine.succeeds("length([a,b], N1), length([c,d], N2), N1 = N2")
+        assert not engine.succeeds("length([a], N1), length([c,d], N2), N1 = N2")
+
+    def test_findall_empty_list_on_no_solutions(self):
+        engine = engine_for("p(a).")
+        rows = engine.query("findall(X, zz(X), L)")
+        assert str(rows[0]["L"]) == "[]"
+
+    def test_findall_collects(self):
+        engine = engine_for("p(a). p(b).")
+        rows = engine.query("findall(X, p(X), L)")
+        assert str(rows[0]["L"]) == "[a,b]"
+
+    def test_assertz_adds_fact(self):
+        engine = engine_for("p(a).")
+        assert not engine.succeeds("p(b)")
+        assert engine.succeeds("assertz(p(b))")
+        assert engine.succeeds("p(b)")
+
+    def test_assertz_of_unbound_raises(self):
+        engine = engine_for("p(a).")
+        with pytest.raises(PrologError):
+            engine.succeeds("assertz(X)")
+
+    def test_if_then_else_idiom(self):
+        engine = engine_for(
+            """
+            if_then_else(P, Q, _R) :- P, !, Q.
+            if_then_else(_P, _Q, R) :- R.
+            yes.
+            result(then) :- if_then_else(yes, true, fail).
+            result(else) :- if_then_else(no_such, fail, true).
+            """
+        )
+        assert engine.succeeds("result(then)")
+        assert engine.succeeds("result(else)")
+
+
+class TestDatabase:
+    def test_assert_and_retract(self):
+        db = Database()
+        db.assertz(Clause(parse_term("p(a)")))
+        engine = PrologEngine(db)
+        assert engine.succeeds("p(a)")
+        db.retract_all("p", 1)
+        assert not engine.succeeds("p(a)")
+
+    def test_defined(self):
+        db = Database()
+        assert not db.defined("p", 1)
+        db.assertz(Clause(parse_term("p(a)")))
+        assert db.defined("p", 1)

@@ -1,0 +1,127 @@
+"""Tests for the ported Section-6 prototype."""
+
+import pytest
+
+from repro.prolog.errors import PrologError
+from repro.prolog.prototype import (
+    UNSOUND_MESSAGE,
+    VERIFIED_MESSAGE,
+    PrototypeSystem,
+    restaurant_prototype,
+)
+from repro.workloads import restaurant_example_3
+
+
+@pytest.fixture(scope="module")
+def proto():
+    system = restaurant_prototype()
+    system.setup_extkey(["name", "speciality", "cuisine"])
+    return system
+
+
+class TestRestaurantPrototype:
+    def test_candidates_are_the_papers_menu(self, proto):
+        assert proto.candidate_attributes() == ["name", "cuisine", "speciality"]
+
+    def test_sound_key_verified(self):
+        system = restaurant_prototype()
+        assert system.setup_extkey(["name", "speciality", "cuisine"]) == VERIFIED_MESSAGE
+
+    def test_name_only_key_unsound(self):
+        system = restaurant_prototype()
+        assert system.setup_extkey(["name"]) == UNSOUND_MESSAGE
+
+    def test_matchtable_rows_match_section6(self, proto):
+        rows = proto.matchtable_rows()
+        assert rows == [
+            {"r_name": "anjuman", "r_cui": "indian",
+             "s_name": "anjuman", "s_spec": "mughalai"},
+            {"r_name": "itsgreek", "r_cui": "greek",
+             "s_name": "itsgreek", "s_spec": "gyros"},
+            {"r_name": "twincities", "r_cui": "chinese",
+             "s_name": "twincities", "s_spec": "hunan"},
+        ]
+
+    def test_print_matchtable_layout(self, proto):
+        text = proto.print_matchtable()
+        lines = text.splitlines()
+        assert "matching table" in lines[0]
+        assert lines[2].split() == ["r_name", "r_cui", "s_name", "s_spec"]
+        assert "twincities" in text
+
+    def test_integrated_table_contents(self, proto):
+        rows = proto.integrated_rows()
+        assert len(rows) == 6
+        # the Sichuan tuple survives unmatched with a NULL R side
+        sichuan = [r for r in rows if r.get("s_spec") == "sichuan"]
+        assert len(sichuan) == 1 and sichuan[0]["r_name"] == "null"
+        # the derived values appear: hunan row carries r_spec=hunan
+        hunan = [r for r in rows if r.get("s_spec") == "hunan"]
+        assert hunan[0]["r_spec"] == "hunan"
+        villagewok = [r for r in rows if r["r_name"] == "villagewok"]
+        assert villagewok[0]["s_name"] == "null"
+
+    def test_integrated_header_matches_section6(self, proto):
+        assert proto.integrated_header() == [
+            "r_name", "r_cui", "r_spec",
+            "s_name", "s_cui", "s_spec",
+            "r_str", "s_cty",
+        ]
+
+    def test_integrated_sort_order_matches_section6(self, proto):
+        names = [row["r_name"] for row in proto.integrated_rows()]
+        assert names == [
+            "anjuman", "itsgreek", "null",
+            "twincities", "twincities", "villagewok",
+        ]
+
+    def test_unknown_candidate_rejected(self):
+        system = restaurant_prototype()
+        with pytest.raises(PrologError):
+            system.setup_extkey(["street"])
+
+    def test_querying_before_setup_raises(self):
+        system = restaurant_prototype()
+        with pytest.raises(PrologError):
+            system.matchtable_rows()
+
+    def test_rekeying_replaces_rule(self):
+        system = restaurant_prototype()
+        assert system.setup_extkey(["name"]) == UNSOUND_MESSAGE
+        assert (
+            system.setup_extkey(["name", "speciality", "cuisine"])
+            == VERIFIED_MESSAGE
+        )
+        assert len(system.matchtable_rows()) == 3
+
+
+class TestGenericPrototype:
+    def test_generic_system_agrees_with_native(self):
+        from repro.core.identifier import EntityIdentifier
+
+        workload = restaurant_example_3()
+        system = PrototypeSystem(
+            workload.r,
+            workload.s,
+            workload.ilfds,
+            candidates=list(workload.extended_key),
+        )
+        message = system.setup_extkey(list(workload.extended_key))
+        assert message == VERIFIED_MESSAGE
+        native = EntityIdentifier(
+            workload.r, workload.s, workload.extended_key, ilfds=list(workload.ilfds)
+        ).matching_table()
+        assert len(system.matchtable_rows()) == len(native)
+
+    def test_generic_with_default_candidates(self):
+        workload = restaurant_example_3()
+        system = PrototypeSystem(workload.r, workload.s, workload.ilfds)
+        assert "name" in system.candidate_attributes()
+
+    def test_unsound_key_detected_generically(self):
+        workload = restaurant_example_3()
+        system = PrototypeSystem(
+            workload.r, workload.s, workload.ilfds,
+            candidates=list(workload.extended_key),
+        )
+        assert system.setup_extkey(["name", "cuisine"]) == UNSOUND_MESSAGE

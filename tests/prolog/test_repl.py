@@ -1,0 +1,68 @@
+"""Tests for the prototype REPL driver."""
+
+import pytest
+
+from repro.prolog.prototype import restaurant_prototype
+from repro.prolog.repl import PrototypeRepl
+
+
+@pytest.fixture
+def repl():
+    return PrototypeRepl(restaurant_prototype())
+
+
+class TestRepl:
+    def test_session_transcript(self, repl):
+        transcript = repl.run(
+            [
+                "candidates",
+                "setup_extkey name, speciality, cuisine",
+                "print_matchtable",
+                "print_integ_table",
+                "setup_extkey name",
+                "halt",
+            ]
+        )
+        assert "| ?- setup_extkey name, speciality, cuisine" in transcript
+        assert "Message: The extended key is verified." in transcript
+        assert "matching table" in transcript
+        assert "integrated table" in transcript
+        assert "Message: The extended key causes unsound matching result." in transcript
+        assert repl.halted
+
+    def test_candidates(self, repl):
+        out = repl.execute("candidates")
+        assert "[0] name" in out and "[2] speciality" in out
+
+    def test_query_command(self, repl):
+        repl.execute("setup_extkey name, speciality, cuisine")
+        out = repl.execute("query r_spec(r1, X).")
+        assert "X = hunan" in out
+
+    def test_query_no_solutions(self, repl):
+        out = repl.execute("query r_spec(nonexistent_id, gyros).")
+        assert out == "no"
+
+    def test_query_ground_success(self, repl):
+        out = repl.execute("query r_name(r1, twincities).")
+        assert out == "yes"
+
+    def test_unknown_command(self, repl):
+        assert "unknown command" in repl.execute("frobnicate")
+
+    def test_help(self, repl):
+        assert "setup_extkey" in repl.execute("help")
+
+    def test_error_reported_not_raised(self, repl):
+        out = repl.execute("setup_extkey not_a_candidate")
+        assert out.startswith("error:")
+
+    def test_verify_before_setup_reports_error(self, repl):
+        assert repl.execute("verify").startswith("error:")
+
+    def test_empty_line(self, repl):
+        assert repl.execute("   ") == ""
+
+    def test_halt_stops_run(self, repl):
+        transcript = repl.run(["halt", "candidates"])
+        assert "candidates" not in transcript.splitlines()[-1]

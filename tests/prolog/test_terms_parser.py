@@ -1,0 +1,117 @@
+"""Tests for Prolog terms and the reader."""
+
+import pytest
+
+from repro.prolog.errors import PrologParseError
+from repro.prolog.parser import parse_program, parse_query, parse_term
+from repro.prolog.terms import (
+    Atom,
+    Struct,
+    Var,
+    from_prolog_list,
+    make_list,
+    term_key,
+    variables_in,
+)
+
+
+class TestTerms:
+    def test_atom_rendering(self):
+        assert str(Atom("abc")) == "abc"
+        assert str(Atom("Has Space")) == "'Has Space'"
+        assert str(Atom("[]")) == "[]"
+
+    def test_var_rendering(self):
+        assert str(Var("X")) == "X"
+        assert str(Var("X", 3)) == "X_3"
+
+    def test_struct_rendering(self):
+        term = Struct("f", (Atom("a"), Var("X")))
+        assert str(term) == "f(a,X)"
+
+    def test_list_round_trip(self):
+        items = [Atom("a"), Atom("b"), Atom("c")]
+        lst = make_list(items)
+        assert from_prolog_list(lst) == items
+        assert str(lst) == "[a,b,c]"
+
+    def test_improper_list(self):
+        lst = make_list([Atom("a")], tail=Var("T"))
+        assert from_prolog_list(lst) is None
+        assert str(lst) == "[a|T]"
+
+    def test_variables_in(self):
+        term = Struct("f", (Var("X"), Struct("g", (Var("Y"), Var("X")))))
+        assert variables_in(term) == [Var("X"), Var("Y")]
+
+    def test_term_key_total_order(self):
+        keys = sorted([term_key(Atom("b")), term_key(Atom("a"))])
+        assert keys == ["a", "b"]
+
+
+class TestParser:
+    def test_fact(self):
+        clauses = parse_program("r_name(r1, twincities).")
+        assert clauses == [(Struct("r_name", (Atom("r1"), Atom("twincities"))), [])]
+
+    def test_rule_with_cut(self):
+        clauses = parse_program(
+            "s_cui(Sid, chinese) :- s_spec(Sid, hunan), !."
+        )
+        head, body = clauses[0]
+        assert head.functor == "s_cui"
+        assert body[-1] == Atom("!")
+
+    def test_quoted_atom(self):
+        term = parse_term("'Co.B2'")
+        assert term == Atom("Co.B2")
+
+    def test_quoted_atom_with_escape(self):
+        assert parse_term(r"'It\'s'") == Atom("It's")
+
+    def test_variables_and_anonymous(self):
+        goals = parse_query("f(X, _, _)")
+        args = goals[0].args
+        assert args[0] == Var("X")
+        assert args[1] != args[2]  # each _ is fresh
+
+    def test_list_syntax(self):
+        term = parse_term("[a,b|T]")
+        assert str(term) == "[a,b|T]"
+
+    def test_empty_list(self):
+        assert parse_term("[]") == Atom("[]")
+
+    def test_not_prefix(self):
+        term = parse_term("not f(X)")
+        assert term.functor == "not"
+
+    def test_infix_equality(self):
+        term = parse_term("X = y")
+        assert term == Struct("=", (Var("X"), Atom("y")))
+
+    def test_plus_binds_tighter_than_eq(self):
+        term = parse_term("N = M+1")
+        assert term.functor == "="
+        assert term.args[1].functor == "+"
+
+    def test_comments_stripped(self):
+        clauses = parse_program("% comment\n/* block */ f(a). ")
+        assert len(clauses) == 1
+
+    def test_numbers_become_atoms(self):
+        assert parse_term("0") == Atom("0")
+
+    def test_parenthesised_conjunction(self):
+        clauses = parse_program("a :- (b, c), d.")
+        _, body = clauses[0]
+        assert [str(g) for g in body] == ["b", "c", "d"]
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises(PrologParseError):
+            parse_program("f(a)")  # missing period
+        with pytest.raises(PrologParseError):
+            parse_term("@#$")
+
+    def test_query_trailing_period_ok(self):
+        assert len(parse_query("f(X), g(X).")) == 2

@@ -1,0 +1,128 @@
+"""Property-based tests of the relational algebra substrate."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.algebra import (
+    difference,
+    full_outer_join,
+    intersection,
+    left_outer_join,
+    natural_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.attribute import string_attribute
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+VALUES = ["x", "y", "z", "__null__"]
+
+
+def _schema(names):
+    return Schema([string_attribute(n) for n in names])
+
+
+@st.composite
+def relations(draw, names=("k", "v")):
+    n_rows = draw(st.integers(min_value=0, max_value=6))
+    rows = []
+    seen = set()
+    for _ in range(n_rows):
+        row = {}
+        for name in names:
+            value = draw(st.sampled_from(VALUES))
+            row[name] = NULL if value == "__null__" else value
+        key = tuple(sorted((k, str(v)) for k, v in row.items()))
+        if key not in seen:
+            seen.add(key)
+            rows.append(row)
+    return Relation(_schema(names), rows, name="T", enforce_keys=False)
+
+
+left_rels = relations(names=("k", "a"))
+right_rels = relations(names=("k", "b"))
+
+
+@given(t=relations())
+def test_union_idempotent(t):
+    assert union(t, t) == t
+
+
+@given(a=relations(), b=relations())
+def test_union_commutative(a, b):
+    assert union(a, b) == union(b, a)
+
+
+@given(a=relations(), b=relations())
+def test_difference_subset(a, b):
+    assert difference(a, b).row_set <= a.row_set
+
+
+@given(a=relations(), b=relations())
+def test_intersection_via_difference(a, b):
+    assert intersection(a, b) == difference(a, difference(a, b))
+
+
+@given(t=relations())
+def test_project_is_idempotent(t):
+    once = project(t, ["k"])
+    assert project(once, ["k"]) == once
+
+
+@given(t=relations())
+def test_select_true_is_identity(t):
+    assert select(t, lambda row: True).row_set == t.row_set
+
+
+@given(t=relations())
+def test_rename_round_trip(t):
+    there = rename(t, {"k": "kk"})
+    back = rename(there, {"kk": "k"})
+    assert back.row_set == t.row_set
+
+
+@given(a=left_rels, b=right_rels)
+def test_natural_join_subset_of_outer_join(a, b):
+    inner = natural_join(a, b, on=["k"])
+    outer = full_outer_join(a, b, on=["k"])
+    assert inner.row_set <= outer.row_set
+
+
+@given(a=left_rels, b=right_rels)
+def test_outer_join_covers_both_sides(a, b):
+    """Every input tuple's key appears in the full outer join."""
+    outer = full_outer_join(a, b, on=["k"])
+    out_keys = {row["k"] for row in outer}
+    for row in a:
+        assert row["k"] in out_keys
+    for row in b:
+        assert row["k"] in out_keys
+
+
+@given(a=left_rels, b=right_rels)
+def test_join_never_matches_nulls(a, b):
+    joined = natural_join(a, b, on=["k"])
+    assert all(not is_null(row["k"]) for row in joined)
+
+
+@given(a=left_rels, b=right_rels)
+def test_left_outer_join_preserves_left_cardinality_lower_bound(a, b):
+    result = left_outer_join(a, b, on=["k"])
+    # every left row contributes at least one output row
+    left_keys = [row["k"] for row in a]
+    assert len(result) >= len(set(left_keys)) if left_keys else True
+
+
+@given(a=left_rels, b=right_rels)
+def test_join_rows_agree_on_join_attribute(a, b):
+    joined = natural_join(a, b, on=["k"])
+    a_index = {}
+    for row in a:
+        if not is_null(row["k"]):
+            a_index.setdefault(row["k"], set()).add(row["a"])
+    for row in joined:
+        assert row["a"] in a_index[row["k"]]

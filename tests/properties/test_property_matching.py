@@ -1,0 +1,139 @@
+"""Property-based tests of the identification pipeline's invariants.
+
+On generated restaurant workloads (arbitrary seeds, sizes, overlap, and
+ILFD coverage):
+
+- **soundness**: every declared match is a true match (precision 1.0),
+- the matching table satisfies the uniqueness constraint,
+- MT and NMT never overlap (consistency constraint),
+- the algebraic path and the pipeline agree,
+- adding knowledge is monotone.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra_construction import algebraic_matching_table
+from repro.core.identifier import EntityIdentifier
+from repro.core.matching_table import check_consistency
+from repro.ilfd.tables import partition_into_tables
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+specs = st.builds(
+    RestaurantWorkloadSpec,
+    n_entities=st.integers(min_value=5, max_value=40),
+    name_pool=st.just(25),
+    derivable_fraction=st.floats(min_value=0.0, max_value=1.0),
+    overlap=st.floats(min_value=0.0, max_value=0.6),
+    r_only=st.floats(min_value=0.0, max_value=0.2),
+    s_only=st.floats(min_value=0.0, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _identifier(workload, **kwargs):
+    kwargs.setdefault("derive_ilfd_distinctness", False)
+    return EntityIdentifier(
+        workload.r,
+        workload.s,
+        workload.extended_key,
+        ilfds=list(workload.ilfds),
+        **kwargs,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs)
+def test_matching_is_sound(spec):
+    workload = restaurant_workload(spec)
+    matching = _identifier(workload).matching_table()
+    assert matching.pairs() <= workload.truth
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs)
+def test_uniqueness_constraint_holds(spec):
+    workload = restaurant_workload(spec)
+    identifier = _identifier(workload)
+    assert identifier.verify().is_sound
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=specs)
+def test_consistency_constraint_holds(spec):
+    workload = restaurant_workload(spec)
+    identifier = _identifier(workload, derive_ilfd_distinctness=True)
+    check_consistency(
+        identifier.matching_table(), identifier.negative_matching_table()
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=specs)
+def test_algebraic_path_agrees_with_pipeline(spec):
+    workload = restaurant_workload(spec)
+    pipeline = _identifier(workload).matching_table()
+    tables = partition_into_tables(workload.ilfds)
+    algebraic = algebraic_matching_table(
+        workload.r, workload.s, workload.extended_key, tables
+    )
+    assert algebraic.pairs() == pipeline.pairs()
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=specs, cut=st.integers(min_value=0, max_value=100))
+def test_knowledge_growth_is_monotone(spec, cut):
+    workload = restaurant_workload(spec)
+    ilfds = list(workload.ilfds)
+    prefix = ilfds[: max(1, len(ilfds) * cut // 100)]
+    fewer = EntityIdentifier(
+        workload.r,
+        workload.s,
+        workload.extended_key,
+        ilfds=prefix,
+        derive_ilfd_distinctness=False,
+    ).matching_table()
+    more = _identifier(workload).matching_table()
+    assert fewer.pairs() <= more.pairs()
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=specs)
+def test_integrated_table_cardinality(spec):
+    """|T_RS| = |R| + |S| − |MT| whenever the matching table is sound:
+    each matched pair merges exactly one tuple of each side."""
+    workload = restaurant_workload(spec)
+    identifier = _identifier(workload)
+    matching = identifier.matching_table()
+    if not identifier.verify().is_sound:
+        return
+    integrated = identifier.integrate()
+    assert len(integrated) == len(workload.r) + len(workload.s) - len(matching)
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=specs)
+def test_integration_conflict_free_on_clean_data(spec):
+    """Consistent splits of one universe can never produce attribute-value
+    conflicts among matched pairs."""
+    workload = restaurant_workload(spec)
+    identifier = _identifier(workload)
+    assert identifier.integrate().conflicts() == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=specs)
+def test_full_coverage_is_complete_on_matches(spec):
+    workload = restaurant_workload(
+        RestaurantWorkloadSpec(
+            n_entities=spec.n_entities,
+            name_pool=spec.name_pool,
+            derivable_fraction=1.0,
+            overlap=spec.overlap,
+            r_only=spec.r_only,
+            s_only=spec.s_only,
+            seed=spec.seed,
+        )
+    )
+    matching = _identifier(workload).matching_table()
+    assert matching.pairs() == workload.truth

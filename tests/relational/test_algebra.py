@@ -1,0 +1,169 @@
+"""Tests for the relational algebra operators."""
+
+import pytest
+
+from repro.relational.algebra import (
+    difference,
+    full_outer_join,
+    intersection,
+    left_outer_join,
+    natural_join,
+    product,
+    project,
+    rename,
+    right_outer_join,
+    select,
+    theta_join,
+    union,
+)
+from repro.relational.attribute import string_attribute
+from repro.relational.errors import SchemaMismatchError
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def rel(names, rows, key=None, name="T"):
+    schema = Schema(
+        [string_attribute(n) for n in names],
+        keys=[key] if key else None,
+    )
+    return Relation(schema, rows, name=name, enforce_keys=False)
+
+
+@pytest.fixture
+def left():
+    return rel(["k", "x"], [("1", "a"), ("2", "b"), ("3", "c")], key=("k",), name="L")
+
+
+@pytest.fixture
+def right():
+    return rel(["k", "y"], [("1", "p"), ("3", "q"), ("4", "r")], key=("k",), name="R")
+
+
+class TestUnaryOperators:
+    def test_select(self, left):
+        result = select(left, lambda row: row["x"] != "b")
+        assert len(result) == 2
+
+    def test_project_removes_duplicates(self):
+        table = rel(["a", "b"], [("1", "x"), ("2", "x")])
+        assert len(project(table, ["b"])) == 1
+
+    def test_project_column_order(self, left):
+        result = project(left, ["x", "k"])
+        assert result.schema.names == ("x", "k")
+
+    def test_rename(self, left):
+        result = rename(left, {"x": "z"})
+        assert result.schema.names == ("k", "z")
+        assert result.rows[0]["z"] == "a"
+
+
+class TestSetOperators:
+    def test_union_set_semantics(self):
+        a = rel(["v"], [("1",), ("2",)])
+        b = rel(["v"], [("2",), ("3",)])
+        assert len(union(a, b)) == 3
+
+    def test_difference(self):
+        a = rel(["v"], [("1",), ("2",)])
+        b = rel(["v"], [("2",)])
+        result = difference(a, b)
+        assert [row["v"] for row in result] == ["1"]
+
+    def test_intersection(self):
+        a = rel(["v"], [("1",), ("2",)])
+        b = rel(["v"], [("2",), ("3",)])
+        result = intersection(a, b)
+        assert [row["v"] for row in result] == ["2"]
+
+    def test_union_incompatible_schemas(self):
+        a = rel(["v"], [("1",)])
+        b = rel(["w"], [("1",)])
+        with pytest.raises(SchemaMismatchError):
+            union(a, b)
+
+
+class TestJoins:
+    def test_natural_join(self, left, right):
+        result = natural_join(left, right)
+        assert len(result) == 2
+        assert result.schema.names == ("k", "x", "y")
+
+    def test_natural_join_requires_common_attributes(self, left):
+        other = rel(["z"], [("1",)])
+        with pytest.raises(SchemaMismatchError):
+            natural_join(left, other)
+
+    def test_natural_join_null_never_joins_by_default(self):
+        a = rel(["k", "x"], [{"k": NULL, "x": "a"}])
+        b = rel(["k", "y"], [{"k": NULL, "y": "p"}])
+        assert len(natural_join(a, b)) == 0
+        assert len(natural_join(a, b, null_joins=True)) == 1
+
+    def test_explicit_on_list(self, left, right):
+        result = natural_join(left, right, on=["k"])
+        assert len(result) == 2
+
+    def test_product(self):
+        a = rel(["x"], [("1",), ("2",)])
+        b = rel(["y"], [("p",)])
+        assert len(product(a, b)) == 2
+
+    def test_product_requires_disjoint_names(self, left, right):
+        with pytest.raises(SchemaMismatchError):
+            product(left, right)
+
+    def test_theta_join(self):
+        a = rel(["x"], [("1",), ("2",)])
+        b = rel(["y"], [("1",), ("3",)])
+        result = theta_join(a, b, lambda l, r: l["x"] == r["y"])
+        assert len(result) == 1
+
+    def test_left_outer_join_pads(self, left, right):
+        result = left_outer_join(left, right)
+        assert len(result) == 3
+        padded = [row for row in result if is_null(row["y"])]
+        assert len(padded) == 1 and padded[0]["k"] == "2"
+
+    def test_right_outer_join_pads(self, left, right):
+        result = right_outer_join(left, right)
+        assert len(result) == 3
+        padded = [row for row in result if is_null(row["x"])]
+        assert len(padded) == 1 and padded[0]["k"] == "4"
+
+    def test_full_outer_join(self, left, right):
+        result = full_outer_join(left, right)
+        assert len(result) == 4  # 2 matches + 1 left-only + 1 right-only
+        ks = sorted(row["k"] for row in result)
+        assert ks == ["1", "2", "3", "4"]
+
+    def test_full_outer_join_null_key_rows_survive_unmatched(self):
+        a = rel(["k", "x"], [{"k": NULL, "x": "a"}])
+        b = rel(["k", "y"], [{"k": NULL, "y": "p"}])
+        result = full_outer_join(a, b)
+        assert len(result) == 2  # neither side joins on NULL
+
+    def test_full_outer_join_schema(self, left, right):
+        assert full_outer_join(left, right).schema.names == ("k", "x", "y")
+
+    def test_outer_join_duplicate_matches(self):
+        a = rel(["k", "x"], [("1", "a")])
+        b = rel(["k", "y"], [("1", "p"), ("1", "q")])
+        assert len(left_outer_join(a, b)) == 2
+
+
+class TestAlgebraicLaws:
+    def test_join_commutes_on_pairs(self, left, right):
+        lr = natural_join(left, right)
+        rl = natural_join(right, left)
+        assert lr.row_set == {
+            row.project(lr.schema.names) for row in rl
+        }
+
+    def test_union_idempotent(self, left):
+        assert union(left, left) == left
+
+    def test_difference_self_is_empty(self, left):
+        assert difference(left, left).is_empty()

@@ -1,0 +1,130 @@
+"""Tests for key discovery, CSV round-trips, and table formatting."""
+
+import pytest
+
+from repro.relational.attribute import Attribute, Domain, string_attribute
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.errors import SchemaError
+from repro.relational.formatting import format_relation, format_rows
+from repro.relational.keys import (
+    candidate_keys,
+    is_superkey,
+    satisfies_key,
+    violating_groups,
+)
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def rel(rows):
+    schema = Schema(
+        [string_attribute("a"), string_attribute("b"), string_attribute("c")]
+    )
+    return Relation(schema, rows, name="T", enforce_keys=False)
+
+
+class TestKeys:
+    def test_satisfies_key_true(self):
+        table = rel([("1", "x", "p"), ("2", "x", "p")])
+        assert satisfies_key(table, ["a"])
+
+    def test_satisfies_key_false(self):
+        table = rel([("1", "x", "p"), ("1", "y", "p")])
+        assert not satisfies_key(table, ["a"])
+
+    def test_null_key_values_ignored(self):
+        table = rel([{"a": NULL, "b": "x", "c": "p"}, {"a": NULL, "b": "y", "c": "q"}])
+        assert satisfies_key(table, ["a"])
+
+    def test_violating_groups(self):
+        table = rel([("1", "x", "p"), ("1", "y", "q"), ("2", "z", "r")])
+        groups = violating_groups(table, ["a"])
+        assert len(groups) == 1 and len(groups[0]) == 2
+
+    def test_candidate_keys_minimal(self):
+        table = rel([("1", "x", "p"), ("2", "x", "q"), ("3", "y", "p")])
+        keys = candidate_keys(table)
+        assert frozenset({"a"}) in keys
+        # no superset of {a} may appear
+        assert all(not (frozenset({"a"}) < key) for key in keys)
+
+    def test_candidate_keys_composite(self):
+        table = rel([("1", "x", "p"), ("1", "y", "p"), ("2", "x", "p")])
+        keys = candidate_keys(table)
+        assert frozenset({"a", "b"}) in keys
+
+    def test_is_superkey(self):
+        table = rel([("1", "x", "p"), ("2", "x", "p")])
+        assert is_superkey(table, ["a", "b"])
+
+
+class TestCsvIO:
+    def test_round_trip(self, tmp_path):
+        table = rel([("1", "x", "p"), ("2", "y", "q")])
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, keys=[("a", "b", "c")])
+        assert [tuple(row.values_for(["a", "b", "c"])) for row in loaded] == [
+            ("1", "x", "p"),
+            ("2", "y", "q"),
+        ]
+
+    def test_null_round_trip(self, tmp_path):
+        table = rel([{"a": "1", "b": NULL, "c": "p"}])
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, enforce_keys=False)
+        assert loaded.rows[0]["b"] is NULL
+
+    def test_typed_schema(self, tmp_path):
+        path = tmp_path / "typed.csv"
+        path.write_text("n,v\nx,3\ny,4\n")
+        schema = Schema([Attribute("n"), Attribute("v", Domain(int))], keys=[("n",)])
+        loaded = read_csv(path, schema)
+        assert loaded.rows[0]["v"] == 3
+
+    def test_header_mismatch(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2\n")
+        schema = Schema([string_attribute("a"), string_attribute("b")])
+        with pytest.raises(SchemaError):
+            read_csv(path, schema)
+
+    def test_field_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+
+class TestFormatting:
+    def test_nulls_render_literally(self):
+        table = rel([{"a": "1", "b": NULL, "c": "p"}])
+        text = format_relation(table)
+        assert "null" in text
+
+    def test_title_and_rule(self):
+        text = format_relation(rel([("1", "x", "p")]), title="my table")
+        lines = text.splitlines()
+        assert "my table" in lines[0]
+        assert set(lines[1]) == {"-"}
+
+    def test_sorted_output(self):
+        table = rel([("2", "x", "p"), ("1", "y", "q")])
+        text = format_relation(table, sort=True)
+        assert text.index("1") < text.index("2")
+
+    def test_column_subset(self):
+        text = format_relation(rel([("1", "x", "p")]), columns=["c"])
+        assert "x" not in text.splitlines()[-1]
+
+    def test_format_rows_widths(self):
+        text = format_rows(["col"], [{"col": "a-very-long-value-indeed"}])
+        assert "a-very-long-value-indeed" in text

@@ -1,0 +1,118 @@
+"""Tests for NULL semantics and three-valued logic."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.relational.nulls import (
+    NULL,
+    Maybe,
+    is_null,
+    non_null_eq,
+    null_eq,
+    three_valued_and,
+    three_valued_not,
+    three_valued_or,
+)
+
+
+class TestNullMarker:
+    def test_null_is_singleton(self):
+        assert type(NULL)() is NULL
+
+    def test_null_is_falsy(self):
+        assert not NULL
+
+    def test_null_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_null_distinct_from_none(self):
+        assert NULL is not None
+        assert not is_null(None)
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_null_survives_copy(self):
+        assert copy.copy(NULL) is NULL
+        assert copy.deepcopy(NULL) is NULL
+
+    def test_null_survives_pickle(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+    def test_null_hashable_and_self_equal(self):
+        assert NULL == NULL
+        assert len({NULL, NULL}) == 1
+
+
+class TestNonNullEq:
+    """Section 6.2: NULL never equals NULL in matching comparisons."""
+
+    def test_equal_values(self):
+        assert non_null_eq("a", "a")
+
+    def test_unequal_values(self):
+        assert not non_null_eq("a", "b")
+
+    def test_null_never_matches_null(self):
+        assert not non_null_eq(NULL, NULL)
+
+    def test_null_never_matches_value(self):
+        assert not non_null_eq(NULL, "a")
+        assert not non_null_eq("a", NULL)
+
+
+class TestNullEq:
+    def test_known_equal(self):
+        assert null_eq(1, 1) is Maybe.TRUE
+
+    def test_known_unequal(self):
+        assert null_eq(1, 2) is Maybe.FALSE
+
+    def test_null_gives_unknown(self):
+        assert null_eq(NULL, 1) is Maybe.UNKNOWN
+        assert null_eq(1, NULL) is Maybe.UNKNOWN
+        assert null_eq(NULL, NULL) is Maybe.UNKNOWN
+
+
+class TestKleeneLogic:
+    def test_and_false_dominates(self):
+        assert three_valued_and(Maybe.TRUE, Maybe.FALSE, Maybe.UNKNOWN) is Maybe.FALSE
+
+    def test_and_unknown_propagates(self):
+        assert three_valued_and(Maybe.TRUE, Maybe.UNKNOWN) is Maybe.UNKNOWN
+
+    def test_and_all_true(self):
+        assert three_valued_and(Maybe.TRUE, Maybe.TRUE) is Maybe.TRUE
+
+    def test_and_empty_is_true(self):
+        assert three_valued_and() is Maybe.TRUE
+
+    def test_or_true_dominates(self):
+        assert three_valued_or(Maybe.FALSE, Maybe.TRUE, Maybe.UNKNOWN) is Maybe.TRUE
+
+    def test_or_unknown_propagates(self):
+        assert three_valued_or(Maybe.FALSE, Maybe.UNKNOWN) is Maybe.UNKNOWN
+
+    def test_or_empty_is_false(self):
+        assert three_valued_or() is Maybe.FALSE
+
+    def test_not_swaps_true_false(self):
+        assert three_valued_not(Maybe.TRUE) is Maybe.FALSE
+        assert three_valued_not(Maybe.FALSE) is Maybe.TRUE
+
+    def test_not_keeps_unknown(self):
+        assert three_valued_not(Maybe.UNKNOWN) is Maybe.UNKNOWN
+
+    def test_from_bool(self):
+        assert Maybe.from_bool(True) is Maybe.TRUE
+        assert Maybe.from_bool(False) is Maybe.FALSE
+
+    def test_predicates(self):
+        assert Maybe.TRUE.is_true()
+        assert Maybe.FALSE.is_false()
+        assert Maybe.UNKNOWN.is_unknown()
+        assert not Maybe.UNKNOWN.is_true()

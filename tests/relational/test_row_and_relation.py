@@ -1,0 +1,186 @@
+"""Tests for rows, relations, key enforcement, and builders."""
+
+import pytest
+
+from repro.relational.attribute import string_attribute
+from repro.relational.errors import (
+    AttributeError_,
+    DuplicateRowError,
+    KeyViolationError,
+    SchemaError,
+)
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation, RelationBuilder
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+
+
+def schema_ab():
+    return Schema(
+        [string_attribute("a"), string_attribute("b"), string_attribute("c")],
+        keys=[("a", "b")],
+    )
+
+
+class TestRow:
+    def test_mapping_protocol(self):
+        row = Row({"a": 1, "b": 2})
+        assert row["a"] == 1
+        assert len(row) == 2
+        assert set(row) == {"a", "b"}
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AttributeError_):
+            Row({"a": 1})["z"]
+
+    def test_hashable_and_equal(self):
+        assert Row({"a": 1}) == Row({"a": 1})
+        assert hash(Row({"a": 1})) == hash(Row({"a": 1}))
+        assert Row({"a": 1}) != Row({"a": 2})
+
+    def test_equality_with_plain_mapping(self):
+        assert Row({"a": 1}) == {"a": 1}
+
+    def test_project(self):
+        assert Row({"a": 1, "b": 2}).project(["b"]) == Row({"b": 2})
+
+    def test_rename(self):
+        assert Row({"a": 1}).rename({"a": "x"}) == Row({"x": 1})
+
+    def test_extend_adds(self):
+        assert Row({"a": 1}).extend({"b": 2}) == Row({"a": 1, "b": 2})
+
+    def test_extend_refuses_overwrite(self):
+        with pytest.raises(AttributeError_):
+            Row({"a": 1}).extend({"a": 2})
+
+    def test_extend_fills_null(self):
+        row = Row({"a": NULL}).extend({"a": 5})
+        assert row["a"] == 5
+
+    def test_null_padded(self):
+        row = Row({"a": 1}).null_padded(["a", "b"])
+        assert row["b"] is NULL
+        assert row["a"] == 1
+
+    def test_has_nulls(self):
+        assert Row({"a": NULL}).has_nulls()
+        assert not Row({"a": 1}).has_nulls()
+        assert Row({"a": NULL, "b": 1}).has_nulls(["a"])
+        assert not Row({"a": NULL, "b": 1}).has_nulls(["b"])
+
+    def test_values_for(self):
+        assert Row({"a": 1, "b": 2}).values_for(["b", "a"]) == (2, 1)
+
+    def test_non_null_names(self):
+        assert Row({"a": NULL, "b": 2}).non_null_names() == ("b",)
+
+
+class TestRelation:
+    def test_positional_rows(self):
+        rel = Relation(schema_ab(), [("x", "1", "p")])
+        assert rel.rows[0]["c"] == "p"
+
+    def test_positional_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation(schema_ab(), [("x", "1")])
+
+    def test_mapping_rows_default_null(self):
+        rel = Relation(schema_ab(), [{"a": "x", "b": "1"}])
+        assert rel.rows[0]["c"] is NULL
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(schema_ab(), [{"a": "x", "zz": "1"}])
+
+    def test_domain_violation_rejected(self):
+        schema = Schema([string_attribute("k", "good")])
+        with pytest.raises(SchemaError):
+            Relation(schema, [("bad",)])
+
+    def test_duplicate_row_rejected(self):
+        with pytest.raises(DuplicateRowError):
+            Relation(schema_ab(), [("x", "1", "p"), ("x", "1", "p")])
+
+    def test_key_violation_rejected(self):
+        with pytest.raises(KeyViolationError):
+            Relation(schema_ab(), [("x", "1", "p"), ("x", "1", "q")])
+
+    def test_null_key_rows_exempt_from_uniqueness(self):
+        rel = Relation(
+            schema_ab(),
+            [{"a": "x", "c": "p"}, {"a": "x", "c": "q"}],
+        )
+        assert len(rel) == 2
+
+    def test_enforce_keys_off(self):
+        rel = Relation(
+            schema_ab(), [("x", "1", "p"), ("x", "1", "q")], enforce_keys=False
+        )
+        assert len(rel) == 2
+
+    def test_set_equality(self):
+        first = Relation(schema_ab(), [("x", "1", "p"), ("y", "1", "p")])
+        second = Relation(schema_ab(), [("y", "1", "p"), ("x", "1", "p")])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_contains_mapping(self):
+        rel = Relation(schema_ab(), [("x", "1", "p")])
+        assert {"a": "x", "b": "1", "c": "p"} in rel
+
+    def test_lookup(self):
+        rel = Relation(schema_ab(), [("x", "1", "p"), ("y", "2", "q")])
+        row = rel.lookup({"a": "y"})
+        assert row is not None and row["c"] == "q"
+        assert rel.lookup({"a": "zz"}) is None
+
+    def test_column_and_distinct(self):
+        rel = Relation(schema_ab(), [("x", "1", "p"), ("y", "2", "p")])
+        assert rel.column("c") == ("p", "p")
+        assert rel.distinct_values("c") == frozenset({"p"})
+
+    def test_insert_checks_keys(self):
+        rel = Relation(schema_ab(), [("x", "1", "p")])
+        with pytest.raises(KeyViolationError):
+            rel.insert(("x", "1", "zz"))
+        grown = rel.insert(("x", "2", "zz"))
+        assert len(grown) == 2 and len(rel) == 1
+
+    def test_without(self):
+        rel = Relation(schema_ab(), [("x", "1", "p"), ("y", "2", "q")])
+        kept = rel.without(lambda row: row["a"] == "x")
+        assert len(kept) == 1 and kept.rows[0]["a"] == "y"
+
+    def test_key_of(self):
+        rel = Relation(schema_ab(), [("x", "1", "p")])
+        assert rel.key_of(rel.rows[0]) == ("x", "1")
+
+    def test_is_empty(self):
+        assert Relation(schema_ab()).is_empty()
+
+
+class TestRelationBuilder:
+    def test_build_round_trip(self):
+        builder = RelationBuilder(schema_ab(), name="T")
+        builder.add(("x", "1", "p"))
+        builder.add(("y", "2", "q"))
+        rel = builder.build()
+        assert len(rel) == 2 and rel.name == "T"
+
+    def test_key_violation_at_add(self):
+        builder = RelationBuilder(schema_ab())
+        builder.add(("x", "1", "p"))
+        with pytest.raises(KeyViolationError):
+            builder.add(("x", "1", "q"))
+
+    def test_try_add(self):
+        builder = RelationBuilder(schema_ab())
+        assert builder.try_add(("x", "1", "p"))
+        assert not builder.try_add(("x", "1", "q"))
+        assert len(builder) == 1
+
+    def test_built_relation_matches_direct_construction(self):
+        builder = RelationBuilder(schema_ab())
+        builder.add(("x", "1", "p"))
+        assert builder.build() == Relation(schema_ab(), [("x", "1", "p")])

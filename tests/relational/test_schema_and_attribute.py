@@ -1,0 +1,174 @@
+"""Tests for attributes, domains, and schemas."""
+
+import pytest
+
+from repro.relational.attribute import Attribute, Domain, string_attribute
+from repro.relational.errors import AttributeError_, SchemaError
+from repro.relational.nulls import NULL
+from repro.relational.schema import Schema
+
+
+class TestDomain:
+    def test_default_is_unbounded_string(self):
+        domain = Domain()
+        assert domain.contains("anything")
+        assert not domain.is_finite()
+
+    def test_null_always_admissible(self):
+        assert Domain(int).contains(NULL)
+
+    def test_dtype_checking(self):
+        assert Domain(int).contains(3)
+        assert not Domain(int).contains("3")
+
+    def test_bool_not_accepted_as_int(self):
+        assert not Domain(int).contains(True)
+
+    def test_int_accepted_as_float(self):
+        assert Domain(float).contains(3)
+
+    def test_enumerated_domain(self):
+        domain = Domain(str, frozenset({"a", "b"}))
+        assert domain.contains("a")
+        assert not domain.contains("c")
+        assert domain.is_finite()
+
+    def test_enumerated_values_must_match_dtype(self):
+        with pytest.raises(SchemaError):
+            Domain(int, frozenset({"a"}))
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain(list)
+
+
+class TestAttribute:
+    def test_construction(self):
+        attr = Attribute("name")
+        assert attr.name == "name"
+        assert str(attr) == "name"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("has space")
+
+    def test_dots_allowed(self):
+        assert Attribute("R.name").name == "R.name"
+
+    def test_renamed(self):
+        attr = Attribute("old", Domain(int))
+        new = attr.renamed("new")
+        assert new.name == "new"
+        assert new.domain == attr.domain
+
+    def test_string_attribute_helper(self):
+        attr = string_attribute("x", "a", "b")
+        assert attr.admits("a")
+        assert not attr.admits("z")
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            [string_attribute("a"), string_attribute("b"), string_attribute("c")],
+            keys=[("a",), ("b", "c")],
+        )
+
+    def test_names_order(self):
+        assert self._schema().names == ("a", "b", "c")
+
+    def test_primary_key_is_first(self):
+        assert self._schema().primary_key == frozenset({"a"})
+
+    def test_default_key_is_all_attributes(self):
+        schema = Schema([string_attribute("x"), string_attribute("y")])
+        assert schema.primary_key == frozenset({"x", "y"})
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([string_attribute("a"), string_attribute("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_key_over_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([string_attribute("a")], keys=[("z",)])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([string_attribute("a")], keys=[()])
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([string_attribute("a")], keys=[("a",), ("a",)])
+
+    def test_lookup_unknown_attribute(self):
+        with pytest.raises(AttributeError_):
+            self._schema().attribute("zz")
+
+    def test_contains(self):
+        schema = self._schema()
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_project_keeps_contained_keys(self):
+        projected = self._schema().project(["b", "c"])
+        assert projected.names == ("b", "c")
+        assert frozenset({"b", "c"}) in projected.keys
+
+    def test_project_without_keys_defaults_to_all(self):
+        projected = self._schema().project(["b"])
+        assert projected.primary_key == frozenset({"b"})
+
+    def test_project_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema().project(["a", "a"])
+
+    def test_rename_follows_keys(self):
+        renamed = self._schema().rename({"a": "x"})
+        assert renamed.names == ("x", "b", "c")
+        assert frozenset({"x"}) in renamed.keys
+
+    def test_rename_unknown_source_rejected(self):
+        with pytest.raises(AttributeError_):
+            self._schema().rename({"zz": "x"})
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema().rename({"a": "b"})
+
+    def test_extend(self):
+        extended = self._schema().extend([string_attribute("d")])
+        assert extended.names == ("a", "b", "c", "d")
+        assert frozenset({"a"}) in extended.keys
+
+    def test_extend_with_extra_keys(self):
+        extended = self._schema().extend(
+            [string_attribute("d")], extra_keys=[("d",)]
+        )
+        assert frozenset({"d"}) in extended.keys
+
+    def test_union_compatibility(self):
+        assert self._schema().is_union_compatible(self._schema())
+        other = Schema([string_attribute("a")])
+        assert not self._schema().is_union_compatible(other)
+
+    def test_common_names(self):
+        other = Schema([string_attribute("c"), string_attribute("z")])
+        assert self._schema().common_names(other) == ("c",)
+
+    def test_equality_and_hash(self):
+        assert self._schema() == self._schema()
+        assert hash(self._schema()) == hash(self._schema())
+
+    def test_join_schema_conflicting_domains_rejected(self):
+        left = Schema([Attribute("a", Domain(str))])
+        right = Schema([Attribute("a", Domain(int))])
+        with pytest.raises(SchemaError):
+            left.join_schema(right, None)

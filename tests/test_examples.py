@@ -1,0 +1,81 @@
+"""Smoke tests: every shipped example runs and prints its key claims."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "matching table" in out
+    assert "The extended key is verified." in out
+    assert "TwinCities" in out
+
+
+def test_restaurant_integration():
+    out = run_example("restaurant_integration.py")
+    assert "algebraic construction agrees with the pipeline: True" in out
+    assert "finds 2/3 matches" in out
+    assert "Message: The extended key is verified." in out
+    assert "Message: The extended key causes unsound matching result." in out
+
+
+def test_employee_dismissal():
+    out = run_example("employee_dismissal.py")
+    assert "precision=1.000" in out
+    assert "nobody is wrongly fired" in out
+
+
+def test_incremental_knowledge():
+    out = run_example("incremental_knowledge.py")
+    assert "monotonic (matched/non-matched sets only grew): True" in out
+
+
+def test_prolog_prototype():
+    out = run_example("prolog_prototype.py")
+    assert "Message: The extended key is verified." in out
+    assert "matching table" in out
+    assert "integrated table" in out
+    assert "Message: The extended key causes unsound matching result." in out
+
+
+def test_knowledge_discovery():
+    out = run_example("knowledge_discovery.py")
+    assert "accepted 4 exceptionless candidates" in out
+    assert "sound" in out
+    assert "3 matches" in out
+
+
+def test_federated_updates():
+    out = run_example("federated_updates.py")
+    assert "additions are monotone" in out
+    assert "Message: The extended key is verified." in out
+
+
+def test_bibliography_deduplication():
+    out = run_example("bibliography_deduplication.py")
+    assert "precision=1.000" in out
+    assert "uniqueness_violations=0" in out
+    assert "The extended key is verified." in out
+
+
+def test_multi_database_integration():
+    out = run_example("multi_database_integration.py")
+    assert "generalised uniqueness constraint holds: True" in out
+    assert "agrees with the two-way identifier: True" in out
+    assert "R,S,T" in out

@@ -1,0 +1,162 @@
+"""Integration tests: the paper's worked examples end to end.
+
+Each test pins down a table, figure, or claim from the paper; the
+benchmarks re-run these computations under timing, but correctness is
+asserted here.
+"""
+
+import pytest
+
+from repro.baselines import KeyEquivalenceMatcher, InapplicableError, evaluate
+from repro.core.identifier import EntityIdentifier
+from repro.ilfd.axioms import implies, pseudo_transitivity
+from repro.ilfd.ilfd import ILFD
+from repro.ilfd.tables import ILFDTable, partition_into_tables
+from repro.relational.nulls import is_null
+from repro.rules.engine import MatchStatus
+from repro.workloads.generator import with_domain_attribute
+
+
+class TestExample1Table1:
+    """Section 2.1: common-key matching is not applicable / not sound."""
+
+    def test_no_common_candidate_key(self, example1):
+        with pytest.raises(InapplicableError):
+            KeyEquivalenceMatcher().match(example1.r, example1.s)
+
+    def test_name_matching_breaks_after_insertion(self, example1):
+        """Inserting (VillageWok, Penn.Ave.) makes name-matching ambiguous."""
+        grown = example1.r.insert(
+            {"name": "VillageWok", "street": "Penn.Ave.", "cuisine": "Chinese"}
+        )
+        identifier = EntityIdentifier(grown, example1.s, ["name"])
+        report = identifier.verify()
+        assert not report.is_sound  # one S tuple matches two R tuples
+
+    def test_papers_extra_knowledge_resolves_it(self, example1):
+        """With the Section-2.1 facts, the match is sound and correct,
+        even after the Penn.Ave. insertion."""
+        grown = example1.r.insert(
+            {"name": "VillageWok", "street": "Penn.Ave.", "cuisine": "Chinese"}
+        )
+        identifier = EntityIdentifier(
+            grown,
+            example1.s,
+            example1.extended_key,  # {name, street, city}
+            ilfds=list(example1.ilfds),
+        )
+        matching = identifier.matching_table()
+        assert identifier.verify().is_sound
+        assert matching.pairs() == example1.truth
+
+
+class TestExample2Tables2to4:
+    def test_table3_matching(self, example2):
+        identifier = EntityIdentifier(
+            example2.r, example2.s, example2.extended_key, ilfds=list(example2.ilfds)
+        )
+        assert identifier.matching_table().pairs() == example2.truth
+
+    def test_table4_negative(self, example2):
+        identifier = EntityIdentifier(
+            example2.r, example2.s, example2.extended_key, ilfds=list(example2.ilfds)
+        )
+        negative = identifier.negative_matching_table()
+        view = negative.to_relation()
+        row = view.rows[0]
+        assert row["R.name"] == "TwinCities"
+        assert row["R.cuisine"] == "Chinese"
+        assert row["S.speciality"] == "Mughalai"
+
+
+class TestExample3Tables5to7:
+    def test_table6_extension(self, example3):
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        extended_r, extended_s = identifier.extended_relations()
+        assert len(extended_r) == 5 and len(extended_s) == 4
+        specialities = {
+            (row["name"], row["cuisine"]): row["speciality"] for row in extended_r
+        }
+        assert specialities[("TwinCities", "Chinese")] == "Hunan"
+        assert specialities[("It'sGreek", "Greek")] == "Gyros"
+        assert specialities[("Anjuman", "Indian")] == "Mughalai"
+        assert is_null(specialities[("TwinCities", "Indian")])
+        assert is_null(specialities[("VillageWok", "Chinese")])
+
+    def test_table7_matching(self, example3):
+        identifier = EntityIdentifier(
+            example3.r, example3.s, example3.extended_key, ilfds=list(example3.ilfds)
+        )
+        assert identifier.matching_table().pairs() == example3.truth
+
+    def test_derived_ilfd_i9(self, example3):
+        """I9 = pseudo-transitivity(I7, I8), and F ⊨ I9."""
+        by_name = {f.name: f for f in example3.ilfds}
+        i9 = pseudo_transitivity(by_name["I7"], by_name["I8"])
+        assert i9 == ILFD(
+            {"name": "It'sGreek", "street": "FrontAve."},
+            {"speciality": "Gyros"},
+        )
+        assert implies(example3.ilfds, i9)
+
+
+class TestTable8:
+    def test_ilfd_family_as_relation(self, example3):
+        family = [f for f in example3.ilfds if f.name in ("I1", "I2", "I3", "I4")]
+        table = ILFDTable.from_ilfds(family)
+        assert table.antecedent_attributes == ("speciality",)
+        assert table.derived_attribute == "cuisine"
+        rows = {
+            (row["speciality"], row["cuisine"]) for row in table.relation
+        }
+        assert rows == {
+            ("Hunan", "Chinese"),
+            ("Sichuan", "Chinese"),
+            ("Gyros", "Greek"),
+            ("Mughalai", "Indian"),
+        }
+
+    def test_partitioning_example3(self, example3):
+        tables = partition_into_tables(example3.ilfds)
+        shapes = {
+            (t.antecedent_attributes, t.derived_attribute, len(t))
+            for t in tables
+        }
+        assert (("speciality",), "cuisine", 4) in shapes
+        assert (("name", "street"), "speciality", 2) in shapes
+        assert (("street",), "county", 1) in shapes
+        assert (("county", "name"), "speciality", 1) in shapes
+
+
+class TestFigure2Soundness:
+    """Identical attribute values, distinct entities."""
+
+    def _relations(self):
+        from repro.relational.attribute import string_attribute
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema
+
+        schema = Schema(
+            [string_attribute("name"), string_attribute("cuisine")],
+            keys=[("name",)],
+        )
+        r = Relation(schema, [("VillageWok", "Chinese")], name="R")
+        s = Relation(schema, [("VillageWok", "Chinese")], name="S")
+        return r, s
+
+    def test_value_equivalence_is_unsound(self):
+        r, s = self._relations()
+        result = KeyEquivalenceMatcher().match(r, s)
+        quality = evaluate(result, frozenset())  # truly distinct entities
+        assert quality.false_positives == 1
+
+    def test_domain_attribute_fixes_it(self):
+        r, s = self._relations()
+        r = with_domain_attribute(r, "DB1")
+        s = with_domain_attribute(s, "DB2")
+        identifier = EntityIdentifier(r, s, ["name", "cuisine", "domain"])
+        assert len(identifier.matching_table()) == 0
+        status = identifier.classify_pair(r.rows[0], s.rows[0])
+        assert status is MatchStatus.UNKNOWN  # never wrongly declared equal

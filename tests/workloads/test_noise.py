@@ -1,0 +1,117 @@
+"""Tests for the noise injectors and conflict detection end to end."""
+
+import pytest
+
+from repro.core.diagnostics import ConflictPolicy
+from repro.core.identifier import EntityIdentifier
+from repro.core.integration import integrate
+from repro.relational.nulls import is_null
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+from repro.workloads.noise import Corruption, corrupt_values, drop_values
+
+
+@pytest.fixture
+def workload():
+    return restaurant_workload(
+        RestaurantWorkloadSpec(n_entities=40, derivable_fraction=1.0, seed=51)
+    )
+
+
+class TestCorruptValues:
+    def test_rate_zero_is_identity(self, workload):
+        corrupted, log = corrupt_values(workload.s, 0.0, seed=1)
+        assert corrupted.row_set == workload.s.row_set
+        assert log == []
+
+    def test_rate_one_corrupts_everything_non_key(self, workload):
+        corrupted, log = corrupt_values(
+            workload.s, 1.0, seed=1, attributes=["county"]
+        )
+        assert all(row["county"].startswith("~corrupted~") for row in corrupted)
+        assert len(log) == len(workload.s)
+
+    def test_keys_never_touched(self, workload):
+        corrupted, log = corrupt_values(workload.s, 1.0, seed=1)
+        for original, noisy in zip(workload.s, corrupted):
+            assert original["name"] == noisy["name"]
+            assert original["speciality"] == noisy["speciality"]
+
+    def test_deterministic(self, workload):
+        first = corrupt_values(workload.s, 0.5, seed=7)
+        second = corrupt_values(workload.s, 0.5, seed=7)
+        assert first[0].row_set == second[0].row_set
+        assert first[1] == second[1]
+
+    def test_log_entries(self, workload):
+        _, log = corrupt_values(workload.s, 0.5, seed=7)
+        for entry in log:
+            assert isinstance(entry, Corruption)
+            assert entry.new_value == f"~corrupted~{entry.old_value}"
+
+    def test_bad_rate(self, workload):
+        with pytest.raises(ValueError):
+            corrupt_values(workload.s, 1.5)
+
+    def test_no_eligible_attributes(self, workload):
+        with pytest.raises(ValueError):
+            corrupt_values(workload.s, 0.5, attributes=["name"])  # key attr
+
+
+class TestDropValues:
+    def test_drops_to_null(self, workload):
+        sparse, log = drop_values(workload.s, 1.0, seed=3, attributes=["county"])
+        assert all(is_null(row["county"]) for row in sparse)
+        assert len(log) == len(workload.s)
+
+    def test_missing_data_reduces_recall_not_precision(self, workload):
+        """Dropping the county S-column breaks no matching here (county is
+        not in the extended key), but dropping R's street kills the
+        (name, street) → speciality derivations: recall drops, precision
+        stays 1.0 — the paper's soundness-first behaviour under missing
+        data."""
+        sparse_r, _ = drop_values(workload.r, 1.0, seed=3, attributes=["street"])
+        identifier = EntityIdentifier(
+            sparse_r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        pairs = identifier.matching_table().pairs()
+        assert pairs <= workload.truth
+        assert len(pairs) < len(workload.truth)
+
+
+class TestConflictDetectionEndToEnd:
+    def test_corrupted_matches_surface_conflicts(self, workload):
+        """Corrupt S's county; identification is untouched (county not in
+        K_Ext) but the integrated table reports no conflicts since county
+        is S-only; corrupting a *shared-meaning* attribute does."""
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        clean_integrated = identifier.integrate()
+        assert clean_integrated.conflicts() == []
+
+    def test_null_out_policy_on_conflicts(self):
+        from repro.relational.attribute import string_attribute
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema
+
+        schema = Schema(
+            [string_attribute("k"), string_attribute("v")], keys=[("k",)]
+        )
+        r = Relation(schema, [("1", "good")], name="R")
+        s_noisy, _ = corrupt_values(
+            Relation(schema, [("1", "good")], name="S"), 1.0, seed=1
+        )
+        identifier = EntityIdentifier(r, s_noisy, ["k"])
+        ext_r, ext_s = identifier.extended_relations()
+        integrated = integrate(ext_r, ext_s, identifier.matching_table())
+        assert len(integrated.conflicts()) == 1
+        resolved = integrated.resolved_view(ConflictPolicy.NULL_OUT)
+        assert is_null(resolved.rows[0]["v"])

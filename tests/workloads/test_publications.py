@@ -1,0 +1,87 @@
+"""Tests for the bibliography workload."""
+
+import pytest
+
+from repro.baselines import ProbabilisticKeyMatcher, evaluate
+from repro.core.identifier import EntityIdentifier
+from repro.ilfd.violations import satisfies
+from repro.relational.keys import satisfies_key
+from repro.workloads import PublicationWorkloadSpec, publication_workload
+from repro.workloads.publications import VENUE_FIELD, VENUE_PUBLISHER
+
+
+class TestPublicationWorkload:
+    def test_generation_and_keys(self):
+        workload = publication_workload(
+            PublicationWorkloadSpec(n_entities=60, seed=2)
+        )
+        assert satisfies_key(workload.r, ("title", "venue"))
+        assert satisfies_key(workload.s, ("title", "year"))
+
+    def test_ilfds_hold(self):
+        workload = publication_workload(
+            PublicationWorkloadSpec(n_entities=60, seed=2)
+        )
+        assert satisfies(workload.r, workload.ilfds)
+        assert satisfies(workload.s, workload.ilfds)
+
+    def test_publisher_map_is_functional(self):
+        assert set(VENUE_FIELD) == set(VENUE_PUBLISHER)
+
+    def test_title_homonyms_exist(self):
+        workload = publication_workload(
+            PublicationWorkloadSpec(n_entities=60, title_pool=15, seed=2)
+        )
+        titles = [row["title"] for row in workload.r]
+        assert len(set(titles)) < len(titles)
+
+    def test_ilfd_matching_perfect_at_full_coverage(self):
+        workload = publication_workload(
+            PublicationWorkloadSpec(n_entities=60, derivable_fraction=1.0, seed=2)
+        )
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        assert identifier.matching_table().pairs() == workload.truth
+        assert identifier.verify().is_sound
+
+    def test_partial_coverage_sound(self):
+        workload = publication_workload(
+            PublicationWorkloadSpec(n_entities=60, derivable_fraction=0.4, seed=2)
+        )
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        pairs = identifier.matching_table().pairs()
+        assert pairs <= workload.truth
+        assert len(pairs) < len(workload.truth)
+
+    def test_title_matching_is_unsound(self):
+        workload = publication_workload(
+            PublicationWorkloadSpec(n_entities=60, title_pool=15, seed=2)
+        )
+        matcher = ProbabilisticKeyMatcher(
+            threshold=0.8, common_attributes=["title"]
+        )
+        quality = evaluate(matcher.match(workload.r, workload.s), workload.truth)
+        assert quality.false_positives > 0
+        assert quality.precision < 0.8
+
+    def test_pool_too_small_raises(self):
+        with pytest.raises(ValueError):
+            publication_workload(
+                PublicationWorkloadSpec(n_entities=5000, title_pool=5, seed=1)
+            )
+
+    def test_deterministic(self):
+        first = publication_workload(PublicationWorkloadSpec(n_entities=40, seed=9))
+        second = publication_workload(PublicationWorkloadSpec(n_entities=40, seed=9))
+        assert first.r == second.r and first.truth == second.truth

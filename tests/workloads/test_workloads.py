@@ -1,0 +1,188 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.identifier import EntityIdentifier
+from repro.ilfd.violations import satisfies
+from repro.relational.keys import satisfies_key
+from repro.workloads import (
+    EmployeeWorkloadSpec,
+    RestaurantWorkloadSpec,
+    SplitSpec,
+    employee_workload,
+    restaurant_example_1,
+    restaurant_example_2,
+    restaurant_example_3,
+    restaurant_workload,
+    split_universe,
+    with_domain_attribute,
+)
+from repro.workloads.restaurants import SPECIALITY_CUISINE
+
+
+class TestSplitUniverse:
+    UNIVERSE = [
+        {"k": str(i), "a": f"a{i}", "b": f"b{i}"} for i in range(20)
+    ]
+    SPEC = SplitSpec(
+        r_attributes=("k", "a"),
+        s_attributes=("k", "b"),
+        r_key=("k",),
+        s_key=("k",),
+        overlap=0.5,
+        r_only=0.25,
+        s_only=0.25,
+        seed=1,
+    )
+
+    def test_sizes(self):
+        r, s, truth = split_universe(self.UNIVERSE, self.SPEC)
+        assert len(truth) == 10
+        assert len(r) == 15 and len(s) == 15
+
+    def test_truth_keys_resolve(self):
+        r, s, truth = split_universe(self.UNIVERSE, self.SPEC)
+        for r_key, s_key in truth:
+            assert r.lookup(dict(r_key)) is not None
+            assert s.lookup(dict(s_key)) is not None
+
+    def test_deterministic(self):
+        first = split_universe(self.UNIVERSE, self.SPEC)
+        second = split_universe(self.UNIVERSE, self.SPEC)
+        assert first[0] == second[0] and first[2] == second[2]
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SplitSpec(
+                r_attributes=("k",),
+                s_attributes=("k",),
+                r_key=("k",),
+                s_key=("k",),
+                overlap=0.9,
+                r_only=0.9,
+            )
+
+    def test_key_within_attributes(self):
+        with pytest.raises(ValueError):
+            SplitSpec(
+                r_attributes=("k",),
+                s_attributes=("k",),
+                r_key=("zz",),
+                s_key=("k",),
+            )
+
+    def test_domain_attribute(self):
+        r, _, _ = split_universe(self.UNIVERSE, self.SPEC)
+        tagged = with_domain_attribute(r, "DB1")
+        assert all(row["domain"] == "DB1" for row in tagged)
+        assert all("domain" in key for key in tagged.schema.keys)
+
+
+class TestRestaurantWorkload:
+    def test_generation_and_keys(self):
+        workload = restaurant_workload(RestaurantWorkloadSpec(n_entities=50, seed=2))
+        assert satisfies_key(workload.r, ("name", "cuisine"))
+        assert satisfies_key(workload.s, ("name", "speciality"))
+
+    def test_ilfds_consistent_with_universe(self):
+        workload = restaurant_workload(RestaurantWorkloadSpec(n_entities=50, seed=2))
+        assert satisfies(workload.r, workload.ilfds)
+        assert satisfies(workload.s, workload.ilfds)
+
+    def test_homonyms_present(self):
+        workload = restaurant_workload(
+            RestaurantWorkloadSpec(n_entities=50, name_pool=20, seed=2)
+        )
+        names = [row["name"] for row in workload.r]
+        assert len(set(names)) < len(names)  # the homonym pressure
+
+    def test_speciality_map_is_functional(self):
+        cuisines = {}
+        for speciality, cuisine in SPECIALITY_CUISINE.items():
+            assert cuisines.setdefault(speciality, cuisine) == cuisine
+
+    def test_full_derivability_gives_full_recall(self):
+        workload = restaurant_workload(
+            RestaurantWorkloadSpec(n_entities=40, derivable_fraction=1.0, seed=5)
+        )
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        assert identifier.matching_table().pairs() == workload.truth
+
+    def test_partial_derivability_only_reduces_recall(self):
+        workload = restaurant_workload(
+            RestaurantWorkloadSpec(n_entities=40, derivable_fraction=0.3, seed=5)
+        )
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        pairs = identifier.matching_table().pairs()
+        assert pairs <= workload.truth  # soundness: never a wrong pair
+        assert len(pairs) < len(workload.truth)
+
+    def test_pool_too_small_raises(self):
+        with pytest.raises(ValueError):
+            restaurant_workload(
+                RestaurantWorkloadSpec(n_entities=500, name_pool=5, seed=1)
+            )
+
+    def test_integrated_world_size(self):
+        workload = restaurant_workload(RestaurantWorkloadSpec(n_entities=40, seed=5))
+        assert workload.integrated_world_size == len(workload.r) + len(
+            workload.s
+        ) - len(workload.truth)
+
+
+class TestEmployeeWorkload:
+    def test_generation(self):
+        workload = employee_workload(EmployeeWorkloadSpec(n_entities=100, seed=3))
+        assert satisfies_key(workload.r, ("name", "dept"))
+        assert satisfies_key(workload.s, ("name", "division"))
+        assert satisfies(workload.r, workload.ilfds)
+
+    def test_sound_and_complete_on_matches(self):
+        workload = employee_workload(EmployeeWorkloadSpec(n_entities=100, seed=3))
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            derive_ilfd_distinctness=False,
+        )
+        assert identifier.matching_table().pairs() == workload.truth
+        assert identifier.verify().is_sound
+
+    def test_extended_key_unique_over_universe(self):
+        workload = employee_workload(EmployeeWorkloadSpec(n_entities=100, seed=3))
+        seen = set()
+        for entity in workload.universe:
+            key = (entity["name"], entity["division"])
+            assert key not in seen
+            seen.add(key)
+
+
+class TestPaperExamples:
+    def test_example1_shapes(self):
+        workload = restaurant_example_1()
+        assert len(workload.r) == 3 and len(workload.s) == 3
+        assert workload.r.schema.primary_key == frozenset({"name", "street"})
+        assert workload.s.schema.primary_key == frozenset({"name", "city"})
+
+    def test_example2_shapes(self):
+        workload = restaurant_example_2()
+        assert len(workload.r) == 2 and len(workload.s) == 1
+
+    def test_example3_shapes(self):
+        workload = restaurant_example_3()
+        assert len(workload.r) == 5 and len(workload.s) == 4
+        assert len(workload.ilfds) == 8
+        assert len(workload.truth) == 3
