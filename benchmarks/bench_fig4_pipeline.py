@@ -10,13 +10,14 @@ from repro.core.identifier import EntityIdentifier
 from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
 
 
-def test_figure4_end_to_end_example3(benchmark, example3):
+def test_figure4_end_to_end_example3(benchmark, tracer, example3):
     def run():
         identifier = EntityIdentifier(
             example3.r,
             example3.s,
             example3.extended_key,
             ilfds=list(example3.ilfds),
+            tracer=tracer,
         )
         result = identifier.run()
         return result, identifier.integrate()
@@ -29,7 +30,7 @@ def test_figure4_end_to_end_example3(benchmark, example3):
     assert integrated.conflicts() == []
 
 
-def test_figure4_end_to_end_scaled(benchmark):
+def test_figure4_end_to_end_scaled(benchmark, tracer):
     workload = restaurant_workload(
         RestaurantWorkloadSpec(n_entities=200, name_pool=80, seed=4)
     )
@@ -41,6 +42,7 @@ def test_figure4_end_to_end_scaled(benchmark):
             workload.extended_key,
             ilfds=list(workload.ilfds),
             derive_ilfd_distinctness=False,
+            tracer=tracer,
         )
         matching = identifier.matching_table()
         report = identifier.verify()

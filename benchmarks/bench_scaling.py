@@ -28,7 +28,7 @@ def _workload(n):
 
 
 @pytest.mark.parametrize("n_entities", [50, 200, 800])
-def test_pipeline_scaling(benchmark, n_entities):
+def test_pipeline_scaling(benchmark, tracer, n_entities):
     workload = _workload(n_entities)
 
     def run():
@@ -38,6 +38,7 @@ def test_pipeline_scaling(benchmark, n_entities):
             workload.extended_key,
             ilfds=list(workload.ilfds),
             derive_ilfd_distinctness=False,
+            tracer=tracer,
         )
         return identifier.matching_table()
 
@@ -80,7 +81,7 @@ def test_prolog_port_small_instance(benchmark):
 
 
 @pytest.mark.parametrize("n_ilfds", [40, 400])
-def test_ilfd_count_scaling(benchmark, n_ilfds):
+def test_ilfd_count_scaling(benchmark, tracer, n_ilfds):
     """Derivation cost versus the size of the ILFD set: pad the workload
     ILFDs with inapplicable rules and re-run the pipeline."""
     from repro.ilfd.ilfd import ILFD
@@ -98,6 +99,7 @@ def test_ilfd_count_scaling(benchmark, n_ilfds):
             workload.extended_key,
             ilfds=list(workload.ilfds) + padding,
             derive_ilfd_distinctness=False,
+            tracer=tracer,
         )
         return identifier.matching_table()
 

@@ -4,15 +4,33 @@ Every bench reproduces one table, figure, proposition, or session of the
 paper (see the experiment index in DESIGN.md): it *asserts* the paper's
 expected content and *times* the computation via pytest-benchmark.
 Paper-vs-measured notes live in EXPERIMENTS.md.
+
+Benches that request the ``tracer`` fixture get a fresh
+:class:`repro.observability.Tracer`; whatever metrics the timed code
+records are attached to the benchmark's ``extra_info`` (and therefore to
+``--benchmark-json`` output) as a ``metrics`` snapshot, so timings ship
+with their rule-firing / ILFD-derivation accounting.  Counters aggregate
+over every benchmark round, so read them as per-run totals × rounds.
 """
 
 import pytest
 
+from repro.observability import Tracer
 from repro.workloads import (
     restaurant_example_1,
     restaurant_example_2,
     restaurant_example_3,
 )
+
+
+@pytest.fixture
+def tracer(request):
+    """A fresh tracer whose metrics land in the benchmark's extra_info."""
+    t = Tracer()
+    yield t
+    if "benchmark" in request.fixturenames and not t.metrics.is_empty():
+        benchmark = request.getfixturevalue("benchmark")
+        benchmark.extra_info["metrics"] = t.metrics.snapshot()
 
 
 @pytest.fixture(scope="session")

@@ -28,7 +28,8 @@ Subpackages: :mod:`repro.relational` (algebra substrate),
 distinctness rules), :mod:`repro.core` (the identification pipeline),
 :mod:`repro.prolog` (mini-Prolog engine + the paper's prototype),
 :mod:`repro.baselines` (the Section-2.2 approaches),
-:mod:`repro.workloads` (seeded synthetic workloads with ground truth).
+:mod:`repro.workloads` (seeded synthetic workloads with ground truth),
+:mod:`repro.observability` (opt-in pipeline tracing and metrics).
 """
 
 from repro.relational import (
@@ -67,6 +68,18 @@ from repro.discovery import (
     suggest_extended_keys,
 )
 from repro.federation import IncrementalIdentifier, VirtualIntegratedView
+from repro.observability import (
+    NO_OP_TRACER,
+    MetricsRegistry,
+    NoOpTracer,
+    Span,
+    Tracer,
+    format_metrics,
+    format_span_tree,
+    format_trace_summary,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
 from repro.rules import (
     DistinctnessRule,
     IdentityRule,
@@ -113,11 +126,16 @@ __all__ = [
     "IntegratedTable",
     "MatchStatus",
     "MatchingTable",
+    "MetricsRegistry",
     "MonotonicityTracker",
+    "NO_OP_TRACER",
     "NULL",
     "NegativeMatchingTable",
+    "NoOpTracer",
     "Relation",
     "RuleEngine",
+    "Span",
+    "Tracer",
     "Schema",
     "SoundnessError",
     "SoundnessReport",
@@ -125,7 +143,10 @@ __all__ = [
     "algebraic_matching_table",
     "closure",
     "extended_key_rule",
+    "format_metrics",
     "format_relation",
+    "format_span_tree",
+    "format_trace_summary",
     "full_outer_join",
     "ilfd_to_distinctness_rules",
     "implies",
@@ -139,6 +160,7 @@ __all__ = [
     "project",
     "prove",
     "read_csv",
+    "read_trace_jsonl",
     "rename",
     "saturate",
     "select",
@@ -146,5 +168,6 @@ __all__ = [
     "union",
     "verify_soundness",
     "write_csv",
+    "write_trace_jsonl",
     "__version__",
 ]

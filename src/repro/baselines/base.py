@@ -13,10 +13,18 @@ from __future__ import annotations
 import abc
 from collections import Counter
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.matching_table import KeyValues
+from repro.observability.tracer import NO_OP_TRACER, Tracer
 from repro.relational.relation import Relation
+
+__all__ = [
+    "InapplicableError",
+    "ScoredPair",
+    "BaselineResult",
+    "BaselineMatcher",
+]
 
 
 class InapplicableError(Exception):
@@ -72,6 +80,40 @@ class BaselineMatcher(abc.ABC):
     @abc.abstractmethod
     def match(self, r: Relation, s: Relation) -> BaselineResult:
         """Produce matched pairs for the two (unified) relations."""
+
+    def run(
+        self, r: Relation, s: Relation, *, tracer: Optional[Tracer] = None
+    ) -> BaselineResult:
+        """:meth:`match` under a span, with comparable per-matcher stats.
+
+        Records one ``baseline.match`` span (matcher name, input sizes)
+        and counters mirroring the pipeline's own accounting — pairs
+        emitted and uniqueness violations, keyed by matcher name — so
+        the comparison benches report baselines and the paper's method
+        on the same axes.  Inapplicability is counted, then re-raised
+        (it is a result, not a failure).
+        """
+        if tracer is None:
+            tracer = NO_OP_TRACER
+        with tracer.span(
+            "baseline.match", matcher=self.name, r_rows=len(r), s_rows=len(s)
+        ) as span:
+            try:
+                result = self.match(r, s)
+            except InapplicableError:
+                if tracer.enabled:
+                    tracer.metrics.inc(f"baseline.{self.name}.inapplicable")
+                raise
+            span.set("pairs", len(result.pairs))
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.inc(f"baseline.{self.name}.runs")
+            metrics.inc(f"baseline.{self.name}.pairs", len(result.pairs))
+            metrics.inc(
+                f"baseline.{self.name}.uniqueness_violations",
+                result.uniqueness_violations(),
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -2,17 +2,29 @@
 
 Usage::
 
-    repro-identify R.csv S.csv \\
+    repro identify R.csv S.csv \\
         --r-key name,street --s-key name,city \\
         --extended-key name,cuisine,speciality \\
         --ilfd "speciality=Mughalai -> cuisine=Indian" \\
         --ilfds-csv speciality_cuisine.csv \\
+        --trace trace.jsonl --metrics \\
         --out integrated.csv
+
+    repro stats trace.jsonl     # aggregate a recorded trace
+    repro version               # or: repro --version
 
 Prints the matching table and the soundness verdict (and, with ``--out``,
 writes the merged integrated table).  ILFDs can be given inline
 (``"a=x ∧ b=y -> c=z"``, using ``&`` or ``∧`` between conditions) or as a
 CSV whose last column is the derived attribute (the Table-8 layout).
+
+``--trace FILE`` records a JSON-lines trace of the run (one span per
+pipeline phase, plus a metrics record); ``--metrics`` prints the metrics
+summary after the run.  ``repro stats FILE`` renders a recorded trace —
+per-phase time totals plus the metrics tables.
+
+For backward compatibility, invoking without a subcommand (the historical
+``repro-identify`` entry point) behaves exactly like ``repro identify``.
 """
 
 from __future__ import annotations
@@ -27,6 +39,34 @@ from repro.ilfd.ilfd import ILFD
 from repro.ilfd.tables import ILFDTable
 from repro.relational.csvio import read_csv, write_csv
 from repro.relational.formatting import format_relation
+
+__all__ = [
+    "parse_ilfd",
+    "build_parser",
+    "build_stats_parser",
+    "package_version",
+    "identify_main",
+    "stats_main",
+    "main",
+]
+
+_SUBCOMMANDS = ("identify", "stats", "version")
+
+
+def package_version() -> str:
+    """The installed package version, from importlib metadata.
+
+    Falls back to ``repro.__version__`` when the package is run from a
+    source tree without being installed (e.g. ``PYTHONPATH=src``).
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
 
 
 def parse_ilfd(text: str) -> ILFD:
@@ -52,11 +92,14 @@ def _split_key(text: str) -> List[str]:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser."""
+    """The ``repro identify`` argument parser."""
     parser = argparse.ArgumentParser(
-        prog="repro-identify",
+        prog="repro identify",
         description="Entity identification across two CSV relations "
         "(Lim et al., ICDE 1993).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     parser.add_argument("r_csv", help="first source relation (CSV with header)")
     parser.add_argument("s_csv", help="second source relation (CSV with header)")
@@ -125,11 +168,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress table printouts (exit status still reports soundness)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a JSON-lines trace of the run (spans + metrics) "
+        "to FILE; inspect it later with 'repro stats FILE'",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics summary (rule evaluations, ILFD "
+        "firings, match/non-match/unknown tallies)",
+    )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point: returns 0 when sound, 2 when the key is unsound."""
+def build_stats_parser() -> argparse.ArgumentParser:
+    """The ``repro stats`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Aggregate a JSON-lines trace recorded with "
+        "'repro identify --trace FILE': per-phase time totals, span "
+        "tree, and the metrics tables.",
+    )
+    parser.add_argument("trace_file", help="trace file written by --trace")
+    parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the full span tree (every span, nested)",
+    )
+    return parser
+
+
+def identify_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro identify``: returns 0 when sound, 2 when the key is unsound."""
     args = build_parser().parse_args(argv)
     r = read_csv(args.r_csv, keys=[_split_key(args.r_key)], name="R")
     s = read_csv(args.s_csv, keys=[_split_key(args.s_key)], name="S")
@@ -166,9 +238,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(suggestion)
         return 0 if sound else 2
 
-    identifier = EntityIdentifier(r, s, key_attributes, ilfds=ilfds)
-    matching = identifier.matching_table()
-    report = identifier.verify()
+    observing = bool(args.trace or args.metrics)
+    tracer = None
+    if observing:
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+
+    identifier = EntityIdentifier(r, s, key_attributes, ilfds=ilfds, tracer=tracer)
+    if observing:
+        from repro.core.errors import CoreError
+
+        # The full pipeline (including the negative table) so the trace
+        # carries the complete match/non-match/unknown accounting. An
+        # unsound key can make run() raise (matching/negative overlap);
+        # fall back to the plain report so the outcome — and the trace
+        # recorded so far — still reach the user, with exit status 2.
+        try:
+            result = identifier.run()
+            matching, report = result.matching, result.report
+        except CoreError:
+            matching = identifier.matching_table()
+            report = identifier.verify()
+    else:
+        matching = identifier.matching_table()
+        report = identifier.verify()
     if args.report:
         from repro.core.report import identification_report
 
@@ -182,11 +276,71 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         write_csv(integrated.merged_view(), args.out)
         if not args.quiet:
             print(f"integrated table written to {args.out}")
+    if tracer is not None:
+        if args.metrics:
+            from repro.observability import format_metrics
+
+            print()
+            print(format_metrics(tracer.metrics.snapshot()))
+        if args.trace:
+            from repro.observability import write_trace_jsonl
+
+            try:
+                records = write_trace_jsonl(tracer, args.trace)
+            except OSError as exc:
+                print(f"repro identify: cannot write trace: {exc}",
+                      file=sys.stderr)
+                return 1
+            if not args.quiet:
+                print(f"trace ({records} records) written to {args.trace}")
     return 0 if report.is_sound else 2
+
+
+def stats_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro stats``: render a recorded JSON-lines trace."""
+    from repro.observability import (
+        format_span_tree,
+        format_trace_summary,
+        read_trace_jsonl,
+    )
+
+    args = build_stats_parser().parse_args(argv)
+    try:
+        spans, metrics = read_trace_jsonl(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"repro stats: {exc}", file=sys.stderr)
+        return 1
+    print(format_trace_summary(spans, metrics))
+    if args.tree:
+        print()
+        print(format_span_tree(spans))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: dispatches ``identify`` / ``stats`` / ``version``.
+
+    A first argument that is not a subcommand falls through to
+    ``identify`` — the historical ``repro-identify R.csv S.csv ...``
+    invocation keeps working unchanged.
+    """
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] in _SUBCOMMANDS:
+        command, rest = arguments[0], arguments[1:]
+        if command == "version":
+            print(f"repro {package_version()}")
+            return 0
+        if command == "stats":
+            return stats_main(rest)
+        return identify_main(rest)
+    if arguments == ["--version"]:
+        print(f"repro {package_version()}")
+        return 0
+    return identify_main(arguments)
 
 
 if __name__ == "__main__":
     try:
         sys.exit(main())
-    except BrokenPipeError:  # e.g. `repro-identify ... | head`
+    except BrokenPipeError:  # e.g. `repro identify ... | head`
         sys.exit(0)

@@ -37,12 +37,15 @@ from repro.core.matching_table import (
 from repro.core.soundness import SoundnessReport, verify_soundness
 from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
 from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.observability.tracer import NO_OP_TRACER, Tracer
 from repro.relational.relation import Relation
 from repro.relational.row import Row
 from repro.rules.conversion import ilfd_to_distinctness_rules
 from repro.rules.distinctness import DistinctnessRule
 from repro.rules.engine import MatchStatus, RuleEngine
 from repro.rules.identity import IdentityRule
+
+__all__ = ["IdentificationResult", "EntityIdentifier"]
 
 
 @dataclass
@@ -106,6 +109,14 @@ class EntityIdentifier:
     derive_ilfd_distinctness:
         Whether to auto-derive distinctness rules from the ILFDs via
         Proposition 1 (on by default).
+    tracer:
+        Optional :class:`~repro.observability.Tracer`.  When given, the
+        pipeline records one span per phase (relation extension,
+        matching-table build, negative table, soundness, integration)
+        and counts pairs, rule evaluations, ILFD firings, and
+        match/non-match/unknown outcomes.  Defaults to the free no-op
+        tracer; the tracer is threaded through the derivation and rule
+        engines so their metrics land in the same registry.
     """
 
     def __init__(
@@ -121,7 +132,9 @@ class EntityIdentifier:
         distinctness_rules: Iterable[DistinctnessRule] = (),
         asserted_matches: Iterable[Tuple[Mapping[str, Any], Mapping[str, Any]]] = (),
         derive_ilfd_distinctness: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
         self._correspondence = correspondence or AttributeCorrespondence.identity()
         self._r = self._correspondence.unify_r(r)
         self._s = self._correspondence.unify_s(s)
@@ -130,7 +143,9 @@ class EntityIdentifier:
         extended_key.check_against(self._r, self._s)
         self._key = extended_key
         self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
-        self._engine = DerivationEngine(self._ilfds, policy=policy)
+        self._engine = DerivationEngine(
+            self._ilfds, policy=policy, tracer=self._tracer
+        )
         self._policy = policy
         self._asserted = list(asserted_matches)
 
@@ -141,6 +156,7 @@ class EntityIdentifier:
         self._rules = RuleEngine(
             [extended_key.identity_rule(), *identity_rules],
             list(distinctness_rules) + derived_rules,
+            tracer=self._tracer,
         )
 
         self._extended_r: Optional[Relation] = None
@@ -155,6 +171,11 @@ class EntityIdentifier:
     def extended_key(self) -> ExtendedKey:
         """The extended key in use."""
         return self._key
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer observing this pipeline (no-op unless supplied)."""
+        return self._tracer
 
     @property
     def ilfds(self) -> ILFDSet:
@@ -195,8 +216,13 @@ class EntityIdentifier:
         """R' and S': sources extended with derived K_Ext values."""
         if self._extended_r is None or self._extended_s is None:
             targets = list(self._key.attributes)
-            self._extended_r = self._engine.extend_relation(self._r, targets)
-            self._extended_s = self._engine.extend_relation(self._s, targets)
+            with self._tracer.span(
+                "identify.extend_relations",
+                r_rows=len(self._r),
+                s_rows=len(self._s),
+            ):
+                self._extended_r = self._engine.extend_relation(self._r, targets)
+                self._extended_s = self._engine.extend_relation(self._s, targets)
         return self._extended_r, self._extended_s
 
     def matching_table(self) -> MatchingTable:
@@ -204,15 +230,19 @@ class EntityIdentifier:
         if self._matching is not None:
             return self._matching
         extended_r, extended_s = self.extended_relations()
-        table = build_matching_table(
-            extended_r,
-            extended_s,
-            list(self._key.attributes),
-            self.r_key_attributes,
-            self.s_key_attributes,
-        )
-        for r_keys, s_keys in self._asserted:
-            table.add(self._asserted_entry(r_keys, s_keys))
+        with self._tracer.span("identify.matching_table") as span:
+            table = build_matching_table(
+                extended_r,
+                extended_s,
+                list(self._key.attributes),
+                self.r_key_attributes,
+                self.s_key_attributes,
+            )
+            for r_keys, s_keys in self._asserted:
+                table.add(self._asserted_entry(r_keys, s_keys))
+            span.set("entries", len(table))
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("pipeline.matches", len(table))
         self._matching = table
         return table
 
@@ -248,17 +278,24 @@ class EntityIdentifier:
             r_key_attributes=self.r_key_attributes,
             s_key_attributes=self.s_key_attributes,
         )
-        for r_row in extended_r:
-            for s_row in extended_s:
-                if self._rules.firing_distinctness_rules(r_row, s_row):
-                    table.add(
-                        MatchEntry(
-                            r_row,
-                            s_row,
-                            key_values(r_row, self.r_key_attributes),
-                            key_values(s_row, self.s_key_attributes),
+        with self._tracer.span(
+            "identify.negative_matching_table",
+            pairs=len(extended_r) * len(extended_s),
+        ) as span:
+            for r_row in extended_r:
+                for s_row in extended_s:
+                    if self._rules.firing_distinctness_rules(r_row, s_row):
+                        table.add(
+                            MatchEntry(
+                                r_row,
+                                s_row,
+                                key_values(r_row, self.r_key_attributes),
+                                key_values(s_row, self.s_key_attributes),
+                            )
                         )
-                    )
+            span.set("entries", len(table))
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("pipeline.non_matches", len(table))
         self._negative = table
         return table
 
@@ -294,26 +331,45 @@ class EntityIdentifier:
 
     def verify(self) -> SoundnessReport:
         """Verify the soundness criteria (the prototype's ``verify``)."""
-        return verify_soundness(self.matching_table())
+        matching = self.matching_table()
+        with self._tracer.span("identify.soundness") as span:
+            report = verify_soundness(matching)
+            span.set("sound", report.is_sound)
+        return report
 
     def run(self) -> IdentificationResult:
         """Execute the full pipeline and bundle the outcome."""
-        matching = self.matching_table()
-        negative = self.negative_matching_table()
-        check_consistency(matching, negative)
-        extended_r, extended_s = self.extended_relations()
-        return IdentificationResult(
+        with self._tracer.span("identify.run") as span:
+            matching = self.matching_table()
+            negative = self.negative_matching_table()
+            check_consistency(matching, negative)
+            extended_r, extended_s = self.extended_relations()
+            report = self.verify()
+            pair_count = len(extended_r) * len(extended_s)
+            span.set("pairs", pair_count)
+            span.set("matches", len(matching))
+            span.set("non_matches", len(negative))
+        result = IdentificationResult(
             matching=matching,
             negative=negative,
             extended_r=extended_r,
             extended_s=extended_s,
-            report=verify_soundness(matching),
-            pair_count=len(extended_r) * len(extended_s),
+            report=report,
+            pair_count=pair_count,
         )
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("pipeline.pairs", pair_count)
+            metrics.inc("pipeline.unknown", result.undetermined_count)
+        return result
 
     def integrate(self):
         """The integrated table T_RS (see :mod:`repro.core.integration`)."""
         from repro.core.integration import integrate
 
         extended_r, extended_s = self.extended_relations()
-        return integrate(extended_r, extended_s, self.matching_table())
+        matching = self.matching_table()
+        with self._tracer.span("identify.integrate") as span:
+            integrated = integrate(extended_r, extended_s, matching)
+            span.set("rows", len(integrated))
+        return integrated

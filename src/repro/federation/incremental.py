@@ -36,10 +36,13 @@ from repro.core.matching_table import (
 from repro.core.soundness import SoundnessReport, verify_soundness
 from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
 from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.observability.tracer import NO_OP_TRACER, Tracer
 from repro.relational.nulls import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.row import Row
 from repro.relational.schema import Schema
+
+__all__ = ["Pair", "Delta", "IncrementalIdentifier"]
 
 Pair = Tuple[KeyValues, KeyValues]
 
@@ -88,13 +91,17 @@ class IncrementalIdentifier:
         *,
         ilfds: ILFDSet | Iterable[ILFD] = (),
         policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not isinstance(extended_key, ExtendedKey):
             extended_key = ExtendedKey(list(extended_key))
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
         self._key = extended_key
         self._policy = policy
         self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
-        self._engine = DerivationEngine(self._ilfds, policy=policy)
+        self._engine = DerivationEngine(
+            self._ilfds, policy=policy, tracer=self._tracer
+        )
         self._r = _Side(r_schema)
         self._s = _Side(s_schema)
         self._matches: Set[Pair] = set()
@@ -160,10 +167,14 @@ class IncrementalIdentifier:
     def load(self, r: Relation, s: Relation) -> Delta:
         """Bulk-insert both sources; returns the combined delta."""
         added: List[Pair] = []
-        for row in r:
-            added.extend(self.insert_r(row).added)
-        for row in s:
-            added.extend(self.insert_s(row).added)
+        with self._tracer.span(
+            "federation.load", r_rows=len(r), s_rows=len(s)
+        ) as span:
+            for row in r:
+                added.extend(self.insert_r(row).added)
+            for row in s:
+                added.extend(self.insert_s(row).added)
+            span.set("matches_added", len(added))
         return Delta(added=tuple(added))
 
     def insert_r(self, row: Mapping[str, Any]) -> Delta:
@@ -193,29 +204,43 @@ class IncrementalIdentifier:
         if not new:
             return Delta()
         self._ilfds = self._ilfds.extend(new)
-        self._engine = DerivationEngine(self._ilfds, policy=self._policy)
+        self._engine = DerivationEngine(
+            self._ilfds, policy=self._policy, tracer=self._tracer
+        )
         self.version += 1
         targets = list(self._key.attributes)
         added: List[Pair] = []
-        for side, other, r_side in (
-            (self._r, self._s, True),
-            (self._s, self._r, False),
-        ):
-            for key in list(side.extended):
-                row = side.extended[key]
-                if not row.has_nulls(targets):
-                    continue  # complete rows cannot gain values
-                rederived = self._engine.extend_row(side.raw[key], targets).row
-                if rederived == row:
-                    continue
-                side.extended[key] = rederived
-                complete = self._complete_values(rederived)
-                if complete is None:
-                    continue
-                side.index[complete].add(key)
-                added.extend(
-                    self._record_matches(key, complete, other, r_side)
-                )
+        rederived_count = 0
+        with self._tracer.span(
+            "federation.add_ilfds", new_ilfds=len(new)
+        ) as span:
+            for side, other, r_side in (
+                (self._r, self._s, True),
+                (self._s, self._r, False),
+            ):
+                for key in list(side.extended):
+                    row = side.extended[key]
+                    if not row.has_nulls(targets):
+                        continue  # complete rows cannot gain values
+                    rederived = self._engine.extend_row(side.raw[key], targets).row
+                    if rederived == row:
+                        continue
+                    rederived_count += 1
+                    side.extended[key] = rederived
+                    complete = self._complete_values(rederived)
+                    if complete is None:
+                        continue
+                    side.index[complete].add(key)
+                    added.extend(
+                        self._record_matches(key, complete, other, r_side)
+                    )
+            span.set("rows_rederived", rederived_count)
+            span.set("matches_added", len(added))
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("federation.ilfd_updates")
+            metrics.inc("federation.rows_rederived", rederived_count)
+            metrics.observe("federation.delta_added", len(added))
         return Delta(added=tuple(added))
 
     # ------------------------------------------------------------------
@@ -246,9 +271,14 @@ class IncrementalIdentifier:
         self.version += 1
         complete = self._complete_values(extended)
         if complete is None:
-            return Delta()
-        side.index[complete].add(key)
-        added = self._record_matches(key, complete, other, r_side)
+            added: List[Pair] = []
+        else:
+            side.index[complete].add(key)
+            added = self._record_matches(key, complete, other, r_side)
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("federation.inserts")
+            metrics.observe("federation.delta_added", len(added))
         return Delta(added=tuple(added))
 
     def _record_matches(
@@ -288,4 +318,8 @@ class IncrementalIdentifier:
         ]
         for pair in removed:
             self._matches.discard(pair)
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("federation.deletes")
+            metrics.observe("federation.delta_removed", len(removed))
         return Delta(removed=tuple(sorted(removed)))

@@ -22,10 +22,18 @@ the system relies on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.ilfd.conditions import Condition, conjunction
 from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.observability.tracer import NO_OP_TRACER, Tracer
+
+__all__ = [
+    "ClosureResult",
+    "closure",
+    "is_attribute_consistent",
+    "conflicting_attributes",
+]
 
 
 @dataclass(frozen=True)
@@ -87,13 +95,19 @@ class ClosureResult:
 def closure(
     start: Iterable[Condition] | Mapping[str, object],
     ilfds: ILFDSet | Iterable[ILFD],
+    *,
+    tracer: Optional[Tracer] = None,
 ) -> ClosureResult:
     """Compute X+_F by forward chaining to a fixpoint.
 
     Uses the classic counting algorithm (one counter of unsatisfied
     antecedent symbols per ILFD) so each ILFD fires at most once and the
-    total work is linear in the size of F plus the closure.
+    total work is linear in the size of F plus the closure.  With a
+    *tracer*, records saturation rounds, firings, and derived-symbol
+    counts into its metrics registry.
     """
+    if tracer is None:
+        tracer = NO_OP_TRACER
     if not isinstance(ilfds, ILFDSet):
         ilfds = ILFDSet(ilfds)
     x = conjunction(start) if not isinstance(start, frozenset) else start
@@ -131,6 +145,12 @@ def closure(
                 missing[follower] -= 1
                 if missing[follower] == 0 and not fired[follower]:
                     agenda.append(follower)
+    if tracer.enabled:
+        metrics = tracer.metrics
+        metrics.inc("closure.computations")
+        metrics.inc("closure.firings", sum(fired))
+        metrics.inc("closure.derived_symbols", len(provenance))
+        metrics.observe("closure.rounds", rounds)
     return ClosureResult(
         start=x,
         symbols=frozenset(symbols),

@@ -34,10 +34,13 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequ
 
 from repro.ilfd.errors import DerivationConflictError
 from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.observability.tracer import NO_OP_TRACER, Tracer
 from repro.relational.attribute import Attribute
 from repro.relational.nulls import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.row import Row
+
+__all__ = ["DerivationPolicy", "DerivationResult", "DerivationEngine"]
 
 
 class DerivationPolicy(enum.Enum):
@@ -88,6 +91,11 @@ class DerivationEngine:
     policy:
         The resolution policy; defaults to the prototype's
         ``FIRST_MATCH``.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; when given, the
+        engine records per-row derivation metrics (firings, chain
+        depths, contradictions) and a span per relation extension.
+        Defaults to the free no-op tracer.
     """
 
     def __init__(
@@ -95,9 +103,11 @@ class DerivationEngine:
         ilfds: ILFDSet | Iterable[ILFD],
         *,
         policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
         self._policy = policy
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
         # Split to single-consequent form and index by derived attribute,
         # preserving declaration order within each attribute.
         self._by_attribute: Dict[str, List[ILFD]] = {}
@@ -159,8 +169,18 @@ class DerivationEngine:
         """
         wanted = list(targets) if targets is not None else sorted(self._by_attribute)
         if self._policy is DerivationPolicy.FIRST_MATCH:
-            return self._extend_first_match(row, wanted)
-        return self._extend_all_consistent(row, wanted)
+            result = self._extend_first_match(row, wanted)
+        else:
+            result = self._extend_all_consistent(row, wanted)
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("ilfd.rows_extended")
+            metrics.inc("ilfd.firings", len(result.fired))
+            metrics.inc("ilfd.derived_values", len(result.derived))
+            metrics.observe("ilfd.chain_depth", len(result.fired))
+            if result.contradictions:
+                metrics.inc("ilfd.contradictions", len(result.contradictions))
+        return result
 
     def extend_relation(
         self,
@@ -183,14 +203,20 @@ class DerivationEngine:
         ]
         schema = relation.schema.extend(new_attrs) if new_attrs else relation.schema
         rows: List[Row] = []
-        for row in relation:
-            result = self.extend_row(row, targets)
-            if strict and result.contradictions:
-                raise DerivationConflictError(
-                    f"row {row!r} contradicts ILFDs on "
-                    f"{sorted(result.contradictions)}"
-                )
-            rows.append(result.row)
+        with self._tracer.span(
+            "derive.extend_relation",
+            relation=relation.name,
+            rows=len(relation),
+            ilfds=len(self._ilfds),
+        ):
+            for row in relation:
+                result = self.extend_row(row, targets)
+                if strict and result.contradictions:
+                    raise DerivationConflictError(
+                        f"row {row!r} contradicts ILFDs on "
+                        f"{sorted(result.contradictions)}"
+                    )
+                rows.append(result.row)
         extended = Relation(schema, (), name=f"{relation.name}'", enforce_keys=False)
         extended._rows = tuple(rows)
         extended._row_set = frozenset(rows)
@@ -304,8 +330,10 @@ class DerivationEngine:
         derived: Dict[str, Any] = {}
         contradictions: Dict[str, Tuple[Any, Any]] = {}
         remaining = [part for parts in self._by_attribute.values() for part in parts]
+        rounds = 0
         changed = True
         while changed:
+            rounds += 1
             changed = False
             still: List[ILFD] = []
             for ilfd in remaining:
@@ -329,6 +357,8 @@ class DerivationEngine:
                         )
                     contradictions[attr] = (existing, value)
             remaining = still
+        if self._tracer.enabled:
+            self._tracer.metrics.observe("ilfd.chase_rounds", rounds)
         out = dict(current)
         for target in targets:
             out.setdefault(target, NULL)

@@ -22,6 +22,9 @@ from typing import FrozenSet, Iterable, List, Optional, Set
 from repro.ilfd.axioms import is_trivial, pseudo_transitivity
 from repro.ilfd.errors import MalformedILFDError
 from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.observability.tracer import NO_OP_TRACER, Tracer
+
+__all__ = ["saturate", "derived_only"]
 
 
 def saturate(
@@ -29,6 +32,7 @@ def saturate(
     base_attributes: Optional[Iterable[str]] = None,
     *,
     max_new: int = 10_000,
+    tracer: Optional[Tracer] = None,
 ) -> ILFDSet:
     """Close *ilfds* under pseudo-transitivity toward *base_attributes*.
 
@@ -44,11 +48,16 @@ def saturate(
         pseudo-transitive closure is computed (bounded by ``max_new``).
     max_new:
         Safety bound on the number of derived ILFDs.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; records
+        saturation rounds and derived-ILFD counts when given.
 
     Returns the input ILFDs (split to single consequents) plus every
     derived ILFD, in derivation order.  Derived ILFDs get names like
     ``"I7*I8"`` recording their provenance.
     """
+    if tracer is None:
+        tracer = NO_OP_TRACER
     base: Optional[FrozenSet[str]] = (
         frozenset(base_attributes) if base_attributes is not None else None
     )
@@ -62,8 +71,10 @@ def saturate(
     known: List[ILFD] = list(split)
     seen: Set[ILFD] = set(known)
     added = 0
+    rounds = 0
     changed = True
     while changed:
+        rounds += 1
         changed = False
         for provider in list(known):
             for consumer in list(known):
@@ -92,6 +103,11 @@ def saturate(
                         f"saturation exceeded {max_new} derived ILFDs; "
                         "the ILFD set composes explosively"
                     )
+    if tracer.enabled:
+        metrics = tracer.metrics
+        metrics.inc("saturation.runs")
+        metrics.inc("saturation.derived_ilfds", added)
+        metrics.observe("saturation.rounds", rounds)
     return ILFDSet(known)
 
 

@@ -1,0 +1,71 @@
+"""Pipeline tracing and metrics (zero-dependency observability layer).
+
+The paper's central claim is that entity identification must be
+*inspectable*: soundness is an argument built from identity-rule and
+ILFD firings, and the DBA reviewing a dismissal list needs to see why
+each pair matched.  :mod:`repro.core.explain` reconstructs provenance
+after the fact; this subpackage records what the pipeline *did* while
+running:
+
+- :mod:`repro.observability.tracer` — :class:`Tracer` produces nested,
+  ``perf_counter``-timed :class:`Span` regions with structured
+  attributes; :data:`NO_OP_TRACER` is the free default every
+  instrumented component falls back to.
+- :mod:`repro.observability.metrics` — :class:`MetricsRegistry` holds
+  named counters (pairs compared, rule evaluations, ILFD firings,
+  match/non-match/unknown tallies) and histograms (chain depths,
+  closure rounds, incremental delta sizes).
+- :mod:`repro.observability.export` — JSON-lines trace dump and
+  round-trip, a human-readable span tree, and the metrics/stats
+  summaries behind ``repro identify --trace/--metrics`` and
+  ``repro stats``.
+
+Instrumented components: :class:`~repro.core.identifier.EntityIdentifier`
+(one span per pipeline phase), :class:`~repro.rules.engine.RuleEngine`
+(per-rule evaluation counts/outcomes),
+:class:`~repro.ilfd.derivation.DerivationEngine` and
+:func:`~repro.ilfd.closure.closure` (derivation steps, fixpoint rounds),
+:class:`~repro.federation.incremental.IncrementalIdentifier` (per-update
+deltas), and :class:`~repro.baselines.base.BaselineMatcher` (comparable
+per-baseline stats).
+"""
+
+from repro.observability.metrics import (
+    NO_OP_METRICS,
+    HistogramSummary,
+    MetricsRegistry,
+    NoOpMetrics,
+)
+from repro.observability.tracer import (
+    NO_OP_TRACER,
+    NoOpTracer,
+    Span,
+    Tracer,
+)
+from repro.observability.export import (
+    format_metrics,
+    format_span_tree,
+    format_trace_summary,
+    read_trace_jsonl,
+    span_to_record,
+    trace_to_records,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NoOpMetrics",
+    "NoOpTracer",
+    "NO_OP_METRICS",
+    "NO_OP_TRACER",
+    "Span",
+    "Tracer",
+    "format_metrics",
+    "format_span_tree",
+    "format_trace_summary",
+    "read_trace_jsonl",
+    "span_to_record",
+    "trace_to_records",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,205 @@
+"""Exporters: JSON-lines traces, span trees, metrics summaries.
+
+Three consumers, three formats:
+
+- **JSON lines** (``write_trace_jsonl`` / ``read_trace_jsonl``): one
+  record per line — span records first (creation order, so parents
+  precede children), then a single ``{"type": "metrics", ...}`` record.
+  This is the ``repro identify --trace FILE`` output and what
+  ``repro stats FILE`` reads back.
+- **Span tree** (``format_span_tree``): a human-readable, indented
+  rendering with durations and attributes, for terminals.
+- **Metrics summary** (``format_metrics``): aligned counter/histogram
+  tables, for the ``--metrics`` flag and the ``stats`` view.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.observability.tracer import Span, Tracer
+
+__all__ = [
+    "span_to_record",
+    "trace_to_records",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "format_span_tree",
+    "format_metrics",
+    "format_trace_summary",
+]
+
+Record = Dict[str, Any]
+
+
+def span_to_record(span: Span) -> Record:
+    """One span as a flat, JSON-serialisable record."""
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start": span.start,
+        "duration": span.duration,
+        "attributes": _jsonable(span.attributes),
+    }
+
+
+def trace_to_records(tracer: Tracer) -> List[Record]:
+    """The whole trace as records: spans (creation order) then metrics."""
+    records: List[Record] = [span_to_record(s) for s in tracer.finished_spans()]
+    records.append({"type": "metrics", **tracer.metrics.snapshot()})
+    return records
+
+
+def write_trace_jsonl(tracer: Tracer, path: str) -> int:
+    """Dump the trace to *path* as JSON lines; returns the record count."""
+    records = trace_to_records(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+
+def read_trace_jsonl(path: str) -> Tuple[List[Record], Optional[Record]]:
+    """Parse a JSON-lines trace file back into (span records, metrics).
+
+    The metrics record is None when the file carries no metrics line
+    (e.g. a truncated dump).  Raises ``ValueError`` on malformed lines.
+    """
+    spans: List[Record] = []
+    metrics: Optional[Record] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{number}: not valid JSON: {exc}") from exc
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(f"{path}:{number}: record lacks a 'type' field")
+            if record["type"] == "span":
+                spans.append(record)
+            elif record["type"] == "metrics":
+                metrics = record
+            else:
+                raise ValueError(
+                    f"{path}:{number}: unknown record type {record['type']!r}"
+                )
+    return spans, metrics
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering
+# ----------------------------------------------------------------------
+def format_span_tree(source: Union[Tracer, Iterable[Record]]) -> str:
+    """Indented tree of spans with durations and attributes.
+
+    Accepts a live :class:`Tracer` or span records from
+    :func:`read_trace_jsonl`.
+    """
+    if isinstance(source, Tracer):
+        records = [span_to_record(s) for s in source.finished_spans()]
+    else:
+        records = list(source)
+    if not records:
+        return "(no spans recorded)"
+    children: Dict[Optional[int], List[Record]] = {}
+    for record in records:
+        children.setdefault(record.get("parent"), []).append(record)
+
+    lines: List[str] = []
+
+    def render(record: Record, depth: int) -> None:
+        duration_ms = record.get("duration", 0.0) * 1e3
+        attrs = record.get("attributes") or {}
+        attr_text = (
+            " " + " ".join(f"{k}={attrs[k]!r}" for k in sorted(attrs))
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{record['name']}  {duration_ms:.3f} ms{attr_text}"
+        )
+        for child in children.get(record.get("id"), ()):
+            render(child, depth + 1)
+
+    for root in children.get(None, ()):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def format_metrics(snapshot: Mapping[str, Any]) -> str:
+    """Aligned rendering of a :meth:`MetricsRegistry.snapshot` dict."""
+    counters: Mapping[str, int] = snapshot.get("counters", {}) or {}
+    histograms: Mapping[str, Mapping[str, float]] = (
+        snapshot.get("histograms", {}) or {}
+    )
+    if not counters and not histograms:
+        return "(no metrics recorded)"
+    lines: List[str] = []
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    if histograms:
+        if lines:
+            lines.append("")
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<{width}}  count={h['count']} mean={h['mean']:.2f} "
+                f"min={h['min']:g} max={h['max']:g}"
+            )
+    return "\n".join(lines)
+
+
+def format_trace_summary(
+    spans: Iterable[Record], metrics: Optional[Mapping[str, Any]] = None
+) -> str:
+    """The ``repro stats`` view: per-span-name totals plus metrics.
+
+    Aggregates spans by name (count, total/mean duration) — the quick
+    "where did the time go" answer — then appends the metrics tables.
+    """
+    spans = list(spans)
+    lines: List[str] = []
+    if spans:
+        totals: Dict[str, List[float]] = {}
+        for record in spans:
+            totals.setdefault(record["name"], []).append(
+                record.get("duration", 0.0)
+            )
+        lines.append("spans (aggregated by name):")
+        width = max(len(name) for name in totals)
+        for name in sorted(totals, key=lambda n: -sum(totals[n])):
+            durations = totals[name]
+            total_ms = sum(durations) * 1e3
+            lines.append(
+                f"  {name:<{width}}  n={len(durations)}  "
+                f"total={total_ms:.3f} ms  mean={total_ms / len(durations):.3f} ms"
+            )
+    else:
+        lines.append("(no spans recorded)")
+    if metrics is not None:
+        lines.append("")
+        lines.append(format_metrics(metrics))
+    return "\n".join(lines)
+
+
+def _jsonable(attributes: Mapping[str, Any]) -> Dict[str, Any]:
+    """Coerce attribute values to JSON-safe types (repr as last resort)."""
+    out: Dict[str, Any] = {}
+    for key, value in attributes.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out

@@ -1,0 +1,164 @@
+"""Named counters and histograms for pipeline accounting.
+
+The paper's soundness argument is built from *countable events* — which
+identity rules fired, how many ILFD derivation steps completed a tuple,
+how many pairs landed in the matching versus negative matching table.
+:class:`MetricsRegistry` is the single sink for those tallies: counters
+for monotone event counts and histograms (count/sum/min/max) for
+distributions such as ILFD chain depths or closure fixpoint rounds.
+
+Zero dependencies, no locks (the pipeline is single-threaded), and a
+:meth:`MetricsRegistry.snapshot` that is plain JSON-serialisable data so
+benchmark results and trace files can embed it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NoOpMetrics",
+    "NO_OP_METRICS",
+]
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of one histogram (no raw samples kept)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-serialisable form."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "mean": self.mean,
+        }
+
+    def merge(self, other: "HistogramSummary") -> None:
+        """Fold *other*'s samples into this summary."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or (
+            other.minimum is not None and other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if self.maximum is None or (
+            other.maximum is not None and other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+
+
+@dataclass
+class MetricsRegistry:
+    """A flat namespace of counters and histograms.
+
+    Names are dotted strings (``"rules.identity_evaluations"``); metrics
+    are created on first use, so instrumentation sites never need
+    registration ceremony.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, HistogramSummary] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add *value* to counter *name* (created at 0 on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into histogram *name*."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = HistogramSummary()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> HistogramSummary:
+        """Summary of histogram *name* (empty if never observed)."""
+        return self.histograms.get(name, HistogramSummary())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data snapshot: ``{"counters": ..., "histograms": ...}``.
+
+        The returned dict is JSON-serialisable and detached from the
+        registry (later recording does not mutate it).
+        """
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: summary.as_dict()
+                for name, summary in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s counters and histograms into this registry."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, summary in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = HistogramSummary()
+            mine.merge(summary)
+
+    def reset(self) -> None:
+        """Drop all recorded values (registry stays usable)."""
+        self.counters.clear()
+        self.histograms.clear()
+
+    def is_empty(self) -> bool:
+        """True iff nothing has been recorded."""
+        return not self.counters and not self.histograms
+
+
+class NoOpMetrics(MetricsRegistry):
+    """A registry that records nothing (the no-op tracer's sink).
+
+    Unguarded ``tracer.metrics.inc(...)`` calls stay cheap and allocate
+    nothing; hot paths should still prefer an ``if tracer.enabled``
+    guard, which skips even the method call.
+    """
+
+    def inc(self, name: str, value: int = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+    def observe(self, name: str, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+NO_OP_METRICS = NoOpMetrics()
+"""Shared do-nothing registry used by :data:`~repro.observability.NO_OP_TRACER`."""

@@ -1,0 +1,233 @@
+"""Nested, timed spans over the identification pipeline.
+
+A :class:`Span` is one timed region (a pipeline phase, a relation
+extension, a baseline run) with structured attributes; spans nest, so a
+finished trace is a forest mirroring the call structure of
+:meth:`EntityIdentifier.run() <repro.core.identifier.EntityIdentifier.run>`.
+Timing uses :func:`time.perf_counter` — wall-clock offsets within one
+trace are meaningful, absolute epochs are not.
+
+Instrumentation is **opt-in**: every instrumented component defaults to
+:data:`NO_OP_TRACER`, whose spans and metrics do nothing, so the
+uninstrumented hot path pays only an ``if tracer.enabled`` guard (or one
+attribute load and a no-op call).  Pass a real :class:`Tracer` to record.
+
+Spans are context managers::
+
+    tracer = Tracer()
+    with tracer.span("identify.run", r_size=100) as span:
+        ...
+        span.set("pairs", 42)
+    tracer.finished_spans()   # flat list, start order
+    tracer.metrics.snapshot() # the run's counters/histograms
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.observability.metrics import NO_OP_METRICS, MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoOpTracer",
+    "NO_OP_TRACER",
+]
+
+
+class Span:
+    """One timed, attributed region of a trace.
+
+    Spans are created by :meth:`Tracer.span` and used as context
+    managers; entering starts the clock and establishes nesting,
+    exiting stops it.  ``duration`` is in seconds.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Dict[str, Any],
+        span_id: int,
+        tracer: "Tracer",
+    ) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.span_id = span_id
+        self.parent_id: Optional[int] = None
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to "now" while the span is still open)."""
+        if self.end is None:
+            return time.perf_counter() - self.start
+        return self.end - self.start
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (0 for root spans)."""
+        depth = 0
+        parent = self.parent_id
+        spans = self._tracer._spans
+        while parent is not None:
+            depth += 1
+            parent = spans[parent].parent_id
+        return depth
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute; returns self for chaining."""
+        self.attributes[key] = value
+        return self
+
+    def is_finished(self) -> bool:
+        """True once the span has exited."""
+        return self.end is not None
+
+    def __enter__(self) -> "Span":
+        self.parent_id = self._tracer._current
+        self._tracer._current = self.span_id
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        self._tracer._current = self.parent_id
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.3f}ms" if self.is_finished() else "open"
+        return f"Span({self.name!r}, {state}, attrs={self.attributes!r})"
+
+
+class Tracer:
+    """Records nested spans and owns a :class:`MetricsRegistry`.
+
+    One tracer corresponds to one observed run (or a deliberately
+    aggregated sequence of runs); it is not thread-safe, matching the
+    single-threaded pipeline.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, *, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._spans: List[Span] = []
+        self._current: Optional[int] = None
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span, nested under the currently open one when entered."""
+        span = Span(name, attributes, len(self._spans), self)
+        self._spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Reading the trace
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """All spans in creation order (including any still open)."""
+        return list(self._spans)
+
+    def finished_spans(self) -> List[Span]:
+        """Finished spans in creation (≈ start) order."""
+        return [s for s in self._spans if s.is_finished()]
+
+    def root_spans(self) -> List[Span]:
+        """Spans with no parent, in creation order."""
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        """Direct children of *span*, in creation order."""
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def span_names(self) -> List[str]:
+        """Distinct span names, in first-seen order."""
+        seen: List[str] = []
+        for span in self._spans:
+            if span.name not in seen:
+                seen.append(span.name)
+        return seen
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data view of the whole run (spans + metrics).
+
+        Suitable for embedding in benchmark JSON; see
+        :func:`repro.observability.export.trace_to_records` for the
+        flat JSON-lines form.
+        """
+        from repro.observability.export import span_to_record
+
+        return {
+            "spans": [span_to_record(s) for s in self.finished_spans()],
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def reset(self) -> None:
+        """Drop all spans and metrics (tracer stays usable)."""
+        self._spans.clear()
+        self._current = None
+        self.metrics.reset()
+
+
+class _NoOpSpan:
+    """Shared do-nothing span: enter/exit/set are all free."""
+
+    __slots__ = ()
+
+    name = "noop"
+    attributes: Dict[str, Any] = {}
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    depth = 0
+
+    def set(self, key: str, value: Any) -> "_NoOpSpan":
+        return self
+
+    def is_finished(self) -> bool:
+        return True
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoOpSpan()
+
+
+class NoOpTracer(Tracer):
+    """The default tracer: records nothing, costs (almost) nothing.
+
+    ``enabled`` is False so instrumentation sites can guard entire
+    metric blocks with one boolean check; ``span()`` returns a shared
+    inert span so un-guarded ``with tracer.span(...)`` sites stay cheap.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(metrics=NO_OP_METRICS)
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        return _NOOP_SPAN  # type: ignore[return-value]
+
+
+NO_OP_TRACER = NoOpTracer()
+"""Module-level default used by every instrumented component."""

@@ -15,12 +15,15 @@ either answer would violate the consistency constraint).
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Mapping, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple
 
+from repro.observability.tracer import NO_OP_TRACER, Tracer
 from repro.relational.nulls import Maybe
 from repro.rules.distinctness import DistinctnessRule
 from repro.rules.errors import RuleConflictError
 from repro.rules.identity import IdentityRule
+
+__all__ = ["MatchStatus", "RuleEngine"]
 
 
 class MatchStatus(enum.Enum):
@@ -44,9 +47,12 @@ class RuleEngine:
         self,
         identity_rules: Iterable[IdentityRule] = (),
         distinctness_rules: Iterable[DistinctnessRule] = (),
+        *,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._identity: Tuple[IdentityRule, ...] = tuple(identity_rules)
         self._distinctness: Tuple[DistinctnessRule, ...] = tuple(distinctness_rules)
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
 
     @property
     def identity_rules(self) -> Tuple[IdentityRule, ...]:
@@ -67,16 +73,22 @@ class RuleEngine:
         return RuleEngine(
             list(self._identity) + list(identity_rules),
             list(self._distinctness) + list(distinctness_rules),
+            tracer=self._tracer,
         )
 
     # ------------------------------------------------------------------
     def firing_identity_rules(self, row1: Mapping, row2: Mapping) -> List[IdentityRule]:
         """Identity rules whose antecedent is TRUE for the pair."""
-        return [
+        fired = [
             rule
             for rule in self._identity
             if rule.applies(row1, row2) is Maybe.TRUE
         ]
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("rules.identity_evaluations", len(self._identity))
+            metrics.inc("rules.identity_fired", len(fired))
+        return fired
 
     def firing_distinctness_rules(
         self, row1: Mapping, row2: Mapping
@@ -89,6 +101,10 @@ class RuleEngine:
                 or rule.applies(row2, row1) is Maybe.TRUE
             ):
                 fired.append(rule)
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("rules.distinctness_evaluations", len(self._distinctness))
+            metrics.inc("rules.distinctness_fired", len(fired))
         return fired
 
     def classify(self, row1: Mapping, row2: Mapping) -> MatchStatus:
@@ -101,16 +117,22 @@ class RuleEngine:
         matches = self.firing_identity_rules(row1, row2)
         distinct = self.firing_distinctness_rules(row1, row2)
         if matches and distinct:
+            if self._tracer.enabled:
+                self._tracer.metrics.inc("rules.conflicts")
             raise RuleConflictError(
                 f"pair satisfies identity rule(s) "
                 f"{[r.name or repr(r) for r in matches]} and distinctness "
                 f"rule(s) {[r.name or repr(r) for r in distinct]}"
             )
         if matches:
-            return MatchStatus.MATCH
-        if distinct:
-            return MatchStatus.NON_MATCH
-        return MatchStatus.UNKNOWN
+            status = MatchStatus.MATCH
+        elif distinct:
+            status = MatchStatus.NON_MATCH
+        else:
+            status = MatchStatus.UNKNOWN
+        if self._tracer.enabled:
+            self._tracer.metrics.inc(f"rules.outcome.{status.value}")
+        return status
 
     def explain(self, row1: Mapping, row2: Mapping) -> str:
         """Human-readable account of why the pair classifies as it does."""

@@ -1,0 +1,154 @@
+"""CLI surface: --trace / --metrics, the stats view, and version."""
+
+import json
+
+import pytest
+
+from repro.cli import main, package_version
+from repro.observability import read_trace_jsonl
+
+
+@pytest.fixture
+def example2_csvs(tmp_path):
+    r_path = tmp_path / "R.csv"
+    r_path.write_text(
+        "name,cuisine,street\n"
+        "TwinCities,Chinese,Wash.Ave.\n"
+        "TwinCities,Indian,Univ.Ave.\n"
+    )
+    s_path = tmp_path / "S.csv"
+    s_path.write_text(
+        "name,speciality,city\nTwinCities,Mughalai,St.Paul\n"
+    )
+    return r_path, s_path
+
+
+def _identify_args(r_path, s_path, *extra):
+    return [
+        str(r_path),
+        str(s_path),
+        "--r-key", "name,cuisine",
+        "--s-key", "name,speciality",
+        "--extended-key", "name,cuisine",
+        "--ilfd", "speciality=Mughalai -> cuisine=Indian",
+        *extra,
+    ]
+
+
+class TestTraceFlag:
+    def test_trace_writes_valid_jsonl(self, example2_csvs, tmp_path, capsys):
+        r_path, s_path = example2_csvs
+        trace_path = tmp_path / "trace.jsonl"
+        status = main(
+            ["identify"]
+            + _identify_args(r_path, s_path, "--trace", str(trace_path))
+        )
+        assert status == 0
+        assert "written to" in capsys.readouterr().out
+        spans, metrics = read_trace_jsonl(str(trace_path))
+        names = {s["name"] for s in spans}
+        # ≥ 4 distinct pipeline-phase span names in the dump
+        assert {
+            "identify.run",
+            "identify.extend_relations",
+            "identify.matching_table",
+            "identify.negative_matching_table",
+            "identify.soundness",
+        } <= names
+        assert metrics is not None
+        counters = metrics["counters"]
+        assert counters["rules.distinctness_evaluations"] >= 0
+        assert "ilfd.firings" in counters
+        assert "pipeline.matches" in counters
+        assert "pipeline.non_matches" in counters
+        assert "pipeline.unknown" in counters
+        # every line parses as JSON on its own
+        for line in trace_path.read_text().strip().splitlines():
+            json.loads(line)
+
+    def test_metrics_flag_prints_summary(self, example2_csvs, capsys):
+        r_path, s_path = example2_csvs
+        status = main(_identify_args(r_path, s_path, "--metrics"))
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "pipeline.matches" in out
+        assert "ilfd.firings" in out
+
+    def test_no_flags_no_observability_output(self, example2_csvs, capsys):
+        r_path, s_path = example2_csvs
+        status = main(_identify_args(r_path, s_path))
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "counters:" not in out
+
+
+class TestStatsView:
+    def test_stats_renders_trace(self, example2_csvs, tmp_path, capsys):
+        r_path, s_path = example2_csvs
+        trace_path = tmp_path / "trace.jsonl"
+        main(_identify_args(r_path, s_path, "--quiet", "--trace", str(trace_path)))
+        capsys.readouterr()
+        status = main(["stats", str(trace_path)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "spans (aggregated by name):" in out
+        assert "identify.run" in out
+        assert "counters:" in out
+
+    def test_stats_tree(self, example2_csvs, tmp_path, capsys):
+        r_path, s_path = example2_csvs
+        trace_path = tmp_path / "trace.jsonl"
+        main(_identify_args(r_path, s_path, "--quiet", "--trace", str(trace_path)))
+        capsys.readouterr()
+        status = main(["stats", str(trace_path), "--tree"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "  identify.matching_table" in out  # indented child
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        status = main(["stats", str(tmp_path / "nope.jsonl")])
+        assert status == 1
+        assert "repro stats:" in capsys.readouterr().err
+
+    def test_stats_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        status = main(["stats", str(bad)])
+        assert status == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_subcommand(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert package_version() in out
+
+    def test_version_flag(self, capsys):
+        assert main(["--version"]) == 0
+        assert package_version() in capsys.readouterr().out
+
+    def test_package_version_is_nonempty_string(self):
+        version = package_version()
+        assert isinstance(version, str) and version
+        assert version[0].isdigit()
+
+
+class TestBackwardCompatibility:
+    def test_bare_invocation_still_identifies(self, example2_csvs, capsys):
+        """The historical repro-identify form (no subcommand) is intact."""
+        r_path, s_path = example2_csvs
+        status = main(_identify_args(r_path, s_path))
+        assert status == 0
+        assert "matching table" in capsys.readouterr().out
+
+    def test_identify_subcommand_equivalent(self, example2_csvs, capsys):
+        r_path, s_path = example2_csvs
+        bare = main(_identify_args(r_path, s_path))
+        bare_out = capsys.readouterr().out
+        sub = main(["identify"] + _identify_args(r_path, s_path))
+        sub_out = capsys.readouterr().out
+        assert bare == sub == 0
+        assert bare_out == sub_out

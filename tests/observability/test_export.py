@@ -1,0 +1,131 @@
+"""Exporters: JSON-lines round-trip and the human-readable renderings."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Tracer,
+    format_metrics,
+    format_span_tree,
+    format_trace_summary,
+    read_trace_jsonl,
+    trace_to_records,
+    write_trace_jsonl,
+)
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer()
+    with tracer.span("run", pairs=4) as run:
+        with tracer.span("extend", relation="R"):
+            tracer.metrics.inc("ilfd.firings", 3)
+            tracer.metrics.observe("ilfd.chain_depth", 2)
+        with tracer.span("match"):
+            tracer.metrics.inc("pipeline.matches", 2)
+        run.set("matches", 2)
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_spans_and_metrics(self, traced, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        count = write_trace_jsonl(traced, path)
+        assert count == 4  # 3 spans + 1 metrics record
+        spans, metrics = read_trace_jsonl(path)
+        assert [s["name"] for s in spans] == ["run", "extend", "match"]
+        assert spans[0]["parent"] is None
+        assert spans[1]["parent"] == spans[0]["id"]
+        assert spans[0]["attributes"] == {"pairs": 4, "matches": 2}
+        assert all(s["duration"] >= 0 for s in spans)
+        assert metrics["counters"] == {"ilfd.firings": 3, "pipeline.matches": 2}
+        assert metrics["histograms"]["ilfd.chain_depth"]["count"] == 1
+
+    def test_file_is_valid_jsonl(self, traced, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(traced, str(path))
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert {r["type"] for r in records} == {"span", "metrics"}
+        assert sum(r["type"] == "metrics" for r in records) == 1
+
+    def test_non_json_attribute_values_are_reprd(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", obj=frozenset({"x"})):
+            pass
+        path = str(tmp_path / "t.jsonl")
+        write_trace_jsonl(tracer, path)
+        spans, _ = read_trace_jsonl(path)
+        assert spans[0]["attributes"]["obj"] == repr(frozenset({"x"}))
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "name": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace_jsonl(str(path))
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record type"):
+            read_trace_jsonl(str(path))
+
+    def test_missing_metrics_record_is_none(self, tmp_path):
+        path = tmp_path / "spans_only.jsonl"
+        path.write_text(
+            '{"type": "span", "id": 0, "parent": null, "name": "a", '
+            '"start": 0.0, "duration": 0.1, "attributes": {}}\n'
+        )
+        spans, metrics = read_trace_jsonl(str(path))
+        assert len(spans) == 1
+        assert metrics is None
+
+    def test_open_spans_are_excluded(self, tmp_path):
+        tracer = Tracer()
+        tracer.span("never_entered")
+        open_span = tracer.span("open").__enter__()
+        records = trace_to_records(tracer)
+        assert [r["name"] for r in records if r["type"] == "span"] == []
+        open_span.__exit__(None, None, None)
+
+
+class TestFormatters:
+    def test_span_tree_indentation(self, traced):
+        tree = format_span_tree(traced)
+        lines = tree.splitlines()
+        assert lines[0].startswith("run")
+        assert lines[1].startswith("  extend")
+        assert lines[2].startswith("  match")
+        assert "relation='R'" in lines[1]
+        assert "ms" in lines[0]
+
+    def test_span_tree_from_records(self, traced, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_trace_jsonl(traced, path)
+        spans, _ = read_trace_jsonl(path)
+        assert format_span_tree(spans) == format_span_tree(traced)
+
+    def test_span_tree_empty(self):
+        assert format_span_tree(Tracer()) == "(no spans recorded)"
+
+    def test_format_metrics_tables(self, traced):
+        text = format_metrics(traced.metrics.snapshot())
+        assert "counters:" in text
+        assert "ilfd.firings" in text
+        assert "histograms:" in text
+        assert "ilfd.chain_depth" in text
+
+    def test_format_metrics_empty(self):
+        assert format_metrics({"counters": {}, "histograms": {}}) == (
+            "(no metrics recorded)"
+        )
+
+    def test_trace_summary_aggregates_by_name(self, traced, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_trace_jsonl(traced, path)
+        spans, metrics = read_trace_jsonl(path)
+        summary = format_trace_summary(spans, metrics)
+        assert "spans (aggregated by name):" in summary
+        assert "n=1" in summary
+        assert "counters:" in summary

@@ -1,0 +1,96 @@
+"""MetricsRegistry: counter aggregation, histograms, snapshot, merge."""
+
+from repro.observability import HistogramSummary, MetricsRegistry
+
+
+class TestCounters:
+    def test_created_on_first_use(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("missing") == 0
+        metrics.inc("hits")
+        metrics.inc("hits", 4)
+        assert metrics.counter("hits") == 5
+
+    def test_independent_names(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.inc("b", 2)
+        assert metrics.counter("a") == 1
+        assert metrics.counter("b") == 2
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        metrics = MetricsRegistry()
+        for value in (1, 2, 3, 10):
+            metrics.observe("depth", value)
+        h = metrics.histogram("depth")
+        assert h.count == 4
+        assert h.total == 16
+        assert h.minimum == 1
+        assert h.maximum == 10
+        assert h.mean == 4.0
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("never")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.as_dict() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+
+class TestSnapshot:
+    def test_snapshot_is_detached_plain_data(self):
+        import json
+
+        metrics = MetricsRegistry()
+        metrics.inc("c", 3)
+        metrics.observe("h", 2.5)
+        snapshot = metrics.snapshot()
+        metrics.inc("c")  # must not mutate the snapshot
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        json.dumps(snapshot)  # JSON-serialisable
+
+    def test_snapshot_sorted_by_name(self):
+        metrics = MetricsRegistry()
+        metrics.inc("z")
+        metrics.inc("a")
+        assert list(metrics.snapshot()["counters"]) == ["a", "z"]
+
+
+class TestMergeAndReset:
+    def test_merge_aggregates_counters_and_histograms(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.inc("shared", 1)
+        left.observe("h", 1)
+        right.inc("shared", 2)
+        right.inc("only_right", 5)
+        right.observe("h", 9)
+        left.merge(right)
+        assert left.counter("shared") == 3
+        assert left.counter("only_right") == 5
+        h = left.histogram("h")
+        assert (h.count, h.minimum, h.maximum) == (2, 1, 9)
+
+    def test_merge_empty_is_identity(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c")
+        metrics.merge(MetricsRegistry())
+        assert metrics.counter("c") == 1
+
+    def test_reset(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c")
+        metrics.observe("h", 1)
+        metrics.reset()
+        assert metrics.is_empty()
+
+    def test_histogram_summary_merge_handles_empty(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        b.observe(4)
+        a.merge(HistogramSummary())
+        assert a.count == 0
+        a.merge(b)
+        assert (a.count, a.minimum, a.maximum) == (1, 4, 4)

@@ -1,0 +1,134 @@
+"""Tracer: span nesting, timing, attributes, and the no-op default."""
+
+import time
+
+import pytest
+
+from repro.observability import NO_OP_TRACER, NoOpTracer, Tracer
+
+
+class TestSpanNesting:
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("innermost") as innermost:
+                    pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert innermost.parent_id == inner.span_id
+        assert innermost.depth == 2
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert tracer.children_of(root) == [a, b]
+        assert tracer.root_spans() == [root]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.root_spans()] == ["first", "second"]
+
+    def test_span_names_first_seen_order(self):
+        tracer = Tracer()
+        for name in ("a", "b", "a", "c"):
+            with tracer.span(name):
+                pass
+        assert tracer.span_names() == ["a", "b", "c"]
+
+
+class TestSpanTiming:
+    def test_duration_covers_sleep(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            time.sleep(0.01)
+        assert span.is_finished()
+        assert span.duration >= 0.01
+        assert span.duration < 5.0  # sanity: perf_counter, not epoch
+
+    def test_nested_child_within_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                time.sleep(0.005)
+        assert child.duration <= parent.duration
+        assert parent.start <= child.start
+
+    def test_open_span_reports_running_duration(self):
+        tracer = Tracer()
+        span = tracer.span("open").__enter__()
+        first = span.duration
+        second = span.duration
+        assert not span.is_finished()
+        assert second >= first
+        span.__exit__(None, None, None)
+
+
+class TestSpanAttributes:
+    def test_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", rows=5) as span:
+            span.set("entries", 3)
+        assert span.attributes == {"rows": 5, "entries": 3}
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert span.is_finished()
+        assert span.attributes["error"] == "ValueError"
+        # the stack unwound: a new span is a root again
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.metrics.inc("c")
+        tracer.reset()
+        assert tracer.spans() == []
+        assert tracer.metrics.is_empty()
+        with tracer.span("fresh") as span:
+            pass
+        assert span.parent_id is None
+
+
+class TestNoOpTracer:
+    def test_disabled_and_shared_span(self):
+        assert NO_OP_TRACER.enabled is False
+        a = NO_OP_TRACER.span("x", attr=1)
+        b = NO_OP_TRACER.span("y")
+        assert a is b  # one shared inert span, no allocation per call
+
+    def test_span_protocol_is_inert(self):
+        with NO_OP_TRACER.span("anything") as span:
+            span.set("k", "v")
+        assert NO_OP_TRACER.spans() == []
+        assert span.attributes == {}
+
+    def test_metrics_record_nothing(self):
+        NO_OP_TRACER.metrics.inc("counter", 10)
+        NO_OP_TRACER.metrics.observe("hist", 1.0)
+        assert NO_OP_TRACER.metrics.is_empty()
+
+    def test_fresh_noop_tracer_is_also_disabled(self):
+        assert NoOpTracer().enabled is False
+
+    def test_snapshot_empty(self):
+        snapshot = NoOpTracer().snapshot()
+        assert snapshot == {
+            "spans": [],
+            "metrics": {"counters": {}, "histograms": {}},
+        }
