@@ -88,17 +88,18 @@ class ProbabilisticAttributeMatcher(BaselineMatcher):
         r_key_attrs = self._r_key_attrs(r)
         s_key_attrs = self._s_key_attrs(s)
         candidates: List[ScoredPair] = []
-        for r_row in r:
-            for s_row in s:
-                value = self.comparison_value(r_row, s_row, attributes)
-                if value >= self._threshold:
-                    candidates.append(
-                        ScoredPair(
-                            key_values(r_row, r_key_attrs),
-                            key_values(s_row, s_key_attrs),
-                            score=value,
-                        )
+        for r_row, s_row in self._candidate_row_pairs(
+            r, s, key_attributes=attributes
+        ):
+            value = self.comparison_value(r_row, s_row, attributes)
+            if value >= self._threshold:
+                candidates.append(
+                    ScoredPair(
+                        key_values(r_row, r_key_attrs),
+                        key_values(s_row, s_key_attrs),
+                        score=value,
                     )
+                )
         if self._one_to_one:
             candidates = self._assign(candidates)
         return self._result(

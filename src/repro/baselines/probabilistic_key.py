@@ -104,17 +104,18 @@ class ProbabilisticKeyMatcher(BaselineMatcher):
         pairs: List[ScoredPair] = []
         r_key_attrs = self._r_key_attrs(r)
         s_key_attrs = self._s_key_attrs(s)
-        for r_row in r:
-            for s_row in s:
-                value = self.score(r_row, s_row, attributes)
-                if value >= self._threshold:
-                    pairs.append(
-                        ScoredPair(
-                            key_values(r_row, r_key_attrs),
-                            key_values(s_row, s_key_attrs),
-                            score=value,
-                        )
+        for r_row, s_row in self._candidate_row_pairs(
+            r, s, key_attributes=list(attributes)
+        ):
+            value = self.score(r_row, s_row, attributes)
+            if value >= self._threshold:
+                pairs.append(
+                    ScoredPair(
+                        key_values(r_row, r_key_attrs),
+                        key_values(s_row, s_key_attrs),
+                        score=value,
                     )
+                )
         return self._result(
             pairs,
             notes=f"threshold {self._threshold} over {list(attributes)}",

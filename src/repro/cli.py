@@ -7,6 +7,7 @@ Usage::
         --extended-key name,cuisine,speciality \\
         --ilfd "speciality=Mughalai -> cuisine=Indian" \\
         --ilfds-csv speciality_cuisine.csv \\
+        --blocker hash --workers 4 \\
         --trace trace.jsonl --metrics \\
         --out integrated.csv
 
@@ -33,6 +34,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.blocking import BLOCKERS, make_blocker
 from repro.core.identifier import EntityIdentifier
 from repro.ilfd.conditions import parse_condition
 from repro.ilfd.ilfd import ILFD
@@ -169,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress table printouts (exit status still reports soundness)",
     )
     parser.add_argument(
+        "--blocker",
+        choices=sorted(BLOCKERS),
+        help="candidate-pair generation strategy: 'cross' evaluates every "
+        "pair (historical semantics), 'hash' buckets on the extended key "
+        "(identical matching table, far fewer pairs), 'ilfd' adds "
+        "ILFD-antecedent buckets, 'snm' adds a sorted-neighborhood window",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate candidate pairs in N parallel worker processes "
+        "(default 1 = serial; implies --blocker cross unless one is given)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE",
         help="record a JSON-lines trace of the run (spans + metrics) "
@@ -245,7 +263,19 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
 
         tracer = Tracer()
 
-    identifier = EntityIdentifier(r, s, key_attributes, ilfds=ilfds, tracer=tracer)
+    if args.workers < 1:
+        print("repro identify: --workers must be >= 1", file=sys.stderr)
+        return 1
+    blocker = make_blocker(args.blocker) if args.blocker else None
+    identifier = EntityIdentifier(
+        r,
+        s,
+        key_attributes,
+        ilfds=ilfds,
+        tracer=tracer,
+        blocker=blocker,
+        workers=args.workers,
+    )
     if observing:
         from repro.core.errors import CoreError
 

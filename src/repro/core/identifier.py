@@ -21,8 +21,11 @@ their extended key, and generates the integrated table T_RS."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.blocking.base import Blocker, BlockingContext
+from repro.blocking.errors import MergeConsistencyError
+from repro.blocking.executor import PairEvaluation, ParallelPairExecutor
 from repro.core.correspondence import AttributeCorrespondence
 from repro.core.errors import ConsistencyError, CoreError
 from repro.core.extended_key import ExtendedKey
@@ -117,6 +120,27 @@ class EntityIdentifier:
         match/non-match/unknown outcomes.  Defaults to the free no-op
         tracer; the tracer is threaded through the derivation and rule
         engines so their metrics land in the same registry.
+    blocker:
+        Optional :class:`~repro.blocking.Blocker`.  When given, both
+        tables are built by classifying the blocker's candidate pairs
+        through the :class:`~repro.blocking.ParallelPairExecutor`
+        instead of the historical exhaustive paths.  With
+        :class:`~repro.blocking.ExtendedKeyHashBlocker` the matching
+        table is identical to the default path (the candidate set is
+        exactly where the extended-key rule can fire) and the negative
+        table is restricted to candidate pairs; with
+        :class:`~repro.blocking.CrossProductBlocker` both tables are
+        exactly the historical ones.  ``None`` (the default) keeps the
+        proven exact paths — themselves a K_Ext hash join, i.e.
+        recall-equivalent to the cross product — unless ``workers > 1``
+        requests parallel evaluation, which uses the cross-product
+        blocker to stay exact.
+    workers / executor:
+        Parallel pair evaluation: ``workers > 1`` builds a
+        :class:`~repro.blocking.ParallelPairExecutor` sharing this
+        pipeline's tracer; pass ``executor`` to control backend and
+        batch size yourself.  Results are deterministic and identical to
+        serial evaluation regardless of worker count.
     """
 
     def __init__(
@@ -133,6 +157,9 @@ class EntityIdentifier:
         asserted_matches: Iterable[Tuple[Mapping[str, Any], Mapping[str, Any]]] = (),
         derive_ilfd_distinctness: bool = True,
         tracer: Optional[Tracer] = None,
+        blocker: Optional[Blocker] = None,
+        workers: int = 1,
+        executor: Optional[ParallelPairExecutor] = None,
     ) -> None:
         self._tracer = tracer if tracer is not None else NO_OP_TRACER
         self._correspondence = correspondence or AttributeCorrespondence.identity()
@@ -159,10 +186,38 @@ class EntityIdentifier:
             tracer=self._tracer,
         )
 
+        # Key projections are per-relation constants — compute them once
+        # here instead of on every property access inside pairwise loops.
+        r_key = self._r.schema.primary_key
+        s_key = self._s.schema.primary_key
+        self._r_key_attrs: Tuple[str, ...] = tuple(
+            n for n in self._r.schema.names if n in r_key
+        )
+        self._s_key_attrs: Tuple[str, ...] = tuple(
+            n for n in self._s.schema.names if n in s_key
+        )
+
+        self._blocker = blocker
+        if executor is not None:
+            self._executor: Optional[ParallelPairExecutor] = executor
+        elif workers > 1:
+            self._executor = ParallelPairExecutor(workers, tracer=self._tracer)
+        else:
+            self._executor = None
+        if self._blocker is None and self._executor is not None:
+            # Parallelism without an explicit blocker stays exact: the
+            # cross-product blocker preserves the historical semantics.
+            from repro.blocking.base import CrossProductBlocker
+
+            self._blocker = CrossProductBlocker()
+
         self._extended_r: Optional[Relation] = None
         self._extended_s: Optional[Relation] = None
         self._matching: Optional[MatchingTable] = None
         self._negative: Optional[NegativeMatchingTable] = None
+        self._evaluation: Optional[
+            Tuple[List[Row], List[Row], PairEvaluation]
+        ] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -200,14 +255,22 @@ class EntityIdentifier:
     @property
     def r_key_attributes(self) -> Tuple[str, ...]:
         """R's primary-key attributes (unified names, schema order)."""
-        key = self._r.schema.primary_key
-        return tuple(n for n in self._r.schema.names if n in key)
+        return self._r_key_attrs
 
     @property
     def s_key_attributes(self) -> Tuple[str, ...]:
         """S's primary-key attributes (unified names, schema order)."""
-        key = self._s.schema.primary_key
-        return tuple(n for n in self._s.schema.names if n in key)
+        return self._s_key_attrs
+
+    @property
+    def blocker(self) -> Optional[Blocker]:
+        """The candidate-pair blocker in use (None = exact legacy paths)."""
+        return self._blocker
+
+    @property
+    def executor(self) -> Optional[ParallelPairExecutor]:
+        """The pair executor in use (None = serial legacy paths)."""
+        return self._executor
 
     # ------------------------------------------------------------------
     # Pipeline steps
@@ -225,21 +288,78 @@ class EntityIdentifier:
                 self._extended_s = self._engine.extend_relation(self._s, targets)
         return self._extended_r, self._extended_s
 
+    def _blocked_evaluation(self) -> Tuple[List[Row], List[Row], PairEvaluation]:
+        """Classify the blocker's candidate pairs (once, cached).
+
+        One pass produces both tables: the executor evaluates identity
+        and distinctness rules over every candidate, and the merge
+        enforces the consistency constraint (re-raised as
+        :class:`~repro.core.errors.ConsistencyError` to keep this
+        module's error contract).
+        """
+        if self._evaluation is not None:
+            return self._evaluation
+        assert self._blocker is not None
+        extended_r, extended_s = self.extended_relations()
+        r_rows = list(extended_r)
+        s_rows = list(extended_s)
+        context = BlockingContext.of(self._key.attributes, self._ilfds)
+        candidates = self._blocker.block(
+            r_rows, s_rows, context, tracer=self._tracer
+        )
+        executor = self._executor
+        if executor is None:
+            executor = ParallelPairExecutor(1, tracer=self._tracer)
+        try:
+            evaluation = executor.evaluate(
+                candidates,
+                r_rows,
+                s_rows,
+                self._rules.identity_rules,
+                self._rules.distinctness_rules,
+            )
+        except MergeConsistencyError as exc:
+            raise ConsistencyError(str(exc)) from exc
+        self._evaluation = (r_rows, s_rows, evaluation)
+        return self._evaluation
+
     def matching_table(self) -> MatchingTable:
         """MT_RS: pairs with identical non-NULL extended-key values."""
         if self._matching is not None:
             return self._matching
         extended_r, extended_s = self.extended_relations()
         with self._tracer.span("identify.matching_table") as span:
-            table = build_matching_table(
-                extended_r,
-                extended_s,
-                list(self._key.attributes),
-                self.r_key_attributes,
-                self.s_key_attributes,
-            )
-            for r_keys, s_keys in self._asserted:
-                table.add(self._asserted_entry(r_keys, s_keys))
+            if self._blocker is not None:
+                r_rows, s_rows, evaluation = self._blocked_evaluation()
+                table = MatchingTable(
+                    r_key_attributes=self.r_key_attributes,
+                    s_key_attributes=self.s_key_attributes,
+                )
+                r_keys: Dict[int, Any] = {}
+                s_keys: Dict[int, Any] = {}
+                for i, j in evaluation.matches:
+                    r_key = r_keys.get(i)
+                    if r_key is None:
+                        r_key = r_keys[i] = key_values(
+                            r_rows[i], self._r_key_attrs
+                        )
+                    s_key = s_keys.get(j)
+                    if s_key is None:
+                        s_key = s_keys[j] = key_values(
+                            s_rows[j], self._s_key_attrs
+                        )
+                    table.add(MatchEntry(r_rows[i], s_rows[j], r_key, s_key))
+                span.set("blocker", self._blocker.name)
+            else:
+                table = build_matching_table(
+                    extended_r,
+                    extended_s,
+                    list(self._key.attributes),
+                    self.r_key_attributes,
+                    self.s_key_attributes,
+                )
+            for r_keys_map, s_keys_map in self._asserted:
+                table.add(self._asserted_entry(r_keys_map, s_keys_map))
             span.set("entries", len(table))
         if self._tracer.enabled:
             self._tracer.metrics.inc("pipeline.matches", len(table))
@@ -267,9 +387,13 @@ class EntityIdentifier:
     def negative_matching_table(self) -> NegativeMatchingTable:
         """NMT_RS: pairs some distinctness rule declares distinct.
 
-        Materialises the full table (O(|R'|·|S'|) rule evaluations); the
-        paper notes real systems would keep it implicit, but the worked
-        examples (Table 4) and the completeness accounting need it.
+        Without a blocker, materialises the full table (O(|R'|·|S'|)
+        rule evaluations); the paper notes real systems would keep it
+        implicit, but the worked examples (Table 4) and the completeness
+        accounting need it.  With a blocker, only candidate pairs are
+        evaluated — exhaustive for :class:`CrossProductBlocker`,
+        restricted to candidates otherwise (the documented trade-off of
+        electing a pruning blocker).
         """
         if self._negative is not None:
             return self._negative
@@ -282,17 +406,39 @@ class EntityIdentifier:
             "identify.negative_matching_table",
             pairs=len(extended_r) * len(extended_s),
         ) as span:
-            for r_row in extended_r:
-                for s_row in extended_s:
-                    if self._rules.firing_distinctness_rules(r_row, s_row):
-                        table.add(
-                            MatchEntry(
-                                r_row,
-                                s_row,
-                                key_values(r_row, self.r_key_attributes),
-                                key_values(s_row, self.s_key_attributes),
-                            )
+            if self._blocker is not None:
+                r_rows, s_rows, evaluation = self._blocked_evaluation()
+                r_keys: Dict[int, Any] = {}
+                s_keys: Dict[int, Any] = {}
+                for i, j in evaluation.distinct:
+                    r_key = r_keys.get(i)
+                    if r_key is None:
+                        r_key = r_keys[i] = key_values(
+                            r_rows[i], self._r_key_attrs
                         )
+                    s_key = s_keys.get(j)
+                    if s_key is None:
+                        s_key = s_keys[j] = key_values(
+                            s_rows[j], self._s_key_attrs
+                        )
+                    table.add(MatchEntry(r_rows[i], s_rows[j], r_key, s_key))
+                span.set("blocker", self._blocker.name)
+            else:
+                # Key projections hoisted: rendered once per row, not once
+                # per firing pair inside the O(|R'|·|S'|) loop.
+                r_entries = [
+                    (r_row, key_values(r_row, self._r_key_attrs))
+                    for r_row in extended_r
+                ]
+                s_entries = [
+                    (s_row, key_values(s_row, self._s_key_attrs))
+                    for s_row in extended_s
+                ]
+                firing = self._rules.firing_distinctness_rules
+                for r_row, r_key in r_entries:
+                    for s_row, s_key in s_entries:
+                        if firing(r_row, s_row):
+                            table.add(MatchEntry(r_row, s_row, r_key, s_key))
             span.set("entries", len(table))
         if self._tracer.enabled:
             self._tracer.metrics.inc("pipeline.non_matches", len(table))

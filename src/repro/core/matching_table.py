@@ -227,25 +227,24 @@ def build_matching_table(
         r_key_attributes=r_key_attributes,
         s_key_attributes=s_key_attributes,
     )
-    index: Dict[Tuple[Any, ...], List[Row]] = defaultdict(list)
+    # Key projections are hoisted out of the probe loop: each row's key is
+    # rendered exactly once per relation, not once per emitted pair.
+    index: Dict[Tuple[Any, ...], List[Tuple[Row, KeyValues]]] = defaultdict(list)
     for s_row in extended_s:
         values = s_row.values_for(key_attrs)
         if any(is_null(v) for v in values):
             continue
-        index[values].append(s_row)
+        index[values].append((s_row, key_values(s_row, s_key_attributes)))
     for r_row in extended_r:
         values = r_row.values_for(key_attrs)
         if any(is_null(v) for v in values):
             continue
-        for s_row in index.get(values, ()):  # non_null_eq on all of K_Ext
-            table.add(
-                MatchEntry(
-                    r_row,
-                    s_row,
-                    key_values(r_row, r_key_attributes),
-                    key_values(s_row, s_key_attributes),
-                )
-            )
+        bucket = index.get(values)
+        if not bucket:
+            continue
+        r_key = key_values(r_row, r_key_attributes)
+        for s_row, s_key in bucket:  # non_null_eq on all of K_Ext
+            table.add(MatchEntry(r_row, s_row, r_key, s_key))
     return table
 
 

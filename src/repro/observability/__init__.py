@@ -32,6 +32,8 @@ per-baseline stats).
 
 from repro.observability.metrics import (
     NO_OP_METRICS,
+    WELL_KNOWN_METRICS,
+    register_metric,
     HistogramSummary,
     MetricsRegistry,
     NoOpMetrics,
@@ -43,6 +45,7 @@ from repro.observability.tracer import (
     Tracer,
 )
 from repro.observability.export import (
+    format_blocking_summary,
     format_metrics,
     format_span_tree,
     format_trace_summary,
@@ -55,12 +58,15 @@ from repro.observability.export import (
 __all__ = [
     "HistogramSummary",
     "MetricsRegistry",
+    "WELL_KNOWN_METRICS",
+    "register_metric",
     "NoOpMetrics",
     "NoOpTracer",
     "NO_OP_METRICS",
     "NO_OP_TRACER",
     "Span",
     "Tracer",
+    "format_blocking_summary",
     "format_metrics",
     "format_span_tree",
     "format_trace_summary",

@@ -27,6 +27,7 @@ __all__ = [
     "read_trace_jsonl",
     "format_span_tree",
     "format_metrics",
+    "format_blocking_summary",
     "format_trace_summary",
 ]
 
@@ -188,9 +189,43 @@ def format_trace_summary(
             )
     else:
         lines.append("(no spans recorded)")
+    blocking = format_blocking_summary(metrics) if metrics is not None else ""
+    if blocking:
+        lines.append("")
+        lines.append(blocking)
     if metrics is not None:
         lines.append("")
         lines.append(format_metrics(metrics))
+    return "\n".join(lines)
+
+
+def format_blocking_summary(snapshot: Mapping[str, Any]) -> str:
+    """Candidate-generation aggregates, when a run recorded any.
+
+    Renders the ``blocking.*`` / ``executor.*`` counters as one compact
+    per-phase block — pairs generated and pruned, the resulting reduction
+    ratio, and the executor's batch accounting — or "" when the run used
+    no blocker.
+    """
+    counters: Mapping[str, int] = snapshot.get("counters", {}) or {}
+    generated = counters.get("blocking.pairs_generated")
+    if generated is None:
+        return ""
+    pruned = counters.get("blocking.pairs_pruned", 0)
+    total = generated + pruned
+    ratio = pruned / total if total else 0.0
+    lines = [
+        "blocking (candidate generation):",
+        f"  pairs generated   {generated}",
+        f"  pairs pruned      {pruned}",
+        f"  reduction ratio   {ratio:.2%}",
+    ]
+    batches = counters.get("executor.batches")
+    if batches is not None:
+        lines.append(f"  executor batches  {batches}")
+        evaluated = counters.get("executor.pairs_evaluated")
+        if evaluated is not None:
+            lines.append(f"  pairs evaluated   {evaluated}")
     return "\n".join(lines)
 
 

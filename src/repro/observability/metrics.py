@@ -22,7 +22,39 @@ __all__ = [
     "MetricsRegistry",
     "NoOpMetrics",
     "NO_OP_METRICS",
+    "WELL_KNOWN_METRICS",
+    "register_metric",
 ]
+
+
+WELL_KNOWN_METRICS: Dict[str, str] = {
+    # pipeline
+    "pipeline.pairs": "tuple pairs considered by one identification run",
+    "pipeline.matches": "pairs entering the matching table",
+    "pipeline.non_matches": "pairs entering the negative matching table",
+    "pipeline.unknown": "pairs left undetermined (Figure 3's middle band)",
+    # blocking subsystem
+    "blocking.pairs_generated": "candidate pairs emitted by the blocker",
+    "blocking.pairs_pruned": "cross-product pairs the blocker never emitted",
+    "blocking.reduction_ratio": "per-run fraction of the cross product pruned",
+    "blocking.block_pairs": "candidate pairs per block",
+    # parallel pair executor
+    "executor.batches": "candidate batches dispatched to workers",
+    "executor.pairs_evaluated": "candidate pairs classified by the executor",
+    "executor.batch_pairs": "pairs per dispatched batch",
+    "executor.consistency_conflicts": "pairs classified both matching and distinct",
+}
+"""Descriptions of the metric names core components emit.
+
+Purely declarative — :class:`MetricsRegistry` still creates metrics on
+first use — but gives ``repro stats`` and other renderers a place to look
+up what a counter means (:meth:`MetricsRegistry.description`).
+"""
+
+
+def register_metric(name: str, description: str) -> None:
+    """Register (or update) the description of a well-known metric name."""
+    WELL_KNOWN_METRICS[name] = description
 
 
 @dataclass
@@ -110,6 +142,11 @@ class MetricsRegistry:
     def histogram(self, name: str) -> HistogramSummary:
         """Summary of histogram *name* (empty if never observed)."""
         return self.histograms.get(name, HistogramSummary())
+
+    @staticmethod
+    def description(name: str) -> str:
+        """Registered description of *name* ("" when unregistered)."""
+        return WELL_KNOWN_METRICS.get(name, "")
 
     def snapshot(self) -> Dict[str, object]:
         """Plain-data snapshot: ``{"counters": ..., "histograms": ...}``.

@@ -1,0 +1,171 @@
+"""Blocking wired through the identifier, federation, and baselines."""
+
+import pytest
+
+from repro.baselines.probabilistic_attr import ProbabilisticAttributeMatcher
+from repro.baselines.probabilistic_key import ProbabilisticKeyMatcher
+from repro.blocking import (
+    CrossProductBlocker,
+    ExtendedKeyHashBlocker,
+    IlfdConditionBlocker,
+    ParallelPairExecutor,
+    SortedNeighborhoodBlocker,
+)
+from repro.core.errors import ConsistencyError
+from repro.core.identifier import EntityIdentifier
+from repro.federation.incremental import IncrementalIdentifier
+from repro.observability import Tracer
+from repro.rules.distinctness import DistinctnessRule
+from repro.rules.predicates import equality_predicate
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+WORKLOAD = restaurant_workload(RestaurantWorkloadSpec(n_entities=50, seed=11))
+
+ALL_BLOCKERS = [
+    CrossProductBlocker(),
+    ExtendedKeyHashBlocker(),
+    IlfdConditionBlocker(),
+    SortedNeighborhoodBlocker(window=4),
+]
+
+
+def _identifier(**kwargs):
+    return EntityIdentifier(
+        WORKLOAD.r,
+        WORKLOAD.s,
+        WORKLOAD.extended_key,
+        ilfds=WORKLOAD.ilfds,
+        **kwargs,
+    )
+
+
+class TestIdentifierEquivalence:
+    LEGACY_MT = _identifier().matching_table().pairs()
+    LEGACY_NMT = _identifier().negative_matching_table().pairs()
+
+    @pytest.mark.parametrize("blocker", ALL_BLOCKERS, ids=lambda b: b.name)
+    def test_matching_table_identical(self, blocker):
+        blocked = _identifier(blocker=blocker).matching_table().pairs()
+        assert blocked == self.LEGACY_MT
+
+    def test_cross_product_negative_table_identical(self):
+        blocked = (
+            _identifier(blocker=CrossProductBlocker())
+            .negative_matching_table()
+            .pairs()
+        )
+        assert blocked == self.LEGACY_NMT
+
+    @pytest.mark.parametrize(
+        "blocker",
+        [ExtendedKeyHashBlocker(), IlfdConditionBlocker(),
+         SortedNeighborhoodBlocker(window=4)],
+        ids=lambda b: b.name,
+    )
+    def test_pruning_blockers_restrict_negative_table(self, blocker):
+        blocked = _identifier(blocker=blocker).negative_matching_table().pairs()
+        assert blocked <= self.LEGACY_NMT
+
+    def test_workers_without_blocker_stays_exact(self):
+        identifier = _identifier(workers=2)
+        assert identifier.blocker is not None  # defaults to cross product
+        assert identifier.matching_table().pairs() == self.LEGACY_MT
+        assert identifier.negative_matching_table().pairs() == self.LEGACY_NMT
+
+    def test_process_workers_with_hash_blocker(self):
+        identifier = _identifier(blocker=ExtendedKeyHashBlocker(), workers=2)
+        assert identifier.matching_table().pairs() == self.LEGACY_MT
+
+    def test_explicit_executor(self):
+        executor = ParallelPairExecutor(2, backend="thread")
+        identifier = _identifier(blocker=ExtendedKeyHashBlocker(), executor=executor)
+        assert identifier.matching_table().pairs() == self.LEGACY_MT
+
+    def test_blocking_metrics_flow_to_tracer(self):
+        tracer = Tracer()
+        _identifier(blocker=ExtendedKeyHashBlocker(), tracer=tracer).run()
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["blocking.pairs_generated"] > 0
+        assert counters["blocking.pairs_pruned"] > 0
+        assert counters["executor.pairs_evaluated"] == counters[
+            "blocking.pairs_generated"
+        ]
+
+    def test_merge_conflict_surfaces_as_core_error(self):
+        conflicting = DistinctnessRule(
+            [equality_predicate(attr) for attr in WORKLOAD.extended_key],
+            name="conflicts-with-identity",
+        )
+        identifier = _identifier(
+            blocker=ExtendedKeyHashBlocker(),
+            distinctness_rules=[conflicting],
+            derive_ilfd_distinctness=False,
+        )
+        with pytest.raises(ConsistencyError):
+            identifier.matching_table()
+
+
+class TestIncrementalFederation:
+    def _fresh(self):
+        return IncrementalIdentifier(
+            WORKLOAD.r.schema,
+            WORKLOAD.s.schema,
+            WORKLOAD.extended_key,
+            ilfds=WORKLOAD.ilfds,
+        )
+
+    def test_blocked_load_equals_per_row_load(self):
+        per_row = self._fresh()
+        per_row.load(WORKLOAD.r, WORKLOAD.s)
+        blocked = self._fresh()
+        delta = blocked.load(
+            WORKLOAD.r, WORKLOAD.s, blocker=ExtendedKeyHashBlocker()
+        )
+        assert blocked.match_pairs() == per_row.match_pairs()
+        assert set(delta.added) == per_row.match_pairs()
+
+    def test_rescan_agrees_with_incremental_state(self):
+        federation = self._fresh()
+        federation.load(WORKLOAD.r, WORKLOAD.s)
+        assert federation.rescan() == federation.match_pairs()
+        assert (
+            federation.rescan(SortedNeighborhoodBlocker(window=3))
+            == federation.match_pairs()
+        )
+
+    def test_blocked_load_with_executor(self):
+        federation = self._fresh()
+        federation.load(
+            WORKLOAD.r,
+            WORKLOAD.s,
+            blocker=ExtendedKeyHashBlocker(),
+            executor=ParallelPairExecutor(2, backend="thread"),
+        )
+        per_row = self._fresh()
+        per_row.load(WORKLOAD.r, WORKLOAD.s)
+        assert federation.match_pairs() == per_row.match_pairs()
+
+
+class TestBaselines:
+    @pytest.mark.parametrize(
+        "matcher_cls", [ProbabilisticAttributeMatcher, ProbabilisticKeyMatcher]
+    )
+    def test_blocked_results_subset_of_legacy(self, matcher_cls):
+        legacy = matcher_cls().run(WORKLOAD.r, WORKLOAD.s).pair_set()
+        blocked = (
+            matcher_cls()
+            .with_blocker(SortedNeighborhoodBlocker(window=5))
+            .run(WORKLOAD.r, WORKLOAD.s)
+            .pair_set()
+        )
+        assert blocked <= legacy
+
+    def test_blocker_metrics_recorded_under_run(self):
+        tracer = Tracer()
+        (
+            ProbabilisticKeyMatcher()
+            .with_blocker(SortedNeighborhoodBlocker(window=5))
+            .run(WORKLOAD.r, WORKLOAD.s, tracer=tracer)
+        )
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["blocking.pairs_generated"] > 0
