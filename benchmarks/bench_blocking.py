@@ -23,7 +23,7 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
-import multiprocessing
+import os
 import platform
 import sys
 import time
@@ -263,18 +263,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    cpu_count = os.cpu_count() or 1
     report = {
         "bench": "blocking",
         "python": platform.python_version(),
-        "cpu_count": multiprocessing.cpu_count(),
+        "cpu_count": cpu_count,
         "sizes": [],
         "executor": None,
     }
     for rows in sizes:
         print(f"benching {rows} rows per side ...", flush=True)
         report["sizes"].append(_bench_size(rows))
-    print(f"benching executor at {args.executor_rows} rows ...", flush=True)
-    report["executor"] = _bench_executor(args.executor_rows)
+    if cpu_count <= 1:
+        note = (
+            "skipped: os.cpu_count() reports 1 CPU — a multi-worker run "
+            "would measure pool dispatch overhead, not parallelism"
+        )
+        print(f"executor comparison {note}", flush=True)
+        report["executor"] = {"skipped": True, "note": note}
+    else:
+        print(f"benching executor at {args.executor_rows} rows ...", flush=True)
+        report["executor"] = _bench_executor(args.executor_rows)
 
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
@@ -287,12 +296,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"nmt_equal={entry['nmt_equal']}"
         )
     executor = report["executor"]
-    parallel_key = "process{0}_ms".format(executor["workers"])
-    print(
-        f"  executor: serial {executor['serial_ms']}ms vs "
-        f"process{executor['workers']} {executor[parallel_key]}ms "
-        f"(cpu_count={report['cpu_count']})"
-    )
+    if executor.get("skipped"):
+        print(f"  executor: {executor['note']}")
+    else:
+        parallel_key = "process{0}_ms".format(executor["workers"])
+        print(
+            f"  executor: serial {executor['serial_ms']}ms vs "
+            f"process{executor['workers']} {executor[parallel_key]}ms "
+            f"(cpu_count={report['cpu_count']})"
+        )
     return 0
 
 

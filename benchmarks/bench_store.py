@@ -1,0 +1,213 @@
+"""X3 — repro.store: write throughput and resume latency vs cold rebuild.
+
+Script mode (``python benchmarks/bench_store.py``) writes
+``BENCH_store.json`` with two characterisations:
+
+- **write throughput**: recorded match + journal entries per second into
+  the in-memory backend and into one SQLite file (single transaction vs
+  autocommit per entry — the cost durability actually adds);
+- **resume vs cold rebuild**: wall-clock of
+  ``IncrementalIdentifier.resume(checkpoint)`` against rebuilding the
+  same session from the source rows, asserting the two end in an
+  identical matched-pair set (settled pairs are *loaded*, never
+  re-evaluated).
+
+``--smoke`` runs one small size, asserts resume ≡ cold rebuild, and
+skips the file write (the CI check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Optional, Sequence
+
+from repro.federation import IncrementalIdentifier
+from repro.store import MemoryStore, SqliteStore
+from repro.workloads import EmployeeWorkloadSpec, employee_workload
+
+
+def _time_ms(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def _workload(n_entities: int):
+    return employee_workload(EmployeeWorkloadSpec(n_entities=n_entities, seed=11))
+
+
+def _session(workload) -> IncrementalIdentifier:
+    return IncrementalIdentifier(
+        workload.r.schema,
+        workload.s.schema,
+        workload.extended_key,
+        ilfds=list(workload.ilfds),
+    )
+
+
+def _write_batch(store, pairs, rows_r, rows_s, *, transactional: bool) -> None:
+    def write_all():
+        for r_key, s_key in pairs:
+            store.record_match(
+                r_key, s_key, rows_r[r_key], rows_s[s_key], rule="k-ext"
+            )
+
+    if transactional:
+        with store.transaction():
+            write_all()
+    else:
+        write_all()
+
+
+def _bench_writes(n_entities: int, tmp_dir: str) -> dict:
+    """Entries/second into each backend, journal append included."""
+    workload = _workload(n_entities)
+    session = _session(workload)
+    session.load(workload.r, workload.s)
+    pairs = sorted(session.match_pairs())
+    rows_r = dict(session._r.extended)  # noqa: SLF001 - bench introspection
+    rows_s = dict(session._s.extended)  # noqa: SLF001
+
+    results = {"entries": len(pairs)}
+    memory = MemoryStore()
+    memory_ms = _time_ms(
+        lambda: _write_batch(memory, pairs, rows_r, rows_s, transactional=True)
+    )
+    memory.close()
+
+    sqlite_txn = SqliteStore(str(Path(tmp_dir) / "txn.sqlite"))
+    txn_ms = _time_ms(
+        lambda: _write_batch(sqlite_txn, pairs, rows_r, rows_s, transactional=True)
+    )
+    size = sqlite_txn.size_bytes()
+    sqlite_txn.close()
+
+    sqlite_auto = SqliteStore(str(Path(tmp_dir) / "auto.sqlite"))
+    auto_ms = _time_ms(
+        lambda: _write_batch(sqlite_auto, pairs, rows_r, rows_s, transactional=False)
+    )
+    sqlite_auto.close()
+
+    def rate(elapsed_ms: float) -> Optional[float]:
+        return round(len(pairs) / (elapsed_ms / 1000.0), 1) if elapsed_ms else None
+
+    results.update(
+        {
+            "memory_ms": round(memory_ms, 2),
+            "memory_entries_per_s": rate(memory_ms),
+            "sqlite_txn_ms": round(txn_ms, 2),
+            "sqlite_txn_entries_per_s": rate(txn_ms),
+            "sqlite_autocommit_ms": round(auto_ms, 2),
+            "sqlite_autocommit_entries_per_s": rate(auto_ms),
+            "sqlite_bytes": size,
+        }
+    )
+    return results
+
+
+def _bench_resume(n_entities: int, tmp_dir: str) -> dict:
+    """Checkpoint/resume wall-clock against a from-source rebuild."""
+    workload = _workload(n_entities)
+    original = _session(workload)
+    original.load(workload.r, workload.s)
+    path = str(Path(tmp_dir) / f"resume_{n_entities}.sqlite")
+
+    checkpoint_ms = _time_ms(lambda: original.checkpoint(path))
+
+    holder = {}
+
+    def do_resume():
+        holder["resumed"] = IncrementalIdentifier.resume(path)
+
+    def do_rebuild():
+        rebuilt = _session(workload)
+        rebuilt.load(workload.r, workload.s)
+        holder["rebuilt"] = rebuilt
+
+    resume_ms = _time_ms(do_resume)
+    rebuild_ms = _time_ms(do_rebuild)
+    resumed, rebuilt = holder["resumed"], holder["rebuilt"]
+    identical = resumed.match_pairs() == rebuilt.match_pairs() == original.match_pairs()
+    size = resumed.store.size_bytes()
+    resumed.store.close()
+
+    return {
+        "rows_r": len(workload.r),
+        "rows_s": len(workload.s),
+        "matches": len(original.match_pairs()),
+        "checkpoint_ms": round(checkpoint_ms, 2),
+        "checkpoint_bytes": size,
+        "resume_ms": round(resume_ms, 2),
+        "cold_rebuild_ms": round(rebuild_ms, 2),
+        "speedup": round(rebuild_ms / resume_ms, 3) if resume_ms else None,
+        "identical": identical,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Store write/resume bench; writes BENCH_store.json."
+    )
+    parser.add_argument(
+        "--sizes",
+        default="200,1000,4000",
+        help="comma-separated entity counts (default 200,1000,4000)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_store.json"),
+        help="output JSON path (default: BENCH_store.json at the repo root)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small size, assert resume ≡ cold rebuild, skip the file write",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        with TemporaryDirectory() as tmp_dir:
+            result = _bench_resume(150, tmp_dir)
+        print(
+            f"smoke: resume {result['resume_ms']}ms vs cold rebuild "
+            f"{result['cold_rebuild_ms']}ms, identical={result['identical']}"
+        )
+        assert result["identical"], "resumed session diverged from cold rebuild"
+        return 0
+
+    sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    report = {
+        "bench": "store",
+        "python": platform.python_version(),
+        "writes": [],
+        "resume": [],
+    }
+    with TemporaryDirectory() as tmp_dir:
+        for n_entities in sizes:
+            print(f"benching writes at {n_entities} entities ...", flush=True)
+            report["writes"].append(_bench_writes(n_entities, tmp_dir))
+            print(f"benching resume at {n_entities} entities ...", flush=True)
+            report["resume"].append(_bench_resume(n_entities, tmp_dir))
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for writes, resume in zip(report["writes"], report["resume"]):
+        print(
+            f"  entries={writes['entries']}: sqlite(txn) "
+            f"{writes['sqlite_txn_entries_per_s']}/s vs memory "
+            f"{writes['memory_entries_per_s']}/s; resume "
+            f"{resume['resume_ms']}ms vs rebuild {resume['cold_rebuild_ms']}ms "
+            f"(x{resume['speedup']}, identical={resume['identical']})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,8 @@ acts on (the prototype's "extended key causes unsound matching result").
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.blocking.base import IndexPair
 from repro.blocking.errors import BlockingError, MergeConsistencyError
@@ -36,11 +36,17 @@ from repro.relational.row import Row
 from repro.rules.distinctness import DistinctnessRule
 from repro.rules.identity import IdentityRule
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard import
+    from repro.store.base import KeyValues, MatchStore
+
 __all__ = ["PairEvaluation", "ParallelPairExecutor"]
 
 _BACKENDS = ("serial", "thread", "process")
 
-BatchResult = Tuple[List[IndexPair], List[IndexPair]]
+# (matches, distinct, match rule indices, distinct rule indices) — the two
+# index lists are parallel to the two pair lists and name, by position in
+# the rule sequences, the rule that fired for each classified pair.
+BatchResult = Tuple[List[IndexPair], List[IndexPair], List[int], List[int]]
 
 # Per-process worker state, installed by the pool initializer so batches
 # ship only index pairs (see module docstring).
@@ -63,21 +69,25 @@ def _evaluate_batch(
     """
     matches: List[IndexPair] = []
     distinct: List[IndexPair] = []
+    match_rules: List[int] = []
+    distinct_rules: List[int] = []
     for i, j in batch:
         r_row = r_rows[i]
         s_row = s_rows[j]
-        for rule in identity_rules:
+        for index, rule in enumerate(identity_rules):
             if rule.applies(r_row, s_row) is Maybe.TRUE:
                 matches.append((i, j))
+                match_rules.append(index)
                 break
-        for rule in distinctness_rules:
+        for index, rule in enumerate(distinctness_rules):
             if (
                 rule.applies(r_row, s_row) is Maybe.TRUE
                 or rule.applies(s_row, r_row) is Maybe.TRUE
             ):
                 distinct.append((i, j))
+                distinct_rules.append(index)
                 break
-    return matches, distinct
+    return matches, distinct, match_rules, distinct_rules
 
 
 def _init_worker(
@@ -100,6 +110,9 @@ class PairEvaluation:
 
     ``matches`` and ``distinct`` hold ``(r_index, s_index)`` pairs in
     candidate order — identical across backends and worker counts.
+    ``match_rules`` / ``distinct_rules`` are parallel lists of indices
+    into the rule sequences given to ``evaluate``, naming which rule
+    fired for each classified pair (the derivation journal's rule ids).
     """
 
     matches: List[IndexPair]
@@ -108,6 +121,8 @@ class PairEvaluation:
     batches: int
     workers: int
     backend: str
+    match_rules: List[int] = field(default_factory=list)
+    distinct_rules: List[int] = field(default_factory=list)
 
     @property
     def unknown(self) -> int:
@@ -177,8 +192,19 @@ class ParallelPairExecutor:
         s_rows: Sequence[Row],
         identity_rules: Sequence[IdentityRule] = (),
         distinctness_rules: Sequence[DistinctnessRule] = (),
+        *,
+        store: Optional["MatchStore"] = None,
+        r_keys: Optional[Sequence["KeyValues"]] = None,
+        s_keys: Optional[Sequence["KeyValues"]] = None,
     ) -> PairEvaluation:
-        """Classify every candidate pair; merge and check consistency."""
+        """Classify every candidate pair; merge and check consistency.
+
+        When *store* is given (with *r_keys* / *s_keys* parallel to the
+        row sequences), the merged result is written to it in **one
+        transaction** — matches and non-matches land journaled with the
+        name of the rule that fired, and a merge-time consistency
+        failure leaves the store untouched.
+        """
         identity = tuple(identity_rules)
         distinctness = tuple(distinctness_rules)
         pairs = list(candidates)
@@ -190,7 +216,7 @@ class ParallelPairExecutor:
             pairs=len(pairs),
         ) as span:
             if self.backend == "serial" or self.workers == 1 or len(pairs) <= 1:
-                matches, distinct = _evaluate_batch(
+                matches, distinct, match_rules, distinct_rules = _evaluate_batch(
                     pairs, r_rows, s_rows, identity, distinctness
                 )
                 batches = 1 if pairs else 0
@@ -202,9 +228,13 @@ class ParallelPairExecutor:
                 )
                 matches = []
                 distinct = []
-                for batch_matches, batch_distinct in results:
+                match_rules = []
+                distinct_rules = []
+                for batch_matches, batch_distinct, batch_mr, batch_dr in results:
                     matches.extend(batch_matches)
                     distinct.extend(batch_distinct)
+                    match_rules.extend(batch_mr)
+                    distinct_rules.extend(batch_dr)
             span.set("matches", len(matches))
             span.set("distinct", len(distinct))
             span.set("batches", batches)
@@ -221,6 +251,8 @@ class ParallelPairExecutor:
             batches=batches,
             workers=self.workers,
             backend=self.backend,
+            match_rules=match_rules,
+            distinct_rules=distinct_rules,
         )
         if self._enforce_consistency:
             overlap = evaluation.consistency_overlap()
@@ -232,6 +264,28 @@ class ParallelPairExecutor:
                     f"matching and distinct at merge time, e.g. row pair "
                     f"{overlap[0]!r}"
                 )
+        if store is not None:
+            if r_keys is None or s_keys is None:
+                raise BlockingError(
+                    "store writes need r_keys/s_keys parallel to the row lists"
+                )
+            with store.transaction():
+                for (i, j), rule_index in zip(matches, match_rules):
+                    store.record_match(
+                        r_keys[i],
+                        s_keys[j],
+                        r_rows[i],
+                        s_rows[j],
+                        rule=identity[rule_index].name,
+                    )
+                for (i, j), rule_index in zip(distinct, distinct_rules):
+                    store.record_non_match(
+                        r_keys[i],
+                        s_keys[j],
+                        r_rows[i],
+                        s_rows[j],
+                        rule=distinctness[rule_index].name,
+                    )
         return evaluation
 
     def _run_batches(

@@ -14,6 +14,13 @@ Usage::
     repro stats trace.jsonl     # aggregate a recorded trace
     repro version               # or: repro --version
 
+    repro checkpoint R.csv S.csv session.sqlite \\
+        --r-key name,street --s-key name,city \\
+        --extended-key name,cuisine,speciality
+    repro resume session.sqlite --insert-r more_rows.csv
+    repro explain-pair session.sqlite \\
+        --r "name=kabul,street=e_4th_st" --s "name=kabul,city=nyc"
+
 Prints the matching table and the soundness verdict (and, with ``--out``,
 writes the merged integrated table).  ILFDs can be given inline
 (``"a=x ∧ b=y -> c=z"``, using ``&`` or ``∧`` between conditions) or as a
@@ -23,6 +30,12 @@ CSV whose last column is the derived attribute (the Table-8 layout).
 pipeline phase, plus a metrics record); ``--metrics`` prints the metrics
 summary after the run.  ``repro stats FILE`` renders a recorded trace —
 per-phase time totals plus the metrics tables.
+
+``--store sqlite:PATH`` persists the run's tables and derivation journal
+durably; ``repro checkpoint`` snapshots an incremental session into one
+SQLite file, ``repro resume`` reloads it (verifying the journal) and
+applies further deltas, and ``repro explain-pair`` reconstructs the
+rule-firing chain behind any persisted pair from the journal alone.
 
 For backward compatibility, invoking without a subcommand (the historical
 ``repro-identify`` entry point) behaves exactly like ``repro identify``.
@@ -44,15 +57,29 @@ from repro.relational.formatting import format_relation
 
 __all__ = [
     "parse_ilfd",
+    "parse_key_spec",
     "build_parser",
     "build_stats_parser",
+    "build_checkpoint_parser",
+    "build_resume_parser",
+    "build_explain_parser",
     "package_version",
     "identify_main",
     "stats_main",
+    "checkpoint_main",
+    "resume_main",
+    "explain_pair_main",
     "main",
 ]
 
-_SUBCOMMANDS = ("identify", "stats", "version")
+_SUBCOMMANDS = (
+    "identify",
+    "stats",
+    "version",
+    "checkpoint",
+    "resume",
+    "explain-pair",
+)
 
 
 def package_version() -> str:
@@ -91,6 +118,29 @@ def parse_ilfd(text: str) -> ILFD:
 
 def _split_key(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def parse_key_spec(text: str):
+    """Parse ``"attr=value,attr=value"`` into canonical key values.
+
+    The result is the sorted ``((attr, value), ...)`` tuple form the
+    matching tables and the store use as pair keys.  Values stay strings
+    (the CSV pipeline's value type).
+    """
+    pairs = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"key spec {text!r}: {part!r} is not of the form attr=value"
+            )
+        attr, _, value = part.partition("=")
+        pairs.append((attr.strip(), value.strip()))
+    if not pairs:
+        raise ValueError(f"key spec {text!r} names no attributes")
+    return tuple(sorted(pairs))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run's metrics summary (rule evaluations, ILFD "
         "firings, match/non-match/unknown tallies)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="SPEC",
+        help="persist tables and derivation journal: 'sqlite:PATH' (or a "
+        "bare *.sqlite/*.db path) for a durable store, 'memory' for an "
+        "ephemeral one; inspect later with 'repro explain-pair PATH ...'",
+    )
     return parser
 
 
@@ -266,6 +323,15 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
     if args.workers < 1:
         print("repro identify: --workers must be >= 1", file=sys.stderr)
         return 1
+    store = None
+    if args.store:
+        from repro.store import StoreError, make_store
+
+        try:
+            store = make_store(args.store, tracer=tracer)
+        except StoreError as exc:
+            print(f"repro identify: {exc}", file=sys.stderr)
+            return 1
     blocker = make_blocker(args.blocker) if args.blocker else None
     identifier = EntityIdentifier(
         r,
@@ -275,6 +341,7 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
         tracer=tracer,
         blocker=blocker,
         workers=args.workers,
+        store=store,
     )
     if observing:
         from repro.core.errors import CoreError
@@ -293,6 +360,10 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         matching = identifier.matching_table()
         report = identifier.verify()
+    if store is not None:
+        # Persist the negative table too — the journal should account for
+        # every conclusion the run reached, not just the matches.
+        identifier.negative_matching_table()
     if args.report:
         from repro.core.report import identification_report
 
@@ -323,6 +394,16 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
                 return 1
             if not args.quiet:
                 print(f"trace ({records} records) written to {args.trace}")
+    if store is not None:
+        counts = store.counts()
+        if not args.quiet:
+            print(
+                f"store: {counts['matches']} match(es), "
+                f"{counts['non_matches']} non-match(es), "
+                f"{counts['journal']} journal entrie(s) "
+                f"persisted via {args.store}"
+            )
+        store.close()
     return 0 if report.is_sound else 2
 
 
@@ -347,8 +428,238 @@ def stats_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def build_checkpoint_parser() -> argparse.ArgumentParser:
+    """The ``repro checkpoint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro checkpoint",
+        description="Load two CSV relations into an incremental "
+        "identification session and snapshot it — sources, matching "
+        "table, derivation journal, and delta cursor — into one SQLite "
+        "checkpoint that 'repro resume' can continue from.",
+    )
+    parser.add_argument("r_csv", help="first source relation (CSV with header)")
+    parser.add_argument("s_csv", help="second source relation (CSV with header)")
+    parser.add_argument("checkpoint_file", help="checkpoint to write (SQLite)")
+    parser.add_argument(
+        "--r-key", required=True, help="comma-separated key of the first relation"
+    )
+    parser.add_argument(
+        "--s-key", required=True, help="comma-separated key of the second relation"
+    )
+    parser.add_argument(
+        "--extended-key",
+        required=True,
+        help="comma-separated extended key (unified attribute names)",
+    )
+    parser.add_argument(
+        "--ilfd",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="inline ILFD, e.g. 'speciality=Mughalai -> cuisine=Indian' "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--ilfds-file",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="ILFD knowledge-base text file, one rule per line (repeatable)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary printout"
+    )
+    return parser
+
+
+def build_resume_parser() -> argparse.ArgumentParser:
+    """The ``repro resume`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro resume",
+        description="Reload a checkpoint written by 'repro checkpoint' "
+        "(replaying the derivation journal to verify it explains the "
+        "stored tables) and continue the session: apply further inserts "
+        "and new ILFDs without re-evaluating settled pairs.  Updates "
+        "persist into the same checkpoint file.",
+    )
+    parser.add_argument("checkpoint_file", help="checkpoint written earlier")
+    parser.add_argument(
+        "--insert-r",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="CSV of new R tuples to insert after resuming (repeatable)",
+    )
+    parser.add_argument(
+        "--insert-s",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="CSV of new S tuples to insert after resuming (repeatable)",
+    )
+    parser.add_argument(
+        "--ilfd",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="new ILFD to supply after resuming (repeatable)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the journal-replay and constraint audit on load",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress table printouts (exit status still reports soundness)",
+    )
+    return parser
+
+
+def build_explain_parser() -> argparse.ArgumentParser:
+    """The ``repro explain-pair`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro explain-pair",
+        description="Reconstruct, from the derivation journal alone, the "
+        "rule-firing chain behind one pair persisted in a store or "
+        "checkpoint: ILFD derivations, identity/distinctness firings, "
+        "assertions, retractions, and the pair's current verdict.",
+    )
+    parser.add_argument(
+        "store_file", help="SQLite store or checkpoint holding the journal"
+    )
+    parser.add_argument(
+        "--r",
+        metavar="KEYSPEC",
+        help="R tuple key as 'attr=value,attr=value'",
+    )
+    parser.add_argument(
+        "--s",
+        metavar="KEYSPEC",
+        help="S tuple key as 'attr=value,attr=value'",
+    )
+    return parser
+
+
+def _session_from_args(args) -> "object":
+    """Build and load the IncrementalIdentifier 'repro checkpoint' snapshots."""
+    from repro.federation.incremental import IncrementalIdentifier
+
+    r = read_csv(args.r_csv, keys=[_split_key(args.r_key)], name="R")
+    s = read_csv(args.s_csv, keys=[_split_key(args.s_key)], name="S")
+    ilfds: List[ILFD] = [parse_ilfd(text) for text in args.ilfd]
+    for path in args.ilfds_file:
+        from repro.ilfd.io import read_ilfds
+
+        ilfds.extend(read_ilfds(path))
+    identifier = IncrementalIdentifier(
+        r.schema, s.schema, _split_key(args.extended_key), ilfds=ilfds
+    )
+    identifier.load(r, s)
+    return identifier
+
+
+def checkpoint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro checkpoint``: returns 0 on success."""
+    args = build_checkpoint_parser().parse_args(argv)
+    identifier = _session_from_args(args)
+    identifier.checkpoint(args.checkpoint_file)
+    if not args.quiet:
+        import os
+
+        size = os.path.getsize(args.checkpoint_file)
+        print(
+            f"checkpoint written to {args.checkpoint_file}: "
+            f"{len(identifier.match_pairs())} match(es), "
+            f"version {identifier.version}, {size} bytes"
+        )
+    return 0
+
+
+def resume_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro resume``: 0 when sound, 1 on a bad checkpoint, 2 unsound."""
+    from repro.federation.incremental import IncrementalIdentifier
+    from repro.store import StoreError, StoreIntegrityError
+
+    args = build_resume_parser().parse_args(argv)
+    try:
+        identifier = IncrementalIdentifier.resume(
+            args.checkpoint_file, verify=not args.no_verify
+        )
+    except (StoreError, StoreIntegrityError) as exc:
+        print(f"repro resume: {exc}", file=sys.stderr)
+        return 1
+    resumed_version = identifier.version
+    added = 0
+    for path in args.insert_r:
+        for row in read_csv(path, enforce_keys=False):
+            added += len(identifier.insert_r(row).added)
+    for path in args.insert_s:
+        for row in read_csv(path, enforce_keys=False):
+            added += len(identifier.insert_s(row).added)
+    if args.ilfd:
+        added += len(
+            identifier.add_ilfds([parse_ilfd(text) for text in args.ilfd]).added
+        )
+    report = identifier.verify()
+    if not args.quiet:
+        print(
+            f"resumed {args.checkpoint_file} at version {resumed_version}; "
+            f"now version {identifier.version}, "
+            f"{len(identifier.match_pairs())} match(es) "
+            f"({added} added this session)"
+        )
+        print()
+        print(
+            format_relation(
+                identifier.matching_table().to_relation(),
+                title="matching table",
+            )
+        )
+        print()
+        print(report.message)
+    identifier.store.close()
+    return 0 if report.is_sound else 2
+
+
+def explain_pair_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro explain-pair``: journal-backed provenance for one pair."""
+    import os
+
+    from repro.store import SqliteStore, StoreError, explain_pair
+
+    args = build_explain_parser().parse_args(argv)
+    if args.r is None and args.s is None:
+        print("repro explain-pair: give --r and/or --s", file=sys.stderr)
+        return 1
+    try:
+        r_key = parse_key_spec(args.r) if args.r else None
+        s_key = parse_key_spec(args.s) if args.s else None
+    except ValueError as exc:
+        print(f"repro explain-pair: {exc}", file=sys.stderr)
+        return 1
+    if not os.path.exists(args.store_file):
+        print(
+            f"repro explain-pair: no such store: {args.store_file}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        store = SqliteStore(args.store_file)
+    except StoreError as exc:
+        print(f"repro explain-pair: {exc}", file=sys.stderr)
+        return 1
+    try:
+        entries = store.journal_entries(r_key=r_key, s_key=s_key)
+        print(explain_pair(entries, r_key, s_key))
+    finally:
+        store.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point: dispatches ``identify`` / ``stats`` / ``version``.
+    """Entry point: dispatches the subcommands (see ``_SUBCOMMANDS``).
 
     A first argument that is not a subcommand falls through to
     ``identify`` — the historical ``repro-identify R.csv S.csv ...``
@@ -362,6 +673,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 0
         if command == "stats":
             return stats_main(rest)
+        if command == "checkpoint":
+            return checkpoint_main(rest)
+        if command == "resume":
+            return resume_main(rest)
+        if command == "explain-pair":
+            return explain_pair_main(rest)
         return identify_main(rest)
     if arguments == ["--version"]:
         print(f"repro {package_version()}")

@@ -47,6 +47,8 @@ from repro.rules.conversion import ilfd_to_distinctness_rules
 from repro.rules.distinctness import DistinctnessRule
 from repro.rules.engine import MatchStatus, RuleEngine
 from repro.rules.identity import IdentityRule
+from repro.store.base import MatchStore
+from repro.store.journal import KIND_ASSERT
 
 __all__ = ["IdentificationResult", "EntityIdentifier"]
 
@@ -141,6 +143,13 @@ class EntityIdentifier:
         pipeline's tracer; pass ``executor`` to control backend and
         batch size yourself.  Results are deterministic and identical to
         serial evaluation regardless of worker count.
+    store:
+        Optional :class:`~repro.store.MatchStore`.  When given, every
+        table entry the pipeline produces is persisted to it with a
+        derivation-journal record naming the rule that fired (identity,
+        distinctness, ILFD derivations, and user assertions), so the
+        run's conclusions survive the process and ``repro explain-pair``
+        can reconstruct their provenance offline.
     """
 
     def __init__(
@@ -160,6 +169,7 @@ class EntityIdentifier:
         blocker: Optional[Blocker] = None,
         workers: int = 1,
         executor: Optional[ParallelPairExecutor] = None,
+        store: Optional[MatchStore] = None,
     ) -> None:
         self._tracer = tracer if tracer is not None else NO_OP_TRACER
         self._correspondence = correspondence or AttributeCorrespondence.identity()
@@ -196,6 +206,10 @@ class EntityIdentifier:
         self._s_key_attrs: Tuple[str, ...] = tuple(
             n for n in self._s.schema.names if n in s_key
         )
+
+        self._store = store
+        if store is not None:
+            store.set_key_attributes(self._r_key_attrs, self._s_key_attrs)
 
         self._blocker = blocker
         if executor is not None:
@@ -272,6 +286,11 @@ class EntityIdentifier:
         """The pair executor in use (None = serial legacy paths)."""
         return self._executor
 
+    @property
+    def store(self) -> Optional[MatchStore]:
+        """The persistence backend in use (None = nothing persisted)."""
+        return self._store
+
     # ------------------------------------------------------------------
     # Pipeline steps
     # ------------------------------------------------------------------
@@ -284,9 +303,36 @@ class EntityIdentifier:
                 r_rows=len(self._r),
                 s_rows=len(self._s),
             ):
-                self._extended_r = self._engine.extend_relation(self._r, targets)
-                self._extended_s = self._engine.extend_relation(self._s, targets)
+                self._extended_r = self._engine.extend_relation(
+                    self._r,
+                    targets,
+                    observer=self._derivation_observer("r", self._r_key_attrs),
+                )
+                self._extended_s = self._engine.extend_relation(
+                    self._s,
+                    targets,
+                    observer=self._derivation_observer("s", self._s_key_attrs),
+                )
         return self._extended_r, self._extended_s
+
+    def _derivation_observer(self, side: str, key_attrs: Tuple[str, ...]):
+        """Journal-writing hook for ILFD firings (None without a store)."""
+        store = self._store
+        if store is None:
+            return None
+
+        def observe(row: Row, result) -> None:
+            key = key_values(row, key_attrs)
+            store.record_derivation(
+                side,
+                key,
+                rule=", ".join(
+                    ilfd.name or repr(ilfd) for ilfd in result.fired
+                ),
+                derived=result.derived,
+            )
+
+        return observe
 
     def _blocked_evaluation(self) -> Tuple[List[Row], List[Row], PairEvaluation]:
         """Classify the blocker's candidate pairs (once, cached).
@@ -310,6 +356,13 @@ class EntityIdentifier:
         executor = self._executor
         if executor is None:
             executor = ParallelPairExecutor(1, tracer=self._tracer)
+        store_kwargs = {}
+        if self._store is not None:
+            store_kwargs = {
+                "store": self._store,
+                "r_keys": [key_values(row, self._r_key_attrs) for row in r_rows],
+                "s_keys": [key_values(row, self._s_key_attrs) for row in s_rows],
+            }
         try:
             evaluation = executor.evaluate(
                 candidates,
@@ -317,6 +370,7 @@ class EntityIdentifier:
                 s_rows,
                 self._rules.identity_rules,
                 self._rules.distinctness_rules,
+                **store_kwargs,
             )
         except MergeConsistencyError as exc:
             raise ConsistencyError(str(exc)) from exc
@@ -358,8 +412,36 @@ class EntityIdentifier:
                     self.r_key_attributes,
                     self.s_key_attributes,
                 )
-            for r_keys_map, s_keys_map in self._asserted:
-                table.add(self._asserted_entry(r_keys_map, s_keys_map))
+                if self._store is not None:
+                    # The legacy join *is* the extended-key rule: every
+                    # entry it emits is that rule firing.
+                    rule_name = self._rules.identity_rules[0].name
+                    with self._store.transaction():
+                        for entry in table:
+                            self._store.record_match(
+                                entry.r_key,
+                                entry.s_key,
+                                entry.r_row,
+                                entry.s_row,
+                                rule=rule_name,
+                            )
+            asserted_entries = [
+                self._asserted_entry(r_keys_map, s_keys_map)
+                for r_keys_map, s_keys_map in self._asserted
+            ]
+            for entry in asserted_entries:
+                table.add(entry)
+            if self._store is not None and asserted_entries:
+                with self._store.transaction():
+                    for entry in asserted_entries:
+                        self._store.record_match(
+                            entry.r_key,
+                            entry.s_key,
+                            entry.r_row,
+                            entry.s_row,
+                            rule="user-assertion",
+                            kind=KIND_ASSERT,
+                        )
             span.set("entries", len(table))
         if self._tracer.enabled:
             self._tracer.metrics.inc("pipeline.matches", len(table))
@@ -435,10 +517,26 @@ class EntityIdentifier:
                     for s_row in extended_s
                 ]
                 firing = self._rules.firing_distinctness_rules
+                store = self._store
+                new_entries: List[Tuple[MatchEntry, str]] = []
                 for r_row, r_key in r_entries:
                     for s_row, s_key in s_entries:
-                        if firing(r_row, s_row):
-                            table.add(MatchEntry(r_row, s_row, r_key, s_key))
+                        fired = firing(r_row, s_row)
+                        if fired:
+                            entry = MatchEntry(r_row, s_row, r_key, s_key)
+                            table.add(entry)
+                            if store is not None:
+                                new_entries.append((entry, fired[0].name))
+                if store is not None and new_entries:
+                    with store.transaction():
+                        for entry, rule_name in new_entries:
+                            store.record_non_match(
+                                entry.r_key,
+                                entry.s_key,
+                                entry.r_row,
+                                entry.s_row,
+                                rule=rule_name,
+                            )
             span.set("entries", len(table))
         if self._tracer.enabled:
             self._tracer.metrics.inc("pipeline.non_matches", len(table))

@@ -44,6 +44,8 @@ from repro.relational.nulls import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.row import Row
 from repro.relational.schema import Schema
+from repro.store.base import MatchStore
+from repro.store.memory import MemoryStore
 
 __all__ = ["Pair", "Delta", "IncrementalIdentifier"]
 
@@ -65,9 +67,10 @@ class Delta:
 class _Side:
     """Per-relation incremental state."""
 
-    __slots__ = ("schema", "key_attrs", "raw", "extended", "index")
+    __slots__ = ("name", "schema", "key_attrs", "raw", "extended", "index")
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
         self.schema = schema
         key = schema.primary_key
         self.key_attrs: Tuple[str, ...] = tuple(
@@ -84,6 +87,13 @@ class IncrementalIdentifier:
     Parameters mirror :class:`~repro.core.identifier.EntityIdentifier`,
     except the sources start out empty (seed them with
     :meth:`insert_r` / :meth:`insert_s` or :meth:`load`).
+
+    *store* is the persistence backend every mutation writes through to
+    (rows, matches, journal).  It defaults to a fresh
+    :class:`~repro.store.MemoryStore`, so the journal is always
+    available; pass a :class:`~repro.store.SqliteStore` for durability,
+    or use :meth:`checkpoint` / :meth:`resume` to snapshot and reload
+    whole sessions.
     """
 
     def __init__(
@@ -95,6 +105,7 @@ class IncrementalIdentifier:
         ilfds: ILFDSet | Iterable[ILFD] = (),
         policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
         tracer: Optional[Tracer] = None,
+        store: Optional[MatchStore] = None,
     ) -> None:
         if not isinstance(extended_key, ExtendedKey):
             extended_key = ExtendedKey(list(extended_key))
@@ -105,10 +116,23 @@ class IncrementalIdentifier:
         self._engine = DerivationEngine(
             self._ilfds, policy=policy, tracer=self._tracer
         )
-        self._r = _Side(r_schema)
-        self._s = _Side(s_schema)
+        self._r = _Side("r", r_schema)
+        self._s = _Side("s", s_schema)
         self._matches: Set[Pair] = set()
         self.version = 0
+        self._identity_rule_name = extended_key.identity_rule().name
+        self._store = store if store is not None else MemoryStore(tracer=tracer)
+        self._store.set_key_attributes(self._r.key_attrs, self._s.key_attrs)
+
+    def _bump_version(self) -> None:
+        """Advance the delta cursor, keeping the store's copy current.
+
+        Persisting the cursor on every bump is what lets a resumed
+        checkpoint be updated and resumed *again* from the same file
+        without an explicit re-checkpoint.
+        """
+        self.version += 1
+        self._store.set_meta("version", str(self.version))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -122,6 +146,16 @@ class IncrementalIdentifier:
     def ilfds(self) -> ILFDSet:
         """The current (growing) ILFD set."""
         return self._ilfds
+
+    @property
+    def policy(self) -> DerivationPolicy:
+        """The ILFD derivation policy in use."""
+        return self._policy
+
+    @property
+    def store(self) -> MatchStore:
+        """The persistence backend all mutations write through to."""
+        return self._store
 
     def match_pairs(self) -> Set[Pair]:
         """A copy of the current matched-pair set."""
@@ -144,9 +178,49 @@ class IncrementalIdentifier:
             )
         return table
 
+    def store_matching_table(self) -> MatchingTable:
+        """MT_RS materialised from the store (must mirror the live state)."""
+        return self._store.matching_table()
+
     def verify(self) -> SoundnessReport:
         """Soundness (uniqueness-constraint) check on the current state."""
         return verify_soundness(self.matching_table())
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str) -> None:
+        """Snapshot the whole session into a SQLite checkpoint at *path*.
+
+        The checkpoint carries both sources (raw and extended), the
+        matched-pair set, the derivation journal, the knowledge (extended
+        key, ILFDs, policy), and the delta cursor (``version``) — enough
+        for :meth:`resume` to continue applying deltas in a new process
+        without re-evaluating settled pairs.
+        """
+        from repro.store.checkpoint import checkpoint_incremental
+
+        checkpoint_incremental(self, path, tracer=self._tracer).close()
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        *,
+        tracer: Optional[Tracer] = None,
+        verify: bool = True,
+    ) -> "IncrementalIdentifier":
+        """Reload a :meth:`checkpoint` and continue the session.
+
+        The resumed identifier writes through to the opened checkpoint
+        store (further updates persist into the same file).  With
+        ``verify=True`` the journal is replayed against the stored tables
+        and the uniqueness/consistency constraints audited before the
+        state is trusted.
+        """
+        from repro.store.checkpoint import resume_incremental
+
+        return resume_incremental(path, tracer=tracer, verify=verify)
 
     def relations(self) -> Tuple[Relation, Relation]:
         """The current raw sources, as relations (for batch cross-checks)."""
@@ -199,8 +273,19 @@ class IncrementalIdentifier:
                 for row in s:
                     self._admit(self._s, row)
                 current = self.rescan(blocker, executor=executor)
-                added.extend(sorted(current - self._matches))
+                new_pairs = sorted(current - self._matches)
+                added.extend(new_pairs)
                 self._matches |= current
+                if new_pairs:
+                    with self._store.transaction():
+                        for r_key, s_key in new_pairs:
+                            self._store.record_match(
+                                r_key,
+                                s_key,
+                                self._r.extended[r_key],
+                                self._s.extended[s_key],
+                                rule=self._identity_rule_name,
+                            )
                 if self._tracer.enabled:
                     self._tracer.metrics.inc("federation.bulk_loads")
             span.set("matches_added", len(added))
@@ -285,7 +370,7 @@ class IncrementalIdentifier:
         self._engine = DerivationEngine(
             self._ilfds, policy=self._policy, tracer=self._tracer
         )
-        self.version += 1
+        self._bump_version()
         targets = list(self._key.attributes)
         added: List[Pair] = []
         rederived_count = 0
@@ -300,11 +385,27 @@ class IncrementalIdentifier:
                     row = side.extended[key]
                     if not row.has_nulls(targets):
                         continue  # complete rows cannot gain values
-                    rederived = self._engine.extend_row(side.raw[key], targets).row
+                    result = self._engine.extend_row(side.raw[key], targets)
+                    rederived = result.row
                     if rederived == row:
                         continue
                     rederived_count += 1
                     side.extended[key] = rederived
+                    self._store.put_row(side.name, key, side.raw[key], rederived)
+                    new_values = {
+                        attr: value
+                        for attr, value in result.derived.items()
+                        if is_null(row.get(attr, NULL))
+                    }
+                    if new_values:
+                        self._store.record_derivation(
+                            side.name,
+                            key,
+                            rule=", ".join(
+                                f.name or repr(f) for f in result.fired
+                            ),
+                            derived=new_values,
+                        )
                     complete = self._complete_values(rederived)
                     if complete is None:
                         continue
@@ -342,12 +443,19 @@ class IncrementalIdentifier:
         key = key_values(normalised, side.key_attrs)
         if key in side.raw:
             raise CoreError(f"duplicate key {key!r} on insert")
-        extended = self._engine.extend_row(
-            normalised, list(self._key.attributes)
-        ).row
+        result = self._engine.extend_row(normalised, list(self._key.attributes))
+        extended = result.row
         side.raw[key] = normalised
         side.extended[key] = extended
-        self.version += 1
+        self._bump_version()
+        self._store.put_row(side.name, key, normalised, extended)
+        if result.fired:
+            self._store.record_derivation(
+                side.name,
+                key,
+                rule=", ".join(f.name or repr(f) for f in result.fired),
+                derived=result.derived,
+            )
         complete = self._complete_values(extended)
         if complete is not None:
             side.index[complete].add(key)
@@ -380,6 +488,13 @@ class IncrementalIdentifier:
             if pair not in self._matches:
                 self._matches.add(pair)
                 added.append(pair)
+                self._store.record_match(
+                    pair[0],
+                    pair[1],
+                    self._r.extended[pair[0]],
+                    self._s.extended[pair[1]],
+                    rule=self._identity_rule_name,
+                )
         return added
 
     def _delete(
@@ -391,7 +506,8 @@ class IncrementalIdentifier:
             raise CoreError(f"no tuple with key {key!r}")
         extended = side.extended.pop(key)
         side.raw.pop(key)
-        self.version += 1
+        self._bump_version()
+        self._store.delete_row(side.name, key)
         complete = self._complete_values(extended)
         if complete is not None:
             side.index[complete].discard(key)
@@ -404,6 +520,9 @@ class IncrementalIdentifier:
         ]
         for pair in removed:
             self._matches.discard(pair)
+            self._store.remove_match(
+                pair[0], pair[1], reason=f"{side.name.upper()} tuple deleted"
+            )
         if self._tracer.enabled:
             metrics = self._tracer.metrics
             metrics.inc("federation.deletes")

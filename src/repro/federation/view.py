@@ -49,9 +49,15 @@ class VirtualIntegratedView:
         )
 
     def table(self) -> IntegratedTable:
-        """T_RS, materialised on demand and cached until the next update."""
+        """T_RS, materialised on demand and cached until the next update.
+
+        The matching table is read back from the identifier's store —
+        the durably persisted MT_RS, which write-through keeps identical
+        to the live in-memory state — so the view exercises exactly what
+        a checkpoint would save and a resume would reload.
+        """
         if not self.is_fresh():
-            matching = self._identifier.matching_table()
+            matching = self._identifier.store_matching_table()
             r, s = self._extended_relations()
             self._cached = integrate(r, s, matching)
             self._cached_version = self._identifier.version

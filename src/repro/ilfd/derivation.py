@@ -30,7 +30,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.ilfd.errors import DerivationConflictError
 from repro.ilfd.ilfd import ILFD, ILFDSet
@@ -188,6 +200,7 @@ class DerivationEngine:
         targets: Sequence[str],
         *,
         strict: bool = False,
+        observer: Optional[Callable[[Row, DerivationResult], None]] = None,
     ) -> Relation:
         """The paper's R → R' step: add *targets*, derive values per row.
 
@@ -195,6 +208,10 @@ class DerivationEngine:
         :class:`DerivationConflictError`; otherwise present values win and
         the contradiction is dropped (the prototype's behaviour — facts
         shadow rules).
+
+        *observer*, when given, is called as ``observer(original_row,
+        result)`` for every row whose derivation fired at least one ILFD —
+        the hook the store subsystem uses to journal derivations.
         """
         new_attrs = [
             Attribute(name)
@@ -216,6 +233,8 @@ class DerivationEngine:
                         f"row {row!r} contradicts ILFDs on "
                         f"{sorted(result.contradictions)}"
                     )
+                if observer is not None and result.fired:
+                    observer(row, result)
                 rows.append(result.row)
         extended = Relation(schema, (), name=f"{relation.name}'", enforce_keys=False)
         extended._rows = tuple(rows)

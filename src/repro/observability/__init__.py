@@ -47,6 +47,7 @@ from repro.observability.tracer import (
 from repro.observability.export import (
     format_blocking_summary,
     format_metrics,
+    format_store_summary,
     format_span_tree,
     format_trace_summary,
     read_trace_jsonl,
@@ -68,6 +69,7 @@ __all__ = [
     "Tracer",
     "format_blocking_summary",
     "format_metrics",
+    "format_store_summary",
     "format_span_tree",
     "format_trace_summary",
     "read_trace_jsonl",

@@ -28,6 +28,7 @@ __all__ = [
     "format_span_tree",
     "format_metrics",
     "format_blocking_summary",
+    "format_store_summary",
     "format_trace_summary",
 ]
 
@@ -193,6 +194,10 @@ def format_trace_summary(
     if blocking:
         lines.append("")
         lines.append(blocking)
+    store = format_store_summary(metrics) if metrics is not None else ""
+    if store:
+        lines.append("")
+        lines.append(store)
     if metrics is not None:
         lines.append("")
         lines.append(format_metrics(metrics))
@@ -226,6 +231,47 @@ def format_blocking_summary(snapshot: Mapping[str, Any]) -> str:
         evaluated = counters.get("executor.pairs_evaluated")
         if evaluated is not None:
             lines.append(f"  pairs evaluated   {evaluated}")
+    return "\n".join(lines)
+
+
+def format_store_summary(snapshot: Mapping[str, Any]) -> str:
+    """Persistence aggregates, when a run wrote to a match store.
+
+    Renders the ``store.*`` counters — table writes, journal appends,
+    transactions, and any checkpoint/resume accounting — or "" when the
+    run persisted nothing.
+    """
+    counters: Mapping[str, int] = snapshot.get("counters", {}) or {}
+    histograms: Mapping[str, Mapping[str, float]] = (
+        snapshot.get("histograms", {}) or {}
+    )
+    writes = counters.get("store.writes")
+    journal = counters.get("store.journal_entries")
+    if writes is None and journal is None:
+        return ""
+    lines = [
+        "store (persistence):",
+        f"  table writes      {writes or 0}",
+        f"  journal entries   {journal or 0}",
+    ]
+    removes = counters.get("store.removes")
+    if removes:
+        lines.append(f"  removes           {removes}")
+    transactions = counters.get("store.transactions")
+    if transactions:
+        lines.append(f"  transactions      {transactions}")
+    checkpoints = counters.get("store.checkpoints")
+    if checkpoints:
+        lines.append(f"  checkpoints       {checkpoints}")
+        size = histograms.get("store.checkpoint_bytes")
+        if size:
+            lines.append(f"  checkpoint bytes  {size['max']:g}")
+    resumes = counters.get("store.resumes")
+    if resumes:
+        lines.append(f"  resumes           {resumes}")
+        load = histograms.get("store.load_ms")
+        if load:
+            lines.append(f"  load time         {load['mean']:.3f} ms")
     return "\n".join(lines)
 
 

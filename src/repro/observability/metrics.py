@@ -43,6 +43,15 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "executor.pairs_evaluated": "candidate pairs classified by the executor",
     "executor.batch_pairs": "pairs per dispatched batch",
     "executor.consistency_conflicts": "pairs classified both matching and distinct",
+    # persistence (repro.store)
+    "store.writes": "table entries written to the match store",
+    "store.removes": "matching-table entries retracted from the store",
+    "store.journal_entries": "derivation-journal records appended",
+    "store.transactions": "store transactions committed",
+    "store.checkpoints": "checkpoint snapshots written",
+    "store.checkpoint_bytes": "on-disk size of written checkpoints",
+    "store.resumes": "checkpoint resumes performed",
+    "store.load_ms": "milliseconds spent loading checkpoints",
 }
 """Descriptions of the metric names core components emit.
 

@@ -1,0 +1,109 @@
+"""``repro.store`` — durable matching-table persistence.
+
+The paper's matching table MT_RS and negative matching table NMT_RS are
+artifacts meant to outlive one identification run and be reused across
+integration sessions.  This package persists them:
+
+- :class:`~repro.store.base.MatchStore` — the backend protocol,
+- :class:`~repro.store.memory.MemoryStore` — dicts, the default
+  (historical in-process behaviour),
+- :class:`~repro.store.sqlite.SqliteStore` — one SQLite file (stdlib
+  ``sqlite3``), durable across processes,
+- the **derivation journal** (:mod:`repro.store.journal`) — an
+  append-only log of every rule firing, so any persisted conclusion can
+  be explained (``repro explain-pair``) and audited offline,
+- **checkpoint/resume** (:mod:`repro.store.checkpoint`) — snapshot and
+  reload whole incremental sessions, delta cursor included.
+
+``make_store`` parses the CLI's ``--store`` spec: ``memory``,
+``sqlite:PATH``, or a bare ``*.sqlite`` / ``*.db`` path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.observability.tracer import Tracer
+from repro.store.base import MatchStore
+from repro.store.checkpoint import (
+    CHECKPOINT_FORMAT,
+    checkpoint_incremental,
+    resume_incremental,
+)
+from repro.store.codec import (
+    decode_key,
+    decode_row,
+    decode_schema,
+    encode_key,
+    encode_row,
+    encode_schema,
+)
+from repro.store.errors import StoreCodecError, StoreError, StoreIntegrityError
+from repro.store.journal import (
+    JOURNAL_KINDS,
+    KIND_ASSERT,
+    KIND_CHECKPOINT,
+    KIND_DISTINCTNESS,
+    KIND_IDENTITY,
+    KIND_ILFD,
+    KIND_REMOVE,
+    JournalEntry,
+    explain_pair,
+    replay_journal,
+)
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SqliteStore
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "JOURNAL_KINDS",
+    "KIND_ASSERT",
+    "KIND_CHECKPOINT",
+    "KIND_DISTINCTNESS",
+    "KIND_IDENTITY",
+    "KIND_ILFD",
+    "KIND_REMOVE",
+    "JournalEntry",
+    "MatchStore",
+    "MemoryStore",
+    "SqliteStore",
+    "StoreCodecError",
+    "StoreError",
+    "StoreIntegrityError",
+    "checkpoint_incremental",
+    "decode_key",
+    "decode_row",
+    "decode_schema",
+    "encode_key",
+    "encode_row",
+    "encode_schema",
+    "explain_pair",
+    "make_store",
+    "replay_journal",
+    "resume_incremental",
+]
+
+
+def make_store(spec: str, *, tracer: Optional[Tracer] = None) -> MatchStore:
+    """Build a store from a CLI spec string.
+
+    ``"memory"`` → :class:`MemoryStore`; ``"sqlite:PATH"`` (or a bare
+    path ending in ``.sqlite`` / ``.sqlite3`` / ``.db``) →
+    :class:`SqliteStore` at that path.
+    """
+    text = spec.strip()
+    if not text:
+        raise StoreError("empty store spec")
+    if text == "memory":
+        return MemoryStore(tracer=tracer)
+    if text.startswith("sqlite:"):
+        path = text[len("sqlite:"):]
+        if not path:
+            raise StoreError("sqlite store spec needs a path: sqlite:PATH")
+        return SqliteStore(path, tracer=tracer)
+    if text.endswith((".sqlite", ".sqlite3", ".db")):
+        return SqliteStore(text, tracer=tracer)
+    raise StoreError(
+        f"unrecognised store spec {spec!r}; expected 'memory', 'sqlite:PATH', "
+        "or a path ending in .sqlite/.sqlite3/.db"
+    )

@@ -1,0 +1,432 @@
+"""The ``MatchStore`` protocol: durable MT_RS / NMT_RS persistence.
+
+The paper materialises identification results in a matching table and a
+negative matching table that outlive one identification run — "those
+pairs evaluating to 'true' or 'false' can be represented in a matching
+table and a negative matching table" — and reuses them across
+integration sessions.  :class:`MatchStore` is that persistence surface:
+
+- the two pair tables, keyed by canonical key encodings,
+- the append-only **derivation journal** (:mod:`repro.store.journal`),
+- raw/extended source rows per side (what checkpoints snapshot),
+- a string metadata table (schemas, extended key, ILFDs, delta cursor).
+
+Backends implement a small primitive vocabulary; the shared recording
+API (``record_match`` / ``record_non_match`` / ``remove_match`` /
+``record_derivation``), table materialisation, and the offline audits
+(``check_constraints``, ``verify_journal``) live here, identical across
+:class:`~repro.store.memory.MemoryStore` and
+:class:`~repro.store.sqlite.SqliteStore`.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import time
+from typing import Any, ContextManager, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.core.matching_table import (
+    MatchEntry,
+    MatchingTable,
+    NegativeMatchingTable,
+    check_consistency,
+)
+from repro.observability.tracer import NO_OP_TRACER, Tracer
+from repro.relational.row import Row
+from repro.store.codec import KeyValues
+from repro.store.errors import StoreError, StoreIntegrityError
+from repro.store.journal import (
+    KIND_ASSERT,
+    KIND_CHECKPOINT,
+    KIND_DISTINCTNESS,
+    KIND_IDENTITY,
+    KIND_ILFD,
+    KIND_REMOVE,
+    JournalEntry,
+    replay_journal,
+)
+
+__all__ = ["MatchStore", "SIDES"]
+
+Pair = Tuple[KeyValues, KeyValues]
+
+SIDES = ("r", "s")
+
+META_R_KEY_ATTRIBUTES = "r_key_attributes"
+META_S_KEY_ATTRIBUTES = "s_key_attributes"
+
+
+class MatchStore(abc.ABC):
+    """Abstract persistence backend for matching state.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; when given, the
+        store emits ``store.*`` metrics (writes, removes, journal
+        entries, transactions).
+    """
+
+    def __init__(self, *, tracer: Optional[Tracer] = None) -> None:
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
+
+    # ------------------------------------------------------------------
+    # Backend primitives
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def put_match(
+        self, r_key: KeyValues, s_key: KeyValues, r_row: Row, s_row: Row
+    ) -> None:
+        """Insert/replace one matching-table entry (no journal write)."""
+
+    @abc.abstractmethod
+    def put_non_match(
+        self, r_key: KeyValues, s_key: KeyValues, r_row: Row, s_row: Row
+    ) -> None:
+        """Insert/replace one negative-table entry (no journal write)."""
+
+    @abc.abstractmethod
+    def delete_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        """Remove one matching-table entry; True iff it existed."""
+
+    @abc.abstractmethod
+    def match_items(self) -> Iterator[Tuple[Pair, Tuple[Row, Row]]]:
+        """All matching entries as ``((r_key, s_key), (r_row, s_row))``."""
+
+    @abc.abstractmethod
+    def non_match_items(self) -> Iterator[Tuple[Pair, Tuple[Row, Row]]]:
+        """All negative entries, same shape as :meth:`match_items`."""
+
+    @abc.abstractmethod
+    def has_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        """True iff the pair is in the matching table."""
+
+    @abc.abstractmethod
+    def has_non_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        """True iff the pair is in the negative matching table."""
+
+    @abc.abstractmethod
+    def append_journal(self, entry: JournalEntry) -> JournalEntry:
+        """Append *entry*, assigning its ``seq``; returns the stored entry."""
+
+    @abc.abstractmethod
+    def journal_entries(
+        self,
+        *,
+        r_key: Optional[KeyValues] = None,
+        s_key: Optional[KeyValues] = None,
+    ) -> List[JournalEntry]:
+        """Journal entries in seq order, optionally filtered to a pair.
+
+        With a key filter, returns exactly the entries for which
+        :meth:`JournalEntry.concerns` holds — two-sided entries for the
+        pair plus one-sided ILFD entries for either tuple.
+        """
+
+    @abc.abstractmethod
+    def set_meta(self, key: str, value: str) -> None:
+        """Set one metadata string."""
+
+    @abc.abstractmethod
+    def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Read one metadata string."""
+
+    @abc.abstractmethod
+    def meta_items(self) -> Iterator[Tuple[str, str]]:
+        """All metadata entries."""
+
+    @abc.abstractmethod
+    def put_row(self, side: str, key: KeyValues, raw: Row, extended: Row) -> None:
+        """Persist one source tuple (raw and extended forms)."""
+
+    @abc.abstractmethod
+    def delete_row(self, side: str, key: KeyValues) -> bool:
+        """Forget one source tuple; True iff it existed."""
+
+    @abc.abstractmethod
+    def row_items(self, side: str) -> Iterator[Tuple[KeyValues, Row, Row]]:
+        """All persisted tuples of *side* as ``(key, raw, extended)``."""
+
+    @abc.abstractmethod
+    def transaction(self) -> ContextManager["MatchStore"]:
+        """Group writes atomically (all-or-nothing on the backend)."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop all persisted state (tables, journal, rows, metadata)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release backend resources; the store is unusable afterwards."""
+
+    def size_bytes(self) -> int:
+        """Storage footprint in bytes (0 when not backed by a file)."""
+        return 0
+
+    @staticmethod
+    def _check_side(side: str) -> str:
+        if side not in SIDES:
+            raise StoreError(f"unknown side {side!r}; expected one of {SIDES}")
+        return side
+
+    # ------------------------------------------------------------------
+    # Recording (shared journaling glue)
+    # ------------------------------------------------------------------
+    def record_match(
+        self,
+        r_key: KeyValues,
+        s_key: KeyValues,
+        r_row: Row,
+        s_row: Row,
+        *,
+        rule: str = "",
+        kind: str = KIND_IDENTITY,
+        payload: Optional[Mapping[str, Any]] = None,
+        timestamp: Optional[float] = None,
+    ) -> None:
+        """Persist a match and journal the rule firing behind it."""
+        if kind not in (KIND_IDENTITY, KIND_ASSERT):
+            raise StoreError(f"matches are journaled as identity/assert, not {kind!r}")
+        self.put_match(r_key, s_key, r_row, s_row)
+        self.append_journal(
+            JournalEntry(
+                seq=0,
+                timestamp=timestamp if timestamp is not None else time.time(),
+                kind=kind,
+                rule=rule,
+                r_key=r_key,
+                s_key=s_key,
+                payload=dict(payload or {}),
+            )
+        )
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("store.writes")
+            metrics.inc("store.journal_entries")
+
+    def record_non_match(
+        self,
+        r_key: KeyValues,
+        s_key: KeyValues,
+        r_row: Row,
+        s_row: Row,
+        *,
+        rule: str = "",
+        payload: Optional[Mapping[str, Any]] = None,
+        timestamp: Optional[float] = None,
+    ) -> None:
+        """Persist a non-match and journal the distinctness firing."""
+        self.put_non_match(r_key, s_key, r_row, s_row)
+        self.append_journal(
+            JournalEntry(
+                seq=0,
+                timestamp=timestamp if timestamp is not None else time.time(),
+                kind=KIND_DISTINCTNESS,
+                rule=rule,
+                r_key=r_key,
+                s_key=s_key,
+                payload=dict(payload or {}),
+            )
+        )
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("store.writes")
+            metrics.inc("store.journal_entries")
+
+    def remove_match(
+        self,
+        r_key: KeyValues,
+        s_key: KeyValues,
+        *,
+        reason: str = "source delete",
+        timestamp: Optional[float] = None,
+    ) -> bool:
+        """Retract a match, journaling the retraction; True iff present."""
+        existed = self.delete_match(r_key, s_key)
+        if existed:
+            self.append_journal(
+                JournalEntry(
+                    seq=0,
+                    timestamp=timestamp if timestamp is not None else time.time(),
+                    kind=KIND_REMOVE,
+                    r_key=r_key,
+                    s_key=s_key,
+                    payload={"reason": reason},
+                )
+            )
+            if self._tracer.enabled:
+                metrics = self._tracer.metrics
+                metrics.inc("store.removes")
+                metrics.inc("store.journal_entries")
+        return existed
+
+    def record_derivation(
+        self,
+        side: str,
+        key: KeyValues,
+        *,
+        rule: str,
+        derived: Mapping[str, Any],
+        timestamp: Optional[float] = None,
+    ) -> None:
+        """Journal one ILFD firing for the tuple *key* on *side*."""
+        self._check_side(side)
+        self.append_journal(
+            JournalEntry(
+                seq=0,
+                timestamp=timestamp if timestamp is not None else time.time(),
+                kind=KIND_ILFD,
+                rule=rule,
+                r_key=key if side == "r" else None,
+                s_key=key if side == "s" else None,
+                payload={"derived": dict(derived)},
+            )
+        )
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("store.journal_entries")
+
+    def record_checkpoint_marker(
+        self, *, note: str = "", timestamp: Optional[float] = None
+    ) -> None:
+        """Journal a snapshot boundary."""
+        self.append_journal(
+            JournalEntry(
+                seq=0,
+                timestamp=timestamp if timestamp is not None else time.time(),
+                kind=KIND_CHECKPOINT,
+                payload={"note": note} if note else {},
+            )
+        )
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("store.journal_entries")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def match_pairs(self) -> Set[Pair]:
+        """All matching pairs."""
+        return {pair for pair, _ in self.match_items()}
+
+    def non_match_pairs(self) -> Set[Pair]:
+        """All negative pairs."""
+        return {pair for pair, _ in self.non_match_items()}
+
+    def set_key_attributes(
+        self, r_attributes: Tuple[str, ...], s_attributes: Tuple[str, ...]
+    ) -> None:
+        """Persist the per-side key attribute lists the tables render with."""
+        self.set_meta(META_R_KEY_ATTRIBUTES, json.dumps(list(r_attributes)))
+        self.set_meta(META_S_KEY_ATTRIBUTES, json.dumps(list(s_attributes)))
+
+    def key_attributes(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """The persisted key attribute lists ((), () when never set)."""
+        r_text = self.get_meta(META_R_KEY_ATTRIBUTES)
+        s_text = self.get_meta(META_S_KEY_ATTRIBUTES)
+        return (
+            tuple(json.loads(r_text)) if r_text else (),
+            tuple(json.loads(s_text)) if s_text else (),
+        )
+
+    def _build_table(self, items: Iterator[Tuple[Pair, Tuple[Row, Row]]], cls):
+        r_attrs, s_attrs = self.key_attributes()
+        entries = []
+        for (r_key, s_key), (r_row, s_row) in items:
+            if not r_attrs:
+                r_attrs = tuple(attr for attr, _ in r_key)
+            if not s_attrs:
+                s_attrs = tuple(attr for attr, _ in s_key)
+            entries.append(MatchEntry(r_row, s_row, r_key, s_key))
+        table = cls(r_key_attributes=r_attrs, s_key_attributes=s_attrs)
+        for entry in sorted(entries, key=lambda e: e.pair):
+            table.add(entry)
+        return table
+
+    def matching_table(self) -> MatchingTable:
+        """MT_RS materialised from the store (deterministic pair order)."""
+        return self._build_table(self.match_items(), MatchingTable)
+
+    def negative_matching_table(self) -> NegativeMatchingTable:
+        """NMT_RS materialised from the store (deterministic pair order)."""
+        return self._build_table(self.non_match_items(), NegativeMatchingTable)
+
+    # ------------------------------------------------------------------
+    # Offline audits
+    # ------------------------------------------------------------------
+    def check_constraints(self) -> None:
+        """Audit the paper's constraints over the persisted tables.
+
+        Raises :class:`StoreIntegrityError` when the uniqueness
+        constraint (no tuple matched twice) or the consistency constraint
+        (MT ∩ NMT = ∅) fails — the offline counterpart of the pipeline's
+        ``verify`` step, runnable against a store with no sources loaded.
+        """
+        matching = self.matching_table()
+        violations = matching.uniqueness_violations()
+        if violations["R"] or violations["S"]:
+            raise StoreIntegrityError(
+                "stored matching table violates the uniqueness constraint: "
+                f"R={violations['R']!r} S={violations['S']!r}"
+            )
+        try:
+            check_consistency(matching, self.negative_matching_table())
+        except Exception as exc:
+            raise StoreIntegrityError(
+                f"stored tables violate the consistency constraint: {exc}"
+            ) from exc
+
+    def verify_journal(self) -> Tuple[int, int]:
+        """Replay the journal and require it to reproduce the tables.
+
+        Returns ``(match_count, non_match_count)`` on success; raises
+        :class:`StoreIntegrityError` when the journal and the tables
+        disagree — a store whose provenance cannot explain its contents
+        is treated as corrupt on load.
+        """
+        matches, negatives = replay_journal(self.journal_entries())
+        stored_matches = self.match_pairs()
+        stored_negatives = self.non_match_pairs()
+        if matches != stored_matches:
+            missing = sorted(stored_matches - matches)[:3]
+            phantom = sorted(matches - stored_matches)[:3]
+            raise StoreIntegrityError(
+                "journal replay does not reproduce the matching table "
+                f"(unexplained entries: {missing!r}; journal-only: {phantom!r})"
+            )
+        if negatives != stored_negatives:
+            raise StoreIntegrityError(
+                "journal replay does not reproduce the negative matching table"
+            )
+        return len(stored_matches), len(stored_negatives)
+
+    # ------------------------------------------------------------------
+    # Bulk copy (checkpointing)
+    # ------------------------------------------------------------------
+    def copy_into(self, dest: "MatchStore") -> None:
+        """Copy all persisted state into *dest* (journal order preserved).
+
+        ``seq`` values are reassigned by *dest*'s append; relative order
+        — all provenance semantics the journal carries — is unchanged.
+        """
+        with dest.transaction():
+            for key, value in self.meta_items():
+                dest.set_meta(key, value)
+            for side in SIDES:
+                for key, raw, extended in self.row_items(side):
+                    dest.put_row(side, key, raw, extended)
+            for (r_key, s_key), (r_row, s_row) in self.match_items():
+                dest.put_match(r_key, s_key, r_row, s_row)
+            for (r_key, s_key), (r_row, s_row) in self.non_match_items():
+                dest.put_non_match(r_key, s_key, r_row, s_row)
+            for entry in self.journal_entries():
+                dest.append_journal(entry)
+
+    def counts(self) -> Mapping[str, int]:
+        """Entry counts per table (diagnostics and the CLI summary)."""
+        return {
+            "matches": sum(1 for _ in self.match_items()),
+            "non_matches": sum(1 for _ in self.non_match_items()),
+            "journal": len(self.journal_entries()),
+            "r_rows": sum(1 for _ in self.row_items("r")),
+            "s_rows": sum(1 for _ in self.row_items("s")),
+        }

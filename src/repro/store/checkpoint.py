@@ -1,0 +1,233 @@
+"""Checkpoint/resume for incremental identification sessions.
+
+A checkpoint is one SQLite file carrying everything an
+:class:`~repro.federation.incremental.IncrementalIdentifier` is: both
+source relations (raw and ILFD-extended rows), the matched-pair set, the
+derivation journal, the knowledge (extended key + ILFD set + policy),
+and the **delta cursor** — the identifier's monotone ``version`` counter,
+so a resumed session knows exactly how much update history the snapshot
+covers and continues applying deltas without re-evaluating settled
+pairs.
+
+On load, the journal is replayed and must reproduce the stored matching
+table (:meth:`~repro.store.base.MatchStore.verify_journal`), and the
+paper's uniqueness/consistency constraints are audited
+(:meth:`~repro.store.base.MatchStore.check_constraints`) — a checkpoint
+whose provenance cannot explain its contents is rejected as corrupt
+rather than silently trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.ilfd.conditions import Condition
+from repro.ilfd.derivation import DerivationPolicy
+from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.observability.tracer import NO_OP_TRACER, Tracer
+from repro.store.codec import (
+    decode_schema,
+    decode_value,
+    encode_schema,
+    encode_value,
+)
+from repro.store.errors import StoreError
+from repro.store.sqlite import SqliteStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.federation.incremental import IncrementalIdentifier
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "checkpoint_incremental",
+    "resume_incremental",
+]
+
+CHECKPOINT_FORMAT = "repro-store/1"
+
+META_FORMAT = "format"
+META_KIND = "kind"
+META_CREATED = "created"
+META_R_SCHEMA = "r_schema"
+META_S_SCHEMA = "s_schema"
+META_EXTENDED_KEY = "extended_key"
+META_ILFDS = "ilfds"
+META_POLICY = "policy"
+META_VERSION = "version"
+
+_KIND_INCREMENTAL = "incremental-checkpoint"
+
+
+def _encode_ilfds(ilfds: ILFDSet) -> str:
+    """ILFDs as JSON — lossless, unlike the DBA-facing text format.
+
+    ``repro.ilfd.io``'s knowledge-base syntax cannot represent every
+    rule name (a name containing ``:`` re-parses differently), so
+    checkpoints carry the structure itself: name plus (attribute,
+    value) condition lists, values going through the store codec.
+    """
+    return json.dumps(
+        [
+            {
+                "name": ilfd.name,
+                "antecedent": [
+                    [c.attribute, encode_value(c.value)]
+                    for c in sorted(ilfd.antecedent)
+                ],
+                "consequent": [
+                    [c.attribute, encode_value(c.value)]
+                    for c in sorted(ilfd.consequent)
+                ],
+            }
+            for ilfd in ilfds
+        ],
+        separators=(",", ":"),
+    )
+
+
+def _decode_ilfds(text: str) -> ILFDSet:
+    """Inverse of :func:`_encode_ilfds`."""
+    return ILFDSet(
+        ILFD(
+            [
+                Condition(attr, decode_value(value))
+                for attr, value in record["antecedent"]
+            ],
+            [
+                Condition(attr, decode_value(value))
+                for attr, value in record["consequent"]
+            ],
+            name=record["name"],
+        )
+        for record in json.loads(text or "[]")
+    )
+
+
+def checkpoint_incremental(
+    identifier: "IncrementalIdentifier",
+    path: str,
+    *,
+    tracer: Optional[Tracer] = None,
+) -> SqliteStore:
+    """Snapshot *identifier* into a SQLite checkpoint at *path*.
+
+    Overwrites any existing checkpoint at *path*.  Returns the (still
+    open) destination store; callers that only want the file should
+    ``close()`` it.
+    """
+    tracer = tracer if tracer is not None else NO_OP_TRACER
+    dest = SqliteStore(path, tracer=tracer)
+    with tracer.span("store.checkpoint", path=str(path)) as span:
+        dest.clear()
+        with dest.transaction():
+            dest.set_meta(META_FORMAT, CHECKPOINT_FORMAT)
+            dest.set_meta(META_KIND, _KIND_INCREMENTAL)
+            dest.set_meta(META_CREATED, repr(time.time()))
+            dest.set_meta(META_R_SCHEMA, encode_schema(identifier._r.schema))
+            dest.set_meta(META_S_SCHEMA, encode_schema(identifier._s.schema))
+            dest.set_meta(
+                META_EXTENDED_KEY,
+                json.dumps(list(identifier.extended_key.attributes)),
+            )
+            dest.set_meta(META_ILFDS, _encode_ilfds(identifier.ilfds))
+            dest.set_meta(META_POLICY, identifier.policy.value)
+            dest.set_meta(META_VERSION, str(identifier.version))
+            dest.set_key_attributes(
+                identifier._r.key_attrs, identifier._s.key_attrs
+            )
+            for side_name, side in (("r", identifier._r), ("s", identifier._s)):
+                for key, raw in side.raw.items():
+                    dest.put_row(side_name, key, raw, side.extended[key])
+            for r_key, s_key in identifier.match_pairs():
+                dest.put_match(
+                    r_key,
+                    s_key,
+                    identifier._r.extended[r_key],
+                    identifier._s.extended[s_key],
+                )
+            for entry in identifier.store.journal_entries():
+                dest.append_journal(entry)
+            dest.record_checkpoint_marker(
+                note=f"version={identifier.version}"
+            )
+        size = dest.size_bytes()
+        span.set("bytes", size)
+        span.set("matches", len(identifier.match_pairs()))
+    if tracer.enabled:
+        metrics = tracer.metrics
+        metrics.inc("store.checkpoints")
+        metrics.observe("store.checkpoint_bytes", size)
+    return dest
+
+
+def resume_incremental(
+    path: str,
+    *,
+    tracer: Optional[Tracer] = None,
+    verify: bool = True,
+) -> "IncrementalIdentifier":
+    """Reload a checkpoint and return a live, continuable identifier.
+
+    The resumed identifier owns the opened :class:`SqliteStore` (further
+    updates persist into the same file) and its ``version`` continues
+    from the checkpointed delta cursor.  With ``verify=True`` (default)
+    the journal is replayed against the stored tables and the
+    uniqueness/consistency constraints are audited before any state is
+    trusted; failures raise
+    :class:`~repro.store.errors.StoreIntegrityError`.
+    """
+    from repro.federation.incremental import IncrementalIdentifier
+
+    tracer = tracer if tracer is not None else NO_OP_TRACER
+    start = time.perf_counter()
+    store = SqliteStore(path, tracer=tracer)
+    with tracer.span("store.resume", path=str(path)) as span:
+        fmt = store.get_meta(META_FORMAT)
+        if fmt != CHECKPOINT_FORMAT:
+            raise StoreError(
+                f"{path!r} is not a repro checkpoint "
+                f"(format {fmt!r}, expected {CHECKPOINT_FORMAT!r})"
+            )
+        kind = store.get_meta(META_KIND)
+        if kind != _KIND_INCREMENTAL:
+            raise StoreError(f"{path!r} holds a {kind!r}, not an incremental checkpoint")
+        if verify:
+            store.check_constraints()
+            store.verify_journal()
+        r_schema = decode_schema(store.get_meta(META_R_SCHEMA, ""))
+        s_schema = decode_schema(store.get_meta(META_S_SCHEMA, ""))
+        extended_key = json.loads(store.get_meta(META_EXTENDED_KEY, "[]"))
+        ilfds = _decode_ilfds(store.get_meta(META_ILFDS, ""))
+        policy = DerivationPolicy(
+            store.get_meta(META_POLICY, DerivationPolicy.FIRST_MATCH.value)
+        )
+        identifier = IncrementalIdentifier(
+            r_schema,
+            s_schema,
+            extended_key,
+            ilfds=ilfds,
+            policy=policy,
+            tracer=tracer,
+            store=store,
+        )
+        # Restore state directly (no journaling: these are not new events)
+        # — settled pairs are *loaded*, never re-evaluated.
+        for side_name, side in (("r", identifier._r), ("s", identifier._s)):
+            for key, raw, extended in store.row_items(side_name):
+                side.raw[key] = raw
+                side.extended[key] = extended
+                complete = identifier._complete_values(extended)
+                if complete is not None:
+                    side.index[complete].add(key)
+        identifier._matches = store.match_pairs()
+        identifier.version = int(store.get_meta(META_VERSION, "0"))
+        span.set("matches", len(identifier._matches))
+        span.set("rows", len(identifier._r.raw) + len(identifier._s.raw))
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    if tracer.enabled:
+        metrics = tracer.metrics
+        metrics.inc("store.resumes")
+        metrics.observe("store.load_ms", elapsed_ms)
+    return identifier

@@ -1,0 +1,152 @@
+"""Canonical serialisation of keys, rows, and schemas.
+
+Everything a :class:`~repro.store.base.MatchStore` persists is reduced to
+deterministic JSON text: the same key or row always encodes to the same
+byte string, so encoded keys are usable as primary keys in SQLite and a
+save → load round trip is *bit-identical* (the property the store test
+suite asserts).
+
+The one non-JSON value in the data model is the
+:data:`~repro.relational.nulls.NULL` marker — Section 6.2's "NULL is not
+equal to NULL" sentinel — which must survive a round trip as the same
+singleton, not as ``None`` (user data may legitimately contain ``None``).
+NULL and the few structured values are escaped through one-key marker
+objects: ``{"~": "null"}`` for NULL, ``{"~": "tuple", "items": [...]}``
+for tuples, and ``{"~": "escape", "value": ...}`` shields any genuine
+mapping that itself carries a ``"~"`` key.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Mapping, Tuple
+
+from repro.relational.attribute import Attribute, Domain
+from repro.relational.nulls import NULL, is_null
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+from repro.store.errors import StoreCodecError
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "encode_key",
+    "decode_key",
+    "encode_row",
+    "decode_row",
+    "encode_schema",
+    "decode_schema",
+]
+
+KeyValues = Tuple[Tuple[str, Any], ...]
+
+_MARKER = "~"
+_DTYPES = {"str": str, "int": int, "float": float, "bool": bool}
+
+
+def encode_value(value: Any) -> Any:
+    """One domain value as a JSON-safe object (NULL-aware)."""
+    if is_null(value):
+        return {_MARKER: "null"}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, tuple):
+        return {_MARKER: "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, Mapping):
+        return {
+            _MARKER: "escape",
+            "value": {str(k): encode_value(v) for k, v in value.items()},
+        }
+    raise StoreCodecError(
+        f"cannot serialise value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def decode_value(encoded: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(encoded, dict):
+        marker = encoded.get(_MARKER)
+        if marker == "null":
+            return NULL
+        if marker == "tuple":
+            return tuple(decode_value(v) for v in encoded["items"])
+        if marker == "escape":
+            return {k: decode_value(v) for k, v in encoded["value"].items()}
+        raise StoreCodecError(f"unknown value marker in {encoded!r}")
+    return encoded
+
+
+def encode_key(key: KeyValues) -> str:
+    """A ``KeyValues`` tuple as canonical JSON text.
+
+    ``KeyValues`` is already sorted by attribute (see
+    :func:`repro.core.matching_table.key_values`), so the encoding is
+    deterministic without re-sorting — identical keys encode identically,
+    making the text usable as a SQLite primary-key column.
+    """
+    try:
+        pairs: List[List[Any]] = [
+            [attr, encode_value(value)] for attr, value in key
+        ]
+    except (TypeError, ValueError) as exc:
+        raise StoreCodecError(f"malformed key {key!r}: {exc}") from exc
+    return json.dumps(pairs, separators=(",", ":"), sort_keys=False)
+
+
+def decode_key(text: str) -> KeyValues:
+    """Inverse of :func:`encode_key`."""
+    try:
+        pairs = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StoreCodecError(f"malformed key text {text!r}: {exc}") from exc
+    return tuple((attr, decode_value(value)) for attr, value in pairs)
+
+
+def encode_row(row: Mapping[str, Any]) -> str:
+    """A row as canonical JSON text (attributes sorted, NULL-aware)."""
+    return json.dumps(
+        {name: encode_value(value) for name, value in row.items()},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+
+
+def decode_row(text: str) -> Row:
+    """Inverse of :func:`encode_row`, always producing a :class:`Row`."""
+    try:
+        values = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StoreCodecError(f"malformed row text {text!r}: {exc}") from exc
+    return Row({name: decode_value(value) for name, value in values.items()})
+
+
+def encode_schema(schema: Schema) -> str:
+    """A schema (names, dtypes, candidate keys) as JSON text.
+
+    Enumerated domains are not preserved — checkpoints store the dtype
+    only, which is what row validation on resume needs.
+    """
+    return json.dumps(
+        {
+            "names": list(schema.names),
+            "dtypes": [attr.domain.dtype.__name__ for attr in schema.attributes],
+            "keys": [sorted(key) for key in schema.keys],
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_schema(text: str) -> Schema:
+    """Inverse of :func:`encode_schema`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StoreCodecError(f"malformed schema text {text!r}: {exc}") from exc
+    try:
+        attributes = [
+            Attribute(name, Domain(_DTYPES[dtype]))
+            for name, dtype in zip(data["names"], data["dtypes"])
+        ]
+        return Schema(attributes, data["keys"])
+    except (KeyError, TypeError) as exc:
+        raise StoreCodecError(f"malformed schema record {data!r}: {exc}") from exc

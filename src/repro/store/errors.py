@@ -1,0 +1,22 @@
+"""Errors raised by the persistence subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["StoreError", "StoreCodecError", "StoreIntegrityError"]
+
+
+class StoreError(Exception):
+    """Base class for matching-store failures."""
+
+
+class StoreCodecError(StoreError):
+    """A value, key, or row cannot be (de)serialised canonically."""
+
+
+class StoreIntegrityError(StoreError):
+    """Persisted state violates the paper's constraints or the journal.
+
+    Raised when a loaded store fails the uniqueness constraint, the
+    consistency constraint (matching/negative overlap), or when replaying
+    the derivation journal does not reproduce the stored tables.
+    """

@@ -1,0 +1,165 @@
+"""The in-memory backend: current behaviour, now behind the protocol.
+
+:class:`MemoryStore` keeps everything in plain dicts and lists — zero
+durability, zero I/O, the semantics the repo had before the store
+subsystem existed.  It is the default backend, the reference
+implementation the SQLite property tests compare against, and the
+cheapest way to get a queryable journal for a single process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.observability.tracer import Tracer
+from repro.relational.row import Row
+from repro.store.base import MatchStore, Pair
+from repro.store.codec import KeyValues
+from repro.store.journal import JournalEntry
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(MatchStore):
+    """Dict-backed :class:`~repro.store.base.MatchStore` (no durability).
+
+    ``transaction()`` takes a full snapshot on entry and restores it if
+    the block raises, so batch writes are all-or-nothing here too —
+    the same contract the SQLite backend gets from real transactions.
+    """
+
+    def __init__(self, *, tracer: Optional[Tracer] = None) -> None:
+        super().__init__(tracer=tracer)
+        self._matches: Dict[Pair, Tuple[Row, Row]] = {}
+        self._non_matches: Dict[Pair, Tuple[Row, Row]] = {}
+        self._journal: List[JournalEntry] = []
+        self._meta: Dict[str, str] = {}
+        self._rows: Dict[str, Dict[KeyValues, Tuple[Row, Row]]] = {
+            "r": {},
+            "s": {},
+        }
+        self._next_seq = 1
+        self._txn_depth = 0
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def put_match(
+        self, r_key: KeyValues, s_key: KeyValues, r_row: Row, s_row: Row
+    ) -> None:
+        self._matches[(r_key, s_key)] = (r_row, s_row)
+
+    def put_non_match(
+        self, r_key: KeyValues, s_key: KeyValues, r_row: Row, s_row: Row
+    ) -> None:
+        self._non_matches[(r_key, s_key)] = (r_row, s_row)
+
+    def delete_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        return self._matches.pop((r_key, s_key), None) is not None
+
+    def match_items(self) -> Iterator[Tuple[Pair, Tuple[Row, Row]]]:
+        return iter(list(self._matches.items()))
+
+    def non_match_items(self) -> Iterator[Tuple[Pair, Tuple[Row, Row]]]:
+        return iter(list(self._non_matches.items()))
+
+    def has_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        return (r_key, s_key) in self._matches
+
+    def has_non_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        return (r_key, s_key) in self._non_matches
+
+    def append_journal(self, entry: JournalEntry) -> JournalEntry:
+        stored = replace(entry, seq=self._next_seq)
+        self._next_seq += 1
+        self._journal.append(stored)
+        return stored
+
+    def journal_entries(
+        self,
+        *,
+        r_key: Optional[KeyValues] = None,
+        s_key: Optional[KeyValues] = None,
+    ) -> List[JournalEntry]:
+        if r_key is None and s_key is None:
+            return list(self._journal)
+        return [
+            entry for entry in self._journal if entry.concerns(r_key, s_key)
+        ]
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._meta[key] = value
+
+    def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self._meta.get(key, default)
+
+    def meta_items(self) -> Iterator[Tuple[str, str]]:
+        return iter(list(self._meta.items()))
+
+    def put_row(self, side: str, key: KeyValues, raw: Row, extended: Row) -> None:
+        self._rows[self._check_side(side)][key] = (raw, extended)
+
+    def delete_row(self, side: str, key: KeyValues) -> bool:
+        return self._rows[self._check_side(side)].pop(key, None) is not None
+
+    def row_items(self, side: str) -> Iterator[Tuple[KeyValues, Row, Row]]:
+        side_rows = self._rows[self._check_side(side)]
+        return iter(
+            [(key, raw, extended) for key, (raw, extended) in side_rows.items()]
+        )
+
+    @contextlib.contextmanager
+    def transaction(self):
+        if self._txn_depth:  # nested: the outermost snapshot already guards
+            self._txn_depth += 1
+            try:
+                yield self
+            finally:
+                self._txn_depth -= 1
+            return
+        snapshot = (
+            dict(self._matches),
+            dict(self._non_matches),
+            list(self._journal),
+            dict(self._meta),
+            {side: dict(rows) for side, rows in self._rows.items()},
+            self._next_seq,
+        )
+        self._txn_depth = 1
+        try:
+            yield self
+        except BaseException:
+            (
+                self._matches,
+                self._non_matches,
+                self._journal,
+                self._meta,
+                self._rows,
+                self._next_seq,
+            ) = snapshot
+            raise
+        finally:
+            self._txn_depth = 0
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("store.transactions")
+
+    def clear(self) -> None:
+        self._matches.clear()
+        self._non_matches.clear()
+        self._journal.clear()
+        self._meta.clear()
+        for rows in self._rows.values():
+            rows.clear()
+        self._next_seq = 1
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryStore matches={len(self._matches)} "
+            f"non_matches={len(self._non_matches)} "
+            f"journal={len(self._journal)}>"
+        )

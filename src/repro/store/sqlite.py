@@ -1,0 +1,309 @@
+"""The durable backend: stdlib ``sqlite3``, no new dependencies.
+
+One SQLite file holds the matching table, the negative matching table,
+the derivation journal, the per-side source rows, and a metadata table —
+the full state a checkpoint needs and the full provenance ``repro
+explain-pair`` reads back.  Keys and rows are stored as the canonical
+JSON text of :mod:`repro.store.codec`, so equality of encoded text is
+equality of keys and a load reproduces the in-memory tables
+bit-identically.
+
+The connection runs in autocommit (``isolation_level=None``); writes are
+grouped explicitly by :meth:`SqliteStore.transaction`, which issues
+``BEGIN IMMEDIATE``/``COMMIT``/``ROLLBACK`` with nesting support — this
+is what makes the blocking executor's batch merge all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+from dataclasses import replace
+from typing import Iterator, List, Optional, Tuple
+
+from repro.observability.tracer import Tracer
+from repro.relational.row import Row
+from repro.store.base import MatchStore, Pair
+from repro.store.codec import (
+    KeyValues,
+    decode_key,
+    decode_row,
+    encode_key,
+    encode_row,
+)
+from repro.store.errors import StoreError
+from repro.store.journal import JournalEntry
+
+__all__ = ["SqliteStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS matches (
+    r_key TEXT NOT NULL,
+    s_key TEXT NOT NULL,
+    r_row TEXT NOT NULL,
+    s_row TEXT NOT NULL,
+    PRIMARY KEY (r_key, s_key)
+);
+CREATE TABLE IF NOT EXISTS non_matches (
+    r_key TEXT NOT NULL,
+    s_key TEXT NOT NULL,
+    r_row TEXT NOT NULL,
+    s_row TEXT NOT NULL,
+    PRIMARY KEY (r_key, s_key)
+);
+CREATE TABLE IF NOT EXISTS journal (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    ts      REAL NOT NULL,
+    kind    TEXT NOT NULL,
+    rule    TEXT NOT NULL DEFAULT '',
+    r_key   TEXT,
+    s_key   TEXT,
+    payload TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS journal_r_key ON journal (r_key);
+CREATE INDEX IF NOT EXISTS journal_s_key ON journal (s_key);
+CREATE TABLE IF NOT EXISTS source_rows (
+    side     TEXT NOT NULL,
+    key      TEXT NOT NULL,
+    raw      TEXT NOT NULL,
+    extended TEXT NOT NULL,
+    PRIMARY KEY (side, key)
+);
+"""
+
+
+class SqliteStore(MatchStore):
+    """SQLite-backed :class:`~repro.store.base.MatchStore`.
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` for an ephemeral store
+        (useful in tests: full SQL semantics, no file).
+    tracer:
+        Optional tracer for ``store.*`` metrics.
+    """
+
+    def __init__(
+        self, path: str = ":memory:", *, tracer: Optional[Tracer] = None
+    ) -> None:
+        super().__init__(tracer=tracer)
+        self._path = str(path)
+        try:
+            self._conn = sqlite3.connect(self._path, isolation_level=None)
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open SQLite store at {path!r}: {exc}") from exc
+        self._conn.executescript(_SCHEMA)
+        self._txn_depth = 0
+
+    @property
+    def path(self) -> str:
+        """The database file path (``":memory:"`` when ephemeral)."""
+        return self._path
+
+    def size_bytes(self) -> int:
+        if self._path == ":memory:":
+            page_count = self._conn.execute("PRAGMA page_count").fetchone()[0]
+            page_size = self._conn.execute("PRAGMA page_size").fetchone()[0]
+            return int(page_count) * int(page_size)
+        try:
+            return os.path.getsize(self._path)
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def put_match(
+        self, r_key: KeyValues, s_key: KeyValues, r_row: Row, s_row: Row
+    ) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO matches (r_key, s_key, r_row, s_row) "
+            "VALUES (?, ?, ?, ?)",
+            (encode_key(r_key), encode_key(s_key), encode_row(r_row), encode_row(s_row)),
+        )
+
+    def put_non_match(
+        self, r_key: KeyValues, s_key: KeyValues, r_row: Row, s_row: Row
+    ) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO non_matches (r_key, s_key, r_row, s_row) "
+            "VALUES (?, ?, ?, ?)",
+            (encode_key(r_key), encode_key(s_key), encode_row(r_row), encode_row(s_row)),
+        )
+
+    def delete_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        cursor = self._conn.execute(
+            "DELETE FROM matches WHERE r_key = ? AND s_key = ?",
+            (encode_key(r_key), encode_key(s_key)),
+        )
+        return cursor.rowcount > 0
+
+    def _items(self, table: str) -> Iterator[Tuple[Pair, Tuple[Row, Row]]]:
+        cursor = self._conn.execute(
+            f"SELECT r_key, s_key, r_row, s_row FROM {table} "  # noqa: S608 - fixed names
+            "ORDER BY r_key, s_key"
+        )
+        for r_key, s_key, r_row, s_row in cursor.fetchall():
+            yield (
+                (decode_key(r_key), decode_key(s_key)),
+                (decode_row(r_row), decode_row(s_row)),
+            )
+
+    def match_items(self) -> Iterator[Tuple[Pair, Tuple[Row, Row]]]:
+        return self._items("matches")
+
+    def non_match_items(self) -> Iterator[Tuple[Pair, Tuple[Row, Row]]]:
+        return self._items("non_matches")
+
+    def _has(self, table: str, r_key: KeyValues, s_key: KeyValues) -> bool:
+        cursor = self._conn.execute(
+            f"SELECT 1 FROM {table} WHERE r_key = ? AND s_key = ?",  # noqa: S608
+            (encode_key(r_key), encode_key(s_key)),
+        )
+        return cursor.fetchone() is not None
+
+    def has_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        return self._has("matches", r_key, s_key)
+
+    def has_non_match(self, r_key: KeyValues, s_key: KeyValues) -> bool:
+        return self._has("non_matches", r_key, s_key)
+
+    def append_journal(self, entry: JournalEntry) -> JournalEntry:
+        cursor = self._conn.execute(
+            "INSERT INTO journal (ts, kind, rule, r_key, s_key, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                entry.timestamp,
+                entry.kind,
+                entry.rule,
+                encode_key(entry.r_key) if entry.r_key is not None else None,
+                encode_key(entry.s_key) if entry.s_key is not None else None,
+                json.dumps(dict(entry.payload), sort_keys=True),
+            ),
+        )
+        return replace(entry, seq=int(cursor.lastrowid))
+
+    @staticmethod
+    def _entry_from_record(record: Tuple) -> JournalEntry:
+        seq, ts, kind, rule, r_key, s_key, payload = record
+        return JournalEntry(
+            seq=int(seq),
+            timestamp=float(ts),
+            kind=kind,
+            rule=rule,
+            r_key=decode_key(r_key) if r_key is not None else None,
+            s_key=decode_key(s_key) if s_key is not None else None,
+            payload=json.loads(payload),
+        )
+
+    def journal_entries(
+        self,
+        *,
+        r_key: Optional[KeyValues] = None,
+        s_key: Optional[KeyValues] = None,
+    ) -> List[JournalEntry]:
+        base = "SELECT seq, ts, kind, rule, r_key, s_key, payload FROM journal"
+        if r_key is None and s_key is None:
+            cursor = self._conn.execute(base + " ORDER BY seq")
+            return [self._entry_from_record(record) for record in cursor.fetchall()]
+        # Pull the superset touching either key, then apply the exact
+        # `concerns` semantics in Python (ILFD entries are one-sided).
+        encoded = [encode_key(k) for k in (r_key, s_key) if k is not None]
+        placeholders = ", ".join("?" for _ in encoded)
+        cursor = self._conn.execute(
+            base
+            + f" WHERE r_key IN ({placeholders}) OR s_key IN ({placeholders})"
+            + " ORDER BY seq",
+            encoded + encoded,
+        )
+        entries = [self._entry_from_record(record) for record in cursor.fetchall()]
+        return [entry for entry in entries if entry.concerns(r_key, s_key)]
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+        )
+
+    def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        cursor = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,))
+        record = cursor.fetchone()
+        return record[0] if record is not None else default
+
+    def meta_items(self) -> Iterator[Tuple[str, str]]:
+        cursor = self._conn.execute("SELECT key, value FROM meta ORDER BY key")
+        return iter(cursor.fetchall())
+
+    def put_row(self, side: str, key: KeyValues, raw: Row, extended: Row) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO source_rows (side, key, raw, extended) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                self._check_side(side),
+                encode_key(key),
+                encode_row(raw),
+                encode_row(extended),
+            ),
+        )
+
+    def delete_row(self, side: str, key: KeyValues) -> bool:
+        cursor = self._conn.execute(
+            "DELETE FROM source_rows WHERE side = ? AND key = ?",
+            (self._check_side(side), encode_key(key)),
+        )
+        return cursor.rowcount > 0
+
+    def row_items(self, side: str) -> Iterator[Tuple[KeyValues, Row, Row]]:
+        cursor = self._conn.execute(
+            "SELECT key, raw, extended FROM source_rows WHERE side = ? "
+            "ORDER BY key",
+            (self._check_side(side),),
+        )
+        for key, raw, extended in cursor.fetchall():
+            yield decode_key(key), decode_row(raw), decode_row(extended)
+
+    @contextlib.contextmanager
+    def transaction(self):
+        if self._txn_depth:
+            self._txn_depth += 1
+            try:
+                yield self
+            finally:
+                self._txn_depth -= 1
+            return
+        self._conn.execute("BEGIN IMMEDIATE")
+        self._txn_depth = 1
+        try:
+            yield self
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+            if self._tracer.enabled:
+                self._tracer.metrics.inc("store.transactions")
+        finally:
+            self._txn_depth = 0
+
+    def clear(self) -> None:
+        with self.transaction():
+            for table in ("matches", "non_matches", "journal", "meta", "source_rows"):
+                self._conn.execute(f"DELETE FROM {table}")  # noqa: S608 - fixed names
+            try:
+                self._conn.execute(
+                    "DELETE FROM sqlite_sequence WHERE name = 'journal'"
+                )
+            except sqlite3.OperationalError:
+                pass  # sqlite_sequence only exists after the first insert
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"<SqliteStore path={self._path!r}>"

@@ -104,6 +104,73 @@ class TestMatchingTable:
         check_consistency(mt, nmt)
 
 
+class TestEntryEqualityAndRepr:
+    def test_eq_is_pair_based(self):
+        # Same keys, different non-key row payloads: still equal — the
+        # entry's identity is the (R key, S key) pair.
+        a = MatchEntry(
+            Row({"name": "a", "cuisine": "Chinese", "rating": 1}),
+            Row({"name": "a", "speciality": "Hunan"}),
+            (("cuisine", "Chinese"), ("name", "a")),
+            (("name", "a"), ("speciality", "Hunan")),
+        )
+        b = MatchEntry(
+            Row({"name": "a", "cuisine": "Chinese", "rating": 9}),
+            Row({"name": "a", "speciality": "Hunan"}),
+            (("cuisine", "Chinese"), ("name", "a")),
+            (("name", "a"), ("speciality", "Hunan")),
+        )
+        assert a == b and not (a != b)
+
+    def test_eq_hash_consistency(self):
+        a, b = entry("a", "b"), entry("a", "b")
+        assert a == b and hash(a) == hash(b)
+        c = entry("a", "c")
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_eq_rejects_other_types(self):
+        e = entry("a", "b")
+        assert e != "not an entry"
+        assert (e == object()) is False
+
+    def test_entries_usable_as_dict_keys(self):
+        a, b = entry("a", "b"), entry("a", "b")
+        seen = {a: "first"}
+        seen[b] = "second"  # same pair → same slot
+        assert len(seen) == 1 and seen[a] == "second"
+
+    def test_entry_repr_round_trips_keys(self):
+        e = entry("Dragon", "Dragon", "Chinese", "Hunan")
+        text = repr(e)
+        # Every key attribute and value must be recoverable from the repr.
+        for attr, value in e.r_key + e.s_key:
+            assert f"{attr}={value!r}" in text
+        assert repr(e) == repr(entry("Dragon", "Dragon", "Chinese", "Hunan"))
+
+    def test_equal_entries_have_equal_reprs(self):
+        assert repr(entry("a", "b")) == repr(entry("a", "b"))
+        assert repr(entry("a", "b")) != repr(entry("a", "c"))
+
+    def test_table_repr_reports_kind_and_size(self):
+        mt = table([entry("a", "a"), entry("b", "b")])
+        assert repr(mt) == "<MatchingTable with 2 entries>"
+        nmt = NegativeMatchingTable()
+        assert repr(nmt) == "<NegativeMatchingTable with 0 entries>"
+
+    def test_table_membership_uses_entry_pairs(self):
+        mt = table([entry("a", "a")])
+        e = next(iter(mt))
+        assert e.pair in mt
+        assert (e.r_key, (("name", "zz"), ("speciality", ""))) not in mt
+
+    def test_tables_with_equal_entries_compare_equal_pairwise(self):
+        left = table([entry("a", "a"), entry("b", "b")])
+        right = table([entry("b", "b"), entry("a", "a")])
+        assert left.pairs() == right.pairs()
+        assert set(left) == set(right)
+
+
 class TestBuildMatchingTable:
     def _relations(self):
         r = Relation(

@@ -1,0 +1,147 @@
+"""Property tests: SqliteStore ≡ MemoryStore, bit-identical, always.
+
+Two invariants over generated workloads:
+
+- running the pipeline against a SQLite-backed store yields exactly the
+  matching / negative matching tables of a memory-backed run (and of the
+  storeless pipeline itself);
+- a SQLite save → close → reopen round trip preserves every pair, every
+  journal entry, and the paper's uniqueness/consistency constraints.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identifier import EntityIdentifier
+from repro.relational.nulls import NULL
+from repro.store import MemoryStore, SqliteStore, decode_key, encode_key
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+
+def _run(workload, store):
+    identifier = EntityIdentifier(
+        workload.r,
+        workload.s,
+        workload.extended_key,
+        ilfds=list(workload.ilfds),
+        derive_ilfd_distinctness=False,
+        store=store,
+    )
+    matching = identifier.matching_table()
+    negative = identifier.negative_matching_table()
+    return matching, negative
+
+
+def _sqlite_path():
+    handle, path = tempfile.mkstemp(suffix=".sqlite")
+    os.close(handle)
+    return path
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_sqlite_and_memory_runs_are_bit_identical(seed):
+    workload = restaurant_workload(
+        RestaurantWorkloadSpec(n_entities=15, name_pool=20, seed=seed)
+    )
+    memory = MemoryStore()
+    path = _sqlite_path()
+    sqlite = SqliteStore(path)
+    try:
+        mem_mt, mem_nmt = _run(workload, memory)
+        sql_mt, sql_nmt = _run(workload, sqlite)
+
+        # The stores observed identical runs...
+        assert sqlite.match_pairs() == memory.match_pairs()
+        assert sqlite.non_match_pairs() == memory.non_match_pairs()
+        # ...and materialise identical tables, entry for entry.
+        assert sqlite.matching_table().pairs() == memory.matching_table().pairs()
+        assert list(sqlite.matching_table()) == list(memory.matching_table())
+        assert (
+            sqlite.negative_matching_table().pairs()
+            == memory.negative_matching_table().pairs()
+        )
+        # ...which are exactly what the pipeline itself computed.
+        assert sqlite.match_pairs() == sql_mt.pairs() == mem_mt.pairs()
+        assert sqlite.non_match_pairs() == sql_nmt.pairs() == mem_nmt.pairs()
+        # Same derivation history, kind for kind, rule for rule.
+        assert [
+            (e.kind, e.rule, e.r_key, e.s_key)
+            for e in sqlite.journal_entries()
+        ] == [
+            (e.kind, e.rule, e.r_key, e.s_key)
+            for e in memory.journal_entries()
+        ]
+    finally:
+        memory.close()
+        sqlite.close()
+        os.unlink(path)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_sqlite_round_trip_preserves_constraints_and_tables(seed):
+    workload = restaurant_workload(
+        RestaurantWorkloadSpec(n_entities=15, name_pool=20, seed=seed)
+    )
+    path = _sqlite_path()
+    first = SqliteStore(path)
+    try:
+        mt, nmt = _run(workload, first)
+        before_matches = first.match_pairs()
+        before_negatives = first.non_match_pairs()
+        before_journal = [
+            (e.seq, e.kind, e.rule, e.r_key, e.s_key)
+            for e in first.journal_entries()
+        ]
+        first.close()
+
+        second = SqliteStore(path)
+        try:
+            assert second.match_pairs() == before_matches == mt.pairs()
+            assert second.non_match_pairs() == before_negatives == nmt.pairs()
+            assert [
+                (e.seq, e.kind, e.rule, e.r_key, e.s_key)
+                for e in second.journal_entries()
+            ] == before_journal
+            # Reloaded state still satisfies the paper's constraints and
+            # its journal still explains every entry.
+            second.check_constraints()
+            second.verify_journal()
+        finally:
+            second.close()
+    finally:
+        os.unlink(path)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    key=st.lists(
+        st.tuples(
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.text(max_size=10),
+                st.integers(-1000, 1000),
+                st.booleans(),
+                st.none(),
+                st.just(NULL),
+            ),
+        ),
+        min_size=1,
+        max_size=4,
+        unique_by=lambda pair: pair[0],
+    )
+)
+def test_key_codec_round_trip_is_exact(key):
+    canonical = tuple(sorted(key, key=lambda pair: pair[0]))
+    text = encode_key(canonical)
+    decoded = decode_key(text)
+    assert decoded == canonical
+    # NULL must come back as the singleton, never as None.
+    for (_, sent), (_, got) in zip(canonical, decoded):
+        assert (sent is NULL) == (got is NULL)
+    # Deterministic: identical keys encode to identical text.
+    assert encode_key(decoded) == text

@@ -1,0 +1,264 @@
+"""Backend-parity tests: MemoryStore and SqliteStore behave identically."""
+
+import pytest
+
+from repro.observability import Tracer
+from repro.relational.row import Row
+from repro.store import (
+    KIND_ASSERT,
+    KIND_IDENTITY,
+    KIND_ILFD,
+    MemoryStore,
+    SqliteStore,
+    StoreError,
+    StoreIntegrityError,
+    make_store,
+)
+
+R1 = (("cuisine", "Chinese"), ("name", "Dragon"))
+R2 = (("cuisine", "Indian"), ("name", "Lotus"))
+S1 = (("name", "Dragon"), ("speciality", "Hunan"))
+S2 = (("name", "Lotus"), ("speciality", "Mughalai"))
+
+R1_ROW = Row({"name": "Dragon", "cuisine": "Chinese"})
+R2_ROW = Row({"name": "Lotus", "cuisine": "Indian"})
+S1_ROW = Row({"name": "Dragon", "speciality": "Hunan"})
+S2_ROW = Row({"name": "Lotus", "speciality": "Mughalai"})
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = MemoryStore()
+    else:
+        backend = SqliteStore(str(tmp_path / "store.sqlite"))
+    yield backend
+    backend.close()
+
+
+class TestRecording:
+    def test_record_match_round_trip(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k-ext")
+        assert store.has_match(R1, S1)
+        assert not store.has_match(R1, S2)
+        assert store.match_pairs() == {(R1, S1)}
+        [(pair, (r_row, s_row))] = list(store.match_items())
+        assert pair == (R1, S1)
+        assert dict(r_row) == dict(R1_ROW) and dict(s_row) == dict(S1_ROW)
+
+    def test_record_non_match_round_trip(self, store):
+        store.record_non_match(R1, S2, R1_ROW, S2_ROW, rule="d1")
+        assert store.has_non_match(R1, S2)
+        assert store.non_match_pairs() == {(R1, S2)}
+
+    def test_counts(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.record_non_match(R1, S2, R1_ROW, S2_ROW, rule="d")
+        store.put_row("r", R1, R1_ROW, R1_ROW)
+        counts = store.counts()
+        assert counts["matches"] == 1
+        assert counts["non_matches"] == 1
+        assert counts["journal"] == 2
+        assert counts["r_rows"] == 1 and counts["s_rows"] == 0
+
+    def test_remove_match_journals_the_retraction(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        assert store.remove_match(R1, S1, reason="R tuple deleted")
+        assert not store.has_match(R1, S1)
+        assert not store.remove_match(R1, S1)  # second retraction: nothing there
+        kinds = [entry.kind for entry in store.journal_entries()]
+        assert kinds == ["identity", "remove"]
+
+    def test_bad_match_kind_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.record_match(R1, S1, R1_ROW, S1_ROW, kind=KIND_ILFD)
+
+    def test_journal_seq_is_monotone(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.record_non_match(R2, S2, R2_ROW, S2_ROW, rule="d")
+        store.record_checkpoint_marker(note="boundary")
+        seqs = [entry.seq for entry in store.journal_entries()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 3
+
+    def test_journal_pair_filter_includes_one_sided_ilfds(self, store):
+        store.record_derivation("s", S1, rule="dd:Hunan", derived={"cuisine": "Chinese"})
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.record_match(R2, S2, R2_ROW, S2_ROW, rule="k")
+        entries = store.journal_entries(r_key=R1, s_key=S1)
+        assert [entry.kind for entry in entries] == ["ilfd", "identity"]
+
+    def test_record_derivation_rejects_unknown_side(self, store):
+        with pytest.raises(StoreError):
+            store.record_derivation("x", R1, rule="dd", derived={})
+
+    def test_rows_round_trip(self, store):
+        raw = Row({"name": "Dragon", "cuisine": "Chinese", "street": "Main"})
+        store.put_row("r", R1, raw, R1_ROW)
+        [(key, got_raw, got_extended)] = list(store.row_items("r"))
+        assert key == R1
+        assert dict(got_raw) == dict(raw)
+        assert dict(got_extended) == dict(R1_ROW)
+        assert store.delete_row("r", R1)
+        assert not store.delete_row("r", R1)
+        assert list(store.row_items("r")) == []
+
+    def test_meta_round_trip(self, store):
+        store.set_meta("cursor", "41")
+        store.set_meta("cursor", "42")
+        assert store.get_meta("cursor") == "42"
+        assert store.get_meta("missing", "fallback") == "fallback"
+        assert ("cursor", "42") in list(store.meta_items())
+
+    def test_clear_drops_everything(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.set_meta("cursor", "1")
+        store.clear()
+        assert store.counts() == {
+            "matches": 0,
+            "non_matches": 0,
+            "journal": 0,
+            "r_rows": 0,
+            "s_rows": 0,
+        }
+        assert store.get_meta("cursor") is None
+
+
+class TestTransactions:
+    def test_exception_rolls_back_all_writes(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.record_match(R2, S2, R2_ROW, S2_ROW, rule="k")
+                store.set_meta("cursor", "9")
+                raise RuntimeError("abort")
+        assert store.match_pairs() == {(R1, S1)}
+        assert store.get_meta("cursor") is None
+        assert len(store.journal_entries()) == 1
+
+    def test_nested_transactions_commit_once(self, store):
+        with store.transaction():
+            store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+            with store.transaction():
+                store.record_match(R2, S2, R2_ROW, S2_ROW, rule="k")
+        assert store.match_pairs() == {(R1, S1), (R2, S2)}
+
+
+class TestTablesAndAudits:
+    def test_matching_table_uses_persisted_key_attributes(self, store):
+        store.set_key_attributes(("name", "cuisine"), ("name", "speciality"))
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        table = store.matching_table()
+        assert table.r_key_attributes == ("name", "cuisine")
+        assert table.s_key_attributes == ("name", "speciality")
+        assert table.pairs() == {(R1, S1)}
+
+    def test_verify_journal_accepts_faithful_store(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.record_non_match(R2, S2, R2_ROW, S2_ROW, rule="d")
+        assert store.verify_journal() == (1, 1)
+
+    def test_verify_journal_rejects_unexplained_entry(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.put_match(R2, S2, R2_ROW, S2_ROW)  # raw write, no journal
+        with pytest.raises(StoreIntegrityError):
+            store.verify_journal()
+
+    def test_check_constraints_accepts_sound_tables(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.record_non_match(R2, S2, R2_ROW, S2_ROW, rule="d")
+        store.check_constraints()
+
+    def test_check_constraints_rejects_uniqueness_violation(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.record_match(R1, S2, R1_ROW, S2_ROW, rule="k")
+        with pytest.raises(StoreIntegrityError):
+            store.check_constraints()
+
+    def test_check_constraints_rejects_mt_nmt_overlap(self, store):
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.record_non_match(R1, S1, R1_ROW, S1_ROW, rule="d")
+        with pytest.raises(StoreIntegrityError):
+            store.check_constraints()
+
+    def test_copy_into_preserves_everything(self, store, tmp_path):
+        store.set_key_attributes(("name", "cuisine"), ("name", "speciality"))
+        store.record_derivation("s", S1, rule="dd", derived={"cuisine": "Chinese"})
+        store.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        store.record_non_match(R2, S2, R2_ROW, S2_ROW, rule="d")
+        store.put_row("r", R1, R1_ROW, R1_ROW)
+        dest = SqliteStore(str(tmp_path / "copy.sqlite"))
+        try:
+            store.copy_into(dest)
+            assert dest.match_pairs() == store.match_pairs()
+            assert dest.non_match_pairs() == store.non_match_pairs()
+            assert dest.counts() == store.counts()
+            assert dest.key_attributes() == store.key_attributes()
+            assert [e.kind for e in dest.journal_entries()] == [
+                e.kind for e in store.journal_entries()
+            ]
+            dest.verify_journal()
+        finally:
+            dest.close()
+
+    def test_tracer_records_store_metrics(self, tmp_path, store):
+        tracer = Tracer()
+        traced = (
+            MemoryStore(tracer=tracer)
+            if isinstance(store, MemoryStore)
+            else SqliteStore(str(tmp_path / "traced.sqlite"), tracer=tracer)
+        )
+        try:
+            traced.record_match(R1, S1, R1_ROW, S1_ROW, rule="k", kind=KIND_IDENTITY)
+            traced.record_match(R2, S2, R2_ROW, S2_ROW, kind=KIND_ASSERT)
+            traced.remove_match(R2, S2)
+            metrics = tracer.metrics
+            assert metrics.counter("store.writes") == 2
+            assert metrics.counter("store.removes") == 1
+            assert metrics.counter("store.journal_entries") == 3
+        finally:
+            traced.close()
+
+
+class TestSqliteDurability:
+    def test_state_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "durable.sqlite")
+        first = SqliteStore(path)
+        first.set_key_attributes(("name", "cuisine"), ("name", "speciality"))
+        first.record_match(R1, S1, R1_ROW, S1_ROW, rule="k")
+        first.record_non_match(R2, S2, R2_ROW, S2_ROW, rule="d")
+        first.close()
+
+        second = SqliteStore(path)
+        try:
+            assert second.match_pairs() == {(R1, S1)}
+            assert second.non_match_pairs() == {(R2, S2)}
+            assert second.matching_table().r_key_attributes == ("name", "cuisine")
+            second.verify_journal()
+            assert second.size_bytes() > 0
+        finally:
+            second.close()
+
+
+class TestMakeStore:
+    def test_memory_spec(self):
+        built = make_store("memory")
+        assert isinstance(built, MemoryStore)
+
+    def test_sqlite_prefix_spec(self, tmp_path):
+        built = make_store(f"sqlite:{tmp_path / 'a.db'}")
+        try:
+            assert isinstance(built, SqliteStore)
+        finally:
+            built.close()
+
+    def test_bare_sqlite_path(self, tmp_path):
+        built = make_store(str(tmp_path / "b.sqlite"))
+        try:
+            assert isinstance(built, SqliteStore)
+        finally:
+            built.close()
+
+    @pytest.mark.parametrize("spec", ["", "sqlite:", "postgres:db", "plain.txt"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(StoreError):
+            make_store(spec)

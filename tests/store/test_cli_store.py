@@ -1,0 +1,148 @@
+"""Tests for the store-facing CLI: --store, checkpoint, resume, explain-pair."""
+
+import pytest
+
+from repro.cli import main, parse_key_spec
+from repro.store import SqliteStore
+
+
+@pytest.fixture
+def example_csvs(tmp_path):
+    r_path = tmp_path / "R.csv"
+    r_path.write_text(
+        "name,cuisine,street\n"
+        "TwinCities,Chinese,Wash.Ave.\n"
+        "TwinCities,Indian,Univ.Ave.\n"
+    )
+    s_path = tmp_path / "S.csv"
+    s_path.write_text(
+        "name,speciality,city\nTwinCities,Mughalai,St.Paul\n"
+    )
+    return r_path, s_path
+
+
+IDENTIFY_ARGS = [
+    "--r-key", "name,cuisine",
+    "--s-key", "name,speciality",
+    "--extended-key", "name,cuisine",
+    "--ilfd", "speciality=Mughalai -> cuisine=Indian",
+]
+
+CHECKPOINT_ARGS = IDENTIFY_ARGS  # same knowledge, checkpoint syntax
+
+
+class TestParseKeySpec:
+    def test_sorted_canonical_form(self):
+        assert parse_key_spec("name=TwinCities,cuisine=Indian") == (
+            ("cuisine", "Indian"),
+            ("name", "TwinCities"),
+        )
+
+    def test_values_may_contain_spaces(self):
+        assert parse_key_spec("name=Twin Cities") == (("name", "Twin Cities"),)
+
+    @pytest.mark.parametrize("bad", ["", "noequals", "a=1,noequals"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_key_spec(bad)
+
+
+class TestIdentifyStoreFlag:
+    def test_persists_tables_and_journal(self, example_csvs, tmp_path, capsys):
+        r_path, s_path = example_csvs
+        db = tmp_path / "run.sqlite"
+        status = main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--store", f"sqlite:{db}"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "store: 1 match(es)" in out and "journal" in out
+        store = SqliteStore(str(db))
+        try:
+            assert len(store.match_pairs()) == 1
+            assert store.non_match_pairs()  # distinctness rules fired too
+            store.verify_journal()
+            store.check_constraints()
+        finally:
+            store.close()
+
+    def test_bad_store_spec_is_a_usage_error(self, example_csvs, capsys):
+        r_path, s_path = example_csvs
+        status = main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--store", "oracle:whatever", "--quiet"]
+        )
+        assert status == 1
+
+
+class TestCheckpointResumeExplain:
+    def test_full_cycle(self, example_csvs, tmp_path, capsys):
+        r_path, s_path = example_csvs
+        ckpt = tmp_path / "session.sqlite"
+
+        status = main(
+            ["checkpoint", str(r_path), str(s_path), str(ckpt), *CHECKPOINT_ARGS]
+        )
+        assert status == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        assert ckpt.exists()
+
+        status = main(["resume", str(ckpt), "--quiet"])
+        assert status == 0
+
+        # New S tuple inserted on resume completes another match.
+        extra = tmp_path / "extra_s.csv"
+        extra.write_text("name,speciality,city\nDragon,Hunan,Mpls\n")
+        extra_r = tmp_path / "extra_r.csv"
+        extra_r.write_text("name,cuisine,street\nDragon,Chinese,Oak St.\n")
+        status = main(
+            ["resume", str(ckpt), "--insert-r", str(extra_r),
+             "--insert-s", str(extra), "--ilfd",
+             "speciality=Hunan -> cuisine=Chinese"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out and "2 match(es)" in out
+
+        status = main(
+            ["explain-pair", str(ckpt),
+             "--r", "name=Dragon,cuisine=Chinese",
+             "--s", "name=Dragon,speciality=Hunan"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "ilfd" in out and "MATCH recorded by identity rule" in out
+        assert out.strip().endswith("verdict: MATCH")
+
+    def test_resume_rejects_non_checkpoint(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.sqlite"
+        store = SqliteStore(str(bogus))
+        store.set_meta("x", "y")
+        store.close()
+        assert main(["resume", str(bogus), "--quiet"]) == 1
+        assert "not a repro checkpoint" in capsys.readouterr().err
+
+    def test_explain_pair_requires_a_key(self, tmp_path, capsys):
+        db = tmp_path / "some.sqlite"
+        SqliteStore(str(db)).close()
+        assert main(["explain-pair", str(db)]) == 1
+        assert "--r and/or --s" in capsys.readouterr().err
+
+    def test_explain_pair_missing_file(self, tmp_path, capsys):
+        assert (
+            main(
+                ["explain-pair", str(tmp_path / "absent.sqlite"), "--r", "a=1"]
+            )
+            == 1
+        )
+        assert "no such store" in capsys.readouterr().err
+
+    def test_explain_pair_untouched_pair(self, example_csvs, tmp_path, capsys):
+        r_path, s_path = example_csvs
+        ckpt = tmp_path / "s.sqlite"
+        main(["checkpoint", str(r_path), str(s_path), str(ckpt),
+              *CHECKPOINT_ARGS, "--quiet"])
+        capsys.readouterr()
+        assert main(["explain-pair", str(ckpt), "--r", "name=Nobody,cuisine=None"]) == 0
+        assert "never touched" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Tests for the canonical store codec (NULL-aware, deterministic)."""
+
+import pytest
+
+from repro.relational.attribute import string_attribute
+from repro.relational.nulls import NULL
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+from repro.store import StoreCodecError
+from repro.store.codec import (
+    decode_key,
+    decode_row,
+    decode_schema,
+    decode_value,
+    encode_key,
+    encode_row,
+    encode_schema,
+    encode_value,
+)
+
+
+class TestValueCodec:
+    def test_scalars_pass_through(self):
+        for value in ("text", 7, 2.5, True, False, None):
+            assert decode_value(encode_value(value)) == value
+
+    def test_null_survives_as_the_singleton(self):
+        encoded = encode_value(NULL)
+        assert encoded == {"~": "null"}
+        assert decode_value(encoded) is NULL
+
+    def test_null_is_not_none(self):
+        # User data may legitimately contain None; NULL must stay distinct.
+        assert decode_value(encode_value(None)) is None
+        assert decode_value(encode_value(NULL)) is not None
+
+    def test_tuple_round_trip(self):
+        value = ("a", 1, NULL)
+        decoded = decode_value(encode_value(value))
+        assert decoded == ("a", 1, NULL) and isinstance(decoded, tuple)
+
+    def test_mapping_with_marker_key_is_escaped(self):
+        value = {"~": "sneaky", "x": 1}
+        assert decode_value(encode_value(value)) == value
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(StoreCodecError):
+            encode_value(object())
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(StoreCodecError):
+            decode_value({"~": "mystery"})
+
+
+class TestKeyCodec:
+    def test_round_trip(self):
+        key = (("cuisine", "Chinese"), ("name", "Dragon"))
+        assert decode_key(encode_key(key)) == key
+
+    def test_deterministic_text(self):
+        key = (("a", 1), ("b", NULL))
+        assert encode_key(key) == encode_key(key)
+
+    def test_distinct_keys_encode_distinctly(self):
+        assert encode_key((("a", 1),)) != encode_key((("a", 2),))
+        assert encode_key((("a", None),)) != encode_key((("a", NULL),))
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(StoreCodecError):
+            decode_key("not json")
+
+
+class TestRowCodec:
+    def test_round_trip_produces_row(self):
+        row = Row({"name": "a", "rating": 3, "division": NULL})
+        decoded = decode_row(encode_row(row))
+        assert isinstance(decoded, Row)
+        assert dict(decoded) == dict(row)
+
+    def test_attribute_order_is_canonical(self):
+        assert encode_row({"b": 1, "a": 2}) == encode_row({"a": 2, "b": 1})
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(StoreCodecError):
+            decode_row("{oops")
+
+
+class TestSchemaCodec:
+    def test_round_trip(self):
+        schema = Schema(
+            [string_attribute("name"), string_attribute("dept")],
+            keys=[("name", "dept")],
+        )
+        decoded = decode_schema(encode_schema(schema))
+        assert decoded.names == schema.names
+        assert [a.domain.dtype for a in decoded.attributes] == [
+            a.domain.dtype for a in schema.attributes
+        ]
+        assert decoded.keys == schema.keys
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(StoreCodecError):
+            decode_schema("[1, 2")

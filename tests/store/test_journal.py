@@ -1,0 +1,151 @@
+"""Tests for the derivation journal: replay semantics and explain-pair."""
+
+from repro.store import (
+    JournalEntry,
+    KIND_ASSERT,
+    KIND_CHECKPOINT,
+    KIND_DISTINCTNESS,
+    KIND_IDENTITY,
+    KIND_ILFD,
+    KIND_REMOVE,
+    explain_pair,
+    replay_journal,
+)
+
+R_KEY = (("cuisine", "Chinese"), ("name", "Dragon"))
+S_KEY = (("name", "Dragon"), ("speciality", "Hunan"))
+OTHER = (("name", "Lotus"), ("speciality", "Sichuan"))
+
+
+def _entry(seq, kind, *, rule="", r_key=None, s_key=None, payload=None):
+    return JournalEntry(
+        seq=seq,
+        timestamp=float(seq),
+        kind=kind,
+        rule=rule,
+        r_key=r_key,
+        s_key=s_key,
+        payload=payload or {},
+    )
+
+
+class TestReplay:
+    def test_identity_and_distinctness_populate_tables(self):
+        matches, negatives = replay_journal(
+            [
+                _entry(1, KIND_IDENTITY, rule="k", r_key=R_KEY, s_key=S_KEY),
+                _entry(2, KIND_DISTINCTNESS, rule="d", r_key=R_KEY, s_key=OTHER),
+            ]
+        )
+        assert matches == {(R_KEY, S_KEY)}
+        assert negatives == {(R_KEY, OTHER)}
+
+    def test_assert_counts_as_match(self):
+        matches, _ = replay_journal(
+            [_entry(1, KIND_ASSERT, r_key=R_KEY, s_key=S_KEY)]
+        )
+        assert matches == {(R_KEY, S_KEY)}
+
+    def test_remove_retracts(self):
+        matches, _ = replay_journal(
+            [
+                _entry(1, KIND_IDENTITY, rule="k", r_key=R_KEY, s_key=S_KEY),
+                _entry(2, KIND_REMOVE, r_key=R_KEY, s_key=S_KEY),
+            ]
+        )
+        assert matches == set()
+
+    def test_ilfd_and_checkpoint_mutate_nothing(self):
+        matches, negatives = replay_journal(
+            [
+                _entry(1, KIND_ILFD, rule="dd", r_key=R_KEY),
+                _entry(2, KIND_CHECKPOINT),
+            ]
+        )
+        assert matches == set() and negatives == set()
+
+
+class TestConcerns:
+    def test_two_sided_entry_needs_both_keys_to_agree(self):
+        entry = _entry(1, KIND_IDENTITY, r_key=R_KEY, s_key=S_KEY)
+        assert entry.concerns(R_KEY, S_KEY)
+        assert entry.concerns(R_KEY, None)
+        assert not entry.concerns(R_KEY, OTHER)
+        assert not entry.concerns(None, None)
+
+    def test_one_sided_ilfd_matches_either_given_key(self):
+        entry = _entry(1, KIND_ILFD, rule="dd", s_key=S_KEY)
+        assert entry.concerns(None, S_KEY)
+        assert entry.concerns(S_KEY, None)  # either side may hold it
+        assert not entry.concerns(R_KEY, OTHER)
+
+    def test_pair_property(self):
+        assert _entry(1, KIND_IDENTITY, r_key=R_KEY, s_key=S_KEY).pair == (
+            R_KEY,
+            S_KEY,
+        )
+        assert _entry(1, KIND_ILFD, r_key=R_KEY).pair is None
+
+
+class TestExplainPair:
+    def test_untouched_pair(self):
+        text = explain_pair([], R_KEY, S_KEY)
+        assert "never touched" in text
+
+    def test_match_chain_with_ilfd_provenance(self):
+        text = explain_pair(
+            [
+                _entry(
+                    3,
+                    KIND_ILFD,
+                    rule="dd:Hunan",
+                    s_key=S_KEY,
+                    payload={"derived": {"cuisine": "Chinese"}},
+                ),
+                _entry(4, KIND_IDENTITY, rule="k-ext", r_key=R_KEY, s_key=S_KEY),
+            ],
+            R_KEY,
+            S_KEY,
+        )
+        assert "#3 ilfd dd:Hunan derived cuisine='Chinese'" in text
+        assert "#4 MATCH recorded by identity rule k-ext" in text
+        assert text.endswith("verdict: MATCH")
+
+    def test_non_match_verdict(self):
+        text = explain_pair(
+            [_entry(1, KIND_DISTINCTNESS, rule="d1", r_key=R_KEY, s_key=S_KEY)],
+            R_KEY,
+            S_KEY,
+        )
+        assert "NON-MATCH recorded by distinctness rule d1" in text
+        assert text.endswith("verdict: NON-MATCH")
+
+    def test_retraction_verdict(self):
+        text = explain_pair(
+            [
+                _entry(1, KIND_IDENTITY, rule="k", r_key=R_KEY, s_key=S_KEY),
+                _entry(
+                    2,
+                    KIND_REMOVE,
+                    r_key=R_KEY,
+                    s_key=S_KEY,
+                    payload={"reason": "R tuple deleted"},
+                ),
+            ],
+            R_KEY,
+            S_KEY,
+        )
+        assert "match removed (R tuple deleted)" in text
+        assert text.endswith("verdict: undetermined (retracted)")
+
+    def test_unrelated_entries_filtered_out(self):
+        text = explain_pair(
+            [
+                _entry(1, KIND_IDENTITY, rule="k", r_key=R_KEY, s_key=OTHER),
+                _entry(2, KIND_ASSERT, r_key=R_KEY, s_key=S_KEY),
+            ],
+            R_KEY,
+            S_KEY,
+        )
+        assert "#1" not in text
+        assert "#2 MATCH recorded by user assertion" in text
