@@ -37,6 +37,27 @@ SQLite file, ``repro resume`` reloads it (verifying the journal) and
 applies further deltas, and ``repro explain-pair`` reconstructs the
 rule-firing chain behind any persisted pair from the journal alone.
 
+``--retries N`` turns on the fault-tolerance machinery: transient
+failures in pair evaluation and store commits are retried with capped
+exponential backoff (``--retry-delay`` scales it).  ``--inject-faults
+PLAN`` drives the same machinery with deterministic injected faults —
+``site:kind@index`` specs joined with ``;`` (e.g.
+``executor.batch:crash@0;store.commit:error@1``) or ``random:SEED`` for
+a seeded random schedule — for chaos-testing a pipeline end to end.  A
+corrupted checkpoint makes ``repro resume`` fail fatally unless
+``--salvage`` is given, which recovers what the damaged file still
+proves (surviving rows, the verifiable journal prefix) and re-derives
+the rest, optionally from fallback sources (``--salvage-r/-s``).
+
+Exit codes, uniform across subcommands:
+
+- **0** — success: the run completed and the result verified sound.
+- **1** — degraded or partial: the pipeline finished but something
+  needs attention — an unsound extended key, quarantined pairs, a
+  stale-served source, or a session rebuilt by ``--salvage``.
+- **2** — fatal: bad usage, unreadable input, an unwritable trace, or
+  a corrupt checkpoint that was not (or could not be) salvaged.
+
 For backward compatibility, invoking without a subcommand (the historical
 ``repro-identify`` entry point) behaves exactly like ``repro identify``.
 """
@@ -141,6 +162,66 @@ def parse_key_spec(text: str):
     if not pairs:
         raise ValueError(f"key spec {text!r} names no attributes")
     return tuple(sorted(pairs))
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance flags shared by identify/checkpoint/resume."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempt transient operations (pair batches, store commits, "
+        "source loads) up to N times with capped exponential backoff "
+        "(default 1 = no retries)",
+    )
+    parser.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="base backoff delay between retries (default 0.01; doubles "
+        "per attempt, jittered, capped)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="PLAN",
+        help="deterministically inject faults: 'site:kind@index[..last]' "
+        "specs joined with ';' (sites: federation.load_source.r/.s, "
+        "executor.batch, store.commit, store.checkpoint; kinds: error, "
+        "crash, hang), or 'random:SEED' for a seeded random schedule",
+    )
+
+
+def _make_resilience(args, tracer):
+    """(RetryPolicy | None, FaultInjector | None) from the shared flags.
+
+    Raises :class:`~repro.resilience.errors.FaultPlanError` on a bad
+    ``--inject-faults`` spec and ``ValueError`` on a bad ``--retries``.
+    """
+    from repro.resilience import FaultInjector, FaultPlan, RetryPolicy
+
+    if args.retries < 1:
+        raise ValueError("--retries must be >= 1")
+    retry = None
+    if args.retries > 1:
+        retry = RetryPolicy(
+            max_attempts=args.retries,
+            base_delay=max(args.retry_delay, 0.0),
+            seed=0,
+        )
+    injector = None
+    if args.inject_faults:
+        spec = args.inject_faults.strip()
+        if spec.startswith("random:"):
+            plan = FaultPlan.random(int(spec[len("random:"):] or "0"))
+        else:
+            plan = FaultPlan.parse(spec)
+        if tracer is not None:
+            injector = FaultInjector(plan, tracer=tracer)
+        else:
+            injector = FaultInjector(plan)
+    return retry, injector
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -255,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bare *.sqlite/*.db path) for a durable store, 'memory' for an "
         "ephemeral one; inspect later with 'repro explain-pair PATH ...'",
     )
+    _add_resilience_arguments(parser)
     return parser
 
 
@@ -276,7 +358,7 @@ def build_stats_parser() -> argparse.ArgumentParser:
 
 
 def identify_main(argv: Optional[Sequence[str]] = None) -> int:
-    """``repro identify``: returns 0 when sound, 2 when the key is unsound."""
+    """``repro identify``: 0 sound, 1 unsound/degraded, 2 fatal."""
     args = build_parser().parse_args(argv)
     r = read_csv(args.r_csv, keys=[_split_key(args.r_key)], name="R")
     s = read_csv(args.s_csv, keys=[_split_key(args.s_key)], name="S")
@@ -311,9 +393,9 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
         sound = [s for s in suggestions if s.is_sound]
         for suggestion in suggestions:
             print(suggestion)
-        return 0 if sound else 2
+        return 0 if sound else 1
 
-    observing = bool(args.trace or args.metrics)
+    observing = bool(args.trace or args.metrics or args.inject_faults)
     tracer = None
     if observing:
         from repro.observability import Tracer
@@ -322,17 +404,39 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.workers < 1:
         print("repro identify: --workers must be >= 1", file=sys.stderr)
-        return 1
+        return 2
+    from repro.resilience import FaultPlanError
+
+    try:
+        retry, injector = _make_resilience(args, tracer)
+    except (FaultPlanError, ValueError) as exc:
+        print(f"repro identify: {exc}", file=sys.stderr)
+        return 2
     store = None
     if args.store:
         from repro.store import StoreError, make_store
 
         try:
-            store = make_store(args.store, tracer=tracer)
+            store = make_store(
+                args.store,
+                tracer=tracer,
+                retry_policy=retry,
+                fault_injector=injector,
+            )
         except StoreError as exc:
             print(f"repro identify: {exc}", file=sys.stderr)
-            return 1
+            return 2
     blocker = make_blocker(args.blocker) if args.blocker else None
+    executor = None
+    if retry is not None or injector is not None:
+        from repro.blocking.executor import ParallelPairExecutor
+
+        executor = ParallelPairExecutor(
+            args.workers,
+            tracer=tracer,
+            retry_policy=retry,
+            fault_injector=injector,
+        )
     identifier = EntityIdentifier(
         r,
         s,
@@ -341,25 +445,37 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
         tracer=tracer,
         blocker=blocker,
         workers=args.workers,
+        executor=executor,
         store=store,
     )
-    if observing:
-        from repro.core.errors import CoreError
+    from repro.resilience import ResilienceError
 
-        # The full pipeline (including the negative table) so the trace
-        # carries the complete match/non-match/unknown accounting. An
-        # unsound key can make run() raise (matching/negative overlap);
-        # fall back to the plain report so the outcome — and the trace
-        # recorded so far — still reach the user, with exit status 2.
-        try:
-            result = identifier.run()
-            matching, report = result.matching, result.report
-        except CoreError:
+    try:
+        if observing:
+            from repro.core.errors import CoreError
+
+            # The full pipeline (including the negative table) so the
+            # trace carries the complete match/non-match/unknown
+            # accounting. An unsound key can make run() raise
+            # (matching/negative overlap); fall back to the plain report
+            # so the outcome — and the trace recorded so far — still
+            # reach the user, with exit status 1.
+            try:
+                result = identifier.run()
+                matching, report = result.matching, result.report
+            except CoreError:
+                matching = identifier.matching_table()
+                report = identifier.verify()
+        else:
             matching = identifier.matching_table()
             report = identifier.verify()
-    else:
-        matching = identifier.matching_table()
-        report = identifier.verify()
+    except ResilienceError as exc:
+        # Recovery gave up: retries exhausted or an unrecoverable
+        # injected fault.  The run produced no trustworthy result.
+        print(f"repro identify: {exc}", file=sys.stderr)
+        if store is not None:
+            store.close()
+        return 2
     if store is not None:
         # Persist the negative table too — the journal should account for
         # every conclusion the run reached, not just the matches.
@@ -391,7 +507,7 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
             except OSError as exc:
                 print(f"repro identify: cannot write trace: {exc}",
                       file=sys.stderr)
-                return 1
+                return 2
             if not args.quiet:
                 print(f"trace ({records} records) written to {args.trace}")
     if store is not None:
@@ -404,7 +520,18 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
                 f"persisted via {args.store}"
             )
         store.close()
-    return 0 if report.is_sound else 2
+    status = 0 if report.is_sound else 1
+    if tracer is not None and tracer.metrics.counter(
+        "resilience.pairs_quarantined"
+    ):
+        if not args.quiet:
+            print(
+                "warning: some candidate pairs were quarantined "
+                "(see resilience metrics)",
+                file=sys.stderr,
+            )
+        status = max(status, 1)
+    return status
 
 
 def stats_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -420,7 +547,7 @@ def stats_main(argv: Optional[Sequence[str]] = None) -> int:
         spans, metrics = read_trace_jsonl(args.trace_file)
     except (OSError, ValueError) as exc:
         print(f"repro stats: {exc}", file=sys.stderr)
-        return 1
+        return 2
     print(format_trace_summary(spans, metrics))
     if args.tree:
         print()
@@ -469,6 +596,7 @@ def build_checkpoint_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary printout"
     )
+    _add_resilience_arguments(parser)
     return parser
 
 
@@ -510,10 +638,52 @@ def build_resume_parser() -> argparse.ArgumentParser:
         help="skip the journal-replay and constraint audit on load",
     )
     parser.add_argument(
+        "--salvage",
+        action="store_true",
+        help="if the checkpoint is corrupt (truncated, bit-rotted), "
+        "recover instead of failing: keep the surviving rows and the "
+        "longest verifiable journal prefix, re-derive the rest, and "
+        "continue on the rebuilt session (exit status 1)",
+    )
+    parser.add_argument(
+        "--salvage-out",
+        metavar="FILE",
+        help="write the rebuilt session to this new SQLite file "
+        "(default: the salvaged session lives in memory)",
+    )
+    parser.add_argument(
+        "--salvage-r",
+        metavar="FILE",
+        help="fallback R source CSV for salvage, when the damaged "
+        "checkpoint lost source rows (requires --salvage-r-key)",
+    )
+    parser.add_argument(
+        "--salvage-s",
+        metavar="FILE",
+        help="fallback S source CSV for salvage (requires --salvage-s-key)",
+    )
+    parser.add_argument(
+        "--salvage-r-key",
+        metavar="ATTRS",
+        help="comma-separated key of the --salvage-r relation",
+    )
+    parser.add_argument(
+        "--salvage-s-key",
+        metavar="ATTRS",
+        help="comma-separated key of the --salvage-s relation",
+    )
+    parser.add_argument(
+        "--salvage-extended-key",
+        metavar="ATTRS",
+        help="extended key to use when the checkpoint's own metadata "
+        "is unrecoverable",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress table printouts (exit status still reports soundness)",
     )
+    _add_resilience_arguments(parser)
     return parser
 
 
@@ -542,7 +712,7 @@ def build_explain_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _session_from_args(args) -> "object":
+def _session_from_args(args, retry_policy=None, fault_injector=None) -> "object":
     """Build and load the IncrementalIdentifier 'repro checkpoint' snapshots."""
     from repro.federation.incremental import IncrementalIdentifier
 
@@ -554,17 +724,35 @@ def _session_from_args(args) -> "object":
 
         ilfds.extend(read_ilfds(path))
     identifier = IncrementalIdentifier(
-        r.schema, s.schema, _split_key(args.extended_key), ilfds=ilfds
+        r.schema,
+        s.schema,
+        _split_key(args.extended_key),
+        ilfds=ilfds,
+        retry_policy=retry_policy,
+        fault_injector=fault_injector,
     )
     identifier.load(r, s)
     return identifier
 
 
 def checkpoint_main(argv: Optional[Sequence[str]] = None) -> int:
-    """``repro checkpoint``: returns 0 on success."""
+    """``repro checkpoint``: 0 on success, 2 on a fatal failure."""
+    from repro.resilience import FaultPlanError, ResilienceError
+
     args = build_checkpoint_parser().parse_args(argv)
-    identifier = _session_from_args(args)
-    identifier.checkpoint(args.checkpoint_file)
+    try:
+        retry, injector = _make_resilience(args, None)
+    except (FaultPlanError, ValueError) as exc:
+        print(f"repro checkpoint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        identifier = _session_from_args(
+            args, retry_policy=retry, fault_injector=injector
+        )
+        identifier.checkpoint(args.checkpoint_file)
+    except ResilienceError as exc:
+        print(f"repro checkpoint: {exc}", file=sys.stderr)
+        return 2
     if not args.quiet:
         import os
 
@@ -577,31 +765,101 @@ def checkpoint_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _salvage_session(args):
+    """Rebuild a session from a damaged checkpoint (the --salvage path).
+
+    Returns ``(identifier, report)``; raises ``StoreError`` when even
+    salvage cannot produce a verified-consistent session.
+    """
+    from repro.store.checkpoint import salvage_incremental
+
+    r = s = None
+    if args.salvage_r:
+        keys = [_split_key(args.salvage_r_key)] if args.salvage_r_key else None
+        r = read_csv(args.salvage_r, keys=keys, name="R")
+    if args.salvage_s:
+        keys = [_split_key(args.salvage_s_key)] if args.salvage_s_key else None
+        s = read_csv(args.salvage_s, keys=keys, name="S")
+    extended_key = (
+        _split_key(args.salvage_extended_key)
+        if args.salvage_extended_key
+        else None
+    )
+    return salvage_incremental(
+        args.checkpoint_file,
+        r=r,
+        s=s,
+        extended_key=extended_key,
+        output=args.salvage_out,
+    )
+
+
 def resume_main(argv: Optional[Sequence[str]] = None) -> int:
-    """``repro resume``: 0 when sound, 1 on a bad checkpoint, 2 unsound."""
+    """``repro resume``: 0 sound, 1 unsound or salvaged, 2 fatal."""
     from repro.federation.incremental import IncrementalIdentifier
     from repro.store import StoreError, StoreIntegrityError
 
+    from repro.resilience import FaultPlanError
+
     args = build_resume_parser().parse_args(argv)
     try:
+        retry, injector = _make_resilience(args, None)
+    except (FaultPlanError, ValueError) as exc:
+        print(f"repro resume: {exc}", file=sys.stderr)
+        return 2
+    salvaged = False
+    try:
         identifier = IncrementalIdentifier.resume(
-            args.checkpoint_file, verify=not args.no_verify
+            args.checkpoint_file,
+            verify=not args.no_verify,
+            retry_policy=retry,
+            fault_injector=injector,
         )
     except (StoreError, StoreIntegrityError) as exc:
-        print(f"repro resume: {exc}", file=sys.stderr)
-        return 1
+        if not args.salvage:
+            print(f"repro resume: {exc}", file=sys.stderr)
+            if isinstance(exc, StoreIntegrityError):
+                print(
+                    "repro resume: the checkpoint looks damaged; "
+                    "--salvage can recover the surviving state",
+                    file=sys.stderr,
+                )
+            return 2
+        print(
+            f"repro resume: checkpoint damaged ({exc}); salvaging...",
+            file=sys.stderr,
+        )
+        try:
+            identifier, salvage_report = _salvage_session(args)
+        except (StoreError, StoreIntegrityError, OSError) as salvage_exc:
+            print(f"repro resume: salvage failed: {salvage_exc}",
+                  file=sys.stderr)
+            return 2
+        salvaged = True
+        if not args.quiet:
+            print(salvage_report.summary())
+            print()
     resumed_version = identifier.version
     added = 0
-    for path in args.insert_r:
-        for row in read_csv(path, enforce_keys=False):
-            added += len(identifier.insert_r(row).added)
-    for path in args.insert_s:
-        for row in read_csv(path, enforce_keys=False):
-            added += len(identifier.insert_s(row).added)
-    if args.ilfd:
-        added += len(
-            identifier.add_ilfds([parse_ilfd(text) for text in args.ilfd]).added
-        )
+    from repro.resilience import ResilienceError
+
+    try:
+        for path in args.insert_r:
+            for row in read_csv(path, enforce_keys=False):
+                added += len(identifier.insert_r(row).added)
+        for path in args.insert_s:
+            for row in read_csv(path, enforce_keys=False):
+                added += len(identifier.insert_s(row).added)
+        if args.ilfd:
+            added += len(
+                identifier.add_ilfds(
+                    [parse_ilfd(text) for text in args.ilfd]
+                ).added
+            )
+    except ResilienceError as exc:
+        print(f"repro resume: {exc}", file=sys.stderr)
+        identifier.store.close()
+        return 2
     report = identifier.verify()
     if not args.quiet:
         print(
@@ -620,7 +878,10 @@ def resume_main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(report.message)
     identifier.store.close()
-    return 0 if report.is_sound else 2
+    status = 0 if report.is_sound else 1
+    if salvaged:
+        status = max(status, 1)
+    return status
 
 
 def explain_pair_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -632,24 +893,24 @@ def explain_pair_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_explain_parser().parse_args(argv)
     if args.r is None and args.s is None:
         print("repro explain-pair: give --r and/or --s", file=sys.stderr)
-        return 1
+        return 2
     try:
         r_key = parse_key_spec(args.r) if args.r else None
         s_key = parse_key_spec(args.s) if args.s else None
     except ValueError as exc:
         print(f"repro explain-pair: {exc}", file=sys.stderr)
-        return 1
+        return 2
     if not os.path.exists(args.store_file):
         print(
             f"repro explain-pair: no such store: {args.store_file}",
             file=sys.stderr,
         )
-        return 1
+        return 2
     try:
         store = SqliteStore(args.store_file)
     except StoreError as exc:
         print(f"repro explain-pair: {exc}", file=sys.stderr)
-        return 1
+        return 2
     try:
         entries = store.journal_entries(r_key=r_key, s_key=s_key)
         print(explain_pair(entries, r_key, s_key))

@@ -18,14 +18,18 @@ This subpackage builds those mechanisms:
 - :mod:`repro.federation.view` -- :class:`VirtualIntegratedView`, the
   virtual-integration surface: a lazily materialised, cache-invalidated
   T_RS supporting select/project without the sources being discarded
-  (the paper's "virtual integration" mode).
+  (the paper's "virtual integration" mode).  Attached source loaders
+  are refreshed through the identifier's retry policy; a source that
+  keeps failing degrades to last-known-good serving
+  (:class:`SourceHealth`) instead of taking the view down.
 """
 
 from repro.federation.incremental import Delta, IncrementalIdentifier
-from repro.federation.view import VirtualIntegratedView
+from repro.federation.view import SourceHealth, VirtualIntegratedView
 
 __all__ = [
     "Delta",
     "IncrementalIdentifier",
+    "SourceHealth",
     "VirtualIntegratedView",
 ]

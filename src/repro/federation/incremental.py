@@ -23,7 +23,18 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.blocking.base import Blocker, BlockingContext, CandidatePairs
 from repro.blocking.executor import ParallelPairExecutor
@@ -40,6 +51,14 @@ from repro.core.soundness import SoundnessReport, verify_soundness
 from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
 from repro.ilfd.ilfd import ILFD, ILFDSet
 from repro.observability.tracer import NO_OP_TRACER, Tracer
+from repro.resilience.errors import InjectedFault, SourceLoadError
+from repro.resilience.faults import (
+    NO_OP_INJECTOR,
+    SITE_SOURCE_LOAD_R,
+    SITE_SOURCE_LOAD_S,
+    FaultInjector,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.relational.nulls import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.row import Row
@@ -106,6 +125,8 @@ class IncrementalIdentifier:
         policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
         tracer: Optional[Tracer] = None,
         store: Optional[MatchStore] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if not isinstance(extended_key, ExtendedKey):
             extended_key = ExtendedKey(list(extended_key))
@@ -121,6 +142,10 @@ class IncrementalIdentifier:
         self._matches: Set[Pair] = set()
         self.version = 0
         self._identity_rule_name = extended_key.identity_rule().name
+        self._retry = retry_policy
+        self._injector = (
+            fault_injector if fault_injector is not None else NO_OP_INJECTOR
+        )
         self._store = store if store is not None else MemoryStore(tracer=tracer)
         self._store.set_key_attributes(self._r.key_attrs, self._s.key_attrs)
 
@@ -156,6 +181,11 @@ class IncrementalIdentifier:
     def store(self) -> MatchStore:
         """The persistence backend all mutations write through to."""
         return self._store
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer all spans and metrics flow through."""
+        return self._tracer
 
     def match_pairs(self) -> Set[Pair]:
         """A copy of the current matched-pair set."""
@@ -200,7 +230,9 @@ class IncrementalIdentifier:
         """
         from repro.store.checkpoint import checkpoint_incremental
 
-        checkpoint_incremental(self, path, tracer=self._tracer).close()
+        checkpoint_incremental(
+            self, path, tracer=self._tracer, fault_injector=self._injector
+        ).close()
 
     @classmethod
     def resume(
@@ -209,6 +241,8 @@ class IncrementalIdentifier:
         *,
         tracer: Optional[Tracer] = None,
         verify: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> "IncrementalIdentifier":
         """Reload a :meth:`checkpoint` and continue the session.
 
@@ -220,7 +254,13 @@ class IncrementalIdentifier:
         """
         from repro.store.checkpoint import resume_incremental
 
-        return resume_incremental(path, tracer=tracer, verify=verify)
+        return resume_incremental(
+            path,
+            tracer=tracer,
+            verify=verify,
+            retry_policy=retry_policy,
+            fault_injector=fault_injector,
+        )
 
     def relations(self) -> Tuple[Relation, Relation]:
         """The current raw sources, as relations (for batch cross-checks)."""
@@ -290,6 +330,108 @@ class IncrementalIdentifier:
                     self._tracer.metrics.inc("federation.bulk_loads")
             span.set("matches_added", len(added))
         return Delta(added=tuple(added))
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant source access
+    # ------------------------------------------------------------------
+    def fetch_source(self, side: str, loader: Callable[[], Relation]) -> Relation:
+        """Fetch one source relation through the retry policy.
+
+        *loader* is any zero-argument callable producing the side's
+        current :class:`~repro.relational.relation.Relation` — a file
+        read, a remote query, a generator.  Each attempt first consults
+        the fault injector at the side's ``federation.load_source.*``
+        site, so chaos tests can make loads fail deterministically.
+        Transient failures (:class:`OSError`, :class:`ConnectionError`,
+        injected faults) are retried per the policy; a final failure is
+        wrapped in :class:`~repro.resilience.errors.SourceLoadError`
+        carrying the ``side``, which
+        :class:`~repro.federation.view.VirtualIntegratedView` catches to
+        degrade instead of crash.
+        """
+        if side not in ("r", "s"):
+            raise CoreError(f"side must be 'r' or 's', got {side!r}")
+        site = SITE_SOURCE_LOAD_R if side == "r" else SITE_SOURCE_LOAD_S
+
+        def attempt() -> Relation:
+            self._injector.fire(site)
+            return loader()
+
+        try:
+            if self._retry is not None and self._retry.max_attempts > 1:
+                return self._retry.call(
+                    attempt,
+                    operation=site,
+                    retry_on=(InjectedFault, OSError, ConnectionError),
+                    tracer=self._tracer,
+                )
+            return attempt()
+        except Exception as exc:
+            if self._tracer.enabled:
+                self._tracer.metrics.inc("resilience.source_failures")
+            raise SourceLoadError(
+                f"source {side.upper()} failed to load: {exc}", side=side
+            ) from exc
+
+    def load_sources(
+        self,
+        r_loader: Callable[[], Relation],
+        s_loader: Callable[[], Relation],
+        *,
+        blocker: Optional[Blocker] = None,
+        executor: Optional[ParallelPairExecutor] = None,
+    ) -> Delta:
+        """Fetch both sources (retried) and bulk-load them.
+
+        Both fetches happen before any mutation, so a load that fails
+        even after retries leaves the identifier untouched — the caller
+        sees a :class:`~repro.resilience.errors.SourceLoadError` and the
+        previous state survives intact.
+        """
+        r = self.fetch_source("r", r_loader)
+        s = self.fetch_source("s", s_loader)
+        return self.load(r, s, blocker=blocker, executor=executor)
+
+    def replace_source(self, side: str, relation: Relation) -> Delta:
+        """Swap one side's rows for *relation*'s, by key diff.
+
+        Rows whose keys vanished are deleted, new keys inserted, and
+        changed rows (same key, different content) replaced — so match
+        deltas are exactly those the individual updates would produce,
+        and unchanged rows keep their settled matches untouched.  This
+        is the refresh primitive the virtual view uses per source.
+        """
+        state = self._r if side == "r" else self._s if side == "s" else None
+        if state is None:
+            raise CoreError(f"side must be 'r' or 's', got {side!r}")
+        added: List[Pair] = []
+        removed: List[Pair] = []
+        incoming: Dict[KeyValues, Dict[str, Any]] = {}
+        for row in relation:
+            values = {
+                name: NULL if row.get(name, NULL) is None else row.get(name, NULL)
+                for name in state.schema.names
+            }
+            incoming[key_values(Row(values), state.key_attrs)] = values
+        delete = self.delete_r if side == "r" else self.delete_s
+        insert = self.insert_r if side == "r" else self.insert_s
+        with self._tracer.span(
+            "federation.replace_source", side=side, rows=len(incoming)
+        ) as span:
+            for key in sorted(set(state.raw) - set(incoming)):
+                removed.extend(delete(key).removed)
+            changed = {
+                key
+                for key in set(state.raw) & set(incoming)
+                if dict(state.raw[key]) != incoming[key]
+            }
+            for key in sorted(changed):
+                removed.extend(delete(key).removed)
+            for key in sorted((set(incoming) - set(state.raw)) | changed):
+                added.extend(insert(incoming[key]).added)
+            span.set("matches_added", len(added))
+            span.set("matches_removed", len(removed))
+        return Delta(added=tuple(sorted(added)), removed=tuple(sorted(removed)))
 
     # ------------------------------------------------------------------
     # Blocked batch views

@@ -8,18 +8,62 @@ holds an :class:`~repro.federation.incremental.IncrementalIdentifier`,
 materialises T_RS lazily, invalidates the materialisation whenever the
 underlying sources or knowledge change, and answers select/project
 queries against the (merged or prefixed) integrated table.
+
+Because the components "retain their identities and usage", they can
+also fail independently — a federated source may be unreachable exactly
+when a query arrives.  The view therefore degrades rather than crashes:
+:meth:`attach_sources` registers per-side loaders, :meth:`refresh`
+pulls each side through the identifier's retry policy, and a side whose
+loader keeps failing is simply left at its last-known-good rows, marked
+``stale`` in :class:`SourceHealth`.  Queries keep being answered from
+the surviving state (the uniqueness/consistency constraints still hold
+— the failed refresh mutated nothing), with ``resilience.stale_served``
+counting every answer given while degraded.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.core.integration import IntegratedTable, integrate
-from repro.federation.incremental import IncrementalIdentifier
+from repro.federation.incremental import Delta, IncrementalIdentifier
 from repro.relational.algebra import project as project_op
 from repro.relational.algebra import select as select_op
 from repro.relational.relation import Relation
 from repro.relational.row import Row
+from repro.resilience.errors import SourceLoadError
+
+SourceLoader = Callable[[], Relation]
+
+
+@dataclass
+class SourceHealth:
+    """Liveness record for one federated source.
+
+    ``stale`` means the side is being served from last-known-good rows:
+    its loader has failed at least once since the rows were captured.
+    ``failures`` counts consecutive failed refreshes; any success resets
+    the record to healthy.
+    """
+
+    side: str
+    attached: bool = False
+    healthy: bool = True
+    stale: bool = False
+    failures: int = 0
+    last_error: str = ""
+
+    def summary(self) -> str:
+        """One line for status output."""
+        if not self.attached:
+            return f"{self.side.upper()}: no loader attached"
+        if self.healthy and not self.stale:
+            return f"{self.side.upper()}: healthy"
+        return (
+            f"{self.side.upper()}: STALE after {self.failures} failed "
+            f"refresh(es) — {self.last_error or 'unknown error'}"
+        )
 
 
 class VirtualIntegratedView:
@@ -35,11 +79,91 @@ class VirtualIntegratedView:
         self._identifier = identifier
         self._cached: Optional[IntegratedTable] = None
         self._cached_version = -1
+        self._loaders: Dict[str, Optional[SourceLoader]] = {"r": None, "s": None}
+        self._health: Dict[str, SourceHealth] = {
+            "r": SourceHealth("r"),
+            "s": SourceHealth("s"),
+        }
 
     @property
     def identifier(self) -> IncrementalIdentifier:
         """The underlying incremental identifier."""
         return self._identifier
+
+    # ------------------------------------------------------------------
+    # Degradation-aware source management
+    # ------------------------------------------------------------------
+    def attach_sources(
+        self,
+        r_loader: Optional[SourceLoader] = None,
+        s_loader: Optional[SourceLoader] = None,
+    ) -> None:
+        """Register per-side loaders for :meth:`refresh` to pull from.
+
+        A loader is any zero-argument callable returning the side's
+        current relation.  Either side may be omitted (that side is then
+        only updated through the identifier directly).
+        """
+        if r_loader is not None:
+            self._loaders["r"] = r_loader
+            self._health["r"].attached = True
+        if s_loader is not None:
+            self._loaders["s"] = s_loader
+            self._health["s"].attached = True
+
+    def refresh(self) -> Delta:
+        """Pull every attached source, degrading on failure.
+
+        Each side is fetched through the identifier's retry policy and,
+        on success, applied with
+        :meth:`~repro.federation.incremental.IncrementalIdentifier.replace_source`
+        (key-level diff: unchanged rows keep their settled matches).  A
+        side whose loader still fails after retries is **skipped**: its
+        last-known-good rows — and the matches derived from them — keep
+        being served, its :class:`SourceHealth` turns stale, and the
+        refresh carries on with the other side.  Returns the combined
+        match delta of the sides that did refresh.
+        """
+        added = []
+        removed = []
+        degraded = False
+        tracer = self._identifier.tracer
+        for side in ("r", "s"):
+            loader = self._loaders[side]
+            if loader is None:
+                continue
+            health = self._health[side]
+            try:
+                relation = self._identifier.fetch_source(side, loader)
+            except SourceLoadError as exc:
+                health.healthy = False
+                health.stale = True
+                health.failures += 1
+                health.last_error = str(exc.__cause__ or exc)
+                degraded = True
+                continue
+            delta = self._identifier.replace_source(side, relation)
+            added.extend(delta.added)
+            removed.extend(delta.removed)
+            health.healthy = True
+            health.stale = False
+            health.failures = 0
+            health.last_error = ""
+        if degraded and tracer.enabled:
+            tracer.metrics.inc("resilience.degraded_refreshes")
+        return Delta(added=tuple(sorted(added)), removed=tuple(sorted(removed)))
+
+    @property
+    def degraded(self) -> bool:
+        """True iff any attached source is being served stale."""
+        return any(h.stale for h in self._health.values())
+
+    def source_health(self) -> Dict[str, SourceHealth]:
+        """A copy of both sides' health records."""
+        return {
+            side: SourceHealth(**vars(health))
+            for side, health in self._health.items()
+        }
 
     def is_fresh(self) -> bool:
         """True iff the cached T_RS reflects the current source state."""
@@ -55,7 +179,16 @@ class VirtualIntegratedView:
         the durably persisted MT_RS, which write-through keeps identical
         to the live in-memory state — so the view exercises exactly what
         a checkpoint would save and a resume would reload.
+
+        When a source is degraded this serves the last-known-good state
+        for that side (the failed refresh mutated nothing, so the
+        uniqueness/consistency guarantees of the served table are the
+        ones that held at capture time), counting the answer under
+        ``resilience.stale_served``.
         """
+        tracer = self._identifier.tracer
+        if self.degraded and tracer.enabled:
+            tracer.metrics.inc("resilience.stale_served")
         if not self.is_fresh():
             matching = self._identifier.store_matching_table()
             r, s = self._extended_relations()

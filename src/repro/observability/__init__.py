@@ -46,6 +46,7 @@ from repro.observability.tracer import (
 )
 from repro.observability.export import (
     format_blocking_summary,
+    format_resilience_summary,
     format_metrics,
     format_store_summary,
     format_span_tree,
@@ -68,6 +69,7 @@ __all__ = [
     "Span",
     "Tracer",
     "format_blocking_summary",
+    "format_resilience_summary",
     "format_metrics",
     "format_store_summary",
     "format_span_tree",

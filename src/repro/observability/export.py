@@ -28,6 +28,7 @@ __all__ = [
     "format_span_tree",
     "format_metrics",
     "format_blocking_summary",
+    "format_resilience_summary",
     "format_store_summary",
     "format_trace_summary",
 ]
@@ -198,6 +199,10 @@ def format_trace_summary(
     if store:
         lines.append("")
         lines.append(store)
+    resilience = format_resilience_summary(metrics) if metrics is not None else ""
+    if resilience:
+        lines.append("")
+        lines.append(resilience)
     if metrics is not None:
         lines.append("")
         lines.append(format_metrics(metrics))
@@ -272,6 +277,41 @@ def format_store_summary(snapshot: Mapping[str, Any]) -> str:
         load = histograms.get("store.load_ms")
         if load:
             lines.append(f"  load time         {load['mean']:.3f} ms")
+    return "\n".join(lines)
+
+
+def format_resilience_summary(snapshot: Mapping[str, Any]) -> str:
+    """Fault-handling aggregates, when a run hit (or injected) failures.
+
+    Renders the ``resilience.*`` counters — injected faults, retries and
+    backoff, worker crashes and recovered batches, quarantined pairs,
+    failed commits, degraded sources, and salvages — or "" when the run
+    saw no failures at all (the common, healthy case stays silent).
+    """
+    counters: Mapping[str, int] = snapshot.get("counters", {}) or {}
+    rows = [
+        ("faults injected", "resilience.faults_injected"),
+        ("retries", "resilience.retries"),
+        ("give-ups", "resilience.giveups"),
+        ("backoff ms", "resilience.backoff_ms"),
+        ("worker crashes", "resilience.worker_crashes"),
+        ("batches recovered", "resilience.batches_recovered"),
+        ("pairs quarantined", "resilience.pairs_quarantined"),
+        ("commit failures", "resilience.commit_failures"),
+        ("source failures", "resilience.source_failures"),
+        ("degraded refreshes", "resilience.degraded_refreshes"),
+        ("stale served", "resilience.stale_served"),
+        ("salvages", "resilience.salvages"),
+    ]
+    present = [
+        (label, counters[name]) for label, name in rows if counters.get(name)
+    ]
+    if not present:
+        return ""
+    width = max(len(label) for label, _ in present)
+    lines = ["resilience (fault handling):"]
+    for label, value in present:
+        lines.append(f"  {label:<{width}}  {value}")
     return "\n".join(lines)
 
 

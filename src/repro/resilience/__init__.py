@@ -1,0 +1,97 @@
+"""``repro.resilience`` — fault tolerance for the identification pipeline.
+
+The paper's guarantees (soundness, completeness, monotonicity, the
+uniqueness/consistency constraints on MT_RS/NMT_RS) are statements about
+the *final* state of the tables; this subpackage makes sure the system
+still reaches such a state when the machinery under it misbehaves —
+a worker process dying mid-batch, a SQLite commit failing, a federated
+source refusing to load, a checkpoint file losing its tail.
+
+- :mod:`repro.resilience.faults` — :class:`FaultPlan` /
+  :class:`FaultInjector`: deterministic, seeded fault injection at named
+  pipeline sites (no wall-clock anywhere), usable from tests and the
+  ``--inject-faults`` CLI flag.
+- :mod:`repro.resilience.retry` — :class:`RetryPolicy`: capped
+  exponential backoff with seeded jitter and per-operation deadlines,
+  applied to source loading (:mod:`repro.federation.incremental`), batch
+  evaluation (:mod:`repro.blocking.executor`), and transactional commits
+  (:mod:`repro.store`).
+- :mod:`repro.resilience.errors` — the exception vocabulary (injected
+  faults vs. give-ups).
+
+Recovery behaviours built on these live with the components they guard:
+worker-crash recovery and pair quarantine in
+:class:`~repro.blocking.ParallelPairExecutor`, corruption-safe resume
+and salvage in :mod:`repro.store.checkpoint`, and graceful source
+degradation in :class:`~repro.federation.view.VirtualIntegratedView`.
+Every failure handled emits ``resilience.*`` metrics through
+:mod:`repro.observability`; ``repro stats`` renders them as a resilience
+section.  See ``docs/RESILIENCE.md`` for the fault model.
+"""
+
+from repro.observability.metrics import register_metric
+from repro.resilience.errors import (
+    DeadlineExceededError,
+    FaultPlanError,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+    ResilienceError,
+    RetryExhaustedError,
+    SourceLoadError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    KNOWN_SITES,
+    NO_OP_INJECTOR,
+    SITE_CHECKPOINT,
+    SITE_EXECUTOR_BATCH,
+    SITE_SOURCE_LOAD_R,
+    SITE_SOURCE_LOAD_S,
+    SITE_STORE_COMMIT,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "DeadlineExceededError",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedHang",
+    "KNOWN_SITES",
+    "NO_OP_INJECTOR",
+    "NO_RETRY",
+    "ResilienceError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "SITE_CHECKPOINT",
+    "SITE_EXECUTOR_BATCH",
+    "SITE_SOURCE_LOAD_R",
+    "SITE_SOURCE_LOAD_S",
+    "SITE_STORE_COMMIT",
+    "SourceLoadError",
+]
+
+for _name, _description in (
+    ("resilience.faults_injected", "deterministic faults fired by the injector"),
+    ("resilience.retries", "operation attempts retried after a failure"),
+    ("resilience.giveups", "operations abandoned after exhausting retries"),
+    ("resilience.backoff_ms", "milliseconds of scheduled retry backoff"),
+    ("resilience.worker_crashes", "worker/pool failures observed by the executor"),
+    ("resilience.batches_recovered", "lost batches re-executed to completion"),
+    ("resilience.pairs_quarantined", "poisoned pairs isolated and reported"),
+    ("resilience.commit_failures", "transactional commits that failed and rolled back"),
+    ("resilience.source_failures", "federated source loads/refreshes that failed"),
+    ("resilience.degraded_refreshes", "view refreshes that left a source stale"),
+    ("resilience.stale_served", "queries served from last-known-good state"),
+    ("resilience.salvages", "checkpoint salvage recoveries performed"),
+):
+    register_metric(_name, _description)
+del _name, _description

@@ -1,0 +1,88 @@
+"""Exceptions of the fault-tolerance subsystem.
+
+Two families:
+
+- **Injected** faults (:class:`InjectedFault` and subclasses) are raised
+  by :class:`~repro.resilience.faults.FaultInjector` at instrumented
+  sites — they simulate the machinery misbehaving (a source load
+  erroring, a worker dying, a commit failing) and are what the chaos
+  tests drive through the recovery paths.
+- **Give-up** errors (:class:`RetryExhaustedError`,
+  :class:`DeadlineExceededError`, :class:`SourceLoadError`) are raised
+  by the recovery machinery itself once a
+  :class:`~repro.resilience.retry.RetryPolicy` has spent its budget —
+  they always chain the underlying cause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedHang",
+    "RetryExhaustedError",
+    "DeadlineExceededError",
+    "SourceLoadError",
+    "FaultPlanError",
+]
+
+
+class ResilienceError(Exception):
+    """Base class for fault-tolerance errors."""
+
+
+class FaultPlanError(ResilienceError):
+    """A fault-plan spec string does not parse."""
+
+
+class InjectedFault(ResilienceError):
+    """A deterministic fault fired at an instrumented site.
+
+    The generic kind models an operation *erroring* (a source raising,
+    a write failing mid-transaction).  Subclasses refine the failure
+    mode; recovery code should treat any :class:`InjectedFault` exactly
+    like the real failure it stands in for.
+    """
+
+
+class InjectedCrash(InjectedFault):
+    """A worker died: the in-flight batch is lost, the pool is suspect.
+
+    Stands in for :class:`concurrent.futures.process.BrokenProcessPool`
+    (a worker killed by the OOM killer, a segfault in native code).
+    """
+
+
+class InjectedHang(InjectedFault):
+    """An operation stalled past its deadline (simulated, no wall-clock)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """A retried operation failed on every attempt.
+
+    ``attempts`` records how many were made; the final underlying
+    failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class DeadlineExceededError(ResilienceError):
+    """A retried operation ran out of its per-operation deadline."""
+
+
+class SourceLoadError(ResilienceError):
+    """A federated source could not be loaded or refreshed.
+
+    Raised by :meth:`~repro.federation.incremental.IncrementalIdentifier.load_sources`
+    after retries are exhausted; caught by
+    :class:`~repro.federation.view.VirtualIntegratedView`, which degrades
+    to serving the surviving relation instead of propagating it.
+    """
+
+    def __init__(self, message: str, *, side: str = "") -> None:
+        super().__init__(message)
+        self.side = side

@@ -24,11 +24,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.observability.tracer import Tracer
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
 from repro.store.base import MatchStore
 from repro.store.checkpoint import (
     CHECKPOINT_FORMAT,
+    SalvageReport,
     checkpoint_incremental,
     resume_incremental,
+    salvage_incremental,
 )
 from repro.store.codec import (
     decode_key,
@@ -48,6 +52,7 @@ from repro.store.journal import (
     KIND_ILFD,
     KIND_REMOVE,
     JournalEntry,
+    entry_checksum,
     explain_pair,
     replay_journal,
 )
@@ -66,6 +71,7 @@ __all__ = [
     "JournalEntry",
     "MatchStore",
     "MemoryStore",
+    "SalvageReport",
     "SqliteStore",
     "StoreCodecError",
     "StoreError",
@@ -77,32 +83,51 @@ __all__ = [
     "encode_key",
     "encode_row",
     "encode_schema",
+    "entry_checksum",
     "explain_pair",
     "make_store",
     "replay_journal",
     "resume_incremental",
+    "salvage_incremental",
 ]
 
 
-def make_store(spec: str, *, tracer: Optional[Tracer] = None) -> MatchStore:
+def make_store(
+    spec: str,
+    *,
+    tracer: Optional[Tracer] = None,
+    retry_policy: Optional["RetryPolicy"] = None,
+    fault_injector: Optional["FaultInjector"] = None,
+) -> MatchStore:
     """Build a store from a CLI spec string.
 
     ``"memory"`` → :class:`MemoryStore`; ``"sqlite:PATH"`` (or a bare
     path ending in ``.sqlite`` / ``.sqlite3`` / ``.db``) →
-    :class:`SqliteStore` at that path.
+    :class:`SqliteStore` at that path.  *retry_policy* (SQLite commits)
+    and *fault_injector* are forwarded to the backend.
     """
     text = spec.strip()
     if not text:
         raise StoreError("empty store spec")
     if text == "memory":
-        return MemoryStore(tracer=tracer)
+        return MemoryStore(tracer=tracer, fault_injector=fault_injector)
     if text.startswith("sqlite:"):
         path = text[len("sqlite:"):]
         if not path:
             raise StoreError("sqlite store spec needs a path: sqlite:PATH")
-        return SqliteStore(path, tracer=tracer)
+        return SqliteStore(
+            path,
+            tracer=tracer,
+            retry_policy=retry_policy,
+            fault_injector=fault_injector,
+        )
     if text.endswith((".sqlite", ".sqlite3", ".db")):
-        return SqliteStore(text, tracer=tracer)
+        return SqliteStore(
+            text,
+            tracer=tracer,
+            retry_policy=retry_policy,
+            fault_injector=fault_injector,
+        )
     raise StoreError(
         f"unrecognised store spec {spec!r}; expected 'memory', 'sqlite:PATH', "
         "or a path ending in .sqlite/.sqlite3/.db"

@@ -24,7 +24,17 @@ from __future__ import annotations
 import abc
 import json
 import time
-from typing import Any, ContextManager, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Any,
+    ContextManager,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.matching_table import (
     MatchEntry,
@@ -44,6 +54,7 @@ from repro.store.journal import (
     KIND_ILFD,
     KIND_REMOVE,
     JournalEntry,
+    entry_checksum,
     replay_journal,
 )
 
@@ -70,6 +81,34 @@ class MatchStore(abc.ABC):
 
     def __init__(self, *, tracer: Optional[Tracer] = None) -> None:
         self._tracer = tracer if tracer is not None else NO_OP_TRACER
+        self._metric_buffer: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Transactional metric buffering
+    # ------------------------------------------------------------------
+    # Metrics must tell the same story as the data: a rolled-back write
+    # never happened, so its counters must not land either.  Backends
+    # open a buffer when the outermost transaction begins, flush it after
+    # a successful commit, and discard it on rollback; outside a
+    # transaction `_metric_inc` hits the tracer directly.
+    def _metric_inc(self, name: str, value: int = 1) -> None:
+        if self._metric_buffer is not None:
+            self._metric_buffer[name] = self._metric_buffer.get(name, 0) + value
+        elif self._tracer.enabled:
+            self._tracer.metrics.inc(name, value)
+
+    def _begin_metric_buffer(self) -> None:
+        if self._tracer.enabled and self._metric_buffer is None:
+            self._metric_buffer = {}
+
+    def _commit_metric_buffer(self) -> None:
+        buffer, self._metric_buffer = self._metric_buffer, None
+        if buffer:
+            for name, value in buffer.items():
+                self._tracer.metrics.inc(name, value)
+
+    def _discard_metric_buffer(self) -> None:
+        self._metric_buffer = None
 
     # ------------------------------------------------------------------
     # Backend primitives
@@ -123,6 +162,16 @@ class MatchStore(abc.ABC):
         :meth:`JournalEntry.concerns` holds — two-sided entries for the
         pair plus one-sided ILFD entries for either tuple.
         """
+
+    def _journal_checksums(self) -> Mapping[int, str]:
+        """``seq → stored content checksum`` for checksummed entries.
+
+        Backends that persist :func:`~repro.store.journal.entry_checksum`
+        alongside each entry override this; entries absent from the map
+        (or mapped to ``""``) predate checksumming and verify as
+        *unknown* rather than failing.
+        """
+        return {}
 
     @abc.abstractmethod
     def set_meta(self, key: str, value: str) -> None:
@@ -200,10 +249,8 @@ class MatchStore(abc.ABC):
                 payload=dict(payload or {}),
             )
         )
-        if self._tracer.enabled:
-            metrics = self._tracer.metrics
-            metrics.inc("store.writes")
-            metrics.inc("store.journal_entries")
+        self._metric_inc("store.writes")
+        self._metric_inc("store.journal_entries")
 
     def record_non_match(
         self,
@@ -229,10 +276,8 @@ class MatchStore(abc.ABC):
                 payload=dict(payload or {}),
             )
         )
-        if self._tracer.enabled:
-            metrics = self._tracer.metrics
-            metrics.inc("store.writes")
-            metrics.inc("store.journal_entries")
+        self._metric_inc("store.writes")
+        self._metric_inc("store.journal_entries")
 
     def remove_match(
         self,
@@ -255,10 +300,8 @@ class MatchStore(abc.ABC):
                     payload={"reason": reason},
                 )
             )
-            if self._tracer.enabled:
-                metrics = self._tracer.metrics
-                metrics.inc("store.removes")
-                metrics.inc("store.journal_entries")
+            self._metric_inc("store.removes")
+            self._metric_inc("store.journal_entries")
         return existed
 
     def record_derivation(
@@ -283,8 +326,7 @@ class MatchStore(abc.ABC):
                 payload={"derived": dict(derived)},
             )
         )
-        if self._tracer.enabled:
-            self._tracer.metrics.inc("store.journal_entries")
+        self._metric_inc("store.journal_entries")
 
     def record_checkpoint_marker(
         self, *, note: str = "", timestamp: Optional[float] = None
@@ -298,8 +340,7 @@ class MatchStore(abc.ABC):
                 payload={"note": note} if note else {},
             )
         )
-        if self._tracer.enabled:
-            self._tracer.metrics.inc("store.journal_entries")
+        self._metric_inc("store.journal_entries")
 
     # ------------------------------------------------------------------
     # Reading
@@ -376,14 +417,39 @@ class MatchStore(abc.ABC):
             ) from exc
 
     def verify_journal(self) -> Tuple[int, int]:
-        """Replay the journal and require it to reproduce the tables.
+        """Audit the journal and require it to reproduce the tables.
+
+        Three checks, cheapest first:
+
+        1. every entry whose stored content checksum is known must still
+           hash to it (bit-rot / tampering detection),
+        2. sequence numbers must be contiguous (a gap means entries were
+           lost — truncation of the persisted journal),
+        3. replaying the journal must reproduce the stored matching and
+           negative tables exactly.
 
         Returns ``(match_count, non_match_count)`` on success; raises
-        :class:`StoreIntegrityError` when the journal and the tables
-        disagree — a store whose provenance cannot explain its contents
-        is treated as corrupt on load.
+        :class:`StoreIntegrityError` otherwise — a store whose provenance
+        cannot explain its contents is treated as corrupt on load.  For
+        the recovery path over a journal that *fails* here, see
+        :meth:`longest_valid_journal_prefix`.
         """
-        matches, negatives = replay_journal(self.journal_entries())
+        entries = self.journal_entries()
+        checksums = self._journal_checksums()
+        for entry in entries:
+            stored = checksums.get(entry.seq, "")
+            if stored and stored != entry_checksum(entry):
+                raise StoreIntegrityError(
+                    f"journal entry #{entry.seq} fails its content checksum "
+                    "— the persisted journal is corrupted"
+                )
+        seqs = [entry.seq for entry in entries]
+        if seqs and seqs != list(range(seqs[0], seqs[0] + len(seqs))):
+            raise StoreIntegrityError(
+                "journal sequence numbers are not contiguous — entries "
+                "were lost (journal truncation or partial write)"
+            )
+        matches, negatives = replay_journal(entries)
         stored_matches = self.match_pairs()
         stored_negatives = self.non_match_pairs()
         if matches != stored_matches:
@@ -398,6 +464,39 @@ class MatchStore(abc.ABC):
                 "journal replay does not reproduce the negative matching table"
             )
         return len(stored_matches), len(stored_negatives)
+
+    def longest_valid_journal_prefix(self) -> List[JournalEntry]:
+        """The leading run of journal entries that still verifies.
+
+        Walks the journal in seq order and stops at the first entry that
+        fails its content checksum or breaks seq contiguity.  This is the
+        provenance a salvage can still trust when :meth:`verify_journal`
+        rejects the whole journal — the documented recovery path
+        (``docs/RESILIENCE.md``) keeps this prefix and re-derives the
+        rest from the sources.
+        """
+        checksums = self._journal_checksums()
+        prefix: List[JournalEntry] = []
+        previous: Optional[int] = None
+        for entry in self.journal_entries():
+            if previous is not None and entry.seq != previous + 1:
+                break
+            stored = checksums.get(entry.seq, "")
+            if stored and stored != entry_checksum(entry):
+                break
+            prefix.append(entry)
+            previous = entry.seq
+        return prefix
+
+    def corrupt_journal_seqs(self) -> List[int]:
+        """Seqs of entries whose stored checksum no longer matches."""
+        checksums = self._journal_checksums()
+        return [
+            entry.seq
+            for entry in self.journal_entries()
+            if checksums.get(entry.seq, "")
+            and checksums[entry.seq] != entry_checksum(entry)
+        ]
 
     # ------------------------------------------------------------------
     # Bulk copy (checkpointing)

@@ -14,10 +14,12 @@ journal must reproduce the stored tables exactly
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.store.codec import KeyValues
+from repro.store.codec import KeyValues, encode_key
 
 __all__ = [
     "KIND_IDENTITY",
@@ -28,6 +30,7 @@ __all__ = [
     "KIND_CHECKPOINT",
     "JOURNAL_KINDS",
     "JournalEntry",
+    "entry_checksum",
     "replay_journal",
     "explain_pair",
 ]
@@ -114,6 +117,33 @@ class JournalEntry:
         if s_key is not None and self.s_key != s_key:
             return False
         return r_key is not None or s_key is not None
+
+
+def entry_checksum(entry: JournalEntry) -> str:
+    """Content checksum of one journal entry (hex SHA-256, truncated).
+
+    Covers everything the entry *says* — timestamp, kind, rule, the
+    canonical key encodings, and the sorted payload — but **not**
+    ``seq``: sequence numbers are reassigned when entries are copied
+    between stores (checkpointing, salvage), and the checksum must keep
+    certifying the entry's content across that.  Stored alongside each
+    entry by the backends and verified by
+    :meth:`~repro.store.base.MatchStore.verify_journal`, it turns silent
+    bit-rot in a persisted journal into a detected integrity failure.
+    """
+    material = json.dumps(
+        [
+            repr(entry.timestamp),
+            entry.kind,
+            entry.rule,
+            encode_key(entry.r_key) if entry.r_key is not None else None,
+            encode_key(entry.s_key) if entry.s_key is not None else None,
+            dict(entry.payload),
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
 
 
 def replay_journal(

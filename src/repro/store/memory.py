@@ -15,9 +15,10 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.observability.tracer import Tracer
 from repro.relational.row import Row
+from repro.resilience.faults import NO_OP_INJECTOR, SITE_STORE_COMMIT, FaultInjector
 from repro.store.base import MatchStore, Pair
 from repro.store.codec import KeyValues
-from repro.store.journal import JournalEntry
+from repro.store.journal import JournalEntry, entry_checksum
 
 __all__ = ["MemoryStore"]
 
@@ -28,13 +29,24 @@ class MemoryStore(MatchStore):
     ``transaction()`` takes a full snapshot on entry and restores it if
     the block raises, so batch writes are all-or-nothing here too —
     the same contract the SQLite backend gets from real transactions.
+    The optional *fault_injector* is consulted at the ``store.commit``
+    site at the moment the outermost transaction would become durable:
+    an injected fault there restores the snapshot (journal appends and
+    sequence numbers included) and propagates, modelling a failed commit
+    on a backend that has no real one.
     """
 
-    def __init__(self, *, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        *,
+        tracer: Optional[Tracer] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
         super().__init__(tracer=tracer)
         self._matches: Dict[Pair, Tuple[Row, Row]] = {}
         self._non_matches: Dict[Pair, Tuple[Row, Row]] = {}
         self._journal: List[JournalEntry] = []
+        self._checksums: Dict[int, str] = {}
         self._meta: Dict[str, str] = {}
         self._rows: Dict[str, Dict[KeyValues, Tuple[Row, Row]]] = {
             "r": {},
@@ -42,6 +54,9 @@ class MemoryStore(MatchStore):
         }
         self._next_seq = 1
         self._txn_depth = 0
+        self._injector = (
+            fault_injector if fault_injector is not None else NO_OP_INJECTOR
+        )
 
     # ------------------------------------------------------------------
     # Primitives
@@ -75,7 +90,11 @@ class MemoryStore(MatchStore):
         stored = replace(entry, seq=self._next_seq)
         self._next_seq += 1
         self._journal.append(stored)
+        self._checksums[stored.seq] = entry_checksum(stored)
         return stored
+
+    def _journal_checksums(self) -> Dict[int, str]:
+        return dict(self._checksums)
 
     def journal_entries(
         self,
@@ -123,32 +142,50 @@ class MemoryStore(MatchStore):
             dict(self._matches),
             dict(self._non_matches),
             list(self._journal),
+            dict(self._checksums),
             dict(self._meta),
             {side: dict(rows) for side, rows in self._rows.items()},
             self._next_seq,
         )
-        self._txn_depth = 1
-        try:
-            yield self
-        except BaseException:
+
+        def restore() -> None:
             (
                 self._matches,
                 self._non_matches,
                 self._journal,
+                self._checksums,
                 self._meta,
                 self._rows,
                 self._next_seq,
             ) = snapshot
+            self._discard_metric_buffer()
+
+        self._txn_depth = 1
+        self._begin_metric_buffer()
+        try:
+            yield self
+        except BaseException:
+            restore()
             raise
+        else:
+            try:
+                self._injector.fire(SITE_STORE_COMMIT)
+            except BaseException:
+                restore()
+                if self._tracer.enabled:
+                    self._tracer.metrics.inc("resilience.commit_failures")
+                raise
+            self._commit_metric_buffer()
+            if self._tracer.enabled:
+                self._tracer.metrics.inc("store.transactions")
         finally:
             self._txn_depth = 0
-        if self._tracer.enabled:
-            self._tracer.metrics.inc("store.transactions")
 
     def clear(self) -> None:
         self._matches.clear()
         self._non_matches.clear()
         self._journal.clear()
+        self._checksums.clear()
         self._meta.clear()
         for rows in self._rows.values():
             rows.clear()

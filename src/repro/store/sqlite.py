@@ -25,6 +25,9 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.observability.tracer import Tracer
 from repro.relational.row import Row
+from repro.resilience.errors import InjectedFault
+from repro.resilience.faults import NO_OP_INJECTOR, SITE_STORE_COMMIT, FaultInjector
+from repro.resilience.retry import RetryPolicy
 from repro.store.base import MatchStore, Pair
 from repro.store.codec import (
     KeyValues,
@@ -33,8 +36,8 @@ from repro.store.codec import (
     encode_key,
     encode_row,
 )
-from repro.store.errors import StoreError
-from repro.store.journal import JournalEntry
+from repro.store.errors import StoreError, StoreIntegrityError
+from repro.store.journal import JournalEntry, entry_checksum
 
 __all__ = ["SqliteStore"]
 
@@ -58,13 +61,14 @@ CREATE TABLE IF NOT EXISTS non_matches (
     PRIMARY KEY (r_key, s_key)
 );
 CREATE TABLE IF NOT EXISTS journal (
-    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
-    ts      REAL NOT NULL,
-    kind    TEXT NOT NULL,
-    rule    TEXT NOT NULL DEFAULT '',
-    r_key   TEXT,
-    s_key   TEXT,
-    payload TEXT NOT NULL DEFAULT '{}'
+    seq      INTEGER PRIMARY KEY AUTOINCREMENT,
+    ts       REAL NOT NULL,
+    kind     TEXT NOT NULL,
+    rule     TEXT NOT NULL DEFAULT '',
+    r_key    TEXT,
+    s_key    TEXT,
+    payload  TEXT NOT NULL DEFAULT '{}',
+    checksum TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS journal_r_key ON journal (r_key);
 CREATE INDEX IF NOT EXISTS journal_s_key ON journal (s_key);
@@ -88,10 +92,25 @@ class SqliteStore(MatchStore):
         (useful in tests: full SQL semantics, no file).
     tracer:
         Optional tracer for ``store.*`` metrics.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` applied to the
+        transactional ``COMMIT`` itself — a commit that fails with a
+        transient :class:`sqlite3.OperationalError` (a locked database)
+        or an injected fault is re-issued per the policy while the
+        transaction data is still intact; only after the budget is spent
+        does the store roll back and raise.
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector` consulted at
+        the ``store.commit`` site immediately before each ``COMMIT``.
     """
 
     def __init__(
-        self, path: str = ":memory:", *, tracer: Optional[Tracer] = None
+        self,
+        path: str = ":memory:",
+        *,
+        tracer: Optional[Tracer] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(tracer=tracer)
         self._path = str(path)
@@ -99,8 +118,35 @@ class SqliteStore(MatchStore):
             self._conn = sqlite3.connect(self._path, isolation_level=None)
         except sqlite3.Error as exc:
             raise StoreError(f"cannot open SQLite store at {path!r}: {exc}") from exc
-        self._conn.executescript(_SCHEMA)
+        try:
+            self._conn.executescript(_SCHEMA)
+            self._migrate_journal_checksums()
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise StoreIntegrityError(
+                f"cannot initialise SQLite store at {path!r} "
+                f"(corrupt or not a database): {exc}"
+            ) from exc
         self._txn_depth = 0
+        self._retry = retry_policy
+        self._injector = (
+            fault_injector if fault_injector is not None else NO_OP_INJECTOR
+        )
+
+    def _migrate_journal_checksums(self) -> None:
+        """Add the checksum column to journals from before checksumming.
+
+        Legacy entries keep an empty checksum (verified as *unknown*);
+        everything appended from now on is content-checksummed.
+        """
+        columns = {
+            record[1]
+            for record in self._conn.execute("PRAGMA table_info(journal)")
+        }
+        if "checksum" not in columns:
+            self._conn.execute(
+                "ALTER TABLE journal ADD COLUMN checksum TEXT NOT NULL DEFAULT ''"
+            )
 
     @property
     def path(self) -> str:
@@ -177,8 +223,8 @@ class SqliteStore(MatchStore):
 
     def append_journal(self, entry: JournalEntry) -> JournalEntry:
         cursor = self._conn.execute(
-            "INSERT INTO journal (ts, kind, rule, r_key, s_key, payload) "
-            "VALUES (?, ?, ?, ?, ?, ?)",
+            "INSERT INTO journal (ts, kind, rule, r_key, s_key, payload, checksum) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
             (
                 entry.timestamp,
                 entry.kind,
@@ -186,9 +232,18 @@ class SqliteStore(MatchStore):
                 encode_key(entry.r_key) if entry.r_key is not None else None,
                 encode_key(entry.s_key) if entry.s_key is not None else None,
                 json.dumps(dict(entry.payload), sort_keys=True),
+                entry_checksum(entry),
             ),
         )
         return replace(entry, seq=int(cursor.lastrowid))
+
+    def _journal_checksums(self) -> dict:
+        cursor = self._conn.execute("SELECT seq, checksum FROM journal")
+        return {
+            int(seq): checksum
+            for seq, checksum in cursor.fetchall()
+            if checksum
+        }
 
     @staticmethod
     def _entry_from_record(record: Tuple) -> JournalEntry:
@@ -279,17 +334,101 @@ class SqliteStore(MatchStore):
             return
         self._conn.execute("BEGIN IMMEDIATE")
         self._txn_depth = 1
+        self._begin_metric_buffer()
         try:
             yield self
         except BaseException:
-            self._conn.execute("ROLLBACK")
+            self._rollback()
             raise
         else:
-            self._conn.execute("COMMIT")
-            if self._tracer.enabled:
-                self._tracer.metrics.inc("store.transactions")
+            self._commit()
         finally:
             self._txn_depth = 0
+
+    def _rollback(self) -> None:
+        """Abandon the open transaction; its metrics never happened."""
+        self._discard_metric_buffer()
+        try:
+            self._conn.execute("ROLLBACK")
+        except sqlite3.OperationalError:
+            pass  # a failed COMMIT may already have rolled back
+
+    def _commit(self) -> None:
+        """Commit the open transaction, retrying transient failures.
+
+        The ``store.commit`` injector site fires before each ``COMMIT``.
+        A transient :class:`sqlite3.OperationalError` (or an injected
+        fault standing in for one) leaves the transaction data intact,
+        so the ``COMMIT`` alone is re-issued per the retry policy; once
+        the budget is spent the transaction is rolled back — journal
+        appends and sequence numbers included — and the failure raised,
+        leaving metrics consistent with the (unchanged) data.
+        """
+
+        def do_commit() -> None:
+            self._injector.fire(SITE_STORE_COMMIT)
+            self._conn.execute("COMMIT")
+
+        try:
+            if self._retry is not None and self._retry.max_attempts > 1:
+                self._retry.call(
+                    do_commit,
+                    operation="store.commit",
+                    retry_on=(sqlite3.OperationalError, InjectedFault),
+                    tracer=self._tracer,
+                )
+            else:
+                do_commit()
+        except BaseException:
+            if self._tracer.enabled:
+                self._tracer.metrics.inc("resilience.commit_failures")
+            self._rollback()
+            raise
+        self._commit_metric_buffer()
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("store.transactions")
+
+    def integrity_check(self) -> None:
+        """Detect file-level corruption: truncation, malformed pages.
+
+        Compares the on-disk size against SQLite's own page accounting —
+        a file shorter than ``page_count × page_size`` has lost its tail,
+        which SQLite itself only notices when a read happens to touch a
+        missing page — then runs ``PRAGMA integrity_check``.  Raises
+        :class:`~repro.store.errors.StoreIntegrityError` on any finding.
+        """
+        try:
+            page_count = int(
+                self._conn.execute("PRAGMA page_count").fetchone()[0]
+            )
+            page_size = int(
+                self._conn.execute("PRAGMA page_size").fetchone()[0]
+            )
+            if self._path != ":memory:":
+                try:
+                    actual = os.path.getsize(self._path)
+                except OSError as exc:
+                    raise StoreIntegrityError(
+                        f"cannot stat SQLite store {self._path!r}: {exc}"
+                    ) from exc
+                expected = page_count * page_size
+                if actual < expected:
+                    raise StoreIntegrityError(
+                        f"SQLite store {self._path!r} is truncated: "
+                        f"{actual} bytes on disk, the header accounts for "
+                        f"{expected}"
+                    )
+            findings = self._conn.execute("PRAGMA integrity_check").fetchall()
+            if not findings or findings[0][0] != "ok":
+                detail = "; ".join(str(row[0]) for row in findings[:3])
+                raise StoreIntegrityError(
+                    f"SQLite store {self._path!r} fails integrity_check: "
+                    f"{detail or 'no verdict'}"
+                )
+        except sqlite3.DatabaseError as exc:
+            raise StoreIntegrityError(
+                f"SQLite store {self._path!r} is unreadable: {exc}"
+            ) from exc
 
     def clear(self) -> None:
         with self.transaction():

@@ -59,7 +59,7 @@ class TestBlockerFlag:
 
     def test_workers_must_be_positive(self, demo_csvs):
         r_path, s_path = demo_csvs
-        assert _identify(r_path, s_path, "--workers", "0") == 1
+        assert _identify(r_path, s_path, "--workers", "0") == 2
 
     def test_metrics_report_blocking_counters(self, demo_csvs, capsys):
         r_path, s_path = demo_csvs

@@ -108,14 +108,14 @@ class TestStatsView:
 
     def test_stats_missing_file(self, tmp_path, capsys):
         status = main(["stats", str(tmp_path / "nope.jsonl")])
-        assert status == 1
+        assert status == 2
         assert "repro stats:" in capsys.readouterr().err
 
     def test_stats_malformed_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text("not json\n")
         status = main(["stats", str(bad)])
-        assert status == 1
+        assert status == 2
         assert "not valid JSON" in capsys.readouterr().err
 
 

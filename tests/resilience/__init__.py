@@ -1,0 +1,1 @@
+"""Tests for the fault-tolerance subsystem (repro.resilience)."""

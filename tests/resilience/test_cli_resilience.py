@@ -1,0 +1,161 @@
+"""CLI resilience: --inject-faults/--retries, exit codes, --salvage."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+IDENTIFY_ARGS = [
+    "--r-key", "name,cuisine",
+    "--s-key", "name,speciality",
+    "--extended-key", "name,cuisine",
+    "--ilfd", "speciality=Mughalai -> cuisine=Indian",
+]
+
+
+@pytest.fixture
+def example_csvs(tmp_path):
+    r_path = tmp_path / "R.csv"
+    r_path.write_text(
+        "name,cuisine,street\n"
+        "TwinCities,Chinese,Wash.Ave.\n"
+        "TwinCities,Indian,Univ.Ave.\n"
+    )
+    s_path = tmp_path / "S.csv"
+    s_path.write_text("name,speciality,city\nTwinCities,Mughalai,St.Paul\n")
+    return r_path, s_path
+
+
+class TestIdentifyFlags:
+    def test_injected_crash_recovered_exit_zero(self, example_csvs, capsys):
+        r_path, s_path = example_csvs
+        clean = main(["identify", str(r_path), str(s_path), *IDENTIFY_ARGS])
+        assert clean == 0
+        clean_out = capsys.readouterr().out
+
+        status = main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--workers", "2",
+             "--retries", "3", "--retry-delay", "0",
+             "--inject-faults", "executor.batch:crash@0"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        # Same matching table as the clean run.
+        assert [l for l in out.splitlines() if "MATCH" in l] == [
+            l for l in clean_out.splitlines() if "MATCH" in l
+        ]
+
+    def test_metrics_report_the_fault_handling(self, example_csvs, capsys):
+        r_path, s_path = example_csvs
+        status = main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--workers", "2",
+             "--retries", "3", "--metrics", "--quiet",
+             "--inject-faults", "executor.batch:crash@0"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "resilience.worker_crashes" in out
+        assert "resilience.batches_recovered" in out
+
+    def test_malformed_plan_is_a_usage_error(self, example_csvs, capsys):
+        r_path, s_path = example_csvs
+        status = main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--inject-faults", "no-index-here", "--quiet"]
+        )
+        assert status == 2
+        assert "fault" in capsys.readouterr().err.lower()
+
+    def test_zero_retries_is_a_usage_error(self, example_csvs, capsys):
+        r_path, s_path = example_csvs
+        status = main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--retries", "0", "--quiet"]
+        )
+        assert status == 2
+
+    def test_unrecoverable_commit_faults_are_fatal(
+        self, example_csvs, tmp_path, capsys
+    ):
+        r_path, s_path = example_csvs
+        db = tmp_path / "run.sqlite"
+        status = main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--store", f"sqlite:{db}", "--retries", "2", "--quiet",
+             "--inject-faults", "store.commit:error@0..9"]
+        )
+        assert status == 2
+        assert "store.commit" in capsys.readouterr().err
+
+
+class TestStatsSection:
+    def test_stats_renders_resilience_section(
+        self, example_csvs, tmp_path, capsys
+    ):
+        r_path, s_path = example_csvs
+        trace = tmp_path / "run.trace"
+        status = main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--workers", "2", "--retries", "3",
+             "--inject-faults", "executor.batch:crash@0",
+             "--trace", str(trace), "--quiet"]
+        )
+        assert status == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "resilience (fault handling):" in out
+        assert "worker crashes" in out
+
+
+class TestSalvageFlow:
+    def _checkpoint(self, example_csvs, tmp_path):
+        r_path, s_path = example_csvs
+        ckpt = tmp_path / "session.sqlite"
+        status = main(
+            ["checkpoint", str(r_path), str(s_path), str(ckpt),
+             *IDENTIFY_ARGS, "--quiet"]
+        )
+        assert status == 0
+        return ckpt
+
+    def test_truncated_resume_is_fatal_with_a_hint(
+        self, example_csvs, tmp_path, capsys
+    ):
+        ckpt = self._checkpoint(example_csvs, tmp_path)
+        size = os.path.getsize(ckpt)
+        with open(ckpt, "r+b") as handle:
+            handle.truncate(size // 2)
+        status = main(["resume", str(ckpt), "--quiet"])
+        assert status == 2
+        assert "--salvage" in capsys.readouterr().err
+
+    def test_salvage_rebuilds_a_resumable_session(
+        self, example_csvs, tmp_path, capsys
+    ):
+        r_path, s_path = example_csvs
+        ckpt = self._checkpoint(example_csvs, tmp_path)
+        size = os.path.getsize(ckpt)
+        with open(ckpt, "r+b") as handle:
+            handle.truncate(int(size * 0.4))
+
+        rebuilt = tmp_path / "rebuilt.sqlite"
+        status = main(
+            ["resume", str(ckpt), "--salvage",
+             "--salvage-out", str(rebuilt),
+             "--salvage-r", str(r_path), "--salvage-r-key", "name,cuisine",
+             "--salvage-s", str(s_path), "--salvage-s-key", "name,speciality",
+             "--salvage-extended-key", "name,cuisine"]
+        )
+        # Salvage succeeded, but the session is flagged degraded/partial.
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "salvage" in out
+
+        status = main(["resume", str(rebuilt)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "1 match(es)" in out

@@ -1,0 +1,179 @@
+"""Worker-crash recovery and pair quarantine in ParallelPairExecutor."""
+
+import pytest
+
+from repro.blocking import BlockingContext, CrossProductBlocker, ParallelPairExecutor
+from repro.core.extended_key import ExtendedKey
+from repro.core.matching_table import key_values
+from repro.observability import Tracer
+from repro.relational.row import Row
+from repro.resilience import (
+    SITE_EXECUTOR_BATCH,
+    SITE_STORE_COMMIT,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+)
+from repro.rules.identity import IdentityRule
+from repro.rules.predicates import equality_predicate
+from repro.store import MemoryStore
+
+KEY = ExtendedKey(["name", "cuisine"])
+IDENTITY = (KEY.identity_rule(),)
+
+R_ROWS = [{"name": f"r{i}", "cuisine": "Indian"} for i in range(10)] + [
+    {"name": "shared", "cuisine": "Thai"}
+]
+S_ROWS = [{"name": f"s{i}", "cuisine": "Chinese"} for i in range(10)] + [
+    {"name": "shared", "cuisine": "Thai"}
+]
+
+
+def _candidates():
+    return CrossProductBlocker().candidate_pairs(
+        R_ROWS, S_ROWS, BlockingContext.of(KEY.attributes)
+    )
+
+
+def _serial():
+    return ParallelPairExecutor(1).evaluate(
+        _candidates(), R_ROWS, S_ROWS, IDENTITY
+    )
+
+
+class _PoisonRule(IdentityRule):
+    """Raises on one specific pair; classifies every other pair normally."""
+
+    def __init__(self):
+        super().__init__(
+            [equality_predicate("name"), equality_predicate("cuisine")],
+            name="poison",
+        )
+
+    def applies(self, row1, row2):
+        if row1.get("name") == "r3" and row2.get("name") == "s5":
+            raise RuntimeError("poisoned pair")
+        return super().applies(row1, row2)
+
+
+class TestCrashRecovery:
+    def test_injected_crash_recovered_bit_identical(self):
+        serial = _serial()
+        tracer = Tracer()
+        injector = FaultInjector(
+            FaultPlan.parse(f"{SITE_EXECUTOR_BATCH}:crash@0"), tracer=tracer
+        )
+        evaluation = ParallelPairExecutor(
+            2,
+            backend="thread",
+            batch_size=20,
+            tracer=tracer,
+            retry_policy=RetryPolicy.fast(3),
+            fault_injector=injector,
+        ).evaluate(_candidates(), R_ROWS, S_ROWS, IDENTITY)
+        assert evaluation.matches == serial.matches
+        assert evaluation.distinct == serial.distinct
+        assert evaluation.match_rules == serial.match_rules
+        assert evaluation.worker_crashes >= 1
+        assert evaluation.batches_recovered >= 1
+        assert not evaluation.quarantined
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["resilience.worker_crashes"] >= 1
+        assert counters["resilience.batches_recovered"] >= 1
+
+    def test_recovery_needs_no_retry_policy(self):
+        """Without a policy there is one pool attempt, but the in-parent
+        serial fallback still completes every lost batch."""
+        serial = _serial()
+        injector = FaultInjector(
+            FaultPlan.parse(f"{SITE_EXECUTOR_BATCH}:crash@0..5")
+        )
+        evaluation = ParallelPairExecutor(
+            2, backend="thread", batch_size=25, fault_injector=injector
+        ).evaluate(_candidates(), R_ROWS, S_ROWS, IDENTITY)
+        assert evaluation.matches == serial.matches
+        assert evaluation.distinct == serial.distinct
+        assert evaluation.batches_recovered >= 1
+
+    def test_every_batch_lost_still_recovers(self):
+        serial = _serial()
+        injector = FaultInjector(
+            FaultPlan.parse(f"{SITE_EXECUTOR_BATCH}:crash@0..99")
+        )
+        evaluation = ParallelPairExecutor(
+            3,
+            backend="thread",
+            batch_size=10,
+            retry_policy=RetryPolicy.fast(2),
+            fault_injector=injector,
+        ).evaluate(_candidates(), R_ROWS, S_ROWS, IDENTITY)
+        assert evaluation.matches == serial.matches
+        assert evaluation.batches_recovered == evaluation.batches
+
+
+class TestQuarantine:
+    def test_poisoned_pair_is_isolated_serially(self):
+        evaluation = ParallelPairExecutor(1).evaluate(
+            _candidates(), R_ROWS, S_ROWS, (_PoisonRule(),)
+        )
+        assert len(evaluation.quarantined) == 1
+        (pair, reason) = evaluation.quarantined[0]
+        assert pair == (3, 5)
+        assert "RuntimeError" in reason
+        assert evaluation.degraded
+        # Everything else still classified: the identity pair survives.
+        assert evaluation.matches == [(10, 10)]
+        assert evaluation.unknown == 121 - 1 - 1
+
+    def test_poisoned_pair_is_isolated_in_parallel(self):
+        tracer = Tracer()
+        evaluation = ParallelPairExecutor(
+            2, backend="thread", batch_size=30, tracer=tracer
+        ).evaluate(_candidates(), R_ROWS, S_ROWS, (_PoisonRule(),))
+        assert [pair for pair, _ in evaluation.quarantined] == [(3, 5)]
+        assert evaluation.matches == [(10, 10)]
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["resilience.pairs_quarantined"] == 1
+
+
+class TestStoreWriteRetry:
+    def _keys(self, rows):
+        return [key_values(Row(row), KEY.attributes) for row in rows]
+
+    def test_commit_fault_is_retried_to_success(self):
+        injector = FaultInjector(FaultPlan.parse(f"{SITE_STORE_COMMIT}@0"))
+        store = MemoryStore(fault_injector=injector)
+        store.set_key_attributes(KEY.attributes, KEY.attributes)
+        ParallelPairExecutor(
+            1, retry_policy=RetryPolicy.fast(3)
+        ).evaluate(
+            _candidates(),
+            R_ROWS,
+            S_ROWS,
+            IDENTITY,
+            store=store,
+            r_keys=self._keys(R_ROWS),
+            s_keys=self._keys(S_ROWS),
+        )
+        assert len(store.match_pairs()) == 1
+        store.verify_journal()
+
+    def test_commit_fault_without_retry_raises_and_rolls_back(self):
+        store = MemoryStore(
+            fault_injector=FaultInjector(
+                FaultPlan.parse(f"{SITE_STORE_COMMIT}@0")
+            )
+        )
+        store.set_key_attributes(KEY.attributes, KEY.attributes)
+        with pytest.raises(InjectedFault):
+            ParallelPairExecutor(1).evaluate(
+                _candidates(),
+                R_ROWS,
+                S_ROWS,
+                IDENTITY,
+                store=store,
+                r_keys=self._keys(R_ROWS),
+                s_keys=self._keys(S_ROWS),
+            )
+        assert store.match_pairs() == set()

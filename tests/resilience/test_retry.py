@@ -1,0 +1,149 @@
+"""RetryPolicy: backoff shape, jitter determinism, deadlines, metrics."""
+
+from random import Random
+
+import pytest
+
+from repro.observability import Tracer
+from repro.resilience import (
+    NO_RETRY,
+    DeadlineExceededError,
+    RetryExhaustedError,
+    RetryPolicy,
+)
+
+
+class _Flaky:
+    """Fails the first *failures* calls, then returns *value*."""
+
+    def __init__(self, failures, value="ok", exc=OSError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"transient #{self.calls}")
+        return self.value
+
+
+class TestBackoffShape:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay=0.1,
+            multiplier=2.0,
+            max_delay=0.5,
+            jitter=0.0,
+            sleep=None,
+        )
+        rng = Random(0)
+        delays = [policy.delay_for(attempt, rng) for attempt in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_shrinks_but_never_grows_the_delay(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5, sleep=None)
+        rng = Random(42)
+        for attempt in range(1, 4):
+            delay = policy.delay_for(attempt, rng)
+            pre = min(policy.max_delay, 1.0 * 2.0 ** (attempt - 1))
+            assert pre * 0.5 <= delay <= pre
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy(base_delay=0.3, jitter=0.5, sleep=None)
+        first = [policy.delay_for(a, Random(9)) for a in range(1, 5)]
+        second = [policy.delay_for(a, Random(9)) for a in range(1, 5)]
+        assert first == second
+
+
+class TestCall:
+    def test_success_needs_no_retries(self):
+        fn = _Flaky(0)
+        assert RetryPolicy.fast(3).call(fn) == "ok"
+        assert fn.calls == 1
+
+    def test_transient_failures_are_retried(self):
+        fn = _Flaky(2)
+        assert RetryPolicy.fast(5).call(fn) == "ok"
+        assert fn.calls == 3
+
+    def test_exhaustion_wraps_the_last_failure(self):
+        fn = _Flaky(99)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            RetryPolicy.fast(3).call(fn, operation="probe")
+        assert fn.calls == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert "probe" in str(excinfo.value)
+
+    def test_fatal_exceptions_propagate_immediately(self):
+        fn = _Flaky(99, exc=ValueError)
+        with pytest.raises(ValueError):
+            RetryPolicy.fast(5).call(fn, fatal=(ValueError,))
+        assert fn.calls == 1
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        fn = _Flaky(99, exc=KeyError)
+        with pytest.raises(KeyError):
+            RetryPolicy.fast(5).call(fn, retry_on=(OSError,))
+        assert fn.calls == 1
+
+    def test_deadline_gives_up_before_sleeping_past_it(self):
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay=1.0,
+            jitter=0.0,
+            deadline=0.5,
+            sleep=None,
+            clock=lambda: 0.0,
+        )
+        fn = _Flaky(99)
+        with pytest.raises(DeadlineExceededError):
+            policy.call(fn, operation="probe")
+        assert fn.calls == 1  # the 1s backoff would blow the 0.5s budget
+
+    def test_on_retry_sees_each_failed_attempt(self):
+        seen = []
+        fn = _Flaky(2)
+        RetryPolicy.fast(5).call(
+            fn, on_retry=lambda attempt, exc: seen.append(attempt)
+        )
+        assert seen == [1, 2]
+
+    def test_metrics_count_retries_and_giveups(self):
+        tracer = Tracer()
+        RetryPolicy.fast(4).call(_Flaky(2), tracer=tracer)
+        with pytest.raises(RetryExhaustedError):
+            RetryPolicy.fast(2).call(_Flaky(99), tracer=tracer)
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["resilience.retries"] == 2 + 1
+        assert counters["resilience.giveups"] == 1
+
+
+class TestConstruction:
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_no_retry_is_single_attempt(self):
+        assert NO_RETRY.max_attempts == 1
+        fn = _Flaky(1)
+        with pytest.raises(RetryExhaustedError):
+            NO_RETRY.call(fn)
+        assert fn.calls == 1
+
+    def test_fast_never_sleeps(self):
+        policy = RetryPolicy.fast(8)
+        assert policy.sleep is None
+        assert policy.base_delay == 0.0
+
+    def test_with_attempts_copies(self):
+        widened = NO_RETRY.with_attempts(4)
+        assert widened.max_attempts == 4
+        assert NO_RETRY.max_attempts == 1

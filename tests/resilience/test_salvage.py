@@ -1,0 +1,155 @@
+"""Corruption-safe resume: detection, salvage, and checkpoint atomicity."""
+
+import os
+
+import pytest
+
+from repro.federation import IncrementalIdentifier
+from repro.resilience import SITE_CHECKPOINT, FaultInjector, FaultPlan, InjectedFault
+from repro.store import SqliteStore, StoreError, StoreIntegrityError, salvage_incremental
+from repro.workloads import EmployeeWorkloadSpec, employee_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return employee_workload(EmployeeWorkloadSpec(n_entities=30, seed=7))
+
+
+def _session(workload):
+    identifier = IncrementalIdentifier(
+        workload.r.schema,
+        workload.s.schema,
+        workload.extended_key,
+        ilfds=list(workload.ilfds),
+    )
+    identifier.load(workload.r, workload.s)
+    return identifier
+
+
+@pytest.fixture
+def checkpointed(workload, tmp_path):
+    path = str(tmp_path / "session.sqlite")
+    identifier = _session(workload)
+    identifier.checkpoint(path)
+    return path, identifier
+
+
+def _truncate(path, fraction):
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(1, int(size * fraction)))
+
+
+class TestDetection:
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.85])
+    def test_truncation_rejected_on_resume(self, checkpointed, fraction):
+        path, _ = checkpointed
+        _truncate(path, fraction)
+        with pytest.raises(StoreError):
+            IncrementalIdentifier.resume(path)
+
+    def test_tampered_journal_checksum_rejected(self, checkpointed):
+        path, _ = checkpointed
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE journal SET checksum = 'deadbeef' "
+            "WHERE seq = (SELECT MAX(seq) / 2 FROM journal)"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreIntegrityError):
+            IncrementalIdentifier.resume(path)
+
+
+class TestSalvage:
+    @pytest.mark.parametrize("fraction", [0.3, 0.6, 0.9])
+    def test_salvage_rebuilds_the_baseline(
+        self, checkpointed, workload, fraction
+    ):
+        path, original = checkpointed
+        _truncate(path, fraction)
+        identifier, report = salvage_incremental(
+            path, r=workload.r, s=workload.s
+        )
+        assert identifier.match_pairs() == original.match_pairs()
+        assert identifier.verify().is_sound
+        identifier.store.verify_journal()
+        assert report.matches_rebuilt == len(original.match_pairs())
+        assert report.journal_recovered <= report.journal_total
+
+    def test_salvaged_output_is_itself_a_checkpoint(
+        self, checkpointed, workload, tmp_path
+    ):
+        path, original = checkpointed
+        _truncate(path, 0.5)
+        rebuilt_path = str(tmp_path / "rebuilt.sqlite")
+        identifier, _ = salvage_incremental(
+            path, r=workload.r, s=workload.s, output=rebuilt_path
+        )
+        identifier.store.close()
+        resumed = IncrementalIdentifier.resume(rebuilt_path)
+        try:
+            assert resumed.match_pairs() == original.match_pairs()
+            r_now, _ = resumed.relations()
+            assert r_now.row_set == workload.r.row_set
+        finally:
+            resumed.store.close()
+
+    def test_unrecoverable_knowledge_needs_the_caller(self, tmp_path, workload):
+        """A file truncated below its metadata cannot name the extended
+        key; salvage must refuse rather than guess."""
+        path = str(tmp_path / "stub.sqlite")
+        identifier = _session(workload)
+        identifier.checkpoint(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(40)  # not even a full SQLite header survives
+        with pytest.raises(StoreError):
+            salvage_incremental(path)
+
+    def test_journal_prefix_survives_tampering(self, checkpointed, workload):
+        """Bit-rot mid-journal: the valid prefix is kept, the tail
+        dropped, and the matches still re-derive completely."""
+        path, original = checkpointed
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        (total,) = conn.execute("SELECT COUNT(*) FROM journal").fetchone()
+        conn.execute(
+            "UPDATE journal SET checksum = 'deadbeef' WHERE seq = ?",
+            (total // 2,),
+        )
+        conn.commit()
+        conn.close()
+        identifier, report = salvage_incremental(path, r=workload.r, s=workload.s)
+        assert report.journal_recovered < report.journal_total
+        assert identifier.match_pairs() == original.match_pairs()
+
+
+class TestCheckpointAtomicity:
+    def test_failed_checkpoint_leaves_the_original_intact(
+        self, workload, tmp_path
+    ):
+        path = str(tmp_path / "atomic.sqlite")
+        injector = FaultInjector(FaultPlan.parse(f"{SITE_CHECKPOINT}@1"))
+        identifier = IncrementalIdentifier(
+            workload.r.schema,
+            workload.s.schema,
+            workload.extended_key,
+            ilfds=list(workload.ilfds),
+            fault_injector=injector,
+        )
+        identifier.load(workload.r, workload.s)
+        identifier.checkpoint(path)  # site index 0: succeeds
+        baseline = identifier.match_pairs()
+
+        identifier.insert_r({name: f"x{i}" for i, name in enumerate(workload.r.schema.names)})
+        with pytest.raises(InjectedFault):
+            identifier.checkpoint(path)  # site index 1: injected failure
+
+        resumed = IncrementalIdentifier.resume(path)
+        try:
+            assert resumed.match_pairs() == baseline
+        finally:
+            resumed.store.close()

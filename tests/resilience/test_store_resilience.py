@@ -1,0 +1,135 @@
+"""Store-side fault handling: rollback, commit retry, metric consistency."""
+
+import pytest
+
+from repro.observability import Tracer
+from repro.relational.row import Row
+from repro.resilience import (
+    SITE_STORE_COMMIT,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RetryExhaustedError,
+    RetryPolicy,
+)
+from repro.store import MemoryStore, SqliteStore
+
+R_KEY = (("name", "alpha"),)
+S_KEY = (("name", "alpha"),)
+ROW = Row({"name": "alpha"})
+
+
+def _record_one(store):
+    with store.transaction():
+        store.record_match(R_KEY, S_KEY, ROW, ROW, rule="identity")
+
+
+class TestMemoryRollback:
+    def test_commit_fault_rolls_everything_back(self):
+        tracer = Tracer()
+        store = MemoryStore(
+            tracer=tracer,
+            fault_injector=FaultInjector(
+                FaultPlan.parse(f"{SITE_STORE_COMMIT}@0"), tracer=tracer
+            ),
+        )
+        store.set_key_attributes(("name",), ("name",))
+        with pytest.raises(InjectedFault):
+            _record_one(store)
+        assert store.match_pairs() == set()
+        assert list(store.journal_entries()) == []
+        counters = tracer.metrics.snapshot()["counters"]
+        # No store.* counts for rolled-back entries — the metric buffer
+        # is discarded with the data.
+        assert not counters.get("store.writes")
+        assert not counters.get("store.journal_entries")
+        assert counters["resilience.commit_failures"] == 1
+        assert counters["resilience.faults_injected"] == 1
+
+    def test_metrics_flush_only_on_successful_commit(self):
+        tracer = Tracer()
+        store = MemoryStore(
+            tracer=tracer,
+            fault_injector=FaultInjector(
+                FaultPlan.parse(f"{SITE_STORE_COMMIT}@0"), tracer=tracer
+            ),
+        )
+        store.set_key_attributes(("name",), ("name",))
+        with pytest.raises(InjectedFault):
+            _record_one(store)
+        _record_one(store)  # injector index 1: clean
+        assert len(store.match_pairs()) == 1
+        store.verify_journal()
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["store.writes"] == 1
+        # Exactly the surviving transaction's entries, not the rolled-back one's.
+        assert counters["store.journal_entries"] == len(list(store.journal_entries()))
+
+
+class TestSqliteCommitRetry:
+    def test_transient_commit_faults_retried_to_success(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "retry.sqlite")
+        store = SqliteStore(
+            path,
+            tracer=tracer,
+            retry_policy=RetryPolicy.fast(4),
+            fault_injector=FaultInjector(
+                FaultPlan.parse(f"{SITE_STORE_COMMIT}@0..1"), tracer=tracer
+            ),
+        )
+        store.set_key_attributes(("name",), ("name",))
+        try:
+            _record_one(store)
+            assert len(store.match_pairs()) == 1
+            store.verify_journal()
+        finally:
+            store.close()
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["resilience.retries"] == 2
+        assert counters["store.transactions"] == 1
+        # Durable: a fresh handle sees the committed data.
+        reopened = SqliteStore(path)
+        try:
+            assert len(reopened.match_pairs()) == 1
+        finally:
+            reopened.close()
+
+    def test_exhausted_retries_roll_back_and_raise(self, tmp_path):
+        tracer = Tracer()
+        store = SqliteStore(
+            str(tmp_path / "exhausted.sqlite"),
+            tracer=tracer,
+            retry_policy=RetryPolicy.fast(2),
+            fault_injector=FaultInjector(
+                FaultPlan.parse(f"{SITE_STORE_COMMIT}@0..5")
+            ),
+        )
+        store.set_key_attributes(("name",), ("name",))
+        try:
+            with pytest.raises(RetryExhaustedError):
+                _record_one(store)
+            assert store.match_pairs() == set()
+            assert list(store.journal_entries()) == []
+        finally:
+            store.close()
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["resilience.commit_failures"] == 1
+        assert not counters.get("store.writes")
+
+    def test_fault_without_retry_policy_raises_once(self, tmp_path):
+        store = SqliteStore(
+            str(tmp_path / "noretry.sqlite"),
+            fault_injector=FaultInjector(
+                FaultPlan.parse(f"{SITE_STORE_COMMIT}@0")
+            ),
+        )
+        store.set_key_attributes(("name",), ("name",))
+        try:
+            with pytest.raises(InjectedFault):
+                _record_one(store)
+            assert store.match_pairs() == set()
+            _record_one(store)  # next commit is clean
+            assert len(store.match_pairs()) == 1
+        finally:
+            store.close()

@@ -1,0 +1,180 @@
+"""Graceful degradation: retried loads, stale serving, health recovery."""
+
+import pytest
+
+from repro.federation import IncrementalIdentifier, VirtualIntegratedView
+from repro.observability import Tracer
+from repro.resilience import (
+    SITE_SOURCE_LOAD_R,
+    SITE_SOURCE_LOAD_S,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SourceLoadError,
+)
+
+
+def _identifier(example3, **kwargs):
+    return IncrementalIdentifier(
+        example3.r.schema,
+        example3.s.schema,
+        example3.extended_key,
+        ilfds=list(example3.ilfds),
+        **kwargs,
+    )
+
+
+class _FailingLoader:
+    """Raises OSError for the first *failures* calls, then loads."""
+
+    def __init__(self, relation, failures=0):
+        self.relation = relation
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError(f"source offline (call {self.calls})")
+        return self.relation
+
+
+class TestFetchSource:
+    def test_transient_faults_on_both_sides_are_retried(self, example3):
+        baseline = _identifier(example3)
+        baseline.load(example3.r, example3.s)
+
+        plan = FaultPlan.parse(
+            f"{SITE_SOURCE_LOAD_R}:error@0;{SITE_SOURCE_LOAD_S}:error@0..1"
+        )
+        identifier = _identifier(
+            example3,
+            retry_policy=RetryPolicy.fast(3),
+            fault_injector=FaultInjector(plan),
+        )
+        identifier.load_sources(lambda: example3.r, lambda: example3.s)
+        assert identifier.match_pairs() == baseline.match_pairs()
+
+    def test_persistent_failure_leaves_state_untouched(self, example3):
+        tracer = Tracer()
+        identifier = _identifier(
+            example3,
+            tracer=tracer,
+            retry_policy=RetryPolicy.fast(2),
+            fault_injector=FaultInjector(
+                FaultPlan.parse(f"{SITE_SOURCE_LOAD_S}:error@0..5")
+            ),
+        )
+        with pytest.raises(SourceLoadError) as excinfo:
+            identifier.load_sources(lambda: example3.r, lambda: example3.s)
+        assert excinfo.value.side == "s"
+        # Both fetches happen before any mutation: nothing loaded at all.
+        r_now, s_now = identifier.relations()
+        assert len(r_now) == 0 and len(s_now) == 0
+        assert identifier.match_pairs() == set()
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["resilience.source_failures"] == 1
+
+    def test_loader_exceptions_count_as_failures_too(self, example3):
+        identifier = _identifier(example3, retry_policy=RetryPolicy.fast(4))
+        loader = _FailingLoader(example3.r, failures=2)
+        relation = identifier.fetch_source("r", loader)
+        assert loader.calls == 3
+        assert relation is example3.r
+
+    def test_bad_side_rejected(self, example3):
+        from repro.core.errors import CoreError
+
+        with pytest.raises(CoreError):
+            _identifier(example3).fetch_source("t", lambda: example3.r)
+
+
+class TestViewDegradation:
+    def _view(self, example3, tracer):
+        identifier = _identifier(example3, tracer=tracer)
+        view = VirtualIntegratedView(identifier)
+        return view
+
+    def test_failed_source_serves_last_known_good(self, example3):
+        tracer = Tracer()
+        view = self._view(example3, tracer)
+        r_loader = _FailingLoader(example3.r)
+        s_loader = _FailingLoader(example3.s)
+        view.attach_sources(r_loader=r_loader, s_loader=s_loader)
+        view.refresh()
+        rows_before = len(view.table())
+        assert not view.degraded
+
+        s_loader.failures = 99  # S goes dark
+        view.refresh()
+        assert view.degraded
+        health = view.source_health()["s"]
+        assert health.stale and not health.healthy
+        assert health.failures == 1
+        assert "STALE" in health.summary()
+        assert "source offline" in health.last_error
+        # Queries still answer from the surviving state.
+        assert len(view.table()) == rows_before
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["resilience.degraded_refreshes"] == 1
+        assert counters["resilience.stale_served"] >= 1
+
+    def test_healthy_side_still_refreshes_while_other_is_down(self, example3):
+        tracer = Tracer()
+        view = self._view(example3, tracer)
+        s_loader = _FailingLoader(example3.s, failures=99)
+        view.attach_sources(
+            r_loader=_FailingLoader(example3.r), s_loader=s_loader
+        )
+        view.refresh()
+        r_now, s_now = view.identifier.relations()
+        assert r_now.row_set == example3.r.row_set
+        assert len(s_now) == 0  # S never loaded, R did
+        assert view.source_health()["r"].healthy
+        assert view.source_health()["s"].stale
+
+    def test_recovery_resets_health(self, example3):
+        view = self._view(example3, Tracer())
+        s_loader = _FailingLoader(example3.s, failures=2)
+        view.attach_sources(
+            r_loader=_FailingLoader(example3.r), s_loader=s_loader
+        )
+        view.refresh()  # S fails (1)
+        view.refresh()  # S fails (2)
+        assert view.source_health()["s"].failures == 2
+        view.refresh()  # S recovers
+        assert not view.degraded
+        health = view.source_health()["s"]
+        assert health.healthy and not health.stale and health.failures == 0
+        assert health.summary().endswith("healthy")
+        _, s_now = view.identifier.relations()
+        assert s_now.row_set == example3.s.row_set
+
+    def test_unattached_sides_are_skipped(self, example3):
+        view = self._view(example3, Tracer())
+        view.attach_sources(r_loader=_FailingLoader(example3.r))
+        delta = view.refresh()
+        assert not view.degraded
+        assert view.source_health()["s"].attached is False
+        assert "no loader attached" in view.source_health()["s"].summary()
+        assert delta.removed == ()
+
+
+class TestReplaceSource:
+    def test_diff_refresh_equals_fresh_batch(self, example3):
+        identifier = _identifier(example3)
+        identifier.load(example3.r, example3.s)
+
+        # Next S version: drop one row, keep the rest.
+        s_rows = [dict(row) for row in example3.s]
+        surviving = s_rows[1:]
+        from repro.relational.relation import Relation
+
+        new_s = Relation(example3.s.schema, surviving, name="S")
+        identifier.replace_source("s", new_s)
+
+        fresh = _identifier(example3)
+        fresh.load(example3.r, new_s)
+        assert identifier.match_pairs() == fresh.match_pairs()
+        assert identifier.verify().is_sound
+        identifier.store.verify_journal()

@@ -73,7 +73,7 @@ class TestIdentifyStoreFlag:
             ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
              "--store", "oracle:whatever", "--quiet"]
         )
-        assert status == 1
+        assert status == 2
 
 
 class TestCheckpointResumeExplain:
@@ -120,13 +120,13 @@ class TestCheckpointResumeExplain:
         store = SqliteStore(str(bogus))
         store.set_meta("x", "y")
         store.close()
-        assert main(["resume", str(bogus), "--quiet"]) == 1
+        assert main(["resume", str(bogus), "--quiet"]) == 2
         assert "not a repro checkpoint" in capsys.readouterr().err
 
     def test_explain_pair_requires_a_key(self, tmp_path, capsys):
         db = tmp_path / "some.sqlite"
         SqliteStore(str(db)).close()
-        assert main(["explain-pair", str(db)]) == 1
+        assert main(["explain-pair", str(db)]) == 2
         assert "--r and/or --s" in capsys.readouterr().err
 
     def test_explain_pair_missing_file(self, tmp_path, capsys):
@@ -134,7 +134,7 @@ class TestCheckpointResumeExplain:
             main(
                 ["explain-pair", str(tmp_path / "absent.sqlite"), "--r", "a=1"]
             )
-            == 1
+            == 2
         )
         assert "no such store" in capsys.readouterr().err
 

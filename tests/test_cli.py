@@ -75,7 +75,7 @@ class TestMain:
                 "--quiet",
             ]
         )
-        assert status == 2
+        assert status == 1  # degraded: the key is unsound
 
     def test_shipped_demo_data(self, capsys):
         """The README's exact command line, on the shipped data files."""
