@@ -21,6 +21,10 @@ Usage::
     repro explain-pair session.sqlite \\
         --r "name=kabul,street=e_4th_st" --s "name=kabul,city=nyc"
 
+    repro conform                              # full conformance run
+    repro conform restaurants --matrix strict  # one workload, strict cells
+    repro conform --golden tests/conformance/golden --update-golden
+
 Prints the matching table and the soundness verdict (and, with ``--out``,
 writes the merged integrated table).  ILFDs can be given inline
 (``"a=x ∧ b=y -> c=z"``, using ``&`` or ``∧`` between conditions) or as a
@@ -36,6 +40,12 @@ durably; ``repro checkpoint`` snapshots an incremental session into one
 SQLite file, ``repro resume`` reloads it (verifying the journal) and
 applies further deltas, and ``repro explain-pair`` reconstructs the
 rule-firing chain behind any persisted pair from the journal alone.
+
+``repro conform`` runs the conformance suite on seeded synthetic
+workloads: the differential configuration matrix (every cell must
+produce bit-identical canonical tables), the Section-3 oracles, the
+metamorphic relations, and — with ``--golden DIR`` — the frozen
+golden-corpus drift check (``--update-golden`` re-freezes it).
 
 ``--retries N`` turns on the fault-tolerance machinery: transient
 failures in pair evaluation and store commits are retried with capped
@@ -85,11 +95,13 @@ __all__ = [
     "build_resume_parser",
     "build_explain_parser",
     "package_version",
+    "build_conform_parser",
     "identify_main",
     "stats_main",
     "checkpoint_main",
     "resume_main",
     "explain_pair_main",
+    "conform_main",
     "main",
 ]
 
@@ -100,6 +112,7 @@ _SUBCOMMANDS = (
     "checkpoint",
     "resume",
     "explain-pair",
+    "conform",
 )
 
 
@@ -919,6 +932,288 @@ def explain_pair_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def build_conform_parser() -> argparse.ArgumentParser:
+    """The ``repro conform`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro conform",
+        description="Run the conformance suite: the differential "
+        "configuration matrix (every engine configuration must produce "
+        "bit-identical canonical matching tables), the Section-3 oracles "
+        "(soundness, completeness, uniqueness, consistency), the "
+        "metamorphic relations, and optionally the golden-corpus drift "
+        "check.",
+    )
+    parser.add_argument(
+        "workloads",
+        nargs="*",
+        help="synthetic workload families to exercise: restaurants, "
+        "employees, publications (default: all three)",
+    )
+    parser.add_argument(
+        "--entities",
+        type=int,
+        default=12,
+        metavar="N",
+        help="universe size per workload (default 12; the matrix is "
+        "O(N^2) per cell)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=3,
+        metavar="N",
+        help="workload generation seed (default 3)",
+    )
+    parser.add_argument(
+        "--matrix",
+        choices=("strict", "full", "none"),
+        default="full",
+        help="differential matrix to run: 'strict' = exhaustive-candidate "
+        "cells only (bit-identical MT and NMT), 'full' adds the "
+        "pruning-blocker cells (MT-identical, NMT-subset), 'none' skips "
+        "the matrix (default full)",
+    )
+    parser.add_argument(
+        "--no-prototype",
+        action="store_true",
+        help="skip the Prolog-prototype comparison cell",
+    )
+    parser.add_argument(
+        "--no-oracles",
+        action="store_true",
+        help="skip the Section-3 oracle checks",
+    )
+    parser.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic relations",
+    )
+    parser.add_argument(
+        "--golden",
+        metavar="DIR",
+        help="check the frozen golden corpus in DIR for fingerprint drift",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="re-freeze the golden corpus in --golden DIR instead of "
+        "checking it (the new fingerprints go through code review)",
+    )
+    parser.add_argument(
+        "--golden-workload",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="restrict the golden check/update to this corpus workload "
+        "(repeatable; default: the whole corpus)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full machine-readable report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the human-readable summaries (exit status still "
+        "reports the verdict)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a JSON-lines trace (spans + conformance.* metrics)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the conformance metrics summary after the run",
+    )
+    return parser
+
+
+_CONFORM_WORKLOADS = ("restaurants", "employees", "publications")
+
+
+def _conform_workload(name: str, entities: int, seed: int):
+    """Build one seeded synthetic workload for ``repro conform``."""
+    from repro import workloads
+
+    if name == "restaurants":
+        return workloads.restaurant_workload(
+            workloads.RestaurantWorkloadSpec(n_entities=entities, seed=seed)
+        )
+    if name == "employees":
+        return workloads.employee_workload(
+            workloads.EmployeeWorkloadSpec(n_entities=entities, seed=seed)
+        )
+    if name == "publications":
+        return workloads.publication_workload(
+            workloads.PublicationWorkloadSpec(n_entities=entities, seed=seed)
+        )
+    raise ValueError(
+        f"unknown workload {name!r}; expected one of {_CONFORM_WORKLOADS}"
+    )
+
+
+def _conform_oracles(workload, tracer):
+    """Identify *workload* once and run the Section-3 oracles on it."""
+    from repro.conformance import Knowledge, run_oracles
+
+    knowledge = Knowledge.from_workload(workload)
+    identifier = EntityIdentifier(
+        workload.r,
+        workload.s,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    )
+    result = identifier.run()
+    return run_oracles(
+        result.matching,
+        result.negative,
+        result.extended_r,
+        result.extended_s,
+        knowledge,
+        tracer=tracer,
+    )
+
+
+def conform_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro conform``: 0 green, 1 mismatch/violation/drift, 2 fatal."""
+    import json as json_module
+
+    from repro.conformance import (
+        ConformanceError,
+        check_golden,
+        full_matrix,
+        run_matrix,
+        run_metamorphic,
+        strict_matrix,
+        update_golden,
+    )
+
+    args = build_conform_parser().parse_args(argv)
+    names = list(args.workloads) or list(_CONFORM_WORKLOADS)
+    unknown = [n for n in names if n not in _CONFORM_WORKLOADS]
+    if unknown:
+        print(
+            f"repro conform: unknown workload(s) {unknown}; "
+            f"expected {list(_CONFORM_WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_golden and not args.golden:
+        print("repro conform: --update-golden requires --golden DIR",
+              file=sys.stderr)
+        return 2
+    if args.entities < 2:
+        print("repro conform: --entities must be >= 2", file=sys.stderr)
+        return 2
+
+    tracer = None
+    if args.trace or args.metrics:
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+
+    degraded = False
+    output = {"ok": True, "workloads": {}}
+    try:
+        for name in names:
+            workload = _conform_workload(name, args.entities, args.seed)
+            entry = {}
+            if args.matrix != "none":
+                cells = (
+                    strict_matrix() if args.matrix == "strict" else full_matrix()
+                )
+                matrix_report = run_matrix(
+                    workload,
+                    cells,
+                    name=name,
+                    include_prototype=not args.no_prototype,
+                    tracer=tracer,
+                )
+                entry["differential"] = {
+                    "green": matrix_report.is_green,
+                    "cells": len(matrix_report.outcomes),
+                    "mt_fingerprint": matrix_report.baseline.tables.mt_fingerprint,
+                    "nmt_fingerprint": matrix_report.baseline.tables.nmt_fingerprint,
+                    "mismatches": [
+                        m.summary() for m in matrix_report.mismatches
+                    ],
+                    "prototype_agrees": matrix_report.prototype_agrees,
+                }
+                degraded = degraded or not matrix_report.is_green
+                if not args.quiet and not args.json:
+                    print(matrix_report.summary())
+            if not args.no_oracles:
+                oracle_report = _conform_oracles(workload, tracer)
+                entry["oracles"] = oracle_report.to_dict()
+                degraded = degraded or not oracle_report.ok
+                if not args.quiet and not args.json:
+                    print(f"oracles [{name}]:")
+                    for line in oracle_report.summary().splitlines():
+                        print("  " + line)
+            if not args.no_metamorphic:
+                meta_report = run_metamorphic(
+                    workload, name=name, seed=args.seed, tracer=tracer
+                )
+                entry["metamorphic"] = {
+                    "ok": meta_report.ok,
+                    "cases": [o.summary() for o in meta_report.outcomes],
+                }
+                degraded = degraded or not meta_report.ok
+                if not args.quiet and not args.json:
+                    print(meta_report.summary())
+            output["workloads"][name] = entry
+
+        if args.golden:
+            golden_names = args.golden_workload or None
+            if args.update_golden:
+                paths = update_golden(args.golden, golden_names)
+                output["golden"] = {"updated": paths}
+                if not args.quiet and not args.json:
+                    print(f"golden corpus re-frozen: {len(paths)} file(s) "
+                          f"in {args.golden}")
+            else:
+                drift = check_golden(args.golden, golden_names)
+                output["golden"] = {"drift": drift}
+                degraded = degraded or bool(drift)
+                if tracer is not None:
+                    tracer.metrics.inc("conformance.golden_drift", len(drift))
+                if not args.quiet and not args.json:
+                    if drift:
+                        print("golden corpus DRIFTED:")
+                        for workload_name, detail in sorted(drift.items()):
+                            print(f"  {workload_name}: {detail}")
+                    else:
+                        print("golden corpus: no drift")
+    except ConformanceError as exc:
+        print(f"repro conform: {exc}", file=sys.stderr)
+        return 2
+
+    output["ok"] = not degraded
+    if args.json:
+        print(json_module.dumps(output, indent=2, sort_keys=False))
+    elif not args.quiet:
+        print("conformance: " + ("all green" if not degraded else "DEGRADED"))
+    if tracer is not None:
+        if args.metrics:
+            from repro.observability import format_metrics
+
+            print()
+            print(format_metrics(tracer.metrics.snapshot()))
+        if args.trace:
+            from repro.observability import write_trace_jsonl
+
+            try:
+                write_trace_jsonl(tracer, args.trace)
+            except OSError as exc:
+                print(f"repro conform: cannot write trace: {exc}",
+                      file=sys.stderr)
+                return 2
+    return 1 if degraded else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point: dispatches the subcommands (see ``_SUBCOMMANDS``).
 
@@ -940,6 +1235,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return resume_main(rest)
         if command == "explain-pair":
             return explain_pair_main(rest)
+        if command == "conform":
+            return conform_main(rest)
         return identify_main(rest)
     if arguments == ["--version"]:
         print(f"repro {package_version()}")

@@ -1,0 +1,101 @@
+"""Canonical forms and fingerprints of matching tables.
+
+Two engine configurations "compute the same tables" exactly when their
+canonicalised MT/NMT agree *bit for bit*.  The canonical form of a table
+is the sorted tuple of its pairs, each key rendered through the store's
+deterministic JSON codec (:func:`repro.store.codec.encode_key` — the
+same text the SQLite backend uses as primary keys, so canonical equality
+here is literally storage-level equality).  Fingerprints are SHA-256 over
+that text, newline-joined — stable across processes, Python versions,
+and platforms, and small enough to commit as a golden corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.matching_table import KeyValues, _PairTable
+from repro.store.codec import encode_key
+
+__all__ = [
+    "CanonicalPair",
+    "CanonicalTables",
+    "canonical_pairs",
+    "canonical_table",
+    "canonicalise",
+    "fingerprint_pairs",
+    "diff_pairs",
+]
+
+CanonicalPair = Tuple[str, str]
+"""One pair as (encoded R key, encoded S key) JSON text."""
+
+Pair = Tuple[KeyValues, KeyValues]
+
+
+def canonical_pairs(pairs: Iterable[Pair]) -> Tuple[CanonicalPair, ...]:
+    """Sorted, codec-encoded rendering of a set of (R key, S key) pairs."""
+    return tuple(
+        sorted((encode_key(r_key), encode_key(s_key)) for r_key, s_key in pairs)
+    )
+
+
+def canonical_table(table: _PairTable) -> Tuple[CanonicalPair, ...]:
+    """Canonical form of a matching or negative matching table."""
+    return canonical_pairs(table.pairs())
+
+
+def fingerprint_pairs(pairs: Iterable[CanonicalPair]) -> str:
+    """SHA-256 hex digest of canonical pairs (order-insensitive input)."""
+    text = "\n".join(f"{r}\t{s}" for r, s in sorted(pairs))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def diff_pairs(
+    a: Iterable[CanonicalPair], b: Iterable[CanonicalPair]
+) -> Dict[str, List[CanonicalPair]]:
+    """Symmetric difference of two canonical pair sets.
+
+    Returns ``{"only_a": [...], "only_b": [...]}`` sorted — the payload a
+    differential mismatch report prints.
+    """
+    set_a, set_b = set(a), set(b)
+    return {
+        "only_a": sorted(set_a - set_b),
+        "only_b": sorted(set_b - set_a),
+    }
+
+
+@dataclass(frozen=True)
+class CanonicalTables:
+    """Canonicalised (MT, NMT) of one identification run."""
+
+    mt: Tuple[CanonicalPair, ...]
+    nmt: Tuple[CanonicalPair, ...]
+
+    @property
+    def mt_fingerprint(self) -> str:
+        """SHA-256 of the canonical matching table."""
+        return fingerprint_pairs(self.mt)
+
+    @property
+    def nmt_fingerprint(self) -> str:
+        """SHA-256 of the canonical negative matching table."""
+        return fingerprint_pairs(self.nmt)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CanonicalTables):
+            return NotImplemented
+        return self.mt == other.mt and self.nmt == other.nmt
+
+    def __hash__(self) -> int:
+        return hash((self.mt, self.nmt))
+
+
+def canonicalise(matching: _PairTable, negative: _PairTable) -> CanonicalTables:
+    """Canonicalise one run's (MT, NMT) pair of tables."""
+    return CanonicalTables(
+        mt=canonical_table(matching), nmt=canonical_table(negative)
+    )

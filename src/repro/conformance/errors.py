@@ -1,0 +1,21 @@
+"""Exception vocabulary of the conformance subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["ConformanceError", "GoldenCorpusError"]
+
+
+class ConformanceError(Exception):
+    """A conformance run could not be executed (not a violation verdict).
+
+    Violations found by oracles or mismatches found by the differential
+    harness are *results* and are reported through
+    :class:`~repro.conformance.violations.Violation` /
+    :class:`~repro.conformance.differential.MatrixReport`; this exception
+    covers the harness itself failing (bad configuration, unusable
+    workload, unreadable golden file).
+    """
+
+
+class GoldenCorpusError(ConformanceError):
+    """A golden-corpus file is missing, unreadable, or malformed."""

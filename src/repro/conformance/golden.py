@@ -1,0 +1,209 @@
+"""The golden corpus: frozen workload fingerprints.
+
+A golden file freezes the canonical MT/NMT fingerprints (and table
+sizes) of one fixed workload under the default engine.  Committed to
+``tests/conformance/golden/``, the corpus turns *any* unintended change
+to identification semantics — a refactor reordering rule firings, a
+codec tweak, a blocking change leaking into the exact paths — into a
+visible diff.  Intentional semantic changes re-freeze the corpus with
+``repro conform --update-golden`` (or ``update_golden`` here) and the
+new fingerprints go through code review like any other change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.conformance.canonical import CanonicalTables, canonicalise
+from repro.conformance.errors import GoldenCorpusError
+from repro.core.identifier import EntityIdentifier
+from repro.workloads import (
+    EmployeeWorkloadSpec,
+    PublicationWorkloadSpec,
+    RestaurantWorkloadSpec,
+    employee_workload,
+    publication_workload,
+    restaurant_example_3,
+    restaurant_workload,
+)
+from repro.workloads.generator import Workload
+
+__all__ = [
+    "GOLDEN_FORMAT",
+    "GOLDEN_WORKLOADS",
+    "GoldenRecord",
+    "golden_record",
+    "load_golden",
+    "write_golden",
+    "check_golden",
+    "update_golden",
+]
+
+GOLDEN_FORMAT = 1
+"""Version of the golden-file JSON layout."""
+
+
+GOLDEN_WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    "restaurants": lambda: restaurant_workload(
+        RestaurantWorkloadSpec(n_entities=40, seed=11)
+    ),
+    "employees": lambda: employee_workload(
+        EmployeeWorkloadSpec(n_entities=40, seed=11)
+    ),
+    "publications": lambda: publication_workload(
+        PublicationWorkloadSpec(n_entities=40, seed=11)
+    ),
+    "example3": restaurant_example_3,
+}
+"""The frozen corpus: name → workload factory with pinned parameters."""
+
+
+@dataclass(frozen=True)
+class GoldenRecord:
+    """One workload's frozen fingerprints."""
+
+    workload: str
+    mt_fingerprint: str
+    nmt_fingerprint: str
+    mt_size: int
+    nmt_size: int
+    extended_key: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (stable key order)."""
+        return {
+            "format": GOLDEN_FORMAT,
+            "workload": self.workload,
+            "extended_key": list(self.extended_key),
+            "mt_fingerprint": self.mt_fingerprint,
+            "nmt_fingerprint": self.nmt_fingerprint,
+            "mt_size": self.mt_size,
+            "nmt_size": self.nmt_size,
+        }
+
+
+def _tables(workload: Workload) -> CanonicalTables:
+    result = EntityIdentifier(
+        workload.r,
+        workload.s,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    ).run()
+    return canonicalise(result.matching, result.negative)
+
+
+def golden_record(name: str) -> GoldenRecord:
+    """Compute the current fingerprints of one corpus workload."""
+    try:
+        factory = GOLDEN_WORKLOADS[name]
+    except KeyError:
+        raise GoldenCorpusError(
+            f"unknown golden workload {name!r}; "
+            f"corpus: {sorted(GOLDEN_WORKLOADS)}"
+        ) from None
+    workload = factory()
+    tables = _tables(workload)
+    return GoldenRecord(
+        workload=name,
+        mt_fingerprint=tables.mt_fingerprint,
+        nmt_fingerprint=tables.nmt_fingerprint,
+        mt_size=len(tables.mt),
+        nmt_size=len(tables.nmt),
+        extended_key=tuple(workload.extended_key),
+    )
+
+
+def _golden_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"{name}.json")
+
+
+def load_golden(directory: str, name: str) -> GoldenRecord:
+    """Load one frozen record from *directory*."""
+    path = _golden_path(directory, name)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise GoldenCorpusError(
+            f"golden file missing for {name!r}: {path} "
+            f"(run with --update-golden to create it)"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise GoldenCorpusError(f"malformed golden file {path}: {exc}") from exc
+    try:
+        if data["format"] != GOLDEN_FORMAT:
+            raise GoldenCorpusError(
+                f"golden file {path} has format {data['format']}, "
+                f"expected {GOLDEN_FORMAT}"
+            )
+        return GoldenRecord(
+            workload=data["workload"],
+            mt_fingerprint=data["mt_fingerprint"],
+            nmt_fingerprint=data["nmt_fingerprint"],
+            mt_size=data["mt_size"],
+            nmt_size=data["nmt_size"],
+            extended_key=tuple(data["extended_key"]),
+        )
+    except KeyError as exc:
+        raise GoldenCorpusError(
+            f"golden file {path} is missing field {exc}"
+        ) from None
+
+
+def write_golden(directory: str, record: GoldenRecord) -> str:
+    """Write one record to *directory*; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = _golden_path(directory, record.workload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record.to_dict(), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def check_golden(
+    directory: str, names: Optional[List[str]] = None
+) -> Dict[str, str]:
+    """Compare current fingerprints against the frozen corpus.
+
+    Returns ``{workload: description}`` for every drifted workload —
+    empty means the corpus still holds.  Missing or malformed golden
+    files raise :class:`GoldenCorpusError` (the corpus is part of the
+    repository; absence is a harness failure, not drift).
+    """
+    drift: Dict[str, str] = {}
+    for name in names if names is not None else sorted(GOLDEN_WORKLOADS):
+        frozen = load_golden(directory, name)
+        current = golden_record(name)
+        problems = []
+        if current.mt_fingerprint != frozen.mt_fingerprint:
+            problems.append(
+                f"MT fingerprint {frozen.mt_fingerprint[:12]} -> "
+                f"{current.mt_fingerprint[:12]} "
+                f"(size {frozen.mt_size} -> {current.mt_size})"
+            )
+        if current.nmt_fingerprint != frozen.nmt_fingerprint:
+            problems.append(
+                f"NMT fingerprint {frozen.nmt_fingerprint[:12]} -> "
+                f"{current.nmt_fingerprint[:12]} "
+                f"(size {frozen.nmt_size} -> {current.nmt_size})"
+            )
+        if current.extended_key != frozen.extended_key:
+            problems.append(
+                f"extended key {frozen.extended_key} -> {current.extended_key}"
+            )
+        if problems:
+            drift[name] = "; ".join(problems)
+    return drift
+
+
+def update_golden(
+    directory: str, names: Optional[List[str]] = None
+) -> List[str]:
+    """Re-freeze the corpus; returns the written file paths."""
+    return [
+        write_golden(directory, golden_record(name))
+        for name in (names if names is not None else sorted(GOLDEN_WORKLOADS))
+    ]

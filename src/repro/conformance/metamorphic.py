@@ -1,0 +1,338 @@
+"""Metamorphic relations over identification workloads.
+
+When no ground truth is available, we can still test the engine by
+transforming its *input* in ways whose effect on the *output* is known
+from the paper's semantics:
+
+- **tuple shuffling** — relations are sets (Section 3.1), so row order
+  must not matter: tables identical;
+- **attribute renaming** — the unified attribute namespace is arbitrary;
+  a consistent renaming of both schemas, the ILFDs and the extended key
+  must rename the tables' key attributes and nothing else;
+- **R↔S swap** — identity and distinctness are symmetric claims about a
+  pair of tuples; swapping the two relations must transpose every table
+  entry;
+- **union split** — classification of a pair depends only on that pair's
+  tuples plus the knowledge, so splitting R into R₁ ⊎ R₂ and identifying
+  each half against S must partition both tables.
+
+Each relation produces the transformed workload *and* the function
+mapping the baseline's canonical tables to the expected ones, so the
+check is always one bit-exact comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.conformance.canonical import (
+    CanonicalPair,
+    CanonicalTables,
+    canonicalise,
+    diff_pairs,
+)
+from repro.conformance.errors import ConformanceError
+from repro.core.identifier import EntityIdentifier
+from repro.ilfd.ilfd import ILFDSet
+from repro.relational.relation import Relation
+from repro.store.codec import decode_key, encode_key
+from repro.workloads.generator import Workload
+
+__all__ = [
+    "MetamorphicCase",
+    "MetamorphicOutcome",
+    "MetamorphicReport",
+    "shuffle_tuples",
+    "rename_attributes",
+    "swap_sides",
+    "union_split",
+    "default_cases",
+    "run_metamorphic",
+]
+
+TableTransform = Callable[[CanonicalTables], CanonicalTables]
+
+
+@dataclass(frozen=True)
+class MetamorphicCase:
+    """One metamorphic relation, instantiated for one workload.
+
+    ``workloads`` holds the transformed input(s) — more than one for the
+    union split, whose expectation is about the *combined* output — and
+    ``expected`` maps the baseline's canonical tables to the tables the
+    transformed run(s) must produce (their results are unioned before
+    comparison).
+    """
+
+    name: str
+    workloads: Tuple[Workload, ...]
+    expected: TableTransform
+
+
+@dataclass(frozen=True)
+class MetamorphicOutcome:
+    """Verdict of one metamorphic case."""
+
+    name: str
+    ok: bool
+    mt_diff: Dict[str, List[CanonicalPair]]
+    nmt_diff: Dict[str, List[CanonicalPair]]
+
+    def summary(self) -> str:
+        """One line: case name and verdict."""
+        if self.ok:
+            return f"{self.name}: ok"
+        return (
+            f"{self.name}: FAILED "
+            f"(MT +{len(self.mt_diff['only_b'])} -{len(self.mt_diff['only_a'])}, "
+            f"NMT +{len(self.nmt_diff['only_b'])} -{len(self.nmt_diff['only_a'])})"
+        )
+
+
+@dataclass(frozen=True)
+class MetamorphicReport:
+    """All metamorphic case verdicts for one workload."""
+
+    workload: str
+    outcomes: Tuple[MetamorphicOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True iff every case held."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        """One line per case."""
+        header = f"metamorphic [{self.workload}]:"
+        return "\n".join(
+            [header] + ["  " + outcome.summary() for outcome in self.outcomes]
+        )
+
+
+# ----------------------------------------------------------------------
+# Canonical-key surgery shared by the expectation transforms
+# ----------------------------------------------------------------------
+def _rename_encoded(text: str, mapping: Mapping[str, str]) -> str:
+    key = decode_key(text)
+    renamed = tuple(
+        sorted((mapping.get(attr, attr), value) for attr, value in key)
+    )
+    return encode_key(renamed)
+
+
+def _rename_tables(
+    tables: CanonicalTables, mapping: Mapping[str, str]
+) -> CanonicalTables:
+    return CanonicalTables(
+        mt=tuple(
+            sorted(
+                (_rename_encoded(r, mapping), _rename_encoded(s, mapping))
+                for r, s in tables.mt
+            )
+        ),
+        nmt=tuple(
+            sorted(
+                (_rename_encoded(r, mapping), _rename_encoded(s, mapping))
+                for r, s in tables.nmt
+            )
+        ),
+    )
+
+
+def _transpose_tables(tables: CanonicalTables) -> CanonicalTables:
+    return CanonicalTables(
+        mt=tuple(sorted((s, r) for r, s in tables.mt)),
+        nmt=tuple(sorted((s, r) for r, s in tables.nmt)),
+    )
+
+
+def _identity_transform(tables: CanonicalTables) -> CanonicalTables:
+    return tables
+
+
+# ----------------------------------------------------------------------
+# The four relations
+# ----------------------------------------------------------------------
+def shuffle_tuples(workload: Workload, *, seed: int = 0) -> MetamorphicCase:
+    """Reorder the rows of both relations; tables must be identical."""
+    rng = random.Random(seed)
+    r_rows = list(workload.r.rows)
+    s_rows = list(workload.s.rows)
+    rng.shuffle(r_rows)
+    rng.shuffle(s_rows)
+    shuffled = Workload(
+        r=Relation(workload.r.schema, r_rows, name=workload.r.name),
+        s=Relation(workload.s.schema, s_rows, name=workload.s.name),
+        ilfds=workload.ilfds,
+        extended_key=workload.extended_key,
+        truth=workload.truth,
+    )
+    return MetamorphicCase("shuffle-tuples", (shuffled,), _identity_transform)
+
+
+def rename_attributes(
+    workload: Workload, mapping: Optional[Mapping[str, str]] = None
+) -> MetamorphicCase:
+    """Consistently rename the unified attribute namespace.
+
+    Defaults to suffixing every attribute with ``_x``.  The schemas, the
+    ILFDs, and the extended key are renamed together; the expected
+    tables are the baseline's with each key attribute renamed (and keys
+    re-sorted, since ``KeyValues`` sort by attribute name).
+    """
+    names = set(workload.r.schema.names) | set(workload.s.schema.names)
+    if mapping is None:
+        mapping = {name: f"{name}_x" for name in sorted(names)}
+    else:
+        mapping = dict(mapping)
+        unknown = set(mapping) - names
+        if unknown:
+            raise ConformanceError(
+                f"rename mapping names unknown attributes {sorted(unknown)}"
+            )
+    r_mapping = {k: v for k, v in mapping.items() if k in workload.r.schema}
+    s_mapping = {k: v for k, v in mapping.items() if k in workload.s.schema}
+    renamed = Workload(
+        r=Relation(
+            workload.r.schema.rename(r_mapping),
+            [
+                {mapping.get(a, a): v for a, v in row.items()}
+                for row in workload.r.rows
+            ],
+            name=workload.r.name,
+        ),
+        s=Relation(
+            workload.s.schema.rename(s_mapping),
+            [
+                {mapping.get(a, a): v for a, v in row.items()}
+                for row in workload.s.rows
+            ],
+            name=workload.s.name,
+        ),
+        ilfds=ILFDSet(
+            ilfd.renamed_attributes(mapping) for ilfd in workload.ilfds
+        ),
+        extended_key=tuple(
+            mapping.get(a, a) for a in workload.extended_key
+        ),
+        truth=frozenset(),
+    )
+    final_mapping = dict(mapping)
+    return MetamorphicCase(
+        "rename-attributes",
+        (renamed,),
+        lambda tables: _rename_tables(tables, final_mapping),
+    )
+
+
+def swap_sides(workload: Workload) -> MetamorphicCase:
+    """Identify S against R; every table entry must transpose.
+
+    Safe because the rule engine evaluates distinctness rules in both
+    orientations — identity and distinctness are claims about a *pair*.
+    """
+    swapped = Workload(
+        r=workload.s,
+        s=workload.r,
+        ilfds=workload.ilfds,
+        extended_key=workload.extended_key,
+        truth=frozenset((s_key, r_key) for r_key, s_key in workload.truth),
+    )
+    return MetamorphicCase("swap-sides", (swapped,), _transpose_tables)
+
+
+def union_split(workload: Workload, *, seed: int = 0) -> MetamorphicCase:
+    """Split R into two halves; the halves' tables must partition R's.
+
+    Classification is pairwise, so MT(R, S) = MT(R₁, S) ⊎ MT(R₂, S) and
+    likewise for the NMT when R = R₁ ⊎ R₂.
+    """
+    if len(workload.r) < 2:
+        raise ConformanceError("union split needs at least two R tuples")
+    rng = random.Random(seed)
+    rows = list(workload.r.rows)
+    rng.shuffle(rows)
+    half = len(rows) // 2
+    parts = []
+    for chunk in (rows[:half], rows[half:]):
+        parts.append(
+            Workload(
+                r=Relation(workload.r.schema, chunk, name=workload.r.name),
+                s=workload.s,
+                ilfds=workload.ilfds,
+                extended_key=workload.extended_key,
+                truth=frozenset(),
+            )
+        )
+    return MetamorphicCase(
+        "union-split", tuple(parts), _identity_transform
+    )
+
+
+def default_cases(workload: Workload, *, seed: int = 0) -> List[MetamorphicCase]:
+    """All four metamorphic relations, instantiated for *workload*."""
+    return [
+        shuffle_tuples(workload, seed=seed),
+        rename_attributes(workload),
+        swap_sides(workload),
+        union_split(workload, seed=seed),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _run(workload: Workload) -> CanonicalTables:
+    result = EntityIdentifier(
+        workload.r,
+        workload.s,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    ).run()
+    return canonicalise(result.matching, result.negative)
+
+
+def _union(tables: Sequence[CanonicalTables]) -> CanonicalTables:
+    mt: set = set()
+    nmt: set = set()
+    for t in tables:
+        mt.update(t.mt)
+        nmt.update(t.nmt)
+    return CanonicalTables(mt=tuple(sorted(mt)), nmt=tuple(sorted(nmt)))
+
+
+def run_metamorphic(
+    workload: Workload,
+    cases: Optional[Sequence[MetamorphicCase]] = None,
+    *,
+    name: str = "workload",
+    seed: int = 0,
+    tracer=None,
+) -> MetamorphicReport:
+    """Run the metamorphic cases against a baseline identification."""
+    baseline = _run(workload)
+    cases = (
+        list(cases) if cases is not None else default_cases(workload, seed=seed)
+    )
+    outcomes: List[MetamorphicOutcome] = []
+    for case in cases:
+        actual = _union([_run(w) for w in case.workloads])
+        expected = case.expected(baseline)
+        mt_diff = diff_pairs(expected.mt, actual.mt)
+        nmt_diff = diff_pairs(expected.nmt, actual.nmt)
+        ok = actual == expected
+        outcomes.append(
+            MetamorphicOutcome(
+                name=case.name, ok=ok, mt_diff=mt_diff, nmt_diff=nmt_diff
+            )
+        )
+    report = MetamorphicReport(workload=name, outcomes=tuple(outcomes))
+    if tracer is not None and tracer.enabled:
+        tracer.metrics.inc("conformance.metamorphic_cases", len(outcomes))
+        tracer.metrics.inc(
+            "conformance.metamorphic_failures",
+            sum(1 for o in outcomes if not o.ok),
+        )
+    return report

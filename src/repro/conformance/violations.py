@@ -1,0 +1,139 @@
+"""Structured violation reports shared by every conformance oracle.
+
+The paper's Section-3 contract is a conjunction of checkable claims
+(soundness, completeness w.r.t. the supplied rules, monotonicity, the
+uniqueness and consistency constraints on MT_RS/NMT_RS).  Each oracle in
+:mod:`repro.conformance.oracles` evaluates one claim and reports its
+counterexamples as :class:`Violation` records — plain data usable from
+tests (assert ``report.ok``), from the ``repro conform`` CLI (rendered
+or JSON-dumped), and at runtime (a pipeline can audit its own output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.matching_table import KeyValues
+
+__all__ = ["Violation", "OracleReport", "ConformanceReport"]
+
+
+def _render_key(key: Optional[KeyValues]) -> str:
+    if key is None:
+        return "-"
+    return "{" + ", ".join(f"{a}={v!r}" for a, v in key) + "}"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One counterexample to one Section-3 claim.
+
+    Attributes
+    ----------
+    oracle:
+        The oracle that found it (``soundness``, ``completeness``,
+        ``monotonicity``, ``uniqueness``, ``consistency``).
+    kind:
+        Machine-readable violation class within the oracle, e.g.
+        ``underivable-match`` or ``match-retracted``.
+    message:
+        Human-readable account with the witnesses inline.
+    r_key / s_key:
+        The offending pair's key values, when the violation is about one
+        pair (one side may be ``None`` for one-sided claims).
+    """
+
+    oracle: str
+    kind: str
+    message: str
+    r_key: Optional[KeyValues] = None
+    s_key: Optional[KeyValues] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (keys as ``attr=value`` text)."""
+        return {
+            "oracle": self.oracle,
+            "kind": self.kind,
+            "message": self.message,
+            "r_key": _render_key(self.r_key),
+            "s_key": _render_key(self.s_key),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.oracle}/{self.kind}] {self.message} "
+            f"(R{_render_key(self.r_key)} / S{_render_key(self.s_key)})"
+        )
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Outcome of one oracle over one identification result."""
+
+    oracle: str
+    checked: int
+    violations: Tuple[Violation, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True iff the claim held on everything checked."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One line: verdict, units checked, counterexample count."""
+        verdict = "ok" if self.ok else "VIOLATED"
+        return (
+            f"{self.oracle}: {verdict} "
+            f"({self.checked} checked, {len(self.violations)} violation(s))"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering."""
+        return {
+            "oracle": self.oracle,
+            "ok": self.ok,
+            "checked": self.checked,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """All oracle reports for one identification result."""
+
+    reports: Tuple[OracleReport, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True iff every oracle passed."""
+        return all(report.ok for report in self.reports)
+
+    @property
+    def violations(self) -> Tuple[Violation, ...]:
+        """Every violation, in oracle order."""
+        out: List[Violation] = []
+        for report in self.reports:
+            out.extend(report.violations)
+        return tuple(out)
+
+    def report_for(self, oracle: str) -> Optional[OracleReport]:
+        """The report of the named oracle, if it ran."""
+        for report in self.reports:
+            if report.oracle == oracle:
+                return report
+        return None
+
+    def summary(self) -> str:
+        """One line per oracle."""
+        return "\n".join(report.summary() for report in self.reports)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering."""
+        return {
+            "ok": self.ok,
+            "reports": [report.to_dict() for report in self.reports],
+        }

@@ -1,0 +1,98 @@
+"""Canonical forms and fingerprints."""
+
+import pytest
+
+from repro.conformance import (
+    CanonicalTables,
+    canonical_pairs,
+    canonical_table,
+    canonicalise,
+    diff_pairs,
+    fingerprint_pairs,
+)
+from repro.core.identifier import EntityIdentifier
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+PAIR_A = ((("name", "kabul"),), (("name", "kabul"),))
+PAIR_B = ((("name", "wursthaus"),), (("name", "wursthaus"),))
+
+
+class TestCanonicalPairs:
+    def test_sorted_and_encoded(self):
+        pairs = canonical_pairs([PAIR_B, PAIR_A])
+        assert pairs == tuple(sorted(pairs))
+        assert all(isinstance(r, str) and isinstance(s, str) for r, s in pairs)
+        assert '"kabul"' in pairs[0][0]
+
+    def test_order_insensitive(self):
+        assert canonical_pairs([PAIR_A, PAIR_B]) == canonical_pairs(
+            [PAIR_B, PAIR_A]
+        )
+
+    def test_deduplicates_nothing_but_is_deterministic(self):
+        once = canonical_pairs([PAIR_A])
+        again = canonical_pairs([PAIR_A])
+        assert once == again
+
+
+class TestFingerprints:
+    def test_stable_across_order(self):
+        forward = fingerprint_pairs(canonical_pairs([PAIR_A, PAIR_B]))
+        reverse = fingerprint_pairs(canonical_pairs([PAIR_B, PAIR_A]))
+        assert forward == reverse
+        assert len(forward) == 64
+
+    def test_sensitive_to_content(self):
+        one = fingerprint_pairs(canonical_pairs([PAIR_A]))
+        two = fingerprint_pairs(canonical_pairs([PAIR_A, PAIR_B]))
+        assert one != two
+
+    def test_empty_table_has_a_fingerprint(self):
+        assert len(fingerprint_pairs(())) == 64
+
+
+class TestDiffPairs:
+    def test_symmetric_difference(self):
+        a = canonical_pairs([PAIR_A])
+        b = canonical_pairs([PAIR_B])
+        diff = diff_pairs(a, b)
+        assert diff["only_a"] == list(a)
+        assert diff["only_b"] == list(b)
+
+    def test_equal_sets_diff_empty(self):
+        a = canonical_pairs([PAIR_A, PAIR_B])
+        diff = diff_pairs(a, a)
+        assert diff == {"only_a": [], "only_b": []}
+
+
+class TestCanonicalTables:
+    def test_equality_and_hash(self):
+        a = CanonicalTables(mt=canonical_pairs([PAIR_A]), nmt=())
+        b = CanonicalTables(mt=canonical_pairs([PAIR_A]), nmt=())
+        c = CanonicalTables(mt=canonical_pairs([PAIR_B]), nmt=())
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_canonicalise_real_run(self):
+        workload = restaurant_workload(
+            RestaurantWorkloadSpec(n_entities=8, seed=5)
+        )
+        result = EntityIdentifier(
+            workload.r,
+            workload.s,
+            list(workload.extended_key),
+            ilfds=list(workload.ilfds),
+        ).run()
+        tables = canonicalise(result.matching, result.negative)
+        assert tables.mt == canonical_table(result.matching)
+        assert tables.nmt == canonical_table(result.negative)
+        assert len(tables.mt) == len(result.matching)
+        # Re-running the same workload reproduces the fingerprints.
+        again = EntityIdentifier(
+            workload.r,
+            workload.s,
+            list(workload.extended_key),
+            ilfds=list(workload.ilfds),
+        ).run()
+        assert canonicalise(again.matching, again.negative) == tables

@@ -1,0 +1,104 @@
+"""Golden corpus: frozen fingerprints catch semantic drift."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import (
+    GOLDEN_WORKLOADS,
+    GoldenCorpusError,
+    check_golden,
+    golden_record,
+    load_golden,
+    update_golden,
+    write_golden,
+)
+
+COMMITTED = Path(__file__).resolve().parent / "golden"
+
+
+class TestGoldenRecords:
+    def test_record_is_reproducible(self):
+        first = golden_record("example3")
+        second = golden_record("example3")
+        assert first == second
+        assert first.mt_size > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(GoldenCorpusError, match="unknown golden workload"):
+            golden_record("no-such-workload")
+
+    def test_record_serialises(self):
+        record = golden_record("example3")
+        payload = record.to_dict()
+        assert payload["format"] == 1
+        assert payload["workload"] == "example3"
+        assert len(payload["mt_fingerprint"]) == 64
+
+
+class TestRoundTrip:
+    def test_write_then_check_is_clean(self, tmp_path):
+        record = golden_record("example3")
+        path = write_golden(str(tmp_path), record)
+        assert Path(path).exists()
+        assert load_golden(str(tmp_path), "example3") == record
+        assert check_golden(str(tmp_path), ["example3"]) == {}
+
+    def test_drift_is_detected(self, tmp_path):
+        record = golden_record("example3")
+        path = Path(write_golden(str(tmp_path), record))
+        data = json.loads(path.read_text())
+        data["mt_fingerprint"] = "0" * 64
+        data["mt_size"] = 999
+        path.write_text(json.dumps(data))
+        drift = check_golden(str(tmp_path), ["example3"])
+        assert "example3" in drift
+        assert "MT fingerprint" in drift["example3"]
+
+    def test_extended_key_drift_is_detected(self, tmp_path):
+        record = golden_record("example3")
+        path = Path(write_golden(str(tmp_path), record))
+        data = json.loads(path.read_text())
+        data["extended_key"] = ["name"]
+        path.write_text(json.dumps(data))
+        drift = check_golden(str(tmp_path), ["example3"])
+        assert "extended key" in drift["example3"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GoldenCorpusError, match="missing"):
+            load_golden(str(tmp_path), "example3")
+
+    def test_malformed_file_raises(self, tmp_path):
+        (tmp_path / "example3.json").write_text("{not json")
+        with pytest.raises(GoldenCorpusError, match="malformed"):
+            load_golden(str(tmp_path), "example3")
+
+    def test_wrong_format_raises(self, tmp_path):
+        record = golden_record("example3")
+        path = Path(write_golden(str(tmp_path), record))
+        data = json.loads(path.read_text())
+        data["format"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(GoldenCorpusError, match="format"):
+            load_golden(str(tmp_path), "example3")
+
+    def test_update_golden_writes_all(self, tmp_path):
+        paths = update_golden(str(tmp_path), ["example3"])
+        assert len(paths) == 1
+        assert check_golden(str(tmp_path), ["example3"]) == {}
+
+
+class TestCommittedCorpus:
+    """The drift gate on the corpus actually committed to the repo."""
+
+    def test_corpus_files_exist_for_every_workload(self):
+        for name in GOLDEN_WORKLOADS:
+            assert (COMMITTED / f"{name}.json").exists(), name
+
+    def test_committed_example3_has_not_drifted(self):
+        assert check_golden(str(COMMITTED), ["example3"]) == {}
+
+    @pytest.mark.slow
+    def test_committed_corpus_has_not_drifted(self):
+        assert check_golden(str(COMMITTED)) == {}

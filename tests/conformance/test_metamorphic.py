@@ -1,0 +1,142 @@
+"""Metamorphic relations: known input transforms, known output transforms."""
+
+import pytest
+
+from repro.conformance import (
+    CanonicalTables,
+    ConformanceError,
+    MetamorphicCase,
+    default_cases,
+    rename_attributes,
+    run_metamorphic,
+    shuffle_tuples,
+    swap_sides,
+    union_split,
+)
+from repro.workloads import (
+    EmployeeWorkloadSpec,
+    PublicationWorkloadSpec,
+    RestaurantWorkloadSpec,
+    employee_workload,
+    publication_workload,
+    restaurant_workload,
+)
+
+
+@pytest.fixture
+def workload():
+    return restaurant_workload(RestaurantWorkloadSpec(n_entities=10, seed=3))
+
+
+class TestCaseConstruction:
+    def test_shuffle_preserves_rows(self, workload):
+        case = shuffle_tuples(workload, seed=1)
+        (shuffled,) = case.workloads
+        assert shuffled.r.row_set == workload.r.row_set
+        assert shuffled.s.row_set == workload.s.row_set
+
+    def test_rename_rewrites_schema_ilfds_and_key(self, workload):
+        case = rename_attributes(workload)
+        (renamed,) = case.workloads
+        assert all(name.endswith("_x") for name in renamed.r.schema.names)
+        assert all(name.endswith("_x") for name in renamed.extended_key)
+        for ilfd in renamed.ilfds:
+            attrs = ilfd.antecedent_attributes | ilfd.consequent_attributes
+            assert all(attr.endswith("_x") for attr in attrs)
+
+    def test_rename_rejects_unknown_attributes(self, workload):
+        with pytest.raises(ConformanceError):
+            rename_attributes(workload, {"no_such_attr": "y"})
+
+    def test_swap_exchanges_relations(self, workload):
+        case = swap_sides(workload)
+        (swapped,) = case.workloads
+        assert swapped.r is workload.s
+        assert swapped.s is workload.r
+
+    def test_union_split_partitions_r(self, workload):
+        case = union_split(workload, seed=2)
+        first, second = case.workloads
+        assert first.r.row_set | second.r.row_set == workload.r.row_set
+        assert not (first.r.row_set & second.r.row_set)
+
+    def test_union_split_needs_two_rows(self, workload):
+        from repro.relational.relation import Relation
+        from repro.workloads.generator import Workload
+
+        tiny = Workload(
+            r=Relation(workload.r.schema, [workload.r.rows[0]]),
+            s=workload.s,
+            ilfds=workload.ilfds,
+            extended_key=workload.extended_key,
+            truth=frozenset(),
+        )
+        with pytest.raises(ConformanceError):
+            union_split(tiny)
+
+
+@pytest.mark.parametrize(
+    "family,factory",
+    [
+        ("restaurants", lambda: restaurant_workload(
+            RestaurantWorkloadSpec(n_entities=10, seed=3))),
+        ("employees", lambda: employee_workload(
+            EmployeeWorkloadSpec(n_entities=10, seed=3))),
+        ("publications", lambda: publication_workload(
+            PublicationWorkloadSpec(n_entities=10, seed=3))),
+    ],
+)
+class TestRelationsHold:
+    def test_all_relations_hold(self, family, factory):
+        report = run_metamorphic(factory(), name=family)
+        assert report.ok, report.summary()
+        assert {o.name for o in report.outcomes} == {
+            "shuffle-tuples",
+            "rename-attributes",
+            "swap-sides",
+            "union-split",
+        }
+
+
+class TestFailureDetection:
+    def test_wrong_expectation_is_flagged(self, workload):
+        """A deliberately wrong transform must produce a failing outcome."""
+
+        def drop_everything(tables):
+            return CanonicalTables(mt=(), nmt=())
+
+        bogus = MetamorphicCase(
+            name="bogus-drop", workloads=(workload,), expected=drop_everything
+        )
+        report = run_metamorphic(workload, [bogus], name="r")
+        assert not report.ok
+        outcome = report.outcomes[0]
+        assert outcome.name == "bogus-drop"
+        assert outcome.mt_diff["only_b"], "actual-only pairs must be listed"
+        assert "FAILED" in outcome.summary()
+
+    def test_metrics_emitted(self, workload):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        report = run_metamorphic(workload, name="r", tracer=tracer)
+        assert report.ok
+        assert tracer.metrics.counter("conformance.metamorphic_cases") == 4
+        assert tracer.metrics.counter("conformance.metamorphic_failures") == 0
+
+
+class TestSeedStability:
+    def test_default_cases_deterministic(self, workload):
+        first = default_cases(workload, seed=9)
+        second = default_cases(workload, seed=9)
+        for a, b in zip(first, second):
+            assert a.name == b.name
+            assert [w.r.rows for w in a.workloads] == [
+                w.r.rows for w in b.workloads
+            ]
+
+    @pytest.mark.slow
+    def test_relations_hold_across_seeds(self, workload):
+        for seed in range(4):
+            report = run_metamorphic(workload, name="r", seed=seed)
+            assert report.ok, report.summary()

@@ -1,0 +1,369 @@
+"""Section-3 oracles: green on correct runs, loud on provoked violations."""
+
+import pytest
+
+from repro.conformance import (
+    Knowledge,
+    TableSnapshot,
+    check_completeness,
+    check_consistency,
+    check_monotonicity,
+    check_soundness,
+    check_uniqueness,
+    monotonicity_snapshots,
+    run_oracles,
+)
+from repro.core.identifier import EntityIdentifier
+from repro.core.matching_table import (
+    MatchEntry,
+    MatchingTable,
+    NegativeMatchingTable,
+    key_values,
+)
+from repro.ilfd.ilfd import ILFD
+from repro.workloads import (
+    RestaurantWorkloadSpec,
+    restaurant_example_3,
+    restaurant_workload,
+)
+
+
+@pytest.fixture
+def workload():
+    return restaurant_workload(RestaurantWorkloadSpec(n_entities=10, seed=3))
+
+
+@pytest.fixture
+def knowledge(workload):
+    return Knowledge.from_workload(workload)
+
+
+@pytest.fixture
+def result(workload):
+    return EntityIdentifier(
+        workload.r,
+        workload.s,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    ).run()
+
+
+def _entry(r_row, s_row, r_attrs, s_attrs):
+    return MatchEntry(
+        r_row, s_row, key_values(r_row, r_attrs), key_values(s_row, s_attrs)
+    )
+
+
+class TestKnowledge:
+    def test_from_workload(self, workload, knowledge):
+        assert knowledge.extended_key == tuple(workload.extended_key)
+        assert set(knowledge.ilfds) == set(workload.ilfds)
+
+    def test_extend_chases_the_extended_key(self, knowledge, workload):
+        extended_r, extended_s = knowledge.extend(workload.r, workload.s)
+        for attr in knowledge.extended_key:
+            assert attr in extended_r.schema
+            assert attr in extended_s.schema
+
+    def test_rule_engine_includes_ilfd_duals(self, knowledge):
+        engine = knowledge.rule_engine()
+        assert len(engine.distinctness_rules) > 0
+
+    def test_with_ilfds(self, knowledge):
+        cut = knowledge.with_ilfds(list(knowledge.ilfds)[:1])
+        assert len(list(cut.ilfds)) == 1
+        assert cut.extended_key == knowledge.extended_key
+
+
+class TestSoundnessOracle:
+    def test_clean_run_is_sound(self, result, knowledge):
+        report = check_soundness(result.matching, knowledge)
+        assert report.ok
+        assert report.oracle == "soundness"
+        assert report.checked == len(result.matching)
+
+    def test_underivable_match_is_reported(self, result, knowledge):
+        """An MT entry pairing rows that share no extended key values."""
+        unmatched_r = [
+            row
+            for row in result.extended_r
+            for s_row in result.extended_s
+            if row["name"] != s_row["name"]
+        ]
+        s_row = result.extended_s.rows[0]
+        r_row = next(r for r in unmatched_r if r["name"] != s_row["name"])
+        tampered = MatchingTable(list(result.matching))
+        tampered.add(
+            _entry(
+                r_row,
+                s_row,
+                result.matching.r_key_attributes,
+                result.matching.s_key_attributes,
+            )
+        )
+        report = check_soundness(tampered, knowledge)
+        assert not report.ok
+        assert report.violations[0].kind == "underivable-match"
+        assert report.violations[0].r_key is not None
+        assert "not derivable" in str(report.violations[0])
+
+    def test_asserted_pairs_are_exempt(self, result, knowledge):
+        s_row = result.extended_s.rows[0]
+        r_row = next(
+            r for r in result.extended_r if r["name"] != s_row["name"]
+        )
+        entry = _entry(
+            r_row,
+            s_row,
+            result.matching.r_key_attributes,
+            result.matching.s_key_attributes,
+        )
+        tampered = MatchingTable(list(result.matching) + [entry])
+        report = check_soundness(
+            tampered, knowledge, asserted={entry.pair}
+        )
+        assert report.ok
+
+
+class TestCompletenessOracle:
+    def test_clean_run_is_complete(self, result, knowledge):
+        report = check_completeness(
+            result.matching,
+            result.negative,
+            result.extended_r,
+            result.extended_s,
+            knowledge,
+        )
+        assert report.ok
+        assert report.checked == len(result.extended_r) * len(result.extended_s)
+
+    def test_missing_match_is_reported(self, result, knowledge):
+        entries = list(result.matching)
+        assert entries, "workload must produce at least one match"
+        truncated = MatchingTable(
+            entries[1:],
+            r_key_attributes=result.matching.r_key_attributes,
+            s_key_attributes=result.matching.s_key_attributes,
+        )
+        report = check_completeness(
+            truncated,
+            result.negative,
+            result.extended_r,
+            result.extended_s,
+            knowledge,
+        )
+        assert not report.ok
+        kinds = {v.kind for v in report.violations}
+        assert "missing-match" in kinds
+        dropped = entries[0]
+        assert any(
+            v.r_key == dropped.r_key and v.s_key == dropped.s_key
+            for v in report.violations
+        )
+
+    def test_missing_non_match_is_reported(self, result, knowledge):
+        entries = list(result.negative)
+        assert entries, "workload must produce at least one non-match"
+        truncated = NegativeMatchingTable(
+            entries[1:],
+            r_key_attributes=result.negative.r_key_attributes,
+            s_key_attributes=result.negative.s_key_attributes,
+        )
+        report = check_completeness(
+            result.matching,
+            truncated,
+            result.extended_r,
+            result.extended_s,
+            knowledge,
+        )
+        assert not report.ok
+        assert "missing-non-match" in {v.kind for v in report.violations}
+
+    def test_rule_conflict_is_reported(self):
+        """Identity and distinctness firing together: kabul's name matches
+        but the Mughalai ILFD dual contradicts its cuisine."""
+        example = restaurant_example_3()
+        knowledge = Knowledge(
+            extended_key=("name",),
+            ilfds=example.ilfds,
+        )
+        extended_r, extended_s = knowledge.extend(example.r, example.s)
+        empty_mt = MatchingTable(
+            r_key_attributes=("cuisine", "name"),
+            s_key_attributes=("name", "speciality"),
+        )
+        empty_nmt = NegativeMatchingTable()
+        report = check_completeness(
+            empty_mt, empty_nmt, extended_r, extended_s, knowledge
+        )
+        assert not report.ok
+        assert "rule-conflict" in {v.kind for v in report.violations}
+
+
+class TestUniquenessOracle:
+    def test_clean_run_is_unique(self, result):
+        report = check_uniqueness(result.matching)
+        assert report.ok
+
+    def test_multiply_matched_keys_are_reported(self, result):
+        entries = list(result.matching)
+        assert entries
+        base = entries[0]
+        other_s = next(
+            row
+            for row in result.extended_s
+            if key_values(row, result.matching.s_key_attributes) != base.s_key
+        )
+        tampered = MatchingTable(
+            entries
+            + [
+                _entry(
+                    base.r_row,
+                    other_s,
+                    result.matching.r_key_attributes,
+                    result.matching.s_key_attributes,
+                )
+            ]
+        )
+        report = check_uniqueness(tampered)
+        assert not report.ok
+        assert "r-key-multiply-matched" in {v.kind for v in report.violations}
+        # The offending R key is named in the witness.
+        assert any(v.r_key == base.r_key for v in report.violations)
+
+    def test_s_side_violation_kind(self, result):
+        entries = list(result.matching)
+        base = entries[0]
+        other_r = next(
+            row
+            for row in result.extended_r
+            if key_values(row, result.matching.r_key_attributes) != base.r_key
+        )
+        tampered = MatchingTable(
+            entries
+            + [
+                _entry(
+                    other_r,
+                    base.s_row,
+                    result.matching.r_key_attributes,
+                    result.matching.s_key_attributes,
+                )
+            ]
+        )
+        report = check_uniqueness(tampered)
+        assert "s-key-multiply-matched" in {v.kind for v in report.violations}
+
+
+class TestConsistencyOracle:
+    def test_clean_run_is_consistent(self, result):
+        report = check_consistency(result.matching, result.negative)
+        assert report.ok
+
+    def test_pair_in_both_tables_is_reported(self, result):
+        entries = list(result.matching)
+        assert entries
+        overlap = NegativeMatchingTable(
+            list(result.negative) + [entries[0]],
+            r_key_attributes=result.negative.r_key_attributes,
+            s_key_attributes=result.negative.s_key_attributes,
+        )
+        report = check_consistency(result.matching, overlap)
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.kind == "pair-in-both-tables"
+        assert (violation.r_key, violation.s_key) == entries[0].pair
+
+
+class TestMonotonicityOracle:
+    def test_knowledge_growth_is_monotone(self, workload, knowledge):
+        snapshots = monotonicity_snapshots(workload.r, workload.s, knowledge)
+        assert len(snapshots) >= 2
+        report = check_monotonicity(snapshots)
+        assert report.ok
+        # Knowledge growth strictly grows the decided sets somewhere.
+        assert snapshots[0].matching <= snapshots[-1].matching
+        assert snapshots[0].non_matching <= snapshots[-1].non_matching
+
+    def test_match_retraction_is_reported(self):
+        pair = ((("name", "kabul"),), (("name", "kabul"),))
+        before = TableSnapshot(
+            "step0", frozenset({pair}), frozenset()
+        )
+        after = TableSnapshot("step1", frozenset(), frozenset())
+        report = check_monotonicity([before, after])
+        assert not report.ok
+        assert report.violations[0].kind == "match-retracted"
+        assert "step0" in report.violations[0].message
+
+    def test_non_match_retraction_is_reported(self):
+        pair = ((("name", "kabul"),), (("name", "wursthaus"),))
+        before = TableSnapshot("k0", frozenset(), frozenset({pair}))
+        after = TableSnapshot("k1", frozenset(), frozenset())
+        report = check_monotonicity([before, after])
+        assert not report.ok
+        assert report.violations[0].kind == "non-match-retracted"
+
+    def test_single_snapshot_is_trivially_monotone(self):
+        report = check_monotonicity(
+            [TableSnapshot("only", frozenset(), frozenset())]
+        )
+        assert report.ok
+        assert report.checked == 0
+
+
+class TestRunOracles:
+    def test_bundle_green_on_clean_run(self, result, knowledge):
+        report = run_oracles(
+            result.matching,
+            result.negative,
+            result.extended_r,
+            result.extended_s,
+            knowledge,
+        )
+        assert report.ok
+        assert {r.oracle for r in report.reports} == {
+            "soundness",
+            "completeness",
+            "uniqueness",
+            "consistency",
+        }
+        assert report.report_for("soundness") is not None
+        assert report.report_for("nonexistent") is None
+        assert report.violations == ()
+
+    def test_bundle_reports_violations_and_metrics(self, result, knowledge):
+        from repro.observability import Tracer
+
+        entries = list(result.matching)
+        overlap = NegativeMatchingTable(
+            list(result.negative) + [entries[0]],
+            r_key_attributes=result.negative.r_key_attributes,
+            s_key_attributes=result.negative.s_key_attributes,
+        )
+        tracer = Tracer()
+        report = run_oracles(
+            result.matching,
+            overlap,
+            result.extended_r,
+            result.extended_s,
+            knowledge,
+            tracer=tracer,
+        )
+        assert not report.ok
+        assert any(v.kind == "pair-in-both-tables" for v in report.violations)
+        assert tracer.metrics.counter("conformance.oracle_checks") > 0
+        assert tracer.metrics.counter("conformance.oracle_violations") >= 1
+
+    def test_report_serialises(self, result, knowledge):
+        import json
+
+        report = run_oracles(
+            result.matching,
+            result.negative,
+            result.extended_r,
+            result.extended_s,
+            knowledge,
+        )
+        payload = json.dumps(report.to_dict())
+        assert '"soundness"' in payload
+        assert "ok" in report.summary() or "VIOLATED" in report.summary()

@@ -1,4 +1,6 @@
-"""Shared fixtures: the paper's worked examples and small relations."""
+"""Shared fixtures, hypothesis profiles, and the --runslow gate."""
+
+import os
 
 import pytest
 
@@ -10,6 +12,59 @@ from repro.workloads import (
     restaurant_example_2,
     restaurant_example_3,
 )
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles
+#
+# "ci" (the default) is fully reproducible: derandomized with a pinned
+# seed and no example database, so a property failure on one machine is
+# the same failure everywhere.  "dev" spends a larger example budget and
+# keeps the shrink database for local exploration.  Select with
+# HYPOTHESIS_PROFILE=dev (or =ci explicitly).
+# ----------------------------------------------------------------------
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        database=None,
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "dev",
+        max_examples=200,
+        deadline=None,
+        print_blob=True,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is normally present
+    pass
+
+
+# ----------------------------------------------------------------------
+# Slow-test gate: heavyweight conformance matrix cells are marked
+# @pytest.mark.slow and skipped unless --runslow is given.
+# ----------------------------------------------------------------------
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (full differential matrices, "
+        "larger workloads)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

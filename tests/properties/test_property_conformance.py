@@ -1,0 +1,100 @@
+"""Property-based tests of the conformance layer (repro.conformance).
+
+Canonicalisation is the foundation every oracle, differential cell, and
+golden fingerprint rests on, so its algebra is pinned down here:
+
+- canonical form is invariant under input permutation and idempotent;
+- fingerprints are deterministic and separate distinct pair sets;
+- ``diff_pairs`` is empty exactly on set-equal inputs and its two sides
+  are disjoint;
+- a differential baseline cell is invariant under tuple order
+  (the smallest metamorphic relation, checked under hypothesis).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conformance import (
+    canonical_pairs,
+    diff_pairs,
+    fingerprint_pairs,
+    run_cell,
+    shuffle_tuples,
+    strict_matrix,
+)
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+values = st.one_of(
+    st.text(max_size=8),
+    st.integers(min_value=-1000, max_value=1000),
+    st.none(),
+)
+
+keys = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]), values),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda kv: kv[0],
+).map(lambda kvs: tuple(sorted(kvs)))
+
+pair_sets = st.lists(st.tuples(keys, keys), max_size=12).map(
+    lambda ps: list(dict.fromkeys(ps))
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=pair_sets, seed=st.integers(min_value=0, max_value=10_000))
+def test_canonical_pairs_is_permutation_invariant(pairs, seed):
+    shuffled = list(pairs)
+    random.Random(seed).shuffle(shuffled)
+    assert canonical_pairs(pairs) == canonical_pairs(shuffled)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=pair_sets)
+def test_canonical_pairs_is_sorted_and_fingerprint_deterministic(pairs):
+    canonical = canonical_pairs(pairs)
+    assert list(canonical) == sorted(canonical)
+    assert fingerprint_pairs(canonical) == fingerprint_pairs(reversed(canonical))
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=pair_sets)
+def test_fingerprint_separates_distinct_sets(pairs):
+    canonical = canonical_pairs(pairs)
+    if not canonical:
+        return
+    smaller = canonical[1:]
+    assert fingerprint_pairs(canonical) != fingerprint_pairs(smaller)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=pair_sets, other=pair_sets)
+def test_diff_pairs_empty_iff_equal(pairs, other):
+    a = canonical_pairs(pairs)
+    b = canonical_pairs(other)
+    diff = diff_pairs(a, b)
+    assert not set(diff["only_a"]) & set(diff["only_b"])
+    if set(a) == set(b):
+        assert diff == {"only_a": [], "only_b": []}
+    else:
+        assert diff["only_a"] or diff["only_b"]
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=10),
+    workload_seed=st.integers(min_value=0, max_value=500),
+    shuffle_seed=st.integers(min_value=0, max_value=500),
+)
+def test_baseline_cell_is_tuple_order_invariant(n, workload_seed, shuffle_seed):
+    workload = restaurant_workload(
+        RestaurantWorkloadSpec(n_entities=n, seed=workload_seed)
+    )
+    (shuffled,) = shuffle_tuples(workload, seed=shuffle_seed).workloads
+    baseline = strict_matrix()[0]
+    assert run_cell(workload, baseline).tables == run_cell(
+        shuffled, baseline
+    ).tables

@@ -1,0 +1,113 @@
+"""Property-based tests of the discovery layer (repro.discovery).
+
+On generated restaurant workloads:
+
+- every ILFD :func:`mine_ilfds` reports as exceptionless actually holds
+  on every tuple of the mined instance (no false positives);
+- mined support/confidence are consistent with the instance;
+- every key :func:`suggest_extended_keys` marks sound verifies —
+  identification under it satisfies the uniqueness constraint — and at
+  least one sound key is always suggested (the suggester prefers
+  minimal keys, so the full generating key itself may be absent when a
+  proper subset is already unique).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identifier import EntityIdentifier
+from repro.discovery import mine_ilfds, suggest_extended_keys
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+specs = st.builds(
+    RestaurantWorkloadSpec,
+    n_entities=st.integers(min_value=5, max_value=25),
+    name_pool=st.just(25),
+    derivable_fraction=st.floats(min_value=0.5, max_value=1.0),
+    overlap=st.floats(min_value=0.2, max_value=0.6),
+    r_only=st.floats(min_value=0.0, max_value=0.2),
+    s_only=st.floats(min_value=0.0, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=specs)
+def test_mined_exceptionless_ilfds_hold_on_the_instance(spec):
+    workload = restaurant_workload(spec)
+    mined = mine_ilfds(workload.r, max_antecedent=2, min_support=2)
+    for candidate in mined:
+        if not candidate.is_exceptionless:
+            continue
+        assert not any(
+            candidate.ilfd.violated_by(row) for row in workload.r
+        ), f"{candidate.ilfd!r} reported exceptionless but is violated"
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=specs)
+def test_mined_statistics_are_consistent(spec):
+    workload = restaurant_workload(spec)
+    for candidate in mine_ilfds(workload.r, max_antecedent=1, min_support=2):
+        applicable = sum(
+            1
+            for row in workload.r
+            if candidate.ilfd.antecedent_holds_in(row)
+        )
+        satisfied = sum(
+            1 for row in workload.r if candidate.ilfd.satisfied_by(row)
+        )
+        assert candidate.support <= applicable
+        assert 0.0 < candidate.confidence <= 1.0
+        if candidate.is_exceptionless:
+            assert satisfied == applicable
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=specs)
+def test_suggested_sound_keys_verify_unique(spec):
+    workload = restaurant_workload(spec)
+    suggestions = suggest_extended_keys(
+        workload.r,
+        workload.s,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+        include_unsound=True,
+    )
+    for suggestion in suggestions:
+        identifier = EntityIdentifier(
+            workload.r,
+            workload.s,
+            list(suggestion.key),
+            ilfds=list(workload.ilfds),
+        )
+        report = identifier.verify()
+        assert report.is_sound == suggestion.is_sound, suggestion
+        if suggestion.is_sound:
+            assert identifier.matching_table().uniqueness_violations() == {
+                "R": [],
+                "S": [],
+            }
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=specs)
+def test_some_sound_key_is_always_suggested(spec):
+    """The generating universe guarantees the full extended key is
+    unique, so the suggester — which prefers minimal keys — must find at
+    least one sound key, and the full key itself must verify."""
+    workload = restaurant_workload(spec)
+    suggestions = suggest_extended_keys(
+        workload.r,
+        workload.s,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    )
+    assert any(s.is_sound for s in suggestions)
+    full_key = EntityIdentifier(
+        workload.r,
+        workload.s,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    ).verify()
+    assert full_key.is_sound

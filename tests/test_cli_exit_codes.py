@@ -1,0 +1,162 @@
+"""The exit-code contract of every verdict-bearing subcommand.
+
+All ``repro`` subcommands speak the same three-way protocol:
+
+- **0** — green: the run completed and the verdict is clean (sound key,
+  conformance all green, resume verified);
+- **1** — degraded: the run completed but the verdict is qualified
+  (unsound key, conformance mismatch/drift, salvaged session);
+- **2** — fatal: the run could not produce a trustworthy result
+  (usage error, damaged checkpoint without --salvage, unrecoverable
+  faults).
+
+These are contract tests: scripts and the CI pipeline branch on these
+codes, so the mapping is pinned here across ``identify``, ``resume``
+(including ``--salvage``), and ``conform``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+IDENTIFY_ARGS = [
+    "--r-key", "name,cuisine",
+    "--s-key", "name,speciality",
+    "--ilfd", "speciality=Mughalai -> cuisine=Indian",
+]
+
+
+@pytest.fixture
+def csvs(tmp_path):
+    r_path = tmp_path / "R.csv"
+    r_path.write_text(
+        "name,cuisine,street\n"
+        "TwinCities,Chinese,Wash.Ave.\n"
+        "TwinCities,Indian,Univ.Ave.\n"
+    )
+    s_path = tmp_path / "S.csv"
+    s_path.write_text("name,speciality,city\nTwinCities,Mughalai,St.Paul\n")
+    return r_path, s_path
+
+
+@pytest.fixture
+def checkpoint(csvs, tmp_path):
+    r_path, s_path = csvs
+    ckpt = tmp_path / "session.sqlite"
+    status = main(
+        ["checkpoint", str(r_path), str(s_path), str(ckpt),
+         *IDENTIFY_ARGS, "--extended-key", "name,cuisine", "--quiet"]
+    )
+    assert status == 0
+    return ckpt
+
+
+class TestIdentifyExitCodes:
+    def test_sound_key_exits_zero(self, csvs):
+        r_path, s_path = csvs
+        assert main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--extended-key", "name,cuisine", "--quiet"]
+        ) == 0
+
+    def test_unsound_key_exits_one(self, csvs):
+        r_path, s_path = csvs
+        assert main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--extended-key", "name", "--quiet"]
+        ) == 1
+
+    def test_usage_error_exits_two(self, csvs, capsys):
+        r_path, s_path = csvs
+        assert main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--extended-key", "name,cuisine",
+             "--workers", "0", "--quiet"]
+        ) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_unrecoverable_fault_exits_two(self, csvs, tmp_path, capsys):
+        r_path, s_path = csvs
+        assert main(
+            ["identify", str(r_path), str(s_path), *IDENTIFY_ARGS,
+             "--extended-key", "name,cuisine",
+             "--store", f"sqlite:{tmp_path / 'run.sqlite'}",
+             "--retries", "2", "--quiet",
+             "--inject-faults", "store.commit:error@0..9"]
+        ) == 2
+        assert "store.commit" in capsys.readouterr().err
+
+
+class TestResumeExitCodes:
+    def test_clean_resume_exits_zero(self, checkpoint):
+        assert main(["resume", str(checkpoint), "--quiet"]) == 0
+
+    def test_damaged_checkpoint_exits_two_without_salvage(
+        self, checkpoint, capsys
+    ):
+        with open(checkpoint, "r+b") as handle:
+            handle.truncate(os.path.getsize(checkpoint) // 2)
+        assert main(["resume", str(checkpoint), "--quiet"]) == 2
+        assert "--salvage" in capsys.readouterr().err
+
+    def test_salvaged_session_exits_one(self, csvs, checkpoint, tmp_path):
+        r_path, s_path = csvs
+        with open(checkpoint, "r+b") as handle:
+            handle.truncate(int(os.path.getsize(checkpoint) * 0.4))
+        assert main(
+            ["resume", str(checkpoint), "--salvage",
+             "--salvage-out", str(tmp_path / "rebuilt.sqlite"),
+             "--salvage-r", str(r_path), "--salvage-r-key", "name,cuisine",
+             "--salvage-s", str(s_path), "--salvage-s-key",
+             "name,speciality",
+             "--salvage-extended-key", "name,cuisine", "--quiet"]
+        ) == 1
+
+    def test_missing_checkpoint_exits_two(self, tmp_path):
+        assert main(
+            ["resume", str(tmp_path / "nowhere.sqlite"), "--quiet"]
+        ) == 2
+
+
+class TestConformExitCodes:
+    def test_green_run_exits_zero(self):
+        assert main(
+            ["conform", "restaurants", "--entities", "6",
+             "--matrix", "none", "--quiet"]
+        ) == 0
+
+    def test_golden_drift_exits_one(self, tmp_path):
+        golden_dir = tmp_path / "golden"
+        assert main(
+            ["conform", "--matrix", "none", "--no-oracles",
+             "--no-metamorphic", "--golden", str(golden_dir),
+             "--golden-workload", "example3", "--update-golden",
+             "--quiet"]
+        ) == 0
+        path = golden_dir / "example3.json"
+        data = json.loads(path.read_text())
+        data["nmt_fingerprint"] = "0" * 64
+        path.write_text(json.dumps(data))
+        assert main(
+            ["conform", "--matrix", "none", "--no-oracles",
+             "--no-metamorphic", "--golden", str(golden_dir),
+             "--golden-workload", "example3", "--quiet"]
+        ) == 1
+
+    def test_unknown_workload_exits_two(self, capsys):
+        assert main(["conform", "klingons", "--matrix", "none"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_json_verdict_matches_exit_code(self, capsys):
+        status = main(
+            ["conform", "restaurants", "--entities", "6",
+             "--matrix", "none", "--no-metamorphic", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["ok"] is True
+        assert payload["workloads"]["restaurants"]["oracles"]["ok"] is True
