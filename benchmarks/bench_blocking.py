@@ -24,7 +24,6 @@ import argparse
 import itertools
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -248,6 +247,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="output JSON path (default: BENCH_blocking.json at the repo root)",
     )
     parser.add_argument(
+        "--history",
+        default=None,
+        help="bench-history JSONL to append to "
+        "(default: BENCH_HISTORY.jsonl at the repo root)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="one small size, assert reduction ratio > 0, skip the file write",
@@ -262,12 +267,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         assert result["mt_equal"], "blocked matching table diverged"
         return 0
 
+    from conftest import env_header
+    from history import record_series
+
     sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
     cpu_count = os.cpu_count() or 1
     report = {
         "bench": "blocking",
-        "python": platform.python_version(),
-        "cpu_count": cpu_count,
+        "env": env_header(),
         "sizes": [],
         "executor": None,
     }
@@ -303,8 +310,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"  executor: serial {executor['serial_ms']}ms vs "
             f"process{executor['workers']} {executor[parallel_key]}ms "
-            f"(cpu_count={report['cpu_count']})"
+            f"(cpu_count={cpu_count})"
         )
+
+    largest = report["sizes"][-1]
+    record_series(
+        "blocking",
+        [
+            (
+                "hash_pipeline_mt",
+                "latency",
+                largest["hash"]["pipeline_mt_ms"],
+                largest["rows_r"],
+            ),
+            (
+                "hash_generate",
+                "latency",
+                largest["hash"]["generate_ms"],
+                largest["rows_r"],
+            ),
+        ],
+        env=report["env"],
+        history_path=args.history,
+    )
     return 0
 
 

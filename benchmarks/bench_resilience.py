@@ -27,7 +27,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -323,6 +322,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="output JSON path (default: BENCH_resilience.json at the repo root)",
     )
     parser.add_argument(
+        "--history",
+        default=None,
+        help="bench-history JSONL to append to "
+        "(default: BENCH_HISTORY.jsonl at the repo root)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="one small size, assert recovery equivalence, skip the file write",
@@ -340,12 +345,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         assert recovery["matches_equal"], "crash recovery changed the result"
         return 0
 
+    from conftest import env_header
+    from history import record_series
+
     sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
-    cpu_count = os.cpu_count() or 1
     report = {
         "bench": "resilience",
-        "python": platform.python_version(),
-        "cpu_count": cpu_count,
+        "env": env_header(),
         "overhead": [],
         "recovery": None,
         "salvage": None,
@@ -394,6 +400,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "  WARNING: overhead at the largest size exceeds the 5% budget",
             file=sys.stderr,
         )
+
+    record_series(
+        "resilience",
+        [
+            (
+                "resilient_idle",
+                "latency",
+                largest["resilient_idle_ms"],
+                largest["rows_r"],
+            ),
+            (
+                "recovery_latency",
+                "latency",
+                recovery["recovery_latency_ms"],
+                recovery["rows_r"],
+            ),
+        ],
+        env=report["env"],
+        history_path=args.history,
+    )
     return 0
 
 

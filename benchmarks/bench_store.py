@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
@@ -165,6 +164,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="output JSON path (default: BENCH_store.json at the repo root)",
     )
     parser.add_argument(
+        "--history",
+        default=None,
+        help="bench-history JSONL to append to "
+        "(default: BENCH_HISTORY.jsonl at the repo root)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="one small size, assert resume ≡ cold rebuild, skip the file write",
@@ -181,10 +186,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         assert result["identical"], "resumed session diverged from cold rebuild"
         return 0
 
+    from conftest import env_header
+    from history import record_series
+
     sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
     report = {
         "bench": "store",
-        "python": platform.python_version(),
+        "env": env_header(),
         "writes": [],
         "resume": [],
     }
@@ -206,6 +214,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{resume['resume_ms']}ms vs rebuild {resume['cold_rebuild_ms']}ms "
             f"(x{resume['speedup']}, identical={resume['identical']})"
         )
+
+    largest_writes = report["writes"][-1]
+    largest_resume = report["resume"][-1]
+    record_series(
+        "store",
+        [
+            (
+                "sqlite_txn_writes",
+                "throughput",
+                largest_writes["sqlite_txn_entries_per_s"],
+                largest_writes["entries"],
+            ),
+            (
+                "resume",
+                "latency",
+                largest_resume["resume_ms"],
+                largest_resume["rows_r"],
+            ),
+        ],
+        env=report["env"],
+        history_path=args.history,
+    )
     return 0
 
 

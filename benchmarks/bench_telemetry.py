@@ -1,0 +1,332 @@
+"""X5 — telemetry: phase-profiler overhead and run-ledger throughput.
+
+Two modes:
+
+- pytest-benchmark (the harness this directory shares): small workloads,
+  asserting that a run profiled with ``--profile`` (RSS sampling at span
+  boundaries) produces the identical matching table while timing it
+  against the plain traced run.
+- script mode (``python benchmarks/bench_telemetry.py``): the
+  characterisation written machine-readable to ``BENCH_telemetry.json``
+  — traced vs RSS-profiled pipeline wall-clock at increasing sizes
+  (the ≤5 % profiler budget is asserted at the largest size), the
+  tracemalloc mode's cost measured once for documentation (it is
+  opt-in precisely because it is ~2×), and run-ledger append/read
+  throughput.  ``--smoke`` runs one small size, asserts equivalence,
+  and skips the file writes (the CI check).
+
+Honesty notes, recorded in the JSON itself: traced and profiled arms
+interleave and take the best of N reps, so host noise hits both alike;
+the tracemalloc arm is measured with a single rep because its cost is
+dominated by the allocator hook, not by jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Optional, Sequence
+
+import pytest
+
+from repro.blocking import ExtendedKeyHashBlocker
+from repro.core.identifier import EntityIdentifier
+from repro.observability import (
+    PROFILE_RSS,
+    PROFILE_TRACEMALLOC,
+    Tracer,
+)
+from repro.telemetry import RunLedger, RunRecorder, diff_reports
+from repro.workloads import RestaurantWorkloadSpec, restaurant_workload
+
+_ROWS_PER_ENTITY = 0.75
+
+
+def _workload(rows: int):
+    n_entities = max(8, round(rows / _ROWS_PER_ENTITY))
+    return restaurant_workload(
+        RestaurantWorkloadSpec(
+            n_entities=n_entities,
+            name_pool=max(25, n_entities // 2),
+            derivable_fraction=1.0,
+            seed=31,
+        )
+    )
+
+
+def _run(workload, tracer: Tracer):
+    return EntityIdentifier(
+        workload.r,
+        workload.s,
+        workload.extended_key,
+        ilfds=list(workload.ilfds),
+        derive_ilfd_distinctness=False,
+        blocker=ExtendedKeyHashBlocker(),
+        tracer=tracer,
+    ).matching_table()
+
+
+def _traced_tracer() -> Tracer:
+    return Tracer()
+
+
+def _profiled_tracer(mode: str = PROFILE_RSS) -> Tracer:
+    return Tracer(profile=mode)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark mode
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rows", [150, 400])
+def test_traced_run(benchmark, rows):
+    workload = _workload(rows)
+
+    def run():
+        return _run(workload, _traced_tracer())
+
+    matching = benchmark(run)
+    assert matching.pairs() == workload.truth
+
+
+@pytest.mark.parametrize("rows", [150, 400])
+def test_profiled_run(benchmark, rows):
+    workload = _workload(rows)
+    plain = _run(workload, _traced_tracer()).pairs()
+
+    def run():
+        return _run(workload, _profiled_tracer())
+
+    matching = benchmark(run)
+    assert matching.pairs() == plain
+
+
+def test_ledger_append(benchmark, tmp_path):
+    workload = _workload(100)
+    tracer = _traced_tracer()
+    recorder = RunRecorder("identify", {"bench": "telemetry"})
+    _run(workload, tracer)
+    report = recorder.finish(tracer, {"exit_status": 0})
+    ledger = RunLedger(str(tmp_path / "runs.db"))
+
+    def run():
+        return ledger.append(report)
+
+    run_id = benchmark(run)
+    assert ledger.get(run_id).command == "identify"
+    ledger.close()
+
+
+# ----------------------------------------------------------------------
+# Script mode
+# ----------------------------------------------------------------------
+def _time_ms(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def _bench_profile(rows: int, reps: int, *, tracemalloc_arm: bool) -> dict:
+    """Traced vs profiled wall-clock over the identical pipeline."""
+    workload = _workload(rows)
+    plain_pairs = _run(workload, _traced_tracer()).pairs()
+    assert _run(workload, _profiled_tracer()).pairs() == plain_pairs
+
+    traced_times, profiled_times = [], []
+    for _ in range(reps):
+        traced_times.append(_time_ms(lambda: _run(workload, _traced_tracer())))
+        profiled_times.append(
+            _time_ms(lambda: _run(workload, _profiled_tracer()))
+        )
+    traced_ms = min(traced_times)
+    profiled_ms = min(profiled_times)
+    overhead = (profiled_ms - traced_ms) / traced_ms if traced_ms else 0.0
+    result = {
+        "rows_r": len(workload.r),
+        "rows_s": len(workload.s),
+        "traced_ms": round(traced_ms, 1),
+        "profiled_rss_ms": round(profiled_ms, 1),
+        "overhead_fraction": round(overhead, 4),
+        "pairs_equal": True,
+    }
+    if tracemalloc_arm:
+        alloc_ms = _time_ms(
+            lambda: _run(workload, _profiled_tracer(PROFILE_TRACEMALLOC))
+        )
+        result["profiled_tracemalloc_ms"] = round(alloc_ms, 1)
+        result["tracemalloc_overhead_fraction"] = round(
+            (alloc_ms - traced_ms) / traced_ms if traced_ms else 0.0, 4
+        )
+    return result
+
+
+def _bench_ledger(appends: int, tmp_dir: str) -> dict:
+    """Run-ledger append throughput and read/diff latency."""
+    workload = _workload(200)
+    tracer = _profiled_tracer()
+    recorder = RunRecorder("identify", {"bench": "telemetry"})
+    _run(workload, tracer)
+    report = recorder.finish(tracer, {"exit_status": 0, "sound": True})
+
+    ledger = RunLedger(str(Path(tmp_dir) / "bench_runs.db"))
+
+    def append_all():
+        for _ in range(appends):
+            ledger.append(report)
+
+    append_ms = _time_ms(append_all)
+    first, last = ledger.run_ids()[0], ledger.run_ids()[-1]
+    get_ms = _time_ms(lambda: ledger.get(last))
+    diff_ms = _time_ms(
+        lambda: diff_reports(ledger.get(first), ledger.get(last))
+    )
+    size = Path(ledger.path).stat().st_size
+    ledger.close()
+    return {
+        "appends": appends,
+        "append_ms": round(append_ms, 1),
+        "appends_per_s": round(appends / (append_ms / 1000.0), 1)
+        if append_ms
+        else None,
+        "get_ms": round(get_ms, 2),
+        "diff_ms": round(diff_ms, 2),
+        "ledger_bytes": size,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Telemetry bench; writes BENCH_telemetry.json."
+    )
+    parser.add_argument(
+        "--sizes",
+        default="500,2000,5000",
+        help="comma-separated rows-per-side targets (default 500,2000,5000)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=5,
+        help="repetitions per timing (best-of; default 5)",
+    )
+    parser.add_argument(
+        "--appends",
+        type=int,
+        default=200,
+        help="run reports appended in the ledger-throughput measurement",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+        ),
+        help="output JSON path (default: BENCH_telemetry.json at the repo root)",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="bench-history JSONL to append to "
+        "(default: BENCH_HISTORY.jsonl at the repo root)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small size, assert profiled ≡ traced, skip the file writes",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        profile = _bench_profile(300, reps=2, tracemalloc_arm=False)
+        with TemporaryDirectory() as tmp_dir:
+            ledger = _bench_ledger(20, tmp_dir)
+        print(
+            f"smoke: profile_overhead={profile['overhead_fraction']:.2%} "
+            f"ledger={ledger['appends_per_s']}/s"
+        )
+        assert profile["pairs_equal"], "profiling changed the matching table"
+        assert ledger["appends_per_s"], "ledger appended nothing"
+        return 0
+
+    from conftest import env_header
+    from history import record_series
+
+    sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    report = {
+        "bench": "telemetry",
+        "env": env_header(),
+        "profile": [],
+        "ledger": None,
+        "note": "overhead_fraction compares best-of-N interleaved timings of "
+        "the identical traced pipeline with and without --profile's RSS "
+        "sampling at span boundaries; the acceptance threshold is "
+        "overhead <= 5% at the largest size.  tracemalloc "
+        "(--profile-alloc) is measured once for documentation — its "
+        "allocator hook makes it opt-in, not the default.",
+    }
+    for index, rows in enumerate(sizes):
+        print(f"benching profiler overhead at {rows} rows ...", flush=True)
+        report["profile"].append(
+            _bench_profile(
+                rows, args.reps, tracemalloc_arm=(index == len(sizes) - 1)
+            )
+        )
+    print(f"benching ledger throughput at {args.appends} appends ...", flush=True)
+    with TemporaryDirectory() as tmp_dir:
+        report["ledger"] = _bench_ledger(args.appends, tmp_dir)
+
+    largest = report["profile"][-1]
+    report["profile_overhead_ok"] = largest["overhead_fraction"] <= 0.05
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for entry in report["profile"]:
+        print(
+            f"  rows={entry['rows_r']}: traced {entry['traced_ms']}ms, "
+            f"profiled(rss) {entry['profiled_rss_ms']}ms "
+            f"(overhead {entry['overhead_fraction']:.2%})"
+        )
+    if "profiled_tracemalloc_ms" in largest:
+        print(
+            f"  tracemalloc arm: {largest['profiled_tracemalloc_ms']}ms "
+            f"({largest['tracemalloc_overhead_fraction']:.2%} over traced)"
+        )
+    ledger = report["ledger"]
+    print(
+        f"  ledger: {ledger['appends_per_s']}/s appends, get "
+        f"{ledger['get_ms']}ms, diff {ledger['diff_ms']}ms"
+    )
+    if not report["profile_overhead_ok"]:
+        print(
+            "  WARNING: profiler overhead at the largest size exceeds the "
+            "5% budget",
+            file=sys.stderr,
+        )
+
+    record_series(
+        "telemetry",
+        [
+            (
+                "profiled_run",
+                "latency",
+                largest["profiled_rss_ms"],
+                largest["rows_r"],
+            ),
+            (
+                "ledger_append",
+                "throughput",
+                ledger["appends_per_s"],
+                ledger["appends"],
+            ),
+        ],
+        env=report["env"],
+        history_path=args.history,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

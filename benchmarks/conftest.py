@@ -16,11 +16,23 @@ over every benchmark round, so read them as per-run totals × rounds.
 import pytest
 
 from repro.observability import Tracer
+from repro.telemetry import capture_environment
 from repro.workloads import (
     restaurant_example_1,
     restaurant_example_2,
     restaurant_example_3,
 )
+
+
+def env_header():
+    """The environment header every bench report and history record carries.
+
+    One producer for what used to be per-script ``platform.python_version()``
+    / ``os.cpu_count()`` boilerplate: python, platform, machine, cpu_count,
+    git SHA, and a UTC timestamp (see
+    :func:`repro.telemetry.capture_environment`).
+    """
+    return capture_environment()
 
 
 @pytest.fixture

@@ -1,0 +1,77 @@
+"""Shared bench-history recording for the script-mode benches.
+
+``BENCH_*.json`` files are snapshots — each script run overwrites the
+last.  Every bench additionally *appends* its headline series to
+``BENCH_HISTORY.jsonl`` at the repo root through this module, giving
+``repro report bench-check`` a trajectory to gate on: one JSONL record
+per (bench, series, size) carrying the value, its kind (latency or
+throughput), and the full environment header.
+
+Usage from a bench's ``main()``::
+
+    from history import record_series
+
+    record_series(
+        "blocking",
+        [("hash_pipeline_mt", "latency", mt_ms, rows)],
+        env=header,
+    )
+
+Pass ``history_path=None`` (the default) for the repo-root file, or an
+explicit path (tests, ``--history``).  Recording never fails the bench:
+the history file is telemetry, not a result.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:  # script mode: python benchmarks/x.py
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.telemetry import append_history, make_record  # noqa: E402
+
+DEFAULT_HISTORY = _REPO_ROOT / "BENCH_HISTORY.jsonl"
+
+# (series, kind, value, size) — size may be None for unsized series
+Series = Tuple[str, str, float, Optional[int]]
+
+__all__ = ["DEFAULT_HISTORY", "record_series"]
+
+
+def record_series(
+    bench: str,
+    series: Iterable[Series],
+    *,
+    env: Optional[Dict[str, Any]] = None,
+    history_path: Optional[str] = None,
+    baseline: bool = False,
+) -> int:
+    """Append one record per series to the bench history; returns the count.
+
+    Failures are reported to stderr but never raised — a broken history
+    file must not turn a successful bench run into a failure.
+    """
+    path = str(history_path) if history_path else str(DEFAULT_HISTORY)
+    records = [
+        make_record(
+            bench,
+            name,
+            kind,
+            value,
+            size=size,
+            environment=env,
+            baseline=baseline,
+        )
+        for name, kind, value, size in series
+    ]
+    try:
+        count = append_history(path, records)
+    except OSError as exc:  # pragma: no cover - disk-level failure
+        print(f"bench history not recorded ({path}): {exc}", file=sys.stderr)
+        return 0
+    print(f"appended {count} series records to {path}")
+    return count

@@ -25,6 +25,13 @@ Usage::
     repro conform restaurants --matrix strict  # one workload, strict cells
     repro conform --golden tests/conformance/golden --update-golden
 
+    repro identify R.csv S.csv ... --ledger runs.db --profile
+    repro report list --ledger runs.db         # the recorded run history
+    repro report show 3 --ledger runs.db       # one run's full cost picture
+    repro report diff 3 7 --ledger runs.db     # phase/metrics deltas
+    repro report prom --ledger runs.db         # Prometheus text exposition
+    repro report bench-check --threshold 0.15  # the perf-regression gate
+
 Prints the matching table and the soundness verdict (and, with ``--out``,
 writes the merged integrated table).  ILFDs can be given inline
 (``"a=x ∧ b=y -> c=z"``, using ``&`` or ``∧`` between conditions) or as a
@@ -46,6 +53,18 @@ workloads: the differential configuration matrix (every cell must
 produce bit-identical canonical tables), the Section-3 oracles, the
 metamorphic relations, and — with ``--golden DIR`` — the frozen
 golden-corpus drift check (``--update-golden`` re-freezes it).
+
+``--ledger PATH`` appends a structured run report — environment, config,
+phase timings, wall/CPU/peak-memory, throughput, the full metrics
+snapshot, resilience events — to a durable SQLite run ledger after
+``identify``, ``resume``, or ``conform``.  ``--profile`` adds per-span
+memory and counter attribution (cheap RSS sampling at span boundaries;
+``--profile-alloc`` upgrades to exact ``tracemalloc`` deltas at real
+tracing cost).  ``repro report`` reads the ledger back: ``list``,
+``show RUN``, ``diff RUN_A RUN_B``, Prometheus text exposition
+(``prom``), JSONL metric dumps (``jsonl``), and the CI perf gate
+``bench-check``, which exits 1 when a series in BENCH_HISTORY.jsonl
+regresses beyond ``--threshold`` against its recorded baseline.
 
 ``--retries N`` turns on the fault-tolerance machinery: transient
 failures in pair evaluation and store commits are retried with capped
@@ -96,12 +115,14 @@ __all__ = [
     "build_explain_parser",
     "package_version",
     "build_conform_parser",
+    "build_report_parser",
     "identify_main",
     "stats_main",
     "checkpoint_main",
     "resume_main",
     "explain_pair_main",
     "conform_main",
+    "report_main",
     "main",
 ]
 
@@ -113,6 +134,7 @@ _SUBCOMMANDS = (
     "resume",
     "explain-pair",
     "conform",
+    "report",
 )
 
 
@@ -237,6 +259,91 @@ def _make_resilience(args, tracer):
     return retry, injector
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The run-ledger/profiler flags shared by identify/resume/conform."""
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append this run's report (environment, config, phase "
+        "timings, memory, throughput, metrics, resilience events) to the "
+        "SQLite run ledger at PATH; inspect with 'repro report "
+        "list/show/diff --ledger PATH'",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute memory (RSS sampled at span boundaries) and "
+        "counter deltas to each pipeline phase, and print the profile "
+        "tree after the run (<5%% overhead; see BENCH_telemetry.json)",
+    )
+    parser.add_argument(
+        "--profile-alloc",
+        action="store_true",
+        help="like --profile but with exact Python allocation deltas via "
+        "tracemalloc (precise; expect roughly 2x slowdown — never a "
+        "default)",
+    )
+
+
+def _profile_mode(args) -> str:
+    """The Tracer profile mode the --profile/--profile-alloc flags ask for."""
+    from repro.observability import PROFILE_OFF, PROFILE_RSS, PROFILE_TRACEMALLOC
+
+    if getattr(args, "profile_alloc", False):
+        return PROFILE_TRACEMALLOC
+    if getattr(args, "profile", False):
+        return PROFILE_RSS
+    return PROFILE_OFF
+
+
+def _telemetry_config(args, command: str) -> dict:
+    """The args worth freezing into a run report's config block."""
+    config = {"command": command}
+    for name in (
+        "blocker",
+        "workers",
+        "store",
+        "retries",
+        "retry_delay",
+        "inject_faults",
+        "matrix",
+        "entities",
+        "seed",
+        "no_verify",
+        "salvage",
+    ):
+        value = getattr(args, name, None)
+        if value not in (None, False):
+            config[name] = value
+    mode = _profile_mode(args)
+    if mode != "off":
+        config["profile"] = mode
+    return config
+
+
+def _append_run_report(args, command: str, recorder, tracer, outcome) -> int:
+    """Finish *recorder* and append the report to ``--ledger``.
+
+    Returns 0 on success (or when no ledger was requested), 2 when the
+    ledger cannot be opened or appended — mirroring the unwritable
+    ``--trace`` contract.
+    """
+    if not getattr(args, "ledger", None):
+        return 0
+    from repro.telemetry import LedgerError, RunLedger
+
+    run_report = recorder.finish(tracer, outcome=outcome)
+    try:
+        with RunLedger(args.ledger) as ledger:
+            run_id = ledger.append(run_report)
+    except LedgerError as exc:
+        print(f"repro {command}: {exc}", file=sys.stderr)
+        return 2
+    if not getattr(args, "quiet", False) and not getattr(args, "json", False):
+        print(f"run report {run_id} appended to {args.ledger}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro identify`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -350,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ephemeral one; inspect later with 'repro explain-pair PATH ...'",
     )
     _add_resilience_arguments(parser)
+    _add_telemetry_arguments(parser)
     return parser
 
 
@@ -366,6 +474,12 @@ def build_stats_parser() -> argparse.ArgumentParser:
         "--tree",
         action="store_true",
         help="also print the full span tree (every span, nested)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregated spans and metrics as JSON on stdout "
+        "(machine-readable; suppresses the text rendering)",
     )
     return parser
 
@@ -408,12 +522,24 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
             print(suggestion)
         return 0 if sound else 1
 
-    observing = bool(args.trace or args.metrics or args.inject_faults)
+    profile_mode = _profile_mode(args)
+    observing = bool(
+        args.trace
+        or args.metrics
+        or args.inject_faults
+        or args.ledger
+        or profile_mode != "off"
+    )
     tracer = None
+    recorder = None
     if observing:
         from repro.observability import Tracer
 
-        tracer = Tracer()
+        tracer = Tracer(profile=profile_mode)
+    if args.ledger:
+        from repro.telemetry import RunRecorder
+
+        recorder = RunRecorder("identify", _telemetry_config(args, "identify"))
 
     if args.workers < 1:
         print("repro identify: --workers must be >= 1", file=sys.stderr)
@@ -507,6 +633,11 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.quiet:
             print(f"integrated table written to {args.out}")
     if tracer is not None:
+        if profile_mode != "off" and not args.quiet:
+            from repro.observability import format_profile
+
+            print()
+            print(format_profile(tracer))
         if args.metrics:
             from repro.observability import format_metrics
 
@@ -544,6 +675,15 @@ def identify_main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
         status = max(status, 1)
+    if recorder is not None:
+        ledger_status = _append_run_report(
+            args,
+            "identify",
+            recorder,
+            tracer,
+            {"exit_status": status, "sound": report.is_sound},
+        )
+        status = max(status, ledger_status)
     return status
 
 
@@ -561,6 +701,23 @@ def stats_main(argv: Optional[Sequence[str]] = None) -> int:
     except (OSError, ValueError) as exc:
         print(f"repro stats: {exc}", file=sys.stderr)
         return 2
+    if args.json:
+        import json as json_module
+
+        from repro.telemetry import aggregate_phases
+
+        payload = {
+            "trace_file": args.trace_file,
+            "spans": aggregate_phases(spans),
+            "metrics": {
+                "counters": (metrics or {}).get("counters", {}),
+                "histograms": (metrics or {}).get("histograms", {}),
+            },
+        }
+        if args.tree:
+            payload["tree"] = spans
+        print(json_module.dumps(payload, indent=2, sort_keys=False))
+        return 0
     print(format_trace_summary(spans, metrics))
     if args.tree:
         print()
@@ -697,6 +854,7 @@ def build_resume_parser() -> argparse.ArgumentParser:
         help="suppress table printouts (exit status still reports soundness)",
     )
     _add_resilience_arguments(parser)
+    _add_telemetry_arguments(parser)
     return parser
 
 
@@ -815,8 +973,19 @@ def resume_main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.resilience import FaultPlanError
 
     args = build_resume_parser().parse_args(argv)
+    profile_mode = _profile_mode(args)
+    tracer = None
+    recorder = None
+    if args.ledger or profile_mode != "off":
+        from repro.observability import Tracer
+
+        tracer = Tracer(profile=profile_mode)
+    if args.ledger:
+        from repro.telemetry import RunRecorder
+
+        recorder = RunRecorder("resume", _telemetry_config(args, "resume"))
     try:
-        retry, injector = _make_resilience(args, None)
+        retry, injector = _make_resilience(args, tracer)
     except (FaultPlanError, ValueError) as exc:
         print(f"repro resume: {exc}", file=sys.stderr)
         return 2
@@ -825,6 +994,7 @@ def resume_main(argv: Optional[Sequence[str]] = None) -> int:
         identifier = IncrementalIdentifier.resume(
             args.checkpoint_file,
             verify=not args.no_verify,
+            tracer=tracer,
             retry_policy=retry,
             fault_injector=injector,
         )
@@ -894,6 +1064,25 @@ def resume_main(argv: Optional[Sequence[str]] = None) -> int:
     status = 0 if report.is_sound else 1
     if salvaged:
         status = max(status, 1)
+    if tracer is not None and profile_mode != "off" and not args.quiet:
+        from repro.observability import format_profile
+
+        print()
+        print(format_profile(tracer))
+    if recorder is not None:
+        ledger_status = _append_run_report(
+            args,
+            "resume",
+            recorder,
+            tracer,
+            {
+                "exit_status": status,
+                "sound": report.is_sound,
+                "salvaged": salvaged,
+                "added": added,
+            },
+        )
+        status = max(status, ledger_status)
     return status
 
 
@@ -1028,6 +1217,7 @@ def build_conform_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the conformance metrics summary after the run",
     )
+    _add_telemetry_arguments(parser)
     return parser
 
 
@@ -1109,11 +1299,17 @@ def conform_main(argv: Optional[Sequence[str]] = None) -> int:
         print("repro conform: --entities must be >= 2", file=sys.stderr)
         return 2
 
+    profile_mode = _profile_mode(args)
     tracer = None
-    if args.trace or args.metrics:
+    recorder = None
+    if args.trace or args.metrics or args.ledger or profile_mode != "off":
         from repro.observability import Tracer
 
-        tracer = Tracer()
+        tracer = Tracer(profile=profile_mode)
+    if args.ledger:
+        from repro.telemetry import RunRecorder
+
+        recorder = RunRecorder("conform", _telemetry_config(args, "conform"))
 
     degraded = False
     output = {"ok": True, "workloads": {}}
@@ -1197,6 +1393,11 @@ def conform_main(argv: Optional[Sequence[str]] = None) -> int:
     elif not args.quiet:
         print("conformance: " + ("all green" if not degraded else "DEGRADED"))
     if tracer is not None:
+        if profile_mode != "off" and not args.quiet and not args.json:
+            from repro.observability import format_profile
+
+            print()
+            print(format_profile(tracer))
         if args.metrics:
             from repro.observability import format_metrics
 
@@ -1211,7 +1412,253 @@ def conform_main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"repro conform: cannot write trace: {exc}",
                       file=sys.stderr)
                 return 2
-    return 1 if degraded else 0
+    status = 1 if degraded else 0
+    if recorder is not None:
+        ledger_status = _append_run_report(
+            args,
+            "conform",
+            recorder,
+            tracer,
+            {"exit_status": status, "ok": not degraded},
+        )
+        status = max(status, ledger_status)
+    return status
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    """The ``repro report`` argument parser (run-ledger queries)."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Query the telemetry recorded by --ledger and the "
+        "bench history: list/show/diff stored run reports, export them "
+        "as Prometheus text exposition or JSONL, and gate on "
+        "performance regressions against the recorded bench baseline.",
+    )
+    actions = parser.add_subparsers(dest="action", metavar="ACTION")
+    actions.required = True
+
+    def add_ledger(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--ledger",
+            default="runs.db",
+            metavar="PATH",
+            help="run ledger written by --ledger (default runs.db)",
+        )
+
+    list_parser = actions.add_parser(
+        "list", help="one line per recorded run (id, time, command, cost)"
+    )
+    add_ledger(list_parser)
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit the run rows as JSON"
+    )
+
+    show_parser = actions.add_parser(
+        "show", help="one run's full report (default: the newest run)"
+    )
+    add_ledger(show_parser)
+    show_parser.add_argument(
+        "run", nargs="?", type=int, help="run id (default: newest)"
+    )
+    show_parser.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+
+    diff_parser = actions.add_parser(
+        "diff", help="phase-timing and metrics deltas between two runs"
+    )
+    add_ledger(diff_parser)
+    diff_parser.add_argument("run_a", type=int, help="baseline run id")
+    diff_parser.add_argument("run_b", type=int, help="comparison run id")
+
+    prom_parser = actions.add_parser(
+        "prom",
+        help="a run's report in Prometheus text-exposition format",
+    )
+    add_ledger(prom_parser)
+    prom_parser.add_argument(
+        "run", nargs="?", type=int, help="run id (default: newest)"
+    )
+    prom_parser.add_argument(
+        "--out", metavar="FILE", help="write to FILE instead of stdout"
+    )
+
+    jsonl_parser = actions.add_parser(
+        "jsonl",
+        help="metric snapshots as JSON lines (one record per metric)",
+    )
+    add_ledger(jsonl_parser)
+    jsonl_parser.add_argument(
+        "runs", nargs="*", type=int, help="run ids (default: every run)"
+    )
+    jsonl_parser.add_argument(
+        "--out", metavar="FILE", help="write to FILE instead of stdout"
+    )
+
+    check_parser = actions.add_parser(
+        "bench-check",
+        help="exit 1 when a bench series regressed beyond --threshold "
+        "against its recorded baseline",
+    )
+    check_parser.add_argument(
+        "--history",
+        default="BENCH_HISTORY.jsonl",
+        metavar="FILE",
+        help="bench history JSONL (default BENCH_HISTORY.jsonl)",
+    )
+    check_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="allowed latency increase / throughput decrease per series "
+        "(default 0.15 = 15%%)",
+    )
+    check_parser.add_argument(
+        "--same-env",
+        action="store_true",
+        help="only compare records whose environment fingerprint "
+        "(python major.minor, machine, cpu count) matches the newest "
+        "record's",
+    )
+    check_parser.add_argument(
+        "--json", action="store_true", help="emit the verdicts as JSON"
+    )
+    return parser
+
+
+def report_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro report``: 0 ok, 1 regression (bench-check), 2 fatal."""
+    import json as json_module
+    import os
+    import time as time_module
+
+    from repro.telemetry import (
+        HistoryError,
+        LedgerError,
+        RunLedger,
+        check_history,
+        diff_reports,
+        format_verdicts,
+        load_history,
+        metrics_to_jsonl_records,
+        report_to_prometheus,
+    )
+
+    args = build_report_parser().parse_args(argv)
+
+    if args.action == "bench-check":
+        try:
+            if args.threshold <= 0:
+                raise ValueError("--threshold must be > 0")
+            records = load_history(args.history)
+            verdicts = check_history(
+                records, threshold=args.threshold, same_env=args.same_env
+            )
+        except (HistoryError, ValueError) as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(
+                json_module.dumps(
+                    {
+                        "threshold": args.threshold,
+                        "series": [v.to_dict() for v in verdicts],
+                        "regressed": [
+                            v.label() for v in verdicts if v.regressed
+                        ],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(format_verdicts(verdicts, args.threshold))
+        return 1 if any(v.regressed for v in verdicts) else 0
+
+    if not os.path.exists(args.ledger):
+        print(f"repro report: no run ledger at {args.ledger}", file=sys.stderr)
+        return 2
+    try:
+        ledger = RunLedger(args.ledger)
+    except LedgerError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "list":
+            rows = ledger.list_runs()
+            if args.json:
+                print(json_module.dumps(rows, indent=2))
+            elif not rows:
+                print(f"(no runs recorded in {args.ledger})")
+            else:
+                print("id  when                  command   wall       pairs"
+                      "    matches  sound")
+                for row in rows:
+                    when = time_module.strftime(
+                        "%Y-%m-%d %H:%M:%SZ", time_module.gmtime(row["timestamp"])
+                    )
+                    sound = (
+                        "-" if row["sound"] is None else str(bool(row["sound"]))
+                    )
+                    print(
+                        f"{row['id']:<3d} {when}  {row['command']:<9s} "
+                        f"{row['wall_s'] * 1e3:>7.1f}ms {row['pairs']:>7d}  "
+                        f"{row['matches']:>7d}  {sound}"
+                    )
+            return 0
+        if args.action in ("show", "prom"):
+            run_id = args.run if args.run is not None else ledger.latest_id()
+            if run_id is None:
+                print(
+                    f"repro report: no runs recorded in {args.ledger}",
+                    file=sys.stderr,
+                )
+                return 2
+            stored = ledger.get(run_id)
+            if args.action == "show":
+                if args.json:
+                    payload = stored.to_dict()
+                    payload["run_id"] = stored.run_id
+                    print(json_module.dumps(payload, indent=2, sort_keys=True))
+                else:
+                    print(stored.summary())
+                return 0
+            text = report_to_prometheus(stored)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                print(f"prometheus exposition written to {args.out}")
+            else:
+                print(text, end="")
+            return 0
+        if args.action == "diff":
+            print(diff_reports(ledger.get(args.run_a), ledger.get(args.run_b)))
+            return 0
+        if args.action == "jsonl":
+            run_ids = list(args.runs) or ledger.run_ids()
+            reports = [ledger.get(run_id) for run_id in run_ids]
+            lines = [
+                json_module.dumps(record, sort_keys=True)
+                for stored in reports
+                for record in metrics_to_jsonl_records(stored)
+            ]
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write("\n".join(lines) + ("\n" if lines else ""))
+                print(f"{len(lines)} records written to {args.out}")
+            else:
+                for line in lines:
+                    print(line)
+            return 0
+    except LedgerError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        ledger.close()
+    raise AssertionError(f"unhandled report action {args.action!r}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1237,6 +1684,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return explain_pair_main(rest)
         if command == "conform":
             return conform_main(rest)
+        if command == "report":
+            return report_main(rest)
         return identify_main(rest)
     if arguments == ["--version"]:
         print(f"repro {package_version()}")

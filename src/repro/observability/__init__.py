@@ -40,14 +40,20 @@ from repro.observability.metrics import (
 )
 from repro.observability.tracer import (
     NO_OP_TRACER,
+    PROFILE_OFF,
+    PROFILE_RSS,
+    PROFILE_TRACEMALLOC,
     NoOpTracer,
     Span,
     Tracer,
+    current_rss_kb,
+    peak_rss_kb,
 )
 from repro.observability.export import (
     format_blocking_summary,
     format_resilience_summary,
     format_metrics,
+    format_profile,
     format_store_summary,
     format_span_tree,
     format_trace_summary,
@@ -66,11 +72,17 @@ __all__ = [
     "NoOpTracer",
     "NO_OP_METRICS",
     "NO_OP_TRACER",
+    "PROFILE_OFF",
+    "PROFILE_RSS",
+    "PROFILE_TRACEMALLOC",
     "Span",
     "Tracer",
+    "current_rss_kb",
+    "peak_rss_kb",
     "format_blocking_summary",
     "format_resilience_summary",
     "format_metrics",
+    "format_profile",
     "format_store_summary",
     "format_span_tree",
     "format_trace_summary",

@@ -26,6 +26,7 @@ __all__ = [
     "write_trace_jsonl",
     "read_trace_jsonl",
     "format_span_tree",
+    "format_profile",
     "format_metrics",
     "format_blocking_summary",
     "format_resilience_summary",
@@ -37,8 +38,14 @@ Record = Dict[str, Any]
 
 
 def span_to_record(span: Span) -> Record:
-    """One span as a flat, JSON-serialisable record."""
-    return {
+    """One span as a flat, JSON-serialisable record.
+
+    Profiled spans (see :meth:`Tracer.set_profile
+    <repro.observability.tracer.Tracer.set_profile>`) additionally carry
+    a ``memory`` block and the ``counters`` that moved while the span
+    was open.
+    """
+    record = {
         "type": "span",
         "id": span.span_id,
         "parent": span.parent_id,
@@ -47,6 +54,13 @@ def span_to_record(span: Span) -> Record:
         "duration": span.duration,
         "attributes": _jsonable(span.attributes),
     }
+    memory = getattr(span, "memory", None)
+    if memory:
+        record["memory"] = dict(memory)
+    counter_deltas = getattr(span, "counter_deltas", None)
+    if counter_deltas:
+        record["counters"] = dict(counter_deltas)
+    return record
 
 
 def trace_to_records(tracer: Tracer) -> List[Record]:
@@ -128,6 +142,47 @@ def format_span_tree(source: Union[Tracer, Iterable[Record]]) -> str:
         lines.append(
             f"{'  ' * depth}{record['name']}  {duration_ms:.3f} ms{attr_text}"
         )
+        for child in children.get(record.get("id"), ()):
+            render(child, depth + 1)
+
+    for root in children.get(None, ()):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def format_profile(source: Union[Tracer, Iterable[Record]]) -> str:
+    """The profiler's tree view: time, memory, and counter attribution.
+
+    Like :func:`format_span_tree` but rendering the per-span ``memory``
+    block (RSS or tracemalloc delta, per the tracer's profile mode) and
+    the counters that moved while each span was open.  Spans recorded
+    without profiling render with timings only.
+    """
+    if isinstance(source, Tracer):
+        records = [span_to_record(s) for s in source.finished_spans()]
+    else:
+        records = list(source)
+    if not records:
+        return "(no spans recorded)"
+    children: Dict[Optional[int], List[Record]] = {}
+    for record in records:
+        children.setdefault(record.get("parent"), []).append(record)
+
+    lines: List[str] = []
+
+    def render(record: Record, depth: int) -> None:
+        duration_ms = record.get("duration", 0.0) * 1e3
+        parts = [f"{'  ' * depth}{record['name']}  {duration_ms:.3f} ms"]
+        memory = record.get("memory") or {}
+        if "delta_kb" in memory:
+            parts.append(f"mem {memory['delta_kb']:+.1f} KiB")
+        counters = record.get("counters") or {}
+        if counters:
+            shown = sorted(counters.items(), key=lambda kv: -abs(kv[1]))[:3]
+            parts.append(
+                "[" + " ".join(f"{name} {delta:+d}" for name, delta in shown) + "]"
+            )
+        lines.append("  ".join(parts))
         for child in children.get(record.get("id"), ()):
             render(child, depth + 1)
 

@@ -7,15 +7,19 @@ how many pairs landed in the matching versus negative matching table.
 for monotone event counts and histograms (count/sum/min/max) for
 distributions such as ILFD chain depths or closure fixpoint rounds.
 
-Zero dependencies, no locks (the pipeline is single-threaded), and a
-:meth:`MetricsRegistry.snapshot` that is plain JSON-serialisable data so
-benchmark results and trace files can embed it directly.
+Zero dependencies, and a :meth:`MetricsRegistry.snapshot` that is plain
+JSON-serialisable data so benchmark results and trace files can embed it
+directly.  Recording is guarded by one :class:`threading.Lock` — the
+thread-backend pair executor and the telemetry ledger's samplers mutate
+a shared registry concurrently, and a counter increment must never be
+lost to an interleaved read-modify-write.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 __all__ = [
     "HistogramSummary",
@@ -126,20 +130,37 @@ class MetricsRegistry:
 
     counters: Dict[str, int] = field(default_factory=dict)
     histograms: Dict[str, HistogramSummary] = field(default_factory=dict)
+    _lock: Optional[threading.Lock] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Locks do not pickle; worker processes rebuild one on their side.
+        return {"counters": self.counters, "histograms": self.histograms}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.counters = state["counters"]
+        self.histograms = state["histograms"]
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def inc(self, name: str, value: int = 1) -> None:
         """Add *value* to counter *name* (created at 0 on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def observe(self, name: str, value: float) -> None:
         """Fold one sample into histogram *name*."""
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = HistogramSummary()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = HistogramSummary()
+            histogram.observe(value)
 
     # ------------------------------------------------------------------
     # Reading
@@ -163,28 +184,31 @@ class MetricsRegistry:
         The returned dict is JSON-serialisable and detached from the
         registry (later recording does not mutate it).
         """
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "histograms": {
-                name: summary.as_dict()
-                for name, summary in sorted(self.histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "histograms": {
+                    name: summary.as_dict()
+                    for name, summary in sorted(self.histograms.items())
+                },
+            }
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold *other*'s counters and histograms into this registry."""
-        for name, value in other.counters.items():
-            self.inc(name, value)
-        for name, summary in other.histograms.items():
-            mine = self.histograms.get(name)
-            if mine is None:
-                mine = self.histograms[name] = HistogramSummary()
-            mine.merge(summary)
+        with self._lock:
+            for name, value in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, summary in other.histograms.items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    mine = self.histograms[name] = HistogramSummary()
+                mine.merge(summary)
 
     def reset(self) -> None:
         """Drop all recorded values (registry stays usable)."""
-        self.counters.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.histograms.clear()
 
     def is_empty(self) -> bool:
         """True iff nothing has been recorded."""

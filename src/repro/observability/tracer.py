@@ -24,8 +24,9 @@ Spans are context managers::
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.observability.metrics import NO_OP_METRICS, MetricsRegistry
 
@@ -34,7 +35,46 @@ __all__ = [
     "Tracer",
     "NoOpTracer",
     "NO_OP_TRACER",
+    "PROFILE_OFF",
+    "PROFILE_RSS",
+    "PROFILE_TRACEMALLOC",
+    "current_rss_kb",
+    "peak_rss_kb",
 ]
+
+
+PROFILE_OFF = "off"
+PROFILE_RSS = "rss"
+PROFILE_TRACEMALLOC = "tracemalloc"
+
+_PAGE_KB = (os.sysconf("SC_PAGESIZE") // 1024) if hasattr(os, "sysconf") else 4
+
+
+def current_rss_kb() -> float:
+    """Resident-set size of this process in KiB (0.0 when unreadable).
+
+    Reads ``/proc/self/statm`` (one short read, ~µs) so the RSS profile
+    mode can sample at every span boundary inside the <5% overhead
+    budget; platforms without procfs report 0.0 and the profile
+    degrades to peak-only accounting via :func:`peak_rss_kb`.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            return float(int(handle.read().split()[1])) * _PAGE_KB
+    except (OSError, ValueError, IndexError):
+        return 0.0
+
+
+def peak_rss_kb() -> float:
+    """Lifetime peak RSS in KiB via ``getrusage`` (0.0 when unavailable)."""
+    try:
+        import resource
+
+        peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return 0.0
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak / 1024.0 if os.uname().sysname == "Darwin" else peak
 
 
 class Span:
@@ -52,7 +92,11 @@ class Span:
         "parent_id",
         "start",
         "end",
+        "memory",
+        "counter_deltas",
         "_tracer",
+        "_mem_start",
+        "_counters_start",
     )
 
     def __init__(
@@ -68,7 +112,11 @@ class Span:
         self.parent_id: Optional[int] = None
         self.start: float = 0.0
         self.end: Optional[float] = None
+        self.memory: Optional[Dict[str, Any]] = None
+        self.counter_deltas: Optional[Dict[str, int]] = None
         self._tracer = tracer
+        self._mem_start: Optional[float] = None
+        self._counters_start: Optional[Dict[str, int]] = None
 
     @property
     def duration(self) -> float:
@@ -98,14 +146,34 @@ class Span:
         return self.end is not None
 
     def __enter__(self) -> "Span":
-        self.parent_id = self._tracer._current
-        self._tracer._current = self.span_id
+        tracer = self._tracer
+        self.parent_id = tracer._current
+        tracer._current = self.span_id
+        if tracer.profiling:
+            self._mem_start = tracer._read_memory()
+            self._counters_start = dict(tracer.metrics.counters)
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.end = time.perf_counter()
-        self._tracer._current = self.parent_id
+        tracer = self._tracer
+        if tracer.profiling and self._mem_start is not None:
+            mem_end = tracer._read_memory()
+            self.memory = {
+                "mode": tracer.profile,  # type: ignore[dict-item]
+                "start_kb": round(self._mem_start, 1),
+                "end_kb": round(mem_end, 1),
+                "delta_kb": round(mem_end - self._mem_start, 1),
+            }
+            before = self._counters_start or {}
+            deltas = {
+                name: value - before.get(name, 0)
+                for name, value in dict(tracer.metrics.counters).items()
+                if value != before.get(name, 0)
+            }
+            self.counter_deltas = deltas or None
+        tracer._current = self.parent_id
         if exc_type is not None:
             self.attributes["error"] = exc_type.__name__
 
@@ -123,11 +191,50 @@ class Tracer:
     """
 
     enabled: bool = True
+    profile: str = PROFILE_OFF
+    profiling: bool = False
 
-    def __init__(self, *, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        profile: str = PROFILE_OFF,
+    ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._spans: List[Span] = []
         self._current: Optional[int] = None
+        self._read_memory: Callable[[], float] = current_rss_kb
+        self.set_profile(profile)
+
+    def set_profile(self, profile: str) -> None:
+        """Select the span-boundary memory attribution mode.
+
+        - :data:`PROFILE_OFF` (default): no per-span memory, zero cost.
+        - :data:`PROFILE_RSS`: sample resident-set size at span enter and
+          exit (one ``/proc/self/statm`` read each; stays inside the <5%
+          overhead budget because the cost is per *span*, not per
+          allocation).
+        - :data:`PROFILE_TRACEMALLOC`: exact Python allocation deltas via
+          :mod:`tracemalloc` — started here if not already tracing.
+          Precise but **expensive** (tracemalloc hooks every allocation;
+          expect ~2x on allocation-heavy runs), so it is a deliberate
+          opt-in, never a default.
+        """
+        if profile not in (PROFILE_OFF, PROFILE_RSS, PROFILE_TRACEMALLOC):
+            raise ValueError(
+                f"unknown profile mode {profile!r}; expected one of "
+                f"{(PROFILE_OFF, PROFILE_RSS, PROFILE_TRACEMALLOC)}"
+            )
+        self.profile = profile
+        self.profiling = profile != PROFILE_OFF
+        if profile == PROFILE_TRACEMALLOC:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+            self._read_memory = lambda: tracemalloc.get_traced_memory()[0] / 1024.0
+        else:
+            self._read_memory = current_rss_kb
 
     def span(self, name: str, **attributes: Any) -> Span:
         """A new span, nested under the currently open one when entered."""
@@ -195,6 +302,8 @@ class _NoOpSpan:
     end = 0.0
     duration = 0.0
     depth = 0
+    memory = None
+    counter_deltas = None
 
     def set(self, key: str, value: Any) -> "_NoOpSpan":
         return self

@@ -1,0 +1,89 @@
+"""Run ledger and performance-regression telemetry.
+
+The observability layer (PR 1) records what one run did — and loses it
+when the process exits.  This package makes that record *durable* and
+*comparable*:
+
+- :mod:`repro.telemetry.environment` — the one producer of the
+  environment header (python, platform, cpu_count, git SHA) every run
+  and bench record carries, so any two numbers can be traced to where
+  they were measured.
+- :mod:`repro.telemetry.report` — :class:`RunReport` assembles one CLI
+  invocation's full cost picture (config, phase timings from the span
+  tree, wall/CPU/peak-memory, throughput, metrics snapshot, resilience
+  events); :func:`diff_reports` renders run-vs-run deltas.
+- :mod:`repro.telemetry.ledger` — :class:`RunLedger`, the append-only
+  SQLite history behind ``repro identify --ledger runs.db`` and
+  ``repro report list/show/diff``.
+- :mod:`repro.telemetry.prometheus` — Prometheus text-exposition and
+  JSONL emitters (``repro report prom`` / ``repro report jsonl``) for
+  external scrapers.
+- :mod:`repro.telemetry.benchcheck` — the bench-history file
+  (``BENCH_HISTORY.jsonl``) and the regression gate behind
+  ``repro report bench-check``, CI's standing answer to "did this PR
+  make the hot path slower?".
+
+Telemetry is strictly read-only with respect to identification: it
+observes through the tracer and never touches tables, journals, or
+rule evaluation — the conformance matrix stays bit-identical with a
+ledger attached.
+"""
+
+from repro.telemetry.benchcheck import (
+    KIND_LATENCY,
+    KIND_THROUGHPUT,
+    SeriesVerdict,
+    append_history,
+    check_history,
+    format_verdicts,
+    load_history,
+    make_record,
+)
+from repro.telemetry.environment import (
+    capture_environment,
+    environment_fingerprint,
+    git_sha,
+)
+from repro.telemetry.errors import HistoryError, LedgerError, TelemetryError
+from repro.telemetry.ledger import LEDGER_SCHEMA_VERSION, RunLedger
+from repro.telemetry.prometheus import (
+    metrics_to_jsonl_records,
+    metrics_to_prometheus,
+    report_to_prometheus,
+    sanitize_metric_name,
+    write_metrics_jsonl,
+)
+from repro.telemetry.report import (
+    RunRecorder,
+    RunReport,
+    aggregate_phases,
+    diff_reports,
+)
+
+__all__ = [
+    "KIND_LATENCY",
+    "KIND_THROUGHPUT",
+    "LEDGER_SCHEMA_VERSION",
+    "HistoryError",
+    "LedgerError",
+    "RunLedger",
+    "RunRecorder",
+    "RunReport",
+    "SeriesVerdict",
+    "TelemetryError",
+    "aggregate_phases",
+    "append_history",
+    "capture_environment",
+    "check_history",
+    "diff_reports",
+    "environment_fingerprint",
+    "format_verdicts",
+    "git_sha",
+    "load_history",
+    "make_record",
+    "metrics_to_jsonl_records",
+    "metrics_to_prometheus",
+    "report_to_prometheus",
+    "sanitize_metric_name",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,234 @@
+"""Bench history and the performance-regression gate.
+
+``BENCH_*.json`` files are overwritten in place, so by themselves they
+cannot answer "did this PR make the hot path slower?".  The history file
+(default ``BENCH_HISTORY.jsonl``) fixes that: every bench run *appends*
+one record per tracked series — keyed by bench name, series name, and
+size — and :func:`check_history` compares each series' newest value
+against its recorded baseline (the series' first record, or the last
+record explicitly flagged ``"baseline": true``).
+
+``repro report bench-check --threshold 0.15`` is the CI gate built on
+this: exit 1 when any latency series got more than 15% slower or any
+throughput series more than 15% smaller than its baseline.  Records
+carry the full environment header from
+:mod:`repro.telemetry.environment`; by default series compare across
+environments (so a committed baseline gates CI runners), and
+``same_env=True`` restricts each series to records whose environment
+fingerprint matches the newest record's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.environment import (
+    capture_environment,
+    environment_fingerprint,
+)
+from repro.telemetry.errors import HistoryError
+
+__all__ = [
+    "KIND_LATENCY",
+    "KIND_THROUGHPUT",
+    "SeriesVerdict",
+    "make_record",
+    "append_history",
+    "load_history",
+    "check_history",
+    "format_verdicts",
+]
+
+KIND_LATENCY = "latency"
+KIND_THROUGHPUT = "throughput"
+_KINDS = (KIND_LATENCY, KIND_THROUGHPUT)
+
+
+@dataclass
+class SeriesVerdict:
+    """The gate's judgement of one tracked series."""
+
+    bench: str
+    series: str
+    size: Optional[int]
+    kind: str
+    baseline: float
+    latest: float
+    change: float  # signed fraction: +0.2 = latest is 20% above baseline
+    regressed: bool
+    records: int
+
+    def label(self) -> str:
+        suffix = f"@{self.size}" if self.size is not None else ""
+        return f"{self.bench}/{self.series}{suffix}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench": self.bench,
+            "series": self.series,
+            "size": self.size,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "latest": self.latest,
+            "change": self.change,
+            "regressed": self.regressed,
+            "records": self.records,
+        }
+
+
+def make_record(
+    bench: str,
+    series: str,
+    kind: str,
+    value: float,
+    *,
+    size: Optional[int] = None,
+    environment: Optional[Dict[str, Any]] = None,
+    baseline: bool = False,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One history record (the JSONL line's dict form)."""
+    if kind not in _KINDS:
+        raise ValueError(f"kind must be one of {_KINDS}, not {kind!r}")
+    record: Dict[str, Any] = {
+        "bench": bench,
+        "series": series,
+        "kind": kind,
+        "value": float(value),
+        "env": environment if environment is not None else capture_environment(),
+    }
+    if size is not None:
+        record["size"] = int(size)
+    if baseline:
+        record["baseline"] = True
+    if extra:
+        record["extra"] = dict(extra)
+    return record
+
+
+def append_history(path: str, records: List[Dict[str, Any]]) -> int:
+    """Append *records* to the JSONL history at *path* (created if absent)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """Parse the JSONL history file (file order == chronological order)."""
+    if not os.path.exists(path):
+        raise HistoryError(f"no bench history at {path!r}")
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HistoryError(
+                    f"{path}:{number}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "series" not in record:
+                raise HistoryError(
+                    f"{path}:{number}: record lacks a 'series' field"
+                )
+            records.append(record)
+    return records
+
+
+def _series_key(record: Dict[str, Any]) -> Tuple[str, str, Optional[int]]:
+    return (
+        str(record.get("bench", "")),
+        str(record["series"]),
+        record.get("size"),
+    )
+
+
+def check_history(
+    records: List[Dict[str, Any]],
+    *,
+    threshold: float = 0.15,
+    same_env: bool = False,
+) -> List[SeriesVerdict]:
+    """Judge every tracked series against its baseline.
+
+    The baseline is the last record flagged ``"baseline": true``, or the
+    series' first record when none is flagged.  A series with a single
+    record has nothing to compare and produces no verdict.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be > 0")
+    by_series: Dict[Tuple[str, str, Optional[int]], List[Dict[str, Any]]] = {}
+    for record in records:
+        by_series.setdefault(_series_key(record), []).append(record)
+    verdicts: List[SeriesVerdict] = []
+    for (bench, series, size), entries in sorted(by_series.items()):
+        if same_env:
+            newest_env = environment_fingerprint(entries[-1].get("env", {}))
+            entries = [
+                e
+                for e in entries
+                if environment_fingerprint(e.get("env", {})) == newest_env
+            ]
+        if len(entries) < 2:
+            continue
+        baseline_entry = entries[0]
+        for entry in entries[:-1]:
+            if entry.get("baseline"):
+                baseline_entry = entry
+        latest_entry = entries[-1]
+        kind = str(latest_entry.get("kind", KIND_LATENCY))
+        baseline = float(baseline_entry["value"])
+        latest = float(latest_entry["value"])
+        change = (latest - baseline) / baseline if baseline else 0.0
+        if kind == KIND_THROUGHPUT:
+            regressed = change < -threshold
+        else:
+            regressed = change > threshold
+        verdicts.append(
+            SeriesVerdict(
+                bench=bench,
+                series=series,
+                size=size,
+                kind=kind,
+                baseline=baseline,
+                latest=latest,
+                change=round(change, 4),
+                regressed=regressed,
+                records=len(entries),
+            )
+        )
+    return verdicts
+
+
+def format_verdicts(
+    verdicts: List[SeriesVerdict], threshold: float
+) -> str:
+    """The ``repro report bench-check`` rendering."""
+    if not verdicts:
+        return (
+            "bench-check: no comparable series "
+            "(each tracked series needs at least two records)"
+        )
+    width = max(len(v.label()) for v in verdicts)
+    lines = []
+    for verdict in verdicts:
+        unit = "ms" if verdict.kind == KIND_LATENCY else "/s"
+        marker = "REGRESSED" if verdict.regressed else "ok"
+        lines.append(
+            f"  {verdict.label():<{width}}  {verdict.baseline:g}{unit} -> "
+            f"{verdict.latest:g}{unit}  ({verdict.change:+.1%})  {marker}"
+        )
+    regressions = sum(1 for v in verdicts if v.regressed)
+    header = (
+        f"bench-check: {len(verdicts)} series against baseline "
+        f"(threshold {threshold:.0%}): "
+        + (f"{regressions} REGRESSED" if regressions else "all within budget")
+    )
+    return "\n".join([header] + lines)

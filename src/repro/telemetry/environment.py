@@ -1,0 +1,104 @@
+"""Environment capture: one comparable header for every run record.
+
+Benchmark JSON, ledger rows, and bench-history records all need to say
+*where* a number was measured before two numbers can be compared — the
+same identification run is a different measurement on a 1-CPU CI runner
+than on an 8-core workstation.  :func:`capture_environment` is the one
+producer of that header (the bench scripts re-export it through
+``benchmarks/conftest.py``), and :func:`environment_fingerprint` reduces
+it to the short comparability key the regression gate groups series by.
+
+The git SHA is read straight from ``.git`` (HEAD → ref file or
+packed-refs) — no subprocess, so capture stays cheap and works in
+sandboxes without a ``git`` binary.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "capture_environment",
+    "environment_fingerprint",
+    "git_sha",
+]
+
+
+def git_sha(start: Optional[str] = None) -> str:
+    """The current commit SHA, or "" outside a git work tree.
+
+    Walks up from *start* (default: the current directory) to the
+    nearest ``.git`` directory and resolves ``HEAD`` by hand: a detached
+    HEAD is the SHA itself, a symbolic ref is looked up first as a loose
+    ref file, then in ``packed-refs``.
+    """
+    directory = os.path.abspath(start or os.getcwd())
+    while True:
+        git_dir = os.path.join(directory, ".git")
+        if os.path.isdir(git_dir):
+            break
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            return ""
+        directory = parent
+    try:
+        with open(os.path.join(git_dir, "HEAD"), "r", encoding="utf-8") as handle:
+            head = handle.read().strip()
+    except OSError:
+        return ""
+    if not head.startswith("ref:"):
+        return head
+    ref = head[len("ref:"):].strip()
+    ref_path = os.path.join(git_dir, *ref.split("/"))
+    try:
+        with open(ref_path, "r", encoding="utf-8") as handle:
+            return handle.read().strip()
+    except OSError:
+        pass
+    try:
+        with open(
+            os.path.join(git_dir, "packed-refs"), "r", encoding="utf-8"
+        ) as handle:
+            for line in handle:
+                line = line.strip()
+                if line.startswith("#") or line.startswith("^") or not line:
+                    continue
+                sha, _, name = line.partition(" ")
+                if name == ref:
+                    return sha
+    except OSError:
+        pass
+    return ""
+
+
+def capture_environment() -> Dict[str, Any]:
+    """The full environment header stamped on every run/bench record."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def environment_fingerprint(environment: Dict[str, Any]) -> str:
+    """The comparability key of an environment header.
+
+    Only what changes a measurement's *meaning* goes in — interpreter
+    major.minor, machine architecture, CPU count.  Timestamps and git
+    SHAs are provenance, not comparability, so a committed bench
+    baseline stays comparable across commits on an equivalent runner.
+    """
+    python = str(environment.get("python", ""))
+    major_minor = ".".join(python.split(".")[:2])
+    return (
+        f"py{major_minor}-"
+        f"{environment.get('machine', '?')}-"
+        f"cpu{environment.get('cpu_count', '?')}"
+    )

@@ -1,0 +1,17 @@
+"""Telemetry-layer exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["TelemetryError", "LedgerError", "HistoryError"]
+
+
+class TelemetryError(Exception):
+    """Base class for run-ledger and regression-tracking failures."""
+
+
+class LedgerError(TelemetryError):
+    """The run ledger cannot be opened, read, or appended to."""
+
+
+class HistoryError(TelemetryError):
+    """The bench-history file is unreadable or malformed."""

@@ -1,0 +1,163 @@
+"""The run ledger: an append-only SQLite history of run reports.
+
+Where ``repro.store`` persists *what the pipeline concluded*, the ledger
+persists *what each run cost* — one row per CLI invocation, holding the
+canonical-JSON :class:`~repro.telemetry.report.RunReport`.  Append-only
+by design: rows are never updated, so the ledger is the repo's perf
+trajectory and ``repro report diff 3 7`` can compare any two runs ever
+recorded against the same file.
+
+Storage follows the :mod:`repro.store` codec conventions — reports are
+serialised as canonical JSON text (sorted keys, compact separators), so
+identical reports encode identically and the file diffs cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.errors import LedgerError
+from repro.telemetry.report import RunReport
+
+__all__ = ["RunLedger", "LEDGER_SCHEMA_VERSION"]
+
+LEDGER_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    ts      REAL NOT NULL,
+    command TEXT NOT NULL,
+    report  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_command ON runs (command);
+"""
+
+
+def _encode_report(report: RunReport) -> str:
+    """Canonical JSON text (the store codec's determinism conventions)."""
+    return json.dumps(
+        report.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+
+
+class RunLedger:
+    """SQLite-backed append-only store of :class:`RunReport` rows.
+
+    Usable as a context manager; ``RunLedger(":memory:")`` gives an
+    ephemeral ledger for tests.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = str(path)
+        try:
+            self._conn = sqlite3.connect(self._path, isolation_level=None)
+            self._conn.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            raise LedgerError(
+                f"cannot open run ledger at {path!r}: {exc}"
+            ) from exc
+        version = self._get_meta("schema_version")
+        if version is None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(LEDGER_SCHEMA_VERSION)),
+            )
+        elif int(version) > LEDGER_SCHEMA_VERSION:
+            raise LedgerError(
+                f"run ledger {path!r} has schema version {version}; this "
+                f"build reads up to {LEDGER_SCHEMA_VERSION}"
+            )
+
+    def _get_meta(self, key: str) -> Optional[str]:
+        record = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return record[0] if record is not None else None
+
+    @property
+    def path(self) -> str:
+        """The ledger file path."""
+        return self._path
+
+    def append(self, report: RunReport) -> int:
+        """Append one report; returns its ledger run id."""
+        try:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (ts, command, report) VALUES (?, ?, ?)",
+                (report.timestamp, report.command, _encode_report(report)),
+            )
+        except sqlite3.Error as exc:
+            raise LedgerError(
+                f"cannot append to run ledger {self._path!r}: {exc}"
+            ) from exc
+        run_id = int(cursor.lastrowid)
+        report.run_id = run_id
+        return run_id
+
+    def get(self, run_id: int) -> RunReport:
+        """The report stored under *run_id*; raises on an unknown id."""
+        record = self._conn.execute(
+            "SELECT id, report FROM runs WHERE id = ?", (int(run_id),)
+        ).fetchone()
+        if record is None:
+            raise LedgerError(
+                f"run ledger {self._path!r} has no run {run_id}"
+            )
+        try:
+            data = json.loads(record[1])
+        except json.JSONDecodeError as exc:
+            raise LedgerError(
+                f"run {run_id} in {self._path!r} is malformed: {exc}"
+            ) from exc
+        return RunReport.from_dict(data, run_id=int(record[0]))
+
+    def latest_id(self) -> Optional[int]:
+        """The newest run id, or None for an empty ledger."""
+        record = self._conn.execute("SELECT MAX(id) FROM runs").fetchone()
+        return int(record[0]) if record and record[0] is not None else None
+
+    def run_ids(self) -> List[int]:
+        """All run ids, oldest first."""
+        return [
+            int(row[0])
+            for row in self._conn.execute("SELECT id FROM runs ORDER BY id")
+        ]
+
+    def list_runs(self) -> List[Dict[str, Any]]:
+        """Light per-run rows for the ``repro report list`` table."""
+        rows = []
+        for run_id in self.run_ids():
+            report = self.get(run_id)
+            counters = report.metrics.get("counters", {})
+            rows.append(
+                {
+                    "id": run_id,
+                    "timestamp": report.timestamp,
+                    "command": report.command,
+                    "wall_s": report.wall_s,
+                    "pairs": report.pairs,
+                    "matches": counters.get("pipeline.matches", 0),
+                    "sound": report.outcome.get("sound"),
+                    "git_sha": report.environment.get("git_sha", ""),
+                }
+            )
+        return rows
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunLedger path={self._path!r}>"

@@ -1,0 +1,177 @@
+"""Prometheus text-exposition and JSONL emitters for metrics snapshots.
+
+``repro report prom`` renders a stored run's metrics in the Prometheus
+text exposition format (version 0.0.4 — the ``# HELP``/``# TYPE`` lines
+plus one sample per line) so an external scraper, a Pushgateway, or a
+node-exporter textfile collector can consume identification telemetry
+without this package growing a client dependency.  ``repro report
+jsonl`` emits the same snapshots as one flat JSON record per metric for
+ad-hoc scripting (jq, pandas).
+
+Counter names map ``blocking.pairs_generated`` →
+``repro_blocking_pairs_generated_total``; histograms become the
+``_count``/``_sum`` pair plus ``_min``/``_max``/``_mean`` gauges (the
+registry keeps streaming summaries, not buckets).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.telemetry.report import RunReport
+
+__all__ = [
+    "sanitize_metric_name",
+    "format_labels",
+    "metrics_to_prometheus",
+    "report_to_prometheus",
+    "metrics_to_jsonl_records",
+    "write_metrics_jsonl",
+]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+_PREFIX = "repro"
+
+
+def sanitize_metric_name(name: str, suffix: str = "") -> str:
+    """A dotted registry name as a valid Prometheus metric name."""
+    cleaned = _INVALID.sub("_", name.strip())
+    cleaned = re.sub(r"__+", "_", cleaned).strip("_")
+    return f"{_PREFIX}_{cleaned}{suffix}"
+
+
+def format_labels(labels: Optional[Mapping[str, Any]]) -> str:
+    """``{key="value",...}`` with escaped values ("" when no labels)."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", r"\\").replace('"', r"\"")
+        parts.append(f'{_INVALID.sub("_", key)}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def metrics_to_prometheus(
+    snapshot: Mapping[str, Any],
+    labels: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """One metrics snapshot in the Prometheus text exposition format."""
+    label_text = format_labels(labels)
+    lines: List[str] = []
+    counters: Mapping[str, int] = snapshot.get("counters", {}) or {}
+    for name in sorted(counters):
+        metric = sanitize_metric_name(name, "_total")
+        description = MetricsRegistry.description(name)
+        if description:
+            lines.append(f"# HELP {metric} {description}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{label_text} {counters[name]}")
+    histograms: Mapping[str, Mapping[str, float]] = (
+        snapshot.get("histograms", {}) or {}
+    )
+    for name in sorted(histograms):
+        summary = histograms[name]
+        base = sanitize_metric_name(name)
+        description = MetricsRegistry.description(name)
+        if description:
+            lines.append(f"# HELP {base} {description}")
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count{label_text} {summary.get('count', 0)}")
+        lines.append(f"{base}_sum{label_text} {summary.get('sum', 0.0)}")
+        for stat in ("min", "max", "mean"):
+            metric = f"{base}_{stat}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric}{label_text} {summary.get(stat, 0.0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def report_to_prometheus(report: RunReport) -> str:
+    """A stored run as Prometheus text: run-level gauges + its metrics.
+
+    Every sample carries ``command`` and (when ledgered) ``run`` labels
+    so scrapes of different runs stay distinguishable series.
+    """
+    labels: Dict[str, Any] = {"command": report.command}
+    if report.run_id is not None:
+        labels["run"] = report.run_id
+    label_text = format_labels(labels)
+    gauges = [
+        ("repro_run_wall_seconds", report.wall_s, "run wall-clock seconds"),
+        ("repro_run_cpu_seconds", report.cpu_s, "run CPU seconds"),
+        (
+            "repro_run_peak_memory_kb",
+            report.peak_mem_kb,
+            "run peak memory in KiB",
+        ),
+        ("repro_run_pairs", report.pairs, "tuple pairs processed by the run"),
+    ]
+    if report.throughput_pairs_per_s is not None:
+        gauges.append(
+            (
+                "repro_run_throughput_pairs_per_second",
+                report.throughput_pairs_per_s,
+                "pairs evaluated per wall-clock second",
+            )
+        )
+    lines: List[str] = []
+    for metric, value, help_text in gauges:
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{label_text} {value}")
+    for phase in report.phases:
+        metric = "repro_run_phase_wall_ms"
+        if not any(line.startswith(f"# TYPE {metric} ") for line in lines):
+            lines.append(f"# HELP {metric} per-phase wall milliseconds")
+            lines.append(f"# TYPE {metric} gauge")
+        phase_labels = format_labels({**labels, "phase": phase["name"]})
+        lines.append(f"{metric}{phase_labels} {phase['wall_ms']}")
+    body = "\n".join(lines) + "\n"
+    return body + metrics_to_prometheus(report.metrics, labels)
+
+
+def metrics_to_jsonl_records(report: RunReport) -> Iterator[Dict[str, Any]]:
+    """Flat JSONL records for one run: a header, then one row per metric."""
+    base = {
+        "run": report.run_id,
+        "command": report.command,
+        "timestamp": report.timestamp,
+    }
+    yield {
+        **base,
+        "kind": "run",
+        "wall_s": report.wall_s,
+        "cpu_s": report.cpu_s,
+        "peak_mem_kb": report.peak_mem_kb,
+        "pairs": report.pairs,
+        "throughput_pairs_per_s": report.throughput_pairs_per_s,
+        "environment": report.environment,
+        "outcome": report.outcome,
+    }
+    counters: Mapping[str, int] = report.metrics.get("counters", {}) or {}
+    for name in sorted(counters):
+        yield {**base, "kind": "counter", "name": name, "value": counters[name]}
+    histograms: Mapping[str, Mapping[str, float]] = (
+        report.metrics.get("histograms", {}) or {}
+    )
+    for name in sorted(histograms):
+        yield {
+            **base,
+            "kind": "histogram",
+            "name": name,
+            **{k: v for k, v in histograms[name].items()},
+        }
+
+
+def write_metrics_jsonl(reports: List[RunReport], path: str) -> int:
+    """Dump *reports* as JSONL to *path*; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for report in reports:
+            for record in metrics_to_jsonl_records(report):
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+                count += 1
+    return count

@@ -1,0 +1,307 @@
+"""Structured run reports: what one CLI invocation did, and at what cost.
+
+A :class:`RunReport` is the durable record of one ``repro
+identify/resume/conform`` run — environment header, full configuration,
+wall/CPU time, peak memory, throughput, per-phase timings derived from
+the tracer's span tree, the complete metrics snapshot, and any
+resilience events.  :class:`RunRecorder` brackets the run (start the
+clocks, then :meth:`RunRecorder.finish` assembles the report);
+:func:`diff_reports` renders the phase-timing and metrics deltas between
+two reports, which is the whole point of keeping them: "did PR N make
+``identify`` slower than PR N-1?" becomes a query.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.observability.export import span_to_record
+from repro.observability.tracer import Tracer, peak_rss_kb
+from repro.telemetry.environment import capture_environment
+
+__all__ = [
+    "RunReport",
+    "RunRecorder",
+    "aggregate_phases",
+    "diff_reports",
+]
+
+_THROUGHPUT_COUNTERS = ("pipeline.pairs", "executor.pairs_evaluated")
+
+
+@dataclass
+class RunReport:
+    """One run's durable telemetry record (plain-data, JSON-round-trips)."""
+
+    command: str
+    timestamp: float
+    environment: Dict[str, Any]
+    config: Dict[str, Any]
+    wall_s: float
+    cpu_s: float
+    peak_mem_kb: float
+    pairs: int
+    throughput_pairs_per_s: Optional[float]
+    phases: List[Dict[str, Any]]
+    spans: List[Dict[str, Any]]
+    metrics: Dict[str, Any]
+    resilience: Dict[str, int]
+    outcome: Dict[str, Any]
+    run_id: Optional[int] = field(default=None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the ledger's storage format)."""
+        return {
+            "command": self.command,
+            "timestamp": self.timestamp,
+            "environment": dict(self.environment),
+            "config": dict(self.config),
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "peak_mem_kb": self.peak_mem_kb,
+            "pairs": self.pairs,
+            "throughput_pairs_per_s": self.throughput_pairs_per_s,
+            "phases": [dict(p) for p in self.phases],
+            "spans": [dict(s) for s in self.spans],
+            "metrics": dict(self.metrics),
+            "resilience": dict(self.resilience),
+            "outcome": dict(self.outcome),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], run_id: Optional[int] = None
+    ) -> "RunReport":
+        """Inverse of :meth:`to_dict` (*run_id* comes from the ledger row)."""
+        return cls(
+            command=data["command"],
+            timestamp=float(data["timestamp"]),
+            environment=dict(data.get("environment", {})),
+            config=dict(data.get("config", {})),
+            wall_s=float(data.get("wall_s", 0.0)),
+            cpu_s=float(data.get("cpu_s", 0.0)),
+            peak_mem_kb=float(data.get("peak_mem_kb", 0.0)),
+            pairs=int(data.get("pairs", 0)),
+            throughput_pairs_per_s=data.get("throughput_pairs_per_s"),
+            phases=list(data.get("phases", [])),
+            spans=list(data.get("spans", [])),
+            metrics=dict(data.get("metrics", {})),
+            resilience=dict(data.get("resilience", {})),
+            outcome=dict(data.get("outcome", {})),
+            run_id=run_id,
+        )
+
+    def summary(self) -> str:
+        """The ``repro report show`` rendering."""
+        label = f"run {self.run_id}" if self.run_id is not None else "run"
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%SZ", time.gmtime(self.timestamp)
+        )
+        lines = [
+            f"{label}: repro {self.command} at {when}",
+            f"  environment  python {self.environment.get('python', '?')} "
+            f"on {self.environment.get('platform', '?')} "
+            f"({self.environment.get('cpu_count', '?')} cpu)",
+        ]
+        sha = self.environment.get("git_sha")
+        if sha:
+            lines.append(f"  git sha      {sha[:12]}")
+        config = {k: v for k, v in sorted(self.config.items()) if v not in (None, False)}
+        if config:
+            lines.append(
+                "  config       "
+                + " ".join(f"{k}={v}" for k, v in config.items())
+            )
+        lines.append(
+            f"  cost         wall {self.wall_s * 1e3:.1f} ms, "
+            f"cpu {self.cpu_s * 1e3:.1f} ms, "
+            f"peak mem {self.peak_mem_kb:.0f} KiB"
+        )
+        if self.throughput_pairs_per_s:
+            lines.append(
+                f"  throughput   {self.pairs} pairs, "
+                f"{self.throughput_pairs_per_s:.0f} pairs/s"
+            )
+        if self.phases:
+            lines.append("  phases:")
+            width = max(len(p["name"]) for p in self.phases)
+            for phase in self.phases:
+                entry = (
+                    f"    {phase['name']:<{width}}  n={phase['count']}  "
+                    f"total={phase['wall_ms']:.3f} ms"
+                )
+                if phase.get("mem_delta_kb") is not None:
+                    entry += f"  mem {phase['mem_delta_kb']:+.1f} KiB"
+                lines.append(entry)
+        if self.resilience:
+            lines.append("  resilience events:")
+            for name, value in sorted(self.resilience.items()):
+                lines.append(f"    {name}  {value}")
+        outcome = {k: v for k, v in sorted(self.outcome.items())}
+        if outcome:
+            lines.append(
+                "  outcome      "
+                + " ".join(f"{k}={v}" for k, v in outcome.items())
+            )
+        return "\n".join(lines)
+
+
+def aggregate_phases(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-span-name wall-time (and memory, when profiled) aggregates.
+
+    The report's quick "where did the time go" table, ordered by total
+    wall time descending — the same aggregation ``repro stats`` prints,
+    in plain-data form.
+    """
+    totals: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        entry = totals.setdefault(
+            record["name"],
+            {"name": record["name"], "count": 0, "wall_ms": 0.0},
+        )
+        entry["count"] += 1
+        entry["wall_ms"] += record.get("duration", 0.0) * 1e3
+        memory = record.get("memory") or {}
+        if "delta_kb" in memory:
+            entry["mem_delta_kb"] = (
+                entry.get("mem_delta_kb", 0.0) + memory["delta_kb"]
+            )
+    phases = sorted(totals.values(), key=lambda e: -e["wall_ms"])
+    for phase in phases:
+        phase["wall_ms"] = round(phase["wall_ms"], 3)
+        phase["mean_ms"] = round(phase["wall_ms"] / phase["count"], 3)
+        if "mem_delta_kb" in phase:
+            phase["mem_delta_kb"] = round(phase["mem_delta_kb"], 1)
+    return phases
+
+
+class RunRecorder:
+    """Brackets one CLI run: start the clocks, then :meth:`finish`.
+
+    ``RunRecorder`` deliberately knows nothing about subcommand
+    internals — it reads everything from the tracer it is handed, so
+    attaching a ledger to a new subcommand is three lines.
+    """
+
+    def __init__(self, command: str, config: Dict[str, Any]) -> None:
+        self.command = command
+        self.config = dict(config)
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        self._epoch = time.time()
+
+    def finish(
+        self,
+        tracer: Optional[Tracer] = None,
+        outcome: Optional[Dict[str, Any]] = None,
+    ) -> RunReport:
+        """Stop the clocks and assemble the report from *tracer*."""
+        wall_s = time.perf_counter() - self._wall_start
+        cpu_s = time.process_time() - self._cpu_start
+        snapshot: Dict[str, Any] = {"counters": {}, "histograms": {}}
+        spans: List[Dict[str, Any]] = []
+        if tracer is not None:
+            snapshot = tracer.metrics.snapshot()
+            spans = [span_to_record(s) for s in tracer.finished_spans()]
+        counters: Dict[str, int] = snapshot.get("counters", {})
+        pairs = 0
+        for name in _THROUGHPUT_COUNTERS:
+            if counters.get(name):
+                pairs = int(counters[name])
+                break
+        peak_kb = peak_rss_kb()
+        try:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                peak_kb = tracemalloc.get_traced_memory()[1] / 1024.0
+        except Exception:
+            pass
+        return RunReport(
+            command=self.command,
+            timestamp=self._epoch,
+            environment=capture_environment(),
+            config=self.config,
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            peak_mem_kb=round(peak_kb, 1),
+            pairs=pairs,
+            throughput_pairs_per_s=(
+                round(pairs / wall_s, 3) if pairs and wall_s > 0 else None
+            ),
+            phases=aggregate_phases(spans),
+            spans=spans,
+            metrics=snapshot,
+            resilience={
+                name: value
+                for name, value in counters.items()
+                if name.startswith("resilience.") and value
+            },
+            outcome=dict(outcome or {}),
+        )
+
+
+def _percent(before: float, after: float) -> str:
+    if before == 0:
+        return "n/a" if after else "±0.0%"
+    return f"{(after - before) / before:+.1%}"
+
+
+def diff_reports(a: RunReport, b: RunReport) -> str:
+    """Phase-timing and metrics deltas between two runs (A → B)."""
+    label_a = f"run {a.run_id}" if a.run_id is not None else "A"
+    label_b = f"run {b.run_id}" if b.run_id is not None else "B"
+    lines = [
+        f"diff {label_a} ({a.command}) -> {label_b} ({b.command}):",
+        f"  wall      {a.wall_s * 1e3:.1f} ms -> {b.wall_s * 1e3:.1f} ms  "
+        f"({_percent(a.wall_s, b.wall_s)})",
+        f"  cpu       {a.cpu_s * 1e3:.1f} ms -> {b.cpu_s * 1e3:.1f} ms  "
+        f"({_percent(a.cpu_s, b.cpu_s)})",
+        f"  peak mem  {a.peak_mem_kb:.0f} KiB -> {b.peak_mem_kb:.0f} KiB  "
+        f"({_percent(a.peak_mem_kb, b.peak_mem_kb)})",
+    ]
+    if a.throughput_pairs_per_s and b.throughput_pairs_per_s:
+        lines.append(
+            f"  pairs/s   {a.throughput_pairs_per_s:.0f} -> "
+            f"{b.throughput_pairs_per_s:.0f}  "
+            f"({_percent(a.throughput_pairs_per_s, b.throughput_pairs_per_s)})"
+        )
+    phases_a = {p["name"]: p for p in a.phases}
+    phases_b = {p["name"]: p for p in b.phases}
+    names = sorted(
+        set(phases_a) | set(phases_b),
+        key=lambda n: -(
+            phases_a.get(n, {}).get("wall_ms", 0.0)
+            + phases_b.get(n, {}).get("wall_ms", 0.0)
+        ),
+    )
+    if names:
+        lines.append("  phases:")
+        width = max(len(n) for n in names)
+        for name in names:
+            wall_a = phases_a.get(name, {}).get("wall_ms", 0.0)
+            wall_b = phases_b.get(name, {}).get("wall_ms", 0.0)
+            lines.append(
+                f"    {name:<{width}}  {wall_a:.3f} ms -> {wall_b:.3f} ms  "
+                f"({_percent(wall_a, wall_b)})"
+            )
+    counters_a: Dict[str, int] = a.metrics.get("counters", {})
+    counters_b: Dict[str, int] = b.metrics.get("counters", {})
+    changed = sorted(
+        name
+        for name in set(counters_a) | set(counters_b)
+        if counters_a.get(name, 0) != counters_b.get(name, 0)
+    )
+    if changed:
+        lines.append("  counters (changed):")
+        width = max(len(n) for n in changed)
+        for name in changed:
+            lines.append(
+                f"    {name:<{width}}  {counters_a.get(name, 0)} -> "
+                f"{counters_b.get(name, 0)}"
+            )
+    else:
+        lines.append("  counters: identical")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Thread-safety of MetricsRegistry under concurrent recording."""
+
+import pickle
+import threading
+
+from repro.observability import MetricsRegistry
+
+
+class TestConcurrentRecording:
+    def test_inc_is_exact_under_contention(self):
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 5_000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                registry.inc("pipeline.pairs")
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert registry.counters["pipeline.pairs"] == threads * per_thread
+
+    def test_observe_is_exact_under_contention(self):
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 2_000
+        barrier = threading.Barrier(threads)
+
+        def hammer(value):
+            barrier.wait()
+            for _ in range(per_thread):
+                registry.observe("executor.batch_ms", value)
+
+        workers = [
+            threading.Thread(target=hammer, args=(float(i + 1),))
+            for i in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        summary = registry.snapshot()["histograms"]["executor.batch_ms"]
+        assert summary["count"] == threads * per_thread
+        assert summary["min"] == 1.0
+        assert summary["max"] == float(threads)
+
+    def test_snapshot_consistent_during_writes(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                registry.inc("a")
+                registry.observe("h", 1.0)
+
+        worker = threading.Thread(target=writer)
+        worker.start()
+        try:
+            for _ in range(200):
+                snapshot = registry.snapshot()
+                assert snapshot["counters"].get("a", 0) >= 0
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_merge_under_contention(self):
+        target = MetricsRegistry()
+        source = MetricsRegistry()
+        source.inc("x", 10)
+        threads = 4
+        barrier = threading.Barrier(threads)
+
+        def merger():
+            barrier.wait()
+            for _ in range(100):
+                target.merge(source)
+
+        workers = [threading.Thread(target=merger) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert target.counters["x"] == threads * 100 * 10
+
+
+class TestLockPlumbing:
+    def test_registry_pickles_without_its_lock(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 3)
+        registry.observe("h", 2.0)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counters == {"a": 3}
+        assert clone.snapshot()["histograms"]["h"]["count"] == 1
+        clone.inc("a")  # the restored registry still locks correctly
+        assert clone.counters["a"] == 4

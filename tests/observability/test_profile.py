@@ -1,0 +1,103 @@
+"""Tests for the phase profiler (tracer memory/counter attribution)."""
+
+import pytest
+
+from repro.observability import (
+    PROFILE_OFF,
+    PROFILE_RSS,
+    PROFILE_TRACEMALLOC,
+    Tracer,
+    current_rss_kb,
+    format_profile,
+    peak_rss_kb,
+)
+
+
+class TestMemoryReaders:
+    def test_current_rss_positive_on_linux(self):
+        assert current_rss_kb() >= 0.0  # 0.0 only where /proc is absent
+
+    def test_peak_rss_positive(self):
+        assert peak_rss_kb() > 0.0
+
+
+class TestProfileModes:
+    def test_default_is_off(self):
+        tracer = Tracer()
+        assert tracer.profile == PROFILE_OFF
+        assert not tracer.profiling
+        with tracer.span("work") as span:
+            pass
+        assert span.memory is None
+        assert span.counter_deltas is None
+
+    def test_rss_mode_attributes_memory(self):
+        tracer = Tracer(profile=PROFILE_RSS)
+        assert tracer.profiling
+        with tracer.span("work") as span:
+            pass
+        assert span.memory["mode"] == PROFILE_RSS
+        assert {"start_kb", "end_kb", "delta_kb"} <= set(span.memory)
+
+    def test_counter_deltas_scoped_to_span(self):
+        tracer = Tracer(profile=PROFILE_RSS)
+        tracer.metrics.inc("before", 5)
+        with tracer.span("outer"):
+            tracer.metrics.inc("pipeline.pairs", 3)
+            with tracer.span("inner") as inner:
+                tracer.metrics.inc("pipeline.matches", 2)
+        assert inner.counter_deltas == {"pipeline.matches": 2}
+        outer = tracer.finished_spans()[0]  # creation order: outer first
+        assert outer.counter_deltas == {
+            "pipeline.pairs": 3,
+            "pipeline.matches": 2,
+        }
+        assert "before" not in outer.counter_deltas
+
+    def test_tracemalloc_mode(self):
+        tracer = Tracer(profile=PROFILE_TRACEMALLOC)
+        with tracer.span("alloc") as span:
+            blob = [0] * 50_000
+        assert span.memory["mode"] == PROFILE_TRACEMALLOC
+        assert span.memory["delta_kb"] > 0
+        del blob
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            Tracer(profile="perf")
+
+    def test_set_profile_after_construction(self):
+        tracer = Tracer()
+        tracer.set_profile(PROFILE_RSS)
+        with tracer.span("work") as span:
+            pass
+        assert span.memory is not None
+
+
+class TestFormatProfile:
+    def _tracer(self):
+        tracer = Tracer(profile=PROFILE_RSS)
+        with tracer.span("identify.run"):
+            tracer.metrics.inc("pipeline.pairs", 7)
+            with tracer.span("identify.matching_table"):
+                tracer.metrics.inc("pipeline.matches", 1)
+        return tracer
+
+    def test_tree_with_memory_and_counters(self):
+        text = format_profile(self._tracer())
+        assert "identify.run" in text
+        assert "  identify.matching_table" in text  # indented child
+        assert "mem" in text
+        assert "KiB" in text
+        assert "pipeline.pairs +7" in text
+
+    def test_unprofiled_tracer_renders_plain_tree(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        text = format_profile(tracer)
+        assert "work" in text
+        assert "mem" not in text
+
+    def test_empty(self):
+        assert format_profile(Tracer()) == "(no spans recorded)"

@@ -1,0 +1,160 @@
+"""Tests for repro.telemetry.benchcheck (history + regression gate)."""
+
+import pytest
+
+from repro.telemetry import (
+    HistoryError,
+    append_history,
+    check_history,
+    format_verdicts,
+    load_history,
+    make_record,
+)
+
+_ENV_A = {"python": "3.11.7", "machine": "x86_64", "cpu_count": 2}
+_ENV_B = {"python": "3.12.1", "machine": "arm64", "cpu_count": 8}
+
+
+def _rec(value, *, series="mt", kind="latency", size=1000, env=_ENV_A, **kw):
+    return make_record(
+        "blocking", series, kind, value, size=size, environment=env, **kw
+    )
+
+
+class TestRecords:
+    def test_make_record_shape(self):
+        record = _rec(10.0, baseline=True, extra={"reps": 5})
+        assert record["bench"] == "blocking"
+        assert record["series"] == "mt"
+        assert record["kind"] == "latency"
+        assert record["value"] == 10.0
+        assert record["size"] == 1000
+        assert record["baseline"] is True
+        assert record["extra"] == {"reps": 5}
+        assert record["env"] == _ENV_A
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            make_record("b", "s", "speed", 1.0)
+
+    def test_env_captured_when_omitted(self):
+        assert make_record("b", "s", "latency", 1.0)["env"]["python"]
+
+
+class TestHistoryFile:
+    def test_append_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        assert append_history(path, [_rec(10.0), _rec(11.0)]) == 2
+        assert append_history(path, [_rec(12.0)]) == 1  # appends, not truncates
+        values = [record["value"] for record in load_history(path)]
+        assert values == [10.0, 11.0, 12.0]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(HistoryError, match="no bench history"):
+            load_history(str(tmp_path / "nope.jsonl"))
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"series": "a", "value": 1}\n{oops\n')
+        with pytest.raises(HistoryError, match="not valid JSON"):
+            load_history(str(path))
+
+    def test_record_without_series_raises(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"value": 1}\n')
+        with pytest.raises(HistoryError, match="series"):
+            load_history(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"series": "a", "value": 1}\n\n')
+        assert len(load_history(str(path))) == 1
+
+
+class TestGate:
+    def test_latency_regression_flagged(self):
+        verdicts = check_history([_rec(10.0), _rec(12.0)], threshold=0.15)
+        assert len(verdicts) == 1
+        assert verdicts[0].regressed
+        assert verdicts[0].change == pytest.approx(0.2)
+
+    def test_latency_within_budget(self):
+        verdicts = check_history([_rec(10.0), _rec(11.0)], threshold=0.15)
+        assert not verdicts[0].regressed
+
+    def test_latency_improvement_never_regresses(self):
+        verdicts = check_history([_rec(10.0), _rec(2.0)], threshold=0.15)
+        assert not verdicts[0].regressed
+
+    def test_throughput_direction_inverted(self):
+        faster = [
+            _rec(100.0, series="writes", kind="throughput"),
+            _rec(200.0, series="writes", kind="throughput"),
+        ]
+        slower = [
+            _rec(100.0, series="writes", kind="throughput"),
+            _rec(50.0, series="writes", kind="throughput"),
+        ]
+        assert not check_history(faster)[0].regressed
+        assert check_history(slower)[0].regressed
+
+    def test_single_record_series_produces_no_verdict(self):
+        assert check_history([_rec(10.0)]) == []
+
+    def test_series_keyed_by_bench_series_size(self):
+        records = [
+            _rec(10.0, size=1000),
+            _rec(99.0, size=5000),  # different size: separate series
+            _rec(10.5, size=1000),
+        ]
+        verdicts = check_history(records)
+        assert len(verdicts) == 1  # only size=1000 has two records
+        assert verdicts[0].size == 1000
+
+    def test_flagged_baseline_wins_over_first(self):
+        records = [
+            _rec(5.0),
+            _rec(10.0, baseline=True),
+            _rec(11.0),
+        ]
+        verdict = check_history(records, threshold=0.15)[0]
+        assert verdict.baseline == 10.0
+        assert not verdict.regressed
+
+    def test_same_env_filters_foreign_records(self):
+        records = [
+            _rec(10.0, env=_ENV_B),  # foreign baseline would flag this
+            _rec(20.0, env=_ENV_A),
+            _rec(21.0, env=_ENV_A),
+        ]
+        cross = check_history(records, threshold=0.15)[0]
+        assert cross.regressed  # 10 -> 21 across environments
+        same = check_history(records, threshold=0.15, same_env=True)[0]
+        assert same.baseline == 20.0
+        assert not same.regressed
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            check_history([_rec(1.0), _rec(1.0)], threshold=0)
+
+    def test_verdict_to_dict_json_plain(self):
+        import json
+
+        verdict = check_history([_rec(10.0), _rec(12.0)])[0]
+        json.dumps(verdict.to_dict())
+
+
+class TestRendering:
+    def test_labels_and_markers(self):
+        verdicts = check_history([_rec(10.0), _rec(12.0)], threshold=0.15)
+        text = format_verdicts(verdicts, 0.15)
+        assert "1 REGRESSED" in text
+        assert "blocking/mt@1000" in text
+        assert "+20.0%" in text
+
+    def test_all_ok(self):
+        verdicts = check_history([_rec(10.0), _rec(10.1)], threshold=0.15)
+        assert "all within budget" in format_verdicts(verdicts, 0.15)
+
+    def test_no_comparable_series(self):
+        assert "no comparable series" in format_verdicts([], 0.15)

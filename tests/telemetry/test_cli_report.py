@@ -1,0 +1,286 @@
+"""End-to-end tests for --ledger/--profile and ``repro report``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import RunLedger, append_history, make_record
+
+_ENV = {"python": "3.11.7", "machine": "x86_64", "cpu_count": 2}
+
+
+@pytest.fixture
+def example2_csvs(tmp_path):
+    r_path = tmp_path / "R.csv"
+    r_path.write_text(
+        "name,cuisine,street\n"
+        "TwinCities,Chinese,Wash.Ave.\n"
+        "TwinCities,Indian,Univ.Ave.\n"
+    )
+    s_path = tmp_path / "S.csv"
+    s_path.write_text(
+        "name,speciality,city\nTwinCities,Mughalai,St.Paul\n"
+    )
+    return r_path, s_path
+
+
+def _identify_args(r_path, s_path, *extra):
+    return [
+        str(r_path),
+        str(s_path),
+        "--r-key", "name,cuisine",
+        "--s-key", "name,speciality",
+        "--extended-key", "name,cuisine",
+        "--ilfd", "speciality=Mughalai -> cuisine=Indian",
+        *extra,
+    ]
+
+
+@pytest.fixture
+def two_run_ledger(example2_csvs, tmp_path):
+    """The acceptance scenario: two ledgered identify runs."""
+    r_path, s_path = example2_csvs
+    ledger_path = tmp_path / "runs.db"
+    for _ in range(2):
+        status = main(
+            _identify_args(r_path, s_path, "--ledger", str(ledger_path))
+        )
+        assert status == 0
+    return ledger_path
+
+
+class TestLedgerFlag:
+    def test_two_runs_two_rows(self, two_run_ledger):
+        with RunLedger(str(two_run_ledger)) as ledger:
+            assert ledger.run_ids() == [1, 2]
+            report = ledger.get(1)
+        assert report.command == "identify"
+        assert report.outcome["sound"] is True
+        assert report.outcome["exit_status"] == 0
+        assert report.pairs > 0
+        assert report.phases
+
+    def test_append_message_printed(
+        self, example2_csvs, tmp_path, capsys
+    ):
+        r_path, s_path = example2_csvs
+        ledger_path = tmp_path / "runs.db"
+        main(_identify_args(r_path, s_path, "--ledger", str(ledger_path)))
+        assert (
+            f"run report 1 appended to {ledger_path}"
+            in capsys.readouterr().out
+        )
+
+    def test_config_frozen_in_report(self, two_run_ledger):
+        with RunLedger(str(two_run_ledger)) as ledger:
+            config = ledger.get(1).config
+        assert config["command"] == "identify"
+        assert "profile" not in config  # only recorded when profiling is on
+
+    def test_unsound_run_still_ledgered(self, example2_csvs, tmp_path):
+        r_path, s_path = example2_csvs
+        ledger_path = tmp_path / "runs.db"
+        status = main(
+            [
+                str(r_path),
+                str(s_path),
+                "--r-key", "name,cuisine",
+                "--s-key", "name,speciality",
+                "--extended-key", "name",
+                "--ledger", str(ledger_path),
+                "--quiet",
+            ]
+        )
+        assert status == 1  # "name" alone is an unsound extended key
+        with RunLedger(str(ledger_path)) as ledger:
+            report = ledger.get(1)
+        assert report.outcome["sound"] is False
+        assert report.outcome["exit_status"] == 1
+
+
+class TestProfileFlag:
+    def test_profile_tree_printed(self, example2_csvs, capsys):
+        r_path, s_path = example2_csvs
+        assert main(_identify_args(r_path, s_path, "--profile")) == 0
+        out = capsys.readouterr().out
+        assert "identify.run" in out
+        assert "mem" in out
+
+    def test_profiled_report_carries_memory(
+        self, example2_csvs, tmp_path
+    ):
+        r_path, s_path = example2_csvs
+        ledger_path = tmp_path / "runs.db"
+        main(
+            _identify_args(
+                r_path, s_path, "--profile", "--ledger", str(ledger_path)
+            )
+        )
+        with RunLedger(str(ledger_path)) as ledger:
+            report = ledger.get(1)
+        assert report.config["profile"] == "rss"
+        assert any(span.get("memory") for span in report.spans)
+
+
+class TestReportList:
+    def test_table(self, two_run_ledger, capsys):
+        status = main(["report", "list", "--ledger", str(two_run_ledger)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "identify" in out
+        assert out.count("\n") >= 3  # header + two rows
+
+    def test_json(self, two_run_ledger, capsys):
+        main(["report", "list", "--ledger", str(two_run_ledger), "--json"])
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["id"] for row in rows] == [1, 2]
+        assert rows[0]["sound"] is True
+
+    def test_missing_ledger_exits_2(self, tmp_path, capsys):
+        status = main(
+            ["report", "list", "--ledger", str(tmp_path / "nope.db")]
+        )
+        assert status == 2
+        assert "no run ledger" in capsys.readouterr().err
+
+
+class TestReportShowDiff:
+    def test_show_defaults_to_newest(self, two_run_ledger, capsys):
+        assert main(["report", "show", "--ledger", str(two_run_ledger)]) == 0
+        assert "run 2: repro identify" in capsys.readouterr().out
+
+    def test_show_json_roundtrips(self, two_run_ledger, capsys):
+        main(
+            ["report", "show", "1", "--ledger", str(two_run_ledger), "--json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert data["run_id"] == 1
+        assert data["command"] == "identify"
+
+    def test_diff_renders_deltas(self, two_run_ledger, capsys):
+        status = main(
+            ["report", "diff", "1", "2", "--ledger", str(two_run_ledger)]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "diff run 1 (identify) -> run 2 (identify):" in out
+        assert "wall" in out
+        assert "phases:" in out
+
+    def test_unknown_run_exits_2(self, two_run_ledger, capsys):
+        status = main(
+            ["report", "diff", "1", "99", "--ledger", str(two_run_ledger)]
+        )
+        assert status == 2
+        assert "no run 99" in capsys.readouterr().err
+
+
+class TestReportExports:
+    def test_prom(self, two_run_ledger, capsys):
+        assert main(["report", "prom", "--ledger", str(two_run_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_run_wall_seconds gauge" in out
+        assert 'run="2"' in out  # defaults to the newest run
+
+    def test_prom_to_file(self, two_run_ledger, tmp_path):
+        out_path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "report", "prom", "1",
+                    "--ledger", str(two_run_ledger),
+                    "--out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert "repro_run_pairs" in out_path.read_text()
+
+    def test_jsonl_all_runs(self, two_run_ledger, capsys):
+        assert main(["report", "jsonl", "--ledger", str(two_run_ledger)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert {r["run"] for r in records} == {1, 2}
+        assert records[0]["kind"] == "run"
+
+
+class TestBenchCheck:
+    def test_ok_exit_0(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(
+            path,
+            [
+                make_record("b", "mt", "latency", 10.0, environment=_ENV),
+                make_record("b", "mt", "latency", 10.5, environment=_ENV),
+            ],
+        )
+        assert main(["report", "bench-check", "--history", path]) == 0
+        assert "all within budget" in capsys.readouterr().out
+
+    def test_regression_exit_1(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(
+            path,
+            [
+                make_record("b", "mt", "latency", 10.0, environment=_ENV),
+                make_record("b", "mt", "latency", 13.0, environment=_ENV),
+            ],
+        )
+        assert main(["report", "bench-check", "--history", path]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(
+            path,
+            [
+                make_record("b", "mt", "latency", 10.0, environment=_ENV),
+                make_record("b", "mt", "latency", 13.0, environment=_ENV),
+            ],
+        )
+        status = main(
+            ["report", "bench-check", "--history", path, "--json"]
+        )
+        assert status == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["regressed"] == ["b/mt"]
+        assert data["series"][0]["change"] == pytest.approx(0.3)
+
+    def test_missing_history_exits_2(self, tmp_path, capsys):
+        status = main(
+            [
+                "report", "bench-check",
+                "--history", str(tmp_path / "nope.jsonl"),
+            ]
+        )
+        assert status == 2
+        assert "no bench history" in capsys.readouterr().err
+
+    def test_committed_baseline_passes(self, capsys):
+        # the repo-root baseline CI gates against must itself be green
+        assert main(["report", "bench-check"]) == 0
+
+
+class TestStatsJson:
+    def test_stats_json_contract(self, example2_csvs, tmp_path, capsys):
+        r_path, s_path = example2_csvs
+        trace_path = tmp_path / "trace.jsonl"
+        main(
+            _identify_args(
+                r_path, s_path, "--trace", str(trace_path), "--quiet"
+            )
+        )
+        capsys.readouterr()
+        status = main(["stats", str(trace_path), "--json"])
+        assert status == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["trace_file"] == str(trace_path)
+        assert any(
+            phase["name"] == "identify.run" for phase in data["spans"]
+        )
+        assert "counters" in data["metrics"]
+
+    def test_stats_json_missing_file_exits_nonzero(self, tmp_path, capsys):
+        status = main(["stats", str(tmp_path / "nope.jsonl"), "--json"])
+        assert status != 0

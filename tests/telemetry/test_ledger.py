@@ -1,0 +1,132 @@
+"""Tests for repro.telemetry.ledger (the append-only run ledger)."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.observability import Tracer
+from repro.telemetry import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerError,
+    RunLedger,
+    RunRecorder,
+)
+
+
+def _report(command="identify"):
+    recorder = RunRecorder(command, {"workers": 1})
+    tracer = Tracer()
+    with tracer.span("identify.run"):
+        tracer.metrics.inc("pipeline.pairs", 10)
+        tracer.metrics.inc("pipeline.matches", 2)
+    return recorder.finish(tracer, {"exit_status": 0, "sound": True})
+
+
+class TestAppendGet:
+    def test_roundtrip(self, tmp_path):
+        with RunLedger(str(tmp_path / "runs.db")) as ledger:
+            report = _report()
+            run_id = ledger.append(report)
+            assert run_id == 1
+            assert report.run_id == 1  # append stamps the id back
+            stored = ledger.get(run_id)
+            assert stored.run_id == 1
+            assert stored.to_dict() == report.to_dict()
+
+    def test_ids_are_sequential(self, tmp_path):
+        with RunLedger(str(tmp_path / "runs.db")) as ledger:
+            assert [ledger.append(_report()) for _ in range(3)] == [1, 2, 3]
+            assert ledger.run_ids() == [1, 2, 3]
+            assert ledger.latest_id() == 3
+
+    def test_empty_ledger(self, tmp_path):
+        with RunLedger(str(tmp_path / "runs.db")) as ledger:
+            assert ledger.latest_id() is None
+            assert ledger.run_ids() == []
+            assert ledger.list_runs() == []
+
+    def test_unknown_run_raises(self, tmp_path):
+        with RunLedger(str(tmp_path / "runs.db")) as ledger:
+            with pytest.raises(LedgerError, match="no run 42"):
+                ledger.get(42)
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        with RunLedger(path) as ledger:
+            ledger.append(_report())
+        with RunLedger(path) as ledger:
+            assert ledger.latest_id() == 1
+            assert ledger.append(_report()) == 2
+
+    def test_memory_ledger(self):
+        with RunLedger(":memory:") as ledger:
+            assert ledger.append(_report()) == 1
+
+
+class TestListRuns:
+    def test_light_rows(self, tmp_path):
+        with RunLedger(str(tmp_path / "runs.db")) as ledger:
+            ledger.append(_report())
+            ledger.append(_report("conform"))
+            rows = ledger.list_runs()
+        assert [row["command"] for row in rows] == ["identify", "conform"]
+        first = rows[0]
+        assert first["id"] == 1
+        assert first["pairs"] == 10
+        assert first["matches"] == 2
+        assert first["sound"] is True
+
+
+class TestSchema:
+    def test_version_stamped(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        RunLedger(path).close()
+        conn = sqlite3.connect(path)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        conn.close()
+        assert row[0] == str(LEDGER_SCHEMA_VERSION)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        RunLedger(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value=? WHERE key='schema_version'",
+            (str(LEDGER_SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(LedgerError, match="schema version"):
+            RunLedger(path)
+
+    def test_unopenable_path_raises(self, tmp_path):
+        with pytest.raises(LedgerError, match="cannot open"):
+            RunLedger(str(tmp_path / "missing" / "dir" / "runs.db"))
+
+    def test_report_stored_as_canonical_json(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        report = _report()
+        with RunLedger(path) as ledger:
+            ledger.append(report)
+        conn = sqlite3.connect(path)
+        text = conn.execute("SELECT report FROM runs WHERE id=1").fetchone()[0]
+        conn.close()
+        assert text == json.dumps(
+            report.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        RunLedger(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "INSERT INTO runs (ts, command, report) VALUES (0, 'x', '{oops')"
+        )
+        conn.commit()
+        conn.close()
+        with RunLedger(path) as ledger:
+            with pytest.raises(LedgerError, match="malformed"):
+                ledger.get(1)

@@ -1,0 +1,127 @@
+"""Tests for repro.telemetry.prometheus (exposition + JSONL emitters)."""
+
+import json
+
+from repro.observability import Tracer
+from repro.telemetry import (
+    RunRecorder,
+    metrics_to_jsonl_records,
+    metrics_to_prometheus,
+    report_to_prometheus,
+    sanitize_metric_name,
+    write_metrics_jsonl,
+)
+from repro.telemetry.prometheus import format_labels
+
+
+def _report():
+    recorder = RunRecorder("identify", {"workers": 1})
+    tracer = Tracer()
+    with tracer.span("identify.run"):
+        tracer.metrics.inc("pipeline.pairs", 20)
+        tracer.metrics.observe("executor.batch_ms", 1.5)
+        tracer.metrics.observe("executor.batch_ms", 2.5)
+    report = recorder.finish(tracer, {"exit_status": 0})
+    report.run_id = 3
+    return report
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert (
+            sanitize_metric_name("blocking.pairs_generated", "_total")
+            == "repro_blocking_pairs_generated_total"
+        )
+
+    def test_invalid_chars_collapse(self):
+        assert sanitize_metric_name("a b//c") == "repro_a_b_c"
+
+
+class TestLabels:
+    def test_sorted_and_quoted(self):
+        assert (
+            format_labels({"run": 3, "command": "identify"})
+            == '{command="identify",run="3"}'
+        )
+
+    def test_escaping(self):
+        assert format_labels({"k": 'a"b\\c'}) == '{k="a\\"b\\\\c"}'
+
+    def test_empty(self):
+        assert format_labels(None) == ""
+        assert format_labels({}) == ""
+
+
+class TestMetricsExposition:
+    def test_counter_lines(self):
+        text = metrics_to_prometheus({"counters": {"pipeline.pairs": 20}})
+        assert "# TYPE repro_pipeline_pairs_total counter" in text
+        assert "repro_pipeline_pairs_total 20" in text
+
+    def test_histogram_summary_lines(self):
+        text = metrics_to_prometheus(
+            {
+                "histograms": {
+                    "executor.batch_ms": {
+                        "count": 2,
+                        "sum": 4.0,
+                        "min": 1.5,
+                        "max": 2.5,
+                        "mean": 2.0,
+                    }
+                }
+            }
+        )
+        assert "# TYPE repro_executor_batch_ms summary" in text
+        assert "repro_executor_batch_ms_count 2" in text
+        assert "repro_executor_batch_ms_sum 4.0" in text
+        assert "repro_executor_batch_ms_mean 2.0" in text
+
+    def test_labels_applied_to_every_sample(self):
+        text = metrics_to_prometheus(
+            {"counters": {"pipeline.pairs": 1}}, {"run": 9}
+        )
+        assert 'repro_pipeline_pairs_total{run="9"} 1' in text
+
+    def test_empty_snapshot(self):
+        assert metrics_to_prometheus({}) == ""
+
+
+class TestReportExposition:
+    def test_run_gauges_with_labels(self):
+        text = report_to_prometheus(_report())
+        assert (
+            'repro_run_wall_seconds{command="identify",run="3"}' in text
+        )
+        assert "repro_run_pairs" in text
+        assert "repro_run_throughput_pairs_per_second" in text
+
+    def test_phase_samples(self):
+        text = report_to_prometheus(_report())
+        assert (
+            'repro_run_phase_wall_ms{command="identify",'
+            'phase="identify.run",run="3"}' in text
+        )
+
+    def test_metrics_included(self):
+        assert "repro_pipeline_pairs_total" in report_to_prometheus(_report())
+
+
+class TestJsonl:
+    def test_header_then_metric_rows(self):
+        records = list(metrics_to_jsonl_records(_report()))
+        assert records[0]["kind"] == "run"
+        assert records[0]["run"] == 3
+        kinds = {record["kind"] for record in records[1:]}
+        assert kinds == {"counter", "histogram"}
+        counter = next(r for r in records if r["kind"] == "counter")
+        assert counter["name"] == "pipeline.pairs"
+        assert counter["value"] == 20
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        count = write_metrics_jsonl([_report(), _report()], str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count
+        for line in lines:
+            json.loads(line)

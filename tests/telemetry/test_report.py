@@ -1,0 +1,151 @@
+"""Tests for repro.telemetry.report (RunReport / RunRecorder / diff)."""
+
+import json
+
+import pytest
+
+from repro.observability import PROFILE_RSS, Tracer
+from repro.telemetry import (
+    RunRecorder,
+    RunReport,
+    aggregate_phases,
+    diff_reports,
+)
+
+
+def _traced_tracer(profile=None):
+    tracer = Tracer() if profile is None else Tracer(profile=profile)
+    with tracer.span("identify.run"):
+        with tracer.span("identify.extend_relations"):
+            tracer.metrics.inc("ilfd.rows_extended", 5)
+        with tracer.span("identify.matching_table"):
+            tracer.metrics.inc("pipeline.pairs", 20)
+            tracer.metrics.inc("pipeline.matches", 3)
+    return tracer
+
+
+def _report(command="identify", outcome=None, profile=None):
+    recorder = RunRecorder(command, {"workers": 1, "blocker": "hash"})
+    tracer = _traced_tracer(profile)
+    return recorder.finish(tracer, outcome or {"exit_status": 0, "sound": True})
+
+
+class TestRunRecorder:
+    def test_captures_cost_and_outcome(self):
+        report = _report()
+        assert report.command == "identify"
+        assert report.wall_s > 0
+        assert report.cpu_s >= 0
+        assert report.peak_mem_kb > 0
+        assert report.outcome == {"exit_status": 0, "sound": True}
+        assert report.config == {"workers": 1, "blocker": "hash"}
+
+    def test_environment_header_attached(self):
+        env = _report().environment
+        assert env["python"]
+        assert env["cpu_count"] >= 1
+
+    def test_pairs_and_throughput_from_counters(self):
+        report = _report()
+        assert report.pairs == 20
+        assert report.throughput_pairs_per_s > 0
+
+    def test_phases_aggregate_span_tree(self):
+        report = _report()
+        names = {phase["name"] for phase in report.phases}
+        assert "identify.run" in names
+        assert "identify.matching_table" in names
+        # ordered by total wall time descending; the root dominates
+        assert report.phases[0]["name"] == "identify.run"
+
+    def test_metrics_snapshot_complete(self):
+        counters = _report().metrics["counters"]
+        assert counters["pipeline.matches"] == 3
+
+    def test_resilience_events_extracted(self):
+        recorder = RunRecorder("identify", {})
+        tracer = Tracer()
+        tracer.metrics.inc("resilience.retries", 2)
+        tracer.metrics.inc("pipeline.pairs", 1)
+        report = recorder.finish(tracer, {})
+        assert report.resilience == {"resilience.retries": 2}
+
+    def test_without_tracer(self):
+        report = RunRecorder("conform", {}).finish(None, {"ok": True})
+        assert report.pairs == 0
+        assert report.phases == []
+        assert report.throughput_pairs_per_s is None
+
+
+class TestRunReportRoundTrip:
+    def test_to_dict_json_plain(self):
+        json.dumps(_report().to_dict())
+
+    def test_from_dict_inverse(self):
+        report = _report()
+        clone = RunReport.from_dict(report.to_dict(), run_id=7)
+        assert clone.run_id == 7
+        assert clone.to_dict() == report.to_dict()
+
+    def test_summary_mentions_command_and_phases(self):
+        text = _report().summary()
+        assert "repro identify" in text
+        assert "identify.matching_table" in text
+        assert "pairs/s" in text
+
+
+class TestAggregatePhases:
+    def test_groups_by_name(self):
+        spans = [
+            {"name": "a", "duration": 0.002},
+            {"name": "a", "duration": 0.001},
+            {"name": "b", "duration": 0.010},
+        ]
+        phases = aggregate_phases(spans)
+        assert phases[0]["name"] == "b"
+        a = phases[1]
+        assert a["count"] == 2
+        assert a["wall_ms"] == pytest.approx(3.0)
+        assert a["mean_ms"] == pytest.approx(1.5)
+
+    def test_memory_deltas_summed_when_profiled(self):
+        spans = [
+            {"name": "a", "duration": 0.001, "memory": {"delta_kb": 4.0}},
+            {"name": "a", "duration": 0.001, "memory": {"delta_kb": 2.0}},
+        ]
+        assert aggregate_phases(spans)[0]["mem_delta_kb"] == pytest.approx(6.0)
+
+    def test_empty(self):
+        assert aggregate_phases([]) == []
+
+
+class TestDiffReports:
+    def test_renders_deltas(self):
+        a, b = _report(), _report()
+        a.run_id, b.run_id = 1, 2
+        text = diff_reports(a, b)
+        assert text.startswith("diff run 1 (identify) -> run 2 (identify):")
+        assert "wall" in text
+        assert "identify.run" in text
+        assert "counters: identical" in text
+
+    def test_changed_counters_listed(self):
+        a, b = _report(), _report()
+        b.metrics["counters"]["pipeline.matches"] = 99
+        text = diff_reports(a, b)
+        assert "counters (changed):" in text
+        assert "pipeline.matches" in text
+        assert "3 -> 99" in text
+
+    def test_zero_baseline_is_na(self):
+        a, b = _report(), _report()
+        a.phases = [{"name": "x", "wall_ms": 0.0}]
+        b.phases = [{"name": "x", "wall_ms": 5.0}]
+        assert "n/a" in diff_reports(a, b)
+
+
+class TestProfiledReport:
+    def test_phase_memory_present_under_rss_profile(self):
+        report = _report(profile=PROFILE_RSS)
+        assert any("mem_delta_kb" in phase for phase in report.phases)
+        assert any(span.get("memory") for span in report.spans)
