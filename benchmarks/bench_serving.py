@@ -1,0 +1,453 @@
+"""X6 — serving: point-lookup latency and sustained HTTP throughput.
+
+Two modes:
+
+- pytest-benchmark (the harness this directory shares): small stores,
+  timing ``MatchLookupService.resolve`` cold (replica read) and warm
+  (LRU hit) and asserting both produce the identical answer.
+- script mode (``python benchmarks/bench_serving.py``): the
+  characterisation written machine-readable to ``BENCH_serving.json``
+  — p50/p99 resolve latency and sustained HTTP QPS against a
+  1M-match store (``--matches`` scales it down for slower hosts),
+  plus the search-before-insert ingest latency on a checkpoint-backed
+  store.  ``--smoke`` runs a 2k-match store and skips the file writes
+  (the CI check).  ``--baseline`` flags the appended history records
+  as the series' baselines for ``repro report bench-check``.
+
+Honesty notes, recorded in the JSON itself: the store is synthesized
+directly through the store API (``put_row`` + ``record_match``) rather
+than a full identification run — serving reads are agnostic to how the
+matches got there, and a 1M-row pipeline run would bench the identifier,
+not the server.  The headline QPS draws keys uniformly from the whole
+keyspace, so it is miss-dominated (every request pays a replica read);
+the cache-hot figure is reported alongside, not as the headline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import List, Optional, Sequence
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:  # script mode
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.serving import MatchLookupService, ServingServer, ServingTracer
+from repro.store import SqliteStore
+from repro.workloads import EmployeeWorkloadSpec, employee_workload
+
+_BUILD_BATCH = 10_000
+_IDENTITY_RULE = "extended-key{division,name}"
+
+
+def _entity_key(index: int):
+    return (("name", f"entity-{index:07d}"),)
+
+
+def _build_store(path: str, matches: int) -> float:
+    """Synthesize a store with *matches* matched R/S pairs; returns seconds.
+
+    Rows go straight through ``put_row``/``record_match`` — the same
+    rows and journal shape a batch run persists, minus the identifier's
+    compute, which is not what this bench measures.
+    """
+    from repro.relational.row import Row
+
+    start = time.perf_counter()
+    with SqliteStore(path) as store:
+        store.set_key_attributes(("name",), ("name",))
+        store.set_extended_key_attributes(("division", "name"))
+        ts = time.time()
+        done = 0
+        while done < matches:
+            batch = min(_BUILD_BATCH, matches - done)
+            with store.transaction():
+                for i in range(done, done + batch):
+                    name = f"entity-{i:07d}"
+                    division = f"div-{i % 97:02d}"
+                    r_ext = Row(
+                        {"name": name, "dept": f"dept-{i % 97:02d}",
+                         "title": "member", "division": division}
+                    )
+                    s_ext = Row(
+                        {"name": name, "division": division, "grade": "g1"}
+                    )
+                    key = _entity_key(i)
+                    store.put_row("r", key, r_ext, r_ext)
+                    store.put_row("s", key, s_ext, s_ext)
+                    store.record_match(
+                        key, key, r_ext, s_ext,
+                        rule=_IDENTITY_RULE, timestamp=ts,
+                    )
+            done += batch
+    return time.perf_counter() - start
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _bench_resolve(path: str, matches: int, samples: int, seed: int) -> dict:
+    """Per-request resolve latency: cold (replica read) and cache-hot."""
+    rng = random.Random(seed)
+    keys = [_entity_key(rng.randrange(matches)) for _ in range(samples)]
+    cold_ms: List[float] = []
+    hot_ms: List[float] = []
+    with MatchLookupService(path, workers=2, cache_size=samples * 2) as service:
+        for key in keys:
+            start = time.perf_counter()
+            result = service.resolve("r", key)
+            cold_ms.append((time.perf_counter() - start) * 1000.0)
+            assert result["found"] and result["matches"]
+        for key in keys:
+            start = time.perf_counter()
+            result = service.resolve("r", key)
+            hot_ms.append((time.perf_counter() - start) * 1000.0)
+            assert result["cache"] == "hit"
+        cache_stats = service.cache.stats()
+    return {
+        "samples": samples,
+        "cold_p50_ms": round(_percentile(cold_ms, 0.50), 3),
+        "cold_p99_ms": round(_percentile(cold_ms, 0.99), 3),
+        "hot_p50_ms": round(_percentile(hot_ms, 0.50), 3),
+        "hot_p99_ms": round(_percentile(hot_ms, 0.99), 3),
+        "cache_hits": cache_stats["hits"],
+        "cache_misses": cache_stats["misses"],
+    }
+
+
+class _ServerThread:
+    """ServingServer on its own loop thread (the CLI's runtime shape)."""
+
+    def __init__(self, service):
+        import asyncio
+
+        self._asyncio = asyncio
+        self._server = ServingServer(service, port=0)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serving bench: server failed to start")
+
+    def _run(self):
+        self._asyncio.set_event_loop(self._loop)
+
+        async def boot():
+            await self._server.start()
+            self._ready.set()
+
+        self._loop.run_until_complete(boot())
+        self._loop.run_forever()
+
+    @property
+    def address(self):
+        return self._server.address
+
+    def close(self):
+        async def shutdown():
+            await self._server.stop()
+
+        self._asyncio.run_coroutine_threadsafe(
+            shutdown(), self._loop
+        ).result(30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+
+
+def _drive_http(host, port, paths: List[str]) -> List[float]:
+    """One keep-alive connection; returns per-request latencies (ms)."""
+    latencies: List[float] = []
+    conn = HTTPConnection(host, port, timeout=60)
+    try:
+        for path in paths:
+            start = time.perf_counter()
+            conn.request("GET", path)
+            response = conn.getresponse()
+            body = response.read()
+            latencies.append((time.perf_counter() - start) * 1000.0)
+            assert response.status == 200, body[:200]
+    finally:
+        conn.close()
+    return latencies
+
+
+def _bench_http(
+    path: str, matches: int, requests: int, clients: int, seed: int
+) -> dict:
+    """Sustained QPS over keep-alive connections, miss-dominated keys."""
+    from urllib.parse import quote
+
+    rng = random.Random(seed)
+    per_client = max(1, requests // clients)
+
+    def paths():
+        out = []
+        for _ in range(per_client):
+            i = rng.randrange(matches)
+            key = ",".join(f"{a}={v}" for a, v in _entity_key(i))
+            out.append(f"/resolve?source=r&key={quote(key)}")
+        return out
+
+    service = MatchLookupService(path, workers=2, cache_size=1024)
+    server = _ServerThread(service)
+    try:
+        host, port = server.address
+        _drive_http(host, port, paths()[:10])  # warm the replicas
+        all_latencies: List[List[float]] = [[] for _ in range(clients)]
+        workloads = [paths() for _ in range(clients)]
+        threads = [
+            threading.Thread(
+                target=lambda n=n: all_latencies[n].extend(
+                    _drive_http(host, port, workloads[n])
+                )
+            )
+            for n in range(clients)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_s = time.perf_counter() - start
+    finally:
+        server.close()
+        service.close()
+    flat = [ms for client in all_latencies for ms in client]
+    total = len(flat)
+    return {
+        "requests": total,
+        "clients": clients,
+        "wall_s": round(wall_s, 3),
+        "qps": round(total / wall_s, 1) if wall_s else None,
+        "p50_ms": round(_percentile(flat, 0.50), 3),
+        "p99_ms": round(_percentile(flat, 0.99), 3),
+    }
+
+
+def _bench_ingest(n_entities: int, ingests: int, tmp_dir: str) -> dict:
+    """Search-before-insert latency on a checkpoint-backed store."""
+    from repro.federation import IncrementalIdentifier
+
+    workload = employee_workload(
+        EmployeeWorkloadSpec(n_entities=n_entities, seed=23)
+    )
+    path = str(Path(tmp_dir) / "ingest.sqlite")
+    session = IncrementalIdentifier(
+        workload.r.schema,
+        workload.s.schema,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    )
+    r_rows = [dict(row) for row in workload.r]
+    held, loaded = r_rows[:ingests], r_rows[ingests:]
+    for row in loaded:
+        session.insert_r(row)
+    for row in workload.s:
+        session.insert_s(dict(row))
+    session.checkpoint(path)
+    session.store.close()
+
+    latencies: List[float] = []
+    matches_added = 0
+    with MatchLookupService(path, workers=1) as service:
+        for row in held:
+            start = time.perf_counter()
+            result = service.ingest("r", row)
+            latencies.append((time.perf_counter() - start) * 1000.0)
+            matches_added += len(result["matches_added"])
+    return {
+        "ingests": len(latencies),
+        "matches_added": matches_added,
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark mode
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_store(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serving") / "bench.sqlite")
+    _build_store(path, 2_000)
+    return path
+
+
+def test_resolve_cold(benchmark, small_store):
+    with MatchLookupService(small_store, cache_size=0) as service:
+        result = benchmark(lambda: service.resolve("r", _entity_key(7)))
+    assert result["found"] is True
+
+
+def test_resolve_cached(benchmark, small_store):
+    with MatchLookupService(small_store, cache_size=64) as service:
+        service.resolve("r", _entity_key(7))
+        result = benchmark(lambda: service.resolve("r", _entity_key(7)))
+    assert result["cache"] == "hit"
+
+
+# ----------------------------------------------------------------------
+# Script mode
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serving bench; writes BENCH_serving.json."
+    )
+    parser.add_argument(
+        "--matches",
+        type=int,
+        default=1_000_000,
+        help="matched pairs in the synthesized store (default 1000000)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=2_000,
+        help="resolve-latency samples (default 2000)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=4_000,
+        help="HTTP requests in the QPS measurement (default 4000)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent keep-alive HTTP clients (default 4)",
+    )
+    parser.add_argument(
+        "--ingests",
+        type=int,
+        default=50,
+        help="search-before-insert operations timed (default 50)",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--out",
+        default=str(_REPO_ROOT / "BENCH_serving.json"),
+        help="output JSON path (default: BENCH_serving.json at the repo root)",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="bench-history JSONL to append to "
+        "(default: BENCH_HISTORY.jsonl at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="flag the appended history records as series baselines",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="2k-match store, few samples, skip the file writes (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        with TemporaryDirectory() as tmp_dir:
+            path = str(Path(tmp_dir) / "smoke.sqlite")
+            _build_store(path, 2_000)
+            resolve = _bench_resolve(path, 2_000, samples=100, seed=args.seed)
+            http = _bench_http(
+                path, 2_000, requests=200, clients=2, seed=args.seed
+            )
+            ingest = _bench_ingest(60, ingests=10, tmp_dir=tmp_dir)
+        print(
+            f"smoke: resolve p99 {resolve['cold_p99_ms']}ms, "
+            f"{http['qps']} req/s, ingest p99 {ingest['p99_ms']}ms"
+        )
+        assert http["qps"], "HTTP bench served nothing"
+        assert ingest["matches_added"] > 0, "ingest found no partners"
+        return 0
+
+    from conftest import env_header
+    from history import record_series
+
+    report = {
+        "bench": "serving",
+        "env": env_header(),
+        "matches": args.matches,
+        "note": "The store is synthesized through put_row/record_match "
+        "(serving reads are agnostic to how matches got there; a full "
+        "pipeline run would bench the identifier, not the server).  "
+        "resolve.cold_* and http.* draw keys uniformly from the whole "
+        "keyspace, so they are miss-dominated: every request pays a "
+        "replica read.  resolve.hot_* is the LRU-hit path.  http QPS "
+        "is measured over keep-alive connections against the asyncio "
+        "server, concurrent clients as listed.",
+    }
+    with TemporaryDirectory() as tmp_dir:
+        path = str(Path(tmp_dir) / "serving.sqlite")
+        print(f"building {args.matches} matches ...", flush=True)
+        report["build_s"] = round(_build_store(path, args.matches), 1)
+        size = Path(path).stat().st_size
+        report["store_bytes"] = size
+        print(
+            f"  built in {report['build_s']}s ({size / 1e6:.0f} MB); "
+            f"benching resolve latency ...",
+            flush=True,
+        )
+        report["resolve"] = _bench_resolve(
+            path, args.matches, args.samples, args.seed
+        )
+        print("  benching HTTP throughput ...", flush=True)
+        report["http"] = _bench_http(
+            path, args.matches, args.requests, args.clients, args.seed
+        )
+        print("  benching search-before-insert ingest ...", flush=True)
+        report["ingest"] = _bench_ingest(
+            400, ingests=args.ingests, tmp_dir=tmp_dir
+        )
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    resolve, http, ingest = report["resolve"], report["http"], report["ingest"]
+    print(
+        f"  resolve: cold p50 {resolve['cold_p50_ms']}ms / "
+        f"p99 {resolve['cold_p99_ms']}ms, hot p50 {resolve['hot_p50_ms']}ms"
+    )
+    print(
+        f"  http: {http['qps']} req/s over {http['clients']} clients "
+        f"(p50 {http['p50_ms']}ms, p99 {http['p99_ms']}ms)"
+    )
+    print(
+        f"  ingest: p50 {ingest['p50_ms']}ms / p99 {ingest['p99_ms']}ms "
+        f"({ingest['matches_added']} matches added)"
+    )
+
+    record_series(
+        "serving",
+        [
+            ("resolve_p99", "latency", resolve["cold_p99_ms"], args.matches),
+            ("http_qps", "throughput", http["qps"], args.matches),
+            ("ingest_p99", "latency", ingest["p99_ms"], None),
+        ],
+        env=report["env"],
+        history_path=args.history,
+        baseline=args.baseline,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

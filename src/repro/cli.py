@@ -94,6 +94,7 @@ For backward compatibility, invoking without a subcommand (the historical
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -116,6 +117,7 @@ __all__ = [
     "package_version",
     "build_conform_parser",
     "build_report_parser",
+    "build_serve_parser",
     "identify_main",
     "stats_main",
     "checkpoint_main",
@@ -123,6 +125,7 @@ __all__ = [
     "explain_pair_main",
     "conform_main",
     "report_main",
+    "serve_main",
     "main",
 ]
 
@@ -135,6 +138,7 @@ _SUBCOMMANDS = (
     "explain-pair",
     "conform",
     "report",
+    "serve",
 )
 
 
@@ -1425,6 +1429,237 @@ def conform_main(argv: Optional[Sequence[str]] = None) -> int:
     return status
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve match lookups and search-before-insert "
+        "ingestion over a persisted store as JSON-over-HTTP: "
+        "GET /resolve returns a key's row, entity cluster, matched "
+        "pairs, and journal provenance; POST /ingest routes a new tuple "
+        "through extended-key resolution before inserting it, journaled "
+        "with rule attribution exactly like a batch run.  Reads go "
+        "through per-worker read-only WAL replicas behind an LRU cache; "
+        "GET /metrics exposes serving.* counters in Prometheus format.",
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        metavar="SPEC",
+        help="the store to serve: 'sqlite:PATH' or a bare *.sqlite/*.db "
+        "path written by 'repro identify --store' or 'repro checkpoint' "
+        "('memory' stores cannot be served — replicas need a file)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8571,
+        help="port to bind; 0 picks a free port, printed on the "
+        "readiness line (default 8571)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="replica reader threads, one read-only connection each "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="LRU resolve-cache capacity in entries; 0 disables caching "
+        "(default 1024)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="per-lookup deadline before the degradation path (stale "
+        "cache, then 503) kicks in; 0 waits forever (default 250)",
+    )
+    parser.add_argument(
+        "--no-stale",
+        dest="allow_stale",
+        action="store_false",
+        help="never serve invalidated cache entries during degradation; "
+        "fail with 503 instead",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="reopen-and-retry failed replica reads up to N times "
+        "(default 1 = no retries)",
+    )
+    parser.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="base backoff delay between replica retries (default 0.01)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="on shutdown, write the retained request spans and all "
+        "serving.* metrics as a JSON-lines trace (render with "
+        "'repro stats FILE')",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics tables on shutdown (the same numbers "
+        "GET /metrics serves while running)",
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append this serving run's report (requests served, "
+        "latencies, cache and degradation counters) to the SQLite run "
+        "ledger at PATH on shutdown",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the readiness line"
+    )
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro serve``: run the match-lookup HTTP server until signalled."""
+    import asyncio
+    import signal
+
+    args = build_serve_parser().parse_args(argv)
+    spec = args.store.strip()
+    if spec.startswith("sqlite:"):
+        path = spec[len("sqlite:"):]
+    elif spec == "memory":
+        print(
+            "repro serve: 'memory' stores cannot be served — replica "
+            "readers need a SQLite file (use --store sqlite:PATH)",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        path = spec
+    if not path or not os.path.exists(path):
+        print(f"repro serve: store file {path!r} not found", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("repro serve: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.cache_size < 0:
+        print("repro serve: --cache-size must be >= 0", file=sys.stderr)
+        return 2
+    if args.retries < 1:
+        print("repro serve: --retries must be >= 1", file=sys.stderr)
+        return 2
+
+    from repro.serving import MatchLookupService, ServingServer, ServingTracer
+    from repro.store import StoreError
+
+    tracer = ServingTracer()
+    recorder = None
+    if args.ledger:
+        from repro.telemetry import RunRecorder
+
+        recorder = RunRecorder("serve", _telemetry_config(args, "serve"))
+    retry = None
+    if args.retries > 1:
+        from repro.resilience import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=args.retries,
+            base_delay=max(args.retry_delay, 0.0),
+            seed=0,
+        )
+    try:
+        service = MatchLookupService(
+            path,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            deadline=(args.deadline_ms / 1000.0) if args.deadline_ms > 0 else None,
+            tracer=tracer,
+            retry_policy=retry,
+            allow_stale=args.allow_stale,
+        )
+    except (StoreError, OSError) as exc:
+        print(f"repro serve: cannot open store: {exc}", file=sys.stderr)
+        return 2
+    server = ServingServer(service, host=args.host, port=args.port, tracer=tracer)
+
+    async def _run() -> None:
+        await server.start()
+        host, port = server.address
+        if not args.quiet:
+            # The readiness line scripts and CI wait for; flushed so a
+            # pipe sees it before the first request.
+            print(
+                f"repro serve: listening on http://{host}:{port} "
+                f"(store {path}, {args.workers} worker(s), "
+                f"cache {args.cache_size})",
+                flush=True,
+            )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                # Platforms/loops without signal support: Ctrl-C still
+                # lands as KeyboardInterrupt in asyncio.run below.
+                pass
+        await stop.wait()
+        await server.stop()
+
+    status = 0
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # bind failure, port in use
+        print(f"repro serve: {exc}", file=sys.stderr)
+        status = 2
+    finally:
+        service.close()
+    if not args.quiet and status == 0:
+        snapshot = tracer.metrics.snapshot()
+        served = snapshot.get("counters", {}).get("serving.requests", 0)
+        print(f"repro serve: shut down after {served} request(s)")
+    if args.metrics:
+        from repro.observability import format_metrics
+
+        print()
+        print(format_metrics(tracer.metrics.snapshot()))
+    if args.trace:
+        from repro.observability import write_trace_jsonl
+
+        try:
+            records = write_trace_jsonl(tracer, args.trace)
+        except OSError as exc:
+            print(f"repro serve: cannot write trace: {exc}", file=sys.stderr)
+            status = max(status, 2)
+        else:
+            if not args.quiet:
+                print(f"trace ({records} records) written to {args.trace}")
+    if recorder is not None:
+        ledger_status = _append_run_report(
+            args, "serve", recorder, tracer, {"exit_status": status}
+        )
+        status = max(status, ledger_status)
+    return status
+
+
 def build_report_parser() -> argparse.ArgumentParser:
     """The ``repro report`` argument parser (run-ledger queries)."""
     parser = argparse.ArgumentParser(
@@ -1686,6 +1921,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return conform_main(rest)
         if command == "report":
             return report_main(rest)
+        if command == "serve":
+            return serve_main(rest)
         return identify_main(rest)
     if arguments == ["--version"]:
         print(f"repro {package_version()}")

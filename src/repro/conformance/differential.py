@@ -91,6 +91,14 @@ class ConfigCell:
         checkpointed to SQLite, resumed in a fresh identifier (journal
         verified), and only then identified — exercising the durable
         round trip end to end.
+    serving:
+        When true, the store is grown **tuple by tuple through the
+        serving API**: a knowledge-only checkpoint is written, every R
+        and S row is ingested via
+        :meth:`~repro.serving.MatchLookupService.ingest`
+        (search-before-insert), and the resulting store is resumed
+        (journal verified) and identified — proving API ingestion is
+        bit-identical to a cold batch run.
     faults:
         Optional :meth:`FaultPlan.parse` spec injected into the
         executor and store, with enough retry budget to recover.
@@ -106,6 +114,7 @@ class ConfigCell:
     workers: int = 1
     store: str = "memory"
     resume: bool = False
+    serving: bool = False
     faults: Optional[str] = None
     strict: bool = True
 
@@ -213,12 +222,12 @@ class MatrixReport:
 # The matrix
 # ----------------------------------------------------------------------
 def strict_matrix() -> List[ConfigCell]:
-    """The 13 strict cells: exhaustive candidates, bit-identical tables.
+    """The 14 strict cells: exhaustive candidates, bit-identical tables.
 
-    Covers every executor backend, both store backends, cold and
-    checkpoint-resume runs, and three seeded fault schedules (executor
-    error, worker crash, store-commit failure) that recovery must make
-    invisible.
+    Covers every executor backend, both store backends, cold,
+    checkpoint-resume, and serving-API-ingested runs, and three seeded
+    fault schedules (executor error, worker crash, store-commit
+    failure) that recovery must make invisible.
     """
     return [
         ConfigCell("legacy-serial-memory"),
@@ -270,6 +279,7 @@ def strict_matrix() -> List[ConfigCell]:
             store="sqlite",
             faults="executor.batch:error@0..1",
         ),
+        ConfigCell("serving-ingest-sqlite", store="sqlite", serving=True),
     ]
 
 
@@ -407,6 +417,8 @@ def run_cell(
     if owned:
         workdir = tempfile.mkdtemp(prefix="repro-conform-")
     try:
+        if cell.serving:
+            return _run_serving_cell(workload, cell, workdir)
         if not cell.resume:
             tables, sound, journal = _identify(
                 cell,
@@ -456,6 +468,54 @@ def run_cell(
     finally:
         if owned:
             shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _run_serving_cell(
+    workload: Workload, cell: ConfigCell, workdir: str
+) -> CellOutcome:
+    """Grow the store tuple-by-tuple through the serving API, then verify.
+
+    The search-before-insert equivalence cell: a knowledge-only
+    checkpoint is populated exclusively via
+    :meth:`~repro.serving.MatchLookupService.ingest`, resumed with
+    journal verification, and identified cold.  ``resume_consistent``
+    asserts the pairs the *API* recorded are bit-identical to the
+    recomputed matching table — the acceptance criterion that a store
+    grown through ``repro serve`` is indistinguishable from a batch run.
+    """
+    from repro.federation.incremental import IncrementalIdentifier
+    from repro.serving import MatchLookupService
+
+    session = IncrementalIdentifier(
+        workload.r.schema,
+        workload.s.schema,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    )
+    path = os.path.join(workdir, f"{cell.name}.ckpt.sqlite")
+    session.checkpoint(path)  # knowledge only — no rows loaded yet
+    session.store.close()
+    with MatchLookupService(path, workers=2, cache_size=64) as service:
+        for row in workload.r:
+            service.ingest("r", dict(row))
+        for row in workload.s:
+            service.ingest("s", dict(row))
+    resumed = IncrementalIdentifier.resume(path, verify=True)
+    try:
+        api_pairs = {entry.pair for entry in resumed.matching_table()}
+        r, s = resumed.relations()
+        ilfds = list(resumed.ilfds)
+        extended_key = list(resumed.extended_key.attributes)
+    finally:
+        resumed.store.close()
+    tables, sound, journal = _identify(cell, r, s, extended_key, ilfds, workdir)
+    return CellOutcome(
+        cell=cell,
+        tables=tables,
+        sound=sound,
+        journal=journal,
+        resume_consistent=(canonical_pairs(api_pairs) == tables.mt),
+    )
 
 
 # ----------------------------------------------------------------------

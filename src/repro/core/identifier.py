@@ -210,6 +210,7 @@ class EntityIdentifier:
         self._store = store
         if store is not None:
             store.set_key_attributes(self._r_key_attrs, self._s_key_attrs)
+            store.set_extended_key_attributes(extended_key.attributes)
 
         self._blocker = blocker
         if executor is not None:

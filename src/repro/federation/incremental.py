@@ -148,6 +148,7 @@ class IncrementalIdentifier:
         )
         self._store = store if store is not None else MemoryStore(tracer=tracer)
         self._store.set_key_attributes(self._r.key_attrs, self._s.key_attrs)
+        self._store.set_extended_key_attributes(extended_key.attributes)
 
     def _bump_version(self) -> None:
         """Advance the delta cursor, keeping the store's copy current.

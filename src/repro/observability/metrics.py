@@ -56,6 +56,21 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "store.checkpoint_bytes": "on-disk size of written checkpoints",
     "store.resumes": "checkpoint resumes performed",
     "store.load_ms": "milliseconds spent loading checkpoints",
+    # serving layer (repro.serving)
+    "serving.requests": "HTTP requests handled by the serving layer",
+    "serving.errors": "serving requests that ended in an error response",
+    "serving.request_ms": "wall milliseconds per serving request",
+    "serving.lookups": "resolve lookups executed against a replica",
+    "serving.lookup_ms": "wall milliseconds per replica lookup",
+    "serving.ingests": "tuples ingested through search-before-insert",
+    "serving.ingest_matches": "matches created by search-before-insert ingests",
+    "serving.cache_hits": "resolve results served from the LRU cache",
+    "serving.cache_misses": "resolve lookups that missed the LRU cache",
+    "serving.cache_evictions": "LRU cache entries evicted by capacity",
+    "serving.cache_invalidations": "cache entries invalidated by writes",
+    "serving.stale_serves": "degraded responses served from the stale cache",
+    "serving.degraded": "requests that hit the degradation path",
+    "serving.replica_reconnects": "replica connections reopened after failure",
 }
 """Descriptions of the metric names core components emit.
 

@@ -1,0 +1,53 @@
+"""repro.serving — async match-lookup & resolve API over the store.
+
+The batch pipeline identifies entities and persists its verdicts; this
+package serves them.  It turns a checkpointed
+:class:`~repro.store.SqliteStore` into a long-running lookup service:
+
+- :class:`MatchLookupService` — the operations: point ``resolve``
+  lookups (row, entity cluster, matched pairs, journal provenance) over
+  a pool of read-only WAL replicas, and search-before-insert ``ingest``
+  that routes new tuples through extended-key resolution before the
+  insert, journalled with rule attribution exactly like a batch run.
+- :class:`ServingServer` — a stdlib asyncio JSON-over-HTTP front end
+  (``repro serve``): ``/resolve``, ``/ingest``, ``/health``,
+  ``/stats``, ``/metrics``, ``/invalidate``.
+- :class:`LRUCache` — the in-process resolve cache with explicit
+  write-path invalidation and a stale tier for degraded serving.
+- :class:`ReplicaPool` — per-worker-thread read-only replica
+  connections with reopen-and-retry on failure.
+
+See ``docs/SERVING.md`` for the API contract, cache semantics,
+degradation modes, and bench methodology.
+"""
+
+from repro.serving.cache import LRUCache
+from repro.serving.errors import (
+    BadRequestError,
+    ServiceUnavailableError,
+    ServingError,
+)
+from repro.serving.http import ServingServer, parse_query_key
+from repro.serving.replica import ReplicaPool
+from repro.serving.service import (
+    MatchLookupService,
+    decode_key_json,
+    encode_key_json,
+    encode_row_json,
+)
+from repro.serving.tracing import ServingTracer
+
+__all__ = [
+    "BadRequestError",
+    "LRUCache",
+    "MatchLookupService",
+    "ReplicaPool",
+    "ServiceUnavailableError",
+    "ServingError",
+    "ServingServer",
+    "ServingTracer",
+    "decode_key_json",
+    "encode_key_json",
+    "encode_row_json",
+    "parse_query_key",
+]

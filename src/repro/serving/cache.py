@@ -1,0 +1,159 @@
+"""In-process LRU cache for resolve results, with a stale tier.
+
+One :class:`LRUCache` sits in front of the replica lookups: resolve
+results are cached by ``(side, encoded key)`` and served without
+touching SQLite until a write invalidates them.  Invalidation is
+**explicit** — the ingestion path knows exactly which keys a new tuple
+affects (the inserted key plus every partner it matched) and calls
+:meth:`LRUCache.invalidate` for each, so cached entries never serve a
+stale verdict on the fast path.
+
+Invalidated entries are demoted to a bounded *stale* tier instead of
+being dropped.  They are invisible to normal :meth:`LRUCache.get` calls,
+but when every replica read fails or a lookup misses its deadline the
+degradation policy may serve them explicitly marked as stale
+(:meth:`LRUCache.get_stale`) — last-known-good beats an error page for
+read-mostly traffic (``docs/SERVING.md``).
+
+Hit / miss / eviction / invalidation counts feed the
+``serving.cache_*`` metrics through the shared
+:class:`~repro.observability.MetricsRegistry` when a tracer is attached,
+and are always available locally via :meth:`LRUCache.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.observability.tracer import NO_OP_TRACER, Tracer
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A thread-safe LRU mapping with metrics and a stale tier.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum live entries; the least recently used entry is evicted
+        when a put would exceed it.  ``0`` disables caching entirely
+        (every get misses, every put is dropped).
+    tracer:
+        Optional tracer; when enabled, cache activity is counted under
+        ``serving.cache_*`` / ``serving.stale_serves``.
+    """
+
+    def __init__(self, capacity: int, *, tracer: Optional[Tracer] = None) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
+        self._lock = threading.Lock()
+        self._live: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._stale: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.stale_serves = 0
+
+    def _inc(self, metric: str) -> None:
+        if self._tracer.enabled:
+            self._tracer.metrics.inc(metric)
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """The configured live-entry capacity."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def get(self, key: Hashable) -> Tuple[Any, bool]:
+        """``(value, True)`` on a hit, ``(None, False)`` on a miss."""
+        with self._lock:
+            if key in self._live:
+                self._live.move_to_end(key)
+                self.hits += 1
+                self._inc("serving.cache_hits")
+                return self._live[key], True
+            self.misses += 1
+            self._inc("serving.cache_misses")
+            return None, False
+
+    def get_stale(self, key: Hashable) -> Tuple[Any, bool]:
+        """Last-known-good value for *key*, live or invalidated.
+
+        The degradation path only: a hit here is counted as a stale
+        serve, not a cache hit, so the hit ratio stays honest.
+        """
+        with self._lock:
+            value, found = None, False
+            if key in self._live:
+                value, found = self._live[key], True
+            elif key in self._stale:
+                value, found = self._stale[key], True
+            if found:
+                self.stale_serves += 1
+                self._inc("serving.stale_serves")
+            return value, found
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh *key*, evicting the LRU entry on overflow."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._stale.pop(key, None)  # fresh value supersedes stale
+            self._live[key] = value
+            self._live.move_to_end(key)
+            while len(self._live) > self._capacity:
+                self._live.popitem(last=False)
+                self.evictions += 1
+                self._inc("serving.cache_evictions")
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Demote *key* to the stale tier; True iff it was live.
+
+        The write path's hook: after an ingest commits, every affected
+        key is invalidated so the next read sees the new matches.  The
+        stale tier is capacity-bounded like the live one.
+        """
+        with self._lock:
+            if key not in self._live:
+                return False
+            self._stale[key] = self._live.pop(key)
+            self._stale.move_to_end(key)
+            while len(self._stale) > max(self._capacity, 1):
+                self._stale.popitem(last=False)
+            self.invalidations += 1
+            self._inc("serving.cache_invalidations")
+            return True
+
+    def clear(self) -> int:
+        """Drop every live and stale entry; returns the live count dropped."""
+        with self._lock:
+            dropped = len(self._live)
+            self.invalidations += dropped
+            if dropped and self._tracer.enabled:
+                self._tracer.metrics.inc("serving.cache_invalidations", dropped)
+            self._live.clear()
+            self._stale.clear()
+            return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (JSON-serialisable, used by ``/stats``)."""
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "entries": len(self._live),
+                "stale_entries": len(self._stale),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "stale_serves": self.stale_serves,
+            }

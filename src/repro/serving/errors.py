@@ -1,0 +1,26 @@
+"""Errors raised by the serving layer."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "BadRequestError",
+    "ServiceUnavailableError",
+]
+
+
+class ServingError(Exception):
+    """Base class for serving-layer failures."""
+
+
+class BadRequestError(ServingError):
+    """The request itself is malformed (HTTP 400)."""
+
+
+class ServiceUnavailableError(ServingError):
+    """The backend cannot answer right now (HTTP 503).
+
+    Raised when a lookup misses its deadline or every replica read
+    fails and no stale cache entry can stand in — the degradation
+    policy's last resort (``docs/SERVING.md``).
+    """

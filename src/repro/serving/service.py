@@ -1,0 +1,507 @@
+"""The match-lookup and resolve service over a persisted store.
+
+:class:`MatchLookupService` is the transport-free core of ``repro
+serve``: the HTTP layer (:mod:`repro.serving.http`) is a thin JSON
+codec around the two operations here, and tests drive the service
+directly.
+
+**Reads** (:meth:`MatchLookupService.resolve`) answer "which entity is
+this tuple, who does it match, and why": the tuple's entity cluster
+(every tuple across both sources sharing its complete extended-key
+values — the equivalence-class grouping of
+:class:`~repro.core.multiway.MultiwayIdentifier`, rendered as
+:class:`~repro.core.multiway.EntityCluster`), its matching-table
+entries, and per-pair provenance reconstructed from the derivation
+journal (:func:`repro.store.journal.explain_pair`).  Lookups run on a
+:class:`~repro.serving.replica.ReplicaPool` worker against a read-only
+WAL replica, behind an :class:`~repro.serving.cache.LRUCache`.
+
+**Writes** (:meth:`MatchLookupService.ingest`) are search-before-insert:
+an incoming tuple is ILFD-extended, resolved against the *opposite*
+source's extended-key index, and journaled with exactly the rule
+attribution a batch run would record — ILFD firings under their rule
+names, identity matches under the extended key's identity-rule name —
+so a store grown tuple-by-tuple through the API is indistinguishable
+from one built by a cold batch run (the conformance suite fingerprints
+both).  Every write funnels through one dedicated writer thread, which
+is the single-writer discipline that makes the WAL replica reads safe.
+
+**Degradation** is explicit and bounded: each lookup gets a deadline
+(``--deadline-ms``), replica failures are retried per the shared
+:class:`~repro.resilience.RetryPolicy`, and when the budget is spent
+the service serves the last-known-good cached answer marked ``stale``
+rather than failing the request — or raises
+:class:`~repro.serving.errors.ServiceUnavailableError` when it never
+knew one (``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.extended_key import ExtendedKey
+from repro.core.matching_table import key_values
+from repro.core.multiway import EntityCluster
+from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
+from repro.observability.tracer import NO_OP_TRACER, Tracer
+from repro.relational.nulls import NULL
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+from repro.resilience.errors import ResilienceError
+from repro.resilience.retry import RetryPolicy
+from repro.serving.cache import LRUCache
+from repro.serving.errors import BadRequestError, ServiceUnavailableError, ServingError
+from repro.serving.replica import ReplicaPool
+from repro.store.base import SIDES, MatchStore
+from repro.store.checkpoint import (
+    META_DIGEST_PREFIX,
+    META_ILFDS,
+    META_POLICY,
+    META_R_SCHEMA,
+    META_S_SCHEMA,
+    META_VERSION,
+    _DIGEST_SECTIONS,
+    _decode_ilfds,
+)
+from repro.store.codec import (
+    KeyValues,
+    decode_schema,
+    decode_value,
+    encode_key,
+    encode_value,
+)
+from repro.store.errors import StoreError
+from repro.store.journal import explain_pair
+from repro.store.sqlite import SqliteStore
+
+__all__ = [
+    "MatchLookupService",
+    "decode_key_json",
+    "encode_key_json",
+    "encode_row_json",
+]
+
+
+def encode_row_json(row: Row) -> Dict[str, Any]:
+    """A row as a JSON-safe mapping (NULL → the codec's marker object)."""
+    return {name: encode_value(value) for name, value in row.items()}
+
+
+def encode_key_json(key: KeyValues) -> List[List[Any]]:
+    """A key as JSON-safe ``[[attr, value], ...]`` pairs."""
+    return [[attr, encode_value(value)] for attr, value in key]
+
+
+def decode_key_json(obj: Any) -> KeyValues:
+    """A request's key — mapping or pair list — as canonical KeyValues."""
+    if isinstance(obj, Mapping):
+        items = obj.items()
+    elif isinstance(obj, (list, tuple)):
+        try:
+            items = [(attr, value) for attr, value in obj]
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"malformed key {obj!r}: {exc}") from exc
+    else:
+        raise BadRequestError(
+            f"key must be an object or [attr, value] pairs, got {obj!r}"
+        )
+    if not items:
+        raise BadRequestError("key names no attributes")
+    return tuple(sorted((str(attr), decode_value(value)) for attr, value in items))
+
+
+class MatchLookupService:
+    """Point lookups and search-before-insert over one SQLite store.
+
+    Parameters
+    ----------
+    path:
+        The store file (a checkpoint written by ``repro checkpoint`` /
+        ``IncrementalIdentifier.checkpoint``, or any store carrying
+        source rows).  Ingestion additionally needs the knowledge
+        metadata (schemas, ILFDs, policy) checkpoints seal; a store
+        without it serves resolve-only.
+    workers:
+        Replica connections / reader threads (default 2).
+    cache_size:
+        LRU capacity for resolve results (0 disables caching).
+    deadline:
+        Per-lookup budget in **seconds** (None = unbounded).  A lookup
+        that misses it degrades to the stale cache.
+    retry_policy:
+        Applied both to replica reads (reopen + retry) and to writer
+        commits.
+    allow_stale:
+        Serve last-known-good cached answers when replicas fail
+        (default True); False turns degradation into hard 503s.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        workers: int = 2,
+        cache_size: int = 1024,
+        deadline: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        allow_stale: bool = True,
+    ) -> None:
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
+        self._deadline = deadline
+        self._allow_stale = allow_stale
+        self._closed = False
+        # Single-writer discipline: this connection is only ever used
+        # from the one writer thread below, which is what justifies
+        # check_same_thread=False (see SqliteStore's docstring).
+        self._writer = SqliteStore(
+            path,
+            tracer=self._tracer,
+            retry_policy=retry_policy,
+            check_same_thread=False,
+        )
+        try:
+            self._write_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serving-write"
+            )
+            self._pool = ReplicaPool(
+                path, workers, tracer=self._tracer, retry_policy=retry_policy
+            )
+        except BaseException:
+            self._writer.close()
+            raise
+        self._cache = LRUCache(cache_size, tracer=self._tracer)
+        self._unsealed = False
+        self._load_knowledge()
+
+    def _load_knowledge(self) -> None:
+        """Ingestion state from the store's (checkpoint) metadata."""
+        store = self._writer
+        attributes = store.extended_key_attributes()
+        self._extended_key: Optional[ExtendedKey] = (
+            ExtendedKey(list(attributes)) if attributes else None
+        )
+        self._identity_rule_name = (
+            self._extended_key.identity_rule().name if self._extended_key else ""
+        )
+        self._schemas: Dict[str, Schema] = {}
+        for side, meta_key in (("r", META_R_SCHEMA), ("s", META_S_SCHEMA)):
+            text = store.get_meta(meta_key, "")
+            if text:
+                self._schemas[side] = decode_schema(text)
+        ilfds = _decode_ilfds(store.get_meta(META_ILFDS, ""))
+        policy = DerivationPolicy(
+            store.get_meta(META_POLICY, DerivationPolicy.FIRST_MATCH.value)
+        )
+        self._engine = DerivationEngine(ilfds, policy=policy, tracer=self._tracer)
+        self._version = int(store.get_meta(META_VERSION, "0"))
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """The served store file."""
+        return self._writer.path
+
+    @property
+    def version(self) -> int:
+        """The store's delta cursor (bumped by every ingest)."""
+        return self._version
+
+    @property
+    def can_ingest(self) -> bool:
+        """True iff the store carries the knowledge metadata ingestion needs."""
+        return self._extended_key is not None and len(self._schemas) == len(SIDES)
+
+    @property
+    def cache(self) -> LRUCache:
+        """The resolve cache (tests and ``/stats`` read it)."""
+        return self._cache
+
+    @staticmethod
+    def _check_side(side: str) -> str:
+        if side not in SIDES:
+            raise BadRequestError(f"unknown source {side!r}; expected one of {SIDES}")
+        return side
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def resolve(
+        self, side: str, key: KeyValues, *, use_cache: bool = True
+    ) -> Dict[str, Any]:
+        """Entity cluster, matches, and provenance for one tuple key.
+
+        Returns a JSON-serialisable mapping; its ``cache`` field tells
+        how the answer was produced (``hit`` / ``miss`` / ``stale``).
+        """
+        self._check_side(side)
+        cache_key = (side, encode_key(key))
+        if use_cache:
+            cached, hit = self._cache.get(cache_key)
+            if hit:
+                return dict(cached, cache="hit")
+        try:
+            result = self._pool.run(
+                lambda replica: self._lookup(replica, side, key),
+                timeout=self._deadline,
+            )
+        except (
+            FutureTimeoutError,
+            ResilienceError,
+            StoreError,
+            sqlite3.Error,
+        ) as exc:
+            return dict(self._degrade(cache_key, exc), cache="stale")
+        self._cache.put(cache_key, result)
+        return dict(result, cache="miss")
+
+    def _degrade(self, cache_key: Tuple[str, str], exc: BaseException) -> Dict[str, Any]:
+        """Stale-cache fallback after a failed/late lookup (or give up)."""
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("serving.degraded")
+        if self._allow_stale:
+            stale, found = self._cache.get_stale(cache_key)
+            if found:
+                return dict(stale, degraded=str(exc) or type(exc).__name__)
+        raise ServiceUnavailableError(
+            f"lookup failed and no cached answer exists: {exc}"
+        ) from exc
+
+    def _lookup(
+        self, replica: MatchStore, side: str, key: KeyValues
+    ) -> Dict[str, Any]:
+        started = time.perf_counter()
+        with self._tracer.span("serving.lookup", source=side):
+            row = replica.get_row(side, key)
+            if row is None:
+                result: Dict[str, Any] = {
+                    "found": False,
+                    "source": side,
+                    "key": encode_key_json(key),
+                }
+            else:
+                raw, extended = row
+                cluster = self._cluster_of(replica, extended)
+                matches = replica.matches_for_key(side, key)
+                result = {
+                    "found": True,
+                    "source": side,
+                    "key": encode_key_json(key),
+                    "row": encode_row_json(raw),
+                    "extended": encode_row_json(extended),
+                    "cluster": cluster,
+                    "matches": [
+                        {
+                            "r_key": encode_key_json(r_key),
+                            "s_key": encode_key_json(s_key),
+                        }
+                        for (r_key, s_key), _rows in matches
+                    ],
+                    "provenance": [
+                        explain_pair(
+                            replica.journal_entries(r_key=r_key, s_key=s_key),
+                            r_key,
+                            s_key,
+                        )
+                        for (r_key, s_key), _rows in matches
+                    ],
+                }
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("serving.lookups")
+            metrics.observe(
+                "serving.lookup_ms", (time.perf_counter() - started) * 1000.0
+            )
+        return result
+
+    def _cluster_of(
+        self, store: MatchStore, extended: Row
+    ) -> Optional[Dict[str, Any]]:
+        """The tuple's entity cluster, in multiway's equivalence terms.
+
+        ``None`` when the extended key is incomplete — Section 6.2's
+        NULL semantics mean such a tuple belongs to no cluster.
+        """
+        ext_text = store.extended_key_text(extended)
+        if ext_text is None:
+            return None
+        attributes = store.extended_key_attributes()
+        members: List[Tuple[str, Row]] = []
+        member_keys: List[Tuple[str, KeyValues]] = []
+        for side in SIDES:
+            for key, _raw, member_extended in store.rows_by_extended_key(
+                side, ext_text
+            ):
+                members.append((side, member_extended))
+                member_keys.append((side, key))
+        cluster = EntityCluster(
+            key=extended.values_for(attributes), members=tuple(members)
+        )
+        return {
+            "entity_key": [
+                [attr, encode_value(value)]
+                for attr, value in zip(attributes, cluster.key)
+            ],
+            "sources": list(cluster.sources),
+            "size": len(cluster),
+            "members": [
+                {"source": side, "key": encode_key_json(key)}
+                for side, key in member_keys
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Writes (search-before-insert)
+    # ------------------------------------------------------------------
+    def ingest(self, side: str, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Resolve an incoming tuple against the store, then insert it.
+
+        Mirrors :meth:`IncrementalIdentifier.insert_r/s` against the
+        persisted state: normalise → ILFD-extend (journaling rule
+        firings) → probe the opposite source by complete extended-key
+        value → journal one identity match per partner, all inside one
+        store transaction on the single writer thread.  Returns the new
+        tuple's key, the matches created, and its entity cluster.
+        """
+        self._check_side(side)
+        if not self.can_ingest:
+            raise ServingError(
+                "this store lacks the knowledge metadata ingestion needs "
+                "(schemas, extended key); serve a checkpoint file instead"
+            )
+        future = self._write_executor.submit(self._ingest_on_writer, side, values)
+        return future.result()
+
+    def _ingest_on_writer(
+        self, side: str, raw_values: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        store = self._writer
+        schema = self._schemas[side]
+        other = "s" if side == "r" else "r"
+        with self._tracer.span("serving.ingest", source=side):
+            # Unseal the checkpoint's section digests once: like a
+            # resumed session, serving writes through the file, so the
+            # sealed digests stop describing it at the first ingest.
+            if not self._unsealed:
+                with store.transaction():
+                    for name in _DIGEST_SECTIONS:
+                        if store.get_meta(META_DIGEST_PREFIX + name, ""):
+                            store.set_meta(META_DIGEST_PREFIX + name, "")
+                self._unsealed = True
+            # Normalise exactly as IncrementalIdentifier._admit does:
+            # absent and None both become NULL.
+            values: Dict[str, Any] = {}
+            for name in schema.names:
+                value = raw_values[name] if name in raw_values else NULL
+                values[name] = NULL if value is None else decode_value(value)
+            normalised = Row(values)
+            key_attrs = tuple(
+                n for n in schema.names if n in schema.primary_key
+            )
+            key = key_values(normalised, key_attrs)
+            if store.get_row(side, key) is not None:
+                raise BadRequestError(f"duplicate key {key!r} on insert")
+            result = self._engine.extend_row(
+                normalised, list(self._extended_key.attributes)
+            )
+            extended = result.row
+            added: List[Tuple[KeyValues, KeyValues]] = []
+            with store.transaction():
+                self._version += 1
+                store.set_meta(META_VERSION, str(self._version))
+                store.put_row(side, key, normalised, extended)
+                if result.fired:
+                    store.record_derivation(
+                        side,
+                        key,
+                        rule=", ".join(f.name or repr(f) for f in result.fired),
+                        derived=result.derived,
+                    )
+                ext_text = store.extended_key_text(extended)
+                partners: List[Tuple[KeyValues, Row, Row]] = []
+                if ext_text is not None:
+                    partners = store.rows_by_extended_key(other, ext_text)
+                    for partner_key, _praw, partner_extended in partners:
+                        pair = (
+                            (key, partner_key) if side == "r" else (partner_key, key)
+                        )
+                        if store.has_match(*pair):
+                            continue
+                        r_row = extended if side == "r" else partner_extended
+                        s_row = partner_extended if side == "r" else extended
+                        store.record_match(
+                            pair[0],
+                            pair[1],
+                            r_row,
+                            s_row,
+                            rule=self._identity_rule_name,
+                        )
+                        added.append(pair)
+            # Write committed: invalidate every cache entry the new
+            # tuple's cluster touches (itself, and each member whose
+            # cluster/matches just changed).
+            self._cache.invalidate((side, encode_key(key)))
+            if ext_text is not None:
+                for member_side in SIDES:
+                    for member_key, _r, _e in store.rows_by_extended_key(
+                        member_side, ext_text
+                    ):
+                        self._cache.invalidate((member_side, encode_key(member_key)))
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.inc("serving.ingests")
+            metrics.inc("serving.ingest_matches", len(added))
+        return {
+            "inserted": True,
+            "source": side,
+            "key": encode_key_json(key),
+            "version": self._version,
+            "matches_added": [
+                {"r_key": encode_key_json(r), "s_key": encode_key_json(s)}
+                for r, s in added
+            ],
+            "derivations_fired": [
+                f.name or repr(f) for f in result.fired
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def invalidate(self) -> int:
+        """Drop the whole cache (live and stale); returns entries dropped."""
+        return self._cache.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serialisable operational snapshot (the ``/stats`` body)."""
+        counts = self._pool.run(lambda replica: replica.counts())
+        snapshot: Dict[str, Any] = (
+            self._tracer.metrics.snapshot() if self._tracer.enabled else {}
+        )
+        return {
+            "store": {"path": self.path, "version": self._version, **counts},
+            "cache": self._cache.stats(),
+            "workers": self._pool.workers,
+            "deadline_s": self._deadline,
+            "can_ingest": self.can_ingest,
+            "metrics": snapshot,
+        }
+
+    def close(self) -> None:
+        """Drain the writer, stop the readers, close every connection."""
+        if self._closed:
+            return
+        self._closed = True
+        self._write_executor.shutdown(wait=True)
+        self._pool.close()
+        self._writer.close()
+
+    def __enter__(self) -> "MatchLookupService":
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.close()

@@ -1,0 +1,82 @@
+"""A tracer variant safe for a long-running, multi-threaded server.
+
+The pipeline's :class:`~repro.observability.Tracer` is built for one
+observed run: it keeps **every** span and tracks nesting through a
+single ``_current`` pointer.  Neither survives serving — a server at
+even modest QPS would grow the span list without bound, and requests
+overlap across the event loop, replica workers, and the writer thread,
+so one shared nesting pointer races.
+
+:class:`ServingTracer` keeps the same interface (``repro stats``,
+``write_trace_jsonl``, and the run ledger consume it unchanged) with two
+serving-shaped changes:
+
+- spans are kept in a bounded ring — the most recent ``keep_spans``
+  finished regions, enough for the shutdown ledger row and trace dump
+  without ever leaking;
+- span creation is locked and the nesting pointer is thread-local, so
+  concurrent requests each get a coherent (per-thread) parent chain.
+
+The :class:`~repro.observability.MetricsRegistry` is already
+thread-safe, so every ``serving.*`` counter and histogram aggregates
+across all threads for the whole lifetime of the process — the ring
+bounds only the span *details*, never the numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Span, Tracer
+
+__all__ = ["ServingTracer"]
+
+
+class ServingTracer(Tracer):
+    """Thread-safe tracer keeping only the most recent finished spans."""
+
+    def __init__(
+        self,
+        *,
+        keep_spans: int = 512,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if keep_spans < 1:
+            raise ValueError(f"keep_spans must be >= 1, got {keep_spans}")
+        # _tls must exist before Tracer.__init__ assigns _current (the
+        # property below routes that assignment through thread-locals).
+        self._tls = threading.local()
+        self._span_lock = threading.Lock()
+        self._keep = keep_spans
+        self._next_id = 0
+        super().__init__(metrics=metrics)
+
+    # Nesting pointer, per thread: overlapping requests on different
+    # threads each see their own parent chain.
+    @property
+    def _current(self) -> Optional[int]:
+        return getattr(self._tls, "current", None)
+
+    @_current.setter
+    def _current(self, value: Optional[int]) -> None:
+        self._tls.current = value
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span; the retained window slides past ``keep_spans``."""
+        with self._span_lock:
+            span = Span(name, attributes, self._next_id, self)
+            self._next_id += 1
+            self._spans.append(span)
+            overflow = len(self._spans) - self._keep
+            if overflow > 0:
+                del self._spans[:overflow]
+        return span
+
+    def reset(self) -> None:
+        """Drop retained spans and metrics (ids keep increasing)."""
+        with self._span_lock:
+            self._spans.clear()
+        self._tls = threading.local()
+        self.metrics.reset()

@@ -43,8 +43,9 @@ from repro.core.matching_table import (
     check_consistency,
 )
 from repro.observability.tracer import NO_OP_TRACER, Tracer
+from repro.relational.nulls import is_null
 from repro.relational.row import Row
-from repro.store.codec import KeyValues
+from repro.store.codec import KeyValues, encode_key
 from repro.store.errors import StoreError, StoreIntegrityError
 from repro.store.journal import (
     KIND_ASSERT,
@@ -66,6 +67,9 @@ SIDES = ("r", "s")
 
 META_R_KEY_ATTRIBUTES = "r_key_attributes"
 META_S_KEY_ATTRIBUTES = "s_key_attributes"
+# Same key checkpoints already seal (store/checkpoint.py META_EXTENDED_KEY),
+# so every existing checkpoint file carries its extended-key attributes.
+META_EXTENDED_KEY_ATTRIBUTES = "extended_key"
 
 
 class MatchStore(abc.ABC):
@@ -212,6 +216,15 @@ class MatchStore(abc.ABC):
     def size_bytes(self) -> int:
         """Storage footprint in bytes (0 when not backed by a file)."""
         return 0
+
+    # Context-manager support: ``with SqliteStore(path) as store`` closes
+    # the backend on every exit path — how the serving layer and the CLI
+    # guarantee no leaked connections when an error unwinds.
+    def __enter__(self) -> "MatchStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     @staticmethod
     def _check_side(side: str) -> str:
@@ -368,6 +381,74 @@ class MatchStore(abc.ABC):
             tuple(json.loads(r_text)) if r_text else (),
             tuple(json.loads(s_text)) if s_text else (),
         )
+
+    def set_extended_key_attributes(self, attributes: Tuple[str, ...]) -> None:
+        """Persist the extended-key attribute list the lookups index by."""
+        self.set_meta(META_EXTENDED_KEY_ATTRIBUTES, json.dumps(list(attributes)))
+
+    def extended_key_attributes(self) -> Tuple[str, ...]:
+        """The persisted extended-key attributes (() when never set)."""
+        text = self.get_meta(META_EXTENDED_KEY_ATTRIBUTES)
+        return tuple(json.loads(text)) if text else ()
+
+    def extended_key_text(self, extended: Row) -> Optional[str]:
+        """Canonical text of *extended*'s complete extended-key values.
+
+        The lookup key behind ``resolve`` and search-before-insert: two
+        tuples model the same entity under the paper's identity rule
+        exactly when their complete extended-key values agree, so equal
+        text ⇔ candidate match.  Returns ``None`` when the store does
+        not know the extended-key attributes, or when any value is
+        missing or NULL — Section 6.2's "NULL is not equal to NULL"
+        means an incomplete tuple can never be found by equality lookup.
+        """
+        attributes = self.extended_key_attributes()
+        if not attributes:
+            return None
+        pairs = []
+        for attribute in sorted(attributes):
+            if attribute not in extended:
+                return None
+            value = extended[attribute]
+            if is_null(value):
+                return None
+            pairs.append((attribute, value))
+        return encode_key(tuple(pairs))
+
+    # ------------------------------------------------------------------
+    # Point lookups (the serving layer's read vocabulary)
+    # ------------------------------------------------------------------
+    # Scan fallbacks keep every backend correct; SqliteStore overrides
+    # them with indexed SQL so the serving hot path never scans.
+    def get_row(self, side: str, key: KeyValues) -> Optional[Tuple[Row, Row]]:
+        """One persisted tuple of *side* as ``(raw, extended)``, or None."""
+        self._check_side(side)
+        for row_key, raw, extended in self.row_items(side):
+            if row_key == key:
+                return raw, extended
+        return None
+
+    def rows_by_extended_key(
+        self, side: str, ext_key: str
+    ) -> List[Tuple[KeyValues, Row, Row]]:
+        """All tuples of *side* whose complete extended key encodes to *ext_key*."""
+        self._check_side(side)
+        return [
+            (key, raw, extended)
+            for key, raw, extended in self.row_items(side)
+            if self.extended_key_text(extended) == ext_key
+        ]
+
+    def matches_for_key(
+        self, side: str, key: KeyValues
+    ) -> List[Tuple[Pair, Tuple[Row, Row]]]:
+        """Matching-table entries whose *side* key equals *key*."""
+        position = 0 if self._check_side(side) == "r" else 1
+        return [
+            (pair, rows)
+            for pair, rows in self.match_items()
+            if pair[position] == key
+        ]
 
     def _build_table(self, items: Iterator[Tuple[Pair, Tuple[Row, Row]]], cls):
         r_attrs, s_attrs = self.key_attributes()

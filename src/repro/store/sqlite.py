@@ -12,6 +12,17 @@ The connection runs in autocommit (``isolation_level=None``); writes are
 grouped explicitly by :meth:`SqliteStore.transaction`, which issues
 ``BEGIN IMMEDIATE``/``COMMIT``/``ROLLBACK`` with nesting support — this
 is what makes the blocking executor's batch merge all-or-nothing.
+
+File-backed stores run in **WAL mode** (``journal_mode=WAL``,
+``synchronous=NORMAL``): readers on separate connections see a
+consistent snapshot while one writer commits, which is what lets the
+serving layer (:mod:`repro.serving`) open read-only replica connections
+against a store that is still being written to.  When the store knows
+the extended-key attributes (:meth:`MatchStore.set_extended_key_attributes`),
+every persisted source row also carries the canonical encoding of its
+complete extended-key values in the ``ext_key`` column, covered by the
+``source_rows_ext`` index — the ``resolve(source, key)`` and
+search-before-insert lookups are index-only scans.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from repro.relational.row import Row
 from repro.resilience.errors import InjectedFault
 from repro.resilience.faults import NO_OP_INJECTOR, SITE_STORE_COMMIT, FaultInjector
 from repro.resilience.retry import RetryPolicy
-from repro.store.base import MatchStore, Pair
+from repro.store.base import META_EXTENDED_KEY_ATTRIBUTES, MatchStore, Pair
 from repro.store.codec import (
     KeyValues,
     decode_key,
@@ -77,8 +88,17 @@ CREATE TABLE IF NOT EXISTS source_rows (
     key      TEXT NOT NULL,
     raw      TEXT NOT NULL,
     extended TEXT NOT NULL,
+    ext_key  TEXT,
     PRIMARY KEY (side, key)
 );
+"""
+
+# Created after the column migrations (an old file's source_rows gains
+# ext_key via ALTER TABLE first, or the index DDL would not parse).
+_SCHEMA_INDEXES = """
+CREATE INDEX IF NOT EXISTS source_rows_ext
+    ON source_rows (side, ext_key, key) WHERE ext_key IS NOT NULL;
+CREATE INDEX IF NOT EXISTS matches_s_key ON matches (s_key, r_key);
 """
 
 
@@ -102,6 +122,24 @@ class SqliteStore(MatchStore):
     fault_injector:
         Optional :class:`~repro.resilience.FaultInjector` consulted at
         the ``store.commit`` site immediately before each ``COMMIT``.
+    check_same_thread:
+        Forwarded to :func:`sqlite3.connect`, explicitly.  The default
+        ``True`` keeps SQLite's guard: this connection may only be used
+        from the thread that created it.  Pass ``False`` **only** when
+        the caller enforces its own single-writer discipline — the
+        serving layer does, funnelling every write through one dedicated
+        writer thread (see :class:`repro.serving.MatchLookupService`).
+        Concurrent *readers* never share this connection either way;
+        they open their own read-only connections
+        (:class:`repro.serving.ReplicaPool`).
+    read_only:
+        Open a **replica**: the file is attached with ``mode=ro`` and
+        ``PRAGMA query_only=ON``, no schema DDL or migration runs, and
+        every write raises ``sqlite3.OperationalError``.  Under WAL,
+        such a connection reads a consistent snapshot while a separate
+        writer connection commits — the serving layer opens one replica
+        per worker thread.  Requires a file path (``":memory:"`` has
+        nothing to share).
     """
 
     def __init__(
@@ -111,18 +149,47 @@ class SqliteStore(MatchStore):
         tracer: Optional[Tracer] = None,
         retry_policy: Optional[RetryPolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
+        check_same_thread: bool = True,
+        read_only: bool = False,
     ) -> None:
         super().__init__(tracer=tracer)
         self._path = str(path)
+        self._closed = False
+        self._read_only = read_only
+        self._ext_key_attrs: Optional[Tuple[str, ...]] = None
+        if read_only and self._path == ":memory:":
+            raise StoreError("a read-only store needs a file to share")
         try:
-            self._conn = sqlite3.connect(self._path, isolation_level=None)
+            if read_only:
+                self._conn = sqlite3.connect(
+                    f"file:{self._path}?mode=ro",
+                    uri=True,
+                    isolation_level=None,
+                    check_same_thread=check_same_thread,
+                )
+            else:
+                self._conn = sqlite3.connect(
+                    self._path,
+                    isolation_level=None,
+                    check_same_thread=check_same_thread,
+                )
         except sqlite3.Error as exc:
             raise StoreError(f"cannot open SQLite store at {path!r}: {exc}") from exc
         try:
-            self._conn.executescript(_SCHEMA)
-            self._migrate_journal_checksums()
+            if read_only:
+                # Belt and braces on top of mode=ro, and a cheap probe
+                # that the file really is an initialised store.
+                self._conn.execute("PRAGMA query_only=ON")
+                self._conn.execute("SELECT 1 FROM meta LIMIT 1")
+            else:
+                self._apply_pragmas()
+                self._conn.executescript(_SCHEMA)
+                self._migrate_journal_checksums()
+                self._migrate_source_ext_key()
+                self._conn.executescript(_SCHEMA_INDEXES)
         except sqlite3.DatabaseError as exc:
             self._conn.close()
+            self._closed = True
             raise StoreIntegrityError(
                 f"cannot initialise SQLite store at {path!r} "
                 f"(corrupt or not a database): {exc}"
@@ -132,6 +199,21 @@ class SqliteStore(MatchStore):
         self._injector = (
             fault_injector if fault_injector is not None else NO_OP_INJECTOR
         )
+
+    def _apply_pragmas(self) -> None:
+        """WAL + NORMAL for file-backed stores (durable, reader-friendly).
+
+        WAL lets read-only replica connections see a consistent snapshot
+        while a writer commits; ``synchronous=NORMAL`` is WAL's
+        recommended pairing (fsync on checkpoint, not on every commit —
+        a power loss can lose the tail of the WAL but never corrupt the
+        database).  ``:memory:`` stores have no WAL to speak of and keep
+        SQLite's defaults.
+        """
+        if self._path == ":memory:":
+            return
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
 
     def _migrate_journal_checksums(self) -> None:
         """Add the checksum column to journals from before checksumming.
@@ -148,10 +230,28 @@ class SqliteStore(MatchStore):
                 "ALTER TABLE journal ADD COLUMN checksum TEXT NOT NULL DEFAULT ''"
             )
 
+    def _migrate_source_ext_key(self) -> None:
+        """Add the ext_key lookup column to stores from before serving.
+
+        Legacy rows keep ``ext_key`` NULL (invisible to the partial
+        index) until :meth:`reindex_extended_keys` backfills them.
+        """
+        columns = {
+            record[1]
+            for record in self._conn.execute("PRAGMA table_info(source_rows)")
+        }
+        if "ext_key" not in columns:
+            self._conn.execute("ALTER TABLE source_rows ADD COLUMN ext_key TEXT")
+
     @property
     def path(self) -> str:
         """The database file path (``":memory:"`` when ephemeral)."""
         return self._path
+
+    @property
+    def read_only(self) -> bool:
+        """True for a ``mode=ro`` replica connection."""
+        return self._read_only
 
     def size_bytes(self) -> int:
         if self._path == ":memory:":
@@ -285,6 +385,12 @@ class SqliteStore(MatchStore):
         self._conn.execute(
             "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
         )
+        if key == META_EXTENDED_KEY_ATTRIBUTES:
+            # The cached attribute tuple feeds every put_row's ext_key
+            # computation; a direct meta write (checkpointing writes the
+            # key without going through the setter) must not leave it
+            # stale.
+            self._ext_key_attrs = None
 
     def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
         cursor = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,))
@@ -297,13 +403,14 @@ class SqliteStore(MatchStore):
 
     def put_row(self, side: str, key: KeyValues, raw: Row, extended: Row) -> None:
         self._conn.execute(
-            "INSERT OR REPLACE INTO source_rows (side, key, raw, extended) "
-            "VALUES (?, ?, ?, ?)",
+            "INSERT OR REPLACE INTO source_rows "
+            "(side, key, raw, extended, ext_key) VALUES (?, ?, ?, ?, ?)",
             (
                 self._check_side(side),
                 encode_key(key),
                 encode_row(raw),
                 encode_row(extended),
+                self.extended_key_text(extended),
             ),
         )
 
@@ -322,6 +429,109 @@ class SqliteStore(MatchStore):
         )
         for key, raw, extended in cursor.fetchall():
             yield decode_key(key), decode_row(raw), decode_row(extended)
+
+    # ------------------------------------------------------------------
+    # Indexed point lookups (the serving layer's read path)
+    # ------------------------------------------------------------------
+    def extended_key_attributes(self) -> Tuple[str, ...]:
+        # Cached: put_row consults this per persisted row, and a bulk
+        # load must not pay one meta query per tuple.
+        if self._ext_key_attrs is None:
+            self._ext_key_attrs = super().extended_key_attributes()
+        return self._ext_key_attrs
+
+    def get_row(self, side: str, key: KeyValues) -> Optional[Tuple[Row, Row]]:
+        cursor = self._conn.execute(
+            "SELECT raw, extended FROM source_rows WHERE side = ? AND key = ?",
+            (self._check_side(side), encode_key(key)),
+        )
+        record = cursor.fetchone()
+        if record is None:
+            return None
+        return decode_row(record[0]), decode_row(record[1])
+
+    def rows_by_extended_key(
+        self, side: str, ext_key: str
+    ) -> List[Tuple[KeyValues, Row, Row]]:
+        cursor = self._conn.execute(
+            "SELECT key, raw, extended FROM source_rows "
+            "WHERE side = ? AND ext_key = ? ORDER BY key",
+            (self._check_side(side), ext_key),
+        )
+        return [
+            (decode_key(key), decode_row(raw), decode_row(extended))
+            for key, raw, extended in cursor.fetchall()
+        ]
+
+    def matches_for_key(
+        self, side: str, key: KeyValues
+    ) -> List[Tuple[Pair, Tuple[Row, Row]]]:
+        column = "r_key" if self._check_side(side) == "r" else "s_key"
+        cursor = self._conn.execute(
+            "SELECT r_key, s_key, r_row, s_row FROM matches "
+            f"WHERE {column} = ? ORDER BY r_key, s_key",  # noqa: S608 - fixed names
+            (encode_key(key),),
+        )
+        return [
+            (
+                (decode_key(r_key), decode_key(s_key)),
+                (decode_row(r_row), decode_row(s_row)),
+            )
+            for r_key, s_key, r_row, s_row in cursor.fetchall()
+        ]
+
+    def counts(self) -> dict:
+        """Entry counts straight from ``COUNT(*)`` — O(1) decode work.
+
+        The base implementation materialises and decodes every row; at
+        serving scale (1M matches) that is seconds of work per ``/stats``
+        call, so SQLite counts its own tables instead.
+        """
+        count = lambda table, where="", params=(): int(  # noqa: E731
+            self._conn.execute(
+                f"SELECT COUNT(*) FROM {table} {where}",  # noqa: S608 - fixed names
+                params,
+            ).fetchone()[0]
+        )
+        return {
+            "matches": count("matches"),
+            "non_matches": count("non_matches"),
+            "journal": count("journal"),
+            "r_rows": count("source_rows", "WHERE side = ?", ("r",)),
+            "s_rows": count("source_rows", "WHERE side = ?", ("s",)),
+        }
+
+    def reindex_extended_keys(self) -> int:
+        """Backfill ``ext_key`` for rows persisted before the column.
+
+        Requires the extended-key attributes to be known
+        (:meth:`~repro.store.base.MatchStore.set_extended_key_attributes`,
+        or checkpoint metadata).  Only rows whose ``ext_key`` is NULL are
+        touched, so re-running is cheap; returns the number of rows that
+        gained an index entry.
+        """
+        if not self.extended_key_attributes():
+            raise StoreError(
+                "cannot reindex extended keys: the store does not know the "
+                "extended-key attributes (set_extended_key_attributes first)"
+            )
+        updated = 0
+        with self.transaction():
+            records = self._conn.execute(
+                "SELECT side, key, extended FROM source_rows "
+                "WHERE ext_key IS NULL"
+            ).fetchall()
+            for side, key, extended in records:
+                text = self.extended_key_text(decode_row(extended))
+                if text is None:
+                    continue
+                self._conn.execute(
+                    "UPDATE source_rows SET ext_key = ? "
+                    "WHERE side = ? AND key = ?",
+                    (text, side, key),
+                )
+                updated += 1
+        return updated
 
     @contextlib.contextmanager
     def transaction(self):
@@ -398,6 +608,14 @@ class SqliteStore(MatchStore):
         :class:`~repro.store.errors.StoreIntegrityError` on any finding.
         """
         try:
+            if self._path != ":memory:":
+                # Under WAL, committed pages may still live in the -wal
+                # sidecar, making the main file legitimately shorter than
+                # page_count × page_size; checkpoint them into the main
+                # file first so the size comparison only ever fires on
+                # genuine truncation.
+                with contextlib.suppress(sqlite3.OperationalError):
+                    self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
             page_count = int(
                 self._conn.execute("PRAGMA page_count").fetchone()[0]
             )
@@ -440,8 +658,12 @@ class SqliteStore(MatchStore):
                 )
             except sqlite3.OperationalError:
                 pass  # sqlite_sequence only exists after the first insert
+        self._ext_key_attrs = None  # the meta row it mirrored is gone
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._conn.close()
 
     def __repr__(self) -> str:

@@ -1,0 +1,1 @@
+"""Tests for repro.serving — the async match-lookup & resolve API."""

@@ -1,0 +1,42 @@
+"""Shared fixtures: a checkpointed store the serving layer can open."""
+
+import pytest
+
+from repro.federation import IncrementalIdentifier
+from repro.workloads import EmployeeWorkloadSpec, employee_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return employee_workload(EmployeeWorkloadSpec(n_entities=30, seed=7))
+
+
+def make_session(workload):
+    """A fresh incremental session over the workload's knowledge."""
+    return IncrementalIdentifier(
+        workload.r.schema,
+        workload.s.schema,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    )
+
+
+@pytest.fixture()
+def store_path(workload, tmp_path):
+    """A checkpoint with the workload fully loaded and identified."""
+    path = str(tmp_path / "store.sqlite")
+    session = make_session(workload)
+    session.load(workload.r, workload.s)
+    session.checkpoint(path)
+    session.store.close()
+    return path
+
+
+@pytest.fixture()
+def empty_store_path(workload, tmp_path):
+    """A knowledge-only checkpoint (schemas + key + ILFDs, zero rows)."""
+    path = str(tmp_path / "empty.sqlite")
+    session = make_session(workload)
+    session.checkpoint(path)
+    session.store.close()
+    return path

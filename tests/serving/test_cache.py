@@ -1,0 +1,161 @@
+"""LRUCache: eviction order, stale tier, counters, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.observability import Tracer
+from repro.serving import LRUCache
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        cache = LRUCache(4)
+        value, hit = cache.get("a")
+        assert (value, hit) == (None, False)
+        cache.put("a", 1)
+        value, hit = cache.get("a")
+        assert (value, hit) == (1, True)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_put_refreshes_value(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == (2, True)
+        assert len(cache) == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") == (None, False)
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestEviction:
+    def test_lru_entry_evicted_first(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a → b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") == (None, False)
+        assert cache.get("a") == (1, True)
+        assert cache.get("c") == (3, True)
+        assert cache.evictions == 1
+
+    def test_eviction_count_accumulates(self):
+        cache = LRUCache(1)
+        for i in range(5):
+            cache.put(i, i)
+        assert cache.evictions == 4
+        assert len(cache) == 1
+
+
+class TestStaleTier:
+    def test_invalidate_demotes_not_drops(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.get("a") == (None, False)  # invisible to get
+        assert cache.get_stale("a") == (1, True)  # visible to degradation
+        assert cache.stale_serves == 1
+
+    def test_invalidate_unknown_key_is_noop(self):
+        cache = LRUCache(4)
+        assert cache.invalidate("missing") is False
+        assert cache.invalidations == 0
+
+    def test_fresh_put_supersedes_stale(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.invalidate("a")
+        cache.put("a", 2)
+        assert cache.get("a") == (2, True)
+        assert cache.get_stale("a") == (2, True)
+        assert cache.stats()["stale_entries"] == 0
+
+    def test_stale_tier_is_bounded(self):
+        cache = LRUCache(2)
+        for i in range(6):
+            cache.put(i, i)
+            cache.invalidate(i)
+        assert cache.stats()["stale_entries"] <= 2
+
+    def test_clear_drops_both_tiers(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate("a")
+        assert cache.clear() == 1  # one live entry dropped
+        assert cache.get_stale("a") == (None, False)
+        assert cache.get_stale("b") == (None, False)
+
+
+class TestMetrics:
+    def test_counters_mirror_to_registry(self):
+        tracer = Tracer()
+        cache = LRUCache(1, tracer=tracer)
+        cache.get("a")  # miss
+        cache.put("a", 1)
+        cache.get("a")  # hit
+        cache.put("b", 2)  # evicts a
+        cache.invalidate("b")
+        cache.get_stale("b")  # stale serve
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["serving.cache_misses"] == 1
+        assert counters["serving.cache_hits"] == 1
+        assert counters["serving.cache_evictions"] == 1
+        assert counters["serving.cache_invalidations"] == 1
+        assert counters["serving.stale_serves"] == 1
+
+    def test_stats_snapshot_shape(self):
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        stats = cache.stats()
+        assert stats["capacity"] == 8
+        assert stats["entries"] == 1
+        assert set(stats) == {
+            "capacity",
+            "entries",
+            "stale_entries",
+            "hits",
+            "misses",
+            "evictions",
+            "invalidations",
+            "stale_serves",
+        }
+
+
+class TestConcurrency:
+    def test_concurrent_put_get_invalidate(self):
+        cache = LRUCache(32)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    key = (base + i) % 64
+                    cache.put(key, key)
+                    cache.get(key)
+                    if i % 7 == 0:
+                        cache.invalidate(key)
+                    if i % 11 == 0:
+                        cache.get_stale(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n * 13,)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 32
+        assert cache.stats()["stale_entries"] <= 32

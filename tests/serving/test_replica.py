@@ -1,0 +1,108 @@
+"""ReplicaPool: per-thread read-only connections, retry, lifecycle."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.observability import Tracer
+from repro.resilience import RetryPolicy
+from repro.serving import ReplicaPool
+from repro.store import SqliteStore, StoreError
+
+
+class TestPoolBasics:
+    def test_run_executes_against_replica(self, store_path):
+        with ReplicaPool(store_path, workers=2) as pool:
+            counts = pool.run(lambda replica: replica.counts())
+            assert counts["matches"] > 0
+
+    def test_replicas_are_read_only(self, store_path):
+        with ReplicaPool(store_path, workers=1) as pool:
+            with pytest.raises((StoreError, sqlite3.OperationalError)):
+                pool.run(lambda replica: replica.set_meta("k", "v"))
+
+    def test_one_connection_per_worker_thread(self, store_path):
+        with ReplicaPool(store_path, workers=3) as pool:
+            seen = set()
+            barrier = threading.Barrier(3)
+
+            def ident(replica):
+                barrier.wait(timeout=5)
+                return id(replica)
+
+            futures = [pool.submit(ident) for _ in range(3)]
+            for future in futures:
+                seen.add(future.result(timeout=10))
+            assert len(seen) == 3  # three workers, three distinct stores
+
+    def test_missing_store_fails_fast(self, tmp_path):
+        with pytest.raises((StoreError, sqlite3.OperationalError)):
+            ReplicaPool(str(tmp_path / "nope.sqlite"), workers=1)
+
+    def test_worker_count_validated(self, store_path):
+        with pytest.raises(ValueError):
+            ReplicaPool(store_path, workers=0)
+
+
+class TestRetry:
+    def test_failed_read_reopens_and_retries(self, store_path):
+        tracer = Tracer()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, seed=0)
+        with ReplicaPool(
+            store_path, workers=1, tracer=tracer, retry_policy=policy
+        ) as pool:
+            calls = {"n": 0}
+
+            def flaky(replica):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise sqlite3.OperationalError("injected replica failure")
+                return replica.counts()
+
+            counts = pool.run(flaky)
+            assert counts["matches"] > 0
+            assert calls["n"] == 2
+        assert tracer.metrics.counter("serving.replica_reconnects") == 1
+
+    def test_exhausted_retries_raise(self, store_path):
+        from repro.resilience import ResilienceError
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, seed=0)
+        with ReplicaPool(store_path, workers=1, retry_policy=policy) as pool:
+            def always_fails(replica):
+                raise sqlite3.OperationalError("permanently broken")
+
+            with pytest.raises(
+                (ResilienceError, sqlite3.OperationalError)
+            ):
+                pool.run(always_fails)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, store_path):
+        pool = ReplicaPool(store_path, workers=2)
+        pool.run(lambda replica: replica.counts())
+        pool.close()
+        pool.close()
+
+    def test_submit_after_close_rejected(self, store_path):
+        pool = ReplicaPool(store_path, workers=1)
+        pool.close()
+        with pytest.raises(StoreError):
+            pool.submit(lambda replica: replica.counts())
+
+    def test_reads_see_writer_commits(self, store_path):
+        """WAL: a replica opened before a write sees it after commit."""
+        with ReplicaPool(store_path, workers=1) as pool:
+            assert pool.run(
+                lambda replica: replica.get_meta("visibility_probe", "")
+            ) == ""
+            writer = SqliteStore(store_path)
+            try:
+                writer.set_meta("visibility_probe", "committed")
+            finally:
+                writer.close()
+            assert pool.run(
+                lambda replica: replica.get_meta("visibility_probe", "")
+            ) == "committed"

@@ -1,0 +1,251 @@
+"""MatchLookupService: resolve, ingest, cache invalidation, degradation."""
+
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+import pytest
+
+from repro.core.matching_table import key_values
+from repro.federation import IncrementalIdentifier
+from repro.observability import Tracer
+from repro.relational.row import Row
+from repro.serving import (
+    BadRequestError,
+    MatchLookupService,
+    ServiceUnavailableError,
+    ServingError,
+    decode_key_json,
+)
+from repro.store import SqliteStore
+from repro.store.codec import encode_key
+
+
+def _first_pair(store_path):
+    store = SqliteStore(store_path, read_only=True)
+    try:
+        pairs = sorted(pair for pair, _rows in store.match_items())
+    finally:
+        store.close()
+    assert pairs
+    return pairs[0]
+
+
+def _key_of(workload, side, row):
+    relation = workload.r if side == "r" else workload.s
+    attrs = tuple(
+        n for n in relation.schema.names if n in relation.schema.primary_key
+    )
+    return key_values(Row(dict(row)), attrs)
+
+
+class TestResolve:
+    def test_found_row_carries_cluster_matches_provenance(self, store_path):
+        r_key, s_key = _first_pair(store_path)
+        with MatchLookupService(store_path) as service:
+            result = service.resolve("r", r_key)
+        assert result["found"] is True
+        assert result["cache"] == "miss"
+        assert result["row"] and result["extended"]
+        assert {"r", "s"} >= set(result["cluster"]["sources"])
+        match_keys = [
+            tuple(sorted((a, v) for a, v in m["s_key"]))
+            for m in result["matches"]
+        ]
+        assert s_key in match_keys
+        assert len(result["provenance"]) == len(result["matches"])
+        assert any("MATCH" in text for text in result["provenance"])
+
+    def test_unknown_key_reports_not_found(self, store_path):
+        with MatchLookupService(store_path) as service:
+            result = service.resolve("r", (("dept", "Nowhere"), ("name", "No One")))
+        assert result["found"] is False
+        assert result["cache"] == "miss"
+
+    def test_second_resolve_hits_cache(self, store_path):
+        r_key, _ = _first_pair(store_path)
+        with MatchLookupService(store_path) as service:
+            first = service.resolve("r", r_key)
+            second = service.resolve("r", r_key)
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        assert {k: v for k, v in second.items() if k != "cache"} == {
+            k: v for k, v in first.items() if k != "cache"
+        }
+
+    def test_bad_side_rejected(self, store_path):
+        with MatchLookupService(store_path) as service:
+            with pytest.raises(BadRequestError):
+                service.resolve("x", (("a", "b"),))
+
+
+class TestIngest:
+    def test_ingest_matches_and_journals_like_batch(self, workload, tmp_path):
+        # Hold back one R row, serve the rest, ingest it via the API.
+        path = str(tmp_path / "partial.sqlite")
+        session = IncrementalIdentifier(
+            workload.r.schema,
+            workload.s.schema,
+            list(workload.extended_key),
+            ilfds=list(workload.ilfds),
+        )
+        r_rows = [dict(row) for row in workload.r]
+        held, loaded = r_rows[0], r_rows[1:]
+        for row in loaded:
+            session.insert_r(row)
+        for row in workload.s:
+            session.insert_s(dict(row))
+        session.checkpoint(path)
+        expected_pairs = set()
+        probe = IncrementalIdentifier.resume(path)
+        try:
+            probe.insert_r(dict(held))
+            expected_pairs = set(probe.match_pairs())
+            expected_version = probe.version
+        finally:
+            probe.store.close()
+
+        # Fresh copy of the same partial store, grown via the API.
+        path2 = str(tmp_path / "partial2.sqlite")
+        session2 = IncrementalIdentifier(
+            workload.r.schema,
+            workload.s.schema,
+            list(workload.extended_key),
+            ilfds=list(workload.ilfds),
+        )
+        for row in loaded:
+            session2.insert_r(row)
+        for row in workload.s:
+            session2.insert_s(dict(row))
+        session2.checkpoint(path2)
+        session2.store.close()
+        with MatchLookupService(path2) as service:
+            result = service.ingest("r", held)
+        assert result["inserted"] is True
+        store = SqliteStore(path2, read_only=True)
+        try:
+            api_pairs = {pair for pair, _rows in store.match_items()}
+        finally:
+            store.close()
+        assert api_pairs == expected_pairs
+        assert result["version"] == expected_version
+
+    def test_duplicate_key_rejected(self, workload, store_path):
+        row = dict(next(iter(workload.r)))
+        with MatchLookupService(store_path) as service:
+            with pytest.raises(BadRequestError):
+                service.ingest("r", row)
+
+    def test_ingest_without_knowledge_refused(self, workload, tmp_path):
+        # A bare store (no checkpoint metadata) cannot ingest.
+        path = str(tmp_path / "bare.sqlite")
+        store = SqliteStore(path)
+        store.close()
+        with MatchLookupService(path) as service:
+            assert service.can_ingest is False
+            with pytest.raises(ServingError):
+                service.ingest("r", dict(next(iter(workload.r))))
+
+    def test_ingest_invalidates_partner_cache_entries(self, workload, empty_store_path):
+        """A write demotes every affected key, so reads never serve a
+        stale verdict from the live cache."""
+        s_row = dict(next(iter(workload.s)))
+        r_row = None
+        # Find an R row forming a match with that S row (same entity id).
+        for candidate in workload.r:
+            if dict(candidate)["name"] == s_row["name"]:
+                r_row = dict(candidate)
+                break
+        assert r_row is not None
+        with MatchLookupService(empty_store_path) as service:
+            service.ingest("s", s_row)
+            s_key = _key_of(workload, "s", s_row)
+            before = service.resolve("s", s_key)
+            assert before["matches"] == []
+            result = service.ingest("r", r_row)
+            after = service.resolve("s", s_key)
+        if result["matches_added"]:
+            assert after["cache"] == "miss"  # invalidated, not served stale
+            assert after["matches"] != []
+
+
+class TestDegradation:
+    def test_deadline_miss_serves_stale_copy(self, store_path, monkeypatch):
+        tracer = Tracer()
+        r_key, _ = _first_pair(store_path)
+        service = MatchLookupService(store_path, tracer=tracer, cache_size=8)
+        try:
+            fresh = service.resolve("r", r_key)
+            assert fresh["cache"] == "miss"
+            service.cache.invalidate(("r", encode_key(r_key)))
+
+            def broken_run(fn, timeout=None):
+                raise FutureTimeoutError("injected deadline miss")
+
+            monkeypatch.setattr(service._pool, "run", broken_run)
+            degraded = service.resolve("r", r_key)
+            assert degraded["cache"] == "stale"
+            assert "degraded" in degraded
+            assert degraded["found"] is True
+        finally:
+            service.close()
+        assert tracer.metrics.counter("serving.degraded") == 1
+        assert tracer.metrics.counter("serving.stale_serves") == 1
+
+    def test_no_cached_answer_means_unavailable(self, store_path, monkeypatch):
+        service = MatchLookupService(store_path)
+        try:
+            def broken_run(fn, timeout=None):
+                raise FutureTimeoutError("injected outage")
+
+            monkeypatch.setattr(service._pool, "run", broken_run)
+            with pytest.raises(ServiceUnavailableError):
+                service.resolve("r", (("dept", "X"), ("name", "Y")))
+        finally:
+            service.close()
+
+    def test_allow_stale_false_hard_fails(self, store_path, monkeypatch):
+        r_key, _ = _first_pair(store_path)
+        service = MatchLookupService(store_path, allow_stale=False)
+        try:
+            service.resolve("r", r_key)  # warm the cache
+
+            def broken_run(fn, timeout=None):
+                raise FutureTimeoutError("injected outage")
+
+            monkeypatch.setattr(service._pool, "run", broken_run)
+            service.cache.clear()
+            with pytest.raises(ServiceUnavailableError):
+                service.resolve("r", r_key, use_cache=False)
+        finally:
+            service.close()
+
+
+class TestOperations:
+    def test_stats_shape(self, store_path):
+        with MatchLookupService(store_path, tracer=Tracer()) as service:
+            stats = service.stats()
+        assert stats["store"]["matches"] > 0
+        assert stats["cache"]["capacity"] == 1024
+        assert stats["can_ingest"] is True
+        assert "counters" in stats["metrics"]
+
+    def test_close_is_idempotent(self, store_path):
+        service = MatchLookupService(store_path)
+        service.close()
+        service.close()
+
+
+class TestKeyCodec:
+    def test_decode_key_json_mapping_and_pairs(self):
+        assert decode_key_json({"b": "2", "a": "1"}) == (("a", "1"), ("b", "2"))
+        assert decode_key_json([["b", "2"], ["a", "1"]]) == (
+            ("a", "1"),
+            ("b", "2"),
+        )
+
+    def test_decode_key_json_rejects_garbage(self):
+        with pytest.raises(BadRequestError):
+            decode_key_json("not a key")
+        with pytest.raises(BadRequestError):
+            decode_key_json({})
+        with pytest.raises(BadRequestError):
+            decode_key_json([["only-one-element"]])

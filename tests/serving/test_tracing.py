@@ -1,0 +1,71 @@
+"""ServingTracer: bounded span ring, thread-local nesting, reset."""
+
+import threading
+
+from repro.serving import ServingTracer
+
+
+class TestBoundedRing:
+    def test_span_count_never_exceeds_keep(self):
+        tracer = ServingTracer(keep_spans=10)
+        for i in range(50):
+            with tracer.span(f"request-{i}"):
+                pass
+        spans = tracer.spans()
+        assert len(spans) == 10
+        # The ring keeps the newest spans, dropping the oldest.
+        assert spans[-1].name == "request-49"
+        assert spans[0].name == "request-40"
+
+    def test_nested_spans_both_kept(self):
+        tracer = ServingTracer(keep_spans=8)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [span.name for span in tracer.spans()]
+        assert "outer" in names and "inner" in names
+
+    def test_metrics_still_recorded_after_trim(self):
+        # Trimming spans must never lose counters: they live in the
+        # registry, not on the span objects.
+        tracer = ServingTracer(keep_spans=2)
+        for _ in range(5):
+            with tracer.span("serving.request"):
+                tracer.metrics.inc("serving.requests")
+        assert len(tracer.spans()) == 2
+        assert tracer.metrics.counter("serving.requests") == 5
+
+
+class TestThreadLocalNesting:
+    def test_concurrent_spans_keep_their_own_parents(self):
+        tracer = ServingTracer(keep_spans=1024)
+        errors = []
+        start = threading.Barrier(4)
+
+        def worker(tag):
+            try:
+                start.wait(timeout=5)
+                for i in range(50):
+                    with tracer.span(f"{tag}-outer-{i}") as outer:
+                        with tracer.span(f"{tag}-inner-{i}") as inner:
+                            if inner.parent_id != outer.span_id:
+                                errors.append((tag, i))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{n}",)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_reset_clears_spans_and_metrics(self):
+        tracer = ServingTracer(keep_spans=4)
+        with tracer.span("before"):
+            tracer.metrics.inc("serving.requests")
+        tracer.reset()
+        assert tracer.spans() == []
+        assert tracer.metrics.counter("serving.requests") == 0

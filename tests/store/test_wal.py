@@ -1,0 +1,238 @@
+"""WAL mode, the covering extended-key index, and connection lifecycle.
+
+The serving layer's correctness rests on three store properties tested
+here: file stores run in WAL mode so read-only replicas see consistent
+snapshots while the writer commits; extended-key lookups are answered
+from the ``source_rows_ext`` covering index, never a table scan; and
+every connection is closed exactly once on every path.
+"""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.core.matching_table import key_values
+from repro.federation import IncrementalIdentifier
+from repro.relational.row import Row
+from repro.store import SqliteStore, StoreError
+from repro.store.codec import encode_key
+from repro.workloads import EmployeeWorkloadSpec, employee_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return employee_workload(EmployeeWorkloadSpec(n_entities=24, seed=11))
+
+
+def _checkpoint(workload, path):
+    session = IncrementalIdentifier(
+        workload.r.schema,
+        workload.s.schema,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    )
+    session.load(workload.r, workload.s)
+    session.checkpoint(path)
+    session.store.close()
+
+
+class TestWalMode:
+    def test_file_store_runs_in_wal(self, tmp_path):
+        path = str(tmp_path / "wal.sqlite")
+        store = SqliteStore(path)
+        store.set_meta("probe", "1")
+        store.close()
+        conn = sqlite3.connect(path)
+        try:
+            mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        finally:
+            conn.close()
+        assert mode.lower() == "wal"
+
+    def test_memory_store_skips_wal(self):
+        # :memory: has no file to replicate; WAL would be refused anyway.
+        store = SqliteStore(":memory:")
+        try:
+            store.set_meta("probe", "1")
+            assert store.get_meta("probe") == "1"
+        finally:
+            store.close()
+
+    def test_concurrent_readers_see_consistent_snapshots(self, tmp_path):
+        """Writer commits row+meta atomically; N readers in read
+        transactions must never observe one without the other."""
+        path = str(tmp_path / "concurrent.sqlite")
+        writer = SqliteStore(path)
+        writer.set_meta("rows_committed", "0")
+
+        rounds = 60
+        stop = threading.Event()
+        violations = []
+
+        def reader():
+            conn = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True, isolation_level=None
+            )
+            try:
+                while not stop.is_set():
+                    conn.execute("BEGIN")
+                    try:
+                        n = conn.execute(
+                            "SELECT COUNT(*) FROM source_rows WHERE side='r'"
+                        ).fetchone()[0]
+                        meta = conn.execute(
+                            "SELECT value FROM meta WHERE key='rows_committed'"
+                        ).fetchone()[0]
+                    finally:
+                        conn.execute("COMMIT")
+                    if n != int(meta):
+                        violations.append((n, meta))
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(1, rounds + 1):
+                row = Row({"name": f"person-{i}", "dept": "Ops", "title": "X"})
+                key = key_values(row, ("name",))
+                with writer.transaction():
+                    writer.put_row("r", key, row, row)
+                    writer.set_meta("rows_committed", str(i))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+            writer.close()
+        assert violations == []
+
+    def test_replica_sees_rows_written_after_it_opened(self, tmp_path):
+        path = str(tmp_path / "late.sqlite")
+        writer = SqliteStore(path)
+        replica = SqliteStore(path, read_only=True)
+        try:
+            row = Row({"name": "late", "dept": "Ops", "title": "X"})
+            key = key_values(row, ("name",))
+            with writer.transaction():
+                writer.put_row("r", key, row, row)
+            assert replica.get_row("r", key) is not None
+        finally:
+            replica.close()
+            writer.close()
+
+
+class TestCoveringIndex:
+    def test_extended_key_lookup_uses_covering_index(self, workload, tmp_path):
+        path = str(tmp_path / "indexed.sqlite")
+        _checkpoint(workload, path)
+        conn = sqlite3.connect(path)
+        try:
+            plan = " ".join(
+                row[3]
+                for row in conn.execute(
+                    "EXPLAIN QUERY PLAN SELECT key FROM source_rows "
+                    "WHERE side='r' AND ext_key='x'"
+                )
+            )
+        finally:
+            conn.close()
+        assert "COVERING INDEX source_rows_ext" in plan
+
+    def test_ext_key_populated_for_complete_rows(self, workload, tmp_path):
+        path = str(tmp_path / "populated.sqlite")
+        _checkpoint(workload, path)
+        store = SqliteStore(path, read_only=True)
+        try:
+            for side in ("r", "s"):
+                for key, _raw, extended in store.row_items(side):
+                    expected = store.extended_key_text(extended)
+                    found = [
+                        k
+                        for k, _r, _e in store.rows_by_extended_key(
+                            side, expected
+                        )
+                    ] if expected is not None else []
+                    if expected is not None:
+                        assert key in found
+        finally:
+            store.close()
+
+    def test_reindex_backfills_legacy_rows(self, workload, tmp_path):
+        path = str(tmp_path / "legacy.sqlite")
+        _checkpoint(workload, path)
+        conn = sqlite3.connect(path)
+        try:
+            conn.execute("UPDATE source_rows SET ext_key = NULL")
+            conn.commit()
+        finally:
+            conn.close()
+        store = SqliteStore(path)
+        try:
+            updated = store.reindex_extended_keys()
+            assert updated > 0
+            ext_rows = store.rows_by_extended_key(
+                "r",
+                store.extended_key_text(
+                    next(iter(store.row_items("r")))[2]
+                ),
+            )
+            assert ext_rows
+        finally:
+            store.close()
+
+
+class TestConnectionLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "a.sqlite"))
+        store.close()
+        store.close()
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        path = str(tmp_path / "ctx.sqlite")
+        with pytest.raises(RuntimeError):
+            with SqliteStore(path) as store:
+                store.set_meta("probe", "1")
+                raise RuntimeError("boom")
+        # The connection is closed: a fresh open sees the committed meta.
+        with SqliteStore(path) as store:
+            assert store.get_meta("probe") == "1"
+
+    def test_read_only_store_rejects_writes(self, workload, tmp_path):
+        path = str(tmp_path / "ro.sqlite")
+        _checkpoint(workload, path)
+        replica = SqliteStore(path, read_only=True)
+        try:
+            with pytest.raises((StoreError, sqlite3.OperationalError)):
+                replica.set_meta("k", "v")
+        finally:
+            replica.close()
+
+    def test_read_only_refuses_memory(self):
+        with pytest.raises(StoreError):
+            SqliteStore(":memory:", read_only=True)
+
+    def test_read_only_refuses_non_store_file(self, tmp_path):
+        path = tmp_path / "not-a-store.sqlite"
+        path.write_bytes(b"")
+        with pytest.raises((StoreError, sqlite3.OperationalError)):
+            SqliteStore(str(path), read_only=True)
+
+    def test_cross_thread_close_with_flag(self, workload, tmp_path):
+        """check_same_thread=False exists so a pool can close replica
+        connections from its shutdown thread."""
+        path = str(tmp_path / "xthread.sqlite")
+        _checkpoint(workload, path)
+        opened = {}
+
+        def open_store():
+            opened["store"] = SqliteStore(
+                path, read_only=True, check_same_thread=False
+            )
+
+        t = threading.Thread(target=open_store)
+        t.start()
+        t.join()
+        opened["store"].counts()  # usable from this thread
+        opened["store"].close()  # and closable from it too
