@@ -21,6 +21,21 @@ Usage::
     repro explain-pair session.sqlite \\
         --r "name=kabul,street=e_4th_st" --s "name=kabul,city=nyc"
 
+    repro identify --source R=r.csv --source S=s.csv --source T=t.csv \\
+        --key R=name,street --key S=name,city --key T=name,speciality \\
+        --extended-key name,cuisine,speciality --on-conflict null \\
+        --out integrated.csv                   # N-way multiway identification
+
+    repro entities build entities.sqlite \\
+        --source R=r.csv --source S=s.csv --source T=t.csv \\
+        --key R=name,street --key S=name,city --key T=name,speciality \\
+        --extended-key name,cuisine,speciality \\
+        --survivorship source_priority:T>R>S,most_complete
+    repro entities show entities.sqlite --entity ent-25d384781b18ecdd
+    repro entities export entities.sqlite --out golden.csv
+    repro serve entities.sqlite --port 8080    # /resolve answers with the
+                                               # golden record + resolution log
+
     repro conform                              # full conformance run
     repro conform restaurants --matrix strict  # one workload, strict cells
     repro conform --golden tests/conformance/golden --update-golden
@@ -118,6 +133,7 @@ __all__ = [
     "build_conform_parser",
     "build_report_parser",
     "build_serve_parser",
+    "build_entities_parser",
     "identify_main",
     "stats_main",
     "checkpoint_main",
@@ -126,6 +142,7 @@ __all__ = [
     "conform_main",
     "report_main",
     "serve_main",
+    "entities_main",
     "main",
 ]
 
@@ -139,6 +156,7 @@ _SUBCOMMANDS = (
     "conform",
     "report",
     "serve",
+    "entities",
 )
 
 
@@ -358,13 +376,50 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {package_version()}"
     )
-    parser.add_argument("r_csv", help="first source relation (CSV with header)")
-    parser.add_argument("s_csv", help="second source relation (CSV with header)")
     parser.add_argument(
-        "--r-key", required=True, help="comma-separated key of the first relation"
+        "r_csv", nargs="?", help="first source relation (CSV with header)"
     )
     parser.add_argument(
-        "--s-key", required=True, help="comma-separated key of the second relation"
+        "s_csv", nargs="?", help="second source relation (CSV with header)"
+    )
+    parser.add_argument(
+        "--r-key", help="comma-separated key of the first relation"
+    )
+    parser.add_argument(
+        "--s-key", help="comma-separated key of the second relation"
+    )
+    parser.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        metavar="NAME=CSV",
+        help="named source relation (repeatable); three or more route the "
+        "run through N-way multiway identification instead of the "
+        "pairwise pipeline (give each source's key with --key NAME=ATTRS)",
+    )
+    parser.add_argument(
+        "--key",
+        action="append",
+        default=[],
+        metavar="NAME=ATTRS",
+        help="comma-separated primary key of one named --source "
+        "(repeatable, one per source)",
+    )
+    parser.add_argument(
+        "--on-conflict",
+        choices=("first", "error", "null"),
+        default="first",
+        help="multiway integration policy when matched sources disagree "
+        "on an attribute: keep the first non-NULL value in declaration "
+        "order ('first', the default), fail the run ('error'), or leave "
+        "the contested attribute NULL ('null')",
+    )
+    parser.add_argument(
+        "--source-column",
+        default="sources",
+        metavar="NAME",
+        help="name of the provenance column the multiway integrated "
+        "table records contributing sources in (default 'sources')",
     )
     parser.add_argument(
         "--extended-key",
@@ -488,31 +543,182 @@ def build_stats_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def identify_main(argv: Optional[Sequence[str]] = None) -> int:
-    """``repro identify``: 0 sound, 1 unsound/degraded, 2 fatal."""
-    args = build_parser().parse_args(argv)
-    r = read_csv(args.r_csv, keys=[_split_key(args.r_key)], name="R")
-    s = read_csv(args.s_csv, keys=[_split_key(args.s_key)], name="S")
-
+def _collect_ilfds(args, *, quiet: bool = True) -> List[ILFD]:
+    """All ILFDs the shared --ilfd/--ilfds-csv/--ilfds-file/--mine flags name."""
     ilfds: List[ILFD] = [parse_ilfd(text) for text in args.ilfd]
     for path in args.ilfds_csv:
         table_relation = read_csv(path, enforce_keys=False)
         names = list(table_relation.schema.names)
         table = ILFDTable(names[:-1], names[-1], list(table_relation), name=path)
         ilfds.extend(table.to_ilfds())
-    for path in args.ilfds_file:
+    for path in getattr(args, "ilfds_file", []):
         from repro.ilfd.io import read_ilfds
 
         ilfds.extend(read_ilfds(path))
-    for path in args.mine:
+    for path in getattr(args, "mine", []):
         from repro.discovery import mine_ilfds
 
         instance = read_csv(path, enforce_keys=False)
         mined = mine_ilfds(instance, max_antecedent=2, min_support=2)
         accepted = [m.ilfd for m in mined if m.is_exceptionless]
         ilfds.extend(accepted)
-        if not args.quiet:
+        if not quiet:
             print(f"mined {len(accepted)} exceptionless ILFD(s) from {path}")
+    return ilfds
+
+
+def _parse_named_sources(source_specs, key_specs):
+    """``--source NAME=CSV`` + ``--key NAME=ATTRS`` → name → Relation.
+
+    Raises ``ValueError`` on malformed specs, duplicate names, or a
+    source with no key spec.
+    """
+    keys = {}
+    for spec in key_specs:
+        if "=" not in spec:
+            raise ValueError(f"--key {spec!r} is not of the form NAME=ATTRS")
+        name, _, attrs = spec.partition("=")
+        name = name.strip()
+        if name in keys:
+            raise ValueError(f"duplicate --key for source {name!r}")
+        keys[name] = _split_key(attrs)
+    sources = {}
+    for spec in source_specs:
+        if "=" not in spec:
+            raise ValueError(f"--source {spec!r} is not of the form NAME=CSV")
+        name, _, path = spec.partition("=")
+        name, path = name.strip(), path.strip()
+        if not name or not path:
+            raise ValueError(f"--source {spec!r} is not of the form NAME=CSV")
+        if name in sources:
+            raise ValueError(f"duplicate --source name {name!r}")
+        if name not in keys:
+            raise ValueError(f"--source {name!r} has no --key {name}=ATTRS")
+        sources[name] = read_csv(path, keys=[keys[name]], name=name)
+    unused = sorted(set(keys) - set(sources))
+    if unused:
+        raise ValueError(f"--key given for unknown source(s): {unused}")
+    return sources
+
+
+def _identify_multiway(args) -> int:
+    """The ``repro identify --source A=... --source B=...`` route.
+
+    Runs :class:`~repro.core.multiway.MultiwayIdentifier` over the named
+    sources: prints the entity clusters and the generalized-uniqueness
+    verdict; ``--out`` writes the integrated table merged under
+    ``--on-conflict``.  Exit codes as for pairwise identify.
+    """
+    from repro.core.errors import CoreError
+    from repro.core.multiway import MultiwayIdentifier
+
+    for flag, value in (("--store", args.store), ("--suggest-keys", args.suggest_keys)):
+        if value:
+            print(
+                f"repro identify: {flag} is not supported with --source "
+                "(use 'repro entities build' to persist an N-way run)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.r_csv or args.s_csv or args.r_key or args.s_key:
+        print(
+            "repro identify: positional R/S files and --r-key/--s-key "
+            "cannot be mixed with --source",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        sources = _parse_named_sources(args.source, args.key)
+        if len(sources) < 2:
+            raise ValueError("N-way identification needs at least two --source")
+        ilfds = _collect_ilfds(args, quiet=args.quiet)
+    except (OSError, ValueError) as exc:
+        print(f"repro identify: {exc}", file=sys.stderr)
+        return 2
+
+    profile_mode = _profile_mode(args)
+    tracer = None
+    if args.trace or args.metrics or profile_mode != "off":
+        from repro.observability import Tracer
+
+        tracer = Tracer(profile=profile_mode)
+    try:
+        identifier = MultiwayIdentifier(
+            sources,
+            _split_key(args.extended_key),
+            ilfds=ilfds,
+            tracer=tracer,
+        )
+        clusters = identifier.clusters()
+        report = identifier.verify()
+        conflicts = identifier.conflicts()
+    except CoreError as exc:
+        print(f"repro identify: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        key_attrs = identifier.extended_key.attributes
+        print(f"{len(clusters)} entity cluster(s) across {len(sources)} sources")
+        for cluster in clusters:
+            rendered = ", ".join(
+                f"{attr}={value}" for attr, value in zip(key_attrs, cluster.key)
+            )
+            members = ", ".join(
+                f"{name}:{row.values_for(sources[name].schema.primary_key)}"
+                for name, row in cluster.members
+            )
+            print(f"  [{rendered}] <- {members}")
+        if conflicts:
+            print(f"{len(conflicts)} attribute conflict(s) between matched sources")
+        if report.is_sound:
+            print("uniqueness holds: no source has two tuples per entity")
+        else:
+            print(f"uniqueness VIOLATED: {dict(report.violations)!r}")
+    if args.out:
+        try:
+            integrated = identifier.integrate(
+                source_column=args.source_column, on_conflict=args.on_conflict
+            )
+        except CoreError as exc:
+            print(f"repro identify: {exc}", file=sys.stderr)
+            return 2
+        write_csv(integrated, args.out)
+        if not args.quiet:
+            print(f"integrated table written to {args.out}")
+    if tracer is not None:
+        if args.metrics:
+            from repro.observability import format_metrics
+
+            print()
+            print(format_metrics(tracer.metrics.snapshot()))
+        if args.trace:
+            from repro.observability import write_trace_jsonl
+
+            try:
+                records = write_trace_jsonl(tracer, args.trace)
+            except OSError as exc:
+                print(f"repro identify: cannot write trace: {exc}", file=sys.stderr)
+                return 2
+            if not args.quiet:
+                print(f"trace ({records} records) written to {args.trace}")
+    return 0 if report.is_sound else 1
+
+
+def identify_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro identify``: 0 sound, 1 unsound/degraded, 2 fatal."""
+    args = build_parser().parse_args(argv)
+    if args.source:
+        return _identify_multiway(args)
+    if not (args.r_csv and args.s_csv and args.r_key and args.s_key):
+        print(
+            "repro identify: the two-source form needs R.csv S.csv "
+            "--r-key ... --s-key ... (or name every source with "
+            "repeatable --source NAME=CSV plus --key NAME=ATTRS)",
+            file=sys.stderr,
+        )
+        return 2
+    r = read_csv(args.r_csv, keys=[_split_key(args.r_key)], name="R")
+    s = read_csv(args.s_csv, keys=[_split_key(args.s_key)], name="S")
+    ilfds = _collect_ilfds(args, quiet=args.quiet)
 
     key_attributes = _split_key(args.extended_key)
     if args.suggest_keys:
@@ -1896,6 +2102,408 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
     raise AssertionError(f"unhandled report action {args.action!r}")
 
 
+def build_entities_parser() -> argparse.ArgumentParser:
+    """The ``repro entities`` argument parser (N-way resolution)."""
+    parser = argparse.ArgumentParser(
+        prog="repro entities",
+        description="N-way entity resolution: build a persisted identity "
+        "graph with canonical (golden) entities from named CSV sources, "
+        "inspect it, or export the golden records.  A built store serves "
+        "/resolve answers (repro serve) with full resolution-log "
+        "provenance.",
+    )
+    actions = parser.add_subparsers(dest="action", metavar="ACTION")
+    actions.required = True
+
+    build_p = actions.add_parser(
+        "build",
+        help="resolve N sources into canonical entities persisted in one "
+        "SQLite store (clusters, golden records, resolution log)",
+    )
+    build_p.add_argument("store_path", help="SQLite store file to build")
+    build_p.add_argument(
+        "--source",
+        action="append",
+        required=True,
+        metavar="NAME=CSV",
+        help="named source relation (repeatable; at least two)",
+    )
+    build_p.add_argument(
+        "--key",
+        action="append",
+        default=[],
+        metavar="NAME=ATTRS",
+        help="comma-separated primary key of one named source "
+        "(repeatable, one per source)",
+    )
+    build_p.add_argument(
+        "--extended-key",
+        required=True,
+        help="comma-separated extended key (unified attribute names)",
+    )
+    build_p.add_argument(
+        "--ilfd",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="inline ILFD, e.g. 'speciality=Mughalai -> cuisine=Indian' "
+        "(repeatable)",
+    )
+    build_p.add_argument(
+        "--ilfds-csv",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="ILFD table CSV: antecedent columns then one derived column "
+        "(repeatable)",
+    )
+    build_p.add_argument(
+        "--ilfds-file",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="ILFD knowledge-base text file, one rule per line (repeatable)",
+    )
+    build_p.add_argument(
+        "--survivorship",
+        default="source_priority",
+        metavar="SPEC",
+        help="comma-joined survivorship chain deciding each golden "
+        "value: source_priority[:A>B>...], most_complete, longest, "
+        "newest:ATTR (default source_priority = first non-NULL in "
+        "declaration order)",
+    )
+    build_p.add_argument(
+        "--prefix",
+        default="ent-",
+        metavar="TEXT",
+        help="canonical entity-id prefix (default 'ent-'; ids are "
+        "prefix + 16 hex chars, deterministic across rebuilds)",
+    )
+    build_p.add_argument(
+        "--log-decisions",
+        choices=("all", "contested", "none"),
+        default="all",
+        help="how much survivorship detail to journal in the "
+        "entity_resolution_log (default all)",
+    )
+    build_p.add_argument(
+        "--blocker",
+        choices=sorted(BLOCKERS),
+        help="candidate-pair generation strategy for the pairwise runs "
+        "(default: each pair's identifier picks its own)",
+    )
+    build_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel workers per pairwise identification run (default 1)",
+    )
+    build_p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a JSON-lines trace (entities.* spans + metrics)",
+    )
+    build_p.add_argument(
+        "--metrics", action="store_true", help="print the metrics summary"
+    )
+    build_p.add_argument("--quiet", action="store_true", help="suppress printouts")
+    build_p.add_argument(
+        "--json", action="store_true", help="emit the build report as JSON"
+    )
+
+    show_p = actions.add_parser(
+        "show",
+        help="inspect a built entity store: list entities, or one "
+        "entity's golden record and resolution log",
+    )
+    show_p.add_argument("store_path", help="SQLite store built by 'entities build'")
+    show_p.add_argument(
+        "--entity",
+        metavar="ID",
+        help="show one entity: golden record, members, resolution log",
+    )
+    show_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    export_p = actions.add_parser(
+        "export",
+        help="write the golden records to CSV (one row per canonical "
+        "entity, with id and contributing sources)",
+    )
+    export_p.add_argument("store_path", help="SQLite store built by 'entities build'")
+    export_p.add_argument(
+        "--out", required=True, metavar="FILE", help="CSV file to write"
+    )
+    export_p.add_argument("--quiet", action="store_true", help="suppress printouts")
+    return parser
+
+
+def _entities_build(args) -> int:
+    from repro.core.errors import CoreError
+    from repro.entities import (
+        EntitiesError,
+        IdentityGraph,
+        build_entity_store,
+        make_survivorship,
+    )
+    from repro.store import StoreError
+    from repro.store.sqlite import SqliteStore
+
+    try:
+        sources = _parse_named_sources(args.source, args.key)
+        if len(sources) < 2:
+            raise ValueError("an entity build needs at least two --source")
+        ilfds = _collect_ilfds(args, quiet=args.quiet or args.json)
+        policy = make_survivorship(args.survivorship)
+    except (OSError, ValueError, EntitiesError) as exc:
+        print(f"repro entities: {exc}", file=sys.stderr)
+        return 2
+
+    tracer = None
+    if args.trace or args.metrics:
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+    blocker_factory = (
+        (lambda: make_blocker(args.blocker)) if args.blocker else None
+    )
+    store = None
+    try:
+        graph = IdentityGraph(
+            sources,
+            _split_key(args.extended_key),
+            ilfds=ilfds,
+            blocker_factory=blocker_factory,
+            workers=args.workers,
+            tracer=tracer,
+        )
+        store = SqliteStore(args.store_path, tracer=tracer)
+        report = build_entity_store(
+            graph,
+            store,
+            policy=policy,
+            prefix=args.prefix,
+            log_decisions=args.log_decisions,
+            tracer=tracer,
+        )
+    except (CoreError, EntitiesError, StoreError, OSError) as exc:
+        print(f"repro entities: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if store is not None:
+            store.close()
+    if args.json:
+        import json as json_module
+
+        print(
+            json_module.dumps(
+                {
+                    "store": args.store_path,
+                    "sources": list(report.sources),
+                    "entities": report.entities,
+                    "members": report.members,
+                    "violations": report.violations,
+                    "contested": report.contested,
+                    "decisions_logged": report.decisions_logged,
+                    "survivorship": list(report.survivorship),
+                    "fingerprint": report.fingerprint,
+                    "sound": report.is_sound,
+                },
+                indent=2,
+            )
+        )
+    elif not args.quiet:
+        print(
+            f"built {report.entities} canonical entit(ies) from "
+            f"{report.members} member tuple(s) across "
+            f"{len(report.sources)} sources ({', '.join(report.sources)})"
+        )
+        print(
+            f"survivorship: {','.join(report.survivorship)}; "
+            f"{report.contested} contested decision(s), "
+            f"{report.decisions_logged} journaled"
+        )
+        print(f"fingerprint: {report.fingerprint}")
+        if report.is_sound:
+            print(f"store written to {args.store_path}")
+        else:
+            print(
+                f"uniqueness VIOLATED: {report.violations} breach(es) "
+                "journaled (see 'repro entities show')"
+            )
+    if tracer is not None:
+        if args.metrics and not args.json:
+            from repro.observability import format_metrics
+
+            print()
+            print(format_metrics(tracer.metrics.snapshot()))
+        if args.trace:
+            from repro.observability import write_trace_jsonl
+
+            try:
+                write_trace_jsonl(tracer, args.trace)
+            except OSError as exc:
+                print(f"repro entities: cannot write trace: {exc}", file=sys.stderr)
+                return 2
+    return 0 if report.is_sound else 1
+
+
+def _entities_show(args) -> int:
+    import json as json_module
+
+    from repro.entities import EntityBuildError, verify_entity_store
+    from repro.store import StoreError, explain_entity
+    from repro.store.sqlite import SqliteStore
+
+    try:
+        store = SqliteStore(args.store_path)
+    except (StoreError, OSError) as exc:
+        print(f"repro entities: {exc}", file=sys.stderr)
+        return 2
+    try:
+        try:
+            count, fingerprint = verify_entity_store(store)
+        except EntityBuildError as exc:
+            print(f"repro entities: {exc}", file=sys.stderr)
+            return 2
+        if args.entity:
+            record = store.get_entity(args.entity)
+            if record is None:
+                print(
+                    f"repro entities: no entity {args.entity!r} in "
+                    f"{args.store_path}",
+                    file=sys.stderr,
+                )
+                return 2
+            log = store.entity_log(record.entity_id)
+            if args.json:
+                from repro.serving.service import encode_key_json, encode_row_json
+
+                print(
+                    json_module.dumps(
+                        {
+                            "id": record.entity_id,
+                            "ext_key": record.ext_key,
+                            "golden": encode_row_json(record.golden),
+                            "members": [
+                                {"source": source, "key": encode_key_json(key)}
+                                for source, key in record.members
+                            ],
+                            "resolution_log": [entry.payload for entry in log],
+                        },
+                        indent=2,
+                    )
+                )
+            else:
+                print(f"entity {record.entity_id}")
+                for name, value in record.golden.items():
+                    print(f"  {name} = {value}")
+                print("members:")
+                for source, key in record.members:
+                    rendered = ", ".join(f"{a}={v}" for a, v in key)
+                    print(f"  {source}: {rendered}")
+                print(explain_entity(log, record.entity_id))
+            return 0
+        records = list(store.entity_items())
+        if args.json:
+            print(
+                json_module.dumps(
+                    {
+                        "store": args.store_path,
+                        "entities": count,
+                        "fingerprint": fingerprint,
+                        "ids": [
+                            {
+                                "id": r.entity_id,
+                                "sources": list(r.sources),
+                                "members": len(r.members),
+                            }
+                            for r in records
+                        ],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"{count} canonical entit(ies) in {args.store_path} "
+                f"(fingerprint {fingerprint[:16]}…)"
+            )
+            for record in records:
+                print(
+                    f"  {record.entity_id}  "
+                    f"[{', '.join(record.sources)}]  "
+                    f"{len(record.members)} member(s)"
+                )
+        return 0
+    finally:
+        store.close()
+
+
+def _entities_export(args) -> int:
+    import csv as csv_module
+
+    from repro.entities import EntityBuildError, load_entities, verify_entity_store
+    from repro.relational.nulls import is_null
+    from repro.store import StoreError
+    from repro.store.sqlite import SqliteStore
+
+    try:
+        store = SqliteStore(args.store_path)
+    except (StoreError, OSError) as exc:
+        print(f"repro entities: {exc}", file=sys.stderr)
+        return 2
+    try:
+        try:
+            verify_entity_store(store)
+        except EntityBuildError as exc:
+            print(f"repro entities: {exc}", file=sys.stderr)
+            return 2
+        records = load_entities(store)
+    finally:
+        store.close()
+    attributes: List[str] = []
+    for record in records:
+        for name in record.golden:
+            if name not in attributes:
+                attributes.append(name)
+    try:
+        with open(args.out, "w", newline="") as handle:
+            writer = csv_module.writer(handle)
+            writer.writerow(["entity_id"] + attributes + ["sources"])
+            for record in records:
+                golden = record.golden
+                writer.writerow(
+                    [record.entity_id]
+                    + [
+                        ""
+                        if name not in golden or is_null(golden[name])
+                        else golden[name]
+                        for name in attributes
+                    ]
+                    + [",".join(record.sources)]
+                )
+    except OSError as exc:
+        print(f"repro entities: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    if not getattr(args, "quiet", False):
+        print(f"{len(records)} golden record(s) written to {args.out}")
+    return 0
+
+
+def entities_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro entities``: 0 sound/ok, 1 unsound build, 2 fatal."""
+    args = build_entities_parser().parse_args(argv)
+    if args.action == "build":
+        return _entities_build(args)
+    if args.action == "show":
+        return _entities_show(args)
+    return _entities_export(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point: dispatches the subcommands (see ``_SUBCOMMANDS``).
 
@@ -1923,6 +2531,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return report_main(rest)
         if command == "serve":
             return serve_main(rest)
+        if command == "entities":
+            return entities_main(rest)
         return identify_main(rest)
     if arguments == ["--version"]:
         print(f"repro {package_version()}")

@@ -102,6 +102,16 @@ class ConfigCell:
     faults:
         Optional :meth:`FaultPlan.parse` spec injected into the
         executor and store, with enough retry budget to recover.
+    entities:
+        When true, the workload is additionally resolved N-way (R, S,
+        plus a deterministic third source sampled from R) through
+        :class:`~repro.entities.IdentityGraph`: the graph's clusters
+        must be bit-identical to
+        :class:`~repro.core.multiway.MultiwayIdentifier`'s, every
+        pairwise projection must equal a fresh
+        :class:`EntityIdentifier` run, and the persisted entity build
+        must reload, verify, rebuild to the same fingerprint, and
+        answer ``/resolve`` with the golden record.
     strict:
         Strict cells must match the baseline on MT **and** NMT;
         non-strict (pruning-blocker) cells on MT only, with NMT ⊆
@@ -116,6 +126,7 @@ class ConfigCell:
     resume: bool = False
     serving: bool = False
     faults: Optional[str] = None
+    entities: bool = False
     strict: bool = True
 
 
@@ -222,12 +233,12 @@ class MatrixReport:
 # The matrix
 # ----------------------------------------------------------------------
 def strict_matrix() -> List[ConfigCell]:
-    """The 14 strict cells: exhaustive candidates, bit-identical tables.
+    """The 15 strict cells: exhaustive candidates, bit-identical tables.
 
     Covers every executor backend, both store backends, cold,
-    checkpoint-resume, and serving-API-ingested runs, and three seeded
-    fault schedules (executor error, worker crash, store-commit
-    failure) that recovery must make invisible.
+    checkpoint-resume, serving-API-ingested, and N-way identity-graph
+    runs, and three seeded fault schedules (executor error, worker
+    crash, store-commit failure) that recovery must make invisible.
     """
     return [
         ConfigCell("legacy-serial-memory"),
@@ -280,6 +291,7 @@ def strict_matrix() -> List[ConfigCell]:
             faults="executor.batch:error@0..1",
         ),
         ConfigCell("serving-ingest-sqlite", store="sqlite", serving=True),
+        ConfigCell("entities-graph", store="sqlite", entities=True),
     ]
 
 
@@ -419,6 +431,8 @@ def run_cell(
     try:
         if cell.serving:
             return _run_serving_cell(workload, cell, workdir)
+        if cell.entities:
+            return _run_entities_cell(workload, cell, workdir)
         if not cell.resume:
             tables, sound, journal = _identify(
                 cell,
@@ -515,6 +529,118 @@ def _run_serving_cell(
         sound=sound,
         journal=journal,
         resume_consistent=(canonical_pairs(api_pairs) == tables.mt),
+    )
+
+
+def _run_entities_cell(
+    workload: Workload, cell: ConfigCell, workdir: str
+) -> CellOutcome:
+    """The N-way identity-graph equivalence cell.
+
+    Resolves the workload three ways and cross-checks every layer of
+    the ``repro.entities`` subsystem, folding the verdict into
+    ``resume_consistent``:
+
+    1. graph clusters ≡ :class:`MultiwayIdentifier` clusters,
+       bit-identically (same fingerprint over keys, members, rows);
+    2. every pairwise projection of the graph ≡ a fresh
+       :class:`EntityIdentifier` run over that source pair;
+    3. the SQLite entity build reloads, verifies against its sealed
+       fingerprint, and a rebuild produces the identical fingerprint
+       (canonical ids are stable across runs);
+    4. :meth:`MatchLookupService.resolve` over the built store returns
+       the persisted golden entity, with resolution-log provenance.
+
+    The cell's comparable tables/journal come from the graph's (r, s)
+    pair run under the cell's own store backend, so the cell also
+    participates in the ordinary baseline comparison.
+    """
+    from repro.core.multiway import MultiwayIdentifier
+    from repro.entities import (
+        IdentityGraph,
+        build_entity_store,
+        cluster_fingerprint,
+        verify_entity_store,
+    )
+    from repro.relational.relation import Relation
+    from repro.serving import MatchLookupService
+
+    # A deterministic third source: every other R tuple (insertion
+    # order), same schema — its members must land in R's clusters.
+    third = Relation(
+        workload.r.schema,
+        [dict(row) for index, row in enumerate(workload.r) if index % 2 == 0],
+        name="T",
+    )
+    sources = {"r": workload.r, "s": workload.s, "t": third}
+    extended_key = list(workload.extended_key)
+    ilfds = list(workload.ilfds)
+
+    graph = IdentityGraph(sources, extended_key, ilfds=ilfds)
+    multiway = MultiwayIdentifier(sources, extended_key, ilfds=ilfds)
+    consistent = cluster_fingerprint(graph.clusters()) == cluster_fingerprint(
+        multiway.clusters()
+    )
+
+    for first, second in graph.pair_names():
+        pairwise = EntityIdentifier(
+            sources[first], sources[second], extended_key, ilfds=ilfds
+        )
+        reference = frozenset(
+            (entry.r_key, entry.s_key) for entry in pairwise.matching_table()
+        )
+        if graph.pairwise_pairs(first, second) != reference:
+            consistent = False
+
+    path = os.path.join(workdir, f"{cell.name}.entities.sqlite")
+    store = SqliteStore(path)
+    try:
+        built = build_entity_store(graph, store)
+    finally:
+        store.close()
+    reloaded = SqliteStore(path)
+    try:
+        count, fingerprint = verify_entity_store(reloaded)
+        if count != built.entities or fingerprint != built.fingerprint:
+            consistent = False
+    except ConformanceError:
+        raise
+    except Exception:
+        consistent = False
+    finally:
+        reloaded.close()
+    rebuilt = build_entity_store(
+        IdentityGraph(sources, extended_key, ilfds=ilfds), MemoryStore()
+    )
+    if rebuilt.fingerprint != built.fingerprint:
+        consistent = False
+
+    clusters = graph.clusters()
+    if clusters:
+        source, row = clusters[0].members[0]
+        from repro.core.matching_table import key_values
+
+        key = key_values(row, graph.source_key_attributes(source))
+        with MatchLookupService(path, workers=1, cache_size=8) as service:
+            answer = service.resolve(source, key)
+        entity = answer.get("entity")
+        if (
+            not answer.get("found")
+            or entity is None
+            or not entity.get("resolution_log")
+            or not entity.get("id", "").startswith("ent-")
+        ):
+            consistent = False
+
+    tables, sound, journal = _identify(
+        cell, workload.r, workload.s, extended_key, ilfds, workdir
+    )
+    return CellOutcome(
+        cell=cell,
+        tables=tables,
+        sound=sound,
+        journal=journal,
+        resume_consistent=consistent,
     )
 
 

@@ -49,6 +49,8 @@ from repro.core.integration import (
 from repro.core.report import identification_report
 from repro.core.explain import MatchExplanation, ValueProvenance, explain_match
 from repro.core.multiway import (
+    CONFLICT_POLICIES,
+    AttributeConflict,
     EntityCluster,
     MultiwayIdentifier,
     MultiwaySoundnessReport,
@@ -71,6 +73,8 @@ __all__ = [
     "ConsistencyError",
     "CoreError",
     "HomonymCandidate",
+    "AttributeConflict",
+    "CONFLICT_POLICIES",
     "EntityCluster",
     "EntityIdentifier",
     "ExtendedKey",

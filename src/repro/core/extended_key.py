@@ -93,19 +93,22 @@ class ExtendedKey:
         wanted = set(r.schema.primary_key) | set(s.schema.primary_key)
         return wanted <= self.as_set()
 
-    def check_against(self, r: Relation, s: Relation) -> None:
+    def check_against(
+        self, r: Relation, s: Relation, *, derivable: Iterable[str] = ()
+    ) -> None:
         """Validate the key is usable with the (unified) sources.
 
-        Every key attribute must exist in at least one source schema —
-        an attribute in neither could never be valued for either side and
-        the matching table would always be empty.
+        Every key attribute must exist in at least one source schema or
+        be ILFD-*derivable* (the caller passes the attributes its ILFDs
+        can conclude) — an attribute in neither could never be valued
+        for either side and the matching table would always be empty.
         """
-        known = set(r.schema.names) | set(s.schema.names)
+        known = set(r.schema.names) | set(s.schema.names) | set(derivable)
         orphans = [a for a in self._attributes if a not in known]
         if orphans:
             raise ExtendedKeyError(
                 f"extended key attributes {orphans} appear in neither source "
-                "relation"
+                "relation and no ILFD derives them"
             )
 
     def proper_subsets(self) -> Iterable["ExtendedKey"]:

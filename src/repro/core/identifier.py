@@ -177,9 +177,17 @@ class EntityIdentifier:
         self._s = self._correspondence.unify_s(s)
         if not isinstance(extended_key, ExtendedKey):
             extended_key = ExtendedKey(list(extended_key))
-        extended_key.check_against(self._r, self._s)
-        self._key = extended_key
         self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
+        extended_key.check_against(
+            self._r,
+            self._s,
+            derivable={
+                attr
+                for ilfd in self._ilfds
+                for attr in ilfd.consequent_attributes
+            },
+        )
+        self._key = extended_key
         self._engine = DerivationEngine(
             self._ilfds, policy=policy, tracer=self._tracer
         )

@@ -46,11 +46,16 @@ from repro.core.extended_key import ExtendedKey
 from repro.core.matching_table import KeyValues, key_values
 from repro.ilfd.derivation import DerivationEngine, DerivationPolicy
 from repro.ilfd.ilfd import ILFD, ILFDSet
+from repro.observability.tracer import NO_OP_TRACER, Tracer
 from repro.relational.attribute import Attribute
 from repro.relational.nulls import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.row import Row
 from repro.relational.schema import Schema
+
+CONFLICT_POLICIES = ("first", "error", "null")
+"""Integrate's attribute-collision policies: first non-NULL in source
+order wins / raise on any disagreement / blank disagreeing attributes."""
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,20 @@ class EntityCluster:
 
     def __len__(self) -> int:
         return len(self.members)
+
+
+@dataclass(frozen=True)
+class AttributeConflict:
+    """Sources disagree on one attribute of one matched entity.
+
+    ``values`` lists every non-NULL candidate as ``(source, value)`` in
+    cluster member order — at least two distinct values, or the
+    attribute would not be a conflict.
+    """
+
+    key: Tuple[Any, ...]
+    attribute: str
+    values: Tuple[Tuple[str, Any], ...]
 
 
 @dataclass(frozen=True)
@@ -106,6 +125,11 @@ class MultiwayIdentifier:
         At least two sources are required.
     extended_key / ilfds / policy:
         As for :class:`~repro.core.identifier.EntityIdentifier`.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; when given, the
+        identifier emits ``multiway.*`` spans and metrics (sources,
+        tuples grouped, clusters, uniqueness violations, integrate
+        conflicts).
     """
 
     def __init__(
@@ -115,6 +139,7 @@ class MultiwayIdentifier:
         *,
         ilfds: ILFDSet | Iterable[ILFD] = (),
         policy: DerivationPolicy = DerivationPolicy.FIRST_MATCH,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if len(sources) < 2:
             raise CoreError("multiway identification needs at least two sources")
@@ -124,8 +149,11 @@ class MultiwayIdentifier:
         self._key = extended_key
         self._ilfds = ilfds if isinstance(ilfds, ILFDSet) else ILFDSet(ilfds)
         self._engine = DerivationEngine(self._ilfds, policy=policy)
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
         self._extended: Optional[Dict[str, Relation]] = None
         self._groups: Optional[Dict[Tuple[Any, ...], List[Tuple[str, Row]]]] = None
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("multiway.sources", len(self._sources))
 
     # ------------------------------------------------------------------
     @property
@@ -142,23 +170,29 @@ class MultiwayIdentifier:
         """Every source extended with derived K_Ext values."""
         if self._extended is None:
             targets = list(self._key.attributes)
-            self._extended = {
-                name: self._engine.extend_relation(relation, targets)
-                for name, relation in self._sources.items()
-            }
+            with self._tracer.span("multiway.extend", sources=len(self._sources)):
+                self._extended = {
+                    name: self._engine.extend_relation(relation, targets)
+                    for name, relation in self._sources.items()
+                }
         return self._extended
 
     def _grouped(self) -> Dict[Tuple[Any, ...], List[Tuple[str, Row]]]:
         if self._groups is None:
             key_attrs = list(self._key.attributes)
             groups: Dict[Tuple[Any, ...], List[Tuple[str, Row]]] = defaultdict(list)
-            for name, relation in self.extended().items():
-                for row in relation:
-                    values = row.values_for(key_attrs)
-                    if any(is_null(v) for v in values):
-                        continue
-                    groups[values].append((name, row))
+            tuples = 0
+            with self._tracer.span("multiway.cluster"):
+                for name, relation in self.extended().items():
+                    for row in relation:
+                        values = row.values_for(key_attrs)
+                        if any(is_null(v) for v in values):
+                            continue
+                        groups[values].append((name, row))
+                        tuples += 1
             self._groups = groups
+            if self._tracer.enabled:
+                self._tracer.metrics.inc("multiway.tuples", tuples)
         return self._groups
 
     # ------------------------------------------------------------------
@@ -168,6 +202,8 @@ class MultiwayIdentifier:
         for values, members in sorted(self._grouped().items(), key=lambda kv: str(kv[0])):
             if len({name for name, _ in members}) >= 2:
                 out.append(EntityCluster(values, tuple(members)))
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("multiway.clusters", len(out))
         return out
 
     def verify(self) -> MultiwaySoundnessReport:
@@ -175,13 +211,17 @@ class MultiwayIdentifier:
         violations: Dict[str, List[Tuple[Any, ...]]] = {
             name: [] for name in self._sources
         }
-        for values, members in self._grouped().items():
-            per_source: Dict[str, int] = defaultdict(int)
-            for name, _ in members:
-                per_source[name] += 1
-            for name, count in per_source.items():
-                if count > 1:
-                    violations[name].append(values)
+        with self._tracer.span("multiway.verify"):
+            for values, members in self._grouped().items():
+                per_source: Dict[str, int] = defaultdict(int)
+                for name, _ in members:
+                    per_source[name] += 1
+                for name, count in per_source.items():
+                    if count > 1:
+                        violations[name].append(values)
+        total = sum(len(v) for v in violations.values())
+        if self._tracer.enabled and total:
+            self._tracer.metrics.inc("multiway.violations", total)
         return MultiwaySoundnessReport(
             {name: tuple(v) for name, v in violations.items()}
         )
@@ -213,47 +253,121 @@ class MultiwayIdentifier:
         return tuple(n for n in schema.names if n in key)
 
     # ------------------------------------------------------------------
-    def integrate(self, *, source_column: str = "sources") -> Relation:
-        """One row per real-world entity, over the union of the schemas.
-
-        Matched clusters coalesce attribute-wise (first non-NULL value in
-        source order wins — run conflict diagnostics first if the sources
-        may disagree); unmatched tuples survive NULL-padded.  The
-        *source_column* records provenance (comma-joined source names),
-        which also keeps coincidentally identical unmatched tuples from
-        different sources apart.
-        """
+    def _attribute_order(self) -> List[str]:
+        """Union of the extended schemas, in declaration order."""
         ordered: List[str] = []
         for relation in self.extended().values():
             for attr in relation.schema.names:
                 if attr not in ordered:
                     ordered.append(attr)
+        return ordered
+
+    def _cluster_candidates(
+        self, cluster: EntityCluster
+    ) -> Dict[str, List[Tuple[str, Any]]]:
+        """Non-NULL candidate values per attribute, in member order."""
+        candidates: Dict[str, List[Tuple[str, Any]]] = {}
+        for source, row in cluster.members:
+            for attr in row:
+                value = row[attr]
+                if is_null(value):
+                    continue
+                candidates.setdefault(attr, []).append((source, value))
+        return candidates
+
+    def conflicts(self) -> List[AttributeConflict]:
+        """Every attribute collision integration would have to resolve.
+
+        An attribute of a cluster is in conflict when two members carry
+        distinct non-NULL values for it.  Deterministic order: clusters
+        in :meth:`clusters` order, attributes in schema-union order.
+        """
+        ordered = self._attribute_order()
+        out: List[AttributeConflict] = []
+        for cluster in self.clusters():
+            candidates = self._cluster_candidates(cluster)
+            for attr in ordered:
+                values = candidates.get(attr, [])
+                if len({value for _, value in values}) > 1:
+                    out.append(AttributeConflict(cluster.key, attr, tuple(values)))
+        if self._tracer.enabled and out:
+            self._tracer.metrics.inc("multiway.conflicts", len(out))
+        return out
+
+    def integrate(
+        self, *, source_column: str = "sources", on_conflict: str = "first"
+    ) -> Relation:
+        """One row per real-world entity, over the union of the schemas.
+
+        Matched clusters coalesce attribute-wise; unmatched tuples
+        survive NULL-padded.  When members disagree on a non-key
+        attribute, *on_conflict* decides — deterministically, never by
+        dict iteration accident:
+
+        - ``"first"`` (default): the first non-NULL value in source
+          declaration order wins (the disagreement is still counted in
+          the ``multiway.conflicts`` metric; use :meth:`conflicts` for
+          the full diagnostic),
+        - ``"error"``: raise :class:`CoreError` naming the first
+          conflicting cluster and attribute,
+        - ``"null"``: blank the contested attribute — the integrated
+          row asserts nothing the sources dispute.
+
+        The *source_column* records provenance (comma-joined source
+        names), which also keeps coincidentally identical unmatched
+        tuples from different sources apart.
+        """
+        if on_conflict not in CONFLICT_POLICIES:
+            raise CoreError(
+                f"unknown conflict policy {on_conflict!r}; "
+                f"expected one of {CONFLICT_POLICIES}"
+            )
+        ordered = self._attribute_order()
         if source_column in ordered:
             raise CoreError(
                 f"source column {source_column!r} collides with a source attribute"
             )
         schema = Schema([Attribute(a) for a in ordered + [source_column]])
 
-        rows: List[Row] = []
-        clustered: set = set()
-        for cluster in self.clusters():
-            values: Dict[str, Any] = {attr: NULL for attr in ordered}
-            for _, row in cluster.members:
-                clustered.add(row)
-                for attr in row:
-                    if is_null(values[attr]):
-                        values[attr] = row[attr]
-            values[source_column] = ",".join(cluster.sources)
-            rows.append(Row(values))
-        for name, relation in self.extended().items():
-            for row in relation:
-                if row in clustered:
-                    continue
-                values = {attr: NULL for attr in ordered}
-                for attr in row:
-                    values[attr] = row[attr]
-                values[source_column] = name
+        with self._tracer.span("multiway.integrate", on_conflict=on_conflict):
+            rows: List[Row] = []
+            clustered: set = set()
+            conflict_count = 0
+            for cluster in self.clusters():
+                for _, row in cluster.members:
+                    clustered.add(row)
+                candidates = self._cluster_candidates(cluster)
+                values: Dict[str, Any] = {attr: NULL for attr in ordered}
+                for attr in ordered:
+                    attr_values = candidates.get(attr, [])
+                    if len({value for _, value in attr_values}) > 1:
+                        conflict_count += 1
+                        if on_conflict == "error":
+                            raise CoreError(
+                                f"sources disagree on {attr!r} for entity "
+                                f"{cluster.key!r}: "
+                                + ", ".join(
+                                    f"{source}={value!r}"
+                                    for source, value in attr_values
+                                )
+                            )
+                        if on_conflict == "null":
+                            continue  # values[attr] stays NULL
+                    if attr_values:
+                        values[attr] = attr_values[0][1]
+                values[source_column] = ",".join(cluster.sources)
                 rows.append(Row(values))
+            for name, relation in self.extended().items():
+                for row in relation:
+                    if row in clustered:
+                        continue
+                    values = {attr: NULL for attr in ordered}
+                    for attr in row:
+                        values[attr] = row[attr]
+                    values[source_column] = name
+                    rows.append(Row(values))
+            if self._tracer.enabled and conflict_count:
+                self._tracer.metrics.inc("multiway.conflicts", conflict_count)
 
         out = Relation(schema, (), name="T_multi", enforce_keys=False)
         deduped: Dict[Row, None] = {}

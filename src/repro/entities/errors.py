@@ -1,0 +1,26 @@
+"""Errors raised by the N-way entity-resolution subsystem."""
+
+from __future__ import annotations
+
+__all__ = [
+    "EntitiesError",
+    "GraphError",
+    "SurvivorshipError",
+    "EntityBuildError",
+]
+
+
+class EntitiesError(Exception):
+    """Base class for every ``repro.entities`` failure."""
+
+
+class GraphError(EntitiesError):
+    """The identity graph cannot be constructed or queried as asked."""
+
+
+class SurvivorshipError(EntitiesError):
+    """A survivorship spec or rule chain is invalid."""
+
+
+class EntityBuildError(EntitiesError):
+    """Persisting the resolved entities to a store failed."""

@@ -56,11 +56,19 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "store.checkpoint_bytes": "on-disk size of written checkpoints",
     "store.resumes": "checkpoint resumes performed",
     "store.load_ms": "milliseconds spent loading checkpoints",
+    # multiway identification (repro.core.multiway)
+    "multiway.sources": "source relations declared to multiway identifiers",
+    "multiway.tuples": "tuples scanned by multiway extension",
+    "multiway.clusters": "entity clusters produced by multiway identification",
+    "multiway.violations": "uniqueness violations found by multiway verify",
+    "multiway.conflicts": "attribute conflicts detected during integration",
+    "store.entity_writes": "canonical entity records written to the store",
     # serving layer (repro.serving)
     "serving.requests": "HTTP requests handled by the serving layer",
     "serving.errors": "serving requests that ended in an error response",
     "serving.request_ms": "wall milliseconds per serving request",
     "serving.lookups": "resolve lookups executed against a replica",
+    "serving.entity_lookups": "resolve lookups that found a canonical entity",
     "serving.lookup_ms": "wall milliseconds per replica lookup",
     "serving.ingests": "tuples ingested through search-before-insert",
     "serving.ingest_matches": "matches created by search-before-insert ingests",

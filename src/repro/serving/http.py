@@ -373,7 +373,7 @@ class ServingServer:
             key_text = query.get("key", "")
             if not side or not key_text:
                 raise BadRequestError(
-                    "GET /resolve needs ?source=r|s&key=attr=value,..."
+                    "GET /resolve needs ?source=NAME&key=attr=value,..."
                 )
             return side, parse_query_key(key_text)
         if method == "POST":

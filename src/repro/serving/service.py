@@ -181,6 +181,7 @@ class MatchLookupService:
     def _load_knowledge(self) -> None:
         """Ingestion state from the store's (checkpoint) metadata."""
         store = self._writer
+        self._sides: Tuple[str, ...] = store.sides()
         attributes = store.extended_key_attributes()
         self._extended_key: Optional[ExtendedKey] = (
             ExtendedKey(list(attributes)) if attributes else None
@@ -221,10 +222,17 @@ class MatchLookupService:
         """The resolve cache (tests and ``/stats`` read it)."""
         return self._cache
 
-    @staticmethod
-    def _check_side(side: str) -> str:
-        if side not in SIDES:
-            raise BadRequestError(f"unknown source {side!r}; expected one of {SIDES}")
+    @property
+    def sides(self) -> Tuple[str, ...]:
+        """The source names this store serves (``("r", "s")`` unless an
+        entity build registered its own vocabulary)."""
+        return self._sides
+
+    def _check_side(self, side: str) -> str:
+        if side not in self._sides:
+            raise BadRequestError(
+                f"unknown source {side!r}; expected one of {self._sides}"
+            )
         return side
 
     # ------------------------------------------------------------------
@@ -285,7 +293,9 @@ class MatchLookupService:
                 }
             else:
                 raw, extended = row
-                cluster = self._cluster_of(replica, extended)
+                ext_text = replica.extended_key_text(extended)
+                cluster = self._cluster_of(replica, extended, ext_text)
+                entity = self._entity_of(replica, ext_text)
                 matches = replica.matches_for_key(side, key)
                 result = {
                     "found": True,
@@ -294,6 +304,7 @@ class MatchLookupService:
                     "row": encode_row_json(raw),
                     "extended": encode_row_json(extended),
                     "cluster": cluster,
+                    "entity": entity,
                     "matches": [
                         {
                             "r_key": encode_key_json(r_key),
@@ -319,20 +330,19 @@ class MatchLookupService:
         return result
 
     def _cluster_of(
-        self, store: MatchStore, extended: Row
+        self, store: MatchStore, extended: Row, ext_text: Optional[str]
     ) -> Optional[Dict[str, Any]]:
         """The tuple's entity cluster, in multiway's equivalence terms.
 
         ``None`` when the extended key is incomplete — Section 6.2's
         NULL semantics mean such a tuple belongs to no cluster.
         """
-        ext_text = store.extended_key_text(extended)
         if ext_text is None:
             return None
         attributes = store.extended_key_attributes()
         members: List[Tuple[str, Row]] = []
         member_keys: List[Tuple[str, KeyValues]] = []
-        for side in SIDES:
+        for side in self._sides:
             for key, _raw, member_extended in store.rows_by_extended_key(
                 side, ext_text
             ):
@@ -351,6 +361,41 @@ class MatchLookupService:
             "members": [
                 {"source": side, "key": encode_key_json(key)}
                 for side, key in member_keys
+            ],
+        }
+
+    def _entity_of(
+        self, store: MatchStore, ext_text: Optional[str]
+    ) -> Optional[Dict[str, Any]]:
+        """The persisted canonical entity for this extended key, if an
+        entity build (``repro entities build``) sealed one — the golden
+        record plus its ``entity_resolution_log`` provenance."""
+        if ext_text is None:
+            return None
+        record = store.entity_by_ext_key(ext_text)
+        if record is None:
+            return None
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("serving.entity_lookups")
+        return {
+            "id": record.entity_id,
+            "golden": encode_row_json(record.golden),
+            "members": [
+                {"source": source, "key": encode_key_json(key)}
+                for source, key in record.members
+            ],
+            "resolution_log": [
+                {
+                    "seq": entry.seq,
+                    "rule": entry.rule,
+                    "event": entry.payload.get("event", "golden"),
+                    "detail": {
+                        k: v
+                        for k, v in entry.payload.items()
+                        if k not in ("entity_id", "event")
+                    },
+                }
+                for entry in store.entity_log(record.entity_id)
             ],
         }
 
@@ -446,7 +491,7 @@ class MatchLookupService:
             # cluster/matches just changed).
             self._cache.invalidate((side, encode_key(key)))
             if ext_text is not None:
-                for member_side in SIDES:
+                for member_side in self._sides:
                     for member_key, _r, _e in store.rows_by_extended_key(
                         member_side, ext_text
                     ):

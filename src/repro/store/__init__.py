@@ -42,17 +42,24 @@ from repro.store.codec import (
     encode_row,
     encode_schema,
 )
+from repro.store.entity import (
+    ENTITY_ID_PREFIX,
+    EntityRecord,
+    canonical_entity_id,
+)
 from repro.store.errors import StoreCodecError, StoreError, StoreIntegrityError
 from repro.store.journal import (
     JOURNAL_KINDS,
     KIND_ASSERT,
     KIND_CHECKPOINT,
     KIND_DISTINCTNESS,
+    KIND_ENTITY,
     KIND_IDENTITY,
     KIND_ILFD,
     KIND_REMOVE,
     JournalEntry,
     entry_checksum,
+    explain_entity,
     explain_pair,
     replay_journal,
 )
@@ -61,10 +68,13 @@ from repro.store.sqlite import SqliteStore
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "ENTITY_ID_PREFIX",
+    "EntityRecord",
     "JOURNAL_KINDS",
     "KIND_ASSERT",
     "KIND_CHECKPOINT",
     "KIND_DISTINCTNESS",
+    "KIND_ENTITY",
     "KIND_IDENTITY",
     "KIND_ILFD",
     "KIND_REMOVE",
@@ -76,6 +86,7 @@ __all__ = [
     "StoreCodecError",
     "StoreError",
     "StoreIntegrityError",
+    "canonical_entity_id",
     "checkpoint_incremental",
     "decode_key",
     "decode_row",
@@ -84,6 +95,7 @@ __all__ = [
     "encode_row",
     "encode_schema",
     "entry_checksum",
+    "explain_entity",
     "explain_pair",
     "make_store",
     "replay_journal",

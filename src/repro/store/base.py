@@ -46,11 +46,13 @@ from repro.observability.tracer import NO_OP_TRACER, Tracer
 from repro.relational.nulls import is_null
 from repro.relational.row import Row
 from repro.store.codec import KeyValues, encode_key
+from repro.store.entity import EntityRecord
 from repro.store.errors import StoreError, StoreIntegrityError
 from repro.store.journal import (
     KIND_ASSERT,
     KIND_CHECKPOINT,
     KIND_DISTINCTNESS,
+    KIND_ENTITY,
     KIND_IDENTITY,
     KIND_ILFD,
     KIND_REMOVE,
@@ -70,6 +72,9 @@ META_S_KEY_ATTRIBUTES = "s_key_attributes"
 # Same key checkpoints already seal (store/checkpoint.py META_EXTENDED_KEY),
 # so every existing checkpoint file carries its extended-key attributes.
 META_EXTENDED_KEY_ATTRIBUTES = "extended_key"
+# N-source stores (entity builds) register their source names here; absent,
+# the store keeps the paper's pairwise ("r", "s") vocabulary unchanged.
+META_SIDES = "store_sides"
 
 
 class MatchStore(abc.ABC):
@@ -202,6 +207,34 @@ class MatchStore(abc.ABC):
         """All persisted tuples of *side* as ``(key, raw, extended)``."""
 
     @abc.abstractmethod
+    def put_entity(self, record: EntityRecord) -> None:
+        """Insert/replace one canonical entity (no journal write)."""
+
+    @abc.abstractmethod
+    def delete_entity(self, entity_id: str) -> bool:
+        """Remove one canonical entity; True iff it existed."""
+
+    @abc.abstractmethod
+    def get_entity(self, entity_id: str) -> Optional[EntityRecord]:
+        """One canonical entity by id, or None."""
+
+    @abc.abstractmethod
+    def entity_items(self) -> Iterator[EntityRecord]:
+        """All canonical entities in deterministic (entity-id) order."""
+
+    def entity_by_ext_key(self, ext_key: str) -> Optional[EntityRecord]:
+        """The canonical entity whose cluster key encodes to *ext_key*.
+
+        Scan fallback (SqliteStore overrides with an indexed probe); at
+        most one entity can own an extended-key text because equal
+        complete extended keys put tuples in the same cluster.
+        """
+        for record in self.entity_items():
+            if record.ext_key == ext_key:
+                return record
+        return None
+
+    @abc.abstractmethod
     def transaction(self) -> ContextManager["MatchStore"]:
         """Group writes atomically (all-or-nothing on the backend)."""
 
@@ -226,10 +259,15 @@ class MatchStore(abc.ABC):
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
 
-    @staticmethod
-    def _check_side(side: str) -> str:
-        if side not in SIDES:
-            raise StoreError(f"unknown side {side!r}; expected one of {SIDES}")
+    def _check_side(self, side: str) -> str:
+        # Fast path first: the pairwise vocabulary never needs a meta read.
+        if side in SIDES:
+            return side
+        registered = self.sides()
+        if side not in registered:
+            raise StoreError(
+                f"unknown side {side!r}; expected one of {registered}"
+            )
         return side
 
     # ------------------------------------------------------------------
@@ -355,6 +393,80 @@ class MatchStore(abc.ABC):
         )
         self._metric_inc("store.journal_entries")
 
+    def record_entity(
+        self,
+        record: EntityRecord,
+        *,
+        rule: str = "",
+        payload: Optional[Mapping[str, Any]] = None,
+        timestamp: Optional[float] = None,
+    ) -> None:
+        """Persist a canonical entity and journal its formation.
+
+        The journal entry is the head of the entity's resolution log: a
+        ``golden`` event naming the member tuples the cluster closed
+        over.  Per-attribute survivorship decisions follow via
+        :meth:`record_entity_decision`.
+        """
+        self.put_entity(record)
+        event = {
+            "entity_id": record.entity_id,
+            "event": "golden",
+            "members": [
+                f"{source}:{encode_key(key)}" for source, key in record.members
+            ],
+        }
+        event.update(payload or {})
+        self.append_journal(
+            JournalEntry(
+                seq=0,
+                timestamp=timestamp if timestamp is not None else time.time(),
+                kind=KIND_ENTITY,
+                rule=rule,
+                payload=event,
+            )
+        )
+        self._metric_inc("store.entity_writes")
+        self._metric_inc("store.journal_entries")
+
+    def record_entity_decision(
+        self,
+        entity_id: str,
+        *,
+        rule: str,
+        payload: Mapping[str, Any],
+        timestamp: Optional[float] = None,
+    ) -> None:
+        """Journal one entity-resolution decision (no table write).
+
+        *payload* carries the kind-specific detail — ``event`` is
+        ``"decision"`` for a survivorship pick (attribute, value, source,
+        contested) or ``"violation"`` for a generalized-uniqueness
+        breach (source, count).  Entries carry no pair keys, so journal
+        replay and the matching-table audit are unaffected.
+        """
+        event = {"entity_id": entity_id}
+        event.update(payload)
+        self.append_journal(
+            JournalEntry(
+                seq=0,
+                timestamp=timestamp if timestamp is not None else time.time(),
+                kind=KIND_ENTITY,
+                rule=rule,
+                payload=event,
+            )
+        )
+        self._metric_inc("store.journal_entries")
+
+    def entity_log(self, entity_id: str) -> List[JournalEntry]:
+        """All resolution-log entries for one entity, in journal order."""
+        return [
+            entry
+            for entry in self.journal_entries()
+            if entry.kind == KIND_ENTITY
+            and entry.payload.get("entity_id") == entity_id
+        ]
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -365,6 +477,26 @@ class MatchStore(abc.ABC):
     def non_match_pairs(self) -> Set[Pair]:
         """All negative pairs."""
         return {pair for pair, _ in self.non_match_items()}
+
+    def set_sides(self, names: Tuple[str, ...]) -> None:
+        """Register the store's source-side vocabulary (entity builds).
+
+        Pairwise stores never call this and keep the paper's ``("r",
+        "s")``.  Names must be unique and non-empty; the declaration
+        order given here is the deterministic source-priority order
+        survivorship and cluster rendering use.
+        """
+        names = tuple(names)
+        if len(names) < 2:
+            raise StoreError("a store needs at least two sides")
+        if len(set(names)) != len(names) or any(not name for name in names):
+            raise StoreError(f"side names must be unique and non-empty: {names!r}")
+        self.set_meta(META_SIDES, json.dumps(list(names)))
+
+    def sides(self) -> Tuple[str, ...]:
+        """The store's registered side names (default: paper's R/S)."""
+        text = self.get_meta(META_SIDES)
+        return tuple(json.loads(text)) if text else SIDES
 
     def set_key_attributes(
         self, r_attributes: Tuple[str, ...], s_attributes: Tuple[str, ...]
@@ -589,15 +721,19 @@ class MatchStore(abc.ABC):
         — all provenance semantics the journal carries — is unchanged.
         """
         with dest.transaction():
+            # Meta first: a registered side vocabulary (META_SIDES) must
+            # land before the per-side rows it legitimises.
             for key, value in self.meta_items():
                 dest.set_meta(key, value)
-            for side in SIDES:
+            for side in self.sides():
                 for key, raw, extended in self.row_items(side):
                     dest.put_row(side, key, raw, extended)
             for (r_key, s_key), (r_row, s_row) in self.match_items():
                 dest.put_match(r_key, s_key, r_row, s_row)
             for (r_key, s_key), (r_row, s_row) in self.non_match_items():
                 dest.put_non_match(r_key, s_key, r_row, s_row)
+            for record in self.entity_items():
+                dest.put_entity(record)
             for entry in self.journal_entries():
                 dest.append_journal(entry)
 
@@ -609,4 +745,5 @@ class MatchStore(abc.ABC):
             "journal": len(self.journal_entries()),
             "r_rows": sum(1 for _ in self.row_items("r")),
             "s_rows": sum(1 for _ in self.row_items("s")),
+            "entities": sum(1 for _ in self.entity_items()),
         }

@@ -28,11 +28,13 @@ __all__ = [
     "KIND_ASSERT",
     "KIND_REMOVE",
     "KIND_CHECKPOINT",
+    "KIND_ENTITY",
     "JOURNAL_KINDS",
     "JournalEntry",
     "entry_checksum",
     "replay_journal",
     "explain_pair",
+    "explain_entity",
 ]
 
 Pair = Tuple[KeyValues, KeyValues]
@@ -55,6 +57,14 @@ KIND_REMOVE = "remove"
 KIND_CHECKPOINT = "checkpoint"
 """A snapshot marker: the state up to this entry was checkpointed."""
 
+KIND_ENTITY = "entity_resolution"
+"""An entity-resolution decision: a canonical entity was built, one of
+its golden-record attributes was decided by a survivorship rule, or a
+generalized-uniqueness violation was observed.  Entity entries carry no
+pair keys — the entity id and decision detail live in the payload — so
+they are invisible to :func:`replay_journal` and never perturb the
+matching-table audit."""
+
 JOURNAL_KINDS = (
     KIND_IDENTITY,
     KIND_DISTINCTNESS,
@@ -62,6 +72,7 @@ JOURNAL_KINDS = (
     KIND_ASSERT,
     KIND_REMOVE,
     KIND_CHECKPOINT,
+    KIND_ENTITY,
 )
 
 
@@ -229,4 +240,52 @@ def explain_pair(
         elif entry.kind == KIND_CHECKPOINT:
             lines.append(f"  {stamp} checkpoint boundary")
     lines.append(f"  verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def explain_entity(entries: Iterable[JournalEntry], entity_id: str) -> str:
+    """Reconstruct the resolution log for one canonical entity.
+
+    Renders, in journal order, every :data:`KIND_ENTITY` entry whose
+    payload names *entity_id*: the cluster's formation, each
+    survivorship decision with the rule that made it, and any
+    generalized-uniqueness violations observed while building it — the
+    golden record's provenance story, recoverable from the store alone.
+    """
+    relevant = [
+        entry
+        for entry in entries
+        if entry.kind == KIND_ENTITY and entry.payload.get("entity_id") == entity_id
+    ]
+    header = f"entity {entity_id}"
+    if not relevant:
+        return f"{header}\n  (no resolution-log entries; the entity was never built)"
+    lines = [header]
+    for entry in relevant:
+        stamp = f"#{entry.seq}"
+        event = entry.payload.get("event", "")
+        if event == "golden":
+            members = entry.payload.get("members", [])
+            lines.append(
+                f"  {stamp} golden record built from {len(members)} member(s): "
+                + ", ".join(str(member) for member in members)
+            )
+        elif event == "decision":
+            attribute = entry.payload.get("attribute", "?")
+            value = entry.payload.get("value")
+            source = entry.payload.get("source", "?")
+            contested = " (contested)" if entry.payload.get("contested") else ""
+            lines.append(
+                f"  {stamp} {attribute}={value!r} survived from {source} "
+                f"by rule {entry.rule or '(unnamed)'}{contested}"
+            )
+        elif event == "violation":
+            source = entry.payload.get("source", "?")
+            count = entry.payload.get("count", "?")
+            lines.append(
+                f"  {stamp} uniqueness VIOLATION: {count} tuples from "
+                f"{source} share the entity's extended key"
+            )
+        else:
+            lines.append(f"  {stamp} {event or 'entity event'}")
     return "\n".join(lines)

@@ -18,6 +18,7 @@ from repro.relational.row import Row
 from repro.resilience.faults import NO_OP_INJECTOR, SITE_STORE_COMMIT, FaultInjector
 from repro.store.base import MatchStore, Pair
 from repro.store.codec import KeyValues
+from repro.store.entity import EntityRecord
 from repro.store.journal import JournalEntry, entry_checksum
 
 __all__ = ["MemoryStore"]
@@ -52,6 +53,7 @@ class MemoryStore(MatchStore):
             "r": {},
             "s": {},
         }
+        self._entities: Dict[str, EntityRecord] = {}
         self._next_seq = 1
         self._txn_depth = 0
         self._injector = (
@@ -118,16 +120,30 @@ class MemoryStore(MatchStore):
         return iter(list(self._meta.items()))
 
     def put_row(self, side: str, key: KeyValues, raw: Row, extended: Row) -> None:
-        self._rows[self._check_side(side)][key] = (raw, extended)
+        # setdefault: registered N-source sides get their dict on first write.
+        self._rows.setdefault(self._check_side(side), {})[key] = (raw, extended)
 
     def delete_row(self, side: str, key: KeyValues) -> bool:
-        return self._rows[self._check_side(side)].pop(key, None) is not None
+        rows = self._rows.get(self._check_side(side), {})
+        return rows.pop(key, None) is not None
 
     def row_items(self, side: str) -> Iterator[Tuple[KeyValues, Row, Row]]:
-        side_rows = self._rows[self._check_side(side)]
+        side_rows = self._rows.get(self._check_side(side), {})
         return iter(
             [(key, raw, extended) for key, (raw, extended) in side_rows.items()]
         )
+
+    def put_entity(self, record: EntityRecord) -> None:
+        self._entities[record.entity_id] = record
+
+    def delete_entity(self, entity_id: str) -> bool:
+        return self._entities.pop(entity_id, None) is not None
+
+    def get_entity(self, entity_id: str) -> Optional[EntityRecord]:
+        return self._entities.get(entity_id)
+
+    def entity_items(self) -> Iterator[EntityRecord]:
+        return iter(sorted(self._entities.values(), key=lambda e: e.entity_id))
 
     @contextlib.contextmanager
     def transaction(self):
@@ -145,6 +161,7 @@ class MemoryStore(MatchStore):
             dict(self._checksums),
             dict(self._meta),
             {side: dict(rows) for side, rows in self._rows.items()},
+            dict(self._entities),
             self._next_seq,
         )
 
@@ -156,6 +173,7 @@ class MemoryStore(MatchStore):
                 self._checksums,
                 self._meta,
                 self._rows,
+                self._entities,
                 self._next_seq,
             ) = snapshot
             self._discard_metric_buffer()
@@ -187,8 +205,8 @@ class MemoryStore(MatchStore):
         self._journal.clear()
         self._checksums.clear()
         self._meta.clear()
-        for rows in self._rows.values():
-            rows.clear()
+        self._rows = {"r": {}, "s": {}}
+        self._entities.clear()
         self._next_seq = 1
 
     def close(self) -> None:

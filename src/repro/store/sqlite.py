@@ -39,7 +39,12 @@ from repro.relational.row import Row
 from repro.resilience.errors import InjectedFault
 from repro.resilience.faults import NO_OP_INJECTOR, SITE_STORE_COMMIT, FaultInjector
 from repro.resilience.retry import RetryPolicy
-from repro.store.base import META_EXTENDED_KEY_ATTRIBUTES, MatchStore, Pair
+from repro.store.base import (
+    META_EXTENDED_KEY_ATTRIBUTES,
+    META_SIDES,
+    MatchStore,
+    Pair,
+)
 from repro.store.codec import (
     KeyValues,
     decode_key,
@@ -47,6 +52,7 @@ from repro.store.codec import (
     encode_key,
     encode_row,
 )
+from repro.store.entity import EntityRecord, decode_entity, encode_entity
 from repro.store.errors import StoreError, StoreIntegrityError
 from repro.store.journal import JournalEntry, entry_checksum
 
@@ -91,6 +97,12 @@ CREATE TABLE IF NOT EXISTS source_rows (
     ext_key  TEXT,
     PRIMARY KEY (side, key)
 );
+CREATE TABLE IF NOT EXISTS entities (
+    entity_id TEXT PRIMARY KEY,
+    ext_key   TEXT,
+    golden    TEXT NOT NULL,
+    members   TEXT NOT NULL
+);
 """
 
 # Created after the column migrations (an old file's source_rows gains
@@ -99,6 +111,8 @@ _SCHEMA_INDEXES = """
 CREATE INDEX IF NOT EXISTS source_rows_ext
     ON source_rows (side, ext_key, key) WHERE ext_key IS NOT NULL;
 CREATE INDEX IF NOT EXISTS matches_s_key ON matches (s_key, r_key);
+CREATE INDEX IF NOT EXISTS entities_ext
+    ON entities (ext_key) WHERE ext_key IS NOT NULL;
 """
 
 
@@ -157,6 +171,7 @@ class SqliteStore(MatchStore):
         self._closed = False
         self._read_only = read_only
         self._ext_key_attrs: Optional[Tuple[str, ...]] = None
+        self._sides_cache: Optional[Tuple[str, ...]] = None
         if read_only and self._path == ":memory:":
             raise StoreError("a read-only store needs a file to share")
         try:
@@ -391,6 +406,8 @@ class SqliteStore(MatchStore):
             # key without going through the setter) must not leave it
             # stale.
             self._ext_key_attrs = None
+        elif key == META_SIDES:
+            self._sides_cache = None
 
     def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
         cursor = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,))
@@ -440,6 +457,12 @@ class SqliteStore(MatchStore):
             self._ext_key_attrs = super().extended_key_attributes()
         return self._ext_key_attrs
 
+    def sides(self) -> Tuple[str, ...]:
+        # Cached for the same reason: _check_side runs per put_row.
+        if self._sides_cache is None:
+            self._sides_cache = super().sides()
+        return self._sides_cache
+
     def get_row(self, side: str, key: KeyValues) -> Optional[Tuple[Row, Row]]:
         cursor = self._conn.execute(
             "SELECT raw, extended FROM source_rows WHERE side = ? AND key = ?",
@@ -462,6 +485,50 @@ class SqliteStore(MatchStore):
             (decode_key(key), decode_row(raw), decode_row(extended))
             for key, raw, extended in cursor.fetchall()
         ]
+
+    def put_entity(self, record: EntityRecord) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO entities "
+            "(entity_id, ext_key, golden, members) VALUES (?, ?, ?, ?)",
+            encode_entity(record),
+        )
+
+    def delete_entity(self, entity_id: str) -> bool:
+        cursor = self._conn.execute(
+            "DELETE FROM entities WHERE entity_id = ?", (entity_id,)
+        )
+        return cursor.rowcount > 0
+
+    def get_entity(self, entity_id: str) -> Optional[EntityRecord]:
+        record = self._entity_select(
+            "WHERE entity_id = ?", (entity_id,)
+        )
+        return record[0] if record else None
+
+    def entity_by_ext_key(self, ext_key: str) -> Optional[EntityRecord]:
+        record = self._entity_select("WHERE ext_key = ?", (ext_key,))
+        return record[0] if record else None
+
+    def entity_items(self) -> Iterator[EntityRecord]:
+        return iter(self._entity_select())
+
+    def _entity_select(
+        self, where: str = "", params: Tuple = ()
+    ) -> List[EntityRecord]:
+        # Replicas opened against a pre-entities store file have no
+        # entities table; report "none persisted" rather than erroring —
+        # resolve-only serving over legacy stores must keep working.
+        try:
+            cursor = self._conn.execute(
+                "SELECT entity_id, ext_key, golden, members FROM entities "
+                f"{where} ORDER BY entity_id",  # noqa: S608 - fixed names
+                params,
+            )
+        except sqlite3.OperationalError:
+            if self._read_only:
+                return []
+            raise
+        return [decode_entity(*record) for record in cursor.fetchall()]
 
     def matches_for_key(
         self, side: str, key: KeyValues
@@ -493,12 +560,17 @@ class SqliteStore(MatchStore):
                 params,
             ).fetchone()[0]
         )
+        try:
+            entities = count("entities")
+        except sqlite3.OperationalError:
+            entities = 0  # replica over a pre-entities store file
         return {
             "matches": count("matches"),
             "non_matches": count("non_matches"),
             "journal": count("journal"),
             "r_rows": count("source_rows", "WHERE side = ?", ("r",)),
             "s_rows": count("source_rows", "WHERE side = ?", ("s",)),
+            "entities": entities,
         }
 
     def reindex_extended_keys(self) -> int:
@@ -650,7 +722,14 @@ class SqliteStore(MatchStore):
 
     def clear(self) -> None:
         with self.transaction():
-            for table in ("matches", "non_matches", "journal", "meta", "source_rows"):
+            for table in (
+                "matches",
+                "non_matches",
+                "journal",
+                "meta",
+                "source_rows",
+                "entities",
+            ):
                 self._conn.execute(f"DELETE FROM {table}")  # noqa: S608 - fixed names
             try:
                 self._conn.execute(
@@ -658,7 +737,8 @@ class SqliteStore(MatchStore):
                 )
             except sqlite3.OperationalError:
                 pass  # sqlite_sequence only exists after the first insert
-        self._ext_key_attrs = None  # the meta row it mirrored is gone
+        self._ext_key_attrs = None  # the meta rows they mirrored are gone
+        self._sides_cache = None
 
     def close(self) -> None:
         if self._closed:

@@ -212,3 +212,30 @@ class TestPrototypeComparison:
             workload = WORKLOADS[family](12, 5)
             native = run_cell(workload, ConfigCell("native"))
             assert compare_with_prototype(workload) == native.tables.mt, family
+
+
+class TestEntitiesCell:
+    def test_strict_matrix_carries_the_entities_cell(self):
+        [cell] = [c for c in strict_matrix() if c.entities]
+        assert cell.name == "entities-graph"
+        assert cell.store == "sqlite"
+        assert cell.strict
+
+    def test_entities_cell_proves_graph_multiway_equivalence(self):
+        workload = WORKLOADS["restaurants"](8, 3)
+        outcome = run_cell(
+            workload, ConfigCell("entities-graph", store="sqlite", entities=True)
+        )
+        assert outcome.sound
+        assert outcome.resume_consistent, (
+            "graph clusters, pairwise projections, persisted build, and "
+            "/resolve must all agree"
+        )
+
+    def test_entities_cell_agrees_with_a_plain_baseline(self):
+        workload = WORKLOADS["restaurants"](8, 3)
+        baseline = run_cell(workload, ConfigCell("legacy-serial-memory"))
+        entities = run_cell(
+            workload, ConfigCell("entities-graph", store="sqlite", entities=True)
+        )
+        assert entities.tables == baseline.tables

@@ -146,3 +146,122 @@ class TestMultiwayIntegration:
     def test_source_column_collision_rejected(self, multiway):
         with pytest.raises(CoreError):
             multiway.integrate(source_column="name")
+
+
+class TestEntityClusterEdgeCases:
+    def test_single_source_groups_excluded(self, example3):
+        """A K_Ext group whose members all come from one source is no match."""
+        lonely = rel(
+            ["name", "speciality", "cuisine"],
+            [("OnlyHere", "Fusion", "Modern")],
+            ("name", "speciality"),
+            "L",
+        )
+        multiway = MultiwayIdentifier(
+            {"R": example3.r, "L": lonely},
+            example3.extended_key,
+            ilfds=list(example3.ilfds),
+        )
+        assert all(
+            len(set(c.sources)) >= 2 for c in multiway.clusters()
+        )
+        assert not any(
+            c.key[0] == "OnlyHere" for c in multiway.clusters()
+        )
+
+    def test_member_of_absent_source_is_none(self, multiway):
+        greek = next(
+            c for c in multiway.clusters() if c.key[0] == "It'sGreek"
+        )
+        assert greek.member_of("T") is None
+        assert set(greek.sources) == {"R", "S"}
+
+    def test_cluster_ordering_deterministic(self, three_sources, example3):
+        """Cluster order is a pure function of the inputs, not dict order."""
+        runs = [
+            MultiwayIdentifier(
+                dict(order),
+                example3.extended_key,
+                ilfds=list(example3.ilfds),
+            ).clusters()
+            for order in (
+                list(three_sources.items()),
+                list(reversed(list(three_sources.items()))),
+            )
+        ]
+        assert [c.key for c in runs[0]] == [c.key for c in runs[1]]
+        keys = [str(c.key) for c in runs[0]]
+        assert keys == sorted(keys)
+
+
+class TestConflictPolicies:
+    @pytest.fixture
+    def disagreeing(self, example3):
+        """T disagrees with R on Anjuman's street."""
+        t = rel(
+            ["name", "speciality", "street"],
+            [("Anjuman", "Mughalai", "ElmSt")],
+            ("name", "speciality"),
+            "T",
+        )
+        return MultiwayIdentifier(
+            {"R": example3.r, "S": example3.s, "T": t},
+            example3.extended_key,
+            ilfds=list(example3.ilfds),
+        )
+
+    def test_conflicts_enumerated(self, disagreeing):
+        conflicts = disagreeing.conflicts()
+        assert len(conflicts) == 1
+        conflict = conflicts[0]
+        assert conflict.attribute == "street"
+        assert dict(conflict.values) == {"R": "LeSalleAve.", "T": "ElmSt"}
+
+    def test_first_policy_keeps_declaration_order_winner(self, disagreeing):
+        integrated = disagreeing.integrate(on_conflict="first")
+        row = next(
+            r for r in integrated
+            if r["name"] == "Anjuman" and "T" in r["sources"]
+        )
+        assert row["street"] == "LeSalleAve."  # R declared before T
+
+    def test_error_policy_raises_naming_the_conflict(self, disagreeing):
+        with pytest.raises(CoreError) as excinfo:
+            disagreeing.integrate(on_conflict="error")
+        message = str(excinfo.value)
+        assert "street" in message and "ElmSt" in message
+
+    def test_null_policy_blanks_contested_attribute(self, disagreeing):
+        integrated = disagreeing.integrate(on_conflict="null")
+        row = next(
+            r for r in integrated
+            if r["name"] == "Anjuman" and "T" in r["sources"]
+        )
+        assert is_null(row["street"])
+        assert row["county"] == "Mpls."  # uncontested values survive
+
+    def test_unknown_policy_rejected(self, disagreeing):
+        with pytest.raises(CoreError):
+            disagreeing.integrate(on_conflict="vote")
+
+    def test_conflict_metrics_emitted(self, example3):
+        from repro.observability import Tracer
+
+        t = rel(
+            ["name", "speciality", "street"],
+            [("Anjuman", "Mughalai", "ElmSt")],
+            ("name", "speciality"),
+            "T",
+        )
+        tracer = Tracer()
+        multiway = MultiwayIdentifier(
+            {"R": example3.r, "S": example3.s, "T": t},
+            example3.extended_key,
+            ilfds=list(example3.ilfds),
+            tracer=tracer,
+        )
+        multiway.integrate()
+        metrics = tracer.metrics
+        assert metrics.counter("multiway.sources") == 3
+        assert metrics.counter("multiway.clusters") >= 1
+        assert metrics.counter("multiway.conflicts") >= 1

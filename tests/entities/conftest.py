@@ -1,0 +1,42 @@
+"""Shared fixtures for the N-way resolution (repro.entities) tests."""
+
+import pytest
+
+from repro.entities import IdentityGraph
+from repro.relational.attribute import string_attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def rel(names, rows, key, name):
+    schema = Schema([string_attribute(n) for n in names], keys=[key])
+    return Relation(schema, rows, name=name)
+
+
+@pytest.fixture
+def third_source():
+    """T(name, speciality, phone): overlaps Example 3's two three-way entities."""
+    return rel(
+        ["name", "speciality", "phone"],
+        [
+            ("TwinCities", "Hunan", "555-0101"),
+            ("Anjuman", "Mughalai", "555-0202"),
+            ("VillageWok", "Cantonese", "555-0303"),
+        ],
+        ("name", "speciality"),
+        "T",
+    )
+
+
+@pytest.fixture
+def three_sources(example3, third_source):
+    return {"R": example3.r, "S": example3.s, "T": third_source}
+
+
+@pytest.fixture
+def graph(three_sources, example3):
+    return IdentityGraph(
+        three_sources,
+        example3.extended_key,
+        ilfds=list(example3.ilfds),
+    )

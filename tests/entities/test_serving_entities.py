@@ -1,0 +1,106 @@
+"""Serving over an entity build: /resolve answers with the golden record."""
+
+import pytest
+
+from repro.entities import build_entity_store, load_entities
+from repro.serving import BadRequestError, MatchLookupService
+from repro.store import SqliteStore
+
+
+@pytest.fixture
+def entity_store_path(graph, tmp_path):
+    path = tmp_path / "entities.sqlite"
+    store = SqliteStore(path)
+    build_entity_store(graph, store, timestamp=1000.0)
+    records = load_entities(store)
+    store.close()
+    return path, records
+
+
+@pytest.fixture
+def service(entity_store_path):
+    path, _ = entity_store_path
+    svc = MatchLookupService(str(path), workers=1, cache_size=8)
+    yield svc
+    svc.close()
+
+
+class TestSides:
+    def test_sides_loaded_from_the_store(self, service):
+        assert service.sides == ("R", "S", "T")
+
+    def test_unknown_side_is_a_bad_request_naming_the_vocabulary(self, service):
+        with pytest.raises(BadRequestError) as excinfo:
+            service.resolve("q", (("name", "Anjuman"),))
+        message = str(excinfo.value)
+        assert "'R'" in message and "'T'" in message
+
+
+class TestEntityBlock:
+    def anjuman_key(self, records, source):
+        record = next(r for r in records if r.golden["name"] == "Anjuman")
+        [key] = record.member_keys(source)
+        return record, key
+
+    def test_resolve_returns_the_canonical_entity(
+        self, service, entity_store_path
+    ):
+        _, records = entity_store_path
+        record, key = self.anjuman_key(records, "T")
+        result = service.resolve("T", key)
+        assert result["found"]
+        entity = result["entity"]
+        assert entity["id"] == record.entity_id
+        assert entity["id"].startswith("ent-")
+        assert entity["golden"]["phone"] == "555-0202"
+        assert {m["source"] for m in entity["members"]} == {"R", "S", "T"}
+
+    def test_resolution_log_provenance_attached(
+        self, service, entity_store_path
+    ):
+        _, records = entity_store_path
+        _, key = self.anjuman_key(records, "R")
+        log = service.resolve("R", key)["entity"]["resolution_log"]
+        assert log, "the golden event at minimum must be present"
+        events = [entry["event"] for entry in log]
+        assert events[0] == "golden"
+        assert "decision" in events
+        decision = next(e for e in log if e["event"] == "decision")
+        assert {"seq", "rule", "event", "detail"} <= set(decision)
+        assert "attribute" in decision["detail"]
+
+    def test_every_member_resolves_to_the_same_entity(
+        self, service, entity_store_path
+    ):
+        _, records = entity_store_path
+        record = next(r for r in records if r.golden["name"] == "TwinCities")
+        ids = set()
+        for source, key in record.members:
+            result = service.resolve(source, key)
+            assert result["found"], (source, key)
+            ids.add(result["entity"]["id"])
+        assert ids == {record.entity_id}
+
+    def test_unmatched_tuple_has_no_entity(self, graph, tmp_path):
+        # VillageWok exists only in T: no cluster, hence no golden record
+        path = tmp_path / "only.sqlite"
+        store = SqliteStore(path)
+        build_entity_store(graph, store, timestamp=1000.0)
+        store.close()
+        svc = MatchLookupService(str(path), workers=1, cache_size=8)
+        try:
+            result = svc.resolve(
+                "T", (("name", "VillageWok"), ("speciality", "Cantonese"))
+            )
+            assert result["found"]
+            assert result["entity"] is None
+        finally:
+            svc.close()
+
+    def test_entity_block_survives_the_cache(self, service, entity_store_path):
+        _, records = entity_store_path
+        _, key = self.anjuman_key(records, "S")
+        first = service.resolve("S", key)
+        second = service.resolve("S", key)
+        assert first["cache"] == "miss" and second["cache"] == "hit"
+        assert first["entity"] == second["entity"]

@@ -1,0 +1,163 @@
+"""Store primitives behind the entity layer: records, sides, the journal kind."""
+
+import pytest
+
+from repro.entities import IdentityGraph, build_entity_store, verify_entity_store
+from repro.relational.row import Row
+from repro.store import MemoryStore, SqliteStore, StoreError
+from repro.store.entity import EntityRecord, canonical_entity_id
+from repro.store.journal import KIND_ENTITY, replay_journal
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return SqliteStore(tmp_path / "store.sqlite")
+
+
+def record(entity_id="ent-0000000000000001", ext_key="k1"):
+    return EntityRecord(
+        entity_id=entity_id,
+        ext_key=ext_key,
+        golden=Row({"name": "TwinCities", "cuisine": "Hunan"}),
+        members=(
+            ("R", (("name", "TwinCities"),)),
+            ("S", (("name", "TwinCities"), ("cuisine", "Hunan"))),
+        ),
+    )
+
+
+class TestEntityPrimitives:
+    def test_put_get_round_trip(self, store):
+        store.put_entity(record())
+        got = store.get_entity("ent-0000000000000001")
+        assert got == record()
+        assert got.golden["cuisine"] == "Hunan"
+
+    def test_get_missing_is_none(self, store):
+        assert store.get_entity("ent-nope") is None
+
+    def test_put_overwrites(self, store):
+        store.put_entity(record())
+        store.put_entity(record(ext_key="k2"))
+        assert store.get_entity("ent-0000000000000001").ext_key == "k2"
+
+    def test_delete(self, store):
+        store.put_entity(record())
+        assert store.delete_entity("ent-0000000000000001")
+        assert not store.delete_entity("ent-0000000000000001")
+        assert store.get_entity("ent-0000000000000001") is None
+
+    def test_items_sorted_by_id(self, store):
+        store.put_entity(record("ent-bbbb000000000000", "kb"))
+        store.put_entity(record("ent-aaaa000000000000", "ka"))
+        assert [e.entity_id for e in store.entity_items()] == [
+            "ent-aaaa000000000000",
+            "ent-bbbb000000000000",
+        ]
+
+    def test_lookup_by_ext_key(self, store):
+        store.put_entity(record())
+        assert store.entity_by_ext_key("k1").entity_id == "ent-0000000000000001"
+        assert store.entity_by_ext_key("nope") is None
+
+    def test_counts_and_clear(self, store):
+        store.put_entity(record())
+        assert store.counts()["entities"] == 1
+        store.clear()
+        assert store.counts()["entities"] == 0
+
+
+class TestSides:
+    def test_default_is_the_paper_pair(self, store):
+        assert store.sides() == ("r", "s")
+
+    def test_set_and_read_back(self, store):
+        store.set_sides(("R", "S", "T"))
+        assert store.sides() == ("R", "S", "T")
+
+    def test_rejects_degenerate_vocabularies(self, store):
+        with pytest.raises(StoreError):
+            store.set_sides(("only",))
+        with pytest.raises(StoreError):
+            store.set_sides(("A", "A"))
+        with pytest.raises(StoreError):
+            store.set_sides(("A", ""))
+
+
+class TestResolutionLogKind:
+    def test_record_entity_journals_golden_event(self, store):
+        store.record_entity(record(), rule="source_priority", timestamp=5.0)
+        [entry] = [
+            e for e in store.journal_entries() if e.kind == KIND_ENTITY
+        ]
+        assert entry.payload["entity_id"] == "ent-0000000000000001"
+        assert entry.payload["event"] == "golden"
+        assert entry.rule == "source_priority"
+        assert len(entry.payload["members"]) == 2
+
+    def test_decision_entries_round_trip(self, store):
+        store.record_entity(record(), timestamp=5.0)
+        store.record_entity_decision(
+            "ent-0000000000000001",
+            rule="longest",
+            payload={"event": "decision", "attribute": "name", "value": "x"},
+            timestamp=6.0,
+        )
+        log = store.entity_log("ent-0000000000000001")
+        assert [e.payload["event"] for e in log] == ["golden", "decision"]
+        assert log[1].rule == "longest"
+        assert store.entity_log("ent-other") == []
+
+    def test_entity_entries_do_not_disturb_replay(self, store):
+        store.record_entity(record(), timestamp=5.0)
+        store.record_entity_decision(
+            "ent-0000000000000001",
+            rule="uniqueness",
+            payload={"event": "violation", "source": "R", "count": 2},
+        )
+        store.verify_journal()  # no pair keys: replay reproduces the tables
+        matches, negatives = replay_journal(store.journal_entries())
+        assert matches == set() and negatives == set()
+
+    def test_transaction_rollback_restores_entities_and_log(self, store):
+        store.put_entity(record("ent-keep000000000000", "kk"))
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.record_entity(record())
+                raise RuntimeError("abort")
+        assert store.get_entity("ent-0000000000000001") is None
+        assert store.get_entity("ent-keep000000000000") is not None
+        assert store.entity_log("ent-0000000000000001") == []
+
+
+class TestDurabilityAndCopy:
+    def test_sqlite_reopen_preserves_the_build(self, graph, tmp_path):
+        path = tmp_path / "durable.sqlite"
+        first = SqliteStore(path)
+        report = build_entity_store(graph, first, timestamp=1000.0)
+        first.close()
+        reopened = SqliteStore(path)
+        count, fingerprint = verify_entity_store(reopened)
+        assert (count, fingerprint) == (report.entities, report.fingerprint)
+        assert reopened.sides() == ("R", "S", "T")
+        record = next(iter(reopened.entity_items()))
+        assert reopened.entity_log(record.entity_id)
+
+    def test_copy_into_carries_entities(self, graph, store):
+        build_entity_store(graph, store, timestamp=1000.0)
+        dest = MemoryStore()
+        store.copy_into(dest)
+        assert dest.counts()["entities"] == store.counts()["entities"]
+        assert dest.sides() == store.sides()
+        verify_entity_store(dest)
+
+
+class TestCanonicalIdHelper:
+    def test_sorted_member_hash(self):
+        members = (("R", (("a", "1"),)), ("S", (("b", "2"),)))
+        assert canonical_entity_id(members) == canonical_entity_id(
+            tuple(reversed(members))
+        )
+        assert canonical_entity_id(members, prefix="x-").startswith("x-")

@@ -1,0 +1,160 @@
+"""Survivorship rules: every golden value deterministically attributed."""
+
+import pytest
+
+from repro.entities import (
+    Candidate,
+    LongestValueRule,
+    MostCompleteRule,
+    NewestValueRule,
+    SourcePriorityRule,
+    SurvivorshipError,
+    SurvivorshipPolicy,
+    make_survivorship,
+)
+from repro.relational.nulls import NULL, is_null
+from repro.relational.row import Row
+
+
+def cand(source, value, row=None):
+    return Candidate(
+        source=source,
+        key=(("name", source),),
+        value=value,
+        row=row if row is not None else Row({"name": source, "v": value}),
+    )
+
+
+class TestSourcePriorityRule:
+    def test_default_order_is_declaration_order(self):
+        rule = SourcePriorityRule()
+        picked = rule.pick("v", [cand("A", "x"), cand("B", "y")])
+        assert picked.source == "A"
+
+    def test_explicit_order_wins(self):
+        rule = SourcePriorityRule(("B", "A"))
+        picked = rule.pick("v", [cand("A", "x"), cand("B", "y")])
+        assert picked.source == "B"
+
+    def test_unlisted_sources_rank_last(self):
+        rule = SourcePriorityRule(("Z",))
+        picked = rule.pick("v", [cand("A", "x"), cand("B", "y")])
+        assert picked.source == "A"  # neither listed: candidate order
+
+    def test_empty_candidates_abstain(self):
+        assert SourcePriorityRule().pick("v", []) is None
+
+
+class TestMostCompleteRule:
+    def test_most_complete_row_wins(self):
+        sparse = Row({"name": "A", "v": "x", "extra": NULL})
+        dense = Row({"name": "B", "v": "y", "extra": "z"})
+        picked = MostCompleteRule().pick(
+            "v", [cand("A", "x", sparse), cand("B", "y", dense)]
+        )
+        assert picked.source == "B"
+
+    def test_tie_keeps_first(self):
+        picked = MostCompleteRule().pick("v", [cand("A", "x"), cand("B", "y")])
+        assert picked.source == "A"
+
+
+class TestLongestValueRule:
+    def test_longest_value_wins(self):
+        picked = LongestValueRule().pick(
+            "v", [cand("A", "ab"), cand("B", "abcd")]
+        )
+        assert picked.source == "B"
+
+    def test_tie_keeps_first(self):
+        picked = LongestValueRule().pick("v", [cand("A", "ab"), cand("B", "cd")])
+        assert picked.source == "A"
+
+
+class TestNewestValueRule:
+    def test_greatest_timestamp_wins(self):
+        older = Row({"name": "A", "v": "x", "updated": "2024-01-01"})
+        newer = Row({"name": "B", "v": "y", "updated": "2025-06-30"})
+        picked = NewestValueRule("updated").pick(
+            "v", [cand("A", "x", older), cand("B", "y", newer)]
+        )
+        assert picked.source == "B"
+
+    def test_abstains_without_any_timestamp(self):
+        assert (
+            NewestValueRule("updated").pick(
+                "v", [cand("A", "x"), cand("B", "y")]
+            )
+            is None
+        )
+
+    def test_unstamped_candidates_ignored(self):
+        stamped = Row({"name": "B", "v": "y", "updated": "2020-01-01"})
+        picked = NewestValueRule("updated").pick(
+            "v", [cand("A", "x"), cand("B", "y", stamped)]
+        )
+        assert picked.source == "B"
+
+    def test_needs_attribute(self):
+        with pytest.raises(SurvivorshipError):
+            NewestValueRule("")
+
+
+class TestPolicy:
+    def test_default_policy_is_source_priority(self):
+        policy = SurvivorshipPolicy()
+        assert policy.rule_names == ("source_priority",)
+        decision = policy.decide("v", [cand("A", "x"), cand("B", "y")])
+        assert decision.value == "x"
+        assert decision.source == "A"
+        assert decision.rule == "source_priority"
+        assert decision.contested
+
+    def test_chain_falls_through_abstentions(self):
+        policy = SurvivorshipPolicy(
+            [NewestValueRule("updated"), LongestValueRule()]
+        )
+        decision = policy.decide("v", [cand("A", "ab"), cand("B", "abcd")])
+        assert decision.rule == "longest"
+        assert decision.source == "B"
+
+    def test_no_candidates_decides_null(self):
+        decision = SurvivorshipPolicy().decide("v", [])
+        assert is_null(decision.value)
+        assert decision.source is None
+        assert decision.rule == "no_candidates"
+        assert not decision.contested
+
+    def test_agreeing_candidates_not_contested(self):
+        decision = SurvivorshipPolicy().decide(
+            "v", [cand("A", "x"), cand("B", "x")]
+        )
+        assert not decision.contested
+        assert decision.considered == (("A", "x"), ("B", "x"))
+
+
+class TestMakeSurvivorship:
+    def test_parses_chain_in_order(self):
+        policy = make_survivorship("most_complete,longest")
+        assert policy.rule_names == ("most_complete", "longest")
+
+    def test_parses_source_priority_order(self):
+        policy = make_survivorship("source_priority:T>S>R")
+        picked = policy.rules[0].pick("v", [cand("R", "x"), cand("T", "y")])
+        assert picked.source == "T"
+
+    def test_parses_newest_attribute(self):
+        policy = make_survivorship("newest:updated")
+        assert policy.rule_names == ("newest",)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(SurvivorshipError):
+            make_survivorship("coin_flip")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SurvivorshipError):
+            make_survivorship(" , ")
+
+    def test_newest_without_attribute_rejected(self):
+        with pytest.raises(SurvivorshipError):
+            make_survivorship("newest")

@@ -119,6 +119,7 @@ class TestRecording:
             "journal": 0,
             "r_rows": 0,
             "s_rows": 0,
+            "entities": 0,
         }
         assert store.get_meta("cursor") is None
 
