@@ -134,6 +134,7 @@ __all__ = [
     "build_report_parser",
     "build_serve_parser",
     "build_entities_parser",
+    "build_chaos_parser",
     "identify_main",
     "stats_main",
     "checkpoint_main",
@@ -143,6 +144,7 @@ __all__ = [
     "report_main",
     "serve_main",
     "entities_main",
+    "chaos_main",
     "main",
 ]
 
@@ -157,6 +159,7 @@ _SUBCOMMANDS = (
     "report",
     "serve",
     "entities",
+    "chaos",
 )
 
 
@@ -1735,6 +1738,88 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "ledger at PATH on shutdown",
     )
     parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission bound on concurrently in-flight requests; the "
+        "N+1st is shed with 503 + Retry-After before any work is "
+        "queued; 0 disables the bound (default 64)",
+    )
+    parser.add_argument(
+        "--read-rate",
+        type=float,
+        default=0.0,
+        metavar="QPS",
+        help="token-bucket rate limit for the read endpoint class "
+        "(/resolve, /stats); exceeding it sheds with 429 + Retry-After; "
+        "0 = unlimited (default 0)",
+    )
+    parser.add_argument(
+        "--write-rate",
+        type=float,
+        default=0.0,
+        metavar="QPS",
+        help="token-bucket rate limit for the write endpoint class "
+        "(/ingest, /invalidate); 0 = unlimited (default 0)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="token-bucket burst capacity for both classes; 0 sizes "
+        "each bucket to one second of its rate (default 0)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="Retry-After hint on 503 queue-full sheds (default 0.5)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive dependency failures that open the read/write "
+        "circuit breakers; 0 disables the breakers (default 5)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="base cooldown before an open breaker lets a probe "
+        "through (default 1.0)",
+    )
+    parser.add_argument(
+        "--breaker-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for the breakers' deterministic probe-jitter "
+        "schedule (default 0)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGINT/SIGTERM, wait up to this long for in-flight "
+        "requests to finish before closing (default 10)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="deterministic fault plan fired at the serving sites "
+        "(serving.request, serving.invalidate, store.commit), e.g. "
+        "'serving.request:error@5' or 'serving.request:kill@25' for a "
+        "real mid-request SIGKILL — the chaos harness's hook; see "
+        "'repro identify --inject-faults' for the grammar",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the readiness line"
     )
     return parser
@@ -1789,6 +1874,53 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             base_delay=max(args.retry_delay, 0.0),
             seed=0,
         )
+
+    from repro.resilience import (
+        AdmissionController,
+        CircuitBreaker,
+        FaultInjector,
+        FaultPlan,
+        FaultPlanError,
+        TokenBucket,
+    )
+
+    injector = None
+    if args.inject_faults:
+        try:
+            plan = FaultPlan.parse(args.inject_faults)
+        except FaultPlanError as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 2
+        injector = FaultInjector(plan, tracer=tracer)
+    read_breaker = write_breaker = None
+    if args.breaker_threshold > 0:
+        read_breaker = CircuitBreaker(
+            "read",
+            failure_threshold=args.breaker_threshold,
+            cooldown=args.breaker_cooldown,
+            seed=args.breaker_seed,
+            tracer=tracer,
+        )
+        write_breaker = CircuitBreaker(
+            "write",
+            failure_threshold=args.breaker_threshold,
+            cooldown=args.breaker_cooldown,
+            seed=args.breaker_seed + 1,
+            tracer=tracer,
+        )
+    rates = {}
+    for name, rate in (("read", args.read_rate), ("write", args.write_rate)):
+        if rate > 0:
+            rates[name] = TokenBucket(
+                rate, args.burst if args.burst > 0 else None
+            )
+    admission = AdmissionController(
+        max_queue=args.max_queue,
+        rates=rates,
+        retry_after=args.retry_after,
+        tracer=tracer,
+    )
+
     try:
         service = MatchLookupService(
             path,
@@ -1798,11 +1930,20 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             tracer=tracer,
             retry_policy=retry,
             allow_stale=args.allow_stale,
+            read_breaker=read_breaker,
+            write_breaker=write_breaker,
+            fault_injector=injector,
         )
     except (StoreError, OSError) as exc:
         print(f"repro serve: cannot open store: {exc}", file=sys.stderr)
         return 2
-    server = ServingServer(service, host=args.host, port=args.port, tracer=tracer)
+    server = ServingServer(
+        service,
+        host=args.host,
+        port=args.port,
+        tracer=tracer,
+        admission=admission,
+    )
 
     async def _run() -> None:
         await server.start()
@@ -1826,7 +1967,10 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
                 # lands as KeyboardInterrupt in asyncio.run below.
                 pass
         await stop.wait()
-        await server.stop()
+        # SIGINT and SIGTERM share one graceful path: stop accepting,
+        # drain in-flight requests, then (in the finally below) seal
+        # the checkpoint digests and flush the ledger.
+        await server.stop(drain=True, drain_timeout=max(args.drain_timeout, 0.0))
 
     status = 0
     try:
@@ -2201,6 +2345,24 @@ def build_entities_parser() -> argparse.ArgumentParser:
         help="parallel workers per pairwise identification run (default 1)",
     )
     build_p.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="persist entities in crash-safe batches of N, each "
+        "committed atomically with a progress record; an interrupted "
+        "build (even SIGKILL mid-transaction) resumes to the "
+        "bit-identical fingerprint on re-run; 0 = one transaction "
+        "(default 0)",
+    )
+    build_p.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="deterministic fault plan fired at the entities.persist "
+        "site (one invocation per batch), e.g. 'entities.persist:kill@2' "
+        "for a real mid-build SIGKILL — the chaos harness's hook",
+    )
+    build_p.add_argument(
         "--trace",
         metavar="FILE",
         help="record a JSON-lines trace (entities.* spans + metrics)",
@@ -2270,6 +2432,15 @@ def _entities_build(args) -> int:
     blocker_factory = (
         (lambda: make_blocker(args.blocker)) if args.blocker else None
     )
+    injector = None
+    if getattr(args, "inject_faults", None):
+        from repro.resilience import FaultInjector, FaultPlan, FaultPlanError
+
+        try:
+            injector = FaultInjector(FaultPlan.parse(args.inject_faults))
+        except FaultPlanError as exc:
+            print(f"repro entities: {exc}", file=sys.stderr)
+            return 2
     store = None
     try:
         graph = IdentityGraph(
@@ -2288,6 +2459,8 @@ def _entities_build(args) -> int:
             prefix=args.prefix,
             log_decisions=args.log_decisions,
             tracer=tracer,
+            batch_size=args.batch_size if args.batch_size > 0 else None,
+            fault_injector=injector,
         )
     except (CoreError, EntitiesError, StoreError, OSError) as exc:
         print(f"repro entities: {exc}", file=sys.stderr)
@@ -2504,6 +2677,146 @@ def entities_main(argv: Optional[Sequence[str]] = None) -> int:
     return _entities_export(args)
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """CLI for ``repro chaos``."""
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Run the serving chaos harness: boot real 'repro serve' "
+            "subprocesses over a seeded workload, drive concurrent "
+            "resolve/ingest traffic under deterministic fault schedules "
+            "(including a real SIGKILL + restart), and verify every "
+            "run's store resumes with journal verification and agrees "
+            "bit-identically with a fault-free reference.  With "
+            "--entities, also SIGKILL a batched entity build mid-way "
+            "and verify the resumed build seals the reference "
+            "fingerprint."
+        ),
+    )
+    parser.add_argument(
+        "--workdir",
+        default="",
+        help="directory for the stores the harness grows "
+        "(default: a fresh temporary directory, removed afterwards)",
+    )
+    parser.add_argument(
+        "--schedule",
+        action="append",
+        default=[],
+        metavar="NAME=FAULTS",
+        help="run only this named fault schedule, e.g. "
+        "kill=serving.request:kill@9 (repeatable; default: the stock "
+        "matrix of 10 seeded schedules)",
+    )
+    parser.add_argument(
+        "--entities-count",
+        type=int,
+        default=12,
+        metavar="N",
+        help="entities in the seeded workload (default 12)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=3,
+        help="workload seed (default 3)",
+    )
+    parser.add_argument(
+        "--entities",
+        action="store_true",
+        help="also run the entity-build kill/resume chaos check",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report list as JSON on stdout",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-schedule lines"
+    )
+    return parser
+
+
+def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro chaos``: 0 all schedules converged, 1 divergence, 2 fatal."""
+    import json as json_module
+    import tempfile
+
+    from repro.resilience.chaos import (
+        ChaosError,
+        ChaosSchedule,
+        run_chaos,
+        run_entity_build_chaos,
+    )
+
+    args = build_chaos_parser().parse_args(argv)
+    schedules = None
+    if args.schedule:
+        schedules = []
+        for spec in args.schedule:
+            name, _, faults = spec.partition("=")
+            if not name or not faults:
+                print(
+                    f"repro chaos: --schedule {spec!r} must be NAME=FAULTS",
+                    file=sys.stderr,
+                )
+                return 2
+            schedules.append(ChaosSchedule(name, faults))
+
+    cleanup = None
+    workdir = args.workdir
+    if not workdir:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        workdir = cleanup.name
+    else:
+        os.makedirs(workdir, exist_ok=True)
+    try:
+        reports = run_chaos(
+            workdir,
+            schedules=schedules,
+            n_entities=args.entities_count,
+            seed=args.seed,
+        )
+        entity_report = None
+        if args.entities:
+            entity_report = run_entity_build_chaos(workdir)
+    except ChaosError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    failed = [r for r in reports if not r.ok]
+    if args.json:
+        payload = {
+            "schedules": [r.as_dict() for r in reports],
+            "entities": entity_report,
+            "ok": not failed
+            and (entity_report is None or entity_report["ok"]),
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    elif not args.quiet:
+        for r in reports:
+            verdict = "ok" if r.ok else "FAILED"
+            print(
+                f"repro chaos: {r.schedule:24s} {verdict}  "
+                f"ingests={r.ingests} retries={r.retries} "
+                f"restarts={r.restarts} sheds={r.sheds}"
+            )
+            for failure in r.failures:
+                print(f"repro chaos:   - {failure}")
+        if entity_report is not None:
+            verdict = "ok" if entity_report["ok"] else "FAILED"
+            print(
+                f"repro chaos: {'entity-build-kill':24s} {verdict}  "
+                f"bit_identical={entity_report['bit_identical']}"
+            )
+    if failed or (entity_report is not None and not entity_report["ok"]):
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point: dispatches the subcommands (see ``_SUBCOMMANDS``).
 
@@ -2533,6 +2846,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return serve_main(rest)
         if command == "entities":
             return entities_main(rest)
+        if command == "chaos":
+            return chaos_main(rest)
         return identify_main(rest)
     if arguments == ["--version"]:
         print(f"repro {package_version()}")

@@ -102,6 +102,13 @@ class ConfigCell:
     faults:
         Optional :meth:`FaultPlan.parse` spec injected into the
         executor and store, with enough retry budget to recover.
+    chaos:
+        When true (implies ``serving``), the serving-API growth runs
+        under a seeded fault schedule at the *serving* sites
+        (``serving.request`` / ``serving.invalidate`` /
+        ``store.commit``), including a mid-request kill that forces a
+        service restart on the same store, with client-side retries —
+        and must still end bit-identical to the fault-free baseline.
     entities:
         When true, the workload is additionally resolved N-way (R, S,
         plus a deterministic third source sampled from R) through
@@ -127,6 +134,7 @@ class ConfigCell:
     serving: bool = False
     faults: Optional[str] = None
     entities: bool = False
+    chaos: bool = False
     strict: bool = True
 
 
@@ -233,12 +241,16 @@ class MatrixReport:
 # The matrix
 # ----------------------------------------------------------------------
 def strict_matrix() -> List[ConfigCell]:
-    """The 15 strict cells: exhaustive candidates, bit-identical tables.
+    """The 16 strict cells: exhaustive candidates, bit-identical tables.
 
     Covers every executor backend, both store backends, cold,
     checkpoint-resume, serving-API-ingested, and N-way identity-graph
-    runs, and three seeded fault schedules (executor error, worker
-    crash, store-commit failure) that recovery must make invisible.
+    runs, three seeded fault schedules (executor error, worker crash,
+    store-commit failure) that recovery must make invisible, and a
+    serving **chaos** cell: API growth under seeded serving-site faults
+    (request errors, commit failures, a failed cache invalidation, and
+    a mid-request kill forcing a restart) with client retries, which
+    must still land on the baseline tables bit-for-bit.
     """
     return [
         ConfigCell("legacy-serial-memory"),
@@ -292,6 +304,18 @@ def strict_matrix() -> List[ConfigCell]:
         ),
         ConfigCell("serving-ingest-sqlite", store="sqlite", serving=True),
         ConfigCell("entities-graph", store="sqlite", entities=True),
+        ConfigCell(
+            "serving-chaos-sqlite",
+            store="sqlite",
+            serving=True,
+            chaos=True,
+            faults=(
+                "serving.request:error@3;"
+                "serving.invalidate:error@1;"
+                "store.commit:error@7;"
+                "serving.request:kill@11"
+            ),
+        ),
     ]
 
 
@@ -429,6 +453,8 @@ def run_cell(
     if owned:
         workdir = tempfile.mkdtemp(prefix="repro-conform-")
     try:
+        if cell.chaos:
+            return _run_chaos_cell(workload, cell, workdir)
         if cell.serving:
             return _run_serving_cell(workload, cell, workdir)
         if cell.entities:
@@ -523,6 +549,97 @@ def _run_serving_cell(
     finally:
         resumed.store.close()
     tables, sound, journal = _identify(cell, r, s, extended_key, ilfds, workdir)
+    return CellOutcome(
+        cell=cell,
+        tables=tables,
+        sound=sound,
+        journal=journal,
+        resume_consistent=(canonical_pairs(api_pairs) == tables.mt),
+    )
+
+
+def _run_chaos_cell(
+    workload: Workload, cell: ConfigCell, workdir: str
+) -> CellOutcome:
+    """Serving-API growth under a seeded fault schedule, then verify.
+
+    The in-process chaos cell: the same knowledge-only-checkpoint →
+    ingest-everything flow as :func:`_run_serving_cell`, but with the
+    cell's :class:`FaultPlan` firing at the serving sites and a
+    retrying client.  A scheduled ``kill`` (non-lethal here — the
+    subprocess harness in ``tests/chaos/`` delivers the real SIGKILL)
+    forces the service to be torn down and reopened on the same store
+    mid-traffic.  The grown store must resume with journal verification
+    and agree bit-identically with the recomputed baseline — injected
+    faults may cost retries, never correctness.
+    """
+    import dataclasses
+    import sqlite3
+
+    from repro.federation.incremental import IncrementalIdentifier
+    from repro.resilience.errors import InjectedKill, ResilienceError
+    from repro.serving import BadRequestError, MatchLookupService, ServingError
+
+    from repro.store.errors import StoreError
+
+    session = IncrementalIdentifier(
+        workload.r.schema,
+        workload.s.schema,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    )
+    path = os.path.join(workdir, f"{cell.name}.ckpt.sqlite")
+    session.checkpoint(path)  # knowledge only — no rows loaded yet
+    session.store.close()
+
+    injector = FaultInjector(FaultPlan.parse(cell.faults or ""), lethal=False)
+
+    def open_service() -> "MatchLookupService":
+        return MatchLookupService(
+            path, workers=2, cache_size=64, fault_injector=injector
+        )
+
+    service = open_service()
+    try:
+        for side, relation in (("r", workload.r), ("s", workload.s)):
+            for row in relation:
+                for _attempt in range(8):
+                    try:
+                        service.ingest(side, dict(row))
+                        break
+                    except BadRequestError as exc:
+                        if "duplicate key" in str(exc):
+                            # The faulted attempt had already committed
+                            # (e.g. the invalidation fault fires after
+                            # the transaction); at-least-once is fine.
+                            break
+                        raise
+                    except InjectedKill:
+                        # Mid-request kill: "restart" the server on the
+                        # same store and retry, like the harness does.
+                        service.close()
+                        service = open_service()
+                    except (ResilienceError, ServingError, StoreError, sqlite3.Error):
+                        pass
+                else:
+                    raise ConformanceError(
+                        f"chaos cell {cell.name}: ingest of one {side} row "
+                        "did not recover within its retry budget"
+                    )
+    finally:
+        service.close()
+
+    resumed = IncrementalIdentifier.resume(path, verify=True)
+    try:
+        api_pairs = {entry.pair for entry in resumed.matching_table()}
+        r, s = resumed.relations()
+        ilfds = list(resumed.ilfds)
+        extended_key = list(resumed.extended_key.attributes)
+    finally:
+        resumed.store.close()
+    # The cold recompute must not inherit the serving fault plan.
+    clean = dataclasses.replace(cell, faults=None, chaos=False, serving=False)
+    tables, sound, journal = _identify(clean, r, s, extended_key, ilfds, workdir)
     return CellOutcome(
         cell=cell,
         tables=tables,

@@ -107,6 +107,7 @@ for _name, _description in (
     ("entities.golden_built", "golden entity records built and persisted"),
     ("entities.decisions_logged", "survivorship decisions journaled"),
     ("entities.contested", "survivorship decisions where sources disagreed"),
+    ("entities.build_resumes", "interrupted entity builds resumed to completion"),
 ):
     register_metric(_name, _description)
 del _name, _description

@@ -1,0 +1,735 @@
+"""Serving chaos harness: a real server, seeded faults, bit-identical state.
+
+The overload and resilience machinery makes promises the unit tests can
+only check piecewise: requests shed cleanly, breakers fail fast, a
+SIGKILL mid-transaction loses nothing committed.  This module checks
+them end to end, the way ``repro chaos`` and ``tests/chaos/`` do:
+
+1. :func:`prepare_store` writes a knowledge-only checkpoint for a
+   seeded employee workload — the store every run grows from scratch;
+2. :class:`ServerProcess` boots the **actual** ``repro serve`` CLI in a
+   subprocess (readiness-line handshake, port 0 auto-pick), optionally
+   carrying a deterministic ``--inject-faults`` schedule — including
+   the ``kill`` kind, which delivers a *real* ``SIGKILL`` to the server
+   at an exact request index;
+3. :func:`run_schedule` drives concurrent resolve/ingest traffic from
+   worker threads through :class:`ChaosClient` (a stdlib HTTP client
+   that honours ``Retry-After`` and treats duplicate-key 400s as the
+   at-least-once success they are), restarting the server on the same
+   store whenever a scheduled kill takes it down;
+4. after a graceful shutdown the grown store must **resume with
+   journal verification** and its matching-table state must be
+   **bit-identical** (:func:`store_state`) to the fault-free
+   reference run's — injected faults may cost retries and restarts,
+   never rows;
+5. :func:`run_entity_build_chaos` does the same for entity builds: a
+   batched ``repro entities build`` is SIGKILLed mid-build via the
+   ``entities.persist`` site, re-run to completion, and must pass
+   :func:`~repro.entities.verify_entity_store` with the fingerprint an
+   uninterrupted build seals.
+
+Everything is seeded — schedules, workloads, request order per thread —
+so a red run replays exactly.  See ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.errors import ResilienceError
+
+__all__ = [
+    "ChaosError",
+    "ChaosClient",
+    "ChaosReport",
+    "ChaosSchedule",
+    "ServerProcess",
+    "default_schedules",
+    "prepare_store",
+    "run_chaos",
+    "run_entity_build_chaos",
+    "run_schedule",
+    "store_state",
+]
+
+
+class ChaosError(ResilienceError):
+    """The harness itself failed (server never came up, store torn)."""
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One named, deterministic fault schedule for a server run."""
+
+    name: str
+    faults: str = ""
+
+    @property
+    def kills(self) -> bool:
+        """True iff the schedule delivers at least one real SIGKILL."""
+        return ":kill@" in self.faults
+
+
+def default_schedules() -> List[ChaosSchedule]:
+    """The stock matrix: ≥ 10 distinct seeded schedules, one lethal.
+
+    Every schedule must end bit-identical to the fault-free reference —
+    that is the acceptance criterion ``repro chaos`` enforces.
+    """
+    return [
+        ChaosSchedule("request-error-early", "serving.request:error@2"),
+        ChaosSchedule("request-error-burst", "serving.request:error@4..6"),
+        ChaosSchedule("commit-fail-once", "store.commit:error@3"),
+        ChaosSchedule("commit-fail-twice", "store.commit:error@5;store.commit:error@9"),
+        ChaosSchedule("invalidate-fail", "serving.invalidate:error@1"),
+        ChaosSchedule(
+            "invalidate-then-commit",
+            "serving.invalidate:error@2;store.commit:error@6",
+        ),
+        ChaosSchedule(
+            "request-and-commit",
+            "serving.request:error@1;store.commit:error@4",
+        ),
+        ChaosSchedule("request-crash", "serving.request:crash@7"),
+        ChaosSchedule(
+            "mixed-storm",
+            "serving.request:error@0;serving.invalidate:error@3;"
+            "store.commit:error@8;serving.request:error@12",
+        ),
+        ChaosSchedule("sigkill-midstream", "serving.request:kill@9"),
+    ]
+
+
+@dataclass
+class ChaosReport:
+    """What one schedule's run did and whether it converged."""
+
+    schedule: str
+    faults: str
+    ok: bool
+    ingests: int
+    resolves: int
+    retries: int
+    restarts: int
+    sheds: int
+    state: Dict[str, Any] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable rendering (the ``repro chaos --json`` body)."""
+        return {
+            "schedule": self.schedule,
+            "faults": self.faults,
+            "ok": self.ok,
+            "ingests": self.ingests,
+            "resolves": self.resolves,
+            "retries": self.retries,
+            "restarts": self.restarts,
+            "sheds": self.sheds,
+            "state": self.state,
+            "failures": self.failures,
+        }
+
+
+# ----------------------------------------------------------------------
+# Workload + store preparation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosWorkload:
+    """The replayable traffic every schedule drives, plus its key map."""
+
+    rows: Tuple[Tuple[str, Dict[str, Any]], ...]
+    key_attrs: Dict[str, Tuple[str, ...]]
+
+
+def prepare_store(path: str, *, n_entities: int = 12, seed: int = 3) -> ChaosWorkload:
+    """Write a knowledge-only checkpoint at *path*; return the traffic.
+
+    The returned workload carries the full row set in a deterministic
+    interleaved order (r/s alternating), ready to be ingested through
+    the API — the same shape every schedule replays — plus each side's
+    primary-key attributes for building ``/resolve`` queries.
+    """
+    from repro.federation.incremental import IncrementalIdentifier
+    from repro.workloads import EmployeeWorkloadSpec, employee_workload
+
+    workload = employee_workload(
+        EmployeeWorkloadSpec(n_entities=n_entities, seed=seed)
+    )
+    session = IncrementalIdentifier(
+        workload.r.schema,
+        workload.s.schema,
+        list(workload.extended_key),
+        ilfds=list(workload.ilfds),
+    )
+    session.checkpoint(path)  # knowledge only — rows arrive via /ingest
+    session.store.close()
+
+    r_rows = [("r", dict(row)) for row in workload.r.rows]
+    s_rows = [("s", dict(row)) for row in workload.s.rows]
+    interleaved: List[Tuple[str, Dict[str, Any]]] = []
+    for index in range(max(len(r_rows), len(s_rows))):
+        if index < len(r_rows):
+            interleaved.append(r_rows[index])
+        if index < len(s_rows):
+            interleaved.append(s_rows[index])
+    return ChaosWorkload(
+        rows=tuple(interleaved),
+        key_attrs={
+            "r": tuple(sorted(workload.r.schema.primary_key)),
+            "s": tuple(sorted(workload.s.schema.primary_key)),
+        },
+    )
+
+
+def store_state(path: str) -> Dict[str, Any]:
+    """Resume *path* with full verification; return its canonical state.
+
+    Runs the journal replay + constraint audit
+    (:meth:`IncrementalIdentifier.resume` with ``verify=True``, i.e.
+    ``verify_journal``), then fingerprints the matching table
+    order-independently.  Two stores agree bit-identically iff their
+    states compare equal.
+    """
+    from repro.federation.incremental import IncrementalIdentifier
+    from repro.store.codec import encode_key
+
+    resumed = IncrementalIdentifier.resume(path, verify=True)
+    try:
+        pairs = sorted(
+            (encode_key(r_key), encode_key(s_key))
+            for r_key, s_key in resumed.matching_table().pairs()
+        )
+        r, s = resumed.relations()
+        material = json.dumps(pairs, separators=(",", ":")).encode("utf-8")
+        return {
+            "rows_r": len(r.rows),
+            "rows_s": len(s.rows),
+            "matches": len(pairs),
+            "mt_fingerprint": hashlib.sha256(material).hexdigest(),
+        }
+    finally:
+        resumed.store.close()
+
+
+# ----------------------------------------------------------------------
+# The server subprocess
+# ----------------------------------------------------------------------
+class ServerProcess:
+    """One ``repro serve`` subprocess with a readiness handshake."""
+
+    def __init__(
+        self,
+        store_path: str,
+        *,
+        faults: str = "",
+        host: str = "127.0.0.1",
+        extra_args: Sequence[str] = (),
+        startup_timeout: float = 30.0,
+    ) -> None:
+        self.store_path = store_path
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--store",
+            f"sqlite:{store_path}",
+            "--host",
+            host,
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--retries",
+            "3",
+        ]
+        if faults:
+            argv += ["--inject-faults", faults]
+        argv += list(extra_args)
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.host, self.port = self._await_ready(startup_timeout)
+
+    def _await_ready(self, timeout: float) -> Tuple[str, int]:
+        # The CLI prints exactly one readiness line once bound:
+        #   repro serve: listening on http://HOST:PORT (...)
+        deadline = time.monotonic() + timeout
+        assert self.process.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                raise ChaosError(
+                    "server exited before its readiness line "
+                    f"(rc={self.process.poll()})"
+                )
+            if "listening on http://" in line:
+                address = line.split("http://", 1)[1].split()[0]
+                host, _, port_text = address.partition(":")
+                return host, int(port_text)
+        self.process.kill()
+        raise ChaosError(f"server not ready within {timeout}s")
+
+    @property
+    def alive(self) -> bool:
+        """True while the subprocess has not exited."""
+        return self.process.poll() is None
+
+    def terminate(self, timeout: float = 30.0) -> int:
+        """Graceful SIGTERM shutdown; returns the exit status."""
+        if self.alive:
+            self.process.terminate()
+        return self.wait(timeout)
+
+    def interrupt(self, timeout: float = 30.0) -> int:
+        """Graceful SIGINT shutdown (must drain exactly like SIGTERM)."""
+        if self.alive:
+            self.process.send_signal(signal.SIGINT)
+        return self.wait(timeout)
+
+    def kill(self) -> None:
+        """The ungraceful path: straight SIGKILL."""
+        if self.alive:
+            self.process.kill()
+        self.wait(10.0)
+
+    def wait(self, timeout: float = 30.0) -> int:
+        """Wait for exit, draining stdout; SIGKILL on a hung shutdown."""
+        try:
+            self.process.wait(timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hung server
+            self.process.kill()
+            self.process.wait(10.0)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+        return self.process.returncode
+
+
+# ----------------------------------------------------------------------
+# The client
+# ----------------------------------------------------------------------
+class ChaosClient:
+    """A small stdlib HTTP client that retries the way the docs say to.
+
+    429/503 responses are retried after their ``Retry-After`` hint
+    (capped so tests stay fast); 400 ``duplicate key`` on ``/ingest``
+    counts as success (the faulted attempt had already committed —
+    at-least-once); connection failures surface as ``None`` so the
+    caller can restart a killed server.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        max_retry_after: float = 0.2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retry_after = max_retry_after
+        self.retries = 0
+        self.sheds = 0
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Optional[Tuple[int, Dict[str, str], Any]]:
+        """One HTTP exchange, or ``None`` when the server is gone."""
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"} if payload else {},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else None
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = raw.decode("utf-8", "replace")
+            return response.status, headers, decoded
+        except (ConnectionError, socket.timeout, OSError):
+            return None
+        finally:
+            connection.close()
+
+    def _backoff(self, headers: Dict[str, str]) -> None:
+        try:
+            hint = float(headers.get("retry-after", "0"))
+        except ValueError:
+            hint = 0.0
+        time.sleep(min(max(hint, 0.01), self.max_retry_after))
+
+    def call_with_retry(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        *,
+        attempts: int = 30,
+    ) -> Optional[Tuple[int, Any]]:
+        """Drive one logical request to a verdict, retrying per contract.
+
+        Returns ``(status, decoded body)`` of the final attempt, or
+        ``None`` when the server went away (caller restarts and
+        replays).
+        """
+        last: Optional[Tuple[int, Any]] = None
+        for _attempt in range(attempts):
+            answer = self.request(method, path, body)
+            if answer is None:
+                return None
+            status, headers, decoded = answer
+            last = (status, decoded)
+            if status in (429, 503):
+                self.sheds += 1
+                self.retries += 1
+                self._backoff(headers)
+                continue
+            if status == 400 and path == "/ingest":
+                message = (
+                    decoded.get("error", "") if isinstance(decoded, dict) else ""
+                )
+                if "duplicate key" in message:
+                    return 200, decoded  # already committed: success
+            if status >= 500:
+                self.retries += 1
+                self._backoff(headers)
+                continue
+            return last
+        return last
+
+
+# ----------------------------------------------------------------------
+# Driving one schedule
+# ----------------------------------------------------------------------
+def _drive_traffic(
+    server: ServerProcess,
+    traffic: "ChaosWorkload",
+    report: ChaosReport,
+    *,
+    resolve_threads: int = 2,
+    restart_budget: int = 3,
+) -> ServerProcess:
+    """Ingest every row (with restarts) under concurrent resolve load."""
+    import urllib.parse
+
+    rows = traffic.rows
+    stop = threading.Event()
+    lock = threading.Lock()
+    resolve_counts = [0] * resolve_threads
+    client = ChaosClient(server.host, server.port)
+
+    def resolver(slot: int) -> None:
+        # Each resolver loops over a deterministic slice of the keys;
+        # answers may legitimately be found=False before the ingest
+        # lands, degraded, or shed — never a hang, never a torn row.
+        local = ChaosClient(server.host, server.port, timeout=5.0)
+        index = slot
+        while not stop.is_set():
+            side, row = rows[index % len(rows)]
+            key = urllib.parse.quote(
+                ",".join(
+                    f"{attr}={row.get(attr, '')}"
+                    for attr in traffic.key_attrs[side]
+                )
+            )
+            local.request("GET", f"/resolve?source={side}&key={key}")
+            resolve_counts[slot] += 1
+            index += resolve_threads
+            time.sleep(0.002)
+
+    threads = [
+        threading.Thread(target=resolver, args=(slot,), daemon=True)
+        for slot in range(resolve_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        for side, row in rows:
+            body = {"source": side, "row": row}
+            for _replay in range(restart_budget + 1):
+                answer = client.call_with_retry("POST", "/ingest", body)
+                if answer is not None and answer[0] == 200:
+                    with lock:
+                        report.ingests += 1
+                    break
+                if answer is None or not server.alive:
+                    # A scheduled kill took the server down mid-request:
+                    # restart on the same store (faults already spent in
+                    # the dead process) and replay this row.
+                    server.wait(10.0)
+                    server = ServerProcess(server.store_path)
+                    client = ChaosClient(server.host, server.port)
+                    with lock:
+                        report.restarts += 1
+                    continue
+                report.failures.append(
+                    f"ingest of {side} row gave {answer[0]}: {answer[1]!r}"
+                )
+                break
+            else:
+                report.failures.append(
+                    f"ingest of one {side} row exhausted {restart_budget} restarts"
+                )
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        report.resolves += sum(resolve_counts)
+        report.retries += client.retries
+        report.sheds += client.sheds
+    return server
+
+
+def run_schedule(
+    pristine_path: str,
+    traffic: "ChaosWorkload",
+    schedule: ChaosSchedule,
+    workdir: str,
+    *,
+    reference_state: Optional[Dict[str, Any]] = None,
+    graceful: str = "term",
+) -> ChaosReport:
+    """One schedule end to end: copy, serve, inject, drain, verify."""
+    path = os.path.join(workdir, f"chaos-{schedule.name}.sqlite")
+    shutil.copyfile(pristine_path, path)
+    report = ChaosReport(
+        schedule=schedule.name,
+        faults=schedule.faults,
+        ok=False,
+        ingests=0,
+        resolves=0,
+        retries=0,
+        restarts=0,
+        sheds=0,
+    )
+    server = ServerProcess(path, faults=schedule.faults)
+    server = _drive_traffic(server, traffic, report)
+    rc = server.interrupt() if graceful == "int" else server.terminate()
+    if rc != 0:
+        report.failures.append(f"graceful shutdown exited {rc}")
+    try:
+        report.state = store_state(path)
+    except Exception as exc:  # noqa: BLE001 - any verify failure is a finding
+        report.failures.append(f"post-run verification failed: {exc}")
+        return report
+    if reference_state is not None and report.state != reference_state:
+        report.failures.append(
+            f"state diverged from fault-free reference: "
+            f"{report.state} != {reference_state}"
+        )
+    report.ok = not report.failures
+    return report
+
+
+def run_chaos(
+    workdir: str,
+    *,
+    schedules: Optional[Sequence[ChaosSchedule]] = None,
+    n_entities: int = 12,
+    seed: int = 3,
+) -> List[ChaosReport]:
+    """The full harness: fault-free reference, then every schedule.
+
+    Returns one report per schedule (the reference run is first, named
+    ``reference``); a schedule is ``ok`` iff its traffic completed, the
+    store resumed with verification, and its state is bit-identical to
+    the reference.
+    """
+    schedules = (
+        list(schedules) if schedules is not None else default_schedules()
+    )
+    pristine = os.path.join(workdir, "chaos-pristine.sqlite")
+    traffic = prepare_store(pristine, n_entities=n_entities, seed=seed)
+    reference = run_schedule(
+        pristine, traffic, ChaosSchedule("reference", ""), workdir
+    )
+    if not reference.ok:
+        raise ChaosError(
+            "the fault-free reference run itself failed: "
+            + "; ".join(reference.failures)
+        )
+    reports = [reference]
+    for schedule in schedules:
+        reports.append(
+            run_schedule(
+                pristine,
+                traffic,
+                schedule,
+                workdir,
+                reference_state=reference.state,
+            )
+        )
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Entity-build chaos
+# ----------------------------------------------------------------------
+def run_entity_build_chaos(
+    workdir: str,
+    *,
+    kill_batch: int = 2,
+    batch_size: int = 3,
+    n_entities: int = 12,
+    seed: int = 3,
+) -> Dict[str, Any]:
+    """SIGKILL a batched ``repro entities build`` mid-way, resume, verify.
+
+    Runs the build CLI three times against seeded CSV sources: once
+    uninterrupted (the reference fingerprint), once with
+    ``entities.persist:kill@{kill_batch}`` (the process dies mid-build,
+    by real SIGKILL, after *kill_batch* committed batches), and once
+    more without faults (the resume).  The resumed store must pass
+    ``verify_entity_store`` and seal the reference fingerprint —
+    bit-identical recovery.
+    """
+    import csv
+
+    from repro.entities import verify_entity_store
+    from repro.store.sqlite import SqliteStore
+    from repro.workloads import EmployeeWorkloadSpec, employee_workload
+
+    workload = employee_workload(
+        EmployeeWorkloadSpec(n_entities=n_entities, seed=seed)
+    )
+    paths = {}
+    for name, relation in (("r", workload.r), ("s", workload.s)):
+        csv_path = os.path.join(workdir, f"entity-src-{name}.csv")
+        with open(csv_path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(relation.schema.names)
+            for row in relation.rows:
+                mapping = dict(row)
+                writer.writerow(
+                    [
+                        "" if mapping.get(attr) is None else mapping[attr]
+                        for attr in relation.schema.names
+                    ]
+                )
+        paths[name] = csv_path
+    key_attrs = {
+        "r": ",".join(sorted(workload.r.schema.primary_key)),
+        "s": ",".join(sorted(workload.s.schema.primary_key)),
+    }
+    ilfd_texts = [
+        " -> ".join(
+            " & ".join(
+                f"{condition.attribute}={condition.value}"
+                for condition in sorted(clause, key=lambda c: c.attribute)
+            )
+            for clause in (ilfd.antecedent, ilfd.consequent)
+        )
+        for ilfd in workload.ilfds
+    ]
+
+    def build(store_path: str, faults: str = "") -> subprocess.CompletedProcess:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "entities",
+            "build",
+            store_path,
+            "--source",
+            f"r={paths['r']}",
+            "--source",
+            f"s={paths['s']}",
+            "--key",
+            f"r={key_attrs['r']}",
+            "--key",
+            f"s={key_attrs['s']}",
+            "--extended-key",
+            ",".join(workload.extended_key),
+            "--batch-size",
+            str(batch_size),
+            "--quiet",
+        ]
+        for text in ilfd_texts:
+            argv += ["--ilfd", text]
+        if faults:
+            argv += ["--inject-faults", faults]
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            argv, capture_output=True, text=True, timeout=120, env=env
+        )
+
+    reference_path = os.path.join(workdir, "entities-reference.sqlite")
+    reference = build(reference_path)
+    if reference.returncode != 0:
+        raise ChaosError(
+            f"reference entity build failed rc={reference.returncode}: "
+            f"{reference.stdout}"
+        )
+    store = SqliteStore(reference_path, read_only=True)
+    try:
+        _, reference_fingerprint = verify_entity_store(store)
+    finally:
+        store.close()
+
+    chaos_path = os.path.join(workdir, "entities-chaos.sqlite")
+    killed = build(chaos_path, faults=f"entities.persist:kill@{kill_batch}")
+    killed_by_signal = killed.returncode == -signal.SIGKILL
+    interrupted = False
+    try:
+        store = SqliteStore(chaos_path, read_only=True)
+        try:
+            verify_entity_store(store)
+        finally:
+            store.close()
+    except Exception:
+        interrupted = True  # expected: build marked in-progress (or torn)
+
+    resumed = build(chaos_path)
+    if resumed.returncode != 0:
+        raise ChaosError(
+            f"resumed entity build failed rc={resumed.returncode}: "
+            f"{resumed.stdout}"
+        )
+    store = SqliteStore(chaos_path, read_only=True)
+    try:
+        count, resumed_fingerprint = verify_entity_store(store)
+    finally:
+        store.close()
+    return {
+        "killed_by_signal": killed_by_signal,
+        "interrupted_detected": interrupted,
+        "entities": count,
+        "reference_fingerprint": reference_fingerprint,
+        "resumed_fingerprint": resumed_fingerprint,
+        "bit_identical": resumed_fingerprint == reference_fingerprint,
+        "ok": killed_by_signal
+        and interrupted
+        and resumed_fingerprint == reference_fingerprint,
+    }

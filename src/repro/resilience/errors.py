@@ -21,10 +21,13 @@ __all__ = [
     "InjectedFault",
     "InjectedCrash",
     "InjectedHang",
+    "InjectedKill",
     "RetryExhaustedError",
     "DeadlineExceededError",
     "SourceLoadError",
     "FaultPlanError",
+    "OverloadShedError",
+    "CircuitOpenError",
 ]
 
 
@@ -56,6 +59,49 @@ class InjectedCrash(InjectedFault):
 
 class InjectedHang(InjectedFault):
     """An operation stalled past its deadline (simulated, no wall-clock)."""
+
+
+class InjectedKill(InjectedFault):
+    """The process was SIGKILLed at an instrumented site.
+
+    Only ever *raised* when the injector is asked to simulate
+    (``FaultInjector(lethal=False)``); a lethal injector delivers a real
+    ``SIGKILL`` to the current process instead — no cleanup, no atexit,
+    no rolled-back transaction.  The chaos harness schedules these in
+    subprocesses and asserts the survivor state recovers bit-identically.
+    """
+
+
+class OverloadShedError(ResilienceError):
+    """A request was refused *before* any work was queued for it.
+
+    Raised by :class:`~repro.resilience.overload.AdmissionController`
+    when the bounded queue is full (``status`` 503) or the endpoint
+    class is out of rate-limit tokens (``status`` 429).  ``retry_after``
+    is the seconds a well-behaved client should wait — the serving layer
+    surfaces it as an HTTP ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, message: str, *, status: int = 503, retry_after: float = 1.0
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker refused the call without attempting it.
+
+    Raised by :class:`~repro.resilience.overload.CircuitBreaker` while
+    open: the protected dependency failed repeatedly and the breaker is
+    waiting out its cooldown before probing again.  ``retry_after`` is
+    the seconds until the next scheduled probe.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class RetryExhaustedError(ResilienceError):

@@ -16,6 +16,11 @@ site                                      instrumented operation
                                           worker (a crash here loses the batch)
 ``store.commit``                          one transactional commit
 ``store.checkpoint``                      one checkpoint snapshot write
+``serving.request``                       one serving operation (a resolve
+                                          lookup or an ingest) being handled
+``serving.invalidate``                    one post-commit cache invalidation
+``entities.persist``                      one batch of an entity build being
+                                          committed
 ========================================  =====================================
 
 Plans come from three constructors:
@@ -34,7 +39,9 @@ falls back to.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
@@ -44,6 +51,7 @@ from repro.resilience.errors import (
     InjectedCrash,
     InjectedFault,
     InjectedHang,
+    InjectedKill,
 )
 
 __all__ = [
@@ -52,8 +60,13 @@ __all__ = [
     "SITE_EXECUTOR_BATCH",
     "SITE_STORE_COMMIT",
     "SITE_CHECKPOINT",
+    "SITE_SERVING_REQUEST",
+    "SITE_SERVING_INVALIDATE",
+    "SITE_ENTITY_PERSIST",
     "KNOWN_SITES",
+    "SERVING_SITES",
     "FAULT_KINDS",
+    "KIND_KILL",
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
@@ -65,6 +78,9 @@ SITE_SOURCE_LOAD_S = "federation.load_source.s"
 SITE_EXECUTOR_BATCH = "executor.batch"
 SITE_STORE_COMMIT = "store.commit"
 SITE_CHECKPOINT = "store.checkpoint"
+SITE_SERVING_REQUEST = "serving.request"
+SITE_SERVING_INVALIDATE = "serving.invalidate"
+SITE_ENTITY_PERSIST = "entities.persist"
 
 KNOWN_SITES = (
     SITE_SOURCE_LOAD_R,
@@ -72,13 +88,27 @@ KNOWN_SITES = (
     SITE_EXECUTOR_BATCH,
     SITE_STORE_COMMIT,
     SITE_CHECKPOINT,
+    SITE_SERVING_REQUEST,
+    SITE_SERVING_INVALIDATE,
+    SITE_ENTITY_PERSIST,
 )
 """The sites the pipeline instruments (plans may name others freely)."""
+
+SERVING_SITES = (
+    SITE_SERVING_REQUEST,
+    SITE_SERVING_INVALIDATE,
+    SITE_STORE_COMMIT,
+)
+"""The sites a live server exercises (chaos schedules draw from these)."""
+
+KIND_KILL = "kill"
+"""The lethal kind: a real ``SIGKILL`` to the current process."""
 
 FAULT_KINDS: Dict[str, Type[InjectedFault]] = {
     "error": InjectedFault,
     "crash": InjectedCrash,
     "hang": InjectedHang,
+    KIND_KILL: InjectedKill,
 }
 """Fault kind names → the exception class the injector raises."""
 
@@ -224,6 +254,7 @@ class FaultInjector:
     tracer: Tracer = NO_OP_TRACER
 
     enabled: bool = True
+    lethal: bool = True
 
     def __post_init__(self) -> None:
         self._table = self.plan.lookup()
@@ -231,7 +262,14 @@ class FaultInjector:
         self.fired: List[FaultSpec] = []
 
     def fire(self, site: str) -> None:
-        """Count one invocation of *site*; raise if the plan says so."""
+        """Count one invocation of *site*; raise (or kill) if the plan says so.
+
+        A scheduled ``kill`` delivers a real ``SIGKILL`` to the current
+        process — no exception, no cleanup, the honest mid-transaction
+        death the chaos harness schedules in subprocesses.  With
+        ``lethal=False`` it raises :class:`InjectedKill` instead, so
+        in-process tests can assert the schedule without dying.
+        """
         index = self._counts.get(site, 0)
         self._counts[site] = index + 1
         kind = self._table.get(site, {}).get(index)
@@ -241,6 +279,10 @@ class FaultInjector:
         self.fired.append(spec)
         if self.tracer.enabled:
             self.tracer.metrics.inc("resilience.faults_injected")
+        if kind == KIND_KILL and self.lethal:
+            os.kill(
+                os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM)
+            )  # never returns
         raise FAULT_KINDS[kind](f"injected {kind} at {spec}")
 
     def invocations(self, site: str) -> int:

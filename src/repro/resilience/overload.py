@@ -1,0 +1,456 @@
+"""Overload protection: token buckets, admission control, circuit breakers.
+
+The serving degradation ladder (deadline → retry → stale → 503) reacts
+to *replica* failures; nothing in it protects the server itself from
+traffic it cannot absorb.  This module adds the missing layer, shared by
+``repro serve`` and anything else that fronts the store:
+
+- :class:`TokenBucket` — a refilling rate limiter with an injectable
+  clock (tests tick a fake clock; no wall-time in assertions).
+- :class:`AdmissionController` — sits *in front* of request handling: a
+  bounded in-flight queue with explicit backpressure plus one token
+  bucket per endpoint class (reads vs writes).  A request that cannot be
+  admitted is refused immediately with
+  :class:`~repro.resilience.errors.OverloadShedError` carrying the HTTP
+  status (429 out-of-tokens / 503 queue-full) and a ``Retry-After``
+  hint, **before** any work is queued for it — which is what keeps the
+  p99 of admitted requests bounded at 2× capacity instead of letting
+  every request rot in an unbounded queue.
+- :class:`CircuitBreaker` — the classic closed → open → half-open
+  machine around a flaky dependency (the replica pool, the writer
+  thread).  Repeated failures open it; while open every call is refused
+  in O(1) with :class:`~repro.resilience.errors.CircuitOpenError`; after
+  a cooldown drawn from a *seeded* RNG (deterministic probe schedule,
+  same seed → same schedule) one probe is let through half-open, and its
+  verdict closes or re-opens the circuit.
+
+Everything here is thread-safe, allocation-light on the happy path, and
+counts into the shared :class:`~repro.observability.MetricsRegistry`
+(``overload.*`` / ``breaker.*``) when a tracer is attached.  See
+``docs/RESILIENCE.md`` for the state diagram and the serving contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from random import Random
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.observability.tracer import NO_OP_TRACER, Tracer
+from repro.resilience.errors import CircuitOpenError, OverloadShedError
+
+__all__ = [
+    "TokenBucket",
+    "AdmissionController",
+    "AdmissionTicket",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class TokenBucket:
+    """A thread-safe token bucket: *rate* tokens/second, *burst* capacity.
+
+    ``rate <= 0`` disables limiting (every acquire succeeds).  The clock
+    is injectable so tests drive time explicitly; production uses
+    ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst is not None and burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self._rate = float(rate)
+        self._burst = float(burst) if burst is not None else max(self._rate, 1.0)
+        self._clock = clock
+        self._tokens = self._burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    @property
+    def rate(self) -> float:
+        """Tokens added per second (``<= 0`` = unlimited)."""
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        """Bucket capacity (maximum tokens banked while idle)."""
+        return self._burst
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+            self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> Tuple[bool, float]:
+        """``(True, 0.0)`` when *tokens* were taken, else ``(False, wait)``.
+
+        *wait* is the seconds until the bucket will have refilled enough
+        — the number a 429 response surfaces as ``Retry-After``.
+        """
+        if self._rate <= 0:
+            return True, 0.0
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True, 0.0
+            return False, (tokens - self._tokens) / self._rate
+
+    def available(self) -> float:
+        """Tokens currently banked (after refilling to now)."""
+        if self._rate <= 0:
+            return float("inf")
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class AdmissionTicket:
+    """One admitted request's slot; release it exactly once when done.
+
+    Context-manager friendly::
+
+        with controller.admit("resolve"):
+            ... handle the request ...
+    """
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        """Return the queue slot (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Load shedding in front of the request handler.
+
+    Two independent gates, checked in order, both O(1):
+
+    1. **Bounded queue** — at most *max_queue* requests may be in flight
+       (admitted, not yet released) at once.  The next one is shed with
+       status **503** and ``Retry-After`` = *retry_after* seconds: the
+       server is saturated, and queueing more work would only push every
+       request's latency out.
+    2. **Per-class token bucket** — each endpoint class (``"resolve"``
+       reads vs ``"ingest"`` writes) may carry its own rate limit; an
+       out-of-tokens request is shed with status **429** and
+       ``Retry-After`` = the bucket's own refill estimate.
+
+    A shed request raises :class:`OverloadShedError` *before* any work
+    is queued — the HTTP layer turns it into the structured 429/503
+    response without ever touching the service.  Classes without a
+    configured bucket are rate-unlimited (the queue bound still
+    applies).  ``max_queue <= 0`` disables the queue bound.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue: int = 64,
+        rates: Optional[Dict[str, TokenBucket]] = None,
+        retry_after: float = 0.5,
+        tracer: Optional[Tracer] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._max_queue = int(max_queue)
+        self._rates = dict(rates) if rates else {}
+        self._retry_after = float(retry_after)
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
+        self._clock = clock
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.shed_429 = 0
+        self.shed_503 = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def max_queue(self) -> int:
+        """The in-flight bound (``<= 0`` = unbounded)."""
+        return self._max_queue
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._lock:
+            return self._in_flight
+
+    def bucket(self, endpoint_class: str) -> Optional[TokenBucket]:
+        """The rate bucket configured for *endpoint_class*, if any."""
+        return self._rates.get(endpoint_class)
+
+    def _inc(self, metric: str, value: float = 1) -> None:
+        if self._tracer.enabled:
+            self._tracer.metrics.inc(metric, value)
+
+    # ------------------------------------------------------------------
+    def admit(self, endpoint_class: str) -> AdmissionTicket:
+        """Admit one request of *endpoint_class* or shed it.
+
+        Returns an :class:`AdmissionTicket` holding a queue slot; raises
+        :class:`OverloadShedError` (with status and ``retry_after``)
+        when the request must be refused instead.
+        """
+        with self._lock:
+            if 0 < self._max_queue <= self._in_flight:
+                self.shed_503 += 1
+                self._inc("overload.shed_503")
+                raise OverloadShedError(
+                    f"server saturated: {self._in_flight} request(s) in "
+                    f"flight (bound {self._max_queue})",
+                    status=503,
+                    retry_after=self._retry_after,
+                )
+            bucket = self._rates.get(endpoint_class)
+            if bucket is not None:
+                ok, wait = bucket.try_acquire()
+                if not ok:
+                    self.shed_429 += 1
+                    self._inc("overload.shed_429")
+                    raise OverloadShedError(
+                        f"rate limit exceeded for {endpoint_class!r}",
+                        status=429,
+                        retry_after=max(wait, 0.001),
+                    )
+            self._in_flight += 1
+            if self._in_flight > self._peak_in_flight:
+                self._peak_in_flight = self._in_flight
+            self.admitted += 1
+        self._inc("overload.admitted")
+        if self._tracer.enabled:
+            self._tracer.metrics.observe("overload.queue_depth", self._in_flight)
+        return AdmissionTicket(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (served under ``/stats``)."""
+        with self._lock:
+            return {
+                "max_queue": self._max_queue,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self._peak_in_flight,
+                "admitted": self.admitted,
+                "shed_429": self.shed_429,
+                "shed_503": self.shed_503,
+                "rates": {
+                    name: {"rate": bucket.rate, "burst": bucket.burst}
+                    for name, bucket in self._rates.items()
+                },
+            }
+
+
+class CircuitBreaker:
+    """Closed → open → half-open protection around a flaky dependency.
+
+    Parameters
+    ----------
+    name:
+        Metric label (``breaker.<name>.*`` counters).
+    failure_threshold:
+        Consecutive failures that open the circuit.
+    cooldown:
+        Base seconds an open circuit waits before its next probe.
+    seed / jitter:
+        The probe schedule is drawn from ``Random(seed)``: each open
+        interval is ``cooldown · (1 − jitter·u)`` with ``u ∈ [0, 1)``
+        from the seeded RNG — deterministic per breaker instance, so a
+        chaos run replays the exact same probe times against a fake
+        clock.  ``jitter=0`` makes every interval exactly *cooldown*.
+    half_open_probes:
+        Successful probes required (consecutively) to close again.
+    clock:
+        Injectable monotonic clock.
+
+    Use either :meth:`call` (wraps the dependency call, records the
+    verdict) or the lower-level :meth:`before_call` /
+    :meth:`record_success` / :meth:`record_failure` triple when failure
+    is detected elsewhere (e.g. inside a retry loop).
+    """
+
+    def __init__(
+        self,
+        name: str = "breaker",
+        *,
+        failure_threshold: int = 5,
+        cooldown: float = 1.0,
+        seed: int = 0,
+        jitter: float = 0.5,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.name = name
+        self._threshold = failure_threshold
+        self._cooldown = float(cooldown)
+        self._jitter = float(jitter)
+        self._probes_needed = half_open_probes
+        self._clock = clock
+        self._rng = Random(seed)
+        self._tracer = tracer if tracer is not None else NO_OP_TRACER
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._probe_successes = 0
+        self._probe_at = 0.0
+        self._probe_out = False
+        self.opened = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` (refreshing open→half-open)."""
+        with self._lock:
+            self._maybe_half_open(self._clock())
+            return self._state
+
+    def _inc(self, metric: str) -> None:
+        if self._tracer.enabled:
+            self._tracer.metrics.inc(metric)
+
+    def _next_interval(self) -> float:
+        # Seeded, deterministic: the k-th open interval of a given
+        # breaker is the same in every run.
+        return self._cooldown * (1.0 - self._jitter * self._rng.random())
+
+    def _maybe_half_open(self, now: float) -> None:
+        if self._state == BREAKER_OPEN and now >= self._probe_at:
+            self._state = BREAKER_HALF_OPEN
+            self._probe_successes = 0
+            self._probe_out = False
+
+    def _trip(self, now: float) -> None:
+        self._state = BREAKER_OPEN
+        self._failures = 0
+        self._probe_out = False
+        self._probe_at = now + self._next_interval()
+        self.opened += 1
+        self._inc(f"breaker.{self.name}.opened")
+
+    # ------------------------------------------------------------------
+    def before_call(self) -> None:
+        """Gate one call: raise :class:`CircuitOpenError` unless allowed.
+
+        While half-open exactly one in-flight probe is allowed at a
+        time; everyone else is rejected until its verdict lands.
+        """
+        with self._lock:
+            now = self._clock()
+            self._maybe_half_open(now)
+            if self._state == BREAKER_CLOSED:
+                return
+            if self._state == BREAKER_HALF_OPEN and not self._probe_out:
+                self._probe_out = True
+                self._inc(f"breaker.{self.name}.probes")
+                return
+            self.rejected += 1
+            self._inc(f"breaker.{self.name}.rejected")
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is {self._state}; "
+                "dependency still failing",
+                retry_after=max(self._probe_at - now, 0.001),
+            )
+
+    def record_success(self) -> None:
+        """A gated call succeeded; may close a half-open circuit."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._probe_out = False
+                self._probe_successes += 1
+                if self._probe_successes >= self._probes_needed:
+                    self._state = BREAKER_CLOSED
+                    self._failures = 0
+                    self._inc(f"breaker.{self.name}.closed")
+            else:
+                self._failures = 0
+
+    def record_failure(self) -> None:
+        """A gated call failed; may open (or re-open) the circuit."""
+        with self._lock:
+            now = self._clock()
+            if self._state == BREAKER_HALF_OPEN:
+                self._trip(now)
+                return
+            self._failures += 1
+            if self._state == BREAKER_CLOSED and self._failures >= self._threshold:
+                self._trip(now)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        failure_on: Tuple[Type[BaseException], ...] = (Exception,),
+    ) -> Any:
+        """Run *fn* through the breaker, recording its verdict.
+
+        Exceptions in *failure_on* count as dependency failures (and
+        propagate); anything else propagates without touching the
+        failure counter — a ``BadRequestError`` is the caller's fault,
+        not the dependency's.
+        """
+        self.before_call()
+        try:
+            result = fn()
+        except failure_on:
+            self.record_failure()
+            raise
+        except BaseException:
+            self.record_success()
+            raise
+        self.record_success()
+        return result
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (served under ``/stats``)."""
+        with self._lock:
+            self._maybe_half_open(self._clock())
+            return {
+                "name": self.name,
+                "state": self._state,
+                "failures": self._failures,
+                "opened": self.opened,
+                "rejected": self.rejected,
+                "failure_threshold": self._threshold,
+                "cooldown_s": self._cooldown,
+            }

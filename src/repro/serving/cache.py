@@ -54,11 +54,23 @@ class LRUCache:
         self._lock = threading.Lock()
         self._live: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._stale: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # Invalidation epochs close the read/write race: a lookup takes
+        # a token *before* reading the replica and a put carrying that
+        # token is rejected when the key was invalidated in between —
+        # otherwise a slow read could re-cache a pre-commit answer as
+        # live right after the ingest that superseded it.
+        self._epoch = 0
+        self._invalidated_at: "OrderedDict[Hashable, int]" = OrderedDict()
+        # Tokens at or below the floor are suspect wholesale: a clear()
+        # (or an evicted per-key record) invalidated *something* they
+        # may predate.
+        self._floor = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
         self.stale_serves = 0
+        self.rejected_puts = 0
 
     def _inc(self, metric: str) -> None:
         if self._tracer.enabled:
@@ -102,11 +114,36 @@ class LRUCache:
                 self._inc("serving.stale_serves")
             return value, found
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh *key*, evicting the LRU entry on overflow."""
-        if self._capacity == 0:
-            return
+    def token(self) -> int:
+        """The current invalidation epoch, taken *before* a replica read.
+
+        Pass it to :meth:`put`: the put is dropped when any invalidation
+        (targeted or :meth:`clear`) happened after the token was taken —
+        the freshly-read value may predate the write that invalidated.
+        """
         with self._lock:
+            return self._epoch
+
+    def put(
+        self, key: Hashable, value: Any, *, token: Optional[int] = None
+    ) -> bool:
+        """Insert/refresh *key*, evicting the LRU entry on overflow.
+
+        With *token* (from :meth:`token`), the put only lands when *key*
+        has not been invalidated since — returns False (and counts a
+        rejected put) otherwise, which is what keeps a concurrent
+        ingest+resolve from ever pinning a stale answer as live.
+        """
+        if self._capacity == 0:
+            return False
+        with self._lock:
+            if token is not None and (
+                token < self._floor
+                or self._invalidated_at.get(key, -1) > token
+            ):
+                self.rejected_puts += 1
+                self._inc("serving.cache_rejected_puts")
+                return False
             self._stale.pop(key, None)  # fresh value supersedes stale
             self._live[key] = value
             self._live.move_to_end(key)
@@ -114,15 +151,25 @@ class LRUCache:
                 self._live.popitem(last=False)
                 self.evictions += 1
                 self._inc("serving.cache_evictions")
+            return True
 
     def invalidate(self, key: Hashable) -> bool:
         """Demote *key* to the stale tier; True iff it was live.
 
         The write path's hook: after an ingest commits, every affected
         key is invalidated so the next read sees the new matches.  The
-        stale tier is capacity-bounded like the live one.
+        stale tier is capacity-bounded like the live one.  The key's
+        invalidation epoch is recorded even when it was not cached, so
+        an in-flight read that started before the write cannot re-cache
+        its pre-commit answer (see :meth:`token`).
         """
         with self._lock:
+            self._epoch += 1
+            self._invalidated_at[key] = self._epoch
+            self._invalidated_at.move_to_end(key)
+            while len(self._invalidated_at) > max(4 * max(self._capacity, 1), 64):
+                _, evicted_epoch = self._invalidated_at.popitem(last=False)
+                self._floor = max(self._floor, evicted_epoch)
             if key not in self._live:
                 return False
             self._stale[key] = self._live.pop(key)
@@ -142,6 +189,11 @@ class LRUCache:
                 self._tracer.metrics.inc("serving.cache_invalidations", dropped)
             self._live.clear()
             self._stale.clear()
+            # A full clear invalidates *every* key, including ones never
+            # seen: raise the floor so all outstanding tokens go stale.
+            self._epoch += 1
+            self._invalidated_at.clear()
+            self._floor = self._epoch
             return dropped
 
     def stats(self) -> Dict[str, int]:
@@ -156,4 +208,5 @@ class LRUCache:
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
                 "stale_serves": self.stale_serves,
+                "rejected_puts": self.rejected_puts,
             }

@@ -22,5 +22,13 @@ class ServiceUnavailableError(ServingError):
 
     Raised when a lookup misses its deadline or every replica read
     fails and no stale cache entry can stand in — the degradation
-    policy's last resort (``docs/SERVING.md``).
+    policy's last resort (``docs/SERVING.md``).  ``retry_after`` (when
+    not ``None``) becomes the response's ``Retry-After`` header: the
+    breaker-open path knows when the next probe is due and says so.
     """
+
+    def __init__(
+        self, message: str, *, retry_after: "float | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

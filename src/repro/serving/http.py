@@ -27,6 +27,16 @@ Every request is wrapped in a ``serving.request`` tracer span and
 counted under ``serving.requests`` / ``serving.errors`` with its wall
 time observed in ``serving.request_ms`` — the numbers ``repro stats``
 and the ``/metrics`` exposition render.
+
+**Overload** is handled *before* work is queued: when an
+:class:`~repro.resilience.AdmissionController` is attached, each
+request is classified (``/resolve``/``/stats`` → ``read``,
+``/ingest``/``/invalidate`` → ``write``; ``/health`` and ``/metrics``
+are exempt so probes keep working under load) and admitted — or shed
+right here with a structured 429 (rate limit) / 503 (queue full) body
+and a ``Retry-After`` header, never touching the service.  That is
+what keeps the admitted requests' p99 bounded at 2× capacity
+(``docs/SERVING.md``).
 """
 
 from __future__ import annotations
@@ -38,6 +48,8 @@ import urllib.parse
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.observability.tracer import NO_OP_TRACER, Tracer
+from repro.resilience.errors import CircuitOpenError, OverloadShedError
+from repro.resilience.overload import AdmissionController
 from repro.serving.errors import (
     BadRequestError,
     ServiceUnavailableError,
@@ -58,9 +70,25 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Admission endpoint classes; paths absent here bypass the controller.
+_ENDPOINT_CLASS = {
+    "/resolve": "read",
+    "/stats": "read",
+    "/ingest": "write",
+    "/invalidate": "write",
+}
+
+
+def _retry_after_header(seconds: "float | None") -> Dict[str, str]:
+    """A ``Retry-After`` header for *seconds* (integral, minimum 1)."""
+    if seconds is None:
+        return {}
+    return {"Retry-After": str(max(1, int(-(-float(seconds) // 1))))}
 
 
 def parse_query_key(text: str) -> KeyValues:
@@ -99,12 +127,27 @@ class ServingServer:
         host: str = "127.0.0.1",
         port: int = 8571,
         tracer: Optional[Tracer] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self._service = service
         self._host = host
         self._port = port
         self._tracer = tracer if tracer is not None else NO_OP_TRACER
+        self._admission = admission
         self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight = 0
+        self._draining = False
+        self._idle: Optional[asyncio.Event] = None
+
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        """The attached admission controller, if any (``/stats`` reads it)."""
+        return self._admission
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being dispatched (the drain's wait target)."""
+        return self._inflight
 
     # ------------------------------------------------------------------
     @property
@@ -118,16 +161,36 @@ class ServingServer:
     async def start(self) -> None:
         """Bind and start accepting connections (idempotent)."""
         if self._server is None:
+            self._idle = asyncio.Event()
+            self._idle.set()
+            self._draining = False
             self._server = await asyncio.start_server(
                 self._handle_connection, self._host, self._port
             )
 
-    async def stop(self) -> None:
-        """Stop accepting and close the listening sockets."""
+    async def stop(
+        self, *, drain: bool = True, drain_timeout: float = 10.0
+    ) -> None:
+        """Stop accepting; optionally drain in-flight requests first.
+
+        The graceful path (SIGINT *and* SIGTERM take it, see
+        ``repro serve``): close the listening sockets so no new request
+        arrives, mark the server draining so keep-alive loops end after
+        their current response, then wait up to *drain_timeout* seconds
+        for every in-flight request to finish.  Requests still running
+        at the timeout are abandoned to the connection close.
+        """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain and self._idle is not None and self._inflight:
+            try:
+                await asyncio.wait_for(self._idle.wait(), drain_timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - slow request
+                if self._tracer.enabled:
+                    self._tracer.metrics.inc("serving.drain_timeouts")
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the CLI cancels on SIGINT/SIGTERM)."""
@@ -147,12 +210,15 @@ class ServingServer:
                 if request is None:
                     break
                 method, path, query, headers, body = request
-                keep_alive = headers.get("connection", "keep-alive") != "close"
-                status, payload, content_type = await self._dispatch(
+                keep_alive = (
+                    headers.get("connection", "keep-alive") != "close"
+                    and not self._draining
+                )
+                status, payload, content_type, extra = await self._dispatch(
                     method, path, query, body
                 )
                 await self._write_response(
-                    writer, status, payload, content_type, keep_alive
+                    writer, status, payload, content_type, keep_alive, extra
                 )
                 if not keep_alive:
                     break
@@ -228,13 +294,19 @@ class ServingServer:
         payload: str,
         content_type: str,
         keep_alive: bool,
+        extra_headers: Optional[Mapping[str, str]] = None,
     ) -> None:
         body = payload.encode("utf-8")
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}; charset=utf-8\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extras}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -249,26 +321,68 @@ class ServingServer:
         path: str,
         query: Mapping[str, str],
         body: bytes,
-    ) -> Tuple[int, str, str]:
+    ) -> Tuple[int, str, str, Dict[str, str]]:
         started = time.perf_counter()
         status = 500
         content_type = "application/json"
-        with self._tracer.span("serving.request", method=method, path=path) as span:
+        extra: Dict[str, str] = {}
+        # Admission first: a shed request is refused here, before any
+        # work is queued on the service — that is the whole point.
+        ticket = None
+        endpoint_class = _ENDPOINT_CLASS.get(path)
+        if self._admission is not None and endpoint_class is not None:
             try:
-                status, payload, content_type = await self._route(
-                    method, path, query, body
+                ticket = self._admission.admit(endpoint_class)
+            except OverloadShedError as exc:
+                payload = json.dumps(
+                    {
+                        "error": str(exc),
+                        "shed": True,
+                        "endpoint_class": endpoint_class,
+                        "retry_after_s": exc.retry_after,
+                    }
                 )
-            except BadRequestError as exc:
-                status, payload = 400, json.dumps({"error": str(exc)})
-            except ServiceUnavailableError as exc:
-                status, payload = 503, json.dumps({"error": str(exc)})
-            except ServingError as exc:
-                status, payload = 400, json.dumps({"error": str(exc)})
-            except Exception as exc:  # noqa: BLE001 - last-resort 500
-                status, payload = 500, json.dumps(
-                    {"error": f"{type(exc).__name__}: {exc}"}
+                if self._tracer.enabled:
+                    self._tracer.metrics.inc("serving.requests")
+                    self._tracer.metrics.inc("serving.errors")
+                return (
+                    exc.status,
+                    payload,
+                    content_type,
+                    _retry_after_header(exc.retry_after),
                 )
-            span.set("status", status)
+        try:
+            with self._tracer.span(
+                "serving.request", method=method, path=path
+            ) as span:
+                self._inflight += 1
+                if self._idle is not None:
+                    self._idle.clear()
+                try:
+                    status, payload, content_type = await self._route(
+                        method, path, query, body
+                    )
+                except BadRequestError as exc:
+                    status, payload = 400, json.dumps({"error": str(exc)})
+                except ServiceUnavailableError as exc:
+                    status, payload = 503, json.dumps({"error": str(exc)})
+                    extra = _retry_after_header(exc.retry_after)
+                except CircuitOpenError as exc:
+                    status, payload = 503, json.dumps({"error": str(exc)})
+                    extra = _retry_after_header(exc.retry_after)
+                except ServingError as exc:
+                    status, payload = 400, json.dumps({"error": str(exc)})
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    status, payload = 500, json.dumps(
+                        {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                span.set("status", status)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0 and self._idle is not None:
+                self._idle.set()
+            if ticket is not None:
+                ticket.release()
         if self._tracer.enabled:
             metrics = self._tracer.metrics
             metrics.inc("serving.requests")
@@ -277,7 +391,7 @@ class ServingServer:
             metrics.observe(
                 "serving.request_ms", (time.perf_counter() - started) * 1000.0
             )
-        return status, payload, content_type
+        return status, payload, content_type, extra
 
     async def _route(
         self,
@@ -331,6 +445,8 @@ class ServingServer:
             if method != "GET":
                 return self._method_not_allowed("GET")
             stats = await loop.run_in_executor(None, self._service.stats)
+            if self._admission is not None:
+                stats["admission"] = self._admission.stats()
             return 200, json.dumps(stats), "application/json"
         if path == "/metrics":
             if method != "GET":

@@ -12,11 +12,16 @@ or leaning on ``check_same_thread`` defaults.
 
 Failure handling reuses :class:`~repro.resilience.RetryPolicy`: when a
 read fails with :class:`sqlite3.OperationalError` (replica file
-unreadable, dropped NFS mount, torn WAL), the worker's connection is
-discarded and reopened per the policy, counted under
-``serving.replica_reconnects``.  What happens when the retries are
-exhausted is the *service*'s decision (stale-cache degradation, see
-:mod:`repro.serving.service`) — the pool just raises.
+unreadable, dropped NFS mount, torn WAL), the worker's **failed replica
+is closed first** — never merely dropped, so repeated faults cannot leak
+file descriptors — and reopened per the policy, counted under
+``serving.replica_reopens``.  A :class:`~repro.resilience.CircuitBreaker`
+may additionally front the pool: once reads fail persistently the
+breaker opens and further calls are refused in O(1) with
+:class:`~repro.resilience.CircuitOpenError` instead of burning a worker
+slot per doomed attempt.  What happens then is the *service*'s decision
+(stale-cache degradation, see :mod:`repro.serving.service`) — the pool
+just raises.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, TypeVar
 
 from repro.observability.tracer import NO_OP_TRACER, Tracer
+from repro.resilience.errors import ResilienceError
+from repro.resilience.overload import CircuitBreaker
 from repro.resilience.retry import NO_RETRY, RetryPolicy
 from repro.store.errors import StoreError
 from repro.store.sqlite import SqliteStore
@@ -49,6 +56,11 @@ class ReplicaPool:
         Optional tracer for ``serving.*`` metrics.
     retry_policy:
         Reopen-and-retry policy for failed reads (default: no retry).
+    breaker:
+        Optional circuit breaker fronting the pool: consulted before a
+        read is submitted (an open circuit raises
+        :class:`~repro.resilience.CircuitOpenError` without queueing
+        anything) and fed the post-retry verdict of every read.
     """
 
     def __init__(
@@ -58,6 +70,7 @@ class ReplicaPool:
         *,
         tracer: Optional[Tracer] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -65,6 +78,7 @@ class ReplicaPool:
         self._workers = workers
         self._tracer = tracer if tracer is not None else NO_OP_TRACER
         self._retry = retry_policy if retry_policy is not None else NO_RETRY
+        self._breaker = breaker
         self._local = threading.local()
         # Track every store ever opened so close() can reach connections
         # living in worker threads; check_same_thread=False is safe here
@@ -92,6 +106,16 @@ class ReplicaPool:
         """Worker-thread count (= maximum live replica connections)."""
         return self._workers
 
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        """The circuit breaker fronting the pool, if one is attached."""
+        return self._breaker
+
+    def open_connections(self) -> int:
+        """Live replica connections right now (the fd-leak audit's probe)."""
+        with self._opened_lock:
+            return len(self._opened)
+
     def _open_replica(self) -> SqliteStore:
         return SqliteStore(
             self._path,
@@ -110,17 +134,26 @@ class ReplicaPool:
         return store
 
     def _drop_replica(self) -> None:
+        """Close-then-forget this thread's replica (fd-leak audited).
+
+        Ordering matters: the failed store is **closed before** the
+        thread-local slot is cleared, so even if close raises unexpectedly
+        the connection is never silently abandoned to the GC — 100
+        forced reopens must leave the process fd count flat
+        (``tests/serving/test_replica.py``).
+        """
         store = getattr(self._local, "store", None)
         if store is None:
             return
-        self._local.store = None
-        with self._opened_lock:
-            if store in self._opened:
-                self._opened.remove(store)
         try:
             store.close()
         except sqlite3.Error:  # pragma: no cover - close of a dead handle
             pass
+        finally:
+            self._local.store = None
+            with self._opened_lock:
+                if store in self._opened:
+                    self._opened.remove(store)
 
     def _run_with_replica(self, fn: Callable[[SqliteStore], T]) -> T:
         """Worker-side body: run *fn* on this thread's replica, retrying.
@@ -137,6 +170,9 @@ class ReplicaPool:
             except (sqlite3.OperationalError, StoreError):
                 self._drop_replica()
                 if self._tracer.enabled:
+                    # replica_reconnects kept as a legacy alias of the
+                    # documented replica_reopens counter.
+                    self._tracer.metrics.inc("serving.replica_reopens")
                     self._tracer.metrics.inc("serving.replica_reconnects")
                 raise
 
@@ -150,10 +186,31 @@ class ReplicaPool:
         return attempt()
 
     def submit(self, fn: Callable[[SqliteStore], T]) -> "Future[T]":
-        """Run ``fn(replica)`` on a worker thread; returns its future."""
+        """Run ``fn(replica)`` on a worker thread; returns its future.
+
+        With a breaker attached, an open circuit refuses the call here —
+        on the *calling* thread, before any work is queued — and the
+        read's eventual verdict is recorded when its future resolves.
+        """
         if self._closed:
             raise StoreError("replica pool is closed")
-        return self._executor.submit(self._run_with_replica, fn)
+        if self._breaker is None:
+            return self._executor.submit(self._run_with_replica, fn)
+        self._breaker.before_call()
+        future = self._executor.submit(self._run_with_replica, fn)
+
+        def record(done: "Future[T]") -> None:
+            try:
+                exc = done.exception()
+            except BaseException:  # pragma: no cover - cancelled future
+                exc = None
+            if isinstance(exc, (sqlite3.Error, StoreError, ResilienceError)):
+                self._breaker.record_failure()
+            else:
+                self._breaker.record_success()
+
+        future.add_done_callback(record)
+        return future
 
     def run(
         self, fn: Callable[[SqliteStore], T], *, timeout: Optional[float] = None

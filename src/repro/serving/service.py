@@ -51,13 +51,25 @@ from repro.observability.tracer import NO_OP_TRACER, Tracer
 from repro.relational.nulls import NULL
 from repro.relational.row import Row
 from repro.relational.schema import Schema
-from repro.resilience.errors import ResilienceError
+from repro.resilience.errors import (
+    CircuitOpenError,
+    InjectedFault,
+    ResilienceError,
+)
+from repro.resilience.faults import (
+    NO_OP_INJECTOR,
+    SITE_SERVING_INVALIDATE,
+    SITE_SERVING_REQUEST,
+    FaultInjector,
+)
+from repro.resilience.overload import CircuitBreaker
 from repro.resilience.retry import RetryPolicy
 from repro.serving.cache import LRUCache
 from repro.serving.errors import BadRequestError, ServiceUnavailableError, ServingError
 from repro.serving.replica import ReplicaPool
 from repro.store.base import SIDES, MatchStore
 from repro.store.checkpoint import (
+    compute_section_digests,
     META_DIGEST_PREFIX,
     META_ILFDS,
     META_POLICY,
@@ -138,6 +150,18 @@ class MatchLookupService:
     allow_stale:
         Serve last-known-good cached answers when replicas fail
         (default True); False turns degradation into hard 503s.
+    read_breaker / write_breaker:
+        Optional :class:`~repro.resilience.CircuitBreaker` instances
+        around the replica pool and the single-writer thread.  While a
+        breaker is open its side fails fast (reads degrade to the stale
+        cache, writes 503 with ``Retry-After``) instead of piling
+        doomed work onto a failing dependency.
+    fault_injector:
+        Optional deterministic :class:`~repro.resilience.FaultInjector`
+        fired at the serving sites (``serving.request``,
+        ``serving.invalidate``) and plumbed into the writer store's
+        ``store.commit`` site — the hook ``repro serve
+        --inject-faults`` and the chaos harness drive.
     """
 
     def __init__(
@@ -150,11 +174,18 @@ class MatchLookupService:
         tracer: Optional[Tracer] = None,
         retry_policy: Optional[RetryPolicy] = None,
         allow_stale: bool = True,
+        read_breaker: Optional[CircuitBreaker] = None,
+        write_breaker: Optional[CircuitBreaker] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self._tracer = tracer if tracer is not None else NO_OP_TRACER
         self._deadline = deadline
         self._allow_stale = allow_stale
         self._closed = False
+        self._injector = (
+            fault_injector if fault_injector is not None else NO_OP_INJECTOR
+        )
+        self._write_breaker = write_breaker
         # Single-writer discipline: this connection is only ever used
         # from the one writer thread below, which is what justifies
         # check_same_thread=False (see SqliteStore's docstring).
@@ -162,6 +193,7 @@ class MatchLookupService:
             path,
             tracer=self._tracer,
             retry_policy=retry_policy,
+            fault_injector=fault_injector,
             check_same_thread=False,
         )
         try:
@@ -169,7 +201,11 @@ class MatchLookupService:
                 max_workers=1, thread_name_prefix="repro-serving-write"
             )
             self._pool = ReplicaPool(
-                path, workers, tracer=self._tracer, retry_policy=retry_policy
+                path,
+                workers,
+                tracer=self._tracer,
+                retry_policy=retry_policy,
+                breaker=read_breaker,
             )
         except BaseException:
             self._writer.close()
@@ -252,6 +288,10 @@ class MatchLookupService:
             cached, hit = self._cache.get(cache_key)
             if hit:
                 return dict(cached, cache="hit")
+        # The token closes the read/write race: if an ingest invalidates
+        # this key while the replica read is in flight, the put below is
+        # rejected and the pre-commit answer never becomes a live entry.
+        token = self._cache.token()
         try:
             result = self._pool.run(
                 lambda replica: self._lookup(replica, side, key),
@@ -264,7 +304,7 @@ class MatchLookupService:
             sqlite3.Error,
         ) as exc:
             return dict(self._degrade(cache_key, exc), cache="stale")
-        self._cache.put(cache_key, result)
+        self._cache.put(cache_key, result, token=token)
         return dict(result, cache="miss")
 
     def _degrade(self, cache_key: Tuple[str, str], exc: BaseException) -> Dict[str, Any]:
@@ -276,13 +316,15 @@ class MatchLookupService:
             if found:
                 return dict(stale, degraded=str(exc) or type(exc).__name__)
         raise ServiceUnavailableError(
-            f"lookup failed and no cached answer exists: {exc}"
+            f"lookup failed and no cached answer exists: {exc}",
+            retry_after=getattr(exc, "retry_after", None),
         ) from exc
 
     def _lookup(
         self, replica: MatchStore, side: str, key: KeyValues
     ) -> Dict[str, Any]:
         started = time.perf_counter()
+        self._injector.fire(SITE_SERVING_REQUEST)
         with self._tracer.span("serving.lookup", source=side):
             row = replica.get_row(side, key)
             if row is None:
@@ -418,8 +460,27 @@ class MatchLookupService:
                 "this store lacks the knowledge metadata ingestion needs "
                 "(schemas, extended key); serve a checkpoint file instead"
             )
+        if self._write_breaker is not None:
+            try:
+                self._write_breaker.before_call()
+            except CircuitOpenError as exc:
+                raise ServiceUnavailableError(
+                    f"ingest refused: {exc}", retry_after=exc.retry_after
+                ) from exc
         future = self._write_executor.submit(self._ingest_on_writer, side, values)
-        return future.result()
+        try:
+            result = future.result()
+        except (StoreError, sqlite3.Error, ResilienceError):
+            if self._write_breaker is not None:
+                self._write_breaker.record_failure()
+            raise
+        except BaseException:
+            if self._write_breaker is not None:
+                self._write_breaker.record_success()
+            raise
+        if self._write_breaker is not None:
+            self._write_breaker.record_success()
+        return result
 
     def _ingest_on_writer(
         self, side: str, raw_values: Mapping[str, Any]
@@ -427,6 +488,7 @@ class MatchLookupService:
         store = self._writer
         schema = self._schemas[side]
         other = "s" if side == "r" else "r"
+        self._injector.fire(SITE_SERVING_REQUEST)
         with self._tracer.span("serving.ingest", source=side):
             # Unseal the checkpoint's section digests once: like a
             # resumed session, serving writes through the file, so the
@@ -488,14 +550,24 @@ class MatchLookupService:
                         added.append(pair)
             # Write committed: invalidate every cache entry the new
             # tuple's cluster touches (itself, and each member whose
-            # cluster/matches just changed).
-            self._cache.invalidate((side, encode_key(key)))
-            if ext_text is not None:
-                for member_side in self._sides:
-                    for member_key, _r, _e in store.rows_by_extended_key(
-                        member_side, ext_text
-                    ):
-                        self._cache.invalidate((member_side, encode_key(member_key)))
+            # cluster/matches just changed).  A fault here must fail
+            # safe — the write is already durable, so an interrupted
+            # invalidation drops the *whole* cache rather than risk one
+            # affected key staying live with its pre-write answer.
+            try:
+                self._injector.fire(SITE_SERVING_INVALIDATE)
+                self._cache.invalidate((side, encode_key(key)))
+                if ext_text is not None:
+                    for member_side in self._sides:
+                        for member_key, _r, _e in store.rows_by_extended_key(
+                            member_side, ext_text
+                        ):
+                            self._cache.invalidate(
+                                (member_side, encode_key(member_key))
+                            )
+            except InjectedFault:
+                self._cache.clear()
+                raise
         if self._tracer.enabled:
             metrics = self._tracer.metrics
             metrics.inc("serving.ingests")
@@ -527,21 +599,66 @@ class MatchLookupService:
         snapshot: Dict[str, Any] = (
             self._tracer.metrics.snapshot() if self._tracer.enabled else {}
         )
+        breakers: Dict[str, Any] = {}
+        if self._pool.breaker is not None:
+            breakers["read"] = self._pool.breaker.stats()
+        if self._write_breaker is not None:
+            breakers["write"] = self._write_breaker.stats()
         return {
             "store": {"path": self.path, "version": self._version, **counts},
             "cache": self._cache.stats(),
             "workers": self._pool.workers,
             "deadline_s": self._deadline,
             "can_ingest": self.can_ingest,
+            "breakers": breakers,
             "metrics": snapshot,
         }
 
+    def seal_digests(self) -> bool:
+        """Re-seal the checkpoint's section digests after serving writes.
+
+        The graceful-drain contract (``docs/SERVING.md``): ingest unseals
+        the digests because they stop describing a file being written
+        through, and a clean shutdown recomputes and reseals them so the
+        next ``repro resume --verify`` gets the same integrity cover a
+        cold checkpoint would.  Returns True iff a reseal happened.
+        """
+        if not self._unsealed:
+            return False
+
+        def reseal() -> None:
+            digests = compute_section_digests(self._writer)
+            with self._writer.transaction():
+                for name, digest in digests.items():
+                    self._writer.set_meta(META_DIGEST_PREFIX + name, digest)
+
+        # On the writer thread when it is still up (single-writer
+        # discipline); directly when called after executor shutdown.
+        try:
+            self._write_executor.submit(reseal).result()
+        except RuntimeError:  # executor already shut down
+            reseal()
+        self._unsealed = False
+        if self._tracer.enabled:
+            self._tracer.metrics.inc("serving.digests_resealed")
+        return True
+
     def close(self) -> None:
-        """Drain the writer, stop the readers, close every connection."""
+        """Drain the writer, reseal digests, stop readers, close all.
+
+        In-flight writes finish first (executor drain), then the section
+        digests are resealed so an interrupted-then-restarted server is
+        the only thing that leaves them open — exactly the signal
+        salvage keys on.
+        """
         if self._closed:
             return
         self._closed = True
         self._write_executor.shutdown(wait=True)
+        try:
+            self.seal_digests()
+        except (StoreError, sqlite3.Error):  # pragma: no cover - dying store
+            pass
         self._pool.close()
         self._writer.close()
 

@@ -1,0 +1,1 @@
+"""End-to-end chaos harness tests (real servers, real SIGKILL)."""

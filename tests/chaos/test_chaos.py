@@ -1,0 +1,114 @@
+"""The chaos matrix: every seeded fault schedule converges bit-identically.
+
+These tests boot **real** ``repro serve`` subprocesses, drive concurrent
+resolve/ingest traffic through real sockets while deterministic fault
+schedules fire (including one real SIGKILL + restart), and assert every
+grown store resumes with journal verification and fingerprints
+identically to the fault-free reference run.  They are the repo's
+acceptance gate for the resilience tentpole; CI runs them in their own
+chaos job.
+"""
+
+import json
+
+import pytest
+
+from repro.resilience.chaos import (
+    ChaosSchedule,
+    default_schedules,
+    prepare_store,
+    run_entity_build_chaos,
+    run_schedule,
+)
+
+SCHEDULES = default_schedules()
+
+
+class TestScheduleMatrix:
+    def test_at_least_ten_distinct_schedules(self):
+        assert len(SCHEDULES) >= 10
+        assert len({schedule.faults for schedule in SCHEDULES}) == len(SCHEDULES)
+
+    def test_exactly_one_lethal_schedule(self):
+        lethal = [schedule for schedule in SCHEDULES if schedule.kills]
+        assert [schedule.name for schedule in lethal] == ["sigkill-midstream"]
+
+
+@pytest.fixture(scope="module")
+def arena(tmp_path_factory):
+    """One pristine store + its fault-free reference run, shared by all."""
+    import os
+
+    workdir = str(tmp_path_factory.mktemp("chaos"))
+    pristine = os.path.join(workdir, "pristine.sqlite")
+    traffic = prepare_store(pristine, n_entities=6, seed=3)
+    reference = run_schedule(
+        pristine, traffic, ChaosSchedule("reference", ""), workdir
+    )
+    assert reference.ok, reference.failures
+    return workdir, pristine, traffic, reference
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "schedule", SCHEDULES, ids=[s.name for s in SCHEDULES]
+    )
+    def test_schedule_converges_bit_identically(self, arena, schedule):
+        workdir, pristine, traffic, reference = arena
+        report = run_schedule(
+            pristine,
+            traffic,
+            schedule,
+            workdir,
+            reference_state=reference.state,
+        )
+        assert report.ok, report.failures
+        assert report.state == reference.state
+        assert report.ingests == reference.ingests
+
+    def test_lethal_schedule_actually_restarts(self, arena):
+        workdir, pristine, traffic, reference = arena
+        report = run_schedule(
+            pristine,
+            traffic,
+            ChaosSchedule("kill-again", "serving.request:kill@4"),
+            workdir,
+            reference_state=reference.state,
+        )
+        assert report.ok, report.failures
+        assert report.restarts >= 1  # the SIGKILL really took the server down
+
+
+class TestEntityBuildChaos:
+    def test_sigkill_mid_build_resumes_bit_identically(self, tmp_path):
+        report = run_entity_build_chaos(str(tmp_path), n_entities=8)
+        assert report["killed_by_signal"] is True  # a real SIGKILL landed
+        assert report["interrupted_detected"] is True
+        assert report["bit_identical"] is True
+        assert report["ok"] is True
+
+
+class TestChaosCli:
+    def test_cli_runs_selected_schedules_green(self, capsys):
+        from repro.cli import chaos_main
+
+        code = chaos_main(
+            [
+                "--schedule",
+                "commit=store.commit:error@4",
+                "--entities-count",
+                "6",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["ok"] is True
+        names = [entry["schedule"] for entry in payload["schedules"]]
+        assert names == ["reference", "commit"]
+
+    def test_cli_rejects_malformed_schedule(self, capsys):
+        from repro.cli import chaos_main
+
+        assert chaos_main(["--schedule", "nofaults"]) == 2

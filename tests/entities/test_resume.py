@@ -1,0 +1,168 @@
+"""Crash-safe entity builds: batched persists, kill mid-batch, resume."""
+
+import pytest
+
+from repro.entities import (
+    EntityBuildError,
+    IdentityGraph,
+    build_entity_store,
+    verify_entity_store,
+)
+from repro.entities.build import META_ENTITY_PROGRESS
+from repro.observability import Tracer
+from repro.resilience import FaultInjector, FaultPlan, InjectedKill
+from repro.store import SqliteStore
+
+
+def fresh_graph(three_sources, example3):
+    return IdentityGraph(
+        three_sources, example3.extended_key, ilfds=list(example3.ilfds)
+    )
+
+
+def killer(spec):
+    """A non-lethal injector: ``kill`` raises InjectedKill, no SIGKILL."""
+    return FaultInjector(FaultPlan.parse(spec), lethal=False)
+
+
+@pytest.fixture
+def reference_fingerprint(three_sources, example3, tmp_path):
+    store = SqliteStore(tmp_path / "reference.sqlite")
+    report = build_entity_store(
+        fresh_graph(three_sources, example3), store, timestamp=1.0
+    )
+    store.close()
+    return report.fingerprint
+
+
+class TestBatchedBuild:
+    def test_batched_equals_single_transaction(
+        self, three_sources, example3, tmp_path, reference_fingerprint
+    ):
+        store = SqliteStore(tmp_path / "batched.sqlite")
+        report = build_entity_store(
+            fresh_graph(three_sources, example3),
+            store,
+            timestamp=2.0,
+            batch_size=1,
+        )
+        assert report.fingerprint == reference_fingerprint
+        count, sealed = verify_entity_store(store)
+        assert sealed == reference_fingerprint
+        assert count == report.entities
+        assert not store.get_meta(META_ENTITY_PROGRESS)  # cleared on seal
+        store.close()
+
+
+class TestKillAndResume:
+    def test_kill_mid_batch_then_resume_is_bit_identical(
+        self, three_sources, example3, tmp_path, reference_fingerprint
+    ):
+        store = SqliteStore(tmp_path / "killed.sqlite")
+        with pytest.raises(InjectedKill):
+            build_entity_store(
+                fresh_graph(three_sources, example3),
+                store,
+                timestamp=3.0,
+                batch_size=1,
+                fault_injector=killer("entities.persist:kill@1"),
+            )
+        # One batch committed, the build marked in-progress: verify refuses.
+        assert store.get_meta(META_ENTITY_PROGRESS)
+        with pytest.raises(EntityBuildError):
+            verify_entity_store(store)
+
+        tracer = Tracer()
+        report = build_entity_store(
+            fresh_graph(three_sources, example3),
+            store,
+            timestamp=4.0,
+            batch_size=1,
+            tracer=tracer,
+        )
+        assert report.fingerprint == reference_fingerprint
+        _, sealed = verify_entity_store(store)
+        assert sealed == reference_fingerprint
+        assert tracer.metrics.counter("entities.build_resumes") == 1
+        store.close()
+
+    @pytest.mark.parametrize("kill_at", [0, 1, 2])
+    def test_kill_at_every_batch_converges(
+        self, three_sources, example3, tmp_path, reference_fingerprint, kill_at
+    ):
+        store = SqliteStore(tmp_path / f"killed-{kill_at}.sqlite")
+        with pytest.raises(InjectedKill):
+            build_entity_store(
+                fresh_graph(three_sources, example3),
+                store,
+                batch_size=1,
+                fault_injector=killer(f"entities.persist:kill@{kill_at}"),
+            )
+        report = build_entity_store(
+            fresh_graph(three_sources, example3), store, batch_size=1
+        )
+        assert report.fingerprint == reference_fingerprint
+        store.close()
+
+    def test_resume_false_refuses_partial_build(
+        self, three_sources, example3, tmp_path
+    ):
+        store = SqliteStore(tmp_path / "norope.sqlite")
+        with pytest.raises(InjectedKill):
+            build_entity_store(
+                fresh_graph(three_sources, example3),
+                store,
+                batch_size=1,
+                fault_injector=killer("entities.persist:kill@1"),
+            )
+        with pytest.raises(EntityBuildError):
+            build_entity_store(
+                fresh_graph(three_sources, example3),
+                store,
+                batch_size=1,
+                resume=False,
+            )
+        store.close()
+
+    def test_resume_with_different_inputs_refuses(
+        self, three_sources, example3, tmp_path, third_source
+    ):
+        store = SqliteStore(tmp_path / "drift.sqlite")
+        with pytest.raises(InjectedKill):
+            build_entity_store(
+                fresh_graph(three_sources, example3),
+                store,
+                batch_size=1,
+                fault_injector=killer("entities.persist:kill@1"),
+            )
+        # A resume over *different* sources computes a different
+        # fingerprint and must refuse rather than mix two builds.
+        two_sources = {"R": example3.r, "S": example3.s}
+        with pytest.raises(EntityBuildError):
+            build_entity_store(
+                IdentityGraph(
+                    two_sources,
+                    example3.extended_key,
+                    ilfds=list(example3.ilfds),
+                ),
+                store,
+                batch_size=1,
+            )
+        store.close()
+
+    def test_error_fault_rolls_back_the_batch(
+        self, three_sources, example3, tmp_path, reference_fingerprint
+    ):
+        store = SqliteStore(tmp_path / "errored.sqlite")
+        with pytest.raises(Exception):
+            build_entity_store(
+                fresh_graph(three_sources, example3),
+                store,
+                batch_size=1,
+                fault_injector=killer("entities.persist:error@2"),
+            )
+        report = build_entity_store(
+            fresh_graph(three_sources, example3), store, batch_size=1
+        )
+        assert report.fingerprint == reference_fingerprint
+        store.close()

@@ -1,0 +1,344 @@
+"""TokenBucket / AdmissionController / CircuitBreaker under a fake clock."""
+
+import threading
+
+import pytest
+
+from repro.observability import Tracer
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionController,
+    CircuitBreaker,
+    CircuitOpenError,
+    OverloadShedError,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_exhausted(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=3, clock=clock)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True] * 3
+        ok, wait = bucket.try_acquire()
+        assert not ok
+        assert wait == pytest.approx(0.1)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert bucket.try_acquire()[0] is False
+        clock.advance(0.5)  # 2/s for 0.5s = 1 token back
+        assert bucket.try_acquire()[0] is True
+        assert bucket.try_acquire()[0] is False
+
+    def test_burst_caps_banked_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, burst=2, clock=clock)
+        clock.advance(60)
+        assert bucket.available() == 2
+
+    def test_zero_rate_is_unlimited(self):
+        bucket = TokenBucket(0.0, clock=FakeClock())
+        assert all(bucket.try_acquire() == (True, 0.0) for _ in range(1000))
+        assert bucket.available() == float("inf")
+
+    def test_default_burst_is_one_second_of_rate(self):
+        assert TokenBucket(8.0, clock=FakeClock()).burst == 8.0
+        assert TokenBucket(0.25, clock=FakeClock()).burst == 1.0
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, burst=0)
+
+    def test_wait_hint_is_time_to_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(4.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        _, wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.25)
+
+
+class TestAdmissionController:
+    def test_admits_under_all_gates(self):
+        controller = AdmissionController(max_queue=2, clock=FakeClock())
+        with controller.admit("read"):
+            pass
+        assert controller.stats()["admitted"] == 1
+        assert controller.in_flight == 0
+
+    def test_queue_bound_sheds_503(self):
+        controller = AdmissionController(max_queue=2, retry_after=0.7)
+        tickets = [controller.admit("read"), controller.admit("read")]
+        with pytest.raises(OverloadShedError) as caught:
+            controller.admit("read")
+        assert caught.value.status == 503
+        assert caught.value.retry_after == pytest.approx(0.7)
+        assert controller.stats()["shed_503"] == 1
+        for ticket in tickets:
+            ticket.release()
+        with controller.admit("read"):
+            pass  # slots freed: admitted again
+
+    def test_rate_limit_sheds_429_with_bucket_hint(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_queue=0,
+            rates={"write": TokenBucket(2.0, burst=1, clock=clock)},
+            clock=clock,
+        )
+        controller.admit("write").release()
+        with pytest.raises(OverloadShedError) as caught:
+            controller.admit("write")
+        assert caught.value.status == 429
+        assert caught.value.retry_after == pytest.approx(0.5)
+        assert controller.stats()["shed_429"] == 1
+
+    def test_queue_bound_checked_before_rate(self):
+        # A saturated server answers 503 even when the bucket is empty:
+        # the queue gate is the outer armour.
+        clock = FakeClock()
+        bucket = TokenBucket(1.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        controller = AdmissionController(
+            max_queue=1, rates={"read": bucket}, clock=clock
+        )
+        ticket = controller.admit("write")  # fills the queue
+        with pytest.raises(OverloadShedError) as caught:
+            controller.admit("read")
+        assert caught.value.status == 503
+        ticket.release()
+
+    def test_unconfigured_class_is_rate_unlimited(self):
+        controller = AdmissionController(
+            max_queue=0, rates={"write": TokenBucket(1.0, burst=1)}
+        )
+        for _ in range(50):
+            controller.admit("read").release()
+        assert controller.stats()["shed_429"] == 0
+
+    def test_zero_max_queue_disables_bound(self):
+        controller = AdmissionController(max_queue=0)
+        tickets = [controller.admit("read") for _ in range(200)]
+        assert controller.in_flight == 200
+        for ticket in tickets:
+            ticket.release()
+
+    def test_ticket_release_is_idempotent(self):
+        controller = AdmissionController(max_queue=4)
+        ticket = controller.admit("read")
+        ticket.release()
+        ticket.release()
+        assert controller.in_flight == 0
+
+    def test_shed_raised_before_any_slot_taken(self):
+        controller = AdmissionController(
+            max_queue=0, rates={"read": TokenBucket(1.0, burst=1, clock=FakeClock())}
+        )
+        controller.admit("read")
+        with pytest.raises(OverloadShedError):
+            controller.admit("read")
+        # The shed request must not occupy a slot it would never release.
+        assert controller.in_flight == 1
+
+    def test_peak_in_flight_tracked(self):
+        controller = AdmissionController(max_queue=0)
+        tickets = [controller.admit("read") for _ in range(5)]
+        for ticket in tickets:
+            ticket.release()
+        assert controller.stats()["peak_in_flight"] == 5
+        assert controller.stats()["in_flight"] == 0
+
+    def test_metrics_counted(self):
+        tracer = Tracer()
+        controller = AdmissionController(max_queue=1, tracer=tracer)
+        ticket = controller.admit("read")
+        with pytest.raises(OverloadShedError):
+            controller.admit("read")
+        ticket.release()
+        assert tracer.metrics.counter("overload.admitted") == 1
+        assert tracer.metrics.counter("overload.shed_503") == 1
+
+    def test_thread_safety_under_contention(self):
+        controller = AdmissionController(max_queue=8)
+        shed = []
+
+        def worker():
+            for _ in range(200):
+                try:
+                    controller.admit("read").release()
+                except OverloadShedError:
+                    shed.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = controller.stats()
+        assert stats["in_flight"] == 0
+        assert stats["admitted"] + stats["shed_503"] == 1600
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("cooldown", 1.0)
+        kwargs.setdefault("jitter", 0.0)
+        return CircuitBreaker("dep", clock=clock, **kwargs)
+
+    def trip(self, breaker):
+        for _ in range(3):
+            breaker.before_call()
+            breaker.record_failure()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.before_call()
+        breaker.record_failure()
+        breaker.before_call()
+        breaker.record_success()  # success resets the streak
+        for _ in range(2):
+            breaker.before_call()
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+
+    def test_open_rejects_in_o1_with_retry_after(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        self.trip(breaker)
+        with pytest.raises(CircuitOpenError) as caught:
+            breaker.before_call()
+        assert caught.value.retry_after == pytest.approx(1.0)
+        assert breaker.stats()["rejected"] == 1
+
+    def test_half_open_after_cooldown_probe_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        self.trip(breaker)
+        clock.advance(1.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.before_call()  # the probe
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        self.trip(breaker)
+        clock.advance(1.0)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+
+    def test_half_open_allows_single_probe(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        self.trip(breaker)
+        clock.advance(1.0)
+        breaker.before_call()  # probe is out
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()  # everyone else still rejected
+
+    def test_probe_schedule_is_seeded_deterministic(self):
+        def schedule(seed):
+            clock = FakeClock()
+            breaker = CircuitBreaker(
+                "dep",
+                failure_threshold=1,
+                cooldown=1.0,
+                jitter=0.5,
+                seed=seed,
+                clock=clock,
+            )
+            intervals = []
+            for _ in range(6):
+                breaker.before_call()
+                breaker.record_failure()
+                before = clock.now
+                while True:  # walk the clock to the scheduled probe
+                    clock.advance(0.001)
+                    if breaker.state == BREAKER_HALF_OPEN:
+                        break
+                intervals.append(round(clock.now - before, 3))
+            return intervals
+
+        assert schedule(42) == schedule(42)
+        assert schedule(42) != schedule(43)
+        assert all(0.5 <= i <= 1.001 for i in schedule(42))
+
+    def test_multi_probe_close_requires_consecutive_successes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, half_open_probes=2)
+        self.trip(breaker)
+        clock.advance(1.0)
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == BREAKER_HALF_OPEN  # one down, one to go
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_call_wrapper_counts_only_failure_on(self):
+        clock = FakeClock()
+        breaker = self.make(clock, failure_threshold=1)
+
+        class CallerFault(Exception):
+            pass
+
+        def bad_request():
+            raise CallerFault("not the dependency's fault")
+
+        with pytest.raises(CallerFault):
+            breaker.call(bad_request, failure_on=(ValueError,))
+        assert breaker.state == BREAKER_CLOSED
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError()), failure_on=(ValueError,))
+        assert breaker.state == BREAKER_OPEN
+
+    def test_metrics_counted(self):
+        tracer = Tracer()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "pool",
+            failure_threshold=1,
+            cooldown=1.0,
+            jitter=0.0,
+            clock=clock,
+            tracer=tracer,
+        )
+        breaker.before_call()
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        assert tracer.metrics.counter("breaker.pool.opened") == 1
+        assert tracer.metrics.counter("breaker.pool.rejected") == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(jitter=1.5)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)

@@ -1,0 +1,185 @@
+"""Admission control over a real socket: 429/503, Retry-After, drain."""
+
+import asyncio
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.resilience import AdmissionController, TokenBucket
+from repro.serving import MatchLookupService, ServingServer, ServingTracer
+
+
+class _RunningServer:
+    """Boots the asyncio server in a thread; exposes a blocking client."""
+
+    def __init__(self, service, tracer=None, admission=None):
+        self._server = ServingServer(
+            service, port=0, tracer=tracer, admission=admission
+        )
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(timeout=10)
+
+    def _run(self):
+        asyncio.set_event_loop(self._loop)
+
+        async def boot():
+            await self._server.start()
+            self._started.set()
+
+        self._loop.run_until_complete(boot())
+        self._loop.run_forever()
+
+    @property
+    def base(self):
+        host, port = self._server.address
+        return f"http://{host}:{port}"
+
+    def request(self, path, data=None, method=None):
+        """Returns ``(status, headers, body text)``."""
+        url = self.base + path
+        body = json.dumps(data).encode() if data is not None else None
+        req = urllib.request.Request(url, data=body, method=method)
+        if body is not None:
+            req.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(req, timeout=10) as response:
+                return response.status, dict(response.headers), response.read().decode()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read().decode()
+
+    def close(self, drain=True):
+        async def shutdown():
+            await self._server.stop(drain=drain, drain_timeout=5.0)
+
+        asyncio.run_coroutine_threadsafe(shutdown(), self._loop).result(10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+
+@pytest.fixture()
+def service(store_path):
+    service = MatchLookupService(store_path)
+    yield service
+    service.close()
+
+
+def _running(service, admission):
+    return _RunningServer(service, tracer=ServingTracer(), admission=admission)
+
+
+class TestSheddingOverHttp:
+    def test_queue_full_sheds_503_with_retry_after(self, service):
+        admission = AdmissionController(max_queue=1, retry_after=2.5)
+        server = _running(service, admission)
+        try:
+            held = admission.admit("read")  # saturate the in-flight bound
+            status, headers, body = server.request("/resolve?source=r&key=a%3Db")
+            held.release()
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["shed"] is True
+            assert payload["endpoint_class"] == "read"
+            assert headers["Retry-After"] == "3"  # ceil(2.5)
+        finally:
+            server.close()
+
+    def test_rate_limited_sheds_429_with_retry_after(self, service):
+        admission = AdmissionController(
+            max_queue=0, rates={"write": TokenBucket(0.001, burst=1)}
+        )
+        server = _running(service, admission)
+        try:
+            first = server.request("/invalidate", data={})
+            second = server.request("/invalidate", data={})
+            assert first[0] == 200
+            assert second[0] == 429
+            payload = json.loads(second[2])
+            assert payload["shed"] is True
+            assert int(second[1]["Retry-After"]) >= 1
+        finally:
+            server.close()
+
+    def test_shed_never_reaches_the_service(self, service):
+        admission = AdmissionController(
+            max_queue=0, rates={"read": TokenBucket(0.001, burst=1)}
+        )
+        server = _running(service, admission)
+        try:
+            server.request("/resolve?source=r&key=a%3Db")
+            before = service.stats()["cache"]
+            status, _, _ = server.request("/resolve?source=r&key=a%3Db")
+            assert status == 429
+            assert service.stats()["cache"] == before  # lookup never ran
+        finally:
+            server.close()
+
+    def test_health_and_metrics_exempt_when_saturated(self, service):
+        admission = AdmissionController(max_queue=1)
+        server = _running(service, admission)
+        try:
+            held = admission.admit("read")
+            assert server.request("/health")[0] == 200
+            assert server.request("/metrics")[0] == 200
+            held.release()
+        finally:
+            server.close()
+
+    def test_stats_reports_admission_section(self, service):
+        admission = AdmissionController(
+            max_queue=8, rates={"read": TokenBucket(100.0)}
+        )
+        server = _running(service, admission)
+        try:
+            server.request("/resolve?source=r&key=a%3Db")
+            status, _, body = server.request("/stats")
+            assert status == 200
+            section = json.loads(body)["admission"]
+            assert section["max_queue"] == 8
+            assert section["admitted"] >= 2  # the resolve + this /stats
+            assert section["rates"]["read"]["rate"] == 100.0
+        finally:
+            server.close()
+
+    def test_queue_slot_released_after_each_request(self, service):
+        admission = AdmissionController(max_queue=1)
+        server = _running(service, admission)
+        try:
+            for _ in range(5):
+                status, _, _ = server.request("/resolve?source=r&key=a%3Db")
+                assert status == 200
+            assert admission.in_flight == 0
+        finally:
+            server.close()
+
+    def test_without_controller_nothing_is_shed(self, service):
+        server = _RunningServer(service, tracer=ServingTracer())
+        try:
+            for _ in range(20):
+                assert server.request("/health")[0] == 200
+        finally:
+            server.close()
+
+
+class TestGracefulDrain:
+    def test_stop_refuses_new_connections(self, service):
+        server = _running(service, AdmissionController(max_queue=4))
+        host, port = server._server.address
+        server.close(drain=True)
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=1).close()
+
+    def test_draining_server_finishes_then_closes_keepalive(self, service):
+        server = _running(service, AdmissionController(max_queue=4))
+        try:
+            assert server.request("/health")[0] == 200
+            assert server._server.inflight == 0
+        finally:
+            server.close(drain=True)

@@ -128,6 +128,7 @@ class TestMetrics:
             "evictions",
             "invalidations",
             "stale_serves",
+            "rejected_puts",
         }
 
 

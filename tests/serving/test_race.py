@@ -1,0 +1,144 @@
+"""The ingest/invalidate vs. resolve race: stale answers never pin as live.
+
+The dangerous interleaving is a *slow read*: a resolve takes its replica
+snapshot before an ingest commits, the ingest invalidates the key, and
+only then does the resolve try to cache its (now pre-commit) answer.
+Without the invalidation-epoch token that answer would sit in the live
+cache serving stale matches as non-degraded hits.  These tests pin the
+interleaving deterministically — first on the cache alone, then through
+the real service with a gated replica read.
+"""
+
+import threading
+
+import pytest
+
+from repro.serving import LRUCache, MatchLookupService
+from repro.store import SqliteStore
+from repro.store.codec import encode_key
+
+
+class TestCacheTokenRace:
+    def test_put_after_key_invalidation_is_rejected(self):
+        cache = LRUCache(8)
+        token = cache.token()  # reader starts
+        cache.invalidate("k")  # writer lands in between
+        assert cache.put("k", {"matches": []}, token=token) is False
+        assert cache.get("k") == (None, False)
+        assert cache.stats()["rejected_puts"] == 1
+
+    def test_put_is_precise_to_the_invalidated_key(self):
+        cache = LRUCache(8)
+        token = cache.token()
+        cache.invalidate("other")
+        assert cache.put("k", "fresh", token=token) is True
+        assert cache.get("k") == ("fresh", True)
+
+    def test_clear_raises_floor_for_all_outstanding_tokens(self):
+        cache = LRUCache(8)
+        token = cache.token()
+        cache.clear()  # e.g. a failed post-commit invalidation fail-safe
+        assert cache.put("k", "v", token=token) is False
+
+    def test_fresh_token_after_invalidation_lands(self):
+        cache = LRUCache(8)
+        cache.invalidate("k")
+        token = cache.token()  # read started after the write: fine
+        assert cache.put("k", "v", token=token) is True
+
+    def test_tokenless_put_unaffected(self):
+        cache = LRUCache(8)
+        cache.invalidate("k")
+        assert cache.put("k", "v") is True
+
+
+def _matched_pair_rows(store_path):
+    """An (r_key, raw r row, raw s row) triple that identifies as a match."""
+    store = SqliteStore(store_path, read_only=True)
+    try:
+        pairs = sorted(pair for pair, _rows in store.match_items())
+        r_key, s_key = pairs[0]
+        r_raw, _ = store.get_row("r", r_key)
+        s_raw, _ = store.get_row("s", s_key)
+    finally:
+        store.close()
+    return r_key, dict(r_raw), dict(s_raw)
+
+
+class TestServiceSlowReadRace:
+    def test_slow_read_cannot_pin_precommit_answer(
+        self, store_path, empty_store_path, monkeypatch
+    ):
+        r_key, r_raw, s_raw = _matched_pair_rows(store_path)
+        service = MatchLookupService(empty_store_path, workers=1, cache_size=64)
+        try:
+            service.ingest("r", r_raw)  # the key exists, unmatched so far
+
+            pool = service._pool
+            original_run = pool.run
+            read_done = threading.Event()
+            resume = threading.Event()
+            gated = {"armed": True}
+
+            def gated_run(fn, **kwargs):
+                result = original_run(fn, **kwargs)
+                if gated["armed"]:
+                    gated["armed"] = False
+                    read_done.set()  # snapshot taken, pre-commit
+                    assert resume.wait(10)  # hold until the ingest lands
+                return result
+
+            monkeypatch.setattr(pool, "run", gated_run)
+
+            answers = {}
+
+            def slow_resolve():
+                answers["racing"] = service.resolve("r", r_key)
+
+            reader = threading.Thread(target=slow_resolve)
+            reader.start()
+            assert read_done.wait(10)
+            # The write commits *and invalidates* while the read is held.
+            service.ingest("s", s_raw)
+            resume.set()
+            reader.join(timeout=10)
+
+            # The in-flight answer itself is honest (it predates the
+            # commit), but it must not have become a live cache entry.
+            assert answers["racing"]["matches"] == []
+            after = service.resolve("r", r_key)
+            assert after["cache"] == "miss"  # not a hit on the stale answer
+            assert after["matches"]  # the new partner is visible
+            assert "degraded" not in after
+            assert service.stats()["cache"]["rejected_puts"] == 1
+        finally:
+            service.close()
+
+    def test_full_invalidate_forces_reread(self, store_path):
+        service = MatchLookupService(store_path, workers=1, cache_size=64)
+        try:
+            r_key, _, _ = _matched_pair_rows(store_path)
+            first = service.resolve("r", r_key)
+            assert first["cache"] == "miss"
+            assert service.resolve("r", r_key)["cache"] == "hit"
+            service.invalidate()
+            again = service.resolve("r", r_key)
+            assert again["cache"] == "miss"
+            assert again["matches"] == first["matches"]
+        finally:
+            service.close()
+
+    def test_ingest_invalidates_partner_cache_entries(self, empty_store_path, store_path):
+        r_key, r_raw, s_raw = _matched_pair_rows(store_path)
+        service = MatchLookupService(empty_store_path, workers=1, cache_size=64)
+        try:
+            service.ingest("r", r_raw)
+            before = service.resolve("r", r_key)
+            assert before["matches"] == []
+            assert service.resolve("r", r_key)["cache"] == "hit"
+            service.ingest("s", s_raw)  # matches r_key → invalidates it
+            after = service.resolve("r", r_key)
+            assert after["cache"] != "hit"
+            assert after["matches"]
+        finally:
+            service.close()

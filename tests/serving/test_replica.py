@@ -79,6 +79,87 @@ class TestRetry:
                 pool.run(always_fails)
 
 
+class TestFdLeakAudit:
+    @staticmethod
+    def _fd_count():
+        import os
+
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_100_forced_reopens_leave_fd_count_flat(self, store_path):
+        """Close-before-replace: repeated replica faults must not leak."""
+        tracer = Tracer()
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, seed=0)
+        with ReplicaPool(
+            store_path, workers=1, tracer=tracer, retry_policy=policy
+        ) as pool:
+            state = {"fail_next": False}
+
+            def flaky(replica):
+                if state["fail_next"]:
+                    state["fail_next"] = False
+                    raise sqlite3.OperationalError("forced replica fault")
+                return replica.counts()
+
+            pool.run(flaky)  # warm: the worker's replica is open
+            baseline_fds = self._fd_count()
+            baseline_conns = pool.open_connections()
+            for _ in range(100):
+                state["fail_next"] = True
+                pool.run(flaky)  # fault → close+reopen → retried read
+            assert pool.open_connections() == baseline_conns
+            assert self._fd_count() == baseline_fds
+        assert tracer.metrics.counter("serving.replica_reopens") == 100
+        # legacy alias kept in lockstep
+        assert tracer.metrics.counter("serving.replica_reconnects") == 100
+
+    def test_open_connections_tracks_lifecycle(self, store_path):
+        pool = ReplicaPool(store_path, workers=2)
+        assert pool.open_connections() == 0  # probe connection was closed
+        pool.run(lambda replica: replica.counts())
+        assert pool.open_connections() >= 1
+        pool.close()
+        assert pool.open_connections() == 0
+
+
+class TestBreakerGating:
+    def test_persistent_failures_open_breaker_and_reject_fast(self, store_path):
+        from repro.resilience import CircuitBreaker, CircuitOpenError
+
+        breaker = CircuitBreaker("pool", failure_threshold=3, cooldown=60.0)
+        with ReplicaPool(store_path, workers=1, breaker=breaker) as pool:
+            def doomed(replica):
+                raise sqlite3.OperationalError("replica gone")
+
+            for _ in range(3):
+                with pytest.raises(sqlite3.OperationalError):
+                    pool.run(doomed)
+            assert breaker.state == "open"
+            with pytest.raises(CircuitOpenError):
+                pool.run(lambda replica: replica.counts())
+
+    def test_breaker_recovers_after_successful_probe(self, store_path):
+        from repro.resilience import CircuitBreaker
+
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            "pool",
+            failure_threshold=1,
+            cooldown=1.0,
+            jitter=0.0,
+            clock=lambda: clock[0],
+        )
+        with ReplicaPool(store_path, workers=1, breaker=breaker) as pool:
+            with pytest.raises(sqlite3.OperationalError):
+                pool.run(lambda replica: (_ for _ in ()).throw(
+                    sqlite3.OperationalError("one-off")
+                ))
+            assert breaker.state == "open"
+            clock[0] += 1.0  # cooldown elapses → half-open probe allowed
+            assert pool.run(lambda replica: replica.counts())["matches"] > 0
+            assert breaker.state == "closed"
+
+
 class TestLifecycle:
     def test_close_is_idempotent(self, store_path):
         pool = ReplicaPool(store_path, workers=2)
