@@ -40,6 +40,10 @@ Usage::
     repro conform restaurants --matrix strict  # one workload, strict cells
     repro conform --golden tests/conformance/golden --update-golden
 
+    repro scenarios                            # the full adversarial grid
+    repro scenarios --grid reduced --json      # CI-sized grid, JSON report
+    repro scenarios --baseline tests/scenarios/baselines --update-baseline
+
     repro identify R.csv S.csv ... --ledger runs.db --profile
     repro report list --ledger runs.db         # the recorded run history
     repro report show 3 --ledger runs.db       # one run's full cost picture
@@ -68,6 +72,18 @@ workloads: the differential configuration matrix (every cell must
 produce bit-identical canonical tables), the Section-3 oracles, the
 metamorphic relations, and — with ``--golden DIR`` — the frozen
 golden-corpus drift check (``--update-golden`` re-freezes it).
+
+``repro scenarios`` executes the adversarial scenario matrix: a grid of
+labeled workloads varying source count, cluster-size skew, noise,
+conflicting ILFDs, schema drift, delta arrival order, and duplicate
+density, each cell pushed through the real blocker × identifier ×
+entity-graph pipeline with the conformance oracles on and
+precision/recall scored against the carried ground truth.  Conflict
+cells must surface their seeded ILFD break as a structured
+constraint-drift finding; ``--inject-drift`` is the canary proving an
+*unexpected* finding fails the run.  With ``--baseline DIR`` the
+canonical report is compared against the committed baseline exactly
+like the golden corpus (``--update-baseline`` re-freezes).
 
 ``--ledger PATH`` appends a structured run report — environment, config,
 phase timings, wall/CPU/peak-memory, throughput, the full metrics
@@ -135,6 +151,7 @@ __all__ = [
     "build_serve_parser",
     "build_entities_parser",
     "build_chaos_parser",
+    "build_scenarios_parser",
     "identify_main",
     "stats_main",
     "checkpoint_main",
@@ -145,6 +162,7 @@ __all__ = [
     "serve_main",
     "entities_main",
     "chaos_main",
+    "scenarios_main",
     "main",
 ]
 
@@ -160,6 +178,7 @@ _SUBCOMMANDS = (
     "serve",
     "entities",
     "chaos",
+    "scenarios",
 )
 
 
@@ -2817,6 +2836,267 @@ def chaos_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def build_scenarios_parser() -> argparse.ArgumentParser:
+    """The ``repro scenarios`` argument parser."""
+    from repro.scenarios import GRIDS
+
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description="Run the adversarial scenario matrix: every grid "
+        "cell (source count × skew × noise × conflict × schema drift × "
+        "delta order × duplicates × blocker) through the real pipeline "
+        "with conformance oracles on, precision/recall scored against "
+        "carried ground truth, and the ILFD drift detector re-checking "
+        "baseline-mined constraints against the delta feeds.",
+    )
+    parser.add_argument(
+        "--grid",
+        choices=tuple(GRIDS),
+        default="default",
+        help="named grid to run: 'default' is the full matrix, "
+        "'reduced' the CI-sized slice, 'smoke' two quick cells "
+        "(default: default)",
+    )
+    parser.add_argument(
+        "--cell",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="run only this cell id (repeatable; see --list for the "
+        "ids a grid contains)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the grid's cell ids and exit",
+    )
+    parser.add_argument(
+        "--entities",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the grid's universe size per cell (identification "
+        "is O(N^2) per source pair)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the grid's base seed (each cell derives its own "
+        "seed from this and its cell id)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="DIR",
+        help="check the canonical report against the committed baseline "
+        "for this grid in DIR (per-cell field-level drift reasons on "
+        "divergence)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-freeze the baseline in --baseline DIR instead of "
+        "checking it (the new report goes through code review)",
+    )
+    parser.add_argument(
+        "--inject-drift",
+        action="store_true",
+        help="canary mode: seed an ILFD conflict into delta-bearing "
+        "cells WITHOUT marking it expected — the run must go red "
+        "(exit 1) with unexpected constraint-drift findings",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full canonical scenario report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the human-readable summaries (exit status still "
+        "reports the verdict)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a JSON-lines trace (spans + scenarios.* metrics)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the scenarios metrics summary after the run",
+    )
+    _add_telemetry_arguments(parser)
+    return parser
+
+
+def scenarios_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro scenarios``: 0 green, 1 cell/drift/baseline failure, 2 fatal."""
+    import json as json_module
+
+    from repro.scenarios import (
+        ScenarioBaselineError,
+        ScenarioError,
+        ScenarioReport,
+        ScenarioRunner,
+        check_baseline,
+        grid_by_name,
+        update_baseline,
+    )
+
+    args = build_scenarios_parser().parse_args(argv)
+    if args.update_baseline and not args.baseline:
+        print("repro scenarios: --update-baseline requires --baseline DIR",
+              file=sys.stderr)
+        return 2
+    if args.entities is not None and args.entities < 4:
+        print("repro scenarios: --entities must be >= 4", file=sys.stderr)
+        return 2
+    if args.inject_drift and (args.baseline and not args.update_baseline):
+        # Injected drift deliberately changes the report; comparing it
+        # against the healthy baseline would double-report the canary.
+        print("repro scenarios: --inject-drift cannot be combined with a "
+              "--baseline check", file=sys.stderr)
+        return 2
+    if args.inject_drift and args.update_baseline:
+        print("repro scenarios: refusing to freeze a baseline with "
+              "injected drift", file=sys.stderr)
+        return 2
+
+    try:
+        specs = grid_by_name(
+            args.grid, entities=args.entities, seed=args.seed
+        )
+    except ScenarioError as exc:
+        print(f"repro scenarios: {exc}", file=sys.stderr)
+        return 2
+    if args.cell:
+        known = {spec.cell_id for spec in specs}
+        unknown = [c for c in args.cell if c not in known]
+        if unknown:
+            print(
+                f"repro scenarios: unknown cell id(s) {unknown} in grid "
+                f"{args.grid!r}; use --list to see the ids",
+                file=sys.stderr,
+            )
+            return 2
+        specs = [spec for spec in specs if spec.cell_id in args.cell]
+    if args.list:
+        for spec in specs:
+            print(spec.cell_id)
+        return 0
+
+    profile_mode = _profile_mode(args)
+    tracer = None
+    recorder = None
+    if args.trace or args.metrics or args.ledger or profile_mode != "off":
+        from repro.observability import Tracer
+
+        tracer = Tracer(profile=profile_mode)
+    if args.ledger:
+        from repro.telemetry import RunRecorder
+
+        recorder = RunRecorder(
+            "scenarios", _telemetry_config(args, "scenarios")
+        )
+
+    try:
+        runner = ScenarioRunner(
+            specs, inject_drift=args.inject_drift, tracer=tracer
+        )
+        results = runner.run()
+    except ScenarioError as exc:
+        print(f"repro scenarios: {exc}", file=sys.stderr)
+        return 2
+
+    report = ScenarioReport.from_results(args.grid, results)
+    degraded = not report.ok
+    output = report.to_dict()
+    output["summary"] = report.summary()
+    if not args.quiet and not args.json:
+        for cell in report.cells:
+            verdict = "ok" if cell["ok"] else "FAILED"
+            drift = cell["drift"]
+            print(
+                f"repro scenarios: {cell['cell']:40s} {verdict}  "
+                f"p={cell['precision']:.3f} r={cell['recall']:.3f} "
+                f"drift={len(drift['findings'])}"
+                + (f" unexpected={drift['unexpected']}"
+                   if drift["unexpected"] else "")
+            )
+
+    if args.baseline:
+        try:
+            if args.update_baseline:
+                path = update_baseline(args.baseline, report)
+                output["baseline"] = {"updated": path}
+                if not args.quiet and not args.json:
+                    print(f"scenario baseline re-frozen: {path}")
+            else:
+                drift = check_baseline(args.baseline, report)
+                output["baseline"] = {"drift": drift}
+                degraded = degraded or bool(drift)
+                if tracer is not None:
+                    tracer.metrics.inc(
+                        "scenarios.baseline_drift", len(drift)
+                    )
+                if not args.quiet and not args.json:
+                    if drift:
+                        print("scenario baseline DRIFTED:")
+                        for cell_id, detail in sorted(drift.items()):
+                            print(f"  {cell_id}: {detail}")
+                    else:
+                        print("scenario baseline: no drift")
+        except ScenarioBaselineError as exc:
+            print(f"repro scenarios: {exc}", file=sys.stderr)
+            return 2
+
+    output["ok"] = not degraded
+    if args.json:
+        print(json_module.dumps(output, indent=2, sort_keys=False))
+    elif not args.quiet:
+        summary = report.summary()
+        print(
+            "scenarios: "
+            + ("all green" if not degraded else "DEGRADED")
+            + f" ({summary['cells_ok']}/{summary['cells']} cells ok, "
+            f"{summary['drift_findings']} drift finding(s), "
+            f"{summary['unexpected_drift']} unexpected)"
+        )
+    if tracer is not None:
+        if profile_mode != "off" and not args.quiet and not args.json:
+            from repro.observability import format_profile
+
+            print()
+            print(format_profile(tracer))
+        if args.metrics:
+            from repro.observability import format_metrics
+
+            print()
+            print(format_metrics(tracer.metrics.snapshot()))
+        if args.trace:
+            from repro.observability import write_trace_jsonl
+
+            try:
+                write_trace_jsonl(tracer, args.trace)
+            except OSError as exc:
+                print(f"repro scenarios: cannot write trace: {exc}",
+                      file=sys.stderr)
+                return 2
+    status = 1 if degraded else 0
+    if recorder is not None:
+        ledger_status = _append_run_report(
+            args,
+            "scenarios",
+            recorder,
+            tracer,
+            {"exit_status": status, "ok": not degraded},
+        )
+        status = max(status, ledger_status)
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point: dispatches the subcommands (see ``_SUBCOMMANDS``).
 
@@ -2848,6 +3128,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return entities_main(rest)
         if command == "chaos":
             return chaos_main(rest)
+        if command == "scenarios":
+            return scenarios_main(rest)
         return identify_main(rest)
     if arguments == ["--version"]:
         print(f"repro {package_version()}")

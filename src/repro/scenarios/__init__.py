@@ -1,0 +1,104 @@
+"""Adversarial scenario matrix and ILFD drift detection.
+
+ROADMAP item 4: a parameterized grid of adversarial workloads — N
+sources, Zipf-skewed cluster sizes, conflicting ILFDs across sources,
+schema drift (renamed/split attributes), out-of-order deltas,
+duplicate-heavy feeds, seeded noise — each cell carrying ground-truth
+cluster labels through every transformation.  The runner pushes every
+cell through the real blocker × identifier × entity-graph pipeline,
+keeps the Section-3 conformance oracles green, scores precision/recall
+against the generated truth, and mines-then-rechecks exceptionless
+ILFDs across delta arrival to surface :class:`ConstraintDrift`
+findings.  Reports are canonical JSON with committed baselines, exactly
+like the golden corpus gate.
+
+- :mod:`repro.scenarios.grid` — :class:`ScenarioSpec` and the named grids,
+- :mod:`repro.scenarios.generate` — the labeled adversarial generator,
+- :mod:`repro.scenarios.runner` — pipeline execution and per-cell checks,
+- :mod:`repro.scenarios.drift` — the ILFD drift detector,
+- :mod:`repro.scenarios.report` — canonical reports and baselines.
+"""
+
+from repro.scenarios.errors import ScenarioBaselineError, ScenarioError
+from repro.scenarios.grid import (
+    GRIDS,
+    ScenarioSpec,
+    default_grid,
+    expand_grid,
+    grid_by_name,
+    reduced_grid,
+    smoke_grid,
+)
+from repro.scenarios.generate import (
+    ScenarioData,
+    SchemaDrift,
+    generate_scenario,
+)
+from repro.scenarios.drift import (
+    DEFAULT_WATCH,
+    ConstraintDrift,
+    DriftReport,
+    WatchFamily,
+    detect_constraint_drift,
+)
+from repro.scenarios.runner import (
+    CellResult,
+    PairOutcome,
+    ScenarioRunner,
+    run_cell,
+)
+from repro.scenarios.report import (
+    SCENARIO_FORMAT,
+    ScenarioReport,
+    check_baseline,
+    load_baseline,
+    update_baseline,
+    write_baseline,
+)
+from repro.observability.metrics import register_metric
+
+__all__ = [
+    "CellResult",
+    "ConstraintDrift",
+    "DEFAULT_WATCH",
+    "DriftReport",
+    "GRIDS",
+    "PairOutcome",
+    "SCENARIO_FORMAT",
+    "ScenarioBaselineError",
+    "ScenarioData",
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SchemaDrift",
+    "WatchFamily",
+    "check_baseline",
+    "default_grid",
+    "detect_constraint_drift",
+    "expand_grid",
+    "generate_scenario",
+    "grid_by_name",
+    "load_baseline",
+    "reduced_grid",
+    "run_cell",
+    "smoke_grid",
+    "update_baseline",
+    "write_baseline",
+]
+
+for _name, _description in (
+    ("scenarios.cells", "scenario grid cells executed"),
+    ("scenarios.cells_failed", "scenario cells that missed their contract"),
+    ("scenarios.pairs", "pairwise identification runs across scenario cells"),
+    ("scenarios.oracle_violations", "conformance oracle violations across cells"),
+    ("scenarios.drift_findings", "constraint-drift findings (expected + not)"),
+    ("scenarios.unexpected_drift", "constraint-drift findings no axis asked for"),
+    ("scenarios.clusters", "entity clusters produced across scenario cells"),
+    ("scenarios.impure_clusters", "clusters mixing ground-truth labels"),
+    ("scenarios.baseline_drift", "cells diverging from the committed baseline"),
+    ("scenarios.precision", "per-cell micro-averaged match precision"),
+    ("scenarios.recall", "per-cell micro-averaged match recall"),
+):
+    register_metric(_name, _description)
+del _name, _description

@@ -1,0 +1,216 @@
+"""ILFD drift detection: constraints that stop holding after deltas.
+
+The paper treats ILFDs as DBA-supplied knowledge; :mod:`repro.discovery`
+mines *candidate* ILFDs from instances.  This module closes the loop for
+the scenario harness: mine the exceptionless rules a **baseline
+snapshot** obeys (restricted to a declared watch family, so findings are
+deterministic and reviewable), then re-check those rules as delta
+batches land.  A rule the snapshot proved that incoming deltas violate
+is surfaced as a structured :class:`ConstraintDrift` finding — the
+instance-level analogue of a failed integrity re-validation.
+
+Findings are order-independent over the batch set: the same deltas in
+any arrival order produce the same ``(rule, witnesses)`` findings (only
+the ``first_batch`` bookkeeping differs), which the runner asserts for
+shuffled-delta cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.discovery.ilfd_miner import MinedILFD, mine_ilfds
+from repro.ilfd.ilfd import ILFD
+from repro.relational.relation import Relation
+
+__all__ = [
+    "DEFAULT_WATCH",
+    "ConstraintDrift",
+    "DriftReport",
+    "WatchFamily",
+    "detect_constraint_drift",
+]
+
+
+@dataclass(frozen=True)
+class WatchFamily:
+    """The constraint family the detector mines and re-checks.
+
+    Restricting mining to a declared family (antecedent attributes,
+    consequent targets, support floor) keeps findings deterministic and
+    small enough to review — the same reason the paper keeps ILFDs
+    DBA-confirmed instead of trusting every instance regularity.
+    """
+
+    antecedents: Tuple[str, ...] = ("speciality",)
+    targets: Tuple[str, ...] = ("cuisine",)
+    max_antecedent: int = 1
+    min_support: int = 2
+
+    def covers(self, attributes: Sequence[str]) -> bool:
+        """True iff a schema stores every watched attribute."""
+        names = set(attributes)
+        return set(self.antecedents) <= names and set(self.targets) <= names
+
+
+DEFAULT_WATCH = WatchFamily()
+"""The scenario harness's watch family: speciality → cuisine."""
+
+
+@dataclass(frozen=True)
+class ConstraintDrift:
+    """One baseline-proven ILFD newly violated by delta rows.
+
+    Attributes
+    ----------
+    source:
+        The source relation whose feed drifted.
+    rule:
+        Human-readable form of the broken ILFD.
+    ilfd:
+        The mined rule itself.
+    support:
+        Baseline tuples that backed the rule when it was mined.
+    violations:
+        Number of delta rows contradicting the rule.
+    witnesses:
+        Candidate-key values of the violating delta rows (sorted).
+    first_batch:
+        Index (in application order) of the first batch containing a
+        violation — bookkeeping only; excluded from :meth:`fingerprint`
+        so shuffled arrivals fingerprint identically.
+    expected:
+        True when the generating spec seeded this conflict on purpose
+        (the cell's contract says it must appear); False findings are
+        genuine regressions.
+    """
+
+    source: str
+    rule: str
+    ilfd: ILFD
+    support: int
+    violations: int
+    witnesses: Tuple[Tuple[Tuple[str, Any], ...], ...]
+    first_batch: int
+    expected: bool = False
+
+    def fingerprint(self) -> Tuple[Any, ...]:
+        """Arrival-order-independent identity of this finding."""
+        return (self.source, self.rule, self.witnesses)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (for reports and ``--json``)."""
+        return {
+            "source": self.source,
+            "rule": self.rule,
+            "support": self.support,
+            "violations": self.violations,
+            "witnesses": [
+                {attr: value for attr, value in witness}
+                for witness in self.witnesses
+            ],
+            "first_batch": self.first_batch,
+            "expected": self.expected,
+        }
+
+
+@dataclass
+class DriftReport:
+    """All drift findings of one scenario cell."""
+
+    findings: Tuple[ConstraintDrift, ...] = ()
+    rules_watched: int = 0
+
+    @property
+    def unexpected(self) -> Tuple[ConstraintDrift, ...]:
+        """Findings no spec axis asked for — the regressions."""
+        return tuple(f for f in self.findings if not f.expected)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.findings
+
+    def fingerprints(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Sorted order-independent fingerprints of all findings."""
+        return tuple(sorted(f.fingerprint() for f in self.findings))
+
+
+def _describe(ilfd: ILFD) -> str:
+    antecedent = " ∧ ".join(
+        f"{c.attribute}={c.value!r}" for c in sorted(
+            ilfd.antecedent, key=lambda c: c.attribute
+        )
+    )
+    consequent = " ∧ ".join(
+        f"{c.attribute}={c.value!r}" for c in sorted(
+            ilfd.consequent, key=lambda c: c.attribute
+        )
+    )
+    return f"{antecedent} → {consequent}"
+
+
+def _watched_rules(
+    baseline: Relation, watch: WatchFamily
+) -> List[MinedILFD]:
+    mined = mine_ilfds(
+        baseline,
+        max_antecedent=watch.max_antecedent,
+        min_support=watch.min_support,
+        min_confidence=1.0,
+        targets=watch.targets,
+    )
+    wanted = set(watch.antecedents)
+    return [m for m in mined if m.ilfd.antecedent_attributes <= wanted]
+
+
+def detect_constraint_drift(
+    source: str,
+    baseline: Relation,
+    batches: Sequence[Sequence[Mapping[str, Any]]],
+    *,
+    key_attributes: Sequence[str],
+    watch: WatchFamily = DEFAULT_WATCH,
+    expected: bool = False,
+) -> DriftReport:
+    """Mine *baseline*, re-check each rule against delta *batches*.
+
+    Every exceptionless watched rule the baseline snapshot proves is
+    evaluated against each delta row (in batch application order); rules
+    with at least one violating row become :class:`ConstraintDrift`
+    findings carrying the violators' candidate-key values as witnesses.
+    """
+    if not watch.covers(baseline.schema.names):
+        return DriftReport()
+    rules = _watched_rules(baseline, watch)
+    findings: List[ConstraintDrift] = []
+    for mined in rules:
+        witnesses: List[Tuple[Tuple[str, Any], ...]] = []
+        first_batch: Optional[int] = None
+        for batch_index, batch in enumerate(batches):
+            for row in batch:
+                if mined.ilfd.violated_by(row):
+                    if first_batch is None:
+                        first_batch = batch_index
+                    witnesses.append(
+                        tuple(
+                            (attr, row[attr])
+                            for attr in sorted(key_attributes)
+                        )
+                    )
+        if first_batch is None:
+            continue
+        findings.append(
+            ConstraintDrift(
+                source=source,
+                rule=_describe(mined.ilfd),
+                ilfd=mined.ilfd,
+                support=mined.support,
+                violations=len(witnesses),
+                witnesses=tuple(sorted(witnesses)),
+                first_batch=first_batch,
+                expected=expected,
+            )
+        )
+    findings.sort(key=lambda f: (f.source, f.rule))
+    return DriftReport(findings=tuple(findings), rules_watched=len(rules))

@@ -1,0 +1,13 @@
+"""Exceptions of the adversarial scenario harness."""
+
+from __future__ import annotations
+
+__all__ = ["ScenarioError", "ScenarioBaselineError"]
+
+
+class ScenarioError(Exception):
+    """Base class for scenario-harness failures (bad specs, bad grids)."""
+
+
+class ScenarioBaselineError(ScenarioError):
+    """A scenario baseline file is missing, malformed, or incompatible."""

@@ -1,0 +1,636 @@
+"""Adversarial workload generation with ground-truth labels.
+
+:func:`generate_scenario` turns one :class:`~repro.scenarios.grid.ScenarioSpec`
+into a :class:`ScenarioData`: N overlapping source relations carved out
+of one restaurant universe (:func:`~repro.workloads.restaurants.restaurant_universe`),
+with every adversarial transformation the spec asks for applied on top —
+Zipf-skewed membership, duplicate-heavy feeds, delta batches (in or out
+of order), conflicting ILFD consequents seeded into one source's deltas,
+schema drift (renamed or split attributes), and seeded noise via the
+extended :mod:`repro.workloads.noise` corruption kinds.
+
+The invariant every transformation preserves: **ground-truth cluster
+labels survive**.  Each universe entity is its own cluster label (its
+index); every generated tuple — duplicates, conflicted rows, and noisy
+rows included — knows which entity it models, keyed by the tuple's
+candidate-key values.  That is what lets the runner score precision and
+recall against truth on every cell, no matter how hostile the feed.
+
+Key attributes are never corrupted (the paper's footnote-3 assumption),
+so key-based labels stay stable by construction; noise lands where it
+causes information loss, not contradiction — value mutations on the
+derivation input (street) in partial-K_Ext sources, NULL drops on
+non-key attributes everywhere (see :data:`MUTATION_ATTRIBUTES` and
+:data:`DROPPABLE_ATTRIBUTES` for why this split is load-bearing).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.matching_table import KeyValues
+from repro.ilfd.ilfd import ILFDSet
+from repro.relational.attribute import Attribute
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.grid import ScenarioSpec
+from repro.workloads.generator import rename_attributes, split_attribute
+from repro.workloads.noise import Corruption, NoiseSpec, apply_noise
+from repro.workloads.restaurants import (
+    RestaurantWorkloadSpec,
+    restaurant_universe,
+)
+
+__all__ = [
+    "CONFLICT_CUISINE",
+    "EXTENDED_KEY",
+    "ScenarioData",
+    "SchemaDrift",
+    "SourceShape",
+    "generate_scenario",
+    "street_merger",
+    "street_splitter",
+]
+
+Pair = Tuple[KeyValues, KeyValues]
+
+EXTENDED_KEY: Tuple[str, ...] = ("name", "cuisine", "speciality")
+"""The extended key shared by every scenario source."""
+
+CONFLICT_CUISINE = "Fusion"
+"""The out-of-vocabulary consequent seeded by the conflict axis."""
+
+DUP_SUFFIX = "-b"
+"""Name suffix of duplicate variant rows (same entity, re-keyed)."""
+
+MUTATION_ATTRIBUTES: Tuple[str, ...] = ("street",)
+"""Attributes value mutations (typo/transpose/format drift) may touch —
+and only in sources that do *not* store the full extended key.
+
+The identifier treats ILFDs as hard knowledge, so a mutated value that
+still participates in a rule can classify a true pair as *distinct*
+(e.g. a typo'd county contradicting a ``street → county`` rule's
+consequent) while extended-key equality says *match* — a consistency
+violation the core rightly refuses.  Mutating only the derivation input
+(street) in sources whose K_Ext is incomplete turns every corruption
+into **information loss** (a derivation that no longer fires, an
+identity that stays unknown) instead of **contradiction** — the latter
+is the conflict axis's job, handled at the drift-detection layer.
+"""
+
+DROPPABLE_ATTRIBUTES: Tuple[str, ...] = ("street", "county", "cuisine")
+"""Attributes the drop stage may NULL out (minus each source's key
+attributes).  Dropped values only ever *remove* rule firings — NULL
+predicates evaluate unknown, never false — so drops are always safe and
+purely recall-degrading (a dropped cuisine even exercises re-derivation
+through the speciality → cuisine family)."""
+
+NOISE_PROFILES: Dict[str, NoiseSpec] = {
+    "clean": NoiseSpec(),
+    "light": NoiseSpec(typo=0.08, format_drift=0.08, drop=0.05),
+    "heavy": NoiseSpec(typo=0.18, transpose=0.12, format_drift=0.12, drop=0.12),
+}
+"""Named corruption profiles for the grid's noise axis."""
+
+
+@dataclass(frozen=True)
+class SourceShape:
+    """Schema template of one source relation."""
+
+    attributes: Tuple[str, ...]
+    key: Tuple[str, ...]
+
+
+SHAPES: Tuple[SourceShape, ...] = (
+    SourceShape(("name", "cuisine", "street"), ("name", "cuisine")),
+    SourceShape(("name", "speciality", "cuisine", "county"), ("name", "speciality")),
+    SourceShape(
+        ("name", "cuisine", "speciality", "street", "county"),
+        ("name", "speciality"),
+    ),
+)
+"""Source shapes, cycled across ``src1..srcN``: the paper's R-shape, an
+S-shape that also stores cuisine (making the speciality → cuisine family
+minable inside one source), and a full feed."""
+
+
+def street_splitter(value: str) -> Tuple[str, Optional[str]]:
+    """Split ``"12 LakeSt."`` into number and road (lossless inverse of
+    :func:`street_merger`, including values without a space)."""
+    parts = value.split(" ", 1)
+    if len(parts) == 1:
+        return value, None
+    return parts[0], parts[1]
+
+
+def street_merger(left: str, right: Optional[str]) -> str:
+    """Rejoin a split street value (inverse of :func:`street_splitter`)."""
+    return left if right is None else f"{left} {right}"
+
+
+@dataclass(frozen=True)
+class SchemaDrift:
+    """How one source's feed drifted away from the unified schema."""
+
+    source: str
+    kind: str  # "rename" | "split"
+    renames: Dict[str, str] = field(default_factory=dict)  # unified -> drifted
+    split_attribute: Optional[str] = None
+    split_into: Optional[Tuple[str, str]] = None
+
+
+@dataclass
+class ScenarioData:
+    """One generated cell: relations, deltas, truth, and change logs.
+
+    Attributes
+    ----------
+    spec:
+        The generating :class:`~repro.scenarios.grid.ScenarioSpec`.
+    sources:
+        Final source relations in the unified namespace (base + all
+        deltas applied) — the ground-truth view.
+    feeds:
+        The as-delivered relations: identical to ``sources`` except for
+        the schema-drifted source, which arrives renamed or split.  The
+        runner must undo the drift before identification.
+    drift:
+        The drift descriptor (``None`` when ``schema_drift == "none"``).
+    base:
+        The baseline snapshot per source (rows present before any delta
+        lands) — what the ILFD drift detector mines.
+    delta_batches:
+        Delta batches **in application order** (possibly shuffled); each
+        batch maps source name → tuple of row dicts.
+    ilfds:
+        The clean ILFD knowledge of the generating universe (what the
+        identifier runs with; conflicted rows contradict it by design).
+    extended_key / key_attributes:
+        K_Ext and each source's candidate-key attributes.
+    labels:
+        Ground-truth cluster labels: source → (candidate-key values →
+        universe entity index).  Every tuple of every source is labeled.
+    truth:
+        Per source pair, the co-reference ground truth as (key, key)
+        pairs — all cross-source tuple pairs sharing a label, duplicate
+        variants included.
+    corruptions:
+        The noise change log per source (JSON-round-trippable).
+    conflict_source / conflict_speciality:
+        Where and on which antecedent value the conflicting consequent
+        was seeded (``None`` without the conflict axis).
+    """
+
+    spec: ScenarioSpec
+    sources: Dict[str, Relation]
+    feeds: Dict[str, Relation]
+    drift: Optional[SchemaDrift]
+    base: Dict[str, Relation]
+    delta_batches: Tuple[Dict[str, Tuple[Dict[str, Any], ...]], ...]
+    ilfds: ILFDSet
+    extended_key: Tuple[str, ...]
+    key_attributes: Dict[str, Tuple[str, ...]]
+    labels: Dict[str, Dict[KeyValues, int]]
+    truth: Dict[Tuple[str, str], FrozenSet[Pair]]
+    corruptions: Dict[str, List[Corruption]]
+    conflict_source: Optional[str]
+    conflict_speciality: Optional[str]
+
+    @property
+    def source_names(self) -> Tuple[str, ...]:
+        """Source names in declaration order."""
+        return tuple(self.sources)
+
+    def pair_names(self) -> List[Tuple[str, str]]:
+        """All source pairs, in declaration order."""
+        names = self.source_names
+        return [
+            (names[i], names[j])
+            for i in range(len(names))
+            for j in range(i + 1, len(names))
+        ]
+
+
+def _key_values_of(row: Dict[str, Any], attributes: Sequence[str]) -> KeyValues:
+    return tuple((attr, row[attr]) for attr in sorted(attributes))
+
+
+def _membership(spec: ScenarioSpec, rank: int) -> float:
+    if spec.skew == "uniform":
+        return 0.8
+    return max(0.3, min(1.0, 1.0 / (rank + 1) ** 0.55))
+
+
+def _duplicate_probability(spec: ScenarioSpec, rank: int) -> float:
+    if not spec.duplicates:
+        return 0.0
+    if spec.skew == "uniform":
+        return 0.3
+    return max(0.1, min(0.6, 0.6 / (rank + 1) ** 0.4))
+
+
+def _shape_of(index: int) -> SourceShape:
+    return SHAPES[index % len(SHAPES)]
+
+
+@dataclass
+class _SourceRows:
+    """Working state for one source: labeled row dicts, keyed uniquely."""
+
+    name: str
+    shape: SourceShape
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    labels: List[int] = field(default_factory=list)
+    keys: Set[Tuple[Any, ...]] = field(default_factory=set)
+
+    def try_add(self, row: Dict[str, Any], label: int) -> bool:
+        key = tuple(row[attr] for attr in self.shape.key)
+        if key in self.keys:
+            return False
+        self.keys.add(key)
+        self.rows.append(row)
+        self.labels.append(label)
+        return True
+
+
+def _populate_sources(
+    spec: ScenarioSpec,
+    universe: Sequence[Dict[str, Any]],
+    rng: random.Random,
+) -> List[_SourceRows]:
+    sources = [
+        _SourceRows(name=f"src{i + 1}", shape=_shape_of(i))
+        for i in range(spec.n_sources)
+    ]
+    for rank, entity in enumerate(universe):
+        for source in sources:
+            if rng.random() >= _membership(spec, rank):
+                continue
+            row = {attr: entity[attr] for attr in source.shape.attributes}
+            source.try_add(row, rank)
+            if rng.random() < _duplicate_probability(spec, rank):
+                # A duplicate-heavy feed models the same entity again
+                # under a variant name (branch office / re-keyed record).
+                variant = dict(row)
+                variant["name"] = f"{row['name']}{DUP_SUFFIX}"
+                source.try_add(variant, rank)
+    for source in sources:
+        if len(source.rows) < 2:
+            raise ScenarioError(
+                f"cell {spec.cell_id!r}: source {source.name} ended up with "
+                f"{len(source.rows)} row(s); enlarge entities or change seed"
+            )
+    return sources
+
+
+def _split_deltas(
+    spec: ScenarioSpec,
+    sources: List[_SourceRows],
+    rng: random.Random,
+    *,
+    delta_fraction: float = 0.3,
+    batches: int = 3,
+) -> Tuple[Dict[str, List[int]], List[List[Dict[str, List[int]]]]]:
+    """Pick per-source delta row indices and group them into batches.
+
+    Returns (base indices per source, batch list where each batch maps
+    source → row indices), batches in **application order**.
+    """
+    base: Dict[str, List[int]] = {}
+    batch_members: List[Dict[str, List[int]]] = [
+        {source.name: [] for source in sources} for _ in range(batches)
+    ]
+    for source in sources:
+        indices = list(range(len(source.rows)))
+        if spec.deltas == "none":
+            base[source.name] = indices
+            continue
+        n_delta = max(1, int(len(indices) * delta_fraction))
+        chosen = sorted(rng.sample(indices, n_delta))
+        chosen_set = set(chosen)
+        base[source.name] = [i for i in indices if i not in chosen_set]
+        for position, index in enumerate(chosen):
+            batch_members[position % batches][source.name].append(index)
+    order = list(range(batches))
+    if spec.deltas == "shuffled":
+        rng.shuffle(order)
+    ordered = [batch_members[i] for i in order]
+    return base, [ordered]
+
+
+def _seed_conflict(
+    spec: ScenarioSpec,
+    sources: List[_SourceRows],
+    delta_indices: Dict[str, Set[int]],
+    taken: Dict[str, Set[Tuple[str, str]]],
+    *,
+    min_support: int = 2,
+) -> Tuple[Optional[str], Optional[str]]:
+    """Rewrite the conflict source's delta rows to contradict the
+    speciality → cuisine family its own baseline snapshot obeys."""
+    if not spec.conflict:
+        return None, None
+    target_source: Optional[_SourceRows] = None
+    for source in reversed(sources):
+        attrs = set(source.shape.attributes)
+        if {"speciality", "cuisine"} <= attrs:
+            target_source = source
+            break
+    if target_source is None:
+        raise ScenarioError(
+            f"cell {spec.cell_id!r}: no source stores both speciality and "
+            "cuisine; the conflict axis needs one"
+        )
+    deltas = delta_indices[target_source.name]
+    base_counts: Dict[str, int] = {}
+    for index, row in enumerate(target_source.rows):
+        # Only rows whose cuisine survived the noise stage back a
+        # minable rule — a NULL consequent contributes no confidence.
+        if index not in deltas and not is_null(row["cuisine"]):
+            base_counts[row["speciality"]] = base_counts.get(row["speciality"], 0) + 1
+    supported = sorted(
+        s for s, count in base_counts.items() if count >= min_support
+    )
+    if not supported:
+        supported = [
+            _create_support(
+                spec, target_source, delta_indices[target_source.name], taken
+            )
+        ]
+    delta_specialities = {
+        target_source.rows[index]["speciality"] for index in deltas
+    }
+    chosen = next((s for s in supported if s in delta_specialities), None)
+    if chosen is not None:
+        for index in sorted(deltas):
+            row = target_source.rows[index]
+            if row["speciality"] == chosen:
+                row["cuisine"] = CONFLICT_CUISINE
+        return target_source.name, chosen
+    # No delta row carries a supported speciality: re-key one delta row
+    # onto a supported speciality (checking candidate-key uniqueness)
+    # and give it the conflicting cuisine.
+    for index in sorted(deltas):
+        row = target_source.rows[index]
+        for candidate in supported:
+            rekeyed = dict(row, speciality=candidate)
+            key = tuple(rekeyed[attr] for attr in target_source.shape.key)
+            if key in target_source.keys:
+                continue
+            old_key = tuple(row[attr] for attr in target_source.shape.key)
+            target_source.keys.discard(old_key)
+            target_source.keys.add(key)
+            row["speciality"] = candidate
+            row["cuisine"] = CONFLICT_CUISINE
+            return target_source.name, candidate
+    raise ScenarioError(
+        f"cell {spec.cell_id!r}: could not seed a conflicting delta row "
+        f"in {target_source.name}"
+    )
+
+
+def _noise_plan(shape: SourceShape) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(mutable attributes, droppable attributes) for one source shape."""
+    attrs = set(shape.attributes)
+    mutate: Tuple[str, ...] = ()
+    if "speciality" not in attrs:
+        mutate = tuple(a for a in MUTATION_ATTRIBUTES if a in attrs)
+    drop = tuple(
+        a
+        for a in DROPPABLE_ATTRIBUTES
+        if a in attrs and a not in shape.key
+    )
+    return mutate, drop
+
+
+def _create_support(
+    spec: ScenarioSpec,
+    source: _SourceRows,
+    deltas: Set[int],
+    taken: Dict[str, Set[Tuple[str, str]]],
+) -> str:
+    """Give one speciality baseline support ≥ 2 when the sampled rows
+    left every speciality a singleton (sparse Zipf tails).
+
+    Rewrites one base row onto another base row's (speciality, cuisine)
+    pair — consistent with the speciality → cuisine family by
+    construction; the rewritten row simply stops matching its own
+    cluster (one more recall adversity, no contradiction).  The *taken*
+    guard keeps the universe's key discipline intact: under a homonym,
+    copying a real (cuisine, speciality) pair onto another name could
+    recreate a *different* entity's full extended key, making the
+    identifier match the rewritten row while a per-entity street →
+    county rule proves it distinct — a contradiction, not noise.
+    """
+    base = [i for i in range(len(source.rows)) if i not in deltas]
+    for keep in base:
+        for mutate in base:
+            if mutate == keep:
+                continue
+            donor = source.rows[keep]
+            row = source.rows[mutate]
+            if is_null(donor["cuisine"]) or row["speciality"] == donor["speciality"]:
+                continue
+            claimed = taken.get(row["name"], set())
+            if any(
+                cuisine == donor["cuisine"] or speciality == donor["speciality"]
+                for cuisine, speciality in claimed
+            ):
+                continue
+            rekeyed = dict(row, speciality=donor["speciality"])
+            key = tuple(rekeyed[attr] for attr in source.shape.key)
+            if key in source.keys:
+                continue
+            old_key = tuple(row[attr] for attr in source.shape.key)
+            source.keys.discard(old_key)
+            source.keys.add(key)
+            row["speciality"] = donor["speciality"]
+            row["cuisine"] = donor["cuisine"]
+            return donor["speciality"]
+    raise ScenarioError(
+        f"cell {spec.cell_id!r}: cannot establish baseline support in "
+        f"{source.name}; enlarge entities"
+    )
+
+
+def _apply_noise(
+    spec: ScenarioSpec,
+    source: _SourceRows,
+    rng: random.Random,
+) -> Tuple[List[Dict[str, Any]], List[Corruption]]:
+    """Run the cell's noise profile over one source's rows (row order
+    preserved, so base/delta index bookkeeping survives)."""
+    profile = NOISE_PROFILES[spec.noise]
+    mutate_attrs, drop_attrs = _noise_plan(source.shape)
+    if profile.is_clean or not (mutate_attrs or drop_attrs):
+        return [dict(row) for row in source.rows], []
+    schema = Schema(
+        [Attribute(a) for a in source.shape.attributes],
+        keys=[source.shape.key],
+    )
+    relation = Relation(schema, source.rows, name=source.name, enforce_keys=False)
+    log: List[Corruption] = []
+    if mutate_attrs:
+        mutation_only = replace(profile, drop=0.0)
+        relation, mutated = apply_noise(
+            relation, mutation_only, rng=rng, attributes=list(mutate_attrs)
+        )
+        log.extend(mutated)
+    if drop_attrs and profile.drop:
+        drop_only = NoiseSpec(drop=profile.drop)
+        relation, dropped = apply_noise(
+            relation, drop_only, rng=rng, attributes=list(drop_attrs)
+        )
+        log.extend(dropped)
+    return [dict(row) for row in relation], log
+
+
+def generate_scenario(spec: ScenarioSpec) -> ScenarioData:
+    """Generate one grid cell's worth of adversarial data."""
+    rng = random.Random(spec.cell_seed)
+    universe, ilfds = restaurant_universe(
+        RestaurantWorkloadSpec(n_entities=spec.entities, seed=spec.cell_seed % 9973)
+    )
+    sources = _populate_sources(spec, universe, rng)
+    base_indices, (ordered_batches,) = _split_deltas(spec, sources, rng)
+    delta_index_sets: Dict[str, Set[int]] = {
+        source.name: set() for source in sources
+    }
+    for batch in ordered_batches:
+        for name, indices in batch.items():
+            delta_index_sets[name].update(indices)
+    # Noise first, conflict second: the seeded conflicting consequent
+    # must survive into the final rows (a drop landing on the conflicted
+    # cuisine would otherwise silence the very violation the cell is
+    # contracted to surface).
+    final_rows: Dict[str, List[Dict[str, Any]]] = {}
+    corruptions: Dict[str, List[Corruption]] = {}
+    for source in sources:
+        rows, log = _apply_noise(spec, source, rng)
+        source.rows = rows
+        final_rows[source.name] = rows
+        corruptions[source.name] = log
+    taken: Dict[str, Set[Tuple[str, str]]] = {}
+    for entity in universe:
+        for name in (entity["name"], f"{entity['name']}{DUP_SUFFIX}"):
+            taken.setdefault(name, set()).add(
+                (entity["cuisine"], entity["speciality"])
+            )
+    conflict_source, conflict_speciality = _seed_conflict(
+        spec, sources, delta_index_sets, taken
+    )
+
+    schemas: Dict[str, Schema] = {
+        source.name: Schema(
+            [Attribute(a) for a in source.shape.attributes],
+            keys=[source.shape.key],
+        )
+        for source in sources
+    }
+    relations: Dict[str, Relation] = {
+        source.name: Relation(
+            schemas[source.name],
+            final_rows[source.name],
+            name=source.name,
+            enforce_keys=False,
+        )
+        for source in sources
+    }
+    base_relations: Dict[str, Relation] = {
+        source.name: Relation(
+            schemas[source.name],
+            [final_rows[source.name][i] for i in base_indices[source.name]],
+            name=source.name,
+            enforce_keys=False,
+        )
+        for source in sources
+    }
+    delta_batches: List[Dict[str, Tuple[Dict[str, Any], ...]]] = []
+    for batch in ordered_batches:
+        rendered: Dict[str, Tuple[Dict[str, Any], ...]] = {}
+        for source in sources:
+            indices = batch[source.name]
+            if indices:
+                rendered[source.name] = tuple(
+                    dict(final_rows[source.name][i]) for i in indices
+                )
+        if rendered:
+            delta_batches.append(rendered)
+
+    labels: Dict[str, Dict[KeyValues, int]] = {}
+    for source in sources:
+        by_key: Dict[KeyValues, int] = {}
+        for row, label in zip(final_rows[source.name], source.labels):
+            by_key[_key_values_of(row, source.shape.key)] = label
+        labels[source.name] = by_key
+
+    truth: Dict[Tuple[str, str], FrozenSet[Pair]] = {}
+    for i, first in enumerate(sources):
+        for second in sources[i + 1 :]:
+            pairs: Set[Pair] = set()
+            for row_a, label_a in zip(final_rows[first.name], first.labels):
+                for row_b, label_b in zip(
+                    final_rows[second.name], second.labels
+                ):
+                    if label_a == label_b:
+                        pairs.add(
+                            (
+                                _key_values_of(row_a, first.shape.key),
+                                _key_values_of(row_b, second.shape.key),
+                            )
+                        )
+            truth[(first.name, second.name)] = frozenset(pairs)
+
+    drift: Optional[SchemaDrift] = None
+    feeds = dict(relations)
+    if spec.schema_drift == "rename":
+        drifted = "src1"
+        renames = {"name": "restaurant", "street": "road"}
+        renames = {
+            old: new
+            for old, new in renames.items()
+            if old in schemas[drifted].names
+        }
+        feeds[drifted] = rename_attributes(relations[drifted], renames)
+        drift = SchemaDrift(source=drifted, kind="rename", renames=renames)
+    elif spec.schema_drift == "split":
+        drifted = "src1"
+        if "street" not in schemas[drifted].names:
+            raise ScenarioError(
+                f"cell {spec.cell_id!r}: split drift needs a street attribute"
+            )
+        feeds[drifted] = split_attribute(
+            relations[drifted],
+            "street",
+            ("street_no", "street_name"),
+            street_splitter,
+        )
+        drift = SchemaDrift(
+            source=drifted,
+            kind="split",
+            split_attribute="street",
+            split_into=("street_no", "street_name"),
+        )
+
+    return ScenarioData(
+        spec=spec,
+        sources=relations,
+        feeds=feeds,
+        drift=drift,
+        base=base_relations,
+        delta_batches=tuple(delta_batches),
+        ilfds=ILFDSet(ilfds),
+        extended_key=EXTENDED_KEY,
+        key_attributes={
+            source.name: source.shape.key for source in sources
+        },
+        labels=labels,
+        truth=truth,
+        corruptions=corruptions,
+        conflict_source=conflict_source,
+        conflict_speciality=conflict_speciality,
+    )

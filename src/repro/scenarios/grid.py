@@ -1,0 +1,265 @@
+"""The scenario grid: parameterized adversarial workload cells.
+
+A :class:`ScenarioSpec` names one adversarial configuration along the
+axes ROADMAP item 4 calls for — number of sources, skewed (Zipf) cluster
+sizes, conflicting ILFDs across sources, schema drift (renamed or split
+attributes), out-of-order deltas, duplicate-heavy feeds, and noise level.
+A *grid* is a list of specs; :func:`default_grid` is the committed
+≥24-cell matrix ``repro scenarios`` runs, :func:`reduced_grid` the small
+CI/test subset covering every mechanism at least once.
+
+Every cell derives its own PRNG seed from a CRC over its cell id, so
+cells are independent, reproducible streams: re-ordering or filtering
+the grid never changes what any one cell generates.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.scenarios.errors import ScenarioError
+
+__all__ = [
+    "GRIDS",
+    "ScenarioSpec",
+    "default_grid",
+    "expand_grid",
+    "grid_by_name",
+    "reduced_grid",
+    "smoke_grid",
+]
+
+SKEWS = ("uniform", "zipf")
+NOISES = ("clean", "light", "heavy")
+DELTAS = ("none", "ordered", "shuffled")
+SCHEMA_DRIFTS = ("none", "rename", "split")
+BLOCKERS = ("exact", "hash")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One adversarial workload configuration (a grid cell).
+
+    Attributes
+    ----------
+    n_sources:
+        Number of overlapping source relations (≥ 2).
+    skew:
+        ``uniform`` — every entity is equally likely to appear in every
+        source; ``zipf`` — entity presence (and duplicate pressure)
+        follows a Zipf-style rank profile, so a few entities are
+        everywhere and the tail is sparse.
+    conflict:
+        Seed conflicting ILFDs across sources: the delta rows of one
+        source carry consequent values contradicting the family another
+        source's data (and the baseline snapshot) obeys.  Requires
+        ``deltas != "none"``.
+    schema_drift:
+        ``rename`` — one source's feed arrives with renamed attributes;
+        ``split`` — one attribute arrives split in two.  The runner must
+        undo the drift (schema integration) before identification.
+    deltas:
+        ``none`` — the whole feed is one batch; ``ordered`` — a held-out
+        fraction arrives later as in-order delta batches; ``shuffled`` —
+        the same batches land out of order.
+    duplicates:
+        Duplicate-heavy feeds: entities contribute extra near-duplicate
+        tuples (variant key values) within a source.
+    noise:
+        The :class:`~repro.workloads.noise.NoiseSpec` profile applied to
+        non-key attributes (``clean`` / ``light`` / ``heavy``).
+    blocker:
+        Candidate-pair generation for the pairwise runs: ``exact`` keeps
+        the proven default paths, ``hash`` routes through the
+        extended-key hash blocker.
+    entities:
+        Universe size (ground-truth cluster count upper bound).
+    seed:
+        Base seed; the effective per-cell seed also folds in the cell id.
+    """
+
+    n_sources: int = 2
+    skew: str = "uniform"
+    conflict: bool = False
+    schema_drift: str = "none"
+    deltas: str = "none"
+    duplicates: bool = False
+    noise: str = "clean"
+    blocker: str = "exact"
+    entities: int = 18
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_sources < 2:
+            raise ScenarioError("a scenario needs at least two sources")
+        if self.skew not in SKEWS:
+            raise ScenarioError(f"unknown skew {self.skew!r}; expected {SKEWS}")
+        if self.noise not in NOISES:
+            raise ScenarioError(f"unknown noise {self.noise!r}; expected {NOISES}")
+        if self.deltas not in DELTAS:
+            raise ScenarioError(f"unknown deltas {self.deltas!r}; expected {DELTAS}")
+        if self.schema_drift not in SCHEMA_DRIFTS:
+            raise ScenarioError(
+                f"unknown schema_drift {self.schema_drift!r}; "
+                f"expected {SCHEMA_DRIFTS}"
+            )
+        if self.blocker not in BLOCKERS:
+            raise ScenarioError(
+                f"unknown blocker {self.blocker!r}; expected {BLOCKERS}"
+            )
+        if self.conflict and self.deltas == "none":
+            raise ScenarioError(
+                "conflicting ILFDs are delta-borne: conflict=True needs "
+                "deltas='ordered' or 'shuffled'"
+            )
+        if self.entities < 4:
+            raise ScenarioError("entities must be >= 4")
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identifier, unique within a grid."""
+        parts = [f"s{self.n_sources}", self.skew, self.noise]
+        if self.conflict:
+            parts.append("conflict")
+        if self.schema_drift != "none":
+            parts.append(self.schema_drift)
+        if self.deltas != "none":
+            parts.append(f"d-{self.deltas}")
+        if self.duplicates:
+            parts.append("dup")
+        if self.blocker != "exact":
+            parts.append(self.blocker)
+        return "-".join(parts)
+
+    @property
+    def cell_seed(self) -> int:
+        """The effective PRNG seed: base seed folded with the cell id."""
+        return (self.seed * 1_000_003 + zlib.crc32(self.cell_id.encode())) % (2**31)
+
+
+def expand_grid(
+    axes: Dict[str, Sequence[object]], **fixed: object
+) -> List[ScenarioSpec]:
+    """Cross-product grid expansion over *axes*, with *fixed* overrides.
+
+    ``axes`` maps :class:`ScenarioSpec` field names to value sequences;
+    the result enumerates the full cross product in axis-declaration
+    order.  Invalid combinations (e.g. conflict without deltas) raise,
+    so a mis-specified grid fails loudly at build time, not cell time.
+    """
+    specs: List[ScenarioSpec] = [ScenarioSpec(**fixed)]  # type: ignore[arg-type]
+    for field_name, values in axes.items():
+        specs = [
+            replace(spec, **{field_name: value})
+            for spec in specs
+            for value in values
+        ]
+    ids = [spec.cell_id for spec in specs]
+    duplicates = {cid for cid in ids if ids.count(cid) > 1}
+    if duplicates:
+        raise ScenarioError(f"grid produces duplicate cell ids: {sorted(duplicates)}")
+    return specs
+
+
+_VARIANTS = ("plain", "conflict", "drift", "dup")
+
+
+def _variant_fields(variant: str, skew: str) -> Dict[str, object]:
+    if variant == "plain":
+        return {"deltas": "ordered"}
+    if variant == "conflict":
+        return {"conflict": True, "deltas": "ordered"}
+    if variant == "drift":
+        # Alternate the two schema-drift mechanics across the skew axis
+        # so one 32-cell grid covers both renames and splits.
+        return {"schema_drift": "rename" if skew == "uniform" else "split"}
+    if variant == "dup":
+        return {"duplicates": True, "deltas": "shuffled", "blocker": "hash"}
+    raise ScenarioError(f"unknown variant {variant!r}")
+
+
+def default_grid(*, entities: int = 18, seed: int = 7) -> List[ScenarioSpec]:
+    """The committed adversarial matrix: 2×2×2×4 = 32 cells.
+
+    Axes: sources {2, 3} × skew {uniform, zipf} × noise {clean, light} ×
+    variant {plain, conflict, schema-drift, duplicate-heavy}.  Every
+    variant exists at every source count, skew, and noise level; the
+    duplicate cells additionally run through the hash blocker and land
+    their deltas out of order.
+    """
+    specs: List[ScenarioSpec] = []
+    for n_sources in (2, 3):
+        for skew in ("uniform", "zipf"):
+            for noise in ("clean", "light"):
+                for variant in _VARIANTS:
+                    specs.append(
+                        ScenarioSpec(
+                            n_sources=n_sources,
+                            skew=skew,
+                            noise=noise,
+                            entities=entities,
+                            seed=seed,
+                            **_variant_fields(variant, skew),  # type: ignore[arg-type]
+                        )
+                    )
+    return specs
+
+
+def reduced_grid(*, entities: int = 14, seed: int = 7) -> List[ScenarioSpec]:
+    """The CI subset: 6 cells covering every mechanism at least once."""
+    return [
+        ScenarioSpec(entities=entities, seed=seed),
+        ScenarioSpec(
+            skew="zipf", noise="light", deltas="ordered",
+            entities=entities, seed=seed,
+        ),
+        ScenarioSpec(
+            conflict=True, deltas="ordered", noise="light",
+            entities=entities, seed=seed,
+        ),
+        ScenarioSpec(schema_drift="rename", entities=entities, seed=seed),
+        ScenarioSpec(
+            n_sources=3, schema_drift="split", skew="zipf",
+            entities=entities, seed=seed,
+        ),
+        ScenarioSpec(
+            n_sources=3, duplicates=True, deltas="shuffled", blocker="hash",
+            noise="heavy", entities=entities, seed=seed,
+        ),
+    ]
+
+
+def smoke_grid(*, entities: int = 10, seed: int = 7) -> List[ScenarioSpec]:
+    """Two cells (one clean, one conflicted) for the fastest sanity run."""
+    return [
+        ScenarioSpec(entities=entities, seed=seed),
+        ScenarioSpec(
+            conflict=True, deltas="shuffled", entities=entities, seed=seed
+        ),
+    ]
+
+
+GRIDS: Dict[str, Callable[..., List[ScenarioSpec]]] = {
+    "default": default_grid,
+    "reduced": reduced_grid,
+    "smoke": smoke_grid,
+}
+"""Named grids accepted by ``repro scenarios --grid``."""
+
+
+def grid_by_name(name: str, *, entities: int | None = None, seed: int | None = None) -> List[ScenarioSpec]:
+    """Build a named grid, optionally overriding size and seed."""
+    try:
+        factory = GRIDS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown grid {name!r}; expected one of {sorted(GRIDS)}"
+        ) from None
+    kwargs: Dict[str, int] = {}
+    if entities is not None:
+        kwargs["entities"] = entities
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)

@@ -1,0 +1,212 @@
+"""Versioned scenario reports and committed baselines.
+
+A :class:`ScenarioReport` is the canonical JSON rendering of one grid
+run — every cell's spec, per-pair quality, oracle counts, and drift
+findings, in a stable key and cell order, with a fingerprint over the
+canonical bytes.  Committed baselines (``tests/scenarios/baselines/``)
+freeze the expected report per grid, mirroring the golden-corpus gate
+(:mod:`repro.conformance.golden`): any unintended change to generation,
+identification, scoring, or drift detection becomes a reviewable diff
+with per-cell drift reasons; intentional changes re-freeze via
+``repro scenarios --update-baseline`` and go through code review.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.scenarios.errors import ScenarioBaselineError
+from repro.scenarios.runner import CellResult
+
+__all__ = [
+    "SCENARIO_FORMAT",
+    "ScenarioReport",
+    "baseline_path",
+    "check_baseline",
+    "load_baseline",
+    "update_baseline",
+    "write_baseline",
+]
+
+SCENARIO_FORMAT = 1
+"""Version of the scenario-report JSON layout."""
+
+
+def _canonical(data: Any) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ScenarioReport:
+    """One grid run, rendered canonically."""
+
+    grid: str
+    cells: Tuple[Dict[str, Any], ...]
+
+    @classmethod
+    def from_results(
+        cls, grid: str, results: Sequence[CellResult]
+    ) -> "ScenarioReport":
+        """Render runner results; cells are sorted by cell id."""
+        cells = []
+        for result in sorted(results, key=lambda r: r.cell_id):
+            cell = result.to_json()
+            cell["spec"] = asdict(result.spec)
+            cells.append(cell)
+        return cls(grid=grid, cells=tuple(cells))
+
+    @property
+    def ok(self) -> bool:
+        """True iff every cell is green."""
+        return all(cell["ok"] for cell in self.cells)
+
+    def cell(self, cell_id: str) -> Optional[Dict[str, Any]]:
+        for cell in self.cells:
+            if cell["cell"] == cell_id:
+                return cell
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": SCENARIO_FORMAT,
+            "grid": self.grid,
+            "cells": list(self.cells),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON bytes."""
+        return hashlib.sha256(
+            _canonical(self.to_dict()).encode("utf-8")
+        ).hexdigest()
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact rollup for CLI/metrics output."""
+        findings = sum(len(c["drift"]["findings"]) for c in self.cells)
+        unexpected = sum(c["drift"]["unexpected"] for c in self.cells)
+        return {
+            "grid": self.grid,
+            "cells": len(self.cells),
+            "cells_ok": sum(1 for c in self.cells if c["ok"]),
+            "oracle_violations": sum(c["oracle_violations"] for c in self.cells),
+            "drift_findings": findings,
+            "unexpected_drift": unexpected,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def baseline_path(directory: str, grid: str) -> str:
+    """The baseline file for one grid."""
+    return os.path.join(directory, f"{grid}.json")
+
+
+def load_baseline(directory: str, grid: str) -> ScenarioReport:
+    """Load one frozen report from *directory*."""
+    path = baseline_path(directory, grid)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise ScenarioBaselineError(
+            f"scenario baseline missing for grid {grid!r}: {path} "
+            f"(run with --update-baseline to create it)"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ScenarioBaselineError(
+            f"malformed scenario baseline {path}: {exc}"
+        ) from exc
+    try:
+        if data["format"] != SCENARIO_FORMAT:
+            raise ScenarioBaselineError(
+                f"scenario baseline {path} has format {data['format']}, "
+                f"expected {SCENARIO_FORMAT}"
+            )
+        return ScenarioReport(
+            grid=data["grid"], cells=tuple(data["cells"])
+        )
+    except KeyError as exc:
+        raise ScenarioBaselineError(
+            f"scenario baseline {path} is missing field {exc}"
+        ) from None
+
+
+def write_baseline(directory: str, report: ScenarioReport) -> str:
+    """Write one report to *directory*; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = baseline_path(directory, report.grid)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _flatten(prefix: str, value: Any, out: Dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            _flatten(f"{prefix}[{index}]", item, out)
+    else:
+        out[prefix] = value
+
+
+def _cell_drift_reason(
+    frozen: Dict[str, Any], current: Dict[str, Any], *, limit: int = 4
+) -> Optional[str]:
+    """Field-level description of how one cell diverged (None if equal)."""
+    if _canonical(frozen) == _canonical(current):
+        return None
+    flat_frozen: Dict[str, Any] = {}
+    flat_current: Dict[str, Any] = {}
+    _flatten("", frozen, flat_frozen)
+    _flatten("", current, flat_current)
+    reasons: List[str] = []
+    for key in sorted(set(flat_frozen) | set(flat_current)):
+        if flat_frozen.get(key) == flat_current.get(key):
+            continue
+        was = flat_frozen.get(key, "<absent>")
+        now = flat_current.get(key, "<absent>")
+        reasons.append(f"{key}: {was!r} -> {now!r}")
+        if len(reasons) >= limit:
+            reasons.append("…")
+            break
+    return "; ".join(reasons)
+
+
+def check_baseline(
+    directory: str, report: ScenarioReport
+) -> Dict[str, str]:
+    """Compare a fresh report against the committed baseline.
+
+    Returns ``{cell_id: reason}`` for every diverging cell (plus
+    pseudo-cells for added/removed ids) — empty means the baseline still
+    holds.  A missing or malformed baseline raises
+    :class:`ScenarioBaselineError`: baselines are part of the
+    repository, absence is a harness failure, not drift.
+    """
+    frozen = load_baseline(directory, report.grid)
+    drift: Dict[str, str] = {}
+    frozen_cells = {cell["cell"]: cell for cell in frozen.cells}
+    current_cells = {cell["cell"]: cell for cell in report.cells}
+    for cell_id in sorted(set(frozen_cells) | set(current_cells)):
+        if cell_id not in current_cells:
+            drift[cell_id] = "cell removed from grid"
+            continue
+        if cell_id not in frozen_cells:
+            drift[cell_id] = "cell not in baseline (grid grew?)"
+            continue
+        reason = _cell_drift_reason(
+            frozen_cells[cell_id], current_cells[cell_id]
+        )
+        if reason:
+            drift[cell_id] = reason
+    return drift
+
+
+def update_baseline(directory: str, report: ScenarioReport) -> str:
+    """Re-freeze one grid's baseline; returns the written path."""
+    return write_baseline(directory, report)

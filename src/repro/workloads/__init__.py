@@ -23,6 +23,9 @@ from repro.workloads.generator import (
     SideSpec,
     SplitSpec,
     Workload,
+    merge_attributes,
+    rename_attributes,
+    split_attribute,
     split_universe,
     split_universe_many,
     with_domain_attribute,
@@ -32,13 +35,23 @@ from repro.workloads.restaurants import (
     restaurant_example_1,
     restaurant_example_2,
     restaurant_example_3,
+    restaurant_universe,
     restaurant_workload,
 )
 from repro.workloads.employees import (
     EmployeeWorkloadSpec,
     employee_workload,
 )
-from repro.workloads.noise import Corruption, corrupt_values, drop_values
+from repro.workloads.noise import (
+    Corruption,
+    NoiseSpec,
+    apply_noise,
+    corrupt_values,
+    drop_values,
+    format_drift_values,
+    transpose_values,
+    typo_values,
+)
 from repro.workloads.publications import (
     PublicationWorkloadSpec,
     publication_workload,
@@ -47,20 +60,29 @@ from repro.workloads.publications import (
 __all__ = [
     "Corruption",
     "EmployeeWorkloadSpec",
+    "NoiseSpec",
     "PublicationWorkloadSpec",
     "RestaurantWorkloadSpec",
     "SideSpec",
     "SplitSpec",
     "Workload",
+    "apply_noise",
     "corrupt_values",
     "drop_values",
     "employee_workload",
+    "format_drift_values",
+    "merge_attributes",
     "publication_workload",
+    "rename_attributes",
     "restaurant_example_1",
     "restaurant_example_2",
     "restaurant_example_3",
+    "restaurant_universe",
     "restaurant_workload",
+    "split_attribute",
     "split_universe",
     "split_universe_many",
+    "transpose_values",
+    "typo_values",
     "with_domain_attribute",
 ]

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.core.matching_table import KeyValues
 from repro.ilfd.ilfd import ILFDSet
 from repro.relational.attribute import Attribute
+from repro.relational.nulls import NULL, is_null
 from repro.relational.relation import Relation, RelationBuilder
 from repro.relational.schema import Schema
 
@@ -217,6 +218,127 @@ def split_universe_many(
                     )
             truth[(first.name, second.name)] = frozenset(pairs)
     return relations, truth
+
+
+def rename_attributes(
+    relation: Relation, mapping: Dict[str, str], *, name: str | None = None
+) -> Relation:
+    """Rename attributes of a relation (schema drift: renamed columns).
+
+    Keys are renamed along; row contents are untouched, so ground-truth
+    cluster labels keyed by *values* survive the transformation and the
+    inverse mapping restores the original relation exactly.
+    """
+    schema = relation.schema.rename(mapping)
+    rows = [
+        {mapping.get(attr, attr): value for attr, value in row.items()}
+        for row in relation
+    ]
+    return Relation(
+        schema,
+        rows,
+        name=name if name is not None else relation.name,
+        enforce_keys=False,
+    )
+
+
+def split_attribute(
+    relation: Relation,
+    attribute: str,
+    into: Tuple[str, str],
+    splitter: Callable[[Any], Tuple[Any, Any]],
+    *,
+    name: str | None = None,
+) -> Relation:
+    """Split one attribute into two (schema drift: split columns).
+
+    ``splitter(value)`` must return one value per part; NULL splits into
+    NULLs.  The split attribute's slot in every candidate key is replaced
+    by *both* parts, preserving key semantics whenever the splitter is
+    injective.
+    """
+    first, second = into
+    schema = relation.schema
+    if attribute not in schema:
+        raise ValueError(f"unknown attribute {attribute!r}")
+    for part in into:
+        if part in schema and part != attribute:
+            raise ValueError(f"split target {part!r} already exists")
+    attrs: List[Attribute] = []
+    for attr in schema.attributes:
+        if attr.name == attribute:
+            attrs.extend([Attribute(first), Attribute(second)])
+        else:
+            attrs.append(attr)
+    keys = [
+        (set(key) - {attribute}) | {first, second} if attribute in key else set(key)
+        for key in schema.keys
+    ]
+    rows = []
+    for row in relation:
+        values = {a: v for a, v in row.items() if a != attribute}
+        old = row[attribute]
+        if is_null(old):
+            values[first], values[second] = NULL, NULL
+        else:
+            values[first], values[second] = splitter(old)
+        rows.append(values)
+    return Relation(
+        Schema(attrs, keys),
+        rows,
+        name=name if name is not None else relation.name,
+        enforce_keys=False,
+    )
+
+
+def merge_attributes(
+    relation: Relation,
+    parts: Tuple[str, str],
+    into: str,
+    merger: Callable[[Any, Any], Any],
+    *,
+    name: str | None = None,
+) -> Relation:
+    """Merge two attributes back into one (the inverse of a split).
+
+    The merged attribute takes the position of the first part; a pair
+    with any NULL part merges to NULL.  Candidate keys mentioning either
+    part have both replaced by the merged attribute.
+    """
+    first, second = parts
+    schema = relation.schema
+    for part in parts:
+        if part not in schema:
+            raise ValueError(f"unknown attribute {part!r}")
+    if into in schema and into not in parts:
+        raise ValueError(f"merge target {into!r} already exists")
+    attrs: List[Attribute] = []
+    for attr in schema.attributes:
+        if attr.name == first:
+            attrs.append(Attribute(into))
+        elif attr.name != second:
+            attrs.append(attr)
+    keys = [
+        (set(key) - {first, second}) | {into}
+        if (first in key or second in key)
+        else set(key)
+        for key in schema.keys
+    ]
+    rows = []
+    for row in relation:
+        values = {a: v for a, v in row.items() if a not in parts}
+        left, right = row[first], row[second]
+        if is_null(left) or is_null(right):
+            values[into] = NULL
+        else:
+            values[into] = merger(left, right)
+        rows.append(values)
+    return Relation(
+        Schema(attrs, keys),
+        rows,
+        name=name if name is not None else relation.name,
+        enforce_keys=False,
+    )
 
 
 def with_domain_attribute(

@@ -1,41 +1,109 @@
-"""Noise injection: attribute-value conflicts and missing data.
+"""Noise injection: attribute-value conflicts, missing and dirty data.
 
 Section 2 lists the instance-level problems that remain *after* entity
 identification: "Attribute value conflict … may be caused by data scaling
 conflict, inconsistent data, or missing data."  The clean generators
 produce perfectly consistent splits; these corruptors manufacture the
 messy versions so the conflict-detection and resolution machinery
-(:mod:`repro.core.diagnostics`) has something real to chew on:
+(:mod:`repro.core.diagnostics`) and the adversarial scenario matrix
+(:mod:`repro.scenarios`) have something real to chew on:
 
 - :func:`corrupt_values` rewrites a fraction of non-key values
   (inconsistent data),
 - :func:`drop_values` NULLs out a fraction of non-key values (missing
-  data).
+  data),
+- :func:`typo_values` substitutes or deletes one character (entry
+  errors),
+- :func:`transpose_values` swaps two adjacent characters (the classic
+  keyboard transposition),
+- :func:`format_drift_values` re-renders a value without changing its
+  content (case flips, padding, punctuation loss — representation
+  drift between feeds),
+- :func:`apply_noise` composes all of the above from one
+  :class:`NoiseSpec` through one shared PRNG.
 
 Key attributes are never touched — corrupting a key would change *which*
 entity a tuple models, not just a property value, and the paper assumes
 identification inputs are accurate (footnote 3).
+
+Reproducibility contract: every helper threads **one explicit seeded**
+:class:`random.Random` through all of its draws (pass ``rng=`` to share a
+generator across several calls; the ``seed`` keyword merely constructs a
+fresh one).  No helper ever touches the module-global :mod:`random`
+state, so a scenario cell built from a seed is bit-reproducible, and
+:class:`Corruption` records round-trip to JSON so the exact change log
+can be committed next to a baseline.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.relational.nulls import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.row import Row
 
+__all__ = [
+    "Corruption",
+    "NoiseSpec",
+    "apply_noise",
+    "corrupt_values",
+    "drop_values",
+    "format_drift_values",
+    "transpose_values",
+    "typo_values",
+]
+
+_NULL_MARKER = {"$null": True}
+"""JSON stand-in for the NULL singleton (not expressible as a JSON value)."""
+
+
+def _encode_value(value: Any) -> Any:
+    return dict(_NULL_MARKER) if is_null(value) else value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and value == _NULL_MARKER:
+        return NULL
+    return value
+
 
 @dataclass(frozen=True)
 class Corruption:
-    """One injected change: (row index, attribute, old value, new value)."""
+    """One injected change: (row index, attribute, old → new, kind)."""
 
     row_index: int
     attribute: str
     old_value: Any
     new_value: Any
+    kind: str = "marker"
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready rendering; NULL values become ``{"$null": true}``."""
+        return {
+            "row_index": self.row_index,
+            "attribute": self.attribute,
+            "old_value": _encode_value(self.old_value),
+            "new_value": _encode_value(self.new_value),
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Corruption":
+        """Inverse of :meth:`to_json` (exact round trip, NULL included)."""
+        return cls(
+            row_index=data["row_index"],
+            attribute=data["attribute"],
+            old_value=_decode_value(data["old_value"]),
+            new_value=_decode_value(data["new_value"]),
+            kind=data.get("kind", "marker"),
+        )
+
+
+def _resolve_rng(rng: Optional[random.Random], seed: int) -> random.Random:
+    return rng if rng is not None else random.Random(seed)
 
 
 def _corruptible_attributes(relation: Relation, attributes: Sequence[str] | None) -> List[str]:
@@ -50,11 +118,54 @@ def _corruptible_attributes(relation: Relation, attributes: Sequence[str] | None
     return eligible
 
 
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+
+
+def _rebuild(relation: Relation, rows: List[Row]) -> Relation:
+    rebuilt = Relation(relation.schema, (), name=relation.name, enforce_keys=False)
+    rebuilt._rows = tuple(rows)
+    rebuilt._row_set = frozenset(rows)
+    return rebuilt
+
+
+def _mutate_cells(
+    relation: Relation,
+    rate: float,
+    rng: random.Random,
+    attributes: Sequence[str] | None,
+    mutate: Callable[[Any, random.Random], Any],
+    kind: str,
+) -> Tuple[Relation, List[Corruption]]:
+    """The shared engine: visit every eligible cell once, in row-major
+    schema order, drawing exactly one uniform variate per non-NULL cell
+    (so two runs with equal-state generators corrupt identical cells)."""
+    _check_rate(rate)
+    eligible = _corruptible_attributes(relation, attributes)
+    rows: List[Row] = []
+    log: List[Corruption] = []
+    for index, row in enumerate(relation):
+        values: Dict[str, Any] = dict(row)
+        for attribute in eligible:
+            old = values[attribute]
+            if is_null(old) or rng.random() >= rate:
+                continue
+            new = mutate(old, rng)
+            if new == old:
+                continue
+            values[attribute] = new
+            log.append(Corruption(index, attribute, old, new, kind))
+        rows.append(Row(values))
+    return _rebuild(relation, rows), log
+
+
 def corrupt_values(
     relation: Relation,
     rate: float,
     *,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
     attributes: Sequence[str] | None = None,
     marker: str = "~corrupted~",
 ) -> Tuple[Relation, List[Corruption]]:
@@ -65,26 +176,14 @@ def corrupt_values(
     *marker*, so tests can recognise them.  Returns the corrupted relation
     plus the change log.
     """
-    if not 0.0 <= rate <= 1.0:
-        raise ValueError(f"rate must be in [0, 1], got {rate}")
-    rng = random.Random(seed)
-    eligible = _corruptible_attributes(relation, attributes)
-    rows: List[Row] = []
-    log: List[Corruption] = []
-    for index, row in enumerate(relation):
-        values: Dict[str, Any] = dict(row)
-        for attribute in eligible:
-            old = values[attribute]
-            if is_null(old) or rng.random() >= rate:
-                continue
-            new = f"{marker}{old}"
-            values[attribute] = new
-            log.append(Corruption(index, attribute, old, new))
-        rows.append(Row(values))
-    corrupted = Relation(relation.schema, (), name=relation.name, enforce_keys=False)
-    corrupted._rows = tuple(rows)
-    corrupted._row_set = frozenset(rows)
-    return corrupted, log
+    return _mutate_cells(
+        relation,
+        rate,
+        _resolve_rng(rng, seed),
+        attributes,
+        lambda old, _rng: f"{marker}{old}",
+        "marker",
+    )
 
 
 def drop_values(
@@ -92,25 +191,176 @@ def drop_values(
     rate: float,
     *,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
     attributes: Sequence[str] | None = None,
 ) -> Tuple[Relation, List[Corruption]]:
     """NULL out a fraction of non-key values (missing data)."""
-    if not 0.0 <= rate <= 1.0:
-        raise ValueError(f"rate must be in [0, 1], got {rate}")
-    rng = random.Random(seed)
-    eligible = _corruptible_attributes(relation, attributes)
-    rows: List[Row] = []
+    return _mutate_cells(
+        relation,
+        rate,
+        _resolve_rng(rng, seed),
+        attributes,
+        lambda _old, _rng: NULL,
+        "drop",
+    )
+
+
+_TYPO_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _typo(old: Any, rng: random.Random) -> Any:
+    """Substitute one character (or delete it, for longer strings)."""
+    if not isinstance(old, str) or not old:
+        return old
+    position = rng.randrange(len(old))
+    if len(old) > 3 and rng.random() < 0.3:
+        return old[:position] + old[position + 1 :]
+    replacement = rng.choice(_TYPO_ALPHABET)
+    while replacement == old[position]:
+        replacement = rng.choice(_TYPO_ALPHABET)
+    return old[:position] + replacement + old[position + 1 :]
+
+
+def typo_values(
+    relation: Relation,
+    rate: float,
+    *,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+    attributes: Sequence[str] | None = None,
+) -> Tuple[Relation, List[Corruption]]:
+    """Inject single-character typos (substitution or deletion).
+
+    Only string values are touched; non-string cells survive unchanged
+    even when selected.
+    """
+    return _mutate_cells(
+        relation, rate, _resolve_rng(rng, seed), attributes, _typo, "typo"
+    )
+
+
+def _transpose(old: Any, rng: random.Random) -> Any:
+    """Swap two adjacent characters."""
+    if not isinstance(old, str) or len(old) < 2:
+        return old
+    position = rng.randrange(len(old) - 1)
+    swapped = (
+        old[:position] + old[position + 1] + old[position] + old[position + 2 :]
+    )
+    return swapped
+
+
+def transpose_values(
+    relation: Relation,
+    rate: float,
+    *,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+    attributes: Sequence[str] | None = None,
+) -> Tuple[Relation, List[Corruption]]:
+    """Swap two adjacent characters (keyboard transpositions)."""
+    return _mutate_cells(
+        relation,
+        rate,
+        _resolve_rng(rng, seed),
+        attributes,
+        _transpose,
+        "transposition",
+    )
+
+
+def _format_drift(old: Any, rng: random.Random) -> Any:
+    """Re-render the value without changing its content."""
+    if not isinstance(old, str) or not old:
+        return old
+    style = rng.randrange(3)
+    if style == 0:
+        return old.upper() if old != old.upper() else old.lower()
+    if style == 1:
+        return f" {old} "
+    stripped = "".join(ch for ch in old if ch not in ".,-_'")
+    return stripped if stripped else old
+
+
+def format_drift_values(
+    relation: Relation,
+    rate: float,
+    *,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+    attributes: Sequence[str] | None = None,
+) -> Tuple[Relation, List[Corruption]]:
+    """Representation drift: case flips, padding, punctuation loss.
+
+    The value still *means* the same thing — exactly the corruption the
+    paper's exact-equality matching is blind to, so scenario recall
+    under format drift measures the cost of byte-level comparison.
+    """
+    return _mutate_cells(
+        relation,
+        rate,
+        _resolve_rng(rng, seed),
+        attributes,
+        _format_drift,
+        "format-drift",
+    )
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """A composite corruption profile, applied through one shared PRNG.
+
+    Rates are per-cell probabilities for each corruption kind, applied
+    in the fixed order: marker corruption, typos, transpositions,
+    format drift, drops.  One :class:`random.Random` seeded with
+    ``seed`` is threaded through every stage, so the whole profile is a
+    single reproducible stream.
+    """
+
+    corrupt: float = 0.0
+    typo: float = 0.0
+    transpose: float = 0.0
+    format_drift: float = 0.0
+    drop: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("corrupt", "typo", "transpose", "format_drift", "drop"):
+            _check_rate(getattr(self, field_name))
+
+    @property
+    def is_clean(self) -> bool:
+        """True iff this spec never corrupts anything."""
+        return not any(
+            (self.corrupt, self.typo, self.transpose, self.format_drift, self.drop)
+        )
+
+
+def apply_noise(
+    relation: Relation,
+    spec: NoiseSpec,
+    *,
+    rng: Optional[random.Random] = None,
+    attributes: Sequence[str] | None = None,
+) -> Tuple[Relation, List[Corruption]]:
+    """Apply a whole :class:`NoiseSpec`, one corruption kind at a time.
+
+    Returns the noisy relation plus the concatenated change log (stage
+    order, so replaying the log left-to-right reproduces the output).
+    """
+    shared = _resolve_rng(rng, spec.seed)
+    stages: Tuple[Tuple[float, Callable[..., Tuple[Relation, List[Corruption]]]], ...] = (
+        (spec.corrupt, corrupt_values),
+        (spec.typo, typo_values),
+        (spec.transpose, transpose_values),
+        (spec.format_drift, format_drift_values),
+        (spec.drop, drop_values),
+    )
     log: List[Corruption] = []
-    for index, row in enumerate(relation):
-        values: Dict[str, Any] = dict(row)
-        for attribute in eligible:
-            old = values[attribute]
-            if is_null(old) or rng.random() >= rate:
-                continue
-            values[attribute] = NULL
-            log.append(Corruption(index, attribute, old, NULL))
-        rows.append(Row(values))
-    sparse = Relation(relation.schema, (), name=relation.name, enforce_keys=False)
-    sparse._rows = tuple(rows)
-    sparse._row_set = frozenset(rows)
-    return sparse, log
+    current = relation
+    for rate, stage in stages:
+        if rate <= 0.0:
+            continue
+        current, stage_log = stage(current, rate, rng=shared, attributes=attributes)
+        log.extend(stage_log)
+    return current, log

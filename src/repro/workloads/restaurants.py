@@ -135,6 +135,19 @@ def _generate_universe(spec: RestaurantWorkloadSpec) -> Tuple[List[Entity], List
     return universe, family + per_entity_ilfds
 
 
+def restaurant_universe(
+    spec: RestaurantWorkloadSpec,
+) -> Tuple[List[Entity], List[ILFD]]:
+    """The generating universe plus its ILFDs, without splitting.
+
+    Exposed for consumers that need the raw entities with their implicit
+    cluster labels (the list index) — notably the adversarial scenario
+    generator (:mod:`repro.scenarios`), which performs its own N-way,
+    skewed, duplicate-heavy splits.
+    """
+    return _generate_universe(spec)
+
+
 def restaurant_workload(spec: RestaurantWorkloadSpec) -> Workload:
     """A scaled Example-3-shaped workload with ground truth."""
     universe, ilfds = _generate_universe(spec)

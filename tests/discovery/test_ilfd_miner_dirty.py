@@ -1,0 +1,141 @@
+"""The ILFD miner against dirty data.
+
+The scenario drift detector trusts one guarantee: a rule mined as
+*exceptionless* is never contradicted by the instances it was mined
+from.  These tests corrupt a clean speciality→cuisine relation with the
+real noise injectors and verify the guarantee holds — seeded exceptions
+demote the rule below confidence 1.0 (or drop it), never surface as
+exceptionless, and ``as_ilfd_set(exceptionless_only=True)`` filters
+exactly on that line.
+"""
+
+import pytest
+
+from repro.discovery.ilfd_miner import (
+    as_ilfd_set,
+    mine_from_relations,
+    mine_ilfds,
+)
+from repro.relational.attribute import Attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.noise import corrupt_values, drop_values
+
+_FAMILY = {
+    "DimSum": "Chinese",
+    "Dosa": "Indian",
+    "Sushi": "Japanese",
+    "Taco": "Mexican",
+    "Pasta": "Italian",
+}
+
+
+@pytest.fixture(scope="module")
+def clean():
+    """30 restaurants, cuisine fully determined by speciality."""
+    schema = Schema(
+        [Attribute(a) for a in ("name", "speciality", "cuisine")],
+        keys=[("name",)],
+    )
+    specialities = sorted(_FAMILY)
+    rows = [
+        {
+            "name": f"r{i}",
+            "speciality": specialities[i % len(specialities)],
+            "cuisine": _FAMILY[specialities[i % len(specialities)]],
+        }
+        for i in range(30)
+    ]
+    return Relation(schema, rows, name="restaurants", enforce_keys=False)
+
+
+def _mine(relation, **kwargs):
+    kwargs.setdefault("max_antecedent", 1)
+    kwargs.setdefault("targets", ["cuisine"])
+    return mine_ilfds(relation, **kwargs)
+
+
+class TestExceptionlessNeverViolated:
+    def test_on_the_mined_instance(self, clean):
+        corrupted, log = corrupt_values(
+            clean, 0.3, seed=5, attributes=["cuisine"]
+        )
+        assert log
+        for mined in _mine(corrupted):
+            if not mined.is_exceptionless:
+                continue
+            violating = [
+                row for row in corrupted if mined.ilfd.violated_by(row)
+            ]
+            assert violating == []
+
+    def test_cross_instance_mining_respects_the_clean_relation(self, clean):
+        """A rule the *clean* relation violates cannot be mined from the
+        pair (clean, corrupted): cross-instance counter-examples kill
+        candidates."""
+        corrupted, _ = corrupt_values(
+            clean, 0.3, seed=5, attributes=["cuisine"]
+        )
+        mined = mine_from_relations(
+            [clean, corrupted], max_antecedent=1, targets=["cuisine"]
+        )
+        assert mined  # the surviving family rules
+        for candidate in mined:
+            assert not any(
+                candidate.ilfd.violated_by(row) for row in clean
+            )
+
+    def test_seeded_exception_demotes_the_rule(self, clean):
+        clean_rules = {
+            str(m.ilfd) for m in _mine(clean) if m.is_exceptionless
+        }
+        assert len(clean_rules) == len(_FAMILY)
+        corrupted, log = corrupt_values(
+            clean, 1.0, seed=5, attributes=["cuisine"]
+        )
+        assert len(log) == len(clean)
+        dirty_rules = {
+            str(m.ilfd) for m in _mine(corrupted) if m.is_exceptionless
+        }
+        # every cuisine was rewritten, so no clean rule may survive
+        assert clean_rules & dirty_rules == set()
+
+    def test_partial_corruption_keeps_only_untouched_groups(self, clean):
+        corrupted, log = corrupt_values(
+            clean, 0.1, seed=1, attributes=["cuisine"]
+        )
+        assert log
+        touched = {
+            corrupted.rows[entry.row_index]["speciality"] for entry in log
+        }
+        assert touched != set(_FAMILY)  # this rate/seed leaves survivors
+        mined = {str(m.ilfd) for m in _mine(corrupted) if m.is_exceptionless}
+        for speciality in _FAMILY:
+            rule_survived = any(speciality in rule for rule in mined)
+            assert rule_survived == (speciality not in touched)
+
+
+class TestNullHandling:
+    def test_dropped_consequents_do_not_count_as_exceptions(self, clean):
+        sparse, log = drop_values(clean, 0.4, seed=9, attributes=["cuisine"])
+        assert log
+        for mined in _mine(sparse):
+            # NULLs shrink support, never manufacture a violation
+            assert mined.is_exceptionless
+
+    def test_all_consequents_dropped_means_no_rule(self, clean):
+        sparse, _ = drop_values(clean, 1.0, seed=9, attributes=["cuisine"])
+        assert _mine(sparse) == []
+
+
+class TestAsIlfdSet:
+    def test_filters_on_the_exceptionless_line(self, clean):
+        corrupted, _ = corrupt_values(
+            clean, 0.3, seed=5, attributes=["cuisine"]
+        )
+        mined = _mine(corrupted, min_confidence=0.1)
+        strict = as_ilfd_set(mined)
+        lenient = as_ilfd_set(mined, exceptionless_only=False)
+        assert len(strict) == sum(1 for m in mined if m.is_exceptionless)
+        assert len(lenient) == len(mined)
+        assert set(strict) <= set(lenient)

@@ -1,0 +1,174 @@
+"""Property-based invariants of the workload generator transformations.
+
+The scenario matrix leans on three guarantees of
+:mod:`repro.workloads.generator`:
+
+- :func:`split_universe_many` places entities consistently — its
+  per-pair ground truth is exactly the label-join of its relations,
+- attribute renames and domain tagging never disturb row *values*, so
+  value-keyed ground-truth labels survive schema drift,
+- :func:`split_attribute` / :func:`merge_attributes` round-trip exactly
+  when the splitter is lossless.
+
+Checked here under hypothesis over generated universes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.attribute import Attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.generator import (
+    SideSpec,
+    merge_attributes,
+    rename_attributes,
+    split_attribute,
+    split_universe_many,
+    with_domain_attribute,
+)
+
+ATTRIBUTES = ("k", "city", "street")
+
+
+def _universe(n):
+    return [
+        {"k": f"e{i}", "city": f"c{i % 3}", "street": f"{i + 1} Main"}
+        for i in range(n)
+    ]
+
+
+def _sides(memberships):
+    return [
+        SideSpec(
+            name=f"src{i + 1}",
+            attributes=ATTRIBUTES,
+            key=("k",),
+            membership=m,
+        )
+        for i, m in enumerate(memberships)
+    ]
+
+
+universes = st.integers(min_value=0, max_value=30).map(_universe)
+membership_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=4
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestSplitUniverseMany:
+    @given(universe=universes, memberships=membership_lists, seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_truth_is_exactly_the_label_join(self, universe, memberships, seed):
+        relations, truth = split_universe_many(
+            universe, _sides(memberships), seed=seed
+        )
+        members = {
+            name: {row["k"] for row in relation}
+            for name, relation in relations.items()
+        }
+        names = sorted(relations)
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                pair_key = (
+                    (first, second) if (first, second) in truth
+                    else (second, first)
+                )
+                shared = members[pair_key[0]] & members[pair_key[1]]
+                got = {
+                    dict(left)["k"] for left, right in truth[pair_key]
+                }
+                assert got == shared
+                # and both key sides of every pair agree on the entity
+                for left, right in truth[pair_key]:
+                    assert dict(left)["k"] == dict(right)["k"]
+
+    @given(universe=universes, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_full_membership_places_everything(self, universe, seed):
+        relations, truth = split_universe_many(
+            universe, _sides([1.0, 1.0]), seed=seed
+        )
+        for relation in relations.values():
+            assert len(relation) == len(universe)
+        assert len(truth[("src1", "src2")]) == len(universe)
+
+    @given(universe=universes, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_membership_places_nothing(self, universe, seed):
+        relations, truth = split_universe_many(
+            universe, _sides([0.0, 1.0]), seed=seed
+        )
+        assert len(relations["src1"]) == 0
+        assert truth[("src1", "src2")] == frozenset()
+
+    @given(universe=universes, memberships=membership_lists, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_in_the_seed(self, universe, memberships, seed):
+        first = split_universe_many(universe, _sides(memberships), seed=seed)
+        second = split_universe_many(universe, _sides(memberships), seed=seed)
+        assert first[1] == second[1]
+        for name in first[0]:
+            assert list(first[0][name]) == list(second[0][name])
+
+
+def _relation(universe):
+    schema = Schema(
+        [Attribute(a) for a in ATTRIBUTES], keys=[("k",)]
+    )
+    return Relation(schema, universe, name="R", enforce_keys=False)
+
+
+class TestSchemaTransformations:
+    @given(universe=universes)
+    @settings(max_examples=30, deadline=None)
+    def test_rename_round_trips_exactly(self, universe):
+        relation = _relation(universe)
+        mapping = {"k": "key", "street": "road"}
+        renamed = rename_attributes(relation, mapping)
+        restored = rename_attributes(
+            renamed, {new: old for old, new in mapping.items()}
+        )
+        assert tuple(restored.schema.names) == tuple(relation.schema.names)
+        assert list(restored) == list(relation)
+
+    @given(universe=universes)
+    @settings(max_examples=30, deadline=None)
+    def test_rename_preserves_values(self, universe):
+        relation = _relation(universe)
+        renamed = rename_attributes(relation, {"street": "road"})
+        for original, row in zip(relation, renamed):
+            assert row["road"] == original["street"]
+            assert row["k"] == original["k"]
+
+    @given(universe=universes)
+    @settings(max_examples=30, deadline=None)
+    def test_split_merge_round_trips(self, universe):
+        relation = _relation(universe)
+        split = split_attribute(
+            relation,
+            "street",
+            ("street_no", "street_name"),
+            lambda v: tuple(v.split(" ", 1)),
+        )
+        merged = merge_attributes(
+            split,
+            ("street_no", "street_name"),
+            "street",
+            lambda a, b: f"{a} {b}",
+        )
+        assert tuple(merged.schema.names) == tuple(relation.schema.names)
+        assert list(merged) == list(relation)
+
+    @given(universe=universes, tag=st.sampled_from(["DB1", "DB2"]))
+    @settings(max_examples=30, deadline=None)
+    def test_domain_attribute_tags_without_disturbing(self, universe, tag):
+        relation = _relation(universe)
+        tagged = with_domain_attribute(relation, tag)
+        assert all(row["domain"] == tag for row in tagged)
+        for original, row in zip(relation, tagged):
+            for attribute in ATTRIBUTES:
+                assert row[attribute] == original[attribute]
+        for key in tagged.schema.keys:
+            assert "domain" in key

@@ -1,0 +1,187 @@
+"""Exit-code contract and output shape of ``repro scenarios``."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main, scenarios_main
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+
+class TestFatalUsage:
+    def test_unknown_grid(self, capsys):
+        # argparse rejects the bad choice itself, with the same status 2.
+        with pytest.raises(SystemExit) as excinfo:
+            scenarios_main(["--grid", "galactic"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_cell(self, capsys):
+        assert (
+            scenarios_main(["--grid", "smoke", "--cell", "no-such-cell"]) == 2
+        )
+        assert "unknown cell id" in capsys.readouterr().err
+
+    def test_update_baseline_requires_dir(self, capsys):
+        assert scenarios_main(["--update-baseline"]) == 2
+
+    def test_entities_floor(self, capsys):
+        assert scenarios_main(["--entities", "2"]) == 2
+
+    def test_inject_drift_excludes_baseline_check(self, capsys, tmp_path):
+        assert (
+            scenarios_main(
+                ["--inject-drift", "--baseline", str(tmp_path)]
+            )
+            == 2
+        )
+
+    def test_inject_drift_never_freezes_a_baseline(self, capsys, tmp_path):
+        assert (
+            scenarios_main(
+                [
+                    "--inject-drift",
+                    "--baseline",
+                    str(tmp_path),
+                    "--update-baseline",
+                ]
+            )
+            == 2
+        )
+
+    def test_missing_baseline_file_is_fatal(self, capsys, tmp_path):
+        status = scenarios_main(
+            ["--grid", "smoke", "--baseline", str(tmp_path), "--quiet"]
+        )
+        assert status == 2
+        assert "baseline missing" in capsys.readouterr().err
+
+
+class TestListing:
+    def test_list_prints_cell_ids(self, capsys):
+        assert scenarios_main(["--grid", "smoke", "--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["s2-uniform-clean", "s2-uniform-clean-conflict-d-shuffled"]
+
+    def test_list_respects_cell_filter(self, capsys):
+        assert (
+            scenarios_main(
+                ["--grid", "smoke", "--list", "--cell", "s2-uniform-clean"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.splitlines() == ["s2-uniform-clean"]
+
+
+class TestRuns:
+    def test_green_smoke_run(self, capsys):
+        assert scenarios_main(["--grid", "smoke", "--entities", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "all green" in out
+
+    def test_json_report_shape(self, capsys):
+        status = scenarios_main(
+            [
+                "--grid",
+                "smoke",
+                "--cell",
+                "s2-uniform-clean",
+                "--entities",
+                "8",
+                "--json",
+            ]
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["grid"] == "smoke"
+        assert len(payload["cells"]) == 1
+        assert payload["summary"]["cells_ok"] == 1
+
+    def test_quiet_suppresses_output(self, capsys):
+        assert (
+            scenarios_main(["--grid", "smoke", "--entities", "8", "--quiet"])
+            == 0
+        )
+        assert capsys.readouterr().out == ""
+
+    def test_injected_drift_exits_one(self, capsys):
+        status = scenarios_main(
+            [
+                "--grid",
+                "reduced",
+                "--cell",
+                "s2-zipf-light-d-ordered",
+                "--entities",
+                "10",
+                "--inject-drift",
+                "--json",
+            ]
+        )
+        assert status == 1
+        payload = json.loads(capsys.readouterr().out)
+        (cell,) = payload["cells"]
+        assert cell["injected"] is True
+        assert cell["ok"] is False
+        assert cell["drift"]["unexpected"] >= 1
+
+    def test_baseline_freeze_then_check(self, capsys, tmp_path):
+        freeze = scenarios_main(
+            [
+                "--grid",
+                "smoke",
+                "--entities",
+                "8",
+                "--baseline",
+                str(tmp_path),
+                "--update-baseline",
+                "--quiet",
+            ]
+        )
+        assert freeze == 0
+        assert (tmp_path / "smoke.json").exists()
+        check = scenarios_main(
+            [
+                "--grid",
+                "smoke",
+                "--entities",
+                "8",
+                "--baseline",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert check == 0
+        drifted = scenarios_main(
+            [
+                "--grid",
+                "smoke",
+                "--entities",
+                "9",
+                "--baseline",
+                str(tmp_path),
+                "--json",
+            ]
+        )
+        assert drifted == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"]["drift"]
+
+    def test_committed_reduced_baseline_holds(self):
+        assert (
+            scenarios_main(
+                ["--grid", "reduced", "--baseline", BASELINE_DIR, "--quiet"]
+            )
+            == 0
+        )
+
+    def test_metrics_flag_prints_scenarios_counters(self, capsys):
+        status = scenarios_main(
+            ["--grid", "smoke", "--entities", "8", "--metrics", "--quiet"]
+        )
+        assert status == 0
+        assert "scenarios.cells" in capsys.readouterr().out
+
+    def test_dispatch_through_main(self, capsys):
+        assert main(["scenarios", "--grid", "smoke", "--list"]) == 0

@@ -1,0 +1,131 @@
+"""Tests for the ILFD drift detector."""
+
+from repro.relational.attribute import Attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.scenarios import (
+    DEFAULT_WATCH,
+    WatchFamily,
+    detect_constraint_drift,
+)
+
+
+def _baseline(rows):
+    schema = Schema(
+        [Attribute(a) for a in ("name", "speciality", "cuisine")],
+        keys=[("name",)],
+    )
+    return Relation(schema, rows, name="base", enforce_keys=False)
+
+
+BASE = _baseline(
+    [
+        {"name": "a", "speciality": "DimSum", "cuisine": "Chinese"},
+        {"name": "b", "speciality": "DimSum", "cuisine": "Chinese"},
+        {"name": "c", "speciality": "Dosa", "cuisine": "Indian"},
+        {"name": "d", "speciality": "Dosa", "cuisine": "Indian"},
+    ]
+)
+
+
+def _detect(batches, **kwargs):
+    kwargs.setdefault("key_attributes", ("name",))
+    return detect_constraint_drift("src", BASE, batches, **kwargs)
+
+
+class TestDetector:
+    def test_clean_deltas_produce_no_findings(self):
+        report = _detect(
+            [[{"name": "e", "speciality": "DimSum", "cuisine": "Chinese"}]]
+        )
+        assert report.is_clean
+        assert report.rules_watched == 2  # DimSum→Chinese, Dosa→Indian
+
+    def test_violating_delta_becomes_a_finding(self):
+        report = _detect(
+            [
+                [{"name": "e", "speciality": "Dosa", "cuisine": "Indian"}],
+                [{"name": "f", "speciality": "DimSum", "cuisine": "Fusion"}],
+            ]
+        )
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert "DimSum" in finding.rule and "Chinese" in finding.rule
+        assert finding.support == 2
+        assert finding.violations == 1
+        assert finding.witnesses == ((("name", "f"),),)
+        assert finding.first_batch == 1
+        assert not finding.expected
+        assert report.unexpected == (finding,)
+
+    def test_expected_findings_are_not_regressions(self):
+        report = _detect(
+            [[{"name": "f", "speciality": "DimSum", "cuisine": "Fusion"}]],
+            expected=True,
+        )
+        assert len(report.findings) == 1
+        assert report.unexpected == ()
+
+    def test_fingerprints_are_arrival_order_independent(self):
+        batches = [
+            [{"name": "f", "speciality": "DimSum", "cuisine": "Fusion"}],
+            [{"name": "g", "speciality": "Dosa", "cuisine": "Fusion"}],
+        ]
+        forward = _detect(batches)
+        backward = _detect(list(reversed(batches)))
+        assert forward.fingerprints() == backward.fingerprints()
+        assert [f.first_batch for f in forward.findings] != [
+            f.first_batch for f in backward.findings
+        ]
+
+    def test_rules_below_support_floor_are_not_watched(self):
+        baseline = _baseline(
+            [
+                {"name": "a", "speciality": "DimSum", "cuisine": "Chinese"},
+                {"name": "b", "speciality": "Dosa", "cuisine": "Indian"},
+            ]
+        )
+        report = detect_constraint_drift(
+            "src",
+            baseline,
+            [[{"name": "f", "speciality": "DimSum", "cuisine": "Fusion"}]],
+            key_attributes=("name",),
+        )
+        assert report.rules_watched == 0
+        assert report.is_clean
+
+    def test_uncovered_schema_short_circuits(self):
+        schema = Schema([Attribute("name")], keys=[("name",)])
+        baseline = Relation(
+            schema, [{"name": "a"}], name="base", enforce_keys=False
+        )
+        report = detect_constraint_drift(
+            "src", baseline, [[{"name": "z"}]], key_attributes=("name",)
+        )
+        assert report.rules_watched == 0
+        assert report.is_clean
+
+    def test_to_json_shape(self):
+        report = _detect(
+            [[{"name": "f", "speciality": "DimSum", "cuisine": "Fusion"}]]
+        )
+        payload = report.findings[0].to_json()
+        assert payload["source"] == "src"
+        assert payload["witnesses"] == [{"name": "f"}]
+        assert payload["expected"] is False
+
+
+class TestWatchFamily:
+    def test_covers(self):
+        assert DEFAULT_WATCH.covers(("name", "speciality", "cuisine"))
+        assert not DEFAULT_WATCH.covers(("name", "cuisine"))
+
+    def test_custom_family_restricts_antecedents(self):
+        watch = WatchFamily(antecedents=("cuisine",), targets=("speciality",))
+        report = _detect(
+            [[{"name": "f", "speciality": "Noodles", "cuisine": "Chinese"}]],
+            watch=watch,
+        )
+        # Chinese → DimSum holds on the baseline; the delta breaks it.
+        assert len(report.findings) == 1
+        assert "Chinese" in report.findings[0].rule

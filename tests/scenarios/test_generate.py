@@ -1,0 +1,154 @@
+"""Tests for the labeled adversarial generator."""
+
+import pytest
+
+from repro.relational.nulls import is_null
+from repro.scenarios import ScenarioSpec, generate_scenario
+from repro.scenarios.generate import (
+    CONFLICT_CUISINE,
+    DUP_SUFFIX,
+    street_merger,
+    street_splitter,
+)
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("entities", 10)
+    return ScenarioSpec(**kwargs)
+
+
+class TestLabelsAndTruth:
+    def test_every_row_of_every_source_is_labeled(self):
+        data = generate_scenario(
+            _spec(n_sources=3, noise="light", deltas="shuffled")
+        )
+        for name, relation in data.sources.items():
+            key_attrs = data.key_attributes[name]
+            labels = data.labels[name]
+            for row in relation:
+                key = tuple(sorted((a, row[a]) for a in key_attrs))
+                assert key in labels
+
+    def test_truth_pairs_share_a_label(self):
+        data = generate_scenario(_spec(n_sources=3))
+        for (first, second), pairs in data.truth.items():
+            for left, right in pairs:
+                assert data.labels[first][left] == data.labels[second][right]
+
+    def test_truth_covers_every_cross_source_co_reference(self):
+        data = generate_scenario(_spec())
+        (pair,) = data.pair_names()
+        first, second = pair
+        expected = set()
+        for left, label in data.labels[first].items():
+            for right, other in data.labels[second].items():
+                if label == other:
+                    expected.add((left, right))
+        assert set(data.truth[pair]) == expected
+
+    def test_deterministic(self):
+        spec = _spec(noise="heavy", deltas="shuffled", duplicates=True)
+        a = generate_scenario(spec)
+        b = generate_scenario(spec)
+        for name in a.sources:
+            assert list(a.sources[name]) == list(b.sources[name])
+        assert a.truth == b.truth
+        assert a.delta_batches == b.delta_batches
+
+
+class TestAxes:
+    def test_base_plus_deltas_equals_source(self):
+        data = generate_scenario(_spec(deltas="ordered"))
+        for name, relation in data.sources.items():
+            base_rows = [dict(row) for row in data.base[name]]
+            delta_rows = [
+                dict(row)
+                for batch in data.delta_batches
+                for row in batch.get(name, ())
+            ]
+            assert len(base_rows) + len(delta_rows) == len(relation)
+
+    def test_no_deltas_means_empty_batches(self):
+        data = generate_scenario(_spec())
+        assert data.delta_batches == ()
+
+    def test_conflict_seeds_out_of_vocabulary_consequent(self):
+        data = generate_scenario(
+            _spec(conflict=True, deltas="ordered", entities=12)
+        )
+        assert data.conflict_source is not None
+        assert data.conflict_speciality is not None
+        conflicted = [
+            row
+            for batch in data.delta_batches
+            for row in batch.get(data.conflict_source, ())
+            if row.get("speciality") == data.conflict_speciality
+        ]
+        assert conflicted
+        assert all(r["cuisine"] == CONFLICT_CUISINE for r in conflicted)
+
+    def test_conflict_has_baseline_support(self):
+        data = generate_scenario(
+            _spec(conflict=True, deltas="ordered", skew="zipf", entities=12)
+        )
+        supporting = [
+            row
+            for row in data.base[data.conflict_source]
+            if row["speciality"] == data.conflict_speciality
+            and not is_null(row["cuisine"])
+        ]
+        assert len(supporting) >= 2
+
+    def test_duplicates_add_variant_rows(self):
+        data = generate_scenario(
+            _spec(duplicates=True, deltas="shuffled", entities=14)
+        )
+        variants = [
+            row
+            for relation in data.sources.values()
+            for row in relation
+            if str(row["name"]).endswith(DUP_SUFFIX)
+        ]
+        assert variants
+
+    def test_rename_drift_changes_the_feed_not_the_source(self):
+        data = generate_scenario(_spec(schema_drift="rename"))
+        assert data.drift is not None and data.drift.kind == "rename"
+        feed = data.feeds[data.drift.source]
+        source = data.sources[data.drift.source]
+        assert tuple(feed.schema.names) != tuple(source.schema.names)
+        for old, new in data.drift.renames.items():
+            assert new in feed.schema.names
+            assert old not in feed.schema.names
+
+    def test_split_drift_splits_street(self):
+        data = generate_scenario(_spec(schema_drift="split"))
+        assert data.drift is not None and data.drift.kind == "split"
+        feed = data.feeds[data.drift.source]
+        assert data.drift.split_attribute not in feed.schema.names
+        for part in data.drift.split_into:
+            assert part in feed.schema.names
+
+    def test_noise_logs_are_json_round_trippable(self):
+        from repro.workloads.noise import Corruption
+
+        data = generate_scenario(_spec(noise="heavy"))
+        logged = [c for log in data.corruptions.values() for c in log]
+        assert logged
+        for corruption in logged:
+            assert Corruption.from_json(corruption.to_json()) == corruption
+
+    def test_noise_never_touches_key_attributes(self):
+        data = generate_scenario(_spec(noise="heavy", n_sources=3))
+        for name, log in data.corruptions.items():
+            key = set(data.key_attributes[name])
+            assert all(c.attribute not in key for c in log)
+
+
+class TestStreetSplitRoundTrip:
+    @pytest.mark.parametrize(
+        "value", ["11 LakeSt.", "3 Main St. North", "Plaza"]
+    )
+    def test_round_trip(self, value):
+        left, right = street_splitter(value)
+        assert street_merger(left, right) == value

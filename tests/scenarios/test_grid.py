@@ -1,0 +1,118 @@
+"""Tests for the scenario grid: specs, cell ids, seeds, named grids."""
+
+import pytest
+
+from repro.scenarios import (
+    GRIDS,
+    ScenarioError,
+    ScenarioSpec,
+    default_grid,
+    expand_grid,
+    grid_by_name,
+    reduced_grid,
+    smoke_grid,
+)
+
+
+class TestScenarioSpec:
+    def test_defaults_are_valid(self):
+        spec = ScenarioSpec()
+        assert spec.cell_id == "s2-uniform-clean"
+
+    def test_cell_id_encodes_every_axis(self):
+        spec = ScenarioSpec(
+            n_sources=3,
+            skew="zipf",
+            conflict=True,
+            schema_drift="rename",
+            deltas="shuffled",
+            duplicates=True,
+            noise="heavy",
+            blocker="hash",
+        )
+        assert spec.cell_id == (
+            "s3-zipf-heavy-conflict-rename-d-shuffled-dup-hash"
+        )
+
+    def test_conflict_requires_deltas(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(conflict=True, deltas="none")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_sources": 1},
+            {"skew": "pareto"},
+            {"noise": "deafening"},
+            {"deltas": "sideways"},
+            {"schema_drift": "merge"},
+            {"blocker": "psychic"},
+            {"entities": 3},
+        ],
+    )
+    def test_invalid_axis_values_raise(self, kwargs):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(**kwargs)
+
+    def test_cell_seed_is_stable_and_distinct(self):
+        a = ScenarioSpec()
+        b = ScenarioSpec(skew="zipf")
+        assert a.cell_seed == ScenarioSpec().cell_seed
+        assert a.cell_seed != b.cell_seed
+
+    def test_cell_seed_folds_base_seed(self):
+        assert ScenarioSpec(seed=7).cell_seed != ScenarioSpec(seed=8).cell_seed
+
+
+class TestGrids:
+    def test_default_grid_meets_the_floor(self):
+        grid = default_grid()
+        assert len(grid) >= 24
+        ids = [spec.cell_id for spec in grid]
+        assert len(set(ids)) == len(ids)
+
+    def test_default_grid_covers_every_mechanism(self):
+        grid = default_grid()
+        assert any(s.conflict for s in grid)
+        assert any(s.schema_drift == "rename" for s in grid)
+        assert any(s.schema_drift == "split" for s in grid)
+        assert any(s.deltas == "shuffled" for s in grid)
+        assert any(s.duplicates for s in grid)
+        assert any(s.blocker == "hash" for s in grid)
+        assert any(s.skew == "zipf" for s in grid)
+        assert any(s.n_sources == 3 for s in grid)
+
+    def test_reduced_and_smoke_are_smaller(self):
+        assert 2 <= len(smoke_grid()) < len(reduced_grid()) < len(default_grid())
+
+    def test_grid_by_name_overrides(self):
+        grid = grid_by_name("smoke", entities=11, seed=99)
+        assert all(s.entities == 11 and s.seed == 99 for s in grid)
+
+    def test_grid_by_name_unknown(self):
+        with pytest.raises(ScenarioError):
+            grid_by_name("galactic")
+
+    def test_grids_registry_matches_factories(self):
+        assert set(GRIDS) == {"default", "reduced", "smoke"}
+
+
+class TestExpandGrid:
+    def test_cross_product(self):
+        grid = expand_grid(
+            {"n_sources": [2, 3], "noise": ["clean", "light"]},
+            deltas="ordered",
+        )
+        assert len(grid) == 4
+        assert {(s.n_sources, s.noise) for s in grid} == {
+            (2, "clean"), (2, "light"), (3, "clean"), (3, "light"),
+        }
+        assert all(s.deltas == "ordered" for s in grid)
+
+    def test_invalid_combination_fails_at_build_time(self):
+        with pytest.raises(ScenarioError):
+            expand_grid({"conflict": [True]}, deltas="none")
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ScenarioError):
+            expand_grid({"entities": [10, 12]})  # entities not in cell_id

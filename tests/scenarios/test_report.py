@@ -1,0 +1,134 @@
+"""Tests for canonical scenario reports and committed baselines."""
+
+import json
+import os
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIO_FORMAT,
+    ScenarioBaselineError,
+    ScenarioReport,
+    ScenarioSpec,
+    check_baseline,
+    load_baseline,
+    run_cell,
+    update_baseline,
+    write_baseline,
+)
+from repro.scenarios.report import baseline_path
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        run_cell(ScenarioSpec(entities=10)),
+        run_cell(ScenarioSpec(entities=10, skew="zipf")),
+    ]
+
+
+@pytest.fixture(scope="module")
+def report(results):
+    return ScenarioReport.from_results("test-grid", results)
+
+
+class TestReport:
+    def test_cells_sorted_by_id(self, report):
+        ids = [cell["cell"] for cell in report.cells]
+        assert ids == sorted(ids)
+
+    def test_cells_embed_their_spec(self, report):
+        for cell in report.cells:
+            assert cell["spec"]["entities"] == 10
+
+    def test_ok_aggregates_cells(self, report):
+        assert report.ok
+
+    def test_fingerprint_is_stable(self, results, report):
+        again = ScenarioReport.from_results("test-grid", results)
+        assert report.fingerprint() == again.fingerprint()
+
+    def test_fingerprint_sees_every_field(self, report):
+        mutated = json.loads(json.dumps(report.to_dict()))
+        mutated["cells"][0]["recall"] = 0.123456
+        other = ScenarioReport(
+            grid=mutated["grid"], cells=tuple(mutated["cells"])
+        )
+        assert other.fingerprint() != report.fingerprint()
+
+    def test_summary_counts(self, report):
+        summary = report.summary()
+        assert summary["cells"] == 2
+        assert summary["cells_ok"] == 2
+        assert summary["oracle_violations"] == 0
+
+    def test_to_dict_is_json_serializable(self, report):
+        json.dumps(report.to_dict())
+
+
+class TestBaselines:
+    def test_write_load_round_trip(self, tmp_path, report):
+        path = write_baseline(str(tmp_path), report)
+        assert path == baseline_path(str(tmp_path), "test-grid")
+        loaded = load_baseline(str(tmp_path), "test-grid")
+        assert loaded.fingerprint() == report.fingerprint()
+
+    def test_check_green_on_identical_report(self, tmp_path, report):
+        update_baseline(str(tmp_path), report)
+        assert check_baseline(str(tmp_path), report) == {}
+
+    def test_check_reports_field_level_reasons(self, tmp_path, report):
+        update_baseline(str(tmp_path), report)
+        mutated = json.loads(json.dumps(report.to_dict()))
+        mutated["cells"][0]["recall"] = 0.5
+        drifted = ScenarioReport(
+            grid=mutated["grid"], cells=tuple(mutated["cells"])
+        )
+        drift = check_baseline(str(tmp_path), drifted)
+        (reason,) = drift.values()
+        assert "recall" in reason
+
+    def test_check_reports_added_and_removed_cells(self, tmp_path, report):
+        update_baseline(str(tmp_path), report)
+        smaller = ScenarioReport(grid=report.grid, cells=report.cells[:1])
+        drift = check_baseline(str(tmp_path), smaller)
+        assert drift == {report.cells[1]["cell"]: "cell removed from grid"}
+
+    def test_missing_baseline_is_fatal_not_drift(self, tmp_path, report):
+        with pytest.raises(ScenarioBaselineError):
+            check_baseline(str(tmp_path), report)
+
+    def test_malformed_baseline_raises(self, tmp_path, report):
+        path = baseline_path(str(tmp_path), report.grid)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        with pytest.raises(ScenarioBaselineError):
+            load_baseline(str(tmp_path), report.grid)
+
+    def test_format_mismatch_raises(self, tmp_path, report):
+        data = report.to_dict()
+        data["format"] = SCENARIO_FORMAT + 1
+        path = baseline_path(str(tmp_path), report.grid)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        with pytest.raises(ScenarioBaselineError):
+            load_baseline(str(tmp_path), report.grid)
+
+
+class TestCommittedBaselines:
+    """The baselines shipped in-repo must stay loadable and green."""
+
+    @pytest.mark.parametrize("grid", ["default", "reduced"])
+    def test_committed_baseline_loads(self, grid):
+        report = load_baseline(BASELINE_DIR, grid)
+        assert report.grid == grid
+        assert report.ok
+
+    def test_reduced_baseline_matches_a_fresh_run(self):
+        from repro.scenarios import ScenarioRunner, grid_by_name
+
+        results = ScenarioRunner(grid_by_name("reduced")).run()
+        fresh = ScenarioReport.from_results("reduced", results)
+        assert check_baseline(BASELINE_DIR, fresh) == {}

@@ -1,0 +1,111 @@
+"""End-to-end tests for the scenario runner (real pipeline, no mocks)."""
+
+import pytest
+
+from repro.observability import Tracer
+from repro.scenarios import (
+    ScenarioError,
+    ScenarioRunner,
+    ScenarioSpec,
+    run_cell,
+)
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("entities", 10)
+    return ScenarioSpec(**kwargs)
+
+
+class TestRunCell:
+    def test_clean_cell_is_green_and_perfect(self):
+        result = run_cell(_spec())
+        assert result.ok
+        assert result.oracle_violations == 0
+        assert result.quality.precision == 1.0
+        assert result.quality.recall == 1.0
+        assert result.drift.is_clean
+        assert result.roundtrip_ok is None
+        assert result.order_independent is None
+
+    def test_noise_costs_recall_never_precision(self):
+        result = run_cell(_spec(noise="heavy", entities=14))
+        assert result.ok
+        assert result.quality.precision == 1.0
+        assert result.quality.recall < 1.0
+
+    def test_conflict_cell_surfaces_expected_drift(self):
+        result = run_cell(
+            _spec(conflict=True, deltas="ordered", entities=12)
+        )
+        assert result.ok
+        assert result.drift.findings
+        assert all(f.expected for f in result.drift.findings)
+        assert not result.drift.unexpected
+
+    def test_schema_drift_round_trips(self):
+        for kind in ("rename", "split"):
+            result = run_cell(_spec(schema_drift=kind))
+            assert result.ok
+            assert result.roundtrip_ok is True
+
+    def test_shuffled_deltas_are_order_independent(self):
+        result = run_cell(
+            _spec(conflict=True, deltas="shuffled", entities=12)
+        )
+        assert result.ok
+        assert result.order_independent is True
+
+    def test_hash_blocker_skips_completeness_only(self):
+        result = run_cell(
+            _spec(duplicates=True, deltas="shuffled", blocker="hash")
+        )
+        assert result.ok
+        assert all(not p.completeness_checked for p in result.pairs)
+
+    def test_three_sources_score_every_pair(self):
+        result = run_cell(_spec(n_sources=3))
+        assert result.ok
+        assert len(result.pairs) == 3
+
+    def test_injected_drift_fails_the_cell(self):
+        result = run_cell(
+            _spec(deltas="ordered", noise="light"), inject_drift=True
+        )
+        assert result.injected
+        assert result.drift.unexpected
+        assert not result.ok
+
+    def test_inject_drift_skips_cells_without_deltas(self):
+        result = run_cell(_spec(), inject_drift=True)
+        assert not result.injected
+        assert result.ok
+
+    def test_metrics_flow_through_the_tracer(self):
+        tracer = Tracer()
+        run_cell(_spec(), tracer=tracer)
+        snapshot = tracer.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["scenarios.cells"] == 1
+        assert counters["scenarios.pairs"] == 1
+        assert "scenarios.precision" in snapshot["histograms"]
+
+    def test_cell_json_is_self_describing(self):
+        import json
+
+        result = run_cell(_spec(conflict=True, deltas="ordered", entities=12))
+        payload = result.to_json()
+        json.dumps(payload)  # must be JSON-serializable as-is
+        assert payload["cell"] == result.spec.cell_id
+        assert payload["ok"] is True
+        assert payload["drift"]["findings"]
+
+
+class TestScenarioRunner:
+    def test_runs_every_cell_in_grid_order(self):
+        specs = [_spec(), _spec(skew="zipf")]
+        results = ScenarioRunner(specs).run()
+        assert [r.cell_id for r in results] == [s.cell_id for s in specs]
+
+    def test_duplicate_cell_ids_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioRunner([_spec(), _spec()]).run()
